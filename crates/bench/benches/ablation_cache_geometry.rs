@@ -1,0 +1,52 @@
+//! Ablation: cache size sweep, cross-checking the companion cache
+//! study's sensitivity (the 8 KB point should land near the paper's 0.28
+//! misses/instruction; smaller caches should miss more, larger less).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax780_core::Experiment;
+use vax_analysis::Section4Stats;
+use vax_mem::{CacheConfig, MemConfig};
+use vax_workloads::WorkloadKind;
+
+const N: u64 = 50_000;
+
+fn miss_rate(cache_kb: u32) -> f64 {
+    let mem = MemConfig {
+        cache: CacheConfig {
+            size_bytes: cache_kb * 1024,
+            ..CacheConfig::default()
+        },
+        ..MemConfig::default()
+    };
+    let m = Experiment::new(WorkloadKind::TimesharingLight)
+        .warmup(15_000)
+        .instructions(N)
+        .mem_config(mem)
+        .run();
+    Section4Stats::from_analysis(&m.analysis()).cache_miss_per_instr()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== ABLATION: cache size vs read miss rate ===");
+    println!("{:>10} {:>16}", "size (KB)", "misses/instr");
+    let mut rates = Vec::new();
+    for kb in [2u32, 4, 8, 16, 32] {
+        let rate = miss_rate(kb);
+        println!("{kb:>10} {rate:>16.4}");
+        rates.push(rate);
+    }
+    assert!(
+        rates.windows(2).all(|w| w[0] >= w[1] - 1e-6),
+        "miss rate must fall (weakly) with cache size: {rates:?}"
+    );
+    let mut group = c.benchmark_group("cache_geometry");
+    group.sample_size(10);
+    group.bench_function("experiment_8kb_point", |b| {
+        b.iter(|| black_box(miss_rate(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: the 11/750-style folded decode cycle.
+//!
+//! §5: "saving the non-overlapped I-Decode cycle could save one cycle on
+//! each non-PC-changing instruction. (The later VAX model 11/750 did
+//! [this].)" — with ≈61.5 % non-PC-changing instructions, the predicted
+//! saving is ≈0.6 CPI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax780_core::Experiment;
+use vax_bench::compare;
+use vax_cpu::CpuConfig;
+use vax_workloads::WorkloadKind;
+
+const N: u64 = 60_000;
+
+fn cpi_with(config: CpuConfig) -> f64 {
+    let m = Experiment::new(WorkloadKind::TimesharingLight)
+        .warmup(15_000)
+        .instructions(N)
+        .cpu_config(config)
+        .run();
+    m.analysis().cpi()
+}
+
+fn bench(c: &mut Criterion) {
+    let base = cpi_with(CpuConfig::default());
+    let overlapped = cpi_with(CpuConfig::with_decode_overlap());
+    println!("\n=== ABLATION: decode overlap (11/780 vs 11/750-style) ===");
+    println!("11/780 (non-overlapped decode): CPI {base:.3}");
+    println!("11/750-style (folded decode):   CPI {overlapped:.3}");
+    compare("CPI saving", 0.62, base - overlapped);
+    // Throughput of the overlapped-decode machine.
+    let mut group = c.benchmark_group("decode_overlap");
+    group.sample_size(10);
+    let mut machine = vax_workloads::build_machine_with_config(
+        &vax_workloads::profile(WorkloadKind::TimesharingLight),
+        CpuConfig::with_decode_overlap(),
+        vax_mem::MemConfig::default(),
+    );
+    let mut sink = upc_monitor::NullSink;
+    machine.run_instructions(10_000, &mut sink).expect("warmup");
+    group.bench_function("run_2k_instructions", |b| {
+        b.iter(|| {
+            machine
+                .run_instructions(black_box(2_000), &mut sink)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: context-switch interval versus TB miss rate.
+//!
+//! §3.4: "the context-switch figure is useful in setting the 'flush'
+//! interval in cache and translation buffer simulations" — every `LDPCTX`
+//! flushes the process half of the TB, so the scheduling quantum directly
+//! moves the TB miss rate (companion study [3]).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax780_core::Experiment;
+use vax_analysis::Section4Stats;
+use vax_workloads::{profile, ProfileParams, WorkloadKind};
+
+const N: u64 = 50_000;
+
+fn tb_rate(timer_period: u64) -> f64 {
+    let params = ProfileParams {
+        timer_period,
+        ..profile(WorkloadKind::TimesharingLight)
+    };
+    let m = Experiment::with_params(params)
+        .warmup(15_000)
+        .instructions(N)
+        .run();
+    Section4Stats::from_analysis(&m.analysis()).tb_miss_per_instr
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== ABLATION: scheduling quantum vs TB miss rate ===");
+    println!("{:>14} {:>16} {:>14}", "quantum (cyc)", "~switch headway", "TB miss/instr");
+    let mut rates = Vec::new();
+    for period in [16_000u64, 32_000, 64_000, 128_000, 256_000] {
+        let rate = tb_rate(period);
+        println!("{:>14} {:>16} {:>14.4}", period, period / 10, rate);
+        rates.push(rate);
+    }
+    assert!(
+        rates.first() > rates.last(),
+        "shorter quanta must flush the TB more often"
+    );
+    // Split vs unified halves (the design choice the companion TB study
+    // [3] examines): a unified TB lets process pages evict system
+    // translations, so under context-switch pressure the split
+    // organization should not be worse.
+    let unified_rate = {
+        let params = ProfileParams {
+            timer_period: 32_000,
+            ..profile(WorkloadKind::TimesharingLight)
+        };
+        let mem = vax_mem::MemConfig {
+            tb: vax_mem::TbConfig {
+                split: false,
+                ..vax_mem::TbConfig::default()
+            },
+            ..vax_mem::MemConfig::default()
+        };
+        let m = Experiment::with_params(params)
+            .warmup(15_000)
+            .instructions(N)
+            .mem_config(mem)
+            .run();
+        Section4Stats::from_analysis(&m.analysis()).tb_miss_per_instr
+    };
+    let split_rate = tb_rate(32_000);
+    println!("split TB miss rate   {split_rate:.4}");
+    println!("unified TB miss rate {unified_rate:.4}");
+    c.bench_function("experiment_tb_flush_point", |b| {
+        let mut machine = vax_workloads::build_machine(&ProfileParams {
+            timer_period: 64_000,
+            ..profile(WorkloadKind::TimesharingLight)
+        });
+        let mut sink = upc_monitor::NullSink;
+        machine.run_instructions(10_000, &mut sink).expect("warmup");
+        b.iter(|| {
+            machine
+                .run_instructions(black_box(2_000), &mut sink)
+                .expect("runs")
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

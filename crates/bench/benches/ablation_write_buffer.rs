@@ -1,0 +1,59 @@
+//! Ablation: write-buffer depth.
+//!
+//! §5 attributes the CALL/RET group's large write stalls to "the
+//! write-through cache and the one-longword write buffer". Deeper write
+//! buffers (as later VAXes used) absorb the CALLS push burst: the W-Stall
+//! column should collapse while everything else barely moves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax780_core::Experiment;
+use vax_analysis::tables::Table8;
+use vax_analysis::Column;
+use vax_mem::MemConfig;
+use vax_workloads::WorkloadKind;
+
+const N: u64 = 50_000;
+
+fn wstall_with(entries: u32) -> (f64, f64) {
+    let mem = MemConfig {
+        write_buffer_entries: entries,
+        ..MemConfig::default()
+    };
+    let a = Experiment::new(WorkloadKind::TimesharingLight)
+        .warmup(15_000)
+        .instructions(N)
+        .mem_config(mem)
+        .run()
+        .analysis();
+    let t8 = Table8::from_analysis(&a);
+    (t8.col_totals[Column::WStall.index()], t8.cpi)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== ABLATION: write-buffer depth vs W-Stall ===");
+    println!("{:>8} {:>14} {:>8}", "entries", "W-Stall/instr", "CPI");
+    let mut series = Vec::new();
+    for entries in [1u32, 2, 4, 8] {
+        let (ws, cpi) = wstall_with(entries);
+        println!("{entries:>8} {ws:>14.3} {cpi:>8.3}");
+        series.push(ws);
+    }
+    assert!(
+        series.windows(2).all(|w| w[0] >= w[1] - 1e-6),
+        "W-stall must fall (weakly) with buffer depth: {series:?}"
+    );
+    assert!(
+        series[0] > 2.0 * series[3].max(0.01),
+        "a deep buffer should collapse most write stalls"
+    );
+    let mut group = c.benchmark_group("write_buffer");
+    group.sample_size(10);
+    group.bench_function("experiment_depth4", |b| {
+        b.iter(|| black_box(wstall_with(4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

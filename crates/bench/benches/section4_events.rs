@@ -1,0 +1,57 @@
+//! Regenerates the §3.3/§4 event statistics: IB behaviour, cache and TB
+//! miss rates, TB service time, unaligned references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::{paper, Section4Stats};
+use vax_bench::{compare, composite_analysis};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let s4 = Section4Stats::from_analysis(analysis);
+    println!("\n=== SECTION 3/4: Event Rates per Instruction ===");
+    compare("IB refs/instr", paper::IB_REFS_PER_INSTR.value, s4.ib_refs_per_instr);
+    compare("IB bytes/ref", paper::IB_BYTES_PER_REF.value, s4.ib_bytes_per_ref);
+    compare(
+        "cache read misses/instr",
+        paper::CACHE_MISSES_PER_INSTR.value,
+        s4.cache_miss_per_instr(),
+    );
+    compare(
+        "  I-stream misses",
+        paper::CACHE_MISSES_I_PER_INSTR.value,
+        s4.cache_miss_i_per_instr,
+    );
+    compare(
+        "  D-stream misses",
+        paper::CACHE_MISSES_D_PER_INSTR.value,
+        s4.cache_miss_d_per_instr,
+    );
+    compare("TB misses/instr", paper::TB_MISSES_PER_INSTR.value, s4.tb_miss_per_instr);
+    compare(
+        "TB service cycles",
+        paper::TB_SERVICE_CYCLES.value,
+        s4.tb_service_cycles,
+    );
+    compare(
+        "  read-stall share",
+        paper::TB_SERVICE_READ_STALL.value,
+        s4.tb_service_read_stall,
+    );
+    compare(
+        "unaligned refs/instr",
+        paper::UNALIGNED_PER_INSTR.value,
+        s4.unaligned_per_instr,
+    );
+    compare(
+        "read:write ratio",
+        paper::READ_WRITE_RATIO.value,
+        s4.read_write_ratio(),
+    );
+    c.bench_function("reduce_section4", |b| {
+        b.iter(|| black_box(Section4Stats::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates Table 1 — opcode group frequency — and times its
+//! reduction from the raw histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::paper;
+use vax_analysis::tables::Table1;
+use vax_arch::OpcodeGroup;
+use vax_bench::{compare, composite_analysis};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t1 = Table1::from_analysis(analysis);
+    println!("\n=== TABLE 1: Opcode Group Frequency (percent) ===");
+    for group in OpcodeGroup::ALL {
+        compare(
+            group.name(),
+            paper::table1_group_pct(group).value,
+            t1.pct(group),
+        );
+    }
+    c.bench_function("reduce_table1", |b| {
+        b.iter(|| black_box(Table1::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

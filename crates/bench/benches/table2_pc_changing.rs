@@ -1,0 +1,27 @@
+//! Regenerates Table 2 — PC-changing instructions: frequency and actual
+//! branch rate per class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::paper;
+use vax_analysis::tables::Table2;
+use vax_bench::{compare, composite_analysis};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t2 = Table2::from_analysis(analysis);
+    println!("\n=== TABLE 2: PC-Changing Instructions ===");
+    for (class, pct, taken, _) in &t2.rows {
+        let (p_pct, p_taken) = paper::table2(*class);
+        compare(&format!("{} %inst", class.name()), p_pct.value, *pct);
+        compare(&format!("{} %taken", class.name()), p_taken.value, *taken);
+    }
+    compare("TOTAL %inst", paper::TABLE2_TOTAL_PCT.value, t2.total.0);
+    compare("TOTAL %taken", paper::TABLE2_TAKEN_PCT.value, t2.total.1);
+    c.bench_function("reduce_table2", |b| {
+        b.iter(|| black_box(Table2::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Table 4 — operand specifier mode distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::paper;
+use vax_analysis::tables::Table4;
+use vax_arch::SpecModeClass;
+use vax_bench::{compare, composite_analysis};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t4 = Table4::from_analysis(analysis);
+    println!("\n=== TABLE 4: Operand Specifier Distribution (total %) ===");
+    for class in SpecModeClass::ALL {
+        compare(
+            class.name(),
+            paper::table4::total_pct(class).value,
+            t4.total_pct(class),
+        );
+    }
+    compare(
+        "Percent indexed",
+        paper::table4::INDEXED_TOTAL_PCT.value,
+        t4.indexed.2,
+    );
+    c.bench_function("reduce_table4", |b| {
+        b.iter(|| black_box(Table4::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

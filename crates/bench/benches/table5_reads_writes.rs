@@ -1,0 +1,49 @@
+//! Regenerates Table 5 — D-stream reads and writes per average
+//! instruction by source.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::paper::{self, table5};
+use vax_analysis::tables::{Table5, Table5Source};
+use vax_arch::OpcodeGroup;
+use vax_bench::{compare, composite_analysis};
+
+fn paper_row(src: &Table5Source) -> (f64, f64) {
+    let (r, w) = match src {
+        Table5Source::Spec1 => table5::SPEC1,
+        Table5Source::Spec2to6 => table5::SPEC2_6,
+        Table5Source::Group(OpcodeGroup::Simple) => table5::SIMPLE,
+        Table5Source::Group(OpcodeGroup::Field) => table5::FIELD,
+        Table5Source::Group(OpcodeGroup::Float) => table5::FLOAT,
+        Table5Source::Group(OpcodeGroup::CallRet) => table5::CALLRET,
+        Table5Source::Group(OpcodeGroup::System) => table5::SYSTEM,
+        Table5Source::Group(OpcodeGroup::Character) => table5::CHARACTER,
+        Table5Source::Group(OpcodeGroup::Decimal) => table5::DECIMAL,
+        Table5Source::Other => table5::OTHER,
+    };
+    (r.value, w.value)
+}
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t5 = Table5::from_analysis(analysis);
+    println!("\n=== TABLE 5: Reads and Writes per Instruction ===");
+    for (src, reads, writes) in &t5.rows {
+        let (pr, pw) = paper_row(src);
+        compare(&format!("{} reads", src.name()), pr, *reads);
+        compare(&format!("{} writes", src.name()), pw, *writes);
+    }
+    compare("TOTAL reads", table5::TOTAL.0.value, t5.total.0);
+    compare("TOTAL writes", table5::TOTAL.1.value, t5.total.1);
+    compare(
+        "read:write ratio",
+        paper::READ_WRITE_RATIO.value,
+        t5.read_write_ratio(),
+    );
+    c.bench_function("reduce_table5", |b| {
+        b.iter(|| black_box(Table5::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

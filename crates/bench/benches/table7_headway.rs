@@ -1,0 +1,34 @@
+//! Regenerates Table 7 — interrupt and context-switch headway.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::paper;
+use vax_analysis::tables::Table7;
+use vax_bench::{compare, composite_analysis};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t7 = Table7::from_analysis(analysis);
+    println!("\n=== TABLE 7: Interrupt and Context-Switch Headway (instructions) ===");
+    compare(
+        "Software int requests",
+        paper::SOFT_INT_REQUEST_HEADWAY.value,
+        t7.soft_int_request_headway,
+    );
+    compare(
+        "HW + SW interrupts",
+        paper::INTERRUPT_HEADWAY.value,
+        t7.interrupt_headway,
+    );
+    compare(
+        "Context switches",
+        paper::CONTEXT_SWITCH_HEADWAY.value,
+        t7.context_switch_headway,
+    );
+    c.bench_function("reduce_table7", |b| {
+        b.iter(|| black_box(Table7::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Regenerates Table 8 — the headline cycles-per-instruction breakdown —
+//! and benchmarks raw simulator throughput (simulated instructions per
+//! wall-clock second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use upc_monitor::NullSink;
+use vax_analysis::paper::table8;
+use vax_analysis::tables::Table8;
+use vax_analysis::Column;
+use vax_bench::{compare, composite_analysis};
+use vax_ucode::Row;
+use vax_workloads::{build_machine, profile, WorkloadKind};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t8 = Table8::from_analysis(analysis);
+    println!("\n=== TABLE 8: Average VAX Instruction Timing (cycles/instruction) ===");
+    println!("{t8}");
+    for (i, col) in Column::ALL.iter().enumerate() {
+        compare(
+            &format!("column {}", col.name()),
+            table8::COL_TOTALS[i].value,
+            t8.col_totals[i],
+        );
+    }
+    for row in Row::ALL {
+        compare(
+            &format!("row {}", row.name()),
+            table8::ROW_TOTALS[row.index()].value,
+            t8.row_total(row),
+        );
+    }
+    compare("CPI", table8::CPI.value, t8.cpi);
+    compare(
+        "decode+spec fraction",
+        table8::DECODE_PLUS_SPEC_FRACTION.value,
+        t8.decode_plus_spec_fraction(),
+    );
+
+    // Simulator throughput: how fast the machine simulates.
+    let mut group = c.benchmark_group("simulator");
+    const CHUNK: u64 = 20_000;
+    group.throughput(Throughput::Elements(CHUNK));
+    group.sample_size(10);
+    let mut machine = build_machine(&profile(WorkloadKind::TimesharingLight));
+    let mut sink = NullSink;
+    machine.run_instructions(20_000, &mut sink).expect("warmup");
+    group.bench_function("instructions", |b| {
+        b.iter(|| {
+            machine
+                .run_instructions(black_box(CHUNK), &mut sink)
+                .expect("runs")
+        })
+    });
+    group.finish();
+
+    c.bench_function("reduce_table8", |b| {
+        b.iter(|| black_box(Table8::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Table 9 — cycles per instruction within each group
+//! (the two-orders-of-magnitude spread from SIMPLE to DECIMAL).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vax_analysis::paper;
+use vax_analysis::tables::Table9;
+use vax_arch::OpcodeGroup;
+use vax_bench::{compare, composite_analysis};
+
+fn bench(c: &mut Criterion) {
+    let analysis = composite_analysis();
+    let t9 = Table9::from_analysis(analysis);
+    println!("\n=== TABLE 9: Cycles per Instruction Within Each Group ===");
+    for group in OpcodeGroup::ALL {
+        compare(
+            group.name(),
+            paper::table9_total(group).value,
+            t9.total(group),
+        );
+    }
+    // The paper's qualitative claim: two orders of magnitude of spread.
+    let spread = t9.total(OpcodeGroup::Character).max(t9.total(OpcodeGroup::Decimal))
+        / t9.total(OpcodeGroup::Simple);
+    println!("spread CHARACTER-or-DECIMAL / SIMPLE = {spread:.0}x (paper: ~100x)");
+    c.bench_function("reduce_table9", |b| {
+        b.iter(|| black_box(Table9::from_analysis(black_box(analysis))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared machinery for the benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper's
+//! evaluation: it runs the composite measurement (all five workloads),
+//! prints the measured rows next to the paper's published rows, and then
+//! lets Criterion time the interesting computational kernel (the
+//! simulation itself for Table 8, the histogram reduction for the
+//! others).
+
+use std::sync::OnceLock;
+use vax780_core::CompositeStudy;
+use vax_analysis::Analysis;
+
+/// Instructions measured per workload in bench runs. Large enough for
+/// stable statistics, small enough to keep `cargo bench` pleasant.
+pub const BENCH_INSTRUCTIONS: u64 = 60_000;
+
+static COMPOSITE: OnceLock<Analysis> = OnceLock::new();
+
+/// The composite analysis, computed once per bench process.
+pub fn composite_analysis() -> &'static Analysis {
+    COMPOSITE.get_or_init(|| {
+        eprintln!(
+            "[bench] running composite: 5 workloads x {BENCH_INSTRUCTIONS} instructions ..."
+        );
+        let (_, analysis) = CompositeStudy::new(BENCH_INSTRUCTIONS).warmup(15_000).run();
+        analysis
+    })
+}
+
+/// Print a labelled paper-vs-measured line.
+pub fn compare(label: &str, paper: f64, measured: f64) {
+    let err = if paper == 0.0 {
+        0.0
+    } else {
+        100.0 * (measured - paper) / paper
+    };
+    println!("{label:<34} paper {paper:>9.3}   measured {measured:>9.3}   ({err:+.1}%)");
+}

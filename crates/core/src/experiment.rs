@@ -1,0 +1,148 @@
+//! A single measurement experiment on one workload.
+
+use upc_monitor::{Command, HistogramBoard, Histogram, NullSink};
+use vax_analysis::Analysis;
+use vax_cpu::CpuConfig;
+use vax_mem::{HwCounters, MemConfig};
+use vax_ucode::ControlStore;
+use vax_workloads::{build_machine_with_config, profile, ProfileParams, WorkloadKind};
+
+/// One workload measurement: build, warm up, measure.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    params: ProfileParams,
+    cpu_config: CpuConfig,
+    mem_config: MemConfig,
+    warmup_instructions: u64,
+    instructions: u64,
+}
+
+impl Experiment {
+    /// An experiment on one of the paper's five workloads, with default
+    /// lengths suitable for tests and quick runs.
+    pub fn new(kind: WorkloadKind) -> Experiment {
+        Experiment::with_params(profile(kind))
+    }
+
+    /// An experiment on custom profile parameters.
+    pub fn with_params(params: ProfileParams) -> Experiment {
+        Experiment {
+            params,
+            cpu_config: CpuConfig::default(),
+            mem_config: MemConfig::default(),
+            warmup_instructions: 30_000,
+            instructions: 200_000,
+        }
+    }
+
+    /// Set the measured instruction count.
+    pub fn instructions(mut self, n: u64) -> Experiment {
+        self.instructions = n;
+        self
+    }
+
+    /// Set the warm-up length (cache/TB steady state before measuring).
+    pub fn warmup(mut self, n: u64) -> Experiment {
+        self.warmup_instructions = n;
+        self
+    }
+
+    /// Override the CPU configuration (ablations).
+    pub fn cpu_config(mut self, config: CpuConfig) -> Experiment {
+        self.cpu_config = config;
+        self
+    }
+
+    /// Override the memory configuration (ablations).
+    pub fn mem_config(mut self, config: MemConfig) -> Experiment {
+        self.mem_config = config;
+        self
+    }
+
+    /// Run the measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine halts or faults unrecoverably — generated
+    /// workloads never do; such a panic is a model bug.
+    pub fn run(&self) -> MeasuredWorkload {
+        let mut machine =
+            build_machine_with_config(&self.params, self.cpu_config, self.mem_config);
+        let mut null = NullSink;
+        // Warm-up: caches, TB, scheduler all reach steady state.
+        machine
+            .run_instructions(self.warmup_instructions, &mut null)
+            .expect("warmup runs");
+        // Measurement boundary: clear the second instrument too.
+        machine.cpu.mem_mut().counters_mut().clear();
+        let insns_before = machine.cpu.instructions();
+        let cycles_before = machine.cpu.now();
+
+        let mut board = HistogramBoard::new();
+        board.execute(Command::Start);
+        while machine.cpu.instructions() - insns_before < self.instructions {
+            // Null-process exclusion (§2.2): collection is suspended
+            // while the idle loop runs.
+            if machine.at_idle() {
+                machine.step(&mut null).expect("workload runs");
+            } else {
+                machine.step(&mut board).expect("workload runs");
+            }
+        }
+        board.execute(Command::Stop);
+
+        MeasuredWorkload {
+            name: self.params.name,
+            histogram: board.into_histogram(),
+            counters: *machine.cpu.mem().counters(),
+            instructions: machine.cpu.instructions() - insns_before,
+            cycles: machine.cpu.now() - cycles_before,
+        }
+    }
+}
+
+/// The outcome of one measured workload.
+#[derive(Debug, Clone)]
+pub struct MeasuredWorkload {
+    /// Workload name.
+    pub name: &'static str,
+    /// The raw µPC histogram.
+    pub histogram: Histogram,
+    /// The second instrument's counters.
+    pub counters: HwCounters,
+    /// Instructions retired while measuring.
+    pub instructions: u64,
+    /// Cycles elapsed while measuring.
+    pub cycles: u64,
+}
+
+impl MeasuredWorkload {
+    /// Digest with the standard microcode listing.
+    pub fn analysis(&self) -> Analysis {
+        let cs = ControlStore::build();
+        Analysis::new(&self.histogram, &cs, &self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_produces_consistent_measurement() {
+        let m = Experiment::new(WorkloadKind::TimesharingLight)
+            .warmup(5_000)
+            .instructions(20_000)
+            .run();
+        let a = m.analysis();
+        // The histogram's own instruction count is close to the retired
+        // count (interrupt services execute instructions too, so the
+        // exec-entry count can exceed the boundary by a few).
+        let ratio = a.instructions() as f64 / m.instructions as f64;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+        // Every cycle classified.
+        assert!(a.total_cycles() > 0);
+        let cpi = a.cpi();
+        assert!((3.0..25.0).contains(&cpi), "CPI {cpi}");
+    }
+}

@@ -1,0 +1,80 @@
+//! The composite study: all five workloads, summed.
+
+use crate::{Experiment, MeasuredWorkload};
+use upc_monitor::Histogram;
+use vax_analysis::Analysis;
+use vax_mem::HwCounters;
+use vax_ucode::ControlStore;
+use vax_workloads::WorkloadKind;
+
+/// The paper's full experimental campaign: five workloads, one composite.
+#[derive(Debug, Clone)]
+pub struct CompositeStudy {
+    instructions_each: u64,
+    warmup_each: u64,
+    kinds: Vec<WorkloadKind>,
+}
+
+impl CompositeStudy {
+    /// All five workloads at the given per-workload measurement length.
+    pub fn new(instructions_each: u64) -> CompositeStudy {
+        CompositeStudy {
+            instructions_each,
+            warmup_each: 30_000,
+            kinds: WorkloadKind::ALL.to_vec(),
+        }
+    }
+
+    /// Restrict to a subset of workloads (tests, quick runs).
+    pub fn with_kinds(mut self, kinds: &[WorkloadKind]) -> CompositeStudy {
+        self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// Set the per-workload warmup.
+    pub fn warmup(mut self, n: u64) -> CompositeStudy {
+        self.warmup_each = n;
+        self
+    }
+
+    /// Run every workload and return (per-workload results, composite
+    /// analysis) — "the sum of the five µPC histograms" (§2.2).
+    pub fn run(&self) -> (Vec<MeasuredWorkload>, Analysis) {
+        let results: Vec<MeasuredWorkload> = self
+            .kinds
+            .iter()
+            .map(|&kind| {
+                Experiment::new(kind)
+                    .warmup(self.warmup_each)
+                    .instructions(self.instructions_each)
+                    .run()
+            })
+            .collect();
+        let mut histogram = Histogram::new();
+        let mut counters = HwCounters::new();
+        for r in &results {
+            histogram.merge(&r.histogram);
+            counters.merge(&r.counters);
+        }
+        let cs = ControlStore::build();
+        let analysis = Analysis::new(&histogram, &cs, &counters);
+        (results, analysis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_merges_workloads() {
+        let (results, analysis) = CompositeStudy::new(8_000)
+            .warmup(3_000)
+            .with_kinds(&[WorkloadKind::TimesharingLight, WorkloadKind::SciEng])
+            .run();
+        assert_eq!(results.len(), 2);
+        let per_sum: u64 = results.iter().map(|r| r.analysis().instructions()).sum();
+        assert_eq!(analysis.instructions(), per_sum);
+        assert!(analysis.cpi() > 2.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The histogram count board with its Unibus-style command interface.
+
+use crate::{CycleSink, Histogram};
+use vax_ucode::MicroAddr;
+
+/// Commands the host issues to the board over the Unibus (paper §2.2:
+/// "Unibus commands can be used to start and stop data collection, as well
+/// as to clear and read the histogram count buckets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Begin counting.
+    Start,
+    /// Stop counting (the board stays readable).
+    Stop,
+    /// Zero all buckets.
+    Clear,
+    /// Read one bucket's (issue, stall) counts.
+    ReadBucket(MicroAddr),
+}
+
+/// Response to a [`Command`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandResponse {
+    /// Command completed with no data.
+    Done,
+    /// Bucket contents: (non-stalled count, stalled count).
+    Bucket(u64, u64),
+}
+
+/// The count board: 16 K dual-plane buckets and a collecting switch.
+///
+/// While stopped, [`CycleSink`] events are ignored — this is how the
+/// experiment driver excludes the Null process (paper §2.2): collection is
+/// stopped on idle-loop entry and restarted on exit.
+#[derive(Debug, Clone)]
+pub struct HistogramBoard {
+    counts: Histogram,
+    collecting: bool,
+}
+
+impl HistogramBoard {
+    /// A cleared, stopped board.
+    pub fn new() -> HistogramBoard {
+        HistogramBoard {
+            counts: Histogram::new(),
+            collecting: false,
+        }
+    }
+
+    /// Execute a host command.
+    pub fn execute(&mut self, command: Command) -> CommandResponse {
+        match command {
+            Command::Start => {
+                self.collecting = true;
+                CommandResponse::Done
+            }
+            Command::Stop => {
+                self.collecting = false;
+                CommandResponse::Done
+            }
+            Command::Clear => {
+                self.counts.clear();
+                CommandResponse::Done
+            }
+            Command::ReadBucket(addr) => {
+                CommandResponse::Bucket(self.counts.issue(addr), self.counts.stall(addr))
+            }
+        }
+    }
+
+    /// Is the board currently counting?
+    pub fn is_collecting(&self) -> bool {
+        self.collecting
+    }
+
+    /// Read out the full histogram (the data-reduction step).
+    pub fn snapshot(&self) -> Histogram {
+        self.counts.clone()
+    }
+
+    /// Consume the board, yielding its histogram.
+    pub fn into_histogram(self) -> Histogram {
+        self.counts
+    }
+}
+
+impl Default for HistogramBoard {
+    fn default() -> Self {
+        HistogramBoard::new()
+    }
+}
+
+impl CycleSink for HistogramBoard {
+    #[inline]
+    fn record_issue(&mut self, addr: MicroAddr) {
+        if self.collecting {
+            self.counts.bump_issue(addr);
+        }
+    }
+
+    #[inline]
+    fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
+        if self.collecting {
+            self.counts.bump_stall(addr, cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopped_board_ignores_events() {
+        let mut b = HistogramBoard::new();
+        b.record_issue(MicroAddr::new(1));
+        assert_eq!(b.snapshot().total_cycles(), 0);
+        b.execute(Command::Start);
+        b.record_issue(MicroAddr::new(1));
+        b.execute(Command::Stop);
+        b.record_issue(MicroAddr::new(1));
+        assert_eq!(b.snapshot().issue(MicroAddr::new(1)), 1);
+    }
+
+    #[test]
+    fn read_bucket_returns_both_planes() {
+        let mut b = HistogramBoard::new();
+        b.execute(Command::Start);
+        b.record_issue(MicroAddr::new(9));
+        b.record_stall(MicroAddr::new(9), 4);
+        match b.execute(Command::ReadBucket(MicroAddr::new(9))) {
+            CommandResponse::Bucket(i, s) => {
+                assert_eq!((i, s), (1, 4));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_collecting_state() {
+        let mut b = HistogramBoard::new();
+        b.execute(Command::Start);
+        b.record_issue(MicroAddr::new(2));
+        b.execute(Command::Clear);
+        assert!(b.is_collecting());
+        assert_eq!(b.snapshot().total_cycles(), 0);
+    }
+}

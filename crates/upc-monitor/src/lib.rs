@@ -1,0 +1,77 @@
+//! The µPC histogram monitor — the paper's primary instrument.
+//!
+//! A general-purpose histogram count board with 16 K addressable count
+//! locations, incremented at the microcode execution rate; a
+//! processor-specific interface addresses one bucket per control-store
+//! location (paper §2.2). The board keeps **two** sets of counts: one for
+//! non-stalled microinstructions and one for stalled ones (§4.3); read
+//! stalls and write stalls are told apart later, by the static class of the
+//! stalled address in the microcode listing.
+//!
+//! The monitor is totally passive: it observes (address, stall) pairs and
+//! has no effect on execution — mirroring the paper's "no Unibus activity
+//! while monitoring" property.
+//!
+//! # Example
+//!
+//! ```
+//! use upc_monitor::{Command, CycleSink, HistogramBoard};
+//! use vax_ucode::MicroAddr;
+//!
+//! let mut board = HistogramBoard::new();
+//! board.execute(Command::Start);
+//! board.record_issue(MicroAddr::new(7));
+//! board.record_stall(MicroAddr::new(7), 3);
+//! board.execute(Command::Stop);
+//! let hist = board.snapshot();
+//! assert_eq!(hist.issue(MicroAddr::new(7)), 1);
+//! assert_eq!(hist.stall(MicroAddr::new(7)), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod board;
+pub mod codec;
+mod histogram;
+
+pub use board::{Command, CommandResponse, HistogramBoard};
+pub use histogram::Histogram;
+
+use vax_ucode::MicroAddr;
+
+/// Passive receiver of per-cycle microinstruction events.
+///
+/// The CPU model drives one of these; [`HistogramBoard`] is the paper's
+/// instrument, [`NullSink`] runs unmonitored (the board switched off).
+pub trait CycleSink {
+    /// One microinstruction issued (executed, not stalled) at `addr`.
+    fn record_issue(&mut self, addr: MicroAddr);
+
+    /// `cycles` stall cycles charged to the microinstruction at `addr`.
+    fn record_stall(&mut self, addr: MicroAddr, cycles: u32);
+}
+
+/// A sink that discards everything (monitor detached).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl CycleSink for NullSink {
+    #[inline]
+    fn record_issue(&mut self, _addr: MicroAddr) {}
+
+    #[inline]
+    fn record_stall(&mut self, _addr: MicroAddr, _cycles: u32) {}
+}
+
+impl<S: CycleSink + ?Sized> CycleSink for &mut S {
+    #[inline]
+    fn record_issue(&mut self, addr: MicroAddr) {
+        (**self).record_issue(addr);
+    }
+
+    #[inline]
+    fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
+        (**self).record_stall(addr, cycles);
+    }
+}

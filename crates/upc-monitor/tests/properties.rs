@@ -1,0 +1,82 @@
+//! Property tests for the histogram board and the text codec.
+
+use proptest::prelude::*;
+use upc_monitor::{codec, Command, CycleSink, Histogram, HistogramBoard};
+use vax_ucode::MicroAddr;
+
+fn events() -> impl Strategy<Value = Vec<(u16, bool, u32)>> {
+    prop::collection::vec(
+        (0u16..0x4000, any::<bool>(), 1u32..100),
+        0..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Text round trip is exact for any histogram.
+    #[test]
+    fn codec_round_trips(evs in events()) {
+        let mut h = Histogram::new();
+        for (a, is_stall, n) in evs {
+            let addr = MicroAddr::new(a);
+            if is_stall {
+                h.bump_stall(addr, n);
+            } else {
+                h.add_issue(addr, u64::from(n));
+            }
+        }
+        let text = codec::to_text(&h);
+        let back = codec::from_text(&text).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    /// Merge is commutative and total counts add.
+    #[test]
+    fn merge_commutes(ea in events(), eb in events()) {
+        let build = |evs: &[(u16, bool, u32)]| {
+            let mut h = Histogram::new();
+            for &(a, is_stall, n) in evs {
+                let addr = MicroAddr::new(a);
+                if is_stall {
+                    h.bump_stall(addr, n);
+                } else {
+                    h.add_issue(addr, u64::from(n));
+                }
+            }
+            h
+        };
+        let (ha, hb) = (build(&ea), build(&eb));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.total_cycles(), ha.total_cycles() + hb.total_cycles());
+    }
+
+    /// Start/stop gating: events before start and after stop never count.
+    #[test]
+    fn board_gates_collection(n_before in 0u32..20, n_during in 0u32..20, n_after in 0u32..20) {
+        let mut b = HistogramBoard::new();
+        let a = MicroAddr::new(7);
+        for _ in 0..n_before {
+            b.record_issue(a);
+        }
+        b.execute(Command::Start);
+        for _ in 0..n_during {
+            b.record_issue(a);
+        }
+        b.execute(Command::Stop);
+        for _ in 0..n_after {
+            b.record_issue(a);
+        }
+        prop_assert_eq!(b.snapshot().issue(a), u64::from(n_during));
+    }
+
+    /// The codec never panics on arbitrary input.
+    #[test]
+    fn codec_handles_garbage(text in ".{0,200}") {
+        let _ = codec::from_text(&text);
+    }
+}

@@ -1,0 +1,27 @@
+//! Reduction of µPC histograms to the paper's published artifacts.
+//!
+//! The analysis consumes exactly what the paper's analysts had:
+//!
+//! 1. the raw dual-plane histogram ([`upc_monitor::Histogram`]),
+//! 2. the microcode listing ([`vax_ucode::ControlStore`]),
+//! 3. the companion hardware-monitor counters
+//!    ([`vax_mem::HwCounters`]) for the events microcode cannot see
+//!    (IB references, cache misses — §4.1–4.2).
+//!
+//! [`Analysis`] digests those into event counts; the `tables` module
+//! renders Tables 1–9; [`paper`] holds the published reference values
+//! (with OCR-provenance flags); [`report`] prints paper-vs-measured
+//! comparisons for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+pub mod paper;
+pub mod report;
+pub mod section4;
+pub mod tables;
+pub mod whatif;
+
+pub use analysis::{Analysis, Column};
+pub use section4::Section4Stats;

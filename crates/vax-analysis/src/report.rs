@@ -1,0 +1,285 @@
+//! Paper-vs-measured comparison reports (the EXPERIMENTS.md generator).
+
+use crate::paper::{self, Provenance, Ref};
+use crate::tables::{
+    Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
+};
+use crate::{Analysis, Section4Stats};
+use std::fmt::Write as _;
+use vax_arch::{OpcodeGroup, SpecModeClass};
+use vax_ucode::Row;
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What is being compared.
+    pub label: String,
+    /// Published value.
+    pub paper: Ref,
+    /// Simulated value.
+    pub measured: f64,
+}
+
+impl Comparison {
+    /// Relative error against the paper value (absolute when the paper
+    /// value is zero).
+    pub fn rel_error(&self) -> f64 {
+        if self.paper.value == 0.0 {
+            self.measured.abs()
+        } else {
+            (self.measured - self.paper.value).abs() / self.paper.value.abs()
+        }
+    }
+
+    fn flag(&self) -> &'static str {
+        match self.paper.provenance {
+            Provenance::Exact => " ",
+            Provenance::Reconstructed => "~",
+        }
+    }
+}
+
+/// The full paper-vs-measured report for one composite measurement.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// All comparisons, grouped by experiment label order.
+    pub comparisons: Vec<Comparison>,
+    /// Rendered tables (measured).
+    pub rendered_tables: String,
+}
+
+impl StudyReport {
+    /// Build from a digested measurement.
+    pub fn new(a: &Analysis) -> StudyReport {
+        let mut cmp = Vec::new();
+        let push = |cmp: &mut Vec<Comparison>, label: &str, paper: Ref, measured: f64| {
+            cmp.push(Comparison {
+                label: label.to_string(),
+                paper,
+                measured,
+            });
+        };
+
+        // Table 1.
+        let t1 = Table1::from_analysis(a);
+        for g in OpcodeGroup::ALL {
+            push(
+                &mut cmp,
+                &format!("T1 {} %", g.name()),
+                paper::table1_group_pct(g),
+                t1.pct(g),
+            );
+        }
+        // Table 2.
+        let t2 = Table2::from_analysis(a);
+        for (class, pct, taken, _) in &t2.rows {
+            let (p_pct, p_taken) = paper::table2(*class);
+            push(&mut cmp, &format!("T2 {} %inst", class.name()), p_pct, *pct);
+            push(
+                &mut cmp,
+                &format!("T2 {} %taken", class.name()),
+                p_taken,
+                *taken,
+            );
+        }
+        push(&mut cmp, "T2 total %inst", paper::TABLE2_TOTAL_PCT, t2.total.0);
+        push(&mut cmp, "T2 total %taken", paper::TABLE2_TAKEN_PCT, t2.total.1);
+        // Table 3.
+        let t3 = Table3::from_analysis(a);
+        push(&mut cmp, "T3 spec1/inst", paper::SPEC1_PER_INSTR, t3.spec1);
+        push(&mut cmp, "T3 spec2-6/inst", paper::SPEC2_6_PER_INSTR, t3.spec2_6);
+        push(&mut cmp, "T3 bdisp/inst", paper::BDISP_PER_INSTR, t3.bdisp);
+        // Table 4.
+        let t4 = Table4::from_analysis(a);
+        for c in SpecModeClass::ALL {
+            push(
+                &mut cmp,
+                &format!("T4 {} %", c.name()),
+                paper::table4::total_pct(c),
+                t4.total_pct(c),
+            );
+        }
+        push(
+            &mut cmp,
+            "T4 indexed %",
+            paper::table4::INDEXED_TOTAL_PCT,
+            t4.indexed.2,
+        );
+        // Table 5.
+        let t5 = Table5::from_analysis(a);
+        push(&mut cmp, "T5 reads/inst", paper::table5::TOTAL.0, t5.total.0);
+        push(&mut cmp, "T5 writes/inst", paper::table5::TOTAL.1, t5.total.1);
+        push(
+            &mut cmp,
+            "T5 read:write",
+            paper::READ_WRITE_RATIO,
+            t5.read_write_ratio(),
+        );
+        // Table 6.
+        let t6 = Table6::from_analysis(a);
+        push(&mut cmp, "T6 bytes/inst", paper::INSTRUCTION_BYTES, t6.total_bytes);
+        push(&mut cmp, "T6 bytes/spec", paper::SPEC_SIZE_BYTES, t6.est_spec_bytes);
+        // Table 7.
+        let t7 = Table7::from_analysis(a);
+        push(
+            &mut cmp,
+            "T7 softint headway",
+            paper::SOFT_INT_REQUEST_HEADWAY,
+            t7.soft_int_request_headway,
+        );
+        push(
+            &mut cmp,
+            "T7 interrupt headway",
+            paper::INTERRUPT_HEADWAY,
+            t7.interrupt_headway,
+        );
+        push(
+            &mut cmp,
+            "T7 ctx-switch headway",
+            paper::CONTEXT_SWITCH_HEADWAY,
+            t7.context_switch_headway,
+        );
+        // Table 8.
+        let t8 = Table8::from_analysis(a);
+        push(&mut cmp, "T8 CPI", paper::table8::CPI, t8.cpi);
+        for (i, col) in crate::Column::ALL.iter().enumerate() {
+            push(
+                &mut cmp,
+                &format!("T8 col {}", col.name()),
+                paper::table8::COL_TOTALS[i],
+                t8.col_totals[i],
+            );
+        }
+        for row in Row::ALL {
+            push(
+                &mut cmp,
+                &format!("T8 row {}", row.name()),
+                paper::table8::ROW_TOTALS[row.index()],
+                t8.row_total(row),
+            );
+        }
+        push(
+            &mut cmp,
+            "T8 decode+spec fraction",
+            paper::table8::DECODE_PLUS_SPEC_FRACTION,
+            t8.decode_plus_spec_fraction(),
+        );
+        // Table 9.
+        let t9 = Table9::from_analysis(a);
+        for g in OpcodeGroup::ALL {
+            push(
+                &mut cmp,
+                &format!("T9 {} cycles", g.name()),
+                paper::table9_total(g),
+                t9.total(g),
+            );
+        }
+        // Section 4.
+        let s4 = Section4Stats::from_analysis(a);
+        push(&mut cmp, "S4 IB refs/inst", paper::IB_REFS_PER_INSTR, s4.ib_refs_per_instr);
+        push(&mut cmp, "S4 IB bytes/ref", paper::IB_BYTES_PER_REF, s4.ib_bytes_per_ref);
+        push(
+            &mut cmp,
+            "S4 cache miss/inst",
+            paper::CACHE_MISSES_PER_INSTR,
+            s4.cache_miss_per_instr(),
+        );
+        push(
+            &mut cmp,
+            "S4 cache miss I/inst",
+            paper::CACHE_MISSES_I_PER_INSTR,
+            s4.cache_miss_i_per_instr,
+        );
+        push(
+            &mut cmp,
+            "S4 cache miss D/inst",
+            paper::CACHE_MISSES_D_PER_INSTR,
+            s4.cache_miss_d_per_instr,
+        );
+        push(&mut cmp, "S4 TB miss/inst", paper::TB_MISSES_PER_INSTR, s4.tb_miss_per_instr);
+        push(
+            &mut cmp,
+            "S4 TB service cycles",
+            paper::TB_SERVICE_CYCLES,
+            s4.tb_service_cycles,
+        );
+        push(
+            &mut cmp,
+            "S4 TB svc read stall",
+            paper::TB_SERVICE_READ_STALL,
+            s4.tb_service_read_stall,
+        );
+        push(
+            &mut cmp,
+            "S4 unaligned/inst",
+            paper::UNALIGNED_PER_INSTR,
+            s4.unaligned_per_instr,
+        );
+
+        let mut rendered = String::new();
+        let _ = write!(
+            rendered,
+            "{t1}\n{t2}\n{t3}\n{t4}\n{t5}\n{t6}\n{t7}\n{t8}\n{t9}\n{s4}"
+        );
+        StudyReport {
+            comparisons: cmp,
+            rendered_tables: rendered,
+        }
+    }
+
+    /// Render the paper-vs-measured table (markdown-ish).
+    pub fn comparison_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<30} {:>12} {:>12} {:>9}",
+            "Quantity (~ = reconstructed)", "Paper", "Measured", "RelErr"
+        );
+        for c in &self.comparisons {
+            let _ = writeln!(
+                out,
+                "{:<30} {:>11.3}{} {:>12.3} {:>8.1}%",
+                c.label,
+                c.paper.value,
+                c.flag(),
+                c.measured,
+                100.0 * c.rel_error()
+            );
+        }
+        out
+    }
+
+    /// Look up one comparison by label.
+    pub fn get(&self, label: &str) -> Option<&Comparison> {
+        self.comparisons.iter().find(|c| c.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::Histogram;
+    use vax_mem::HwCounters;
+    use vax_ucode::ControlStore;
+
+    #[test]
+    fn report_builds_even_on_empty_measurement() {
+        let cs = ControlStore::build();
+        let h = Histogram::new();
+        let a = Analysis::new(&h, &cs, &HwCounters::new());
+        let r = StudyReport::new(&a);
+        assert!(r.get("T8 CPI").is_some());
+        assert!(r.comparison_table().contains("T8 CPI"));
+        assert!(r.comparisons.len() > 50);
+    }
+
+    #[test]
+    fn rel_error_handles_zero_paper_value() {
+        let c = Comparison {
+            label: "x".into(),
+            paper: paper::exact(0.0),
+            measured: 0.25,
+        };
+        assert_eq!(c.rel_error(), 0.25);
+    }
+}

@@ -1,0 +1,105 @@
+//! Section 3/4 event statistics: the per-instruction rates reported in
+//! the paper's prose, combining the µPC histogram with the second
+//! instrument ([`vax_mem::HwCounters`]).
+
+use crate::Analysis;
+use std::fmt;
+
+/// The §3.3/§4 statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Section4Stats {
+    /// IB longword references per instruction (§4.1; hardware counter).
+    pub ib_refs_per_instr: f64,
+    /// Bytes accepted per IB reference (§4.1).
+    pub ib_bytes_per_ref: f64,
+    /// Cache read misses per instruction, I-stream (§4.2).
+    pub cache_miss_i_per_instr: f64,
+    /// Cache read misses per instruction, D-stream.
+    pub cache_miss_d_per_instr: f64,
+    /// TB misses per instruction (from the µPC histogram: miss-routine
+    /// entries).
+    pub tb_miss_per_instr: f64,
+    /// TB misses per instruction, D-stream share (hardware counter).
+    pub tb_miss_d_per_instr: f64,
+    /// TB misses per instruction, I-stream share.
+    pub tb_miss_i_per_instr: f64,
+    /// Average TB-miss service cycles (µPC histogram).
+    pub tb_service_cycles: f64,
+    /// Read-stall cycles within TB service.
+    pub tb_service_read_stall: f64,
+    /// Unaligned D-stream references per instruction (§3.3.1).
+    pub unaligned_per_instr: f64,
+    /// D-stream reads per instruction (µPC histogram).
+    pub reads_per_instr: f64,
+    /// D-stream writes per instruction.
+    pub writes_per_instr: f64,
+}
+
+impl Section4Stats {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Section4Stats {
+        let c = a.counters();
+        let per = |n: u64| a.per_instr(n);
+        Section4Stats {
+            ib_refs_per_instr: per(c.ib_requests),
+            ib_bytes_per_ref: c.ib_bytes_per_request(),
+            cache_miss_i_per_instr: per(c.cache_miss_i),
+            cache_miss_d_per_instr: per(c.cache_miss_d),
+            tb_miss_per_instr: per(a.tb_miss_entries()),
+            tb_miss_d_per_instr: per(c.tb_miss_d),
+            tb_miss_i_per_instr: per(c.tb_miss_i),
+            tb_service_cycles: a.tb_miss_service_cycles(),
+            tb_service_read_stall: a.tb_miss_read_stall_cycles(),
+            unaligned_per_instr: per(c.unaligned_refs),
+            reads_per_instr: a.total_reads_per_instr(),
+            writes_per_instr: a.total_writes_per_instr(),
+        }
+    }
+
+    /// Total cache read misses per instruction.
+    pub fn cache_miss_per_instr(&self) -> f64 {
+        self.cache_miss_i_per_instr + self.cache_miss_d_per_instr
+    }
+
+    /// Read:write ratio (§3.3.1 reports ≈2:1).
+    pub fn read_write_ratio(&self) -> f64 {
+        if self.writes_per_instr == 0.0 {
+            0.0
+        } else {
+            self.reads_per_instr / self.writes_per_instr
+        }
+    }
+}
+
+impl fmt::Display for Section4Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SECTION 3/4 — Event Rates per Instruction")?;
+        writeln!(f, "IB references            {:>8.2}", self.ib_refs_per_instr)?;
+        writeln!(f, "IB bytes per reference   {:>8.2}", self.ib_bytes_per_ref)?;
+        writeln!(
+            f,
+            "Cache read misses        {:>8.3}  (I {:.3} + D {:.3})",
+            self.cache_miss_per_instr(),
+            self.cache_miss_i_per_instr,
+            self.cache_miss_d_per_instr
+        )?;
+        writeln!(
+            f,
+            "TB misses                {:>8.4}  (D {:.4} + I {:.4})",
+            self.tb_miss_per_instr, self.tb_miss_d_per_instr, self.tb_miss_i_per_instr
+        )?;
+        writeln!(
+            f,
+            "TB service cycles        {:>8.1}  ({:.1} read stall)",
+            self.tb_service_cycles, self.tb_service_read_stall
+        )?;
+        writeln!(f, "Unaligned references     {:>8.4}", self.unaligned_per_instr)?;
+        writeln!(
+            f,
+            "Reads / writes           {:>8.3} / {:.3}  (ratio {:.2})",
+            self.reads_per_instr,
+            self.writes_per_instr,
+            self.read_write_ratio()
+        )
+    }
+}

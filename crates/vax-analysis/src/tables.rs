@@ -1,0 +1,693 @@
+//! The paper's Tables 1–9, computed from an [`Analysis`] and rendered in
+//! the published layouts.
+
+use crate::{Analysis, Column};
+use std::fmt;
+use vax_arch::{BranchClass, OpcodeGroup, SpecModeClass};
+use vax_ucode::{Row, SpecPosition};
+
+/// Table 1: opcode group frequency.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// (group, percent of instruction executions).
+    pub rows: Vec<(OpcodeGroup, f64)>,
+}
+
+impl Table1 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table1 {
+        Table1 {
+            rows: OpcodeGroup::ALL
+                .iter()
+                .map(|&g| (g, a.group_frequency(g) * 100.0))
+                .collect(),
+        }
+    }
+
+    /// Frequency of one group, percent.
+    pub fn pct(&self, group: OpcodeGroup) -> f64 {
+        self.rows
+            .iter()
+            .find(|(g, _)| *g == group)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 1 — Opcode Group Frequency")?;
+        writeln!(f, "{:<12} {:>10}", "Group", "Percent")?;
+        for (g, p) in &self.rows {
+            writeln!(f, "{:<12} {:>10.2}", g.name(), p)?;
+        }
+        Ok(())
+    }
+}
+
+/// Table 2: PC-changing instructions.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// (class, % of all instructions, % that branch, taken % of all).
+    pub rows: Vec<(BranchClass, f64, f64, f64)>,
+    /// Totals: (% of instructions, % taken, taken % of instructions).
+    pub total: (f64, f64, f64),
+}
+
+impl Table2 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table2 {
+        let mut rows = Vec::new();
+        let (mut all, mut taken) = (0u64, 0u64);
+        for class in BranchClass::ALL {
+            let n = a.branch_class_count(class);
+            let t = a.branch_taken_count(class);
+            all += n;
+            taken += t;
+            let pct = a.per_instr(n) * 100.0;
+            let taken_pct = if n == 0 { 0.0 } else { 100.0 * t as f64 / n as f64 };
+            rows.push((class, pct, taken_pct, a.per_instr(t) * 100.0));
+        }
+        let total_pct = a.per_instr(all) * 100.0;
+        let total_taken = if all == 0 {
+            0.0
+        } else {
+            100.0 * taken as f64 / all as f64
+        };
+        Table2 {
+            rows,
+            total: (total_pct, total_taken, a.per_instr(taken) * 100.0),
+        }
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 2 — PC-Changing Instructions")?;
+        writeln!(
+            f,
+            "{:<30} {:>8} {:>10} {:>12}",
+            "Type", "% inst", "% branch", "taken %inst"
+        )?;
+        for (c, pct, taken_pct, taken_of_all) in &self.rows {
+            writeln!(
+                f,
+                "{:<30} {:>8.1} {:>10.0} {:>12.1}",
+                c.name(),
+                pct,
+                taken_pct,
+                taken_of_all
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<30} {:>8.1} {:>10.0} {:>12.1}",
+            "TOTAL", self.total.0, self.total.1, self.total.2
+        )
+    }
+}
+
+/// Table 3: specifiers and branch displacements per instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3 {
+    /// First specifiers per instruction.
+    pub spec1: f64,
+    /// Later specifiers per instruction.
+    pub spec2_6: f64,
+    /// Branch displacements per instruction.
+    pub bdisp: f64,
+}
+
+impl Table3 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table3 {
+        Table3 {
+            spec1: a.per_instr(a.spec_total(SpecPosition::First)),
+            spec2_6: a.per_instr(a.spec_total(SpecPosition::Rest)),
+            bdisp: a.per_instr(a.bdisp_count()),
+        }
+    }
+
+    /// Total specifiers per instruction.
+    pub fn total_specs(&self) -> f64 {
+        self.spec1 + self.spec2_6
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 3 — Specifiers per Average Instruction")?;
+        writeln!(f, "First specifiers      {:>7.3}", self.spec1)?;
+        writeln!(f, "Other specifiers      {:>7.3}", self.spec2_6)?;
+        writeln!(f, "Branch displacements  {:>7.3}", self.bdisp)
+    }
+}
+
+/// Table 4: operand specifier mode distribution.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// (class, SPEC1 %, SPEC2-6 %, total %).
+    pub rows: Vec<(SpecModeClass, f64, f64, f64)>,
+    /// Indexed percentages: (SPEC1, SPEC2-6, total).
+    pub indexed: (f64, f64, f64),
+}
+
+impl Table4 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table4 {
+        let s1 = a.spec_total(SpecPosition::First);
+        let s2 = a.spec_total(SpecPosition::Rest);
+        let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        let rows = SpecModeClass::ALL
+            .iter()
+            .map(|&c| {
+                let n1 = a.spec_count(SpecPosition::First, c);
+                let n2 = a.spec_count(SpecPosition::Rest, c);
+                (c, pct(n1, s1), pct(n2, s2), pct(n1 + n2, s1 + s2))
+            })
+            .collect();
+        let i1 = a.spec_indexed(SpecPosition::First);
+        let i2 = a.spec_indexed(SpecPosition::Rest);
+        Table4 {
+            rows,
+            indexed: (pct(i1, s1), pct(i2, s2), pct(i1 + i2, s1 + s2)),
+        }
+    }
+
+    /// Total-column percentage for one mode class.
+    pub fn total_pct(&self, class: SpecModeClass) -> f64 {
+        self.rows
+            .iter()
+            .find(|(c, ..)| *c == class)
+            .map(|&(_, _, _, t)| t)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 4 — Operand Specifier Distribution (percent)")?;
+        writeln!(
+            f,
+            "{:<20} {:>8} {:>9} {:>8}",
+            "Mode", "SPEC1", "SPEC2-6", "Total"
+        )?;
+        for (c, a, b, t) in &self.rows {
+            writeln!(f, "{:<20} {:>8.1} {:>9.1} {:>8.1}", c.name(), a, b, t)?;
+        }
+        writeln!(
+            f,
+            "{:<20} {:>8.1} {:>9.1} {:>8.1}",
+            "Percent indexed", self.indexed.0, self.indexed.1, self.indexed.2
+        )
+    }
+}
+
+/// A Table 5 source row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table5Source {
+    /// First-specifier processing.
+    Spec1,
+    /// Later-specifier processing.
+    Spec2to6,
+    /// An execute group.
+    Group(OpcodeGroup),
+    /// Memory management, interrupts, aborts.
+    Other,
+}
+
+impl Table5Source {
+    /// All rows in table order.
+    pub fn all() -> Vec<Table5Source> {
+        let mut v = vec![Table5Source::Spec1, Table5Source::Spec2to6];
+        v.extend(OpcodeGroup::ALL.iter().map(|&g| Table5Source::Group(g)));
+        v.push(Table5Source::Other);
+        v
+    }
+
+    /// Row label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Table5Source::Spec1 => "Spec 1",
+            Table5Source::Spec2to6 => "Spec 2-6",
+            Table5Source::Group(g) => g.name(),
+            Table5Source::Other => "Other",
+        }
+    }
+}
+
+/// Table 5: D-stream reads and writes per average instruction.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// (source, reads/instr, writes/instr).
+    pub rows: Vec<(Table5Source, f64, f64)>,
+    /// Totals.
+    pub total: (f64, f64),
+}
+
+impl Table5 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table5 {
+        let row_of = |src: &Table5Source| -> (f64, f64) {
+            match src {
+                Table5Source::Spec1 => {
+                    (a.reads_per_instr(Row::Spec1), a.writes_per_instr(Row::Spec1))
+                }
+                Table5Source::Spec2to6 => (
+                    a.reads_per_instr(Row::Spec2to6),
+                    a.writes_per_instr(Row::Spec2to6),
+                ),
+                Table5Source::Group(g) => (
+                    a.reads_per_instr(Row::Exec(*g)),
+                    a.writes_per_instr(Row::Exec(*g)),
+                ),
+                Table5Source::Other => {
+                    let rows = [Row::Decode, Row::BranchDisp, Row::IntExcept, Row::MemMgmt, Row::Abort];
+                    (
+                        rows.iter().map(|&r| a.reads_per_instr(r)).sum(),
+                        rows.iter().map(|&r| a.writes_per_instr(r)).sum(),
+                    )
+                }
+            }
+        };
+        let rows: Vec<_> = Table5Source::all()
+            .into_iter()
+            .map(|s| {
+                let (r, w) = row_of(&s);
+                (s, r, w)
+            })
+            .collect();
+        Table5 {
+            total: (a.total_reads_per_instr(), a.total_writes_per_instr()),
+            rows,
+        }
+    }
+
+    /// Reads ÷ writes.
+    pub fn read_write_ratio(&self) -> f64 {
+        if self.total.1 == 0.0 {
+            0.0
+        } else {
+            self.total.0 / self.total.1
+        }
+    }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 5 — D-stream Reads and Writes per Instruction")?;
+        writeln!(f, "{:<12} {:>8} {:>8}", "Source", "Reads", "Writes")?;
+        for (s, r, w) in &self.rows {
+            writeln!(f, "{:<12} {:>8.3} {:>8.3}", s.name(), r, w)?;
+        }
+        writeln!(
+            f,
+            "{:<12} {:>8.3} {:>8.3}",
+            "TOTAL", self.total.0, self.total.1
+        )
+    }
+}
+
+/// Table 6: estimated size of the average instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct Table6 {
+    /// Specifiers per instruction (from Table 3).
+    pub specs_per_instr: f64,
+    /// Estimated average specifier size in bytes (from the measured mode
+    /// distribution, as the paper estimated from \[15\]).
+    pub est_spec_bytes: f64,
+    /// Branch displacements per instruction.
+    pub bdisp_per_instr: f64,
+    /// Estimated total instruction bytes.
+    pub total_bytes: f64,
+}
+
+impl Table6 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table6 {
+        let t3 = Table3::from_analysis(a);
+        let t4 = Table4::from_analysis(a);
+        // Size model per mode class (mode byte + extensions; displacement
+        // sizes follow the byte/word/long usage reported in [15]).
+        let size_of = |c: SpecModeClass| -> f64 {
+            match c {
+                SpecModeClass::Register
+                | SpecModeClass::ShortLiteral
+                | SpecModeClass::RegisterDeferred
+                | SpecModeClass::AutoIncrement
+                | SpecModeClass::AutoDecrement
+                | SpecModeClass::AutoIncDeferred => 1.0,
+                SpecModeClass::Displacement | SpecModeClass::DisplacementDeferred => 2.3,
+                SpecModeClass::Immediate => 4.2,
+                SpecModeClass::Absolute => 5.0,
+            }
+        };
+        let mut est = 0.0;
+        for &(c, _, _, total_pct) in &t4.rows {
+            est += total_pct / 100.0 * size_of(c);
+        }
+        est += t4.indexed.2 / 100.0; // index prefix byte
+        let total = 1.0 + t3.total_specs() * est + t3.bdisp * 1.0;
+        Table6 {
+            specs_per_instr: t3.total_specs(),
+            est_spec_bytes: est,
+            bdisp_per_instr: t3.bdisp,
+            total_bytes: total,
+        }
+    }
+}
+
+impl fmt::Display for Table6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 6 — Estimated Size of Average Instruction")?;
+        writeln!(f, "{:<14} {:>9} {:>9} {:>14}", "Object", "Num/inst", "Est size", "Size/inst")?;
+        writeln!(f, "{:<14} {:>9.2} {:>9.2} {:>14.2}", "Opcode", 1.0, 1.0, 1.0)?;
+        writeln!(
+            f,
+            "{:<14} {:>9.2} {:>9.2} {:>14.2}",
+            "Specifiers",
+            self.specs_per_instr,
+            self.est_spec_bytes,
+            self.specs_per_instr * self.est_spec_bytes
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>9.2} {:>9.2} {:>14.2}",
+            "Branch disp.", self.bdisp_per_instr, 1.0, self.bdisp_per_instr
+        )?;
+        writeln!(f, "{:<14} {:>34.1}", "TOTAL", self.total_bytes)
+    }
+}
+
+/// Table 7: interrupt and context-switch headway.
+#[derive(Debug, Clone, Copy)]
+pub struct Table7 {
+    /// Instructions between software-interrupt requests.
+    pub soft_int_request_headway: f64,
+    /// Instructions between serviced interrupts.
+    pub interrupt_headway: f64,
+    /// Instructions between context switches.
+    pub context_switch_headway: f64,
+}
+
+impl Table7 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table7 {
+        let headway = |events: u64| -> f64 {
+            if events == 0 {
+                f64::INFINITY
+            } else {
+                a.instructions() as f64 / events as f64
+            }
+        };
+        Table7 {
+            soft_int_request_headway: headway(a.soft_int_requests()),
+            interrupt_headway: headway(a.interrupt_entries()),
+            context_switch_headway: headway(a.opcode_count(vax_arch::Opcode::Svpctx)),
+        }
+    }
+}
+
+impl fmt::Display for Table7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 7 — Interrupt and Context-Switch Headway")?;
+        writeln!(
+            f,
+            "Software interrupt requests  {:>8.0}",
+            self.soft_int_request_headway
+        )?;
+        writeln!(
+            f,
+            "Hardware and software ints   {:>8.0}",
+            self.interrupt_headway
+        )?;
+        writeln!(
+            f,
+            "Context switches             {:>8.0}",
+            self.context_switch_headway
+        )
+    }
+}
+
+/// Table 8: average instruction timing, rows × columns, cycles per
+/// instruction.
+#[derive(Debug, Clone)]
+pub struct Table8 {
+    /// cells[row][column].
+    pub cells: [[f64; 6]; 14],
+    /// Row totals.
+    pub row_totals: [f64; 14],
+    /// Column totals.
+    pub col_totals: [f64; 6],
+    /// Grand total (CPI).
+    pub cpi: f64,
+}
+
+impl Table8 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table8 {
+        let mut cells = [[0.0; 6]; 14];
+        let mut row_totals = [0.0; 14];
+        let mut col_totals = [0.0; 6];
+        for row in Row::ALL {
+            for col in Column::ALL {
+                let v = a.cell(row, col);
+                cells[row.index()][col.index()] = v;
+                row_totals[row.index()] += v;
+                col_totals[col.index()] += v;
+            }
+        }
+        Table8 {
+            cells,
+            row_totals,
+            col_totals,
+            cpi: a.cpi(),
+        }
+    }
+
+    /// One cell.
+    pub fn cell(&self, row: Row, col: Column) -> f64 {
+        self.cells[row.index()][col.index()]
+    }
+
+    /// A row total.
+    pub fn row_total(&self, row: Row) -> f64 {
+        self.row_totals[row.index()]
+    }
+
+    /// Fraction of all time in decode + specifier processing (§5's
+    /// "almost half" observation).
+    pub fn decode_plus_spec_fraction(&self) -> f64 {
+        let sum = self.row_total(Row::Decode)
+            + self.row_total(Row::Spec1)
+            + self.row_total(Row::Spec2to6)
+            + self.row_total(Row::BranchDisp);
+        sum / self.cpi
+    }
+}
+
+impl fmt::Display for Table8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TABLE 8 — Average VAX Instruction Timing (cycles per instruction)"
+        )?;
+        write!(f, "{:<12}", "")?;
+        for col in Column::ALL {
+            write!(f, "{:>9}", col.name())?;
+        }
+        writeln!(f, "{:>9}", "Total")?;
+        for row in Row::ALL {
+            write!(f, "{:<12}", row.name())?;
+            for col in Column::ALL {
+                write!(f, "{:>9.3}", self.cell(row, col))?;
+            }
+            writeln!(f, "{:>9.3}", self.row_total(row))?;
+        }
+        write!(f, "{:<12}", "TOTAL")?;
+        for col in Column::ALL {
+            write!(f, "{:>9.3}", self.col_totals[col.index()])?;
+        }
+        writeln!(f, "{:>9.3}", self.cpi)
+    }
+}
+
+/// Table 9: cycles per instruction *within* each group (execute phase
+/// only, unweighted by frequency).
+#[derive(Debug, Clone)]
+pub struct Table9 {
+    /// (group, [compute, read, r-stall, write, w-stall, ib-stall], total).
+    pub rows: Vec<(OpcodeGroup, [f64; 6], f64)>,
+}
+
+impl Table9 {
+    /// Compute from a digested measurement.
+    pub fn from_analysis(a: &Analysis) -> Table9 {
+        let rows = OpcodeGroup::ALL
+            .iter()
+            .map(|&g| {
+                let n = a.group_count(g);
+                let scale = if n == 0 {
+                    0.0
+                } else {
+                    a.instructions() as f64 / n as f64
+                };
+                let mut cols = [0.0; 6];
+                let mut total = 0.0;
+                for col in Column::ALL {
+                    let v = a.cell(Row::Exec(g), col) * scale;
+                    cols[col.index()] = v;
+                    total += v;
+                }
+                (g, cols, total)
+            })
+            .collect();
+        Table9 { rows }
+    }
+
+    /// Within-group total for one group.
+    pub fn total(&self, group: OpcodeGroup) -> f64 {
+        self.rows
+            .iter()
+            .find(|(g, ..)| *g == group)
+            .map(|&(_, _, t)| t)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for Table9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TABLE 9 — Cycles per Instruction Within Each Group")?;
+        write!(f, "{:<12}", "")?;
+        for col in Column::ALL {
+            write!(f, "{:>9}", col.name())?;
+        }
+        writeln!(f, "{:>9}", "Total")?;
+        for (g, cols, total) in &self.rows {
+            write!(f, "{:<12}", g.name())?;
+            for v in cols {
+                write!(f, "{v:>9.2}")?;
+            }
+            writeln!(f, "{total:>9.2}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::Histogram;
+    use vax_arch::Opcode;
+    use vax_mem::HwCounters;
+    use vax_ucode::ControlStore;
+
+    fn synthetic_analysis() -> Analysis {
+        let cs = ControlStore::build();
+        let mut h = Histogram::new();
+        // 10 instructions: 8 MOVL, 1 BEQL (taken), 1 CALLS.
+        for _ in 0..8 {
+            h.bump_issue(cs.ird1());
+            h.bump_issue(cs.spec_entry(SpecPosition::First, SpecModeClass::ShortLiteral));
+            h.bump_issue(cs.spec_entry(SpecPosition::Rest, SpecModeClass::Register));
+            h.bump_issue(cs.exec_entry(Opcode::Movl));
+        }
+        h.bump_issue(cs.ird1());
+        h.bump_issue(cs.bdisp());
+        h.bump_issue(cs.exec_entry(Opcode::Beql));
+        h.bump_issue(cs.branch_taken(BranchClass::SimpleCond));
+        h.bump_issue(cs.ird1());
+        h.bump_issue(cs.spec_entry(SpecPosition::First, SpecModeClass::ShortLiteral));
+        h.bump_issue(cs.spec_entry(SpecPosition::Rest, SpecModeClass::Displacement));
+        h.bump_issue(cs.exec_entry(Opcode::Calls));
+        for _ in 0..5 {
+            h.bump_issue(cs.exec_write(Opcode::Calls));
+            h.bump_stall(cs.exec_write(Opcode::Calls), 2);
+        }
+        Analysis::new(&h, &cs, &HwCounters::new())
+    }
+
+    #[test]
+    fn table1_frequencies() {
+        let a = synthetic_analysis();
+        let t1 = Table1::from_analysis(&a);
+        assert!((t1.pct(OpcodeGroup::Simple) - 90.0).abs() < 1e-9);
+        assert!((t1.pct(OpcodeGroup::CallRet) - 10.0).abs() < 1e-9);
+        let sum: f64 = t1.rows.iter().map(|(_, p)| p).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_taken_rates() {
+        let a = synthetic_analysis();
+        let t2 = Table2::from_analysis(&a);
+        let cond = t2
+            .rows
+            .iter()
+            .find(|(c, ..)| *c == BranchClass::SimpleCond)
+            .unwrap();
+        assert!((cond.1 - 10.0).abs() < 1e-9, "10% of instructions");
+        assert!((cond.2 - 100.0).abs() < 1e-9, "the one BEQL was taken");
+    }
+
+    #[test]
+    fn table3_specifier_rates() {
+        let a = synthetic_analysis();
+        let t3 = Table3::from_analysis(&a);
+        assert!((t3.spec1 - 0.9).abs() < 1e-9);
+        assert!((t3.bdisp - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table5_attributes_calls_writes_to_callret_row() {
+        let a = synthetic_analysis();
+        let t5 = Table5::from_analysis(&a);
+        let callret = t5
+            .rows
+            .iter()
+            .find(|(s, ..)| matches!(s, Table5Source::Group(OpcodeGroup::CallRet)))
+            .unwrap();
+        assert!((callret.2 - 0.5).abs() < 1e-9, "5 writes / 10 instr");
+        assert!((t5.total.1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table8_total_is_cpi_and_consistent() {
+        let a = synthetic_analysis();
+        let t8 = Table8::from_analysis(&a);
+        let row_sum: f64 = t8.row_totals.iter().sum();
+        let col_sum: f64 = t8.col_totals.iter().sum();
+        assert!((row_sum - t8.cpi).abs() < 1e-9);
+        assert!((col_sum - t8.cpi).abs() < 1e-9);
+        // W-stall cycles landed in the Call/Ret row.
+        assert!(t8.cell(Row::Exec(OpcodeGroup::CallRet), Column::WStall) > 0.0);
+    }
+
+    #[test]
+    fn table9_unweights_by_frequency() {
+        let a = synthetic_analysis();
+        let t9 = Table9::from_analysis(&a);
+        // CALLS: 1 entry + 5 writes + 10 stall cycles = 16 cycles within.
+        assert!((t9.total(OpcodeGroup::CallRet) - 16.0).abs() < 1e-9);
+        // SIMPLE: 8 entries + 1 taken redirect over 9 instructions.
+        assert!((t9.total(OpcodeGroup::Simple) - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn tables_render() {
+        let a = synthetic_analysis();
+        let all = format!(
+            "{}{}{}{}{}{}{}{}",
+            Table1::from_analysis(&a),
+            Table2::from_analysis(&a),
+            Table3::from_analysis(&a),
+            Table4::from_analysis(&a),
+            Table5::from_analysis(&a),
+            Table6::from_analysis(&a),
+            Table7::from_analysis(&a),
+            Table8::from_analysis(&a),
+        );
+        assert!(all.contains("TABLE 8"));
+        assert!(all.contains("SIMPLE"));
+    }
+}

@@ -1,0 +1,189 @@
+//! What-if analysis: the paper's §5 use of Table 8 — "Table 8 shows
+//! where 11/780 performance may be improved, and where it may not".
+//!
+//! Each scenario removes or shrinks one cycle category from a measured
+//! Table 8 and reports the hypothetical CPI and speedup. This is the
+//! CPI-stack reasoning the paper pioneered (and the reason the
+//! retrospective calls it a foundational measurement study).
+
+use crate::{Analysis, Column};
+use std::fmt;
+use vax_arch::OpcodeGroup;
+use vax_ucode::Row;
+
+/// A what-if scenario over a measured cycle breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Perfect D-stream memory: no read stalls anywhere.
+    NoReadStalls,
+    /// Infinite write buffer: no write stalls.
+    NoWriteStalls,
+    /// Perfect instruction fetch: no IB stalls.
+    NoIbStalls,
+    /// Fold the non-overlapped decode cycle into the previous instruction
+    /// for non-PC-changing instructions (the 11/750 change, §5).
+    FoldedDecode {
+        /// Fraction of instructions that are PC-changing (Table 2 total).
+        pc_changing_fraction: f64,
+    },
+    /// Infinite TB: remove the memory-management row entirely.
+    NoTbMisses,
+    /// Remove one execute group's time (upper bound on optimizing it —
+    /// the §5 example: "optimizing FIELD memory writes will have a payoff
+    /// of at most 0.007 cycles per instruction").
+    EliminateGroup(OpcodeGroup),
+}
+
+impl Scenario {
+    /// Short label for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::NoReadStalls => "no read stalls".into(),
+            Scenario::NoWriteStalls => "no write stalls".into(),
+            Scenario::NoIbStalls => "no IB stalls".into(),
+            Scenario::FoldedDecode { .. } => "folded decode (11/750)".into(),
+            Scenario::NoTbMisses => "no TB misses".into(),
+            Scenario::EliminateGroup(g) => format!("eliminate {} execute", g.name()),
+        }
+    }
+}
+
+/// The outcome of applying a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIf {
+    /// The scenario applied.
+    pub scenario: String,
+    /// Measured baseline CPI.
+    pub baseline_cpi: f64,
+    /// Hypothetical CPI.
+    pub new_cpi: f64,
+}
+
+impl WhatIf {
+    /// Cycles saved per instruction.
+    pub fn saving(&self) -> f64 {
+        self.baseline_cpi - self.new_cpi
+    }
+
+    /// Overall speedup factor.
+    pub fn speedup(&self) -> f64 {
+        if self.new_cpi == 0.0 {
+            f64::INFINITY
+        } else {
+            self.baseline_cpi / self.new_cpi
+        }
+    }
+}
+
+impl fmt::Display for WhatIf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<26} CPI {:.3} -> {:.3}  (saves {:.3}, speedup {:.3}x)",
+            self.scenario,
+            self.baseline_cpi,
+            self.new_cpi,
+            self.saving(),
+            self.speedup()
+        )
+    }
+}
+
+/// Apply one scenario to a measured analysis.
+pub fn apply(a: &Analysis, scenario: Scenario) -> WhatIf {
+    let baseline = a.cpi();
+    let saved = match scenario {
+        Scenario::NoReadStalls => a.col_total(Column::RStall),
+        Scenario::NoWriteStalls => a.col_total(Column::WStall),
+        Scenario::NoIbStalls => a.col_total(Column::IbStall),
+        Scenario::FoldedDecode {
+            pc_changing_fraction,
+        } => {
+            // One decode-compute cycle saved per non-PC-changing
+            // instruction; its IB stall remains (the bytes are still
+            // needed).
+            a.cell(Row::Decode, Column::Compute) * (1.0 - pc_changing_fraction)
+        }
+        Scenario::NoTbMisses => a.row_total(Row::MemMgmt),
+        Scenario::EliminateGroup(g) => a.row_total(Row::Exec(g)),
+    };
+    WhatIf {
+        scenario: scenario.name(),
+        baseline_cpi: baseline,
+        new_cpi: baseline - saved,
+    }
+}
+
+/// The standard scenario sweep (the §5 discussion, in order).
+pub fn standard_sweep(a: &Analysis) -> Vec<WhatIf> {
+    let t2 = crate::tables::Table2::from_analysis(a);
+    let pc_frac = t2.total.0 / 100.0;
+    vec![
+        apply(a, Scenario::FoldedDecode {
+            pc_changing_fraction: pc_frac,
+        }),
+        apply(a, Scenario::NoIbStalls),
+        apply(a, Scenario::NoReadStalls),
+        apply(a, Scenario::NoWriteStalls),
+        apply(a, Scenario::NoTbMisses),
+        apply(a, Scenario::EliminateGroup(OpcodeGroup::Field)),
+        apply(a, Scenario::EliminateGroup(OpcodeGroup::CallRet)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::Histogram;
+    use vax_arch::Opcode;
+    use vax_mem::HwCounters;
+    use vax_ucode::ControlStore;
+
+    fn toy() -> Analysis {
+        let cs = ControlStore::build();
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.bump_issue(cs.ird1());
+            h.bump_issue(cs.exec_entry(Opcode::Movl));
+        }
+        // 5 cycles of IB stall at decode, 3 cycles of read stall in exec.
+        for _ in 0..5 {
+            h.bump_issue(cs.ib_stall(vax_ucode::StallPoint::Decode));
+        }
+        h.bump_issue(cs.exec_read(Opcode::Movl));
+        h.bump_stall(cs.exec_read(Opcode::Movl), 3);
+        Analysis::new(&h, &cs, &HwCounters::new())
+    }
+
+    #[test]
+    fn scenarios_remove_the_right_cycles() {
+        let a = toy();
+        let base = a.cpi();
+        let no_ib = apply(&a, Scenario::NoIbStalls);
+        assert!((no_ib.saving() - 0.5).abs() < 1e-9, "{}", no_ib.saving());
+        let no_rs = apply(&a, Scenario::NoReadStalls);
+        assert!((no_rs.saving() - 0.3).abs() < 1e-9);
+        let folded = apply(
+            &a,
+            Scenario::FoldedDecode {
+                pc_changing_fraction: 0.0,
+            },
+        );
+        assert!((folded.saving() - 1.0).abs() < 1e-9, "full decode cycle");
+        assert!(no_ib.speedup() > 1.0 && no_ib.baseline_cpi == base);
+    }
+
+    #[test]
+    fn sweep_is_ordered_and_displays() {
+        let a = toy();
+        let sweep = standard_sweep(&a);
+        assert_eq!(sweep.len(), 7);
+        let text = sweep
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("folded decode"));
+        assert!(text.contains("speedup"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the analysis layer: conservation laws that must
+//! hold for *any* histogram, not just ones a real run produced.
+
+use proptest::prelude::*;
+use upc_monitor::Histogram;
+use vax_analysis::{Analysis, Column};
+use vax_mem::HwCounters;
+use vax_ucode::{ControlStore, MemOp, MicroAddr, Row};
+
+/// Strategy: a histogram with counts only at allocated control-store
+/// addresses (as any real measurement would have).
+fn histogram_strategy() -> impl Strategy<Value = Histogram> {
+    let cs = ControlStore::build();
+    let addrs: Vec<u16> = cs.iter().map(|(a, _)| a.value()).collect();
+    // Stall counts may only appear at Read/Write addresses (the board's
+    // second plane latches only on memory stalls).
+    let stall_ok: Vec<bool> = cs
+        .iter()
+        .map(|(_, c)| !matches!(c.op, MemOp::Compute))
+        .collect();
+    prop::collection::vec((0usize..addrs.len(), 0u64..1000, 0u32..50), 0..200).prop_map(
+        move |entries| {
+            let mut h = Histogram::new();
+            for (i, issues, stalls) in entries {
+                let addr = MicroAddr::new(addrs[i]);
+                h.add_issue(addr, issues);
+                if stall_ok[i] {
+                    h.bump_stall(addr, stalls);
+                }
+            }
+            h
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Row totals, column totals and the CPI agree for any histogram.
+    #[test]
+    fn conservation(h in histogram_strategy()) {
+        let cs = ControlStore::build();
+        let a = Analysis::new(&h, &cs, &HwCounters::new());
+        if a.instructions() == 0 {
+            return Ok(());
+        }
+        let rows: f64 = Row::ALL.iter().map(|&r| a.row_total(r)).sum();
+        let cols: f64 = Column::ALL.iter().map(|&c| a.col_total(c)).sum();
+        prop_assert!((rows - a.cpi()).abs() < 1e-6);
+        prop_assert!((cols - a.cpi()).abs() < 1e-6);
+        // CPI × instructions recovers total cycles.
+        let cycles = a.cpi() * a.instructions() as f64;
+        prop_assert!((cycles - a.total_cycles() as f64).abs() < 1e-3);
+    }
+
+    /// Merging histograms then analysing equals analysing the sum of
+    /// counts (the composite methodology is linear).
+    #[test]
+    fn merge_linearity(a in histogram_strategy(), b in histogram_strategy()) {
+        let cs = ControlStore::build();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let aa = Analysis::new(&a, &cs, &HwCounters::new());
+        let ab = Analysis::new(&b, &cs, &HwCounters::new());
+        let am = Analysis::new(&merged, &cs, &HwCounters::new());
+        prop_assert_eq!(
+            am.instructions(),
+            aa.instructions() + ab.instructions()
+        );
+        prop_assert_eq!(am.total_cycles(), aa.total_cycles() + ab.total_cycles());
+        prop_assert_eq!(
+            am.tb_miss_entries(),
+            aa.tb_miss_entries() + ab.tb_miss_entries()
+        );
+    }
+
+    /// Taken-branch counts never exceed the class's instruction counts in
+    /// a histogram produced by the CPU — for arbitrary histograms Table 2
+    /// percentages must at least be finite and non-negative.
+    #[test]
+    fn table2_is_well_formed(h in histogram_strategy()) {
+        let cs = ControlStore::build();
+        let a = Analysis::new(&h, &cs, &HwCounters::new());
+        let t2 = vax_analysis::tables::Table2::from_analysis(&a);
+        for (_, pct, _, taken_of_all) in &t2.rows {
+            prop_assert!(pct.is_finite() && *pct >= 0.0);
+            prop_assert!(taken_of_all.is_finite() && *taken_of_all >= 0.0);
+        }
+    }
+
+    /// Table 4 percentages sum to ~100 whenever any specifiers exist.
+    #[test]
+    fn table4_totals_100(h in histogram_strategy()) {
+        let cs = ControlStore::build();
+        let a = Analysis::new(&h, &cs, &HwCounters::new());
+        let total_specs: u64 = [vax_ucode::SpecPosition::First, vax_ucode::SpecPosition::Rest]
+            .iter()
+            .map(|&p| a.spec_total(p))
+            .sum();
+        if total_specs == 0 {
+            return Ok(());
+        }
+        let t4 = vax_analysis::tables::Table4::from_analysis(&a);
+        let sum: f64 = t4.rows.iter().map(|&(_, _, _, t)| t).sum();
+        prop_assert!((sum - 100.0).abs() < 1e-6, "{sum}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Operand access types.
+
+use std::fmt;
+
+/// How an instruction accesses an operand specifier (VAX Architecture
+/// Reference Manual notation: `.rx`, `.wx`, `.mx`, `.ax`, `.vx`, `.bx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Operand is read (`.rx`).
+    Read,
+    /// Operand is written (`.wx`).
+    Write,
+    /// Operand is read and then written (`.mx`).
+    Modify,
+    /// The operand's *address* is computed and used (`.ax`) — non-scalar
+    /// data such as string bases or the CALLx target.
+    Address,
+    /// Variable bit-field base (`.vx`): register or address, used by the
+    /// FIELD group.
+    Field,
+    /// Branch displacement (`.bx`): not an operand specifier at all; the
+    /// displacement is taken directly from the instruction stream
+    /// (paper §3.2 keeps these separate from specifiers).
+    Branch,
+}
+
+impl AccessType {
+    /// Does processing this operand read the operand's value from a
+    /// register or memory?
+    #[inline]
+    pub const fn reads_value(self) -> bool {
+        matches!(self, AccessType::Read | AccessType::Modify)
+    }
+
+    /// Does processing this operand write the operand's value?
+    #[inline]
+    pub const fn writes_value(self) -> bool {
+        matches!(self, AccessType::Write | AccessType::Modify)
+    }
+
+    /// Is this a true operand specifier (as opposed to a branch
+    /// displacement)?
+    #[inline]
+    pub const fn is_specifier(self) -> bool {
+        !matches!(self, AccessType::Branch)
+    }
+}
+
+impl fmt::Display for AccessType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessType::Read => "read",
+            AccessType::Write => "write",
+            AccessType::Modify => "modify",
+            AccessType::Address => "address",
+            AccessType::Field => "field",
+            AccessType::Branch => "branch-displacement",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_predicates() {
+        assert!(AccessType::Read.reads_value());
+        assert!(AccessType::Modify.reads_value());
+        assert!(AccessType::Modify.writes_value());
+        assert!(AccessType::Write.writes_value());
+        assert!(!AccessType::Address.reads_value());
+        assert!(!AccessType::Branch.is_specifier());
+        assert!(AccessType::Field.is_specifier());
+    }
+}

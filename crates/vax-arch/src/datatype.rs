@@ -1,0 +1,89 @@
+//! VAX operand data types.
+
+use std::fmt;
+
+/// Data type of an operand specifier, defined by the instruction that uses
+/// the specifier (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 8-bit integer.
+    Byte,
+    /// 16-bit integer.
+    Word,
+    /// 32-bit integer (the natural VAX size).
+    Long,
+    /// 64-bit integer.
+    Quad,
+    /// 32-bit F_floating.
+    FFloat,
+    /// 64-bit D_floating.
+    DFloat,
+}
+
+impl DataType {
+    /// Size of the data type in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> u32 {
+        match self {
+            DataType::Byte => 1,
+            DataType::Word => 2,
+            DataType::Long | DataType::FFloat => 4,
+            DataType::Quad | DataType::DFloat => 8,
+        }
+    }
+
+    /// Number of aligned longword memory references needed to move a value
+    /// of this type (the VAX data path is 32 bits wide, paper §3).
+    #[inline]
+    pub const fn longwords(self) -> u32 {
+        let n = self.size_bytes().div_ceil(4);
+        if n == 0 {
+            1
+        } else {
+            n
+        }
+    }
+
+    /// True for the floating-point types.
+    #[inline]
+    pub const fn is_float(self) -> bool {
+        matches!(self, DataType::FFloat | DataType::DFloat)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Byte => "byte",
+            DataType::Word => "word",
+            DataType::Long => "longword",
+            DataType::Quad => "quadword",
+            DataType::FFloat => "f_floating",
+            DataType::DFloat => "d_floating",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_architecture() {
+        assert_eq!(DataType::Byte.size_bytes(), 1);
+        assert_eq!(DataType::Word.size_bytes(), 2);
+        assert_eq!(DataType::Long.size_bytes(), 4);
+        assert_eq!(DataType::Quad.size_bytes(), 8);
+        assert_eq!(DataType::FFloat.size_bytes(), 4);
+        assert_eq!(DataType::DFloat.size_bytes(), 8);
+    }
+
+    #[test]
+    fn longword_counts() {
+        assert_eq!(DataType::Byte.longwords(), 1);
+        assert_eq!(DataType::Long.longwords(), 1);
+        assert_eq!(DataType::Quad.longwords(), 2);
+        assert_eq!(DataType::DFloat.longwords(), 2);
+    }
+}

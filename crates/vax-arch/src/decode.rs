@@ -1,0 +1,406 @@
+//! Incremental instruction decoder.
+//!
+//! Decoding pulls bytes one at a time from a [`ByteSource`] so that the CPU
+//! model can plug its instruction buffer in directly — each byte request
+//! maps onto the I-Decode stage's consumption of IB bytes, which is where
+//! IB stalls arise (paper §4.3).
+
+use crate::{AddrMode, ArchError, DataType, DispSize, Opcode, Reg, SpecModeClass};
+
+/// A source of instruction-stream bytes.
+///
+/// Implemented by [`SliceSource`] for offline decoding and by the CPU's
+/// instruction buffer for live execution. Functions taking a source accept
+/// `&mut S`; a `&mut` reference to a source is itself a source.
+pub trait ByteSource {
+    /// Consume and return the next byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::Truncated`] if the stream is exhausted.
+    fn next_u8(&mut self) -> Result<u8, ArchError>;
+
+    /// Consume a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::Truncated`] if the stream is exhausted.
+    fn next_u16(&mut self) -> Result<u16, ArchError> {
+        let lo = self.next_u8()?;
+        let hi = self.next_u8()?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    /// Consume a little-endian longword.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::Truncated`] if the stream is exhausted.
+    fn next_u32(&mut self) -> Result<u32, ArchError> {
+        let lo = self.next_u16()?;
+        let hi = self.next_u16()?;
+        Ok(u32::from(lo) | (u32::from(hi) << 16))
+    }
+}
+
+impl<S: ByteSource + ?Sized> ByteSource for &mut S {
+    fn next_u8(&mut self) -> Result<u8, ArchError> {
+        (**self).next_u8()
+    }
+}
+
+/// A [`ByteSource`] over a byte slice, tracking its position.
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// A source reading from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        SliceSource { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+impl ByteSource for SliceSource<'_> {
+    fn next_u8(&mut self) -> Result<u8, ArchError> {
+        let b = *self.bytes.get(self.pos).ok_or(ArchError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+}
+
+/// A fully decoded operand specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedSpec {
+    /// The base addressing mode.
+    pub mode: AddrMode,
+    /// Index register if the specifier was prefixed with mode 4.
+    pub index: Option<Reg>,
+    /// Total bytes this specifier occupied in the instruction stream
+    /// (mode byte(s) plus extensions).
+    pub len: u8,
+}
+
+impl DecodedSpec {
+    /// Table 4 mode class (index wrapping reported separately).
+    pub fn mode_class(&self) -> SpecModeClass {
+        self.mode.mode_class()
+    }
+}
+
+/// Decode one operand specifier for an operand of type `dtype`.
+///
+/// # Errors
+///
+/// [`ArchError::Truncated`] if the source runs dry and
+/// [`ArchError::InvalidMode`] for illegal encodings (index on index,
+/// literal as index base).
+pub fn decode_specifier<S: ByteSource>(
+    src: &mut S,
+    dtype: DataType,
+) -> Result<DecodedSpec, ArchError> {
+    let mode_byte = src.next_u8()?;
+    let mut len = 1u8;
+    let (mode_byte, index) = if mode_byte >> 4 == 4 {
+        let rx = Reg::from_number(mode_byte & 0x0F);
+        let base = src.next_u8()?;
+        len += 1;
+        if base >> 4 == 4 {
+            return Err(ArchError::InvalidMode("index base is itself indexed".into()));
+        }
+        (base, Some(rx))
+    } else {
+        (mode_byte, None)
+    };
+
+    let reg = Reg::from_number(mode_byte & 0x0F);
+    let mode = match mode_byte >> 4 {
+        0..=3 => {
+            if index.is_some() {
+                return Err(ArchError::InvalidMode("literal cannot be indexed".into()));
+            }
+            AddrMode::Literal(mode_byte & 0x3F)
+        }
+        5 => {
+            if index.is_some() {
+                return Err(ArchError::InvalidMode("register cannot be indexed".into()));
+            }
+            AddrMode::Register(reg)
+        }
+        6 => AddrMode::RegDeferred(reg),
+        7 => AddrMode::AutoDecrement(reg),
+        8 => {
+            if reg.is_pc() {
+                let n = dtype.size_bytes() as usize;
+                let mut data = [0u8; 8];
+                for slot in data.iter_mut().take(n) {
+                    *slot = src.next_u8()?;
+                }
+                len += n as u8;
+                AddrMode::Immediate {
+                    data: u64::from_le_bytes(data),
+                    len: n as u8,
+                }
+            } else {
+                AddrMode::AutoIncrement(reg)
+            }
+        }
+        9 => {
+            if reg.is_pc() {
+                let addr = src.next_u32()?;
+                len += 4;
+                AddrMode::Absolute(addr)
+            } else {
+                AddrMode::AutoIncDeferred(reg)
+            }
+        }
+        0xA | 0xB => {
+            let d = src.next_u8()? as i8 as i32;
+            len += 1;
+            disp_mode(mode_byte, DispSize::Byte, reg, d)
+        }
+        0xC | 0xD => {
+            let d = src.next_u16()? as i16 as i32;
+            len += 2;
+            disp_mode(mode_byte, DispSize::Word, reg, d)
+        }
+        0xE | 0xF => {
+            let d = src.next_u32()? as i32;
+            len += 4;
+            disp_mode(mode_byte, DispSize::Long, reg, d)
+        }
+        _ => unreachable!("mode 4 handled above"),
+    };
+    Ok(DecodedSpec { mode, index, len })
+}
+
+fn disp_mode(mode_byte: u8, size: DispSize, reg: Reg, disp: i32) -> AddrMode {
+    if mode_byte >> 4 & 1 == 1 {
+        AddrMode::DisplacementDeferred { size, reg, disp }
+    } else {
+        AddrMode::Displacement { size, reg, disp }
+    }
+}
+
+/// A fully decoded instruction (offline form; the CPU decodes
+/// incrementally instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedInst {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Decoded operand specifiers, in order.
+    pub specs: Vec<DecodedSpec>,
+    /// Sign-extended branch displacement, if the opcode has one.
+    pub branch_disp: Option<i32>,
+    /// Total instruction length in bytes (excluding any case table).
+    pub len: u32,
+}
+
+/// Offline instruction decoder.
+///
+/// # Example
+///
+/// ```
+/// use vax_arch::{Decoder, Opcode, SliceSource};
+///
+/// # fn main() -> Result<(), vax_arch::ArchError> {
+/// // movl #5, r0  =>  D0 05 50
+/// let mut src = SliceSource::new(&[0xD0, 0x05, 0x50]);
+/// let inst = Decoder::decode(&mut src)?;
+/// assert_eq!(inst.opcode, Opcode::Movl);
+/// assert_eq!(inst.len, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decoder;
+
+impl Decoder {
+    /// Decode one instruction from `src`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::UnknownOpcode`] for unimplemented opcode bytes,
+    /// [`ArchError::Truncated`] if the source runs dry, and mode errors
+    /// from specifier decoding.
+    pub fn decode<S: ByteSource>(src: &mut S) -> Result<DecodedInst, ArchError> {
+        let byte = src.next_u8()?;
+        let opcode = Opcode::from_byte(byte).ok_or(ArchError::UnknownOpcode(byte))?;
+        let mut len = 1u32;
+        let mut specs = Vec::with_capacity(opcode.specifier_count());
+        let mut branch_disp = None;
+        for template in opcode.operands() {
+            if template.is_branch_displacement() {
+                let disp = match template.data_type() {
+                    DataType::Byte => {
+                        len += 1;
+                        src.next_u8()? as i8 as i32
+                    }
+                    DataType::Word => {
+                        len += 2;
+                        src.next_u16()? as i16 as i32
+                    }
+                    other => unreachable!("displacement of type {other}"),
+                };
+                branch_disp = Some(disp);
+            } else {
+                let spec = decode_specifier(src, template.data_type())?;
+                len += u32::from(spec.len);
+                specs.push(spec);
+            }
+        }
+        Ok(DecodedInst {
+            opcode,
+            specs,
+            branch_disp,
+            len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Operand};
+
+    fn roundtrip(op: Opcode, operands: &[Operand]) -> DecodedInst {
+        let mut asm = Assembler::new(0);
+        asm.inst(op, operands).unwrap();
+        let img = asm.finish().unwrap();
+        let mut src = SliceSource::new(&img.bytes);
+        let inst = Decoder::decode(&mut src).unwrap();
+        assert_eq!(inst.len as usize, img.bytes.len());
+        inst
+    }
+
+    #[test]
+    fn decodes_literal_and_register() {
+        let inst = roundtrip(
+            Opcode::Movl,
+            &[Operand::Literal(42), Operand::Reg(Reg::R7)],
+        );
+        assert_eq!(inst.specs[0].mode, AddrMode::Literal(42));
+        assert_eq!(inst.specs[1].mode, AddrMode::Register(Reg::R7));
+    }
+
+    #[test]
+    fn decodes_displacements() {
+        let inst = roundtrip(
+            Opcode::Movl,
+            &[Operand::Disp(-4, Reg::R1), Operand::Disp(1000, Reg::R2)],
+        );
+        assert_eq!(
+            inst.specs[0].mode,
+            AddrMode::Displacement {
+                size: DispSize::Byte,
+                reg: Reg::R1,
+                disp: -4
+            }
+        );
+        assert_eq!(
+            inst.specs[1].mode,
+            AddrMode::Displacement {
+                size: DispSize::Word,
+                reg: Reg::R2,
+                disp: 1000
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_immediate_sized_by_operand() {
+        let inst = roundtrip(
+            Opcode::Movb,
+            &[Operand::Immediate(0xAB), Operand::Reg(Reg::R0)],
+        );
+        assert_eq!(
+            inst.specs[0].mode,
+            AddrMode::Immediate { data: 0xAB, len: 1 }
+        );
+        let inst = roundtrip(
+            Opcode::Movl,
+            &[Operand::Immediate(0xDEADBEEF), Operand::Reg(Reg::R0)],
+        );
+        assert_eq!(
+            inst.specs[0].mode,
+            AddrMode::Immediate {
+                data: 0xDEADBEEF,
+                len: 4
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_indexed() {
+        let base = Operand::Disp(8, Reg::R3).indexed(Reg::R4).unwrap();
+        let inst = roundtrip(Opcode::Movl, &[base, Operand::Reg(Reg::R0)]);
+        assert_eq!(inst.specs[0].index, Some(Reg::R4));
+        assert!(matches!(
+            inst.specs[0].mode,
+            AddrMode::Displacement { reg: Reg::R3, .. }
+        ));
+    }
+
+    #[test]
+    fn decodes_absolute_and_autoinc_deferred() {
+        let inst = roundtrip(
+            Opcode::Movl,
+            &[Operand::Absolute(0x8000_0400), Operand::Reg(Reg::R0)],
+        );
+        assert_eq!(inst.specs[0].mode, AddrMode::Absolute(0x8000_0400));
+        let inst = roundtrip(
+            Opcode::Movl,
+            &[Operand::AutoIncDeferred(Reg::R9), Operand::Reg(Reg::R0)],
+        );
+        assert_eq!(inst.specs[0].mode, AddrMode::AutoIncDeferred(Reg::R9));
+    }
+
+    #[test]
+    fn decodes_branch_displacement() {
+        let mut asm = Assembler::new(0);
+        let top = asm.label_here();
+        asm.branch(Opcode::Sobgtr, &[Operand::Reg(Reg::R5)], top)
+            .unwrap();
+        let img = asm.finish().unwrap();
+        let mut src = SliceSource::new(&img.bytes);
+        let inst = Decoder::decode(&mut src).unwrap();
+        assert_eq!(inst.opcode, Opcode::Sobgtr);
+        assert_eq!(inst.branch_disp, Some(-3));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        // 0xFF is an extended-opcode escape we do not implement.
+        let mut src = SliceSource::new(&[0xFF]);
+        assert!(matches!(
+            Decoder::decode(&mut src),
+            Err(ArchError::UnknownOpcode(0xFF))
+        ));
+    }
+
+    #[test]
+    fn reports_truncation() {
+        let mut src = SliceSource::new(&[0xD0, 0x05]);
+        assert!(matches!(
+            Decoder::decode(&mut src),
+            Err(ArchError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn rejects_indexed_literal() {
+        // 0x42 index prefix, then literal base 0x05.
+        let mut src = SliceSource::new(&[0xD0, 0x42, 0x05, 0x50]);
+        assert!(matches!(
+            Decoder::decode(&mut src),
+            Err(ArchError::InvalidMode(_))
+        ));
+    }
+}

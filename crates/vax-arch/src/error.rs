@@ -1,0 +1,64 @@
+//! Error type shared by the assembler and decoder.
+
+use std::fmt;
+
+/// Error produced while assembling or decoding VAX instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// An opcode byte that this model does not implement.
+    UnknownOpcode(u8),
+    /// The number of operands passed to the assembler does not match the
+    /// opcode's template.
+    OperandCount {
+        /// Mnemonic of the offending opcode.
+        mnemonic: &'static str,
+        /// Number of operands the template requires.
+        expected: usize,
+        /// Number of operands supplied.
+        got: usize,
+    },
+    /// An operand is not representable in the requested addressing mode
+    /// (e.g. a short literal larger than 63).
+    BadOperand(String),
+    /// A branch displacement does not fit in the instruction's displacement
+    /// field.
+    DisplacementOverflow {
+        /// Mnemonic of the offending opcode.
+        mnemonic: &'static str,
+        /// The displacement that did not fit.
+        disp: i64,
+    },
+    /// A label was referenced but never placed.
+    UnresolvedLabel(u32),
+    /// A label was placed twice.
+    DuplicateLabel(u32),
+    /// The decoder ran out of bytes mid-instruction.
+    Truncated,
+    /// An addressing mode that is architecturally invalid in context
+    /// (e.g. short literal used for a write operand).
+    InvalidMode(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnknownOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            ArchError::OperandCount {
+                mnemonic,
+                expected,
+                got,
+            } => write!(f, "{mnemonic} requires {expected} operands, got {got}"),
+            ArchError::BadOperand(msg) => write!(f, "bad operand: {msg}"),
+            ArchError::DisplacementOverflow { mnemonic, disp } => {
+                write!(f, "branch displacement {disp} does not fit in {mnemonic}")
+            }
+            ArchError::UnresolvedLabel(id) => write!(f, "label {id} was never placed"),
+            ArchError::DuplicateLabel(id) => write!(f, "label {id} placed twice"),
+            ArchError::Truncated => write!(f, "byte stream ended mid-instruction"),
+            ArchError::InvalidMode(msg) => write!(f, "invalid addressing mode: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}

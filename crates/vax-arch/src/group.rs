@@ -1,0 +1,195 @@
+//! Opcode groups (Table 1) and PC-changing classes (Table 2).
+
+use std::fmt;
+
+/// The seven opcode groups of the paper's Table 1.
+///
+/// Every implemented opcode belongs to exactly one group; Table 1 reports
+/// the dynamic frequency of each group, and Tables 8/9 report per-group
+/// execute-phase timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpcodeGroup {
+    /// Moves, simple arithmetic, booleans, simple and loop branches,
+    /// subroutine call and return.
+    Simple,
+    /// Bit field operations (including the bit branches).
+    Field,
+    /// Floating point and integer multiply/divide.
+    Float,
+    /// Procedure call and return, multi-register push and pop.
+    CallRet,
+    /// Privileged operations, context switch, system service requests,
+    /// queue manipulation, protection probes.
+    System,
+    /// Character string instructions.
+    Character,
+    /// Decimal instructions.
+    Decimal,
+}
+
+impl OpcodeGroup {
+    /// All groups in the paper's Table 1 order.
+    pub const ALL: [OpcodeGroup; 7] = [
+        OpcodeGroup::Simple,
+        OpcodeGroup::Field,
+        OpcodeGroup::Float,
+        OpcodeGroup::CallRet,
+        OpcodeGroup::System,
+        OpcodeGroup::Character,
+        OpcodeGroup::Decimal,
+    ];
+
+    /// Group name as printed in Table 1.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpcodeGroup::Simple => "SIMPLE",
+            OpcodeGroup::Field => "FIELD",
+            OpcodeGroup::Float => "FLOAT",
+            OpcodeGroup::CallRet => "CALL/RET",
+            OpcodeGroup::System => "SYSTEM",
+            OpcodeGroup::Character => "CHARACTER",
+            OpcodeGroup::Decimal => "DECIMAL",
+        }
+    }
+
+    /// Stable index 0–6, in Table 1 order.
+    pub const fn index(self) -> usize {
+        match self {
+            OpcodeGroup::Simple => 0,
+            OpcodeGroup::Field => 1,
+            OpcodeGroup::Float => 2,
+            OpcodeGroup::CallRet => 3,
+            OpcodeGroup::System => 4,
+            OpcodeGroup::Character => 5,
+            OpcodeGroup::Decimal => 6,
+        }
+    }
+}
+
+impl fmt::Display for OpcodeGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The PC-changing instruction classes of the paper's Table 2.
+///
+/// Instructions that may change the flow of control are classified into
+/// these rows; Table 2 reports each class's dynamic frequency and the
+/// proportion that actually branched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BranchClass {
+    /// Simple conditional branches, plus `BRB`/`BRW` (grouped with them by
+    /// microcode sharing in the 11/780).
+    SimpleCond,
+    /// Loop branches: `AOBxxx`, `SOBxxx`, `ACBx`.
+    Loop,
+    /// Low-bit tests: `BLBS`, `BLBC`.
+    LowBitTest,
+    /// Subroutine call and return: `BSBB`, `BSBW`, `JSB`, `RSB`.
+    SubroutineCallRet,
+    /// Unconditional `JMP`.
+    Unconditional,
+    /// Case branches: `CASEB/W/L`.
+    Case,
+    /// Bit branches (FIELD group): `BBS` … `BBCCI`.
+    BitBranch,
+    /// Procedure call and return: `CALLS`, `CALLG`, `RET`.
+    ProcedureCallRet,
+    /// System branches: `REI`, `CHMx`.
+    SystemBranch,
+}
+
+impl BranchClass {
+    /// All classes in Table 2 row order.
+    pub const ALL: [BranchClass; 9] = [
+        BranchClass::SimpleCond,
+        BranchClass::Loop,
+        BranchClass::LowBitTest,
+        BranchClass::SubroutineCallRet,
+        BranchClass::Unconditional,
+        BranchClass::Case,
+        BranchClass::BitBranch,
+        BranchClass::ProcedureCallRet,
+        BranchClass::SystemBranch,
+    ];
+
+    /// Row label as printed in Table 2.
+    pub const fn name(self) -> &'static str {
+        match self {
+            BranchClass::SimpleCond => "Simple cond., plus BRB, BRW",
+            BranchClass::Loop => "Loop branches",
+            BranchClass::LowBitTest => "Low-bit tests",
+            BranchClass::SubroutineCallRet => "Subroutine call and return",
+            BranchClass::Unconditional => "Unconditional (JMP)",
+            BranchClass::Case => "Case branch (CASEx)",
+            BranchClass::BitBranch => "Bit branches",
+            BranchClass::ProcedureCallRet => "Procedure call and return",
+            BranchClass::SystemBranch => "System branches",
+        }
+    }
+
+    /// Stable index 0–8, in Table 2 row order.
+    pub const fn index(self) -> usize {
+        match self {
+            BranchClass::SimpleCond => 0,
+            BranchClass::Loop => 1,
+            BranchClass::LowBitTest => 2,
+            BranchClass::SubroutineCallRet => 3,
+            BranchClass::Unconditional => 4,
+            BranchClass::Case => 5,
+            BranchClass::BitBranch => 6,
+            BranchClass::ProcedureCallRet => 7,
+            BranchClass::SystemBranch => 8,
+        }
+    }
+
+    /// Does every dynamic execution of this class change the PC?
+    ///
+    /// Table 2 shows 100 % for subroutine/procedure call-return, `JMP`,
+    /// `CASEx` and system branches.
+    pub const fn always_taken(self) -> bool {
+        matches!(
+            self,
+            BranchClass::SubroutineCallRet
+                | BranchClass::Unconditional
+                | BranchClass::Case
+                | BranchClass::ProcedureCallRet
+                | BranchClass::SystemBranch
+        )
+    }
+}
+
+impl fmt::Display for BranchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_indices_are_unique_and_ordered() {
+        for (i, g) in OpcodeGroup::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+    }
+
+    #[test]
+    fn branch_class_indices_are_unique_and_ordered() {
+        for (i, c) in BranchClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn always_taken_matches_table2() {
+        assert!(BranchClass::ProcedureCallRet.always_taken());
+        assert!(BranchClass::Case.always_taken());
+        assert!(!BranchClass::SimpleCond.always_taken());
+        assert!(!BranchClass::Loop.always_taken());
+        assert!(!BranchClass::BitBranch.always_taken());
+    }
+}

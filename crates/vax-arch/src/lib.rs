@@ -1,0 +1,50 @@
+//! VAX instruction-set substrate for the VAX-11/780 characterization
+//! reproduction.
+//!
+//! This crate models the *architectural* layer of the study: the VAX
+//! instruction set as seen by the 11/780 implementation — opcodes and their
+//! operand templates, the seven opcode groups of the paper's Table 1, the
+//! PC-changing classes of Table 2, operand specifier addressing modes
+//! (Table 4), plus an assembler and an incremental decoder.
+//!
+//! The crate is deliberately free of any timing or implementation detail;
+//! those live in `vax-mem`, `vax-ucode` and `vax-cpu`.
+//!
+//! # Example
+//!
+//! ```
+//! use vax_arch::{Assembler, Opcode, Operand, Reg};
+//!
+//! # fn main() -> Result<(), vax_arch::ArchError> {
+//! let mut asm = Assembler::new(0x200);
+//! asm.inst(Opcode::Movl, &[Operand::Literal(5), Operand::Reg(Reg::R0)])?;
+//! asm.inst(Opcode::Addl2, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R1)])?;
+//! let image = asm.finish()?;
+//! assert_eq!(image.bytes[0], Opcode::Movl.to_byte());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod asm;
+mod datatype;
+mod decode;
+pub mod disasm;
+mod error;
+mod group;
+mod opcode;
+mod reg;
+mod specifier;
+
+pub use access::AccessType;
+pub use asm::{Assembler, CodeImage, Label};
+pub use datatype::DataType;
+pub use decode::{ByteSource, DecodedInst, DecodedSpec, Decoder, SliceSource};
+pub use error::ArchError;
+pub use group::{BranchClass, OpcodeGroup};
+pub use opcode::{Opcode, OperandTemplate};
+pub use reg::Reg;
+pub use specifier::{AddrMode, DispSize, Operand, SpecModeClass};

@@ -1,0 +1,580 @@
+//! The VAX opcode table: byte values, operand templates, groups and
+//! branch classes.
+//!
+//! This models the single-byte opcode space of the VAX subset exercised by
+//! the characterization workloads — every group of the paper's Table 1 is
+//! populated, including the rare CHARACTER and DECIMAL groups that turn out
+//! to matter for Table 9.
+
+use crate::{AccessType, BranchClass, DataType, OpcodeGroup};
+use std::fmt;
+
+/// Template for one operand of an instruction: how it is accessed and with
+/// what data type (paper §3.2: "the data type and access mode of an operand
+/// specifier are defined by the instruction that uses it").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandTemplate {
+    access: AccessType,
+    dtype: DataType,
+}
+
+impl OperandTemplate {
+    /// A template with the given access type and data type.
+    pub const fn new(access: AccessType, dtype: DataType) -> Self {
+        OperandTemplate { access, dtype }
+    }
+
+    /// How the operand is accessed.
+    #[inline]
+    pub const fn access(self) -> AccessType {
+        self.access
+    }
+
+    /// The operand's data type.
+    #[inline]
+    pub const fn data_type(self) -> DataType {
+        self.dtype
+    }
+
+    /// Is this a branch displacement rather than a true specifier?
+    #[inline]
+    pub const fn is_branch_displacement(self) -> bool {
+        matches!(self.access, AccessType::Branch)
+    }
+}
+
+impl fmt::Display for OperandTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.access, self.dtype)
+    }
+}
+
+macro_rules! t {
+    (rb) => {
+        OperandTemplate::new(AccessType::Read, DataType::Byte)
+    };
+    (rw) => {
+        OperandTemplate::new(AccessType::Read, DataType::Word)
+    };
+    (rl) => {
+        OperandTemplate::new(AccessType::Read, DataType::Long)
+    };
+    (rq) => {
+        OperandTemplate::new(AccessType::Read, DataType::Quad)
+    };
+    (rf) => {
+        OperandTemplate::new(AccessType::Read, DataType::FFloat)
+    };
+    (rd) => {
+        OperandTemplate::new(AccessType::Read, DataType::DFloat)
+    };
+    (wb) => {
+        OperandTemplate::new(AccessType::Write, DataType::Byte)
+    };
+    (ww) => {
+        OperandTemplate::new(AccessType::Write, DataType::Word)
+    };
+    (wl) => {
+        OperandTemplate::new(AccessType::Write, DataType::Long)
+    };
+    (wq) => {
+        OperandTemplate::new(AccessType::Write, DataType::Quad)
+    };
+    (wf) => {
+        OperandTemplate::new(AccessType::Write, DataType::FFloat)
+    };
+    (wd) => {
+        OperandTemplate::new(AccessType::Write, DataType::DFloat)
+    };
+    (mb) => {
+        OperandTemplate::new(AccessType::Modify, DataType::Byte)
+    };
+    (mw) => {
+        OperandTemplate::new(AccessType::Modify, DataType::Word)
+    };
+    (ml) => {
+        OperandTemplate::new(AccessType::Modify, DataType::Long)
+    };
+    (mf) => {
+        OperandTemplate::new(AccessType::Modify, DataType::FFloat)
+    };
+    (md) => {
+        OperandTemplate::new(AccessType::Modify, DataType::DFloat)
+    };
+    (ab) => {
+        OperandTemplate::new(AccessType::Address, DataType::Byte)
+    };
+    (aw) => {
+        OperandTemplate::new(AccessType::Address, DataType::Word)
+    };
+    (al) => {
+        OperandTemplate::new(AccessType::Address, DataType::Long)
+    };
+    (aq) => {
+        OperandTemplate::new(AccessType::Address, DataType::Quad)
+    };
+    (vb) => {
+        OperandTemplate::new(AccessType::Field, DataType::Byte)
+    };
+    (bb) => {
+        OperandTemplate::new(AccessType::Branch, DataType::Byte)
+    };
+    (bw) => {
+        OperandTemplate::new(AccessType::Branch, DataType::Word)
+    };
+}
+
+macro_rules! opcodes {
+    (
+        $(
+            $variant:ident = $byte:literal, $mnem:literal, $group:ident,
+            [ $($opnd:ident)* ]
+            $(, branch($bc:ident))?
+            $(, case($case:tt))?
+            ;
+        )*
+    ) => {
+        /// A VAX opcode implemented by this model.
+        ///
+        /// The discriminant of each variant is its architectural opcode
+        /// byte, so [`Opcode::to_byte`] is a plain cast.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        #[allow(missing_docs)]
+        pub enum Opcode {
+            $( $variant = $byte, )*
+        }
+
+        impl Opcode {
+            /// Every implemented opcode, in opcode-byte order of definition.
+            pub const ALL: &'static [Opcode] = &[ $( Opcode::$variant, )* ];
+
+            /// The architectural opcode byte.
+            #[inline]
+            pub const fn to_byte(self) -> u8 {
+                self as u8
+            }
+
+            /// Look up an opcode byte; `None` for bytes this model does not
+            /// implement.
+            pub const fn from_byte(b: u8) -> Option<Opcode> {
+                match b {
+                    $( $byte => Some(Opcode::$variant), )*
+                    _ => None,
+                }
+            }
+
+            /// Assembler mnemonic (lower case).
+            pub const fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$variant => $mnem, )*
+                }
+            }
+
+            /// The paper's Table 1 group this opcode belongs to.
+            pub const fn group(self) -> OpcodeGroup {
+                match self {
+                    $( Opcode::$variant => OpcodeGroup::$group, )*
+                }
+            }
+
+            /// Operand templates in specifier order (branch displacements
+            /// included, always last).
+            pub fn operands(self) -> &'static [OperandTemplate] {
+                match self {
+                    $( Opcode::$variant => {
+                        const T: &[OperandTemplate] = &[ $( t!($opnd), )* ];
+                        T
+                    } )*
+                }
+            }
+
+            /// Table 2 PC-changing class, if this opcode can change the PC.
+            pub const fn branch_class(self) -> Option<BranchClass> {
+                match self {
+                    $( $( Opcode::$variant => Some(BranchClass::$bc), )? )*
+                    #[allow(unreachable_patterns)]
+                    _ => None,
+                }
+            }
+
+            /// Is this a `CASEx` instruction (word displacement table
+            /// follows the operand specifiers)?
+            pub const fn has_case_table(self) -> bool {
+                match self {
+                    $( $( Opcode::$variant => { let _ = $case; true }, )? )*
+                    #[allow(unreachable_patterns)]
+                    _ => false,
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // ----- SYSTEM group: privileged, context switch, system services,
+    //       queues, probes -------------------------------------------------
+    Halt   = 0x00, "halt",   System, [];
+    Nop    = 0x01, "nop",    System, [];
+    Rei    = 0x02, "rei",    System, [], branch(SystemBranch);
+    Bpt    = 0x03, "bpt",    System, [], branch(SystemBranch);
+    Ldpctx = 0x06, "ldpctx", System, [];
+    Svpctx = 0x07, "svpctx", System, [];
+    Prober = 0x0C, "prober", System, [rb rw ab];
+    Probew = 0x0D, "probew", System, [rb rw ab];
+    Insque = 0x0E, "insque", System, [ab ab];
+    Remque = 0x0F, "remque", System, [ab wl];
+    Chmk   = 0xBC, "chmk",   System, [rw], branch(SystemBranch);
+    Chme   = 0xBD, "chme",   System, [rw], branch(SystemBranch);
+    Chms   = 0xBE, "chms",   System, [rw], branch(SystemBranch);
+    Chmu   = 0xBF, "chmu",   System, [rw], branch(SystemBranch);
+    Mtpr   = 0xDA, "mtpr",   System, [rl rl];
+    Mfpr   = 0xDB, "mfpr",   System, [rl wl];
+
+    // ----- CALL/RET group --------------------------------------------------
+    Ret    = 0x04, "ret",    CallRet, [], branch(ProcedureCallRet);
+    Callg  = 0xFA, "callg",  CallRet, [ab ab], branch(ProcedureCallRet);
+    Calls  = 0xFB, "calls",  CallRet, [rl ab], branch(ProcedureCallRet);
+    Popr   = 0xBA, "popr",   CallRet, [rw];
+    Pushr  = 0xBB, "pushr",  CallRet, [rw];
+
+    // ----- SIMPLE group: subroutine linkage and control flow ---------------
+    Rsb    = 0x05, "rsb",    Simple, [], branch(SubroutineCallRet);
+    Bsbb   = 0x10, "bsbb",   Simple, [bb], branch(SubroutineCallRet);
+    Brb    = 0x11, "brb",    Simple, [bb], branch(SimpleCond);
+    Bneq   = 0x12, "bneq",   Simple, [bb], branch(SimpleCond);
+    Beql   = 0x13, "beql",   Simple, [bb], branch(SimpleCond);
+    Bgtr   = 0x14, "bgtr",   Simple, [bb], branch(SimpleCond);
+    Bleq   = 0x15, "bleq",   Simple, [bb], branch(SimpleCond);
+    Jsb    = 0x16, "jsb",    Simple, [ab], branch(SubroutineCallRet);
+    Jmp    = 0x17, "jmp",    Simple, [ab], branch(Unconditional);
+    Bgeq   = 0x18, "bgeq",   Simple, [bb], branch(SimpleCond);
+    Blss   = 0x19, "blss",   Simple, [bb], branch(SimpleCond);
+    Bgtru  = 0x1A, "bgtru",  Simple, [bb], branch(SimpleCond);
+    Blequ  = 0x1B, "blequ",  Simple, [bb], branch(SimpleCond);
+    Bvc    = 0x1C, "bvc",    Simple, [bb], branch(SimpleCond);
+    Bvs    = 0x1D, "bvs",    Simple, [bb], branch(SimpleCond);
+    Bcc    = 0x1E, "bcc",    Simple, [bb], branch(SimpleCond);
+    Bcs    = 0x1F, "bcs",    Simple, [bb], branch(SimpleCond);
+    Bsbw   = 0x30, "bsbw",   Simple, [bw], branch(SubroutineCallRet);
+    Brw    = 0x31, "brw",    Simple, [bw], branch(SimpleCond);
+
+    // ----- CHARACTER group -------------------------------------------------
+    Movc3  = 0x28, "movc3",  Character, [rw ab ab];
+    Cmpc3  = 0x29, "cmpc3",  Character, [rw ab ab];
+    Scanc  = 0x2A, "scanc",  Character, [rw ab ab rb];
+    Spanc  = 0x2B, "spanc",  Character, [rw ab ab rb];
+    Movc5  = 0x2C, "movc5",  Character, [rw ab rb rw ab];
+    Cmpc5  = 0x2D, "cmpc5",  Character, [rw ab rb rw ab];
+    Locc   = 0x3A, "locc",   Character, [rb rw ab];
+    Skpc   = 0x3B, "skpc",   Character, [rb rw ab];
+
+    // ----- DECIMAL group ---------------------------------------------------
+    Addp4  = 0x20, "addp4",  Decimal, [rw ab rw ab];
+    Addp6  = 0x21, "addp6",  Decimal, [rw ab rw ab rw ab];
+    Subp4  = 0x22, "subp4",  Decimal, [rw ab rw ab];
+    Subp6  = 0x23, "subp6",  Decimal, [rw ab rw ab rw ab];
+    Mulp   = 0x25, "mulp",   Decimal, [rw ab rw ab rw ab];
+    Divp   = 0x27, "divp",   Decimal, [rw ab rw ab rw ab];
+    Movp   = 0x34, "movp",   Decimal, [rw ab ab];
+    Cmpp3  = 0x35, "cmpp3",  Decimal, [rw ab ab];
+    Cvtpl  = 0x36, "cvtpl",  Decimal, [rw ab wl];
+    Cmpp4  = 0x37, "cmpp4",  Decimal, [rw ab rw ab];
+    Ashp   = 0xF8, "ashp",   Decimal, [rb rw ab rb rw ab];
+    Cvtlp  = 0xF9, "cvtlp",  Decimal, [rl rw ab];
+
+    // ----- FLOAT group: F_floating, D_floating, integer multiply/divide ----
+    Addf2  = 0x40, "addf2",  Float, [rf mf];
+    Addf3  = 0x41, "addf3",  Float, [rf rf wf];
+    Subf2  = 0x42, "subf2",  Float, [rf mf];
+    Subf3  = 0x43, "subf3",  Float, [rf rf wf];
+    Mulf2  = 0x44, "mulf2",  Float, [rf mf];
+    Mulf3  = 0x45, "mulf3",  Float, [rf rf wf];
+    Divf2  = 0x46, "divf2",  Float, [rf mf];
+    Divf3  = 0x47, "divf3",  Float, [rf rf wf];
+    Cvtfb  = 0x48, "cvtfb",  Float, [rf wb];
+    Cvtfw  = 0x49, "cvtfw",  Float, [rf ww];
+    Cvtfl  = 0x4A, "cvtfl",  Float, [rf wl];
+    Cvtbf  = 0x4C, "cvtbf",  Float, [rb wf];
+    Cvtwf  = 0x4D, "cvtwf",  Float, [rw wf];
+    Cvtlf  = 0x4E, "cvtlf",  Float, [rl wf];
+    Movf   = 0x50, "movf",   Float, [rf wf];
+    Cmpf   = 0x51, "cmpf",   Float, [rf rf];
+    Mnegf  = 0x52, "mnegf",  Float, [rf wf];
+    Tstf   = 0x53, "tstf",   Float, [rf];
+    Addd2  = 0x60, "addd2",  Float, [rd md];
+    Addd3  = 0x61, "addd3",  Float, [rd rd wd];
+    Subd2  = 0x62, "subd2",  Float, [rd md];
+    Subd3  = 0x63, "subd3",  Float, [rd rd wd];
+    Muld2  = 0x64, "muld2",  Float, [rd md];
+    Muld3  = 0x65, "muld3",  Float, [rd rd wd];
+    Divd2  = 0x66, "divd2",  Float, [rd md];
+    Divd3  = 0x67, "divd3",  Float, [rd rd wd];
+    Movd   = 0x70, "movd",   Float, [rd wd];
+    Cmpd   = 0x71, "cmpd",   Float, [rd rd];
+    Tstd   = 0x73, "tstd",   Float, [rd];
+    Cvtld  = 0x6E, "cvtld",  Float, [rl wd];
+    Cvtdl  = 0x6A, "cvtdl",  Float, [rd wl];
+    Emul   = 0x7A, "emul",   Float, [rl rl rl wq];
+    Ediv   = 0x7B, "ediv",   Float, [rl rq wl wl];
+    Mull2  = 0xC4, "mull2",  Float, [rl ml];
+    Mull3  = 0xC5, "mull3",  Float, [rl rl wl];
+    Divl2  = 0xC6, "divl2",  Float, [rl ml];
+    Divl3  = 0xC7, "divl3",  Float, [rl rl wl];
+
+    // ----- SIMPLE group: moves, arithmetic, booleans, shifts ---------------
+    Ashl   = 0x78, "ashl",   Simple, [rb rl wl];
+    Ashq   = 0x79, "ashq",   Simple, [rb rq wq];
+    Clrq   = 0x7C, "clrq",   Simple, [wq];
+    Movq   = 0x7D, "movq",   Simple, [rq wq];
+    Addb2  = 0x80, "addb2",  Simple, [rb mb];
+    Addb3  = 0x81, "addb3",  Simple, [rb rb wb];
+    Subb2  = 0x82, "subb2",  Simple, [rb mb];
+    Subb3  = 0x83, "subb3",  Simple, [rb rb wb];
+    Bisb2  = 0x88, "bisb2",  Simple, [rb mb];
+    Bisb3  = 0x89, "bisb3",  Simple, [rb rb wb];
+    Bicb2  = 0x8A, "bicb2",  Simple, [rb mb];
+    Bicb3  = 0x8B, "bicb3",  Simple, [rb rb wb];
+    Xorb2  = 0x8C, "xorb2",  Simple, [rb mb];
+    Mnegb  = 0x8E, "mnegb",  Simple, [rb wb];
+    Caseb  = 0x8F, "caseb",  Simple, [rb rb rb], branch(Case), case(true);
+    Movb   = 0x90, "movb",   Simple, [rb wb];
+    Cmpb   = 0x91, "cmpb",   Simple, [rb rb];
+    Mcomb  = 0x92, "mcomb",  Simple, [rb wb];
+    Bitb   = 0x93, "bitb",   Simple, [rb rb];
+    Clrb   = 0x94, "clrb",   Simple, [wb];
+    Tstb   = 0x95, "tstb",   Simple, [rb];
+    Incb   = 0x96, "incb",   Simple, [mb];
+    Decb   = 0x97, "decb",   Simple, [mb];
+    Cvtbl  = 0x98, "cvtbl",  Simple, [rb wl];
+    Cvtbw  = 0x99, "cvtbw",  Simple, [rb ww];
+    Movzbl = 0x9A, "movzbl", Simple, [rb wl];
+    Movzbw = 0x9B, "movzbw", Simple, [rb ww];
+    Rotl   = 0x9C, "rotl",   Simple, [rb rl wl];
+    Movaw  = 0x3E, "movaw",  Simple, [aw wl];
+    Addw2  = 0xA0, "addw2",  Simple, [rw mw];
+    Addw3  = 0xA1, "addw3",  Simple, [rw rw ww];
+    Subw2  = 0xA2, "subw2",  Simple, [rw mw];
+    Subw3  = 0xA3, "subw3",  Simple, [rw rw ww];
+    Bisw2  = 0xA8, "bisw2",  Simple, [rw mw];
+    Bicw2  = 0xAA, "bicw2",  Simple, [rw mw];
+    Casew  = 0xAF, "casew",  Simple, [rw rw rw], branch(Case), case(true);
+    Movw   = 0xB0, "movw",   Simple, [rw ww];
+    Cmpw   = 0xB1, "cmpw",   Simple, [rw rw];
+    Bitw   = 0xB3, "bitw",   Simple, [rw rw];
+    Clrw   = 0xB4, "clrw",   Simple, [ww];
+    Tstw   = 0xB5, "tstw",   Simple, [rw];
+    Incw   = 0xB6, "incw",   Simple, [mw];
+    Decw   = 0xB7, "decw",   Simple, [mw];
+    Cvtwl  = 0x32, "cvtwl",  Simple, [rw wl];
+    Cvtwb  = 0x33, "cvtwb",  Simple, [rw wb];
+    Movzwl = 0x3C, "movzwl", Simple, [rw wl];
+    Acbw   = 0x3D, "acbw",   Simple, [rw rw mw bw], branch(Loop);
+    Addl2  = 0xC0, "addl2",  Simple, [rl ml];
+    Addl3  = 0xC1, "addl3",  Simple, [rl rl wl];
+    Subl2  = 0xC2, "subl2",  Simple, [rl ml];
+    Subl3  = 0xC3, "subl3",  Simple, [rl rl wl];
+    Bisl2  = 0xC8, "bisl2",  Simple, [rl ml];
+    Bisl3  = 0xC9, "bisl3",  Simple, [rl rl wl];
+    Bicl2  = 0xCA, "bicl2",  Simple, [rl ml];
+    Bicl3  = 0xCB, "bicl3",  Simple, [rl rl wl];
+    Xorl2  = 0xCC, "xorl2",  Simple, [rl ml];
+    Xorl3  = 0xCD, "xorl3",  Simple, [rl rl wl];
+    Mnegl  = 0xCE, "mnegl",  Simple, [rl wl];
+    Casel  = 0xCF, "casel",  Simple, [rl rl rl], branch(Case), case(true);
+    Movl   = 0xD0, "movl",   Simple, [rl wl];
+    Cmpl   = 0xD1, "cmpl",   Simple, [rl rl];
+    Mcoml  = 0xD2, "mcoml",  Simple, [rl wl];
+    Bitl   = 0xD3, "bitl",   Simple, [rl rl];
+    Clrl   = 0xD4, "clrl",   Simple, [wl];
+    Tstl   = 0xD5, "tstl",   Simple, [rl];
+    Incl   = 0xD6, "incl",   Simple, [ml];
+    Decl   = 0xD7, "decl",   Simple, [ml];
+    Adwc   = 0xD8, "adwc",   Simple, [rl ml];
+    Sbwc   = 0xD9, "sbwc",   Simple, [rl ml];
+    Movpsl = 0xDC, "movpsl", Simple, [wl];
+    Pushl  = 0xDD, "pushl",  Simple, [rl];
+    Moval  = 0xDE, "moval",  Simple, [al wl];
+    Pushal = 0xDF, "pushal", Simple, [al];
+    Cvtlb  = 0xF6, "cvtlb",  Simple, [rl wb];
+    Cvtlw  = 0xF7, "cvtlw",  Simple, [rl ww];
+    Acbl   = 0xF1, "acbl",   Simple, [rl rl ml bw], branch(Loop);
+    Aoblss = 0xF2, "aoblss", Simple, [rl ml bb], branch(Loop);
+    Aobleq = 0xF3, "aobleq", Simple, [rl ml bb], branch(Loop);
+    Sobgeq = 0xF4, "sobgeq", Simple, [ml bb], branch(Loop);
+    Sobgtr = 0xF5, "sobgtr", Simple, [ml bb], branch(Loop);
+    Blbs   = 0xE8, "blbs",   Simple, [rl bb], branch(LowBitTest);
+    Blbc   = 0xE9, "blbc",   Simple, [rl bb], branch(LowBitTest);
+
+    // ----- FIELD group: bit fields and bit branches -------------------------
+    Bbs    = 0xE0, "bbs",    Field, [rl vb bb], branch(BitBranch);
+    Bbc    = 0xE1, "bbc",    Field, [rl vb bb], branch(BitBranch);
+    Bbss   = 0xE2, "bbss",   Field, [rl vb bb], branch(BitBranch);
+    Bbcs   = 0xE3, "bbcs",   Field, [rl vb bb], branch(BitBranch);
+    Bbsc   = 0xE4, "bbsc",   Field, [rl vb bb], branch(BitBranch);
+    Bbcc   = 0xE5, "bbcc",   Field, [rl vb bb], branch(BitBranch);
+    Bbssi  = 0xE6, "bbssi",  Field, [rl vb bb], branch(BitBranch);
+    Bbcci  = 0xE7, "bbcci",  Field, [rl vb bb], branch(BitBranch);
+    Ffs    = 0xEA, "ffs",    Field, [rl rb vb wl];
+    Ffc    = 0xEB, "ffc",    Field, [rl rb vb wl];
+    Cmpv   = 0xEC, "cmpv",   Field, [rl rb vb rl];
+    Cmpzv  = 0xED, "cmpzv",  Field, [rl rb vb rl];
+    Extv   = 0xEE, "extv",   Field, [rl rb vb wl];
+    Extzv  = 0xEF, "extzv",  Field, [rl rb vb wl];
+    Insv   = 0xF0, "insv",   Field, [rl rl rb vb];
+}
+
+impl Opcode {
+    /// Number of true operand specifiers (excluding branch displacements).
+    pub fn specifier_count(self) -> usize {
+        self.operands()
+            .iter()
+            .filter(|t| !t.is_branch_displacement())
+            .count()
+    }
+
+    /// The branch displacement template, if the instruction ends with one.
+    pub fn branch_displacement(self) -> Option<OperandTemplate> {
+        self.operands()
+            .iter()
+            .copied()
+            .find(|t| t.is_branch_displacement())
+    }
+
+    /// Does this opcode potentially change the PC (Table 2)?
+    #[inline]
+    pub fn is_pc_changing(self) -> bool {
+        self.branch_class().is_some()
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_bytes_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_byte(op.to_byte()), Some(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn opcode_bytes_are_unique() {
+        let mut seen = [false; 256];
+        for &op in Opcode::ALL {
+            let b = op.to_byte() as usize;
+            assert!(!seen[b], "duplicate opcode byte {b:#04x}");
+            seen[b] = true;
+        }
+    }
+
+    #[test]
+    fn every_group_is_populated() {
+        for group in OpcodeGroup::ALL {
+            assert!(
+                Opcode::ALL.iter().any(|o| o.group() == group),
+                "group {group} has no opcodes"
+            );
+        }
+    }
+
+    #[test]
+    fn every_branch_class_is_populated() {
+        for class in BranchClass::ALL {
+            assert!(
+                Opcode::ALL.iter().any(|o| o.branch_class() == Some(class)),
+                "branch class {class} has no opcodes"
+            );
+        }
+    }
+
+    #[test]
+    fn operand_templates_match_architecture() {
+        assert_eq!(Opcode::Movl.specifier_count(), 2);
+        assert_eq!(Opcode::Addl3.specifier_count(), 3);
+        assert_eq!(Opcode::Brb.specifier_count(), 0);
+        assert!(Opcode::Brb.branch_displacement().is_some());
+        assert_eq!(Opcode::Movc5.specifier_count(), 5);
+        assert_eq!(Opcode::Ashp.specifier_count(), 6);
+        assert_eq!(Opcode::Rsb.specifier_count(), 0);
+        // AOBLSS: limit.rl, index.ml, displ.bb
+        assert_eq!(Opcode::Aoblss.specifier_count(), 2);
+        assert_eq!(
+            Opcode::Aoblss.branch_displacement().unwrap().data_type(),
+            DataType::Byte
+        );
+        // ACBL has a word displacement.
+        assert_eq!(
+            Opcode::Acbl.branch_displacement().unwrap().data_type(),
+            DataType::Word
+        );
+    }
+
+    #[test]
+    fn no_opcode_exceeds_six_specifiers() {
+        // "VAX instructions are composed of an opcode followed by zero to
+        // six operand specifiers" (paper §2.1).
+        for &op in Opcode::ALL {
+            assert!(op.specifier_count() <= 6, "{op} has too many specifiers");
+        }
+    }
+
+    #[test]
+    fn branch_displacement_is_always_last() {
+        for &op in Opcode::ALL {
+            let ops = op.operands();
+            for (i, t) in ops.iter().enumerate() {
+                if t.is_branch_displacement() {
+                    assert_eq!(i, ops.len() - 1, "{op} has a non-final displacement");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn case_opcodes_are_marked() {
+        assert!(Opcode::Caseb.has_case_table());
+        assert!(Opcode::Casew.has_case_table());
+        assert!(Opcode::Casel.has_case_table());
+        assert!(!Opcode::Movl.has_case_table());
+    }
+
+    #[test]
+    fn group_classification_spot_checks() {
+        assert_eq!(Opcode::Movl.group(), OpcodeGroup::Simple);
+        assert_eq!(Opcode::Extv.group(), OpcodeGroup::Field);
+        assert_eq!(Opcode::Mull2.group(), OpcodeGroup::Float);
+        assert_eq!(Opcode::Calls.group(), OpcodeGroup::CallRet);
+        assert_eq!(Opcode::Chmk.group(), OpcodeGroup::System);
+        assert_eq!(Opcode::Movc3.group(), OpcodeGroup::Character);
+        assert_eq!(Opcode::Addp4.group(), OpcodeGroup::Decimal);
+    }
+
+    #[test]
+    fn branch_class_spot_checks() {
+        assert_eq!(Opcode::Beql.branch_class(), Some(BranchClass::SimpleCond));
+        assert_eq!(Opcode::Brb.branch_class(), Some(BranchClass::SimpleCond));
+        assert_eq!(Opcode::Aoblss.branch_class(), Some(BranchClass::Loop));
+        assert_eq!(Opcode::Blbs.branch_class(), Some(BranchClass::LowBitTest));
+        assert_eq!(
+            Opcode::Jsb.branch_class(),
+            Some(BranchClass::SubroutineCallRet)
+        );
+        assert_eq!(Opcode::Jmp.branch_class(), Some(BranchClass::Unconditional));
+        assert_eq!(Opcode::Casel.branch_class(), Some(BranchClass::Case));
+        assert_eq!(Opcode::Bbs.branch_class(), Some(BranchClass::BitBranch));
+        assert_eq!(
+            Opcode::Ret.branch_class(),
+            Some(BranchClass::ProcedureCallRet)
+        );
+        assert_eq!(Opcode::Rei.branch_class(), Some(BranchClass::SystemBranch));
+        assert_eq!(Opcode::Movl.branch_class(), None);
+    }
+}

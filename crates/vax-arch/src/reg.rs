@@ -1,0 +1,124 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the sixteen VAX general registers.
+///
+/// `R12`–`R15` have architectural roles and are named accordingly: `AP`
+/// (argument pointer), `FP` (frame pointer), `SP` (stack pointer) and `PC`
+/// (program counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    /// Argument pointer (R12).
+    Ap = 12,
+    /// Frame pointer (R13).
+    Fp = 13,
+    /// Stack pointer (R14).
+    Sp = 14,
+    /// Program counter (R15).
+    Pc = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in numeric order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::Ap,
+        Reg::Fp,
+        Reg::Sp,
+        Reg::Pc,
+    ];
+
+    /// Register number, 0–15.
+    #[inline]
+    pub const fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Register for a number 0–15.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    #[inline]
+    pub const fn from_number(n: u8) -> Reg {
+        assert!(n < 16, "register number out of range");
+        Reg::ALL[n as usize]
+    }
+
+    /// True for `PC`.
+    #[inline]
+    pub const fn is_pc(self) -> bool {
+        matches!(self, Reg::Pc)
+    }
+
+    /// True for `SP`.
+    #[inline]
+    pub const fn is_sp(self) -> bool {
+        matches!(self, Reg::Sp)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Ap => write!(f, "AP"),
+            Reg::Fp => write!(f, "FP"),
+            Reg::Sp => write!(f, "SP"),
+            Reg::Pc => write!(f, "PC"),
+            other => write!(f, "R{}", other.number()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_numbers() {
+        for n in 0..16u8 {
+            assert_eq!(Reg::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn names_special_registers() {
+        assert_eq!(Reg::Ap.to_string(), "AP");
+        assert_eq!(Reg::Fp.to_string(), "FP");
+        assert_eq!(Reg::Sp.to_string(), "SP");
+        assert_eq!(Reg::Pc.to_string(), "PC");
+        assert_eq!(Reg::R7.to_string(), "R7");
+    }
+
+    #[test]
+    #[should_panic(expected = "register number out of range")]
+    fn rejects_out_of_range() {
+        let _ = Reg::from_number(16);
+    }
+}

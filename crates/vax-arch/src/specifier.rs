@@ -1,0 +1,319 @@
+//! Operand specifier addressing modes: assembler-level operands, decoded
+//! forms, and the Table 4 mode classification.
+
+use crate::{ArchError, Reg};
+use std::fmt;
+
+/// Size of a displacement extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispSize {
+    /// 1-byte displacement (modes A/B).
+    Byte,
+    /// 2-byte displacement (modes C/D).
+    Word,
+    /// 4-byte displacement (modes E/F).
+    Long,
+}
+
+impl DispSize {
+    /// Extension size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u32 {
+        match self {
+            DispSize::Byte => 1,
+            DispSize::Word => 2,
+            DispSize::Long => 4,
+        }
+    }
+
+    /// Smallest displacement size that can represent `disp`.
+    pub fn fitting(disp: i32) -> DispSize {
+        if i8::try_from(disp).is_ok() {
+            DispSize::Byte
+        } else if i16::try_from(disp).is_ok() {
+            DispSize::Word
+        } else {
+            DispSize::Long
+        }
+    }
+}
+
+/// An assembler-level operand: what a programmer writes.
+///
+/// The variants map one-to-one onto VAX addressing-mode encodings; the
+/// assembler chooses the displacement width automatically for the
+/// `Disp`/`DispDeferred` variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// Short literal, 0–63 (modes 0–3).
+    Literal(u8),
+    /// Register mode `Rn` (mode 5).
+    Reg(Reg),
+    /// Register deferred `(Rn)` (mode 6).
+    RegDeferred(Reg),
+    /// Autodecrement `-(Rn)` (mode 7).
+    AutoDecrement(Reg),
+    /// Autoincrement `(Rn)+` (mode 8).
+    AutoIncrement(Reg),
+    /// Autoincrement deferred `@(Rn)+` (mode 9).
+    AutoIncDeferred(Reg),
+    /// Displacement `disp(Rn)` (modes A/C/E; width chosen automatically).
+    Disp(i32, Reg),
+    /// Displacement deferred `@disp(Rn)` (modes B/D/F).
+    DispDeferred(i32, Reg),
+    /// Immediate `#value` — `(PC)+`, mode 8 with `Rn = PC`. The value is
+    /// truncated to the instruction's operand data type when encoded.
+    Immediate(u64),
+    /// Absolute `@#address` — `@(PC)+`, mode 9 with `Rn = PC`.
+    Absolute(u32),
+    /// Indexed mode `base[Rx]` (mode 4 prefix). The base must itself be a
+    /// memory-addressing operand (not register, literal or immediate).
+    Indexed(Box<Operand>, Reg),
+}
+
+impl Operand {
+    /// Wrap this operand in index mode `[rx]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidMode`] if the base cannot legally be
+    /// indexed (register, literal, immediate or already-indexed modes).
+    pub fn indexed(self, rx: Reg) -> Result<Operand, ArchError> {
+        match self {
+            Operand::Literal(_)
+            | Operand::Reg(_)
+            | Operand::Immediate(_)
+            | Operand::Indexed(..) => Err(ArchError::InvalidMode(format!(
+                "{self:?} cannot be used as an index base"
+            ))),
+            base => Ok(Operand::Indexed(Box::new(base), rx)),
+        }
+    }
+
+    /// The Table 4 mode class of this operand (index wrapping is reported
+    /// separately, as in the paper's bottom line).
+    pub fn mode_class(&self) -> SpecModeClass {
+        match self {
+            Operand::Literal(_) => SpecModeClass::ShortLiteral,
+            Operand::Reg(_) => SpecModeClass::Register,
+            Operand::RegDeferred(_) => SpecModeClass::RegisterDeferred,
+            Operand::AutoDecrement(_) => SpecModeClass::AutoDecrement,
+            Operand::AutoIncrement(_) => SpecModeClass::AutoIncrement,
+            Operand::AutoIncDeferred(_) => SpecModeClass::AutoIncDeferred,
+            Operand::Disp(..) => SpecModeClass::Displacement,
+            Operand::DispDeferred(..) => SpecModeClass::DisplacementDeferred,
+            Operand::Immediate(_) => SpecModeClass::Immediate,
+            Operand::Absolute(_) => SpecModeClass::Absolute,
+            Operand::Indexed(base, _) => base.mode_class(),
+        }
+    }
+
+    /// Is the operand wrapped in index mode?
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, Operand::Indexed(..))
+    }
+
+    /// Does this operand name a memory location (as opposed to a register
+    /// or literal/immediate value)?
+    pub fn is_memory(&self) -> bool {
+        !matches!(
+            self,
+            Operand::Literal(_) | Operand::Reg(_) | Operand::Immediate(_)
+        )
+    }
+}
+
+/// A decoded operand specifier, as produced by the instruction decoder.
+///
+/// This is the implementation-facing form: the I-Decode stage hands these
+/// to the EBOX specifier microroutines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrMode {
+    /// Short literal with its 6-bit value.
+    Literal(u8),
+    /// Register mode.
+    Register(Reg),
+    /// Register deferred.
+    RegDeferred(Reg),
+    /// Autodecrement.
+    AutoDecrement(Reg),
+    /// Autoincrement.
+    AutoIncrement(Reg),
+    /// Autoincrement deferred.
+    AutoIncDeferred(Reg),
+    /// Displacement off a register; `reg` may be `PC` (PC-relative).
+    Displacement {
+        /// Width of the displacement extension.
+        size: DispSize,
+        /// Base register.
+        reg: Reg,
+        /// Sign-extended displacement.
+        disp: i32,
+    },
+    /// Displacement deferred.
+    DisplacementDeferred {
+        /// Width of the displacement extension.
+        size: DispSize,
+        /// Base register.
+        reg: Reg,
+        /// Sign-extended displacement.
+        disp: i32,
+    },
+    /// Immediate `(PC)+`; the raw little-endian data bytes follow.
+    Immediate {
+        /// Raw operand bytes (up to 8, per the operand data type).
+        data: u64,
+        /// Number of valid bytes in `data`.
+        len: u8,
+    },
+    /// Absolute `@(PC)+`.
+    Absolute(u32),
+}
+
+impl AddrMode {
+    /// The Table 4 mode class of this decoded specifier.
+    pub fn mode_class(&self) -> SpecModeClass {
+        match self {
+            AddrMode::Literal(_) => SpecModeClass::ShortLiteral,
+            AddrMode::Register(_) => SpecModeClass::Register,
+            AddrMode::RegDeferred(_) => SpecModeClass::RegisterDeferred,
+            AddrMode::AutoDecrement(_) => SpecModeClass::AutoDecrement,
+            AddrMode::AutoIncrement(_) => SpecModeClass::AutoIncrement,
+            AddrMode::AutoIncDeferred(_) => SpecModeClass::AutoIncDeferred,
+            AddrMode::Displacement { .. } => SpecModeClass::Displacement,
+            AddrMode::DisplacementDeferred { .. } => SpecModeClass::DisplacementDeferred,
+            AddrMode::Immediate { .. } => SpecModeClass::Immediate,
+            AddrMode::Absolute(_) => SpecModeClass::Absolute,
+        }
+    }
+
+    /// Does evaluating this specifier reference memory for the operand
+    /// itself (deferred modes reference memory even for address operands)?
+    pub fn is_memory(&self) -> bool {
+        !matches!(
+            self,
+            AddrMode::Literal(_) | AddrMode::Register(_) | AddrMode::Immediate { .. }
+        )
+    }
+}
+
+/// The operand-specifier rows of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpecModeClass {
+    /// Register mode `Rn`.
+    Register,
+    /// Encoded short literal.
+    ShortLiteral,
+    /// Immediate `(PC)+`.
+    Immediate,
+    /// Displacement `disp(Rn)` (including PC-relative).
+    Displacement,
+    /// Register deferred `(Rn)`.
+    RegisterDeferred,
+    /// Displacement deferred `@disp(Rn)`.
+    DisplacementDeferred,
+    /// Autoincrement `(Rn)+`.
+    AutoIncrement,
+    /// Autodecrement `-(Rn)`.
+    AutoDecrement,
+    /// Autoincrement deferred `@(Rn)+`.
+    AutoIncDeferred,
+    /// Absolute `@#addr`.
+    Absolute,
+}
+
+impl SpecModeClass {
+    /// All classes in Table 4 row order.
+    pub const ALL: [SpecModeClass; 10] = [
+        SpecModeClass::Register,
+        SpecModeClass::ShortLiteral,
+        SpecModeClass::Immediate,
+        SpecModeClass::Displacement,
+        SpecModeClass::RegisterDeferred,
+        SpecModeClass::DisplacementDeferred,
+        SpecModeClass::AutoIncrement,
+        SpecModeClass::AutoDecrement,
+        SpecModeClass::AutoIncDeferred,
+        SpecModeClass::Absolute,
+    ];
+
+    /// Row label as printed in Table 4.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpecModeClass::Register => "Register",
+            SpecModeClass::ShortLiteral => "Short literal",
+            SpecModeClass::Immediate => "Immediate",
+            SpecModeClass::Displacement => "Displacement",
+            SpecModeClass::RegisterDeferred => "Register deferred",
+            SpecModeClass::DisplacementDeferred => "Disp. deferred",
+            SpecModeClass::AutoIncrement => "Autoincrement",
+            SpecModeClass::AutoDecrement => "Autodecrement",
+            SpecModeClass::AutoIncDeferred => "Autoinc. deferred",
+            SpecModeClass::Absolute => "Absolute",
+        }
+    }
+
+    /// Stable index 0–9, in Table 4 row order.
+    pub const fn index(self) -> usize {
+        match self {
+            SpecModeClass::Register => 0,
+            SpecModeClass::ShortLiteral => 1,
+            SpecModeClass::Immediate => 2,
+            SpecModeClass::Displacement => 3,
+            SpecModeClass::RegisterDeferred => 4,
+            SpecModeClass::DisplacementDeferred => 5,
+            SpecModeClass::AutoIncrement => 6,
+            SpecModeClass::AutoDecrement => 7,
+            SpecModeClass::AutoIncDeferred => 8,
+            SpecModeClass::Absolute => 9,
+        }
+    }
+}
+
+impl fmt::Display for SpecModeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_class_indices_are_ordered() {
+        for (i, c) in SpecModeClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn indexing_rules() {
+        assert!(Operand::Literal(5).indexed(Reg::R2).is_err());
+        assert!(Operand::Reg(Reg::R1).indexed(Reg::R2).is_err());
+        assert!(Operand::Immediate(7).indexed(Reg::R2).is_err());
+        let idx = Operand::RegDeferred(Reg::R1).indexed(Reg::R2).unwrap();
+        assert!(idx.is_indexed());
+        assert_eq!(idx.mode_class(), SpecModeClass::RegisterDeferred);
+        assert!(idx.indexed(Reg::R3).is_err(), "no double indexing");
+    }
+
+    #[test]
+    fn displacement_fitting() {
+        assert_eq!(DispSize::fitting(0), DispSize::Byte);
+        assert_eq!(DispSize::fitting(127), DispSize::Byte);
+        assert_eq!(DispSize::fitting(-128), DispSize::Byte);
+        assert_eq!(DispSize::fitting(128), DispSize::Word);
+        assert_eq!(DispSize::fitting(-32768), DispSize::Word);
+        assert_eq!(DispSize::fitting(40000), DispSize::Long);
+    }
+
+    #[test]
+    fn memory_predicate() {
+        assert!(!Operand::Reg(Reg::R0).is_memory());
+        assert!(!Operand::Literal(1).is_memory());
+        assert!(!Operand::Immediate(1).is_memory());
+        assert!(Operand::Disp(4, Reg::R1).is_memory());
+        assert!(Operand::Absolute(0x1000).is_memory());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: assembling any well-formed instruction and decoding the
+//! bytes yields the original opcode, operand modes and length.
+
+use proptest::prelude::*;
+use vax_arch::{
+    AccessType, AddrMode, Assembler, Decoder, Opcode, Operand, Reg, SliceSource,
+};
+
+/// Strategy for a register that is safe in any addressing mode (not PC/SP,
+/// which have special encodings or side effects we exercise separately).
+fn plain_reg() -> impl Strategy<Value = Reg> {
+    (0u8..12).prop_map(Reg::from_number)
+}
+
+/// Strategy for an operand valid under the given access type.
+fn operand_for(access: AccessType) -> BoxedStrategy<Operand> {
+    let mem = prop_oneof![
+        plain_reg().prop_map(Operand::RegDeferred),
+        plain_reg().prop_map(Operand::AutoDecrement),
+        plain_reg().prop_map(Operand::AutoIncrement),
+        plain_reg().prop_map(Operand::AutoIncDeferred),
+        (any::<i32>(), plain_reg()).prop_map(|(d, r)| Operand::Disp(d, r)),
+        (any::<i32>(), plain_reg()).prop_map(|(d, r)| Operand::DispDeferred(d, r)),
+        any::<u32>().prop_map(Operand::Absolute),
+    ];
+    if access.writes_value() {
+        prop_oneof![mem, plain_reg().prop_map(Operand::Reg)].boxed()
+    } else if matches!(access, AccessType::Address) {
+        mem.boxed()
+    } else {
+        prop_oneof![
+            mem,
+            plain_reg().prop_map(Operand::Reg),
+            (0u8..64).prop_map(Operand::Literal),
+            any::<u64>().prop_map(Operand::Immediate),
+        ]
+        .boxed()
+    }
+}
+
+/// Strategy producing an opcode without a branch displacement together
+/// with a valid operand list.
+fn inst_strategy() -> impl Strategy<Value = (Opcode, Vec<Operand>)> {
+    let non_branch: Vec<Opcode> = Opcode::ALL
+        .iter()
+        .copied()
+        .filter(|o| o.branch_displacement().is_none() && !o.has_case_table())
+        .collect();
+    prop::sample::select(non_branch).prop_flat_map(|op| {
+        let strategies: Vec<BoxedStrategy<Operand>> = op
+            .operands()
+            .iter()
+            .map(|t| operand_for(t.access()))
+            .collect();
+        (Just(op), strategies)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn assemble_decode_roundtrip((op, operands) in inst_strategy()) {
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(op, &operands).unwrap();
+        let img = asm.finish().unwrap();
+
+        let mut src = SliceSource::new(&img.bytes);
+        let inst = Decoder::decode(&mut src).unwrap();
+
+        prop_assert_eq!(inst.opcode, op);
+        prop_assert_eq!(inst.len as usize, img.bytes.len());
+        prop_assert_eq!(inst.specs.len(), operands.len());
+        for (spec, operand) in inst.specs.iter().zip(&operands) {
+            prop_assert_eq!(spec.mode_class(), operand.mode_class());
+            // Register identity survives for register-based modes.
+            match (operand, spec.mode) {
+                (Operand::Reg(r), AddrMode::Register(r2)) => prop_assert_eq!(*r, r2),
+                (Operand::Disp(d, r), AddrMode::Displacement { reg, disp, .. }) => {
+                    prop_assert_eq!(*r, reg);
+                    prop_assert_eq!(*d, disp);
+                }
+                (Operand::Absolute(a), AddrMode::Absolute(a2)) => prop_assert_eq!(*a, a2),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn branch_displacements_resolve_exactly(
+        gap in 0usize..100,
+        forward in any::<bool>(),
+    ) {
+        let mut asm = Assembler::new(0x4000);
+        if forward {
+            let target = asm.new_label();
+            asm.branch(Opcode::Brb, &[], target).unwrap();
+            for _ in 0..gap {
+                asm.inst(Opcode::Nop, &[]).unwrap();
+            }
+            asm.place(target).unwrap();
+            let img = asm.finish().unwrap();
+            let disp = img.bytes[1] as i8 as i64;
+            // Branch VA 0x4000, next byte after displacement 0x4002.
+            prop_assert_eq!(0x4002 + disp, 0x4002 + gap as i64);
+        } else {
+            let target = asm.label_here();
+            for _ in 0..gap {
+                asm.inst(Opcode::Nop, &[]).unwrap();
+            }
+            asm.branch(Opcode::Brb, &[], target).unwrap();
+            let img = asm.finish().unwrap();
+            let off = gap; // branch opcode offset
+            let disp = img.bytes[off + 1] as i8 as i64;
+            prop_assert_eq!(
+                0x4000 + off as i64 + 2 + disp,
+                0x4000,
+                "backward branch lands on target"
+            );
+        }
+    }
+}

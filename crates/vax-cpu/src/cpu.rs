@@ -1,0 +1,731 @@
+//! The CPU: clock owner, microcycle engine, and instruction stepper.
+
+use crate::config::CpuConfig;
+use crate::exec;
+use crate::fault::{CpuError, Fault};
+use crate::ib::InstructionBuffer;
+use crate::interrupt::{Interrupt, InterruptLines};
+use crate::psl::{Mode, Psl};
+use crate::regs::RegFile;
+use crate::specifier;
+use upc_monitor::CycleSink;
+use vax_arch::{DataType, Opcode};
+use vax_mem::{MemorySubsystem, Stream, Width};
+use vax_ucode::{ControlStore, MicroAddr, StallPoint};
+
+/// SCB vector offsets used by this model (byte offsets into the system
+/// control block, which lives at the physical address in `SCBB`).
+pub(crate) mod scb {
+    /// Reserved/unimplemented instruction.
+    pub const RESERVED_INSTRUCTION: u16 = 0x10;
+    /// Access-control (length) violation.
+    pub const ACCESS_VIOLATION: u16 = 0x20;
+    /// Translation not valid (page fault).
+    pub const TRANSLATION_NOT_VALID: u16 = 0x24;
+    /// `CHMK` change-mode-to-kernel dispatch.
+    pub const CHMK: u16 = 0x40;
+    /// `CHME`.
+    pub const CHME: u16 = 0x44;
+    /// `CHMS`.
+    pub const CHMS: u16 = 0x48;
+    /// `CHMU`.
+    pub const CHMU: u16 = 0x4C;
+    /// Software interrupt level `n` vectors at `0x80 + 4n`.
+    pub const SOFTWARE_BASE: u16 = 0x80;
+}
+
+/// What one [`Cpu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction was executed.
+    Instruction(Opcode),
+    /// An interrupt was serviced (no instruction executed).
+    Interrupt,
+    /// An exception was delivered to the OS mid-instruction.
+    Exception(Fault),
+}
+
+/// Summary of a [`Cpu::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Instructions retired during the run.
+    pub instructions: u64,
+    /// Cycles elapsed during the run.
+    pub cycles: u64,
+}
+
+/// The VAX-11/780 processor model.
+pub struct Cpu {
+    pub(crate) regs: RegFile,
+    pub(crate) psl: Psl,
+    pub(crate) mem: MemorySubsystem,
+    pub(crate) cs: ControlStore,
+    pub(crate) ib: InstructionBuffer,
+    pub(crate) now: u64,
+    pub(crate) config: CpuConfig,
+    pub(crate) lines: InterruptLines,
+    /// Software interrupt summary register (bit n = level n pending).
+    pub(crate) sisr: u16,
+    /// Process control block base (physical).
+    pub(crate) pcbb: u32,
+    /// System control block base (physical).
+    pub(crate) scbb: u32,
+    pub(crate) insn_count: u64,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("pc", &format_args!("{:#010x}", self.regs.pc()))
+            .field("psl", &self.psl)
+            .field("now", &self.now)
+            .field("instructions", &self.insn_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cpu {
+    /// A CPU over `mem`, starting in kernel mode at `pc`.
+    pub fn new(mem: MemorySubsystem, config: CpuConfig, pc: u32) -> Cpu {
+        let mut regs = RegFile::new();
+        regs.set_pc(pc);
+        Cpu {
+            regs,
+            psl: Psl::kernel_boot(),
+            mem,
+            cs: ControlStore::build(),
+            ib: InstructionBuffer::new(pc),
+            now: 0,
+            config,
+            lines: InterruptLines::new(),
+            sisr: 0,
+            pcbb: 0,
+            scbb: 0,
+            insn_count: 0,
+        }
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.insn_count
+    }
+
+    /// The control store listing (shared with the analysis).
+    pub fn control_store(&self) -> &ControlStore {
+        &self.cs
+    }
+
+    /// The memory subsystem.
+    pub fn mem(&self) -> &MemorySubsystem {
+        &self.mem
+    }
+
+    /// Mutable memory subsystem (machine setup).
+    pub fn mem_mut(&mut self) -> &mut MemorySubsystem {
+        &mut self.mem
+    }
+
+    /// The register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Mutable register file (machine setup).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// The PSL.
+    pub fn psl(&self) -> &Psl {
+        &self.psl
+    }
+
+    /// Mutable PSL (machine setup).
+    pub fn psl_mut(&mut self) -> &mut Psl {
+        &mut self.psl
+    }
+
+    /// Set the SCB base (physical). Normally done by kernel boot code via
+    /// `MTPR`, exposed for machine setup.
+    pub fn set_scbb(&mut self, pa: u32) {
+        self.scbb = pa;
+    }
+
+    /// Set the PCB base (physical); see [`Cpu::set_scbb`].
+    pub fn set_pcbb(&mut self, pa: u32) {
+        self.pcbb = pa;
+    }
+
+    /// The current PC.
+    pub fn pc(&self) -> u32 {
+        self.regs.pc()
+    }
+
+    /// Redirect execution (machine setup; flushes the IB).
+    pub fn jump(&mut self, pc: u32) {
+        self.regs.set_pc(pc);
+        self.ib.flush(pc);
+    }
+
+    /// Post a hardware interrupt request.
+    pub fn post_interrupt(&mut self, int: Interrupt) {
+        self.lines.post(int);
+    }
+
+    /// Pending software-interrupt summary.
+    pub fn sisr(&self) -> u16 {
+        self.sisr
+    }
+
+    // ----- the microcycle engine -------------------------------------------
+
+    /// Issue one compute microinstruction at `addr`.
+    #[inline]
+    pub(crate) fn micro_compute<S: CycleSink>(&mut self, addr: MicroAddr, sink: &mut S) {
+        sink.record_issue(addr);
+        self.ib.tick(&mut self.mem, self.now, true);
+        self.now += 1;
+    }
+
+    /// Burn `cycles` stall cycles charged to `addr`.
+    pub(crate) fn stall<S: CycleSink>(&mut self, addr: MicroAddr, cycles: u32, sink: &mut S) {
+        if cycles == 0 {
+            return;
+        }
+        sink.record_stall(addr, cycles);
+        for _ in 0..cycles {
+            self.ib.tick(&mut self.mem, self.now, true);
+            self.now += 1;
+        }
+    }
+
+    /// Translate a data reference, running the TB-miss microtrap as needed.
+    pub(crate) fn translate_data<S: CycleSink>(
+        &mut self,
+        va: u32,
+        sink: &mut S,
+    ) -> Result<u32, Fault> {
+        loop {
+            match self.mem.translate(va, Stream::Data) {
+                Ok(pa) => return Ok(pa),
+                Err(_) => self.tb_microtrap(va, sink)?,
+            }
+        }
+    }
+
+    /// The TB-miss service microroutine (paper §4.2): microtrap abort,
+    /// routine entry, page-table walk with the PTE read through the cache,
+    /// TB insert, restart.
+    pub(crate) fn tb_microtrap<S: CycleSink>(
+        &mut self,
+        va: u32,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        self.micro_compute(self.cs.abort(), sink);
+        self.micro_compute(self.cs.tb_miss_entry(), sink);
+        for _ in 0..self.config.tb_miss_head_cycles {
+            self.micro_compute(self.cs.tb_miss_body(), sink);
+        }
+        let fill = self.mem.tb_fill(va, self.now).map_err(Fault::from)?;
+        if let Some(sys) = fill.system_fill {
+            for _ in 0..self.config.tb_miss_double_cycles {
+                self.micro_compute(self.cs.tb_miss_body(), sink);
+            }
+            let addr = self.cs.tb_miss_sys_read();
+            sink.record_issue(addr);
+            self.ib.tick(&mut self.mem, self.now, false);
+            self.now += 1;
+            self.stall(addr, sys.stall, sink);
+        }
+        let addr = self.cs.tb_miss_pte_read();
+        sink.record_issue(addr);
+        self.ib.tick(&mut self.mem, self.now, false);
+        self.now += 1;
+        self.stall(addr, fill.pte_read.stall, sink);
+        for _ in 0..self.config.tb_miss_tail_cycles {
+            self.micro_compute(self.cs.tb_miss_insert(), sink);
+        }
+        Ok(())
+    }
+
+    /// Issue a read microinstruction at `addr` for an *aligned* reference.
+    fn micro_read_aligned<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        va: u32,
+        width: Width,
+        sink: &mut S,
+    ) -> Result<u32, Fault> {
+        let pa = self.translate_data(va, sink)?;
+        sink.record_issue(addr);
+        self.ib.tick(&mut self.mem, self.now, false);
+        let outcome = self.mem.read(pa, width, self.now);
+        self.now += 1;
+        self.stall(addr, outcome.stall, sink);
+        Ok(outcome.value)
+    }
+
+    /// Issue a write microinstruction at `addr` for an *aligned* reference.
+    fn micro_write_aligned<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        va: u32,
+        width: Width,
+        value: u32,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        let pa = self.translate_data(va, sink)?;
+        sink.record_issue(addr);
+        self.ib.tick(&mut self.mem, self.now, false);
+        let outcome = self.mem.write(pa, width, value, self.now);
+        self.now += 1;
+        self.stall(addr, outcome.stall, sink);
+        Ok(())
+    }
+
+    /// Does a reference of `width` at `va` cross a longword boundary
+    /// (two physical references on the 32-bit data path, §3.3.1)?
+    #[inline]
+    fn crosses_longword(va: u32, width: Width) -> bool {
+        (va & 3) + width.bytes() > 4
+    }
+
+    /// D-stream read of up to a longword, splitting unaligned references
+    /// through the alignment microcode (Mem Mgmt row).
+    pub(crate) fn read_data<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        va: u32,
+        width: Width,
+        sink: &mut S,
+    ) -> Result<u32, Fault> {
+        if !Self::crosses_longword(va, width) {
+            // Within one longword: a single reference, possibly at an odd
+            // byte offset (handled by the rotator, no extra cost).
+            let aligned = va & !3;
+            let lw = self.micro_read_aligned(addr, aligned, Width::Long, sink)?;
+            let shift = (va & 3) * 8;
+            let mask = width_mask(width);
+            return Ok((lw >> shift) & mask);
+        }
+        self.mem.counters_mut().unaligned_refs += 1;
+        let lo_lw = self.micro_read_aligned(addr, va & !3, Width::Long, sink)?;
+        let hi_lw =
+            self.micro_read_aligned(self.cs.memmgmt_read(), (va & !3) + 4, Width::Long, sink)?;
+        self.micro_compute(self.cs.memmgmt_compute(), sink);
+        let shift = (va & 3) * 8;
+        let combined = (u64::from(hi_lw) << 32) | u64::from(lo_lw);
+        Ok(((combined >> shift) as u32) & width_mask(width))
+    }
+
+    /// D-stream write of up to a longword, splitting unaligned references.
+    pub(crate) fn write_data<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        va: u32,
+        width: Width,
+        value: u32,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        if !Self::crosses_longword(va, width) {
+            return self.micro_write_aligned(addr, va, width, value, sink);
+        }
+        self.mem.counters_mut().unaligned_refs += 1;
+        let lo_bytes = 4 - (va & 3);
+        self.micro_compute(self.cs.memmgmt_compute(), sink);
+        // Low part at the odd offset (aligned at byte granularity).
+        for i in 0..width.bytes() {
+            // Byte-wise split keeps each physical write aligned; charge the
+            // first byte at the caller's address, the rest to alignment
+            // microcode.
+            let a = if i == 0 { addr } else { self.cs.memmgmt_write() };
+            if i == lo_bytes {
+                self.micro_compute(self.cs.memmgmt_compute(), sink);
+            }
+            self.micro_write_aligned(a, va + i, Width::Byte, (value >> (8 * i)) & 0xFF, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Quadword read: two longword references.
+    pub(crate) fn read_data_u64<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        va: u32,
+        sink: &mut S,
+    ) -> Result<u64, Fault> {
+        let lo = self.read_data(addr, va, Width::Long, sink)?;
+        let hi = self.read_data(addr, va + 4, Width::Long, sink)?;
+        Ok(u64::from(lo) | (u64::from(hi) << 32))
+    }
+
+    /// Quadword write: two longword references.
+    pub(crate) fn write_data_u64<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        va: u32,
+        value: u64,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        self.write_data(addr, va, Width::Long, value as u32, sink)?;
+        self.write_data(addr, va + 4, Width::Long, (value >> 32) as u32, sink)
+    }
+
+    /// Physical read (SCB vectors, PCB): no translation.
+    pub(crate) fn micro_read_phys<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        pa: u32,
+        sink: &mut S,
+    ) -> u32 {
+        sink.record_issue(addr);
+        self.ib.tick(&mut self.mem, self.now, false);
+        let outcome = self.mem.read(pa & !3, Width::Long, self.now);
+        self.now += 1;
+        self.stall(addr, outcome.stall, sink);
+        outcome.value
+    }
+
+    /// Physical write (PCB save): no translation.
+    pub(crate) fn micro_write_phys<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        pa: u32,
+        value: u32,
+        sink: &mut S,
+    ) {
+        sink.record_issue(addr);
+        self.ib.tick(&mut self.mem, self.now, false);
+        let outcome = self.mem.write(pa & !3, Width::Long, value, self.now);
+        self.now += 1;
+        self.stall(addr, outcome.stall, sink);
+    }
+
+    // ----- IB consumption ---------------------------------------------------
+
+    /// Take one instruction byte, stalling at `point` while the IB is
+    /// starved and servicing I-stream TB misses when flagged.
+    pub(crate) fn ib_take_byte<S: CycleSink>(
+        &mut self,
+        point: StallPoint,
+        sink: &mut S,
+    ) -> Result<u8, Fault> {
+        loop {
+            if let Some(b) = self.ib.take_byte() {
+                self.regs.set_pc(self.regs.pc().wrapping_add(1));
+                return Ok(b);
+            }
+            if let Some(va) = self.ib.tb_miss() {
+                self.tb_microtrap(va, sink)?;
+                self.ib.clear_tb_miss();
+                continue;
+            }
+            // Starved: execute the IB-stall dispatch microinstruction.
+            self.micro_compute(self.cs.ib_stall(point), sink);
+        }
+    }
+
+    /// Take a little-endian word from the I-stream.
+    pub(crate) fn ib_take_u16<S: CycleSink>(
+        &mut self,
+        point: StallPoint,
+        sink: &mut S,
+    ) -> Result<u16, Fault> {
+        let lo = self.ib_take_byte(point, sink)?;
+        let hi = self.ib_take_byte(point, sink)?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    /// Take a little-endian longword from the I-stream.
+    pub(crate) fn ib_take_u32<S: CycleSink>(
+        &mut self,
+        point: StallPoint,
+        sink: &mut S,
+    ) -> Result<u32, Fault> {
+        let lo = self.ib_take_u16(point, sink)?;
+        let hi = self.ib_take_u16(point, sink)?;
+        Ok(u32::from(lo) | (u32::from(hi) << 16))
+    }
+
+    // ----- stepping ---------------------------------------------------------
+
+    /// Execute one instruction (or service one interrupt).
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::Halted`] on a kernel-mode `HALT`;
+    /// [`CpuError::UnhandledFault`] if an exception has no SCB vector.
+    pub fn step<S: CycleSink>(&mut self, sink: &mut S) -> Result<StepOutcome, CpuError> {
+        // Interrupt arbitration happens between instructions.
+        if let Some(int) = self.pending_interrupt() {
+            self.service_interrupt(int, sink);
+            return Ok(StepOutcome::Interrupt);
+        }
+        let pc_at_start = self.regs.pc();
+        match self.execute_one(sink) {
+            Ok(op) => {
+                self.insn_count += 1;
+                Ok(StepOutcome::Instruction(op))
+            }
+            Err(ExecStop::Fault(fault)) => {
+                self.deliver_exception(fault, pc_at_start, sink)?;
+                Ok(StepOutcome::Exception(fault))
+            }
+            Err(ExecStop::Halt) => Err(CpuError::Halted {
+                pc: self.regs.pc(),
+            }),
+        }
+    }
+
+    fn execute_one<S: CycleSink>(&mut self, sink: &mut S) -> Result<Opcode, ExecStop> {
+        let opbyte = self
+            .ib_take_byte(StallPoint::Decode, sink)
+            .map_err(ExecStop::Fault)?;
+        let opcode = Opcode::from_byte(opbyte)
+            .ok_or(ExecStop::Fault(Fault::ReservedInstruction { opcode: opbyte }))?;
+        // The non-overlapped decode cycle (§2.1). The 11/750-style ablation
+        // folds it away for non-PC-changing instructions (§5).
+        if !self.config.decode_overlap || opcode.is_pc_changing() {
+            self.micro_compute(self.cs.ird1(), sink);
+        }
+        // Microcode-patch abort cycles (§5: "one for each microcode
+        // patch") at a steady rate.
+        if self.config.patch_abort_period > 0
+            && self
+                .insn_count
+                .is_multiple_of(u64::from(self.config.patch_abort_period))
+        {
+            self.micro_compute(self.cs.abort(), sink);
+        }
+        // Specifier processing.
+        let mut ops = specifier::EvalOps::new();
+        let mut branch_disp: Option<i32> = None;
+        for (i, template) in opcode.operands().iter().enumerate() {
+            if template.is_branch_displacement() {
+                let disp = match template.data_type() {
+                    DataType::Byte => self
+                        .ib_take_byte(StallPoint::BranchDisp, sink)
+                        .map_err(ExecStop::Fault)? as i8
+                        as i32,
+                    DataType::Word => self
+                        .ib_take_u16(StallPoint::BranchDisp, sink)
+                        .map_err(ExecStop::Fault)? as i16
+                        as i32,
+                    other => unreachable!("displacement of type {other}"),
+                };
+                // The displacement bytes are consumed here (IB stalls land
+                // in the B-Disp row), but the target-address computation
+                // cycle is spent only if the branch is taken — §5: "the
+                // branch displacement need not be computed when the
+                // instruction does not branch".
+                branch_disp = Some(disp);
+            } else {
+                let op = specifier::eval_specifier(self, i, *template, sink)
+                    .map_err(ExecStop::Fault)?;
+                ops.push(op);
+            }
+        }
+        // Execute phase.
+        exec::execute(self, opcode, &ops, branch_disp, sink)?;
+        Ok(opcode)
+    }
+
+    fn pending_interrupt(&self) -> Option<PendingInt> {
+        let hw = self.lines.max_ipl().filter(|&ipl| ipl > self.psl.ipl);
+        let sw = highest_bit(self.sisr).filter(|&lvl| lvl > self.psl.ipl);
+        match (hw, sw) {
+            (Some(h), Some(s)) if s > h => Some(PendingInt::Software(s)),
+            (Some(_), _) => Some(PendingInt::Hardware),
+            (None, Some(s)) => Some(PendingInt::Software(s)),
+            (None, None) => None,
+        }
+    }
+
+    /// Interrupt-service microcode: save PC/PSL on the interrupt stack,
+    /// fetch the SCB vector, dispatch to the kernel's ISR code.
+    fn service_interrupt<S: CycleSink>(&mut self, which: PendingInt, sink: &mut S) {
+        let (ipl, vector) = match which {
+            PendingInt::Hardware => {
+                let int = self
+                    .lines
+                    .acknowledge_above(self.psl.ipl)
+                    .expect("pending_interrupt saw it");
+                (int.ipl, int.vector)
+            }
+            PendingInt::Software(level) => {
+                self.sisr &= !(1 << level);
+                (level, scb::SOFTWARE_BASE + 4 * u16::from(level))
+            }
+        };
+        let (u_entry, u_body, u_read, u_write) = (
+            self.cs.int_entry(),
+            self.cs.int_body(),
+            self.cs.int_read(),
+            self.cs.int_write(),
+        );
+        self.micro_compute(u_entry, sink);
+        let body = self.config.int_service_body_cycles;
+        for _ in 0..body / 2 {
+            self.micro_compute(u_body, sink);
+        }
+        // Hardware interrupts are serviced on the interrupt stack;
+        // software interrupts (e.g. VMS rescheduling at level 3) on the
+        // current process's kernel stack, so the PC/PSL frame is part of
+        // the per-process context that SVPCTX/LDPCTX hand over.
+        let on_interrupt_stack = matches!(which, PendingInt::Hardware);
+        let old_psl = self.psl;
+        let mut new_psl = self.psl;
+        new_psl.mode = Mode::Kernel;
+        new_psl.interrupt_stack = on_interrupt_stack;
+        new_psl.ipl = ipl;
+        self.regs.switch_stack(&old_psl, &new_psl);
+        self.psl = new_psl;
+        let sp = self.regs.sp().wrapping_sub(8);
+        self.regs.set_sp(sp);
+        // Pushes go through translation; the interrupt stack is wired
+        // resident in the workloads, so faults cannot occur here.
+        let pc = self.regs.pc();
+        let psl_word = old_psl.to_u32();
+        let _ = self.write_data(u_write, sp + 4, Width::Long, psl_word, sink);
+        self.micro_compute(u_body, sink);
+        self.micro_compute(u_body, sink);
+        let _ = self.write_data(u_write, sp, Width::Long, pc, sink);
+        for _ in 0..body - body / 2 {
+            self.micro_compute(u_body, sink);
+        }
+        let handler = self.micro_read_phys(u_read, self.scbb + u32::from(vector), sink);
+        self.regs.set_pc(handler);
+        self.ib.flush(handler);
+    }
+
+    /// Exception-service microcode; delivers `fault` through the SCB.
+    fn deliver_exception<S: CycleSink>(
+        &mut self,
+        fault: Fault,
+        pc_at_fault: u32,
+        sink: &mut S,
+    ) -> Result<(), CpuError> {
+        let vector = match fault {
+            Fault::PageFault { .. } => scb::TRANSLATION_NOT_VALID,
+            Fault::LengthViolation { .. } => scb::ACCESS_VIOLATION,
+            Fault::ReservedInstruction { .. } | Fault::Privileged => scb::RESERVED_INSTRUCTION,
+        };
+        let (u_abort, u_entry, u_body, u_read, u_write) = (
+            self.cs.abort(),
+            self.cs.exc_entry(),
+            self.cs.exc_body(),
+            self.cs.exc_read(),
+            self.cs.exc_write(),
+        );
+        self.micro_compute(u_abort, sink);
+        self.micro_compute(u_entry, sink);
+        for _ in 0..self.config.exc_service_body_cycles {
+            self.micro_compute(u_body, sink);
+        }
+        let old_psl = self.psl;
+        let mut new_psl = self.psl;
+        new_psl.mode = Mode::Kernel;
+        self.regs.switch_stack(&old_psl, &new_psl);
+        self.psl = new_psl;
+        let sp = self.regs.sp().wrapping_sub(8);
+        self.regs.set_sp(sp);
+        let _ = self.write_data(u_write, sp + 4, Width::Long, old_psl.to_u32(), sink);
+        let _ = self.write_data(u_write, sp, Width::Long, pc_at_fault, sink);
+        let handler = self.micro_read_phys(u_read, self.scbb + u32::from(vector), sink);
+        if handler == 0 {
+            return Err(CpuError::UnhandledFault {
+                fault,
+                pc: pc_at_fault,
+            });
+        }
+        self.regs.set_pc(handler);
+        self.ib.flush(handler);
+        Ok(())
+    }
+
+    /// Run up to `max_instructions` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`] from [`Cpu::step`].
+    pub fn run<S: CycleSink>(
+        &mut self,
+        max_instructions: u64,
+        sink: &mut S,
+    ) -> Result<RunOutcome, CpuError> {
+        let start_insns = self.insn_count;
+        let start_cycles = self.now;
+        while self.insn_count - start_insns < max_instructions {
+            self.step(sink)?;
+        }
+        Ok(RunOutcome {
+            instructions: self.insn_count - start_insns,
+            cycles: self.now - start_cycles,
+        })
+    }
+}
+
+enum PendingInt {
+    Hardware,
+    Software(u8),
+}
+
+/// Why instruction execution stopped abnormally.
+pub(crate) enum ExecStop {
+    /// An architectural fault to deliver.
+    Fault(Fault),
+    /// Kernel-mode HALT.
+    Halt,
+}
+
+impl From<Fault> for ExecStop {
+    fn from(f: Fault) -> ExecStop {
+        ExecStop::Fault(f)
+    }
+}
+
+#[inline]
+fn width_mask(width: Width) -> u32 {
+    match width {
+        Width::Byte => 0xFF,
+        Width::Word => 0xFFFF,
+        Width::Long => 0xFFFF_FFFF,
+    }
+}
+
+/// Highest set bit index of a 16-bit mask (software interrupt level).
+fn highest_bit(mask: u16) -> Option<u8> {
+    if mask == 0 {
+        None
+    } else {
+        Some(15 - mask.leading_zeros() as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highest_bit_finds_top_level() {
+        assert_eq!(highest_bit(0), None);
+        assert_eq!(highest_bit(0b0000_0010), Some(1));
+        assert_eq!(highest_bit(0b1000_0010), Some(7));
+    }
+
+    #[test]
+    fn crosses_longword_detection() {
+        assert!(!Cpu::crosses_longword(0x1000, Width::Long));
+        assert!(Cpu::crosses_longword(0x1002, Width::Long));
+        assert!(!Cpu::crosses_longword(0x1002, Width::Word));
+        assert!(Cpu::crosses_longword(0x1003, Width::Word));
+        assert!(!Cpu::crosses_longword(0x1003, Width::Byte));
+    }
+}

@@ -1,0 +1,159 @@
+//! CALL/RET group: procedure linkage ("involving considerable state saving
+//! and restoring on the stack", §3.1) and multi-register push/pop.
+//!
+//! The stack frame built by `CALLS`/`CALLG` (from low to high addresses at
+//! return time):
+//!
+//! ```text
+//!   FP -> [ condition handler (0)     ]
+//!         [ mask | calls-flag (bit 13)]
+//!         [ saved AP                  ]
+//!         [ saved FP                  ]
+//!         [ return PC                 ]
+//!         [ saved Rn ... (mask order) ]
+//!         [ argument count (CALLS)    ]
+//!         [ arguments ...             ]
+//! ```
+
+use super::{computes, push_long, take_branch};
+use crate::cpu::Cpu;
+use crate::fault::Fault;
+use crate::specifier::EvalOps;
+use upc_monitor::CycleSink;
+use vax_arch::{BranchClass, Opcode, Reg};
+use vax_mem::Width;
+
+const CALLS_FLAG: u32 = 1 << 13;
+
+pub(super) fn exec<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    use Opcode::*;
+    match op {
+        Calls => {
+            let numarg = ops[0].u32() & 0xFF;
+            let dst = ops[1].addr();
+            computes(cpu, op, 2, sink);
+            // Push the argument count; AP will point here.
+            push_long(cpu, op, numarg, sink)?;
+            let arg_base = cpu.regs.sp();
+            call_common(cpu, op, dst, arg_base, true, sink)
+        }
+        Callg => {
+            let arg_base = ops[0].addr();
+            let dst = ops[1].addr();
+            computes(cpu, op, 2, sink);
+            call_common(cpu, op, dst, arg_base, false, sink)
+        }
+        Ret => {
+            computes(cpu, op, 8, sink);
+            // Discard down to the frame, then read it back.
+            let fp = cpu.regs.get(Reg::Fp);
+            let u_read = cpu.cs.exec_read(op);
+            let _handler = cpu.read_data(u_read, fp, Width::Long, sink)?;
+            let maskword = cpu.read_data(u_read, fp + 4, Width::Long, sink)?;
+            let saved_ap = cpu.read_data(u_read, fp + 8, Width::Long, sink)?;
+            let saved_fp = cpu.read_data(u_read, fp + 12, Width::Long, sink)?;
+            let return_pc = cpu.read_data(u_read, fp + 16, Width::Long, sink)?;
+            let mut sp = fp + 20;
+            let mask = maskword & 0x0FFF;
+            computes(cpu, op, 2, sink);
+            // Registers were pushed high-to-low, so they pop low-to-high,
+            // with a register-scan cycle per pop.
+            for n in 0..12 {
+                if mask & (1 << n) != 0 {
+                    let v = cpu.read_data(u_read, sp, Width::Long, sink)?;
+                    cpu.regs.set(Reg::from_number(n), v);
+                    computes(cpu, op, 1, sink);
+                    sp += 4;
+                }
+            }
+            let old_ap = cpu.regs.get(Reg::Ap);
+            cpu.regs.set(Reg::Ap, saved_ap);
+            cpu.regs.set(Reg::Fp, saved_fp);
+            if maskword & CALLS_FLAG != 0 {
+                // Pop the argument count and the arguments.
+                let numarg = cpu.read_data(u_read, old_ap, Width::Long, sink)? & 0xFF;
+                sp = old_ap + 4 + 4 * numarg;
+            }
+            cpu.regs.set_sp(sp);
+            take_branch(cpu, BranchClass::ProcedureCallRet, return_pc, sink);
+            Ok(())
+        }
+        Pushr => {
+            computes(cpu, op, 2, sink);
+            let mask = ops[0].u32() & 0x7FFF;
+            // PUSHR stores R0 at the lowest address: push high-to-low.
+            for n in (0..15).rev() {
+                if mask & (1 << n) != 0 {
+                    let v = cpu.regs.get(Reg::from_number(n));
+                    push_long(cpu, op, v, sink)?;
+                    computes(cpu, op, 3, sink);
+                }
+            }
+            Ok(())
+        }
+        Popr => {
+            computes(cpu, op, 2, sink);
+            let mask = ops[0].u32() & 0x7FFF;
+            let u_read = cpu.cs.exec_read(op);
+            let mut sp = cpu.regs.sp();
+            for n in 0..15 {
+                if mask & (1 << n) != 0 {
+                    let v = cpu.read_data(u_read, sp, Width::Long, sink)?;
+                    cpu.regs.set(Reg::from_number(n), v);
+                    sp += 4;
+                }
+            }
+            cpu.regs.set_sp(sp);
+            Ok(())
+        }
+        other => unreachable!("{other} is not a CALL/RET opcode"),
+    }
+}
+
+/// The shared tail of `CALLS`/`CALLG`: read the entry mask, save state,
+/// build the frame, jump.
+fn call_common<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    dst: u32,
+    arg_base: u32,
+    is_calls: bool,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    // The procedure's entry mask word.
+    let mask = cpu.read_data(cpu.cs.exec_read(op), dst, Width::Word, sink)? & 0x0FFF;
+    computes(cpu, op, 6, sink);
+    // Push registers 11..0 under the mask (high-to-low); the microcode
+    // spaces pushes with register-scan/address-update cycles, which also
+    // limits (but does not eliminate) write-buffer stalls (§5 notes the
+    // CALL/RET group's large write-stall contribution).
+    for n in (0..12).rev() {
+        if mask & (1 << n) != 0 {
+            let v = cpu.regs.get(Reg::from_number(n));
+            push_long(cpu, op, v, sink)?;
+            computes(cpu, op, 4, sink);
+        }
+    }
+    // Push PC, FP, AP, mask word, handler slot.
+    push_long(cpu, op, cpu.regs.pc(), sink)?;
+    computes(cpu, op, 2, sink);
+    push_long(cpu, op, cpu.regs.get(Reg::Fp), sink)?;
+    computes(cpu, op, 2, sink);
+    push_long(cpu, op, cpu.regs.get(Reg::Ap), sink)?;
+    computes(cpu, op, 2, sink);
+    let maskword = mask | if is_calls { CALLS_FLAG } else { 0 };
+    push_long(cpu, op, maskword, sink)?;
+    computes(cpu, op, 2, sink);
+    push_long(cpu, op, 0, sink)?; // condition handler
+    computes(cpu, op, 3, sink);
+    cpu.regs.set(Reg::Fp, cpu.regs.sp());
+    cpu.regs.set(Reg::Ap, arg_base);
+    // Execution begins past the entry mask.
+    take_branch(cpu, BranchClass::ProcedureCallRet, dst + 2, sink);
+    Ok(())
+}

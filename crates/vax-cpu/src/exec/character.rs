@@ -1,0 +1,266 @@
+//! CHARACTER group: string instructions.
+//!
+//! Loop timing follows the 780 microcode structure: a setup block, then a
+//! per-longword loop of read / spacing-computes / write. The spacing
+//! computes model the paper's observation that "instructions that do many
+//! writes, such as character-string moves, are sometimes microprogrammed
+//! to reduce write stalls by writing only in every sixth cycle" (§4.3).
+
+use super::computes;
+use crate::cpu::Cpu;
+use crate::fault::Fault;
+use crate::specifier::EvalOps;
+use upc_monitor::CycleSink;
+use vax_arch::{Opcode, Reg};
+use vax_mem::Width;
+
+const SETUP_CYCLES: u32 = 12;
+
+pub(super) fn exec<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    use Opcode::*;
+    computes(cpu, op, SETUP_CYCLES, sink);
+    match op {
+        Movc3 => {
+            let len = ops[0].u32() & 0xFFFF;
+            let src = ops[1].addr();
+            let dst = ops[2].addr();
+            move_bytes(cpu, op, src, dst, len, None, len, sink)?;
+            finish_move(cpu, src, dst, len);
+        }
+        Movc5 => {
+            let srclen = ops[0].u32() & 0xFFFF;
+            let src = ops[1].addr();
+            let fill = ops[2].u32() as u8;
+            let dstlen = ops[3].u32() & 0xFFFF;
+            let dst = ops[4].addr();
+            move_bytes(cpu, op, src, dst, srclen.min(dstlen), Some(fill), dstlen, sink)?;
+            // Condition codes compare the source and destination lengths.
+            let diff = srclen.wrapping_sub(dstlen);
+            cpu.psl.z = srclen == dstlen;
+            cpu.psl.n = (diff as i32) < 0;
+            cpu.psl.c = dstlen > srclen;
+            cpu.psl.v = false;
+            finish_move(cpu, src, dst, srclen.min(dstlen));
+            cpu.regs.set(Reg::R0, srclen.saturating_sub(dstlen));
+        }
+        Cmpc3 => {
+            let len = ops[0].u32() & 0xFFFF;
+            let s1 = ops[1].addr();
+            let s2 = ops[2].addr();
+            let (done, a, b) = compare_bytes(cpu, op, s1, s2, len, len, sink)?;
+            let rem = len - done;
+            super::sub_cc(cpu, u32::from(a), u32::from(b), vax_arch::DataType::Byte);
+            cpu.regs.set(Reg::R0, rem);
+            cpu.regs.set(Reg::R1, s1.wrapping_add(done));
+            cpu.regs.set(Reg::R2, rem);
+            cpu.regs.set(Reg::R3, s2.wrapping_add(done));
+        }
+        Cmpc5 => {
+            let len1 = ops[0].u32() & 0xFFFF;
+            let s1 = ops[1].addr();
+            let _fill = ops[2].u32() as u8;
+            let len2 = ops[3].u32() & 0xFFFF;
+            let s2 = ops[4].addr();
+            let n = len1.min(len2);
+            let (done, a, b) = compare_bytes(cpu, op, s1, s2, n, n, sink)?;
+            if done == n && len1 != len2 {
+                // Fill comparison for the tail; modelled as equal-length
+                // in the workloads, so just set cc from the lengths.
+                super::sub_cc(cpu, len1, len2, vax_arch::DataType::Word);
+            } else {
+                super::sub_cc(cpu, u32::from(a), u32::from(b), vax_arch::DataType::Byte);
+            }
+            cpu.regs.set(Reg::R0, len1 - done.min(len1));
+            cpu.regs.set(Reg::R1, s1.wrapping_add(done));
+            cpu.regs.set(Reg::R2, len2 - done.min(len2));
+            cpu.regs.set(Reg::R3, s2.wrapping_add(done));
+        }
+        Locc | Skpc => {
+            let target = ops[0].u32() as u8;
+            let len = ops[1].u32() & 0xFFFF;
+            let addr = ops[2].addr();
+            let mut found = None;
+            for i in 0..len {
+                let b = read_string_byte(cpu, op, addr.wrapping_add(i), i, sink)?;
+                let hit = if op == Locc { b == target } else { b != target };
+                if hit {
+                    found = Some(i);
+                    break;
+                }
+            }
+            let (rem, pos) = match found {
+                Some(i) => (len - i, addr.wrapping_add(i)),
+                None => (0, addr.wrapping_add(len)),
+            };
+            cpu.psl.z = rem == 0;
+            cpu.psl.n = false;
+            cpu.psl.v = false;
+            cpu.psl.c = false;
+            cpu.regs.set(Reg::R0, rem);
+            cpu.regs.set(Reg::R1, pos);
+        }
+        Scanc | Spanc => {
+            let len = ops[0].u32() & 0xFFFF;
+            let addr = ops[1].addr();
+            let table = ops[2].addr();
+            let mask = ops[3].u32() as u8;
+            let mut found = None;
+            for i in 0..len {
+                let b = read_string_byte(cpu, op, addr.wrapping_add(i), i, sink)?;
+                let t = cpu.read_data(
+                    cpu.cs.exec_read(op),
+                    table.wrapping_add(u32::from(b)),
+                    Width::Byte,
+                    sink,
+                )? as u8;
+                computes(cpu, op, 1, sink);
+                let hit = if op == Scanc {
+                    t & mask != 0
+                } else {
+                    t & mask == 0
+                };
+                if hit {
+                    found = Some(i);
+                    break;
+                }
+            }
+            let (rem, pos) = match found {
+                Some(i) => (len - i, addr.wrapping_add(i)),
+                None => (0, addr.wrapping_add(len)),
+            };
+            cpu.psl.z = rem == 0;
+            cpu.psl.n = false;
+            cpu.psl.v = false;
+            cpu.psl.c = false;
+            cpu.regs.set(Reg::R0, rem);
+            cpu.regs.set(Reg::R1, pos);
+            cpu.regs.set(Reg::R3, table);
+        }
+        other => unreachable!("{other} is not a CHARACTER opcode"),
+    }
+    Ok(())
+}
+
+/// Copy `copy_len` bytes from `src` to `dst` (forward), then fill the
+/// remainder up to `total_len` with `fill` if given. Charges the
+/// microcode's per-longword loop: read, spacing computes, write.
+#[allow(clippy::too_many_arguments)] // mirrors the microroutine's inputs
+fn move_bytes<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    src: u32,
+    dst: u32,
+    copy_len: u32,
+    fill: Option<u8>,
+    total_len: u32,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    let spacing = cpu.config.char_loop_spacing;
+    let u_read = cpu.cs.exec_read(op);
+    let u_write = cpu.cs.exec_write(op);
+    let mut i = 0;
+    while i < copy_len {
+        let chunk = (copy_len - i).min(4 - ((src.wrapping_add(i)) & 3)).min(4);
+        let (width, bytes) = chunk_width(chunk);
+        let v = cpu.read_data(u_read, src.wrapping_add(i), width, sink)?;
+        computes(cpu, op, spacing, sink);
+        write_chunk(cpu, u_write, dst.wrapping_add(i), v, bytes, sink)?;
+        computes(cpu, op, 1, sink);
+        i += bytes;
+    }
+    if let Some(f) = fill {
+        let pattern = u32::from_le_bytes([f; 4]);
+        let mut i = copy_len;
+        while i < total_len {
+            let chunk = (total_len - i).min(4);
+            let (_, bytes) = chunk_width(chunk);
+            computes(cpu, op, spacing, sink);
+            write_chunk(cpu, u_write, dst.wrapping_add(i), pattern, bytes, sink)?;
+            i += bytes;
+        }
+    }
+    Ok(())
+}
+
+/// Post-move architectural register state (MOVC3 definition).
+fn finish_move(cpu: &mut Cpu, src: u32, dst: u32, len: u32) {
+    cpu.regs.set(Reg::R0, 0);
+    cpu.regs.set(Reg::R1, src.wrapping_add(len));
+    cpu.regs.set(Reg::R2, 0);
+    cpu.regs.set(Reg::R3, dst.wrapping_add(len));
+    cpu.regs.set(Reg::R4, 0);
+    cpu.regs.set(Reg::R5, 0);
+    cpu.psl.z = true;
+    cpu.psl.n = false;
+    cpu.psl.v = false;
+    cpu.psl.c = false;
+}
+
+/// Compare up to `n` bytes; returns (bytes-equal, first-unequal-a,
+/// first-unequal-b). Charges one read per longword per string.
+fn compare_bytes<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    s1: u32,
+    s2: u32,
+    n: u32,
+    _len_for_cycles: u32,
+    sink: &mut S,
+) -> Result<(u32, u8, u8), Fault> {
+    for i in 0..n {
+        let a = read_string_byte(cpu, op, s1.wrapping_add(i), i, sink)?;
+        let b = read_string_byte(cpu, op, s2.wrapping_add(i), i, sink)?;
+        if a != b {
+            return Ok((i, a, b));
+        }
+    }
+    Ok((n, 0, 0))
+}
+
+/// Read one string byte, charging a longword read when crossing into a new
+/// longword (the microcode buffers the current longword) plus one loop
+/// compute per longword.
+fn read_string_byte<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    va: u32,
+    index: u32,
+    sink: &mut S,
+) -> Result<u8, Fault> {
+    if index == 0 || va & 3 == 0 {
+        let lw = cpu.read_data(cpu.cs.exec_read(op), va & !3, Width::Long, sink)?;
+        computes(cpu, op, 1, sink);
+        Ok((lw >> ((va & 3) * 8)) as u8)
+    } else {
+        // Same longword as the previous byte: already buffered; re-read
+        // memory for the value without charging a new reference.
+        let pa = cpu.translate_data(va, sink)?;
+        let b = cpu.mem.phys().read_u8(pa);
+        Ok(b)
+    }
+}
+
+fn chunk_width(chunk: u32) -> (Width, u32) {
+    match chunk {
+        4 => (Width::Long, 4),
+        2 | 3 => (Width::Word, 2),
+        _ => (Width::Byte, 1),
+    }
+}
+
+fn write_chunk<S: CycleSink>(
+    cpu: &mut Cpu,
+    u_write: vax_ucode::MicroAddr,
+    va: u32,
+    value: u32,
+    bytes: u32,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    let (width, _) = chunk_width(bytes);
+    cpu.write_data(u_write, va, width, value, sink)
+}

@@ -1,0 +1,237 @@
+//! FIELD group: variable bit fields and bit branches.
+
+use super::{computes, disp_target, set_nz, sub_cc, take_branch};
+use crate::cpu::Cpu;
+use crate::fault::Fault;
+use crate::operand::Loc;
+use crate::specifier::{EvalOp, EvalOps};
+use upc_monitor::CycleSink;
+use vax_arch::{BranchClass, DataType, Opcode, Reg};
+use vax_mem::Width;
+
+pub(super) fn exec<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    disp: Option<i32>,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    use Opcode::*;
+    match op {
+        Extv | Extzv => {
+            computes(cpu, op, 6, sink);
+            let pos = ops[0].u32() as i32;
+            let size = ops[1].u32() & 0x3F;
+            let raw = read_field(cpu, op, pos, size, &ops[2], sink)?;
+            let value = if op == Extv && size > 0 && size < 32 {
+                // Sign-extend from the field's top bit.
+                let shift = 32 - size;
+                ((raw << shift) as i32 >> shift) as u32
+            } else {
+                raw
+            };
+            set_nz(cpu, value, DataType::Long, sink);
+            super::store(cpu, &ops[3], u64::from(value), sink)?;
+        }
+        Insv => {
+            computes(cpu, op, 6, sink);
+            let src = ops[0].u32();
+            let pos = ops[1].u32() as i32;
+            let size = ops[2].u32() & 0x3F;
+            write_field(cpu, op, pos, size, &ops[3], src, sink)?;
+        }
+        Ffs | Ffc => {
+            computes(cpu, op, 7, sink);
+            let start = ops[0].u32() as i32;
+            let size = ops[1].u32() & 0x3F;
+            let raw = read_field(cpu, op, start, size, &ops[2], sink)?;
+            let want_set = op == Ffs;
+            let mut found = None;
+            for i in 0..size {
+                let bit = (raw >> i) & 1;
+                if (bit == 1) == want_set {
+                    found = Some(i);
+                    break;
+                }
+            }
+            let (z, result) = match found {
+                Some(i) => (false, start.wrapping_add(i as i32) as u32),
+                None => (true, start.wrapping_add(size as i32) as u32),
+            };
+            cpu.psl.z = z;
+            cpu.psl.n = false;
+            cpu.psl.v = false;
+            cpu.psl.c = false;
+            super::store(cpu, &ops[3], u64::from(result), sink)?;
+        }
+        Cmpv | Cmpzv => {
+            computes(cpu, op, 6, sink);
+            let pos = ops[0].u32() as i32;
+            let size = ops[1].u32() & 0x3F;
+            let raw = read_field(cpu, op, pos, size, &ops[2], sink)?;
+            let field = if op == Cmpv && size > 0 && size < 32 {
+                let shift = 32 - size;
+                ((raw << shift) as i32 >> shift) as u32
+            } else {
+                raw
+            };
+            sub_cc(cpu, field, ops[3].u32(), DataType::Long);
+        }
+        Bbs | Bbc | Bbss | Bbcs | Bbsc | Bbcc | Bbssi | Bbcci => {
+            computes(cpu, op, 2, sink);
+            let pos = ops[0].u32() as i32;
+            let bit = read_field(cpu, op, pos, 1, &ops[1], sink)? & 1;
+            // The set/clear variants update the bit after testing.
+            let new_bit = match op {
+                Bbss | Bbcs | Bbssi => Some(1u32),
+                Bbsc | Bbcc | Bbcci => Some(0u32),
+                _ => None,
+            };
+            if let Some(nb) = new_bit {
+                if nb != bit {
+                    write_field(cpu, op, pos, 1, &ops[1], nb, sink)?;
+                } else {
+                    computes(cpu, op, 1, sink);
+                }
+            }
+            let branch_on_set = matches!(op, Bbs | Bbss | Bbsc | Bbssi);
+            if (bit == 1) == branch_on_set {
+                let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+                take_branch(cpu, BranchClass::BitBranch, t, sink);
+            }
+        }
+        other => unreachable!("{other} is not a FIELD opcode"),
+    }
+    Ok(())
+}
+
+/// Read a bit field of `size` bits at bit position `pos` relative to a
+/// register or byte-addressed base.
+fn read_field<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    pos: i32,
+    size: u32,
+    base: &EvalOp,
+    sink: &mut S,
+) -> Result<u32, Fault> {
+    if size == 0 {
+        return Ok(0);
+    }
+    debug_assert!(size <= 32);
+    match base.op.loc {
+        Loc::Reg(r) => {
+            // Register field: pos must be 0–31 architecturally; a second
+            // register supplies bits 32–63.
+            let lo = cpu.regs.get(r);
+            let hi = cpu.regs.get(Reg::from_number((r.number() + 1) & 0xF));
+            let both = u64::from(lo) | (u64::from(hi) << 32);
+            let pos = (pos & 31) as u32;
+            Ok(extract64(both, pos, size))
+        }
+        Loc::Mem(va) => {
+            let byte = va.wrapping_add((pos >> 3) as u32);
+            let bit = (pos & 7) as u32;
+            let lw0 = cpu.read_data(cpu.cs.exec_read(op), byte & !3, Width::Long, sink)?;
+            let off_bits = (byte & 3) * 8 + bit;
+            if off_bits + size <= 32 {
+                Ok(extract64(u64::from(lw0), off_bits, size))
+            } else {
+                let lw1 =
+                    cpu.read_data(cpu.cs.exec_read(op), (byte & !3) + 4, Width::Long, sink)?;
+                let both = u64::from(lw0) | (u64::from(lw1) << 32);
+                Ok(extract64(both, off_bits, size))
+            }
+        }
+        Loc::Value => Ok(0),
+    }
+}
+
+/// Write a bit field (read-modify-write for memory bases).
+fn write_field<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    pos: i32,
+    size: u32,
+    base: &EvalOp,
+    value: u32,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    if size == 0 {
+        return Ok(());
+    }
+    let mask: u64 = if size >= 32 {
+        0xFFFF_FFFF
+    } else {
+        (1u64 << size) - 1
+    };
+    match base.op.loc {
+        Loc::Reg(r) => {
+            let pos = (pos & 31) as u32;
+            let lo = u64::from(cpu.regs.get(r));
+            let hi = u64::from(cpu.regs.get(Reg::from_number((r.number() + 1) & 0xF)));
+            let mut both = lo | (hi << 32);
+            both = (both & !(mask << pos)) | ((u64::from(value) & mask) << pos);
+            cpu.regs.set(r, both as u32);
+            if pos + size > 32 {
+                cpu.regs
+                    .set(Reg::from_number((r.number() + 1) & 0xF), (both >> 32) as u32);
+            }
+            Ok(())
+        }
+        Loc::Mem(va) => {
+            let byte = va.wrapping_add((pos >> 3) as u32);
+            let bit = (pos & 7) as u32;
+            let base_lw = byte & !3;
+            let off_bits = (byte & 3) * 8 + bit;
+            let lw0 = cpu.read_data(cpu.cs.exec_read(op), base_lw, Width::Long, sink)?;
+            if off_bits + size <= 32 {
+                let mut w = u64::from(lw0);
+                w = (w & !(mask << off_bits)) | ((u64::from(value) & mask) << off_bits);
+                cpu.write_data(cpu.cs.exec_write(op), base_lw, Width::Long, w as u32, sink)
+            } else {
+                let lw1 = cpu.read_data(cpu.cs.exec_read(op), base_lw + 4, Width::Long, sink)?;
+                let mut both = u64::from(lw0) | (u64::from(lw1) << 32);
+                both =
+                    (both & !(mask << off_bits)) | ((u64::from(value) & mask) << off_bits);
+                cpu.write_data(
+                    cpu.cs.exec_write(op),
+                    base_lw,
+                    Width::Long,
+                    both as u32,
+                    sink,
+                )?;
+                cpu.write_data(
+                    cpu.cs.exec_write(op),
+                    base_lw + 4,
+                    Width::Long,
+                    (both >> 32) as u32,
+                    sink,
+                )
+            }
+        }
+        Loc::Value => Ok(()),
+    }
+}
+
+fn extract64(src: u64, pos: u32, size: u32) -> u32 {
+    debug_assert!((1..=32).contains(&size));
+    let mask: u64 = if size >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << size) - 1
+    };
+    ((src >> pos) & mask) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::extract64;
+
+    #[test]
+    fn extract_basic() {
+        assert_eq!(extract64(0b1011_0100, 2, 4), 0b1101);
+        assert_eq!(extract64(u64::MAX, 30, 32), 0xFFFF_FFFF);
+        assert_eq!(extract64(1 << 40, 40, 1), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! FLOAT group: F_floating and D_floating arithmetic (via the Floating
+//! Point Accelerator, which all measured machines had — paper §2.2) plus
+//! integer multiply/divide, which the paper groups here.
+
+use super::{computes, store};
+use crate::cpu::Cpu;
+use crate::fault::Fault;
+use crate::ffloat;
+use crate::specifier::{EvalOp, EvalOps};
+use upc_monitor::CycleSink;
+use vax_arch::{DataType, Opcode};
+
+/// FPA-assisted execute-cycle costs (beyond the entry cycle).
+fn extra_cycles(op: Opcode) -> u32 {
+    use Opcode::*;
+    match op {
+        Movf | Movd | Tstf | Tstd => 3,
+        Cmpf | Cmpd => 4,
+        Cvtfb | Cvtfw | Cvtfl | Cvtbf | Cvtwf | Cvtlf | Cvtld | Cvtdl => 6,
+        Addf2 | Addf3 | Subf2 | Subf3 => 7,
+        Addd2 | Addd3 | Subd2 | Subd3 => 7,
+        Mulf2 | Mulf3 => 9,
+        Muld2 | Muld3 => 10,
+        Divf2 | Divf3 => 14,
+        Divd2 | Divd3 => 18,
+        Mull2 | Mull3 => 11,
+        Divl2 | Divl3 => 16,
+        Emul => 11,
+        Ediv => 15,
+        other => unreachable!("{other} is not a FLOAT opcode"),
+    }
+}
+
+fn decode_op(eop: &EvalOp) -> f64 {
+    match eop.dtype {
+        DataType::FFloat => ffloat::f_decode(eop.u32()),
+        DataType::DFloat => ffloat::d_decode(eop.u64()),
+        _ => eop.u32() as i32 as f64,
+    }
+}
+
+fn encode_for(dtype: DataType, value: f64) -> u64 {
+    match dtype {
+        DataType::FFloat => u64::from(ffloat::f_encode(value)),
+        DataType::DFloat => ffloat::d_encode(value),
+        _ => unreachable!("float encode of {dtype}"),
+    }
+}
+
+fn set_float_cc(cpu: &mut Cpu, value: f64) {
+    cpu.psl.n = value < 0.0;
+    cpu.psl.z = value == 0.0;
+    cpu.psl.v = false;
+    cpu.psl.c = false;
+}
+
+pub(super) fn exec<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    use Opcode::*;
+    computes(cpu, op, extra_cycles(op), sink);
+    match op {
+        // ----- two/three operand arithmetic ---------------------------------
+        Addf2 | Addd2 | Subf2 | Subd2 | Mulf2 | Muld2 | Divf2 | Divd2 => {
+            let a = decode_op(&ops[0]);
+            let b = decode_op(&ops[1]);
+            let r = apply(op, b, a, cpu);
+            set_float_cc(cpu, r);
+            store(cpu, &ops[1], encode_for(ops[1].dtype, r), sink)?;
+        }
+        Addf3 | Addd3 | Subf3 | Subd3 | Mulf3 | Muld3 | Divf3 | Divd3 => {
+            let a = decode_op(&ops[0]);
+            let b = decode_op(&ops[1]);
+            let r = apply(op, b, a, cpu);
+            set_float_cc(cpu, r);
+            store(cpu, &ops[2], encode_for(ops[2].dtype, r), sink)?;
+        }
+        Movf | Movd => {
+            let v = decode_op(&ops[0]);
+            set_float_cc(cpu, v);
+            store(cpu, &ops[1], ops[0].u64(), sink)?;
+        }
+        Mnegf => {
+            let v = -decode_op(&ops[0]);
+            set_float_cc(cpu, v);
+            store(cpu, &ops[1], encode_for(DataType::FFloat, v), sink)?;
+        }
+        Cmpf | Cmpd => {
+            let a = decode_op(&ops[0]);
+            let b = decode_op(&ops[1]);
+            cpu.psl.n = a < b;
+            cpu.psl.z = a == b;
+            cpu.psl.v = false;
+            cpu.psl.c = false;
+        }
+        Tstf | Tstd => {
+            let v = decode_op(&ops[0]);
+            set_float_cc(cpu, v);
+        }
+
+        // ----- conversions ---------------------------------------------------
+        Cvtbf | Cvtwf | Cvtlf => {
+            let v = decode_op(&ops[0]);
+            set_float_cc(cpu, v);
+            store(cpu, &ops[1], encode_for(DataType::FFloat, v), sink)?;
+        }
+        Cvtld => {
+            let v = decode_op(&ops[0]);
+            set_float_cc(cpu, v);
+            store(cpu, &ops[1], encode_for(DataType::DFloat, v), sink)?;
+        }
+        Cvtfb | Cvtfw | Cvtfl | Cvtdl => {
+            let v = decode_op(&ops[0]);
+            let t = v.trunc();
+            let dst = ops[1].dtype;
+            let (r, overflow) = clamp_int(t, dst);
+            cpu.psl.n = (r as i32) < 0;
+            cpu.psl.z = r == 0;
+            cpu.psl.v = overflow;
+            cpu.psl.c = false;
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+
+        // ----- integer multiply/divide ---------------------------------------
+        Mull2 => {
+            let (r, v) = mul32(ops[1].u32() as i32, ops[0].u32() as i32);
+            int_cc(cpu, r, v);
+            store(cpu, &ops[1], r as u32 as u64, sink)?;
+        }
+        Mull3 => {
+            let (r, v) = mul32(ops[0].u32() as i32, ops[1].u32() as i32);
+            int_cc(cpu, r, v);
+            store(cpu, &ops[2], r as u32 as u64, sink)?;
+        }
+        Divl2 => {
+            let (r, v) = div32(ops[1].u32() as i32, ops[0].u32() as i32);
+            int_cc(cpu, r, v);
+            store(cpu, &ops[1], r as u32 as u64, sink)?;
+        }
+        Divl3 => {
+            let (r, v) = div32(ops[1].u32() as i32, ops[0].u32() as i32);
+            int_cc(cpu, r, v);
+            store(cpu, &ops[2], r as u32 as u64, sink)?;
+        }
+        Emul => {
+            let prod = i64::from(ops[0].u32() as i32) * i64::from(ops[1].u32() as i32)
+                + i64::from(ops[2].u32() as i32);
+            cpu.psl.n = prod < 0;
+            cpu.psl.z = prod == 0;
+            cpu.psl.v = false;
+            cpu.psl.c = false;
+            store(cpu, &ops[3], prod as u64, sink)?;
+        }
+        Ediv => {
+            let divisor = ops[0].u32() as i32;
+            let dividend = ops[1].u64() as i64;
+            if divisor == 0 {
+                cpu.psl.v = true;
+                store(cpu, &ops[2], dividend as u32 as u64, sink)?;
+                store(cpu, &ops[3], 0, sink)?;
+            } else {
+                let q = dividend / i64::from(divisor);
+                let r = dividend % i64::from(divisor);
+                let overflow = q > i64::from(i32::MAX) || q < i64::from(i32::MIN);
+                int_cc(cpu, q as i32, overflow);
+                store(cpu, &ops[2], q as u32 as u64, sink)?;
+                store(cpu, &ops[3], r as u32 as u64, sink)?;
+            }
+        }
+        other => unreachable!("{other} is not a FLOAT opcode"),
+    }
+    Ok(())
+}
+
+fn apply(op: Opcode, dst: f64, src: f64, _cpu: &mut Cpu) -> f64 {
+    use Opcode::*;
+    match op {
+        Addf2 | Addd2 | Addf3 | Addd3 => dst + src,
+        Subf2 | Subd2 | Subf3 | Subd3 => dst - src,
+        Mulf2 | Muld2 | Mulf3 | Muld3 => dst * src,
+        Divf2 | Divd2 | Divf3 | Divd3 => {
+            if src == 0.0 {
+                // Divide by zero: result flushed, V set by caller via cc on
+                // a zero result; the workloads never divide by zero.
+                0.0
+            } else {
+                dst / src
+            }
+        }
+        other => unreachable!("{other} has no f64 application"),
+    }
+}
+
+fn mul32(a: i32, b: i32) -> (i32, bool) {
+    let wide = i64::from(a) * i64::from(b);
+    (wide as i32, wide != i64::from(wide as i32))
+}
+
+fn div32(dividend: i32, divisor: i32) -> (i32, bool) {
+    if divisor == 0 || (dividend == i32::MIN && divisor == -1) {
+        // VAX: quotient = dividend, V set.
+        (dividend, true)
+    } else {
+        (dividend / divisor, false)
+    }
+}
+
+fn int_cc(cpu: &mut Cpu, r: i32, v: bool) {
+    cpu.psl.n = r < 0;
+    cpu.psl.z = r == 0;
+    cpu.psl.v = v;
+    cpu.psl.c = false;
+}
+
+fn clamp_int(t: f64, dtype: DataType) -> (u32, bool) {
+    let (lo, hi) = match dtype {
+        DataType::Byte => (i64::from(i8::MIN), i64::from(i8::MAX)),
+        DataType::Word => (i64::from(i16::MIN), i64::from(i16::MAX)),
+        _ => (i64::from(i32::MIN), i64::from(i32::MAX)),
+    };
+    if !t.is_finite() || t < lo as f64 || t > hi as f64 {
+        (0, true)
+    } else {
+        let v = t as i64;
+        ((v as u32) & super::mask_of(dtype), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul32_overflow() {
+        assert_eq!(mul32(3, 4), (12, false));
+        let (_, v) = mul32(0x4000_0000, 4);
+        assert!(v);
+    }
+
+    #[test]
+    fn div32_by_zero_keeps_dividend() {
+        assert_eq!(div32(17, 0), (17, true));
+        assert_eq!(div32(17, 5), (3, false));
+        assert_eq!(div32(i32::MIN, -1), (i32::MIN, true));
+    }
+
+    #[test]
+    fn clamp_int_detects_overflow() {
+        use vax_arch::DataType;
+        assert_eq!(clamp_int(100.0, DataType::Byte), (100, false));
+        assert!(clamp_int(300.0, DataType::Byte).1);
+        assert_eq!(clamp_int(-5.0, DataType::Word), (0xFFFB, false));
+    }
+}

@@ -1,0 +1,177 @@
+//! The execute phase: per-opcode microroutines with real architectural
+//! semantics.
+//!
+//! Every handler begins at the opcode's execute-routine entry (already
+//! issued by [`execute`]) and charges additional cycles to the opcode's
+//! compute/read/write control-store slots. Result stores to instruction
+//! destinations go through the *specifier* write path
+//! ([`crate::specifier::store_operand`]), because the paper attributes
+//! operand writes to specifier processing (§3.2); stack pushes, string
+//! stores and other non-operand references stay in the execute row.
+
+mod callret;
+mod character;
+mod decimal;
+mod field;
+mod float;
+mod simple;
+mod system;
+
+use crate::cpu::{Cpu, ExecStop};
+use crate::fault::Fault;
+use crate::specifier::{EvalOp, EvalOps};
+use upc_monitor::CycleSink;
+use vax_arch::{BranchClass, DataType, Opcode};
+use vax_mem::Width;
+
+/// Run the execute microroutine for `op`.
+pub(crate) fn execute<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    disp: Option<i32>,
+    sink: &mut S,
+) -> Result<(), ExecStop> {
+    cpu.micro_compute(cpu.cs.exec_entry(op), sink);
+    use vax_arch::OpcodeGroup as G;
+    match op.group() {
+        G::Simple => simple::exec(cpu, op, ops, disp, sink).map_err(ExecStop::from),
+        G::Field => field::exec(cpu, op, ops, disp, sink).map_err(ExecStop::from),
+        G::Float => float::exec(cpu, op, ops, sink).map_err(ExecStop::from),
+        G::CallRet => callret::exec(cpu, op, ops, sink).map_err(ExecStop::from),
+        G::System => system::exec(cpu, op, ops, sink),
+        G::Character => character::exec(cpu, op, ops, sink).map_err(ExecStop::from),
+        G::Decimal => decimal::exec(cpu, op, ops, sink).map_err(ExecStop::from),
+    }
+}
+
+// ----- shared helpers --------------------------------------------------------
+
+/// Charge `n` compute cycles to the opcode's execute body.
+pub(crate) fn computes<S: CycleSink>(cpu: &mut Cpu, op: Opcode, n: u32, sink: &mut S) {
+    for _ in 0..n {
+        cpu.micro_compute(cpu.cs.exec_compute(op), sink);
+    }
+}
+
+/// The branch target for a displacement branch: displacement is relative
+/// to the updated PC (past the displacement field). The target
+/// calculation and IB redirect share one cycle — the branch-taken
+/// microinstruction, which the control store places in the B-Disp row for
+/// displacement branches (§5: that cycle is spent only when taken).
+pub(crate) fn disp_target<S: CycleSink>(cpu: &mut Cpu, disp: i32, sink: &mut S) -> u32 {
+    let _ = sink;
+    cpu.regs.pc().wrapping_add(disp as u32)
+}
+
+/// Take a branch: the IB-redirect cycle (charged to the class's
+/// branch-taken µaddress, the Table 2 numerator), PC update, IB flush.
+pub(crate) fn take_branch<S: CycleSink>(
+    cpu: &mut Cpu,
+    class: BranchClass,
+    target: u32,
+    sink: &mut S,
+) {
+    cpu.micro_compute(cpu.cs.branch_taken(class), sink);
+    cpu.regs.set_pc(target);
+    cpu.ib.flush(target);
+}
+
+/// Push a longword (stack write in the execute row).
+pub(crate) fn push_long<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    value: u32,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    let sp = cpu.regs.sp().wrapping_sub(4);
+    cpu.regs.set_sp(sp);
+    cpu.write_data(cpu.cs.exec_write(op), sp, Width::Long, value, sink)
+}
+
+/// Pop a longword (stack read in the execute row).
+pub(crate) fn pop_long<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    sink: &mut S,
+) -> Result<u32, Fault> {
+    let sp = cpu.regs.sp();
+    let v = cpu.read_data(cpu.cs.exec_read(op), sp, Width::Long, sink)?;
+    cpu.regs.set_sp(sp.wrapping_add(4));
+    Ok(v)
+}
+
+// ----- condition-code arithmetic ---------------------------------------------
+
+/// All-ones mask of a data type's width (integer types).
+pub(crate) fn mask_of(dtype: DataType) -> u32 {
+    match dtype {
+        DataType::Byte => 0xFF,
+        DataType::Word => 0xFFFF,
+        _ => 0xFFFF_FFFF,
+    }
+}
+
+/// Sign bit of a data type's width.
+pub(crate) fn sign_of(dtype: DataType) -> u32 {
+    match dtype {
+        DataType::Byte => 0x80,
+        DataType::Word => 0x8000,
+        _ => 0x8000_0000,
+    }
+}
+
+/// Set N and Z from `res` at `dtype` width; clears V, preserves C
+/// (move-style condition codes).
+pub(crate) fn set_nz<S: CycleSink>(cpu: &mut Cpu, res: u32, dtype: DataType, _sink: &mut S) {
+    let res = res & mask_of(dtype);
+    cpu.psl.n = res & sign_of(dtype) != 0;
+    cpu.psl.z = res == 0;
+    cpu.psl.v = false;
+}
+
+/// `a + b + cin` with full NZVC at `dtype` width.
+pub(crate) fn add_cc(cpu: &mut Cpu, a: u32, b: u32, cin: u32, dtype: DataType) -> u32 {
+    let mask = mask_of(dtype);
+    let sign = sign_of(dtype);
+    let (a, b) = (a & mask, b & mask);
+    let wide = u64::from(a) + u64::from(b) + u64::from(cin);
+    let res = (wide as u32) & mask;
+    cpu.psl.n = res & sign != 0;
+    cpu.psl.z = res == 0;
+    cpu.psl.v = (a ^ res) & (b ^ res) & sign != 0;
+    cpu.psl.c = wide > u64::from(mask);
+    res
+}
+
+/// `a - b` with full NZVC at `dtype` width (C = borrow).
+pub(crate) fn sub_cc(cpu: &mut Cpu, a: u32, b: u32, dtype: DataType) -> u32 {
+    let mask = mask_of(dtype);
+    let sign = sign_of(dtype);
+    let (a, b) = (a & mask, b & mask);
+    let res = a.wrapping_sub(b) & mask;
+    cpu.psl.n = res & sign != 0;
+    cpu.psl.z = res == 0;
+    cpu.psl.v = (a ^ b) & (a ^ res) & sign != 0;
+    cpu.psl.c = b > a;
+    res
+}
+
+/// Sign-extend a value of `dtype` width to 32 bits.
+pub(crate) fn sext(value: u32, dtype: DataType) -> i32 {
+    match dtype {
+        DataType::Byte => value as u8 as i8 as i32,
+        DataType::Word => value as u16 as i16 as i32,
+        _ => value as i32,
+    }
+}
+
+/// Convenience: store through the specifier write path.
+pub(crate) fn store<S: CycleSink>(
+    cpu: &mut Cpu,
+    eop: &EvalOp,
+    value: u64,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    crate::specifier::store_operand(cpu, eop, value, sink)
+}

@@ -1,0 +1,355 @@
+//! SIMPLE group: moves, integer arithmetic, booleans, shifts, converts,
+//! and all the simple/loop/case/subroutine control flow.
+
+use super::{
+    add_cc, computes, disp_target, mask_of, pop_long, push_long, set_nz, sext, store,
+    sub_cc, take_branch,
+};
+use crate::cpu::Cpu;
+use crate::fault::Fault;
+use crate::specifier::EvalOps;
+use upc_monitor::CycleSink;
+use vax_arch::{BranchClass, DataType, Opcode};
+use vax_mem::Width;
+
+pub(super) fn exec<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    disp: Option<i32>,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    use Opcode::*;
+    let dt = |i: usize| ops[i].dtype;
+    match op {
+        // ----- moves -------------------------------------------------------
+        Movb | Movw | Movl => {
+            let v = ops[0].u32();
+            set_nz(cpu, v, dt(0), sink);
+            store(cpu, &ops[1], u64::from(v), sink)?;
+        }
+        Movq => {
+            let v = ops[0].u64();
+            cpu.psl.n = (v as i64) < 0;
+            cpu.psl.z = v == 0;
+            cpu.psl.v = false;
+            store(cpu, &ops[1], v, sink)?;
+        }
+        Movzbl | Movzbw | Movzwl => {
+            let v = ops[0].u32() & mask_of(dt(0));
+            set_nz(cpu, v, ops[1].dtype, sink);
+            store(cpu, &ops[1], u64::from(v), sink)?;
+        }
+        Moval | Movaw => {
+            let a = ops[0].addr();
+            set_nz(cpu, a, DataType::Long, sink);
+            store(cpu, &ops[1], u64::from(a), sink)?;
+        }
+        Pushal => {
+            let a = ops[0].addr();
+            set_nz(cpu, a, DataType::Long, sink);
+            push_long(cpu, op, a, sink)?;
+        }
+        Pushl => {
+            let v = ops[0].u32();
+            set_nz(cpu, v, DataType::Long, sink);
+            push_long(cpu, op, v, sink)?;
+        }
+        Clrb | Clrw | Clrl => {
+            set_nz(cpu, 0, dt(0), sink);
+            store(cpu, &ops[0], 0, sink)?;
+        }
+        Clrq => {
+            cpu.psl.n = false;
+            cpu.psl.z = true;
+            cpu.psl.v = false;
+            store(cpu, &ops[0], 0, sink)?;
+        }
+        Mnegb | Mnegl => {
+            let r = sub_cc(cpu, 0, ops[0].u32(), dt(0));
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Mcomb | Mcoml => {
+            let r = !ops[0].u32() & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Movpsl => {
+            let v = cpu.psl.to_u32();
+            store(cpu, &ops[0], u64::from(v), sink)?;
+        }
+
+        // ----- add/subtract -------------------------------------------------
+        Addb2 | Addw2 | Addl2 => {
+            let r = add_cc(cpu, ops[1].u32(), ops[0].u32(), 0, dt(0));
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Addb3 | Addw3 | Addl3 => {
+            let r = add_cc(cpu, ops[0].u32(), ops[1].u32(), 0, dt(0));
+            store(cpu, &ops[2], u64::from(r), sink)?;
+        }
+        Subb2 | Subw2 | Subl2 => {
+            let r = sub_cc(cpu, ops[1].u32(), ops[0].u32(), dt(0));
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Subb3 | Subw3 | Subl3 => {
+            let r = sub_cc(cpu, ops[1].u32(), ops[0].u32(), dt(0));
+            store(cpu, &ops[2], u64::from(r), sink)?;
+        }
+        Adwc => {
+            let cin = u32::from(cpu.psl.c);
+            let r = add_cc(cpu, ops[1].u32(), ops[0].u32(), cin, DataType::Long);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Sbwc => {
+            let borrow = u32::from(cpu.psl.c);
+            let r = sub_cc(cpu, ops[1].u32(), ops[0].u32().wrapping_add(borrow), DataType::Long);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Incb | Incw | Incl => {
+            let r = add_cc(cpu, ops[0].u32(), 1, 0, dt(0));
+            store(cpu, &ops[0], u64::from(r), sink)?;
+        }
+        Decb | Decw | Decl => {
+            let r = sub_cc(cpu, ops[0].u32(), 1, dt(0));
+            store(cpu, &ops[0], u64::from(r), sink)?;
+        }
+
+        // ----- booleans and tests --------------------------------------------
+        Bisb2 | Bisw2 | Bisl2 => {
+            let r = (ops[1].u32() | ops[0].u32()) & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Bisb3 | Bisl3 => {
+            let r = (ops[1].u32() | ops[0].u32()) & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+            store(cpu, &ops[2], u64::from(r), sink)?;
+        }
+        Bicb2 | Bicw2 | Bicl2 => {
+            let r = (ops[1].u32() & !ops[0].u32()) & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Bicb3 | Bicl3 => {
+            let r = (ops[1].u32() & !ops[0].u32()) & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+            store(cpu, &ops[2], u64::from(r), sink)?;
+        }
+        Xorb2 | Xorl2 => {
+            let r = (ops[1].u32() ^ ops[0].u32()) & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Xorl3 => {
+            let r = ops[1].u32() ^ ops[0].u32();
+            set_nz(cpu, r, DataType::Long, sink);
+            store(cpu, &ops[2], u64::from(r), sink)?;
+        }
+        Bitb | Bitw | Bitl => {
+            let r = ops[0].u32() & ops[1].u32() & mask_of(dt(0));
+            set_nz(cpu, r, dt(0), sink);
+        }
+        Cmpb | Cmpw | Cmpl => {
+            sub_cc(cpu, ops[0].u32(), ops[1].u32(), dt(0));
+        }
+        Tstb | Tstw | Tstl => {
+            set_nz(cpu, ops[0].u32(), dt(0), sink);
+            cpu.psl.c = false;
+        }
+
+        // ----- shifts and converts -------------------------------------------
+        Ashl => {
+            computes(cpu, op, 1, sink);
+            let cnt = ops[0].u32() as u8 as i8;
+            let src = ops[1].u32() as i32;
+            let (r, v) = ash32(src, cnt);
+            set_nz(cpu, r as u32, DataType::Long, sink);
+            cpu.psl.v = v;
+            store(cpu, &ops[2], u64::from(r as u32), sink)?;
+        }
+        Ashq => {
+            computes(cpu, op, 2, sink);
+            let cnt = ops[0].u32() as u8 as i8;
+            let src = ops[1].u64() as i64;
+            let r = if cnt >= 0 {
+                src.wrapping_shl(cnt.min(63) as u32)
+            } else {
+                src >> (-cnt).min(63) as u32
+            };
+            cpu.psl.n = r < 0;
+            cpu.psl.z = r == 0;
+            cpu.psl.v = false;
+            store(cpu, &ops[2], r as u64, sink)?;
+        }
+        Rotl => {
+            computes(cpu, op, 1, sink);
+            let cnt = (ops[0].u32() as u8 as i8).rem_euclid(32) as u32;
+            let r = ops[1].u32().rotate_left(cnt);
+            set_nz(cpu, r, DataType::Long, sink);
+            store(cpu, &ops[2], u64::from(r), sink)?;
+        }
+        Cvtbl | Cvtbw | Cvtwl => {
+            let r = sext(ops[0].u32(), dt(0)) as u32;
+            set_nz(cpu, r, ops[1].dtype, sink);
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+        Cvtwb | Cvtlb | Cvtlw => {
+            let src = sext(ops[0].u32(), dt(0));
+            let dst_dt = ops[1].dtype;
+            let r = src as u32 & mask_of(dst_dt);
+            set_nz(cpu, r, dst_dt, sink);
+            // V on value change under truncation.
+            cpu.psl.v = sext(r, dst_dt) != src;
+            store(cpu, &ops[1], u64::from(r), sink)?;
+        }
+
+        // ----- branches ------------------------------------------------------
+        Brb | Brw => {
+            let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+            take_branch(cpu, BranchClass::SimpleCond, t, sink);
+        }
+        Bneq | Beql | Bgtr | Bleq | Bgeq | Blss | Bgtru | Blequ | Bvc | Bvs | Bcc | Bcs => {
+            if condition(cpu, op) {
+                let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+                take_branch(cpu, BranchClass::SimpleCond, t, sink);
+            }
+        }
+        Blbs | Blbc => {
+            let bit = ops[0].u32() & 1;
+            let want = u32::from(op == Blbs);
+            if bit == want {
+                let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+                take_branch(cpu, BranchClass::LowBitTest, t, sink);
+            }
+        }
+        Aoblss | Aobleq => {
+            let limit = ops[0].u32() as i32;
+            let idx = (ops[1].u32() as i32).wrapping_add(1);
+            set_nz(cpu, idx as u32, DataType::Long, sink);
+            store(cpu, &ops[1], idx as u32 as u64, sink)?;
+            let go = if op == Aoblss { idx < limit } else { idx <= limit };
+            if go {
+                let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+                take_branch(cpu, BranchClass::Loop, t, sink);
+            }
+        }
+        Sobgeq | Sobgtr => {
+            let idx = (ops[0].u32() as i32).wrapping_sub(1);
+            set_nz(cpu, idx as u32, DataType::Long, sink);
+            store(cpu, &ops[0], idx as u32 as u64, sink)?;
+            let go = if op == Sobgeq { idx >= 0 } else { idx > 0 };
+            if go {
+                let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+                take_branch(cpu, BranchClass::Loop, t, sink);
+            }
+        }
+        Acbw | Acbl => {
+            computes(cpu, op, 1, sink);
+            let limit = sext(ops[0].u32(), dt(0));
+            let add = sext(ops[1].u32(), dt(1));
+            let idx = sext(ops[2].u32(), dt(2)).wrapping_add(add);
+            set_nz(cpu, idx as u32, dt(2), sink);
+            store(cpu, &ops[2], idx as u32 as u64, sink)?;
+            let go = if add >= 0 { idx <= limit } else { idx >= limit };
+            if go {
+                let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+                take_branch(cpu, BranchClass::Loop, t, sink);
+            }
+        }
+        Caseb | Casew | Casel => {
+            computes(cpu, op, 1, sink);
+            let sel = ops[0].u32() & mask_of(dt(0));
+            let base = ops[1].u32() & mask_of(dt(0));
+            let limit = ops[2].u32() & mask_of(dt(0));
+            let idx = sel.wrapping_sub(base) & mask_of(dt(0));
+            let table = cpu.regs.pc();
+            let target = if idx <= limit {
+                let entry = cpu.read_data(
+                    cpu.cs.exec_read(op),
+                    table.wrapping_add(2 * idx),
+                    Width::Word,
+                    sink,
+                )?;
+                table.wrapping_add(entry as u16 as i16 as i32 as u32)
+            } else {
+                // Fall past the displacement table.
+                table.wrapping_add(2 * (limit + 1))
+            };
+            sub_cc(cpu, idx, limit, dt(0));
+            take_branch(cpu, BranchClass::Case, target, sink);
+        }
+        Bsbb | Bsbw => {
+            push_long(cpu, op, cpu.regs.pc(), sink)?;
+            let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
+            take_branch(cpu, BranchClass::SubroutineCallRet, t, sink);
+        }
+        Jsb => {
+            push_long(cpu, op, cpu.regs.pc(), sink)?;
+            let t = ops[0].addr();
+            take_branch(cpu, BranchClass::SubroutineCallRet, t, sink);
+        }
+        Rsb => {
+            let t = pop_long(cpu, op, sink)?;
+            take_branch(cpu, BranchClass::SubroutineCallRet, t, sink);
+        }
+        Jmp => {
+            let t = ops[0].addr();
+            take_branch(cpu, BranchClass::Unconditional, t, sink);
+        }
+
+        other => unreachable!("{other} is not a SIMPLE opcode"),
+    }
+    Ok(())
+}
+
+/// Arithmetic shift of a longword with overflow detection.
+fn ash32(src: i32, cnt: i8) -> (i32, bool) {
+    if cnt >= 0 {
+        let cnt = cnt.min(32) as u32;
+        if cnt >= 32 {
+            return (0, src != 0);
+        }
+        let r = src.wrapping_shl(cnt);
+        let v = (r >> cnt) != src;
+        (r, v)
+    } else {
+        let cnt = (-cnt).min(31) as u32;
+        (src >> cnt, false)
+    }
+}
+
+/// Evaluate a simple conditional branch against the PSL.
+fn condition(cpu: &Cpu, op: Opcode) -> bool {
+    let p = &cpu.psl;
+    use Opcode::*;
+    match op {
+        Bneq => !p.z,
+        Beql => p.z,
+        Bgtr => !(p.n | p.z),
+        Bleq => p.n | p.z,
+        Bgeq => !p.n,
+        Blss => p.n,
+        Bgtru => !(p.c | p.z),
+        Blequ => p.c | p.z,
+        Bvc => !p.v,
+        Bvs => p.v,
+        Bcc => !p.c,
+        Bcs => p.c,
+        other => unreachable!("{other} is not a condition branch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ash32;
+
+    #[test]
+    fn ash32_left_right_and_overflow() {
+        assert_eq!(ash32(1, 4), (16, false));
+        assert_eq!(ash32(-16, -2), (-4, false));
+        let (_, v) = ash32(0x4000_0000, 2);
+        assert!(v, "shifting into the sign bit overflows");
+        assert_eq!(ash32(5, 0), (5, false));
+    }
+}

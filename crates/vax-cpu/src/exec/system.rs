@@ -1,0 +1,397 @@
+//! SYSTEM group: privileged operations, change-mode system service
+//! requests, context switching, queue manipulation, protection probes.
+
+use super::{computes, take_branch};
+use crate::cpu::{scb, Cpu, ExecStop};
+use crate::fault::Fault;
+use crate::ipr::IprReg;
+use crate::psl::{Mode, Psl};
+use crate::specifier::EvalOps;
+use upc_monitor::CycleSink;
+use vax_arch::{BranchClass, Opcode, Reg};
+use vax_mem::{AddressSpace, Width};
+
+/// PCB field offsets (physical layout used by SVPCTX/LDPCTX).
+#[allow(dead_code)]
+pub(crate) mod pcb {
+    /// Kernel stack pointer.
+    pub const KSP: u32 = 0;
+    /// User stack pointer.
+    pub const USP: u32 = 4;
+    /// `R0` … `R11` at `GPR + 4 * n`.
+    pub const GPR: u32 = 8;
+    /// Argument pointer.
+    pub const AP: u32 = 56;
+    /// Frame pointer.
+    pub const FP: u32 = 60;
+    /// P0 base register.
+    pub const P0BR: u32 = 72;
+    /// P0 length register.
+    pub const P0LR: u32 = 76;
+    /// P1 base register.
+    pub const P1BR: u32 = 80;
+    /// P1 length register.
+    pub const P1LR: u32 = 84;
+    /// Total PCB size in bytes (offsets 64/68 reserved, matching the
+    /// architectural PCB's PC/PSL slots, which this model leaves on the
+    /// kernel stack as the real SVPCTX does).
+    pub const SIZE: u32 = 88;
+}
+
+pub(super) fn exec<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), ExecStop> {
+    use Opcode::*;
+    match op {
+        Nop => {}
+        Halt => {
+            if cpu.psl.mode == Mode::Kernel {
+                return Err(ExecStop::Halt);
+            }
+            return Err(ExecStop::Fault(Fault::Privileged));
+        }
+        Bpt => {
+            return Err(ExecStop::Fault(Fault::ReservedInstruction {
+                opcode: op.to_byte(),
+            }));
+        }
+        Chmk | Chme | Chms | Chmu => {
+            chmx(cpu, op, ops[0].u32() as u16, sink)?;
+        }
+        Rei => {
+            rei(cpu, op, sink)?;
+        }
+        Svpctx => {
+            require_kernel(cpu)?;
+            svpctx(cpu, op, sink);
+        }
+        Ldpctx => {
+            require_kernel(cpu)?;
+            ldpctx(cpu, op, sink);
+        }
+        Mtpr => {
+            require_kernel(cpu)?;
+            mtpr(cpu, op, ops, sink)?;
+        }
+        Mfpr => {
+            require_kernel(cpu)?;
+            computes(cpu, op, 2, sink);
+            let value = match IprReg::from_code(ops[0].u32()) {
+                Some(IprReg::Pcbb) => cpu.pcbb,
+                Some(IprReg::Scbb) => cpu.scbb,
+                Some(IprReg::Ipl) => u32::from(cpu.psl.ipl),
+                Some(IprReg::Sisr) => u32::from(cpu.sisr),
+                Some(IprReg::Ksp) => banked(cpu, Mode::Kernel, false),
+                Some(IprReg::Usp) => banked(cpu, Mode::User, false),
+                Some(IprReg::Isp) => banked(cpu, Mode::Kernel, true),
+                Some(IprReg::Sirr) | None => 0,
+            };
+            super::store(cpu, &ops[1], u64::from(value), sink).map_err(ExecStop::Fault)?;
+        }
+        Prober | Probew => {
+            computes(cpu, op, 4, sink);
+            let base = ops[2].addr();
+            let accessible = cpu.mem.probe_va(base);
+            // Z set when the access would fault.
+            cpu.psl.z = !accessible;
+            cpu.psl.n = false;
+            cpu.psl.v = false;
+            cpu.psl.c = false;
+        }
+        Insque => {
+            insque(cpu, op, ops, sink).map_err(ExecStop::Fault)?;
+        }
+        Remque => {
+            remque(cpu, op, ops, sink).map_err(ExecStop::Fault)?;
+        }
+        other => unreachable!("{other} is not a SYSTEM opcode"),
+    }
+    Ok(())
+}
+
+fn require_kernel(cpu: &Cpu) -> Result<(), ExecStop> {
+    if cpu.psl.mode == Mode::Kernel {
+        Ok(())
+    } else {
+        Err(ExecStop::Fault(Fault::Privileged))
+    }
+}
+
+fn banked(cpu: &mut Cpu, mode: Mode, interrupt_stack: bool) -> u32 {
+    let psl = Psl {
+        mode,
+        interrupt_stack,
+        ..cpu.psl
+    };
+    cpu.regs.banked_sp(&psl)
+}
+
+/// `CHMx`: push PSL, PC and the service code on the kernel stack, raise
+/// mode, vector through the SCB. The service routine pops the code and
+/// returns with `REI`.
+fn chmx<S: CycleSink>(cpu: &mut Cpu, op: Opcode, code: u16, sink: &mut S) -> Result<(), ExecStop> {
+    computes(cpu, op, 7, sink);
+    let old_psl = cpu.psl;
+    let mut new_psl = cpu.psl;
+    new_psl.mode = Mode::Kernel;
+    cpu.regs.switch_stack(&old_psl, &new_psl);
+    cpu.psl = new_psl;
+    let u_write = cpu.cs.exec_write(op);
+    let sp = cpu.regs.sp().wrapping_sub(12);
+    cpu.regs.set_sp(sp);
+    cpu.write_data(u_write, sp + 8, Width::Long, old_psl.to_u32(), sink)
+        .map_err(ExecStop::Fault)?;
+    computes(cpu, op, 3, sink);
+    cpu.write_data(u_write, sp + 4, Width::Long, cpu.regs.pc(), sink)
+        .map_err(ExecStop::Fault)?;
+    computes(cpu, op, 3, sink);
+    cpu.write_data(u_write, sp, Width::Long, u32::from(code), sink)
+        .map_err(ExecStop::Fault)?;
+    let vector = match op {
+        Opcode::Chmk => scb::CHMK,
+        Opcode::Chme => scb::CHME,
+        Opcode::Chms => scb::CHMS,
+        _ => scb::CHMU,
+    };
+    let handler =
+        cpu.micro_read_phys(cpu.cs.exec_read(op), cpu.scbb + u32::from(vector), sink);
+    take_branch(cpu, BranchClass::SystemBranch, handler, sink);
+    Ok(())
+}
+
+/// `REI`: pop PC and PSL, validate, resume. Dropping IPL lets pending
+/// software interrupts deliver before the next instruction.
+fn rei<S: CycleSink>(cpu: &mut Cpu, op: Opcode, sink: &mut S) -> Result<(), ExecStop> {
+    computes(cpu, op, 6, sink);
+    let u_read = cpu.cs.exec_read(op);
+    let sp = cpu.regs.sp();
+    let pc = cpu
+        .read_data(u_read, sp, Width::Long, sink)
+        .map_err(ExecStop::Fault)?;
+    let psl_word = cpu
+        .read_data(u_read, sp + 4, Width::Long, sink)
+        .map_err(ExecStop::Fault)?;
+    cpu.regs.set_sp(sp + 8);
+    computes(cpu, op, 3, sink);
+    let old_psl = cpu.psl;
+    let new_psl = Psl::from_u32(psl_word);
+    cpu.regs.switch_stack(&old_psl, &new_psl);
+    cpu.psl = new_psl;
+    take_branch(cpu, BranchClass::SystemBranch, pc, sink);
+    Ok(())
+}
+
+/// `SVPCTX`: save the current process context into the PCB (physical
+/// writes interleaved with address-update cycles), then continue on the
+/// interrupt stack. As on the real VAX, PC and PSL are *not* saved — the
+/// rescheduling interrupt left them on the process's kernel stack, and
+/// the saved KSP points at that frame.
+fn svpctx<S: CycleSink>(cpu: &mut Cpu, op: Opcode, sink: &mut S) {
+    computes(cpu, op, 4, sink);
+    let base = cpu.pcbb;
+    let u_write = cpu.cs.exec_write(op);
+    // Bank the live SP first.
+    let psl = cpu.psl;
+    cpu.regs.set_banked_sp(&psl, cpu.regs.sp());
+    let ksp = banked(cpu, Mode::Kernel, false);
+    let usp = banked(cpu, Mode::User, false);
+    cpu.micro_write_phys(u_write, base + pcb::KSP, ksp, sink);
+    computes(cpu, op, 1, sink);
+    cpu.micro_write_phys(u_write, base + pcb::USP, usp, sink);
+    computes(cpu, op, 1, sink);
+    for n in 0..12u32 {
+        let v = cpu.regs.get(Reg::from_number(n as u8));
+        cpu.micro_write_phys(u_write, base + pcb::GPR + 4 * n, v, sink);
+        computes(cpu, op, 1, sink);
+    }
+    cpu.micro_write_phys(u_write, base + pcb::AP, cpu.regs.get(Reg::Ap), sink);
+    computes(cpu, op, 1, sink);
+    cpu.micro_write_phys(u_write, base + pcb::FP, cpu.regs.get(Reg::Fp), sink);
+    computes(cpu, op, 1, sink);
+    // Continue on the interrupt stack.
+    let old = cpu.psl;
+    let on_is = Psl {
+        mode: Mode::Kernel,
+        interrupt_stack: true,
+        ..cpu.psl
+    };
+    cpu.regs.switch_stack(&old, &on_is);
+    cpu.psl = on_is;
+}
+
+/// `LDPCTX`: load the context addressed by `PCBB`, install the new
+/// address space (flushing the process half of the TB), and switch to the
+/// new process's kernel stack — whose top holds the PC/PSL frame a
+/// following `REI` resumes from.
+fn ldpctx<S: CycleSink>(cpu: &mut Cpu, op: Opcode, sink: &mut S) {
+    computes(cpu, op, 4, sink);
+    let base = cpu.pcbb;
+    let u_read = cpu.cs.exec_read(op);
+    let ksp = cpu.micro_read_phys(u_read, base + pcb::KSP, sink);
+    let usp = cpu.micro_read_phys(u_read, base + pcb::USP, sink);
+    for n in 0..12u32 {
+        let v = cpu.micro_read_phys(u_read, base + pcb::GPR + 4 * n, sink);
+        cpu.regs.set(Reg::from_number(n as u8), v);
+        if n % 3 == 0 {
+            computes(cpu, op, 1, sink);
+        }
+    }
+    let ap = cpu.micro_read_phys(u_read, base + pcb::AP, sink);
+    let fp = cpu.micro_read_phys(u_read, base + pcb::FP, sink);
+    let p0br = cpu.micro_read_phys(u_read, base + pcb::P0BR, sink);
+    let p0lr = cpu.micro_read_phys(u_read, base + pcb::P0LR, sink);
+    let p1br = cpu.micro_read_phys(u_read, base + pcb::P1BR, sink);
+    let p1lr = cpu.micro_read_phys(u_read, base + pcb::P1LR, sink);
+    computes(cpu, op, 4, sink);
+    cpu.regs.set(Reg::Ap, ap);
+    cpu.regs.set(Reg::Fp, fp);
+    // Install the new address space: flushes the process TB half.
+    cpu.mem.switch_address_space(AddressSpace {
+        p0br,
+        p0lr,
+        p1br,
+        p1lr,
+    });
+    // Install the stack banks, then continue in kernel mode on the new
+    // process's kernel stack.
+    let kernel = Psl {
+        mode: Mode::Kernel,
+        interrupt_stack: false,
+        ..cpu.psl
+    };
+    let user = Psl {
+        mode: Mode::User,
+        interrupt_stack: false,
+        ..cpu.psl
+    };
+    cpu.regs.set_banked_sp(&user, usp);
+    let old = cpu.psl;
+    cpu.regs.switch_stack(&old, &kernel);
+    // The loaded KSP wins even if we were already on the kernel stack
+    // (boot-time LDPCTX).
+    cpu.regs.set_sp(ksp);
+    cpu.psl = kernel;
+    computes(cpu, op, 1, sink);
+}
+
+/// `MTPR src, procreg`.
+fn mtpr<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), ExecStop> {
+    computes(cpu, op, 2, sink);
+    let value = ops[0].u32();
+    match IprReg::from_code(ops[1].u32()) {
+        Some(IprReg::Pcbb) => cpu.pcbb = value,
+        Some(IprReg::Scbb) => cpu.scbb = value,
+        Some(IprReg::Ipl) => cpu.psl.ipl = (value & 0x1F) as u8,
+        Some(IprReg::Sirr) => {
+            // Posting a software interrupt request: the tagged
+            // microinstruction gives Table 7 its numerator.
+            cpu.micro_compute(cpu.cs.soft_int_request(), sink);
+            if (1..=15).contains(&value) {
+                cpu.sisr |= 1 << value;
+            }
+        }
+        Some(IprReg::Sisr) => cpu.sisr = (value & 0xFFFE) as u16,
+        Some(IprReg::Ksp) => {
+            let psl = Psl {
+                mode: Mode::Kernel,
+                interrupt_stack: false,
+                ..cpu.psl
+            };
+            set_bank_or_live(cpu, psl, value);
+        }
+        Some(IprReg::Usp) => {
+            let psl = Psl {
+                mode: Mode::User,
+                interrupt_stack: false,
+                ..cpu.psl
+            };
+            set_bank_or_live(cpu, psl, value);
+        }
+        Some(IprReg::Isp) => {
+            let psl = Psl {
+                mode: Mode::Kernel,
+                interrupt_stack: true,
+                ..cpu.psl
+            };
+            set_bank_or_live(cpu, psl, value);
+        }
+        None => {
+            // Unimplemented processor register: ignored, as the model's
+            // kernel never touches others.
+        }
+    }
+    Ok(())
+}
+
+/// Writing the SP bank that is currently live must update the live SP.
+fn set_bank_or_live(cpu: &mut Cpu, target: Psl, value: u32) {
+    let live = cpu.psl;
+    if live.mode == target.mode && live.interrupt_stack == target.interrupt_stack {
+        cpu.regs.set_sp(value);
+    } else {
+        cpu.regs.set_banked_sp(&target, value);
+    }
+}
+
+/// `INSQUE entry, pred`: insert into a doubly-linked absolute queue.
+fn insque<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    computes(cpu, op, 3, sink);
+    let entry = ops[0].addr();
+    let pred = ops[1].addr();
+    let u_read = cpu.cs.exec_read(op);
+    let u_write = cpu.cs.exec_write(op);
+    let succ = cpu.read_data(u_read, pred, Width::Long, sink)?;
+    computes(cpu, op, 2, sink);
+    cpu.write_data(u_write, entry, Width::Long, succ, sink)?;
+    computes(cpu, op, 3, sink);
+    cpu.write_data(u_write, entry + 4, Width::Long, pred, sink)?;
+    computes(cpu, op, 3, sink);
+    cpu.write_data(u_write, pred, Width::Long, entry, sink)?;
+    computes(cpu, op, 3, sink);
+    cpu.write_data(u_write, succ + 4, Width::Long, entry, sink)?;
+    // Z when the queue was empty before insertion.
+    cpu.psl.z = succ == pred;
+    cpu.psl.n = false;
+    cpu.psl.v = false;
+    cpu.psl.c = false;
+    Ok(())
+}
+
+/// `REMQUE entry, addr`: remove from a doubly-linked absolute queue.
+fn remque<S: CycleSink>(
+    cpu: &mut Cpu,
+    op: Opcode,
+    ops: &EvalOps,
+    sink: &mut S,
+) -> Result<(), Fault> {
+    computes(cpu, op, 3, sink);
+    let entry = ops[0].addr();
+    let u_read = cpu.cs.exec_read(op);
+    let u_write = cpu.cs.exec_write(op);
+    let succ = cpu.read_data(u_read, entry, Width::Long, sink)?;
+    let pred = cpu.read_data(u_read, entry + 4, Width::Long, sink)?;
+    computes(cpu, op, 2, sink);
+    cpu.write_data(u_write, pred, Width::Long, succ, sink)?;
+    computes(cpu, op, 3, sink);
+    cpu.write_data(u_write, succ + 4, Width::Long, pred, sink)?;
+    super::store(cpu, &ops[1], u64::from(entry), sink)?;
+    // Z when the queue is now empty.
+    cpu.psl.z = succ == pred;
+    cpu.psl.n = false;
+    cpu.psl.v = false;
+    cpu.psl.c = false;
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Faults (delivered to the OS) and model errors (bugs in the machine
+//! image or an unimplemented situation).
+
+use std::fmt;
+use vax_mem::MemFault;
+
+/// An architectural fault, delivered through the exception microcode to a
+/// kernel handler via the SCB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Translation-not-valid (page fault) at the given address.
+    PageFault {
+        /// Faulting virtual address.
+        va: u32,
+    },
+    /// Reference beyond a region's mapped length.
+    LengthViolation {
+        /// Faulting virtual address.
+        va: u32,
+    },
+    /// A reserved or unimplemented opcode byte was decoded.
+    ReservedInstruction {
+        /// The opcode byte.
+        opcode: u8,
+    },
+    /// Privileged instruction in user mode.
+    Privileged,
+}
+
+impl From<MemFault> for Fault {
+    fn from(f: MemFault) -> Fault {
+        match f {
+            MemFault::PageFault { va } => Fault::PageFault { va },
+            MemFault::LengthViolation { va } => Fault::LengthViolation { va },
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::PageFault { va } => write!(f, "page fault at {va:#010x}"),
+            Fault::LengthViolation { va } => write!(f, "length violation at {va:#010x}"),
+            Fault::ReservedInstruction { opcode } => {
+                write!(f, "reserved instruction {opcode:#04x}")
+            }
+            Fault::Privileged => write!(f, "privileged instruction in user mode"),
+        }
+    }
+}
+
+/// A model-level error: the machine image is broken in a way a real
+/// machine would have crashed on (e.g. a fault with no SCB handler
+/// installed). These terminate the simulation rather than being delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpuError {
+    /// A fault occurred but the SCB has no usable vector.
+    UnhandledFault {
+        /// The fault.
+        fault: Fault,
+        /// PC at the time.
+        pc: u32,
+    },
+    /// The processor executed `HALT`.
+    Halted {
+        /// PC after the halt.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::UnhandledFault { fault, pc } => {
+                write!(f, "unhandled {fault} at pc={pc:#010x}")
+            }
+            CpuError::Halted { pc } => write!(f, "processor halted at pc={pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_faults_convert() {
+        assert_eq!(
+            Fault::from(MemFault::PageFault { va: 0x100 }),
+            Fault::PageFault { va: 0x100 }
+        );
+        assert_eq!(
+            Fault::from(MemFault::LengthViolation { va: 0x200 }),
+            Fault::LengthViolation { va: 0x200 }
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CpuError::UnhandledFault {
+            fault: Fault::PageFault { va: 0xdead },
+            pc: 0x1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("page fault"));
+        assert!(s.contains("0x00001000"));
+    }
+}

@@ -1,0 +1,154 @@
+//! VAX F_floating and D_floating codecs.
+//!
+//! Both formats use an excess-128 8-bit exponent and a normalized
+//! `0.1fff…` mantissa with hidden leading bit. F_floating has a 23-bit
+//! stored fraction; D_floating has 55 (of which this model keeps the 52
+//! that fit in an `f64` — workload arithmetic never observes the
+//! difference).
+//!
+//! Register/longword layout (as seen by `MOVL`): sign at bit 15, exponent
+//! at bits 14:7, high fraction at bits 6:0, low fraction at bits 31:16.
+//! D_floating appends 32 more fraction bits in the second longword.
+
+/// Encode an `f64` as F_floating. Saturates on overflow; flushes
+/// underflow and non-finite values to 0 (true zero: all bits clear).
+pub(crate) fn f_encode(x: f64) -> u32 {
+    let (sign, exp, frac23) = match split(x, 23) {
+        Some(parts) => parts,
+        None => return 0,
+    };
+    pack(sign, exp, frac23 as u32)
+}
+
+/// Decode an F_floating longword.
+pub(crate) fn f_decode(w: u32) -> f64 {
+    let exp = (w >> 7) & 0xFF;
+    if exp == 0 {
+        return 0.0;
+    }
+    let sign = if w & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let frac = (u64::from(w & 0x7F) << 16) | u64::from((w >> 16) & 0xFFFF);
+    let mantissa = ((1u64 << 23) | frac) as f64 / (1u64 << 24) as f64;
+    sign * mantissa * f64::powi(2.0, exp as i32 - 128)
+}
+
+/// Encode an `f64` as D_floating (two longwords, low longword first).
+pub(crate) fn d_encode(x: f64) -> u64 {
+    let (sign, exp, frac55) = match split(x, 55) {
+        Some(parts) => parts,
+        None => return 0,
+    };
+    let hi_frac = (frac55 >> 32) as u32 & 0x007F_FFFF;
+    let lo_frac = frac55 as u32;
+    let w0 = pack(sign, exp, hi_frac);
+    u64::from(w0) | (u64::from(lo_frac) << 32)
+}
+
+/// Decode a D_floating quadword.
+pub(crate) fn d_decode(q: u64) -> f64 {
+    let w0 = q as u32;
+    let exp = (w0 >> 7) & 0xFF;
+    if exp == 0 {
+        return 0.0;
+    }
+    let sign = if w0 & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let hi = (u64::from(w0 & 0x7F) << 16) | u64::from((w0 >> 16) & 0xFFFF);
+    let frac = (hi << 32) | (q >> 32);
+    let mantissa = ((1u64 << 55) | frac) as f64 / (1u64 << 56) as f64;
+    sign * mantissa * f64::powi(2.0, exp as i32 - 128)
+}
+
+/// Split a finite nonzero `f64` into (sign, VAX exponent, fraction of
+/// `bits` width). `None` means encode as zero.
+fn split(x: f64, bits: u32) -> Option<(bool, u32, u64)> {
+    if x == 0.0 || !x.is_finite() {
+        return None;
+    }
+    let ieee = x.to_bits();
+    let sign = ieee >> 63 != 0;
+    let ieee_exp = ((ieee >> 52) & 0x7FF) as i32;
+    if ieee_exp == 0 {
+        // IEEE denormal: far below VAX underflow; flush to zero.
+        return None;
+    }
+    // 1.m × 2^e  ==  0.1m × 2^(e+1);  VAX stores e+1 excess-128.
+    let vax_exp = ieee_exp - 1023 + 1 + 128;
+    if vax_exp <= 0 {
+        return None;
+    }
+    let vax_exp = vax_exp.min(255) as u32;
+    let m52 = ieee & 0xF_FFFF_FFFF_FFFF;
+    let frac = if bits >= 52 {
+        m52 << (bits - 52)
+    } else {
+        m52 >> (52 - bits)
+    };
+    Some((sign, vax_exp, frac))
+}
+
+fn pack(sign: bool, exp: u32, frac23: u32) -> u32 {
+    let mut w = (exp & 0xFF) << 7;
+    if sign {
+        w |= 0x8000;
+    }
+    w |= frac23 >> 16; // high 7 bits into bits 6:0
+    w |= (frac23 & 0xFFFF) << 16; // low 16 bits into bits 31:16
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_f(x: f64) -> f64 {
+        f_decode(f_encode(x))
+    }
+
+    fn roundtrip_d(x: f64) -> f64 {
+        d_decode(d_encode(x))
+    }
+
+    #[test]
+    fn zero_and_signs() {
+        assert_eq!(f_encode(0.0), 0);
+        assert_eq!(f_decode(0), 0.0);
+        assert!(roundtrip_f(-1.5) < 0.0);
+        assert!(roundtrip_d(-2.25) < 0.0);
+    }
+
+    #[test]
+    fn f_roundtrip_is_close() {
+        for &x in &[1.0, -1.0, 0.5, 2.71875, 1e10, -1e-10, 120.0, 0.0625] {
+            let got = roundtrip_f(x);
+            let rel = ((got - x) / x).abs();
+            assert!(rel < 1e-6, "{x} -> {got}");
+        }
+    }
+
+    #[test]
+    fn d_roundtrip_is_exact_for_f64_range() {
+        for &x in &[1.0, -1.0, 0.5, 2.71875, 1e10, -1e-10] {
+            let got = roundtrip_d(x);
+            assert_eq!(got, x, "{x} -> {got}");
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        // 1.0 encodes with exponent 129, zero fraction.
+        let one = f_encode(1.0);
+        assert_eq!((one >> 7) & 0xFF, 129);
+        assert_eq!(one & 0x7F, 0);
+        assert_eq!(one >> 16, 0);
+        // 0.5 encodes with exponent 128.
+        assert_eq!((f_encode(0.5) >> 7) & 0xFF, 128);
+    }
+
+    #[test]
+    fn overflow_saturates_underflow_flushes() {
+        assert_eq!((f_encode(1e300) >> 7) & 0xFF, 255);
+        assert_eq!(f_encode(1e-300), 0);
+        assert_eq!(f_encode(f64::NAN), 0);
+        assert_eq!(f_encode(f64::INFINITY), 0);
+    }
+}

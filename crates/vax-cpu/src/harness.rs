@@ -1,0 +1,120 @@
+//! Test/example harness: build a small runnable machine in a few lines.
+//!
+//! Used by this crate's own tests, the workload crate's tests, and the
+//! `quickstart` example. Production machine images are built by
+//! `vax-workloads`; this harness wires the minimum — one process, an SCB
+//! whose vectors point at a trivial `REI` stub, and a kernel stack.
+
+use crate::{Cpu, CpuConfig};
+use vax_arch::CodeImage;
+use vax_mem::{
+    load_virtual, AddressSpace, MapBuilder, MemConfig, MemorySubsystem, SystemMap, PAGE_BYTES,
+};
+
+/// A minimal single-process machine.
+#[derive(Debug)]
+pub struct SimpleMachine {
+    /// The CPU, ready to run at the code image's base address.
+    pub cpu: Cpu,
+    /// The process address space.
+    pub space: AddressSpace,
+    /// The system map.
+    pub system: SystemMap,
+}
+
+impl SimpleMachine {
+    /// Build a machine whose process space contains `image` (in P0) and a
+    /// resident stack (in P1), with the SCB and kernel stack in system
+    /// space. Execution starts in kernel mode at the image base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit the default process layout
+    /// (1 MB of P0).
+    pub fn with_code(image: &CodeImage) -> SimpleMachine {
+        SimpleMachine::with_code_and_config(image, CpuConfig::default())
+    }
+
+    /// As [`SimpleMachine::with_code`] with an explicit CPU configuration.
+    ///
+    /// # Panics
+    ///
+    /// As [`SimpleMachine::with_code`].
+    pub fn with_code_and_config(image: &CodeImage, config: CpuConfig) -> SimpleMachine {
+        let mut mem = MemorySubsystem::new(MemConfig::default());
+        let mut mb = MapBuilder::new(mem.phys(), 8192);
+        // System space: SCB page is NOT in system VA — the SCB is read
+        // physically. Map a kernel region for stacks and handler stubs.
+        let kernel_va = mb.map_system(mem.phys_mut(), 64);
+        // One process: 1 MB of P0, 16 KB of P1 stack.
+        let p0_pages = (1 << 20) / PAGE_BYTES;
+        let p1_pages = 32;
+        let space = mb.create_process(mem.phys_mut(), p0_pages, p1_pages);
+        let system = mb.system_map();
+        mem.set_system_map(system);
+        mem.switch_address_space(space);
+
+        assert!(
+            image.end() <= p0_pages * PAGE_BYTES,
+            "code image exceeds the 1 MB process layout"
+        );
+        load_virtual(mem.phys_mut(), &system, &space, image.base, &image.bytes);
+
+        // SCB at a fixed physical page past the page tables; every vector
+        // points at a REI stub in kernel space so stray faults/interrupts
+        // resolve visibly rather than wedging.
+        let scb_frame = mb.alloc_frames(1);
+        let scb_pa = scb_frame * PAGE_BYTES;
+        let stub_va = kernel_va; // first kernel page: REI stub
+        for v in 0..(PAGE_BYTES / 4) {
+            mem.phys_mut().write_u32(scb_pa + v * 4, stub_va);
+        }
+        // The stub: REI (pops PC/PSL pushed by the event).
+        let stub_pa = vax_mem::resolve_va(mem.phys(), &system, &space, stub_va)
+            .expect("kernel page mapped");
+        mem.phys_mut()
+            .write_u8(stub_pa, vax_arch::Opcode::Rei.to_byte());
+
+        let mut cpu = Cpu::new(mem, config, image.base);
+        cpu.set_scbb(scb_pa);
+        // Kernel stack: top of the second kernel page.
+        let ksp = kernel_va + 2 * PAGE_BYTES;
+        cpu.regs_mut().set_sp(ksp);
+        // Interrupt stack: top of the fourth kernel page.
+        let on_is = crate::Psl {
+            interrupt_stack: true,
+            ..crate::Psl::kernel_boot()
+        };
+        cpu.regs_mut().set_banked_sp(&on_is, kernel_va + 4 * PAGE_BYTES);
+        // User stack: top of P1.
+        let user = crate::Psl::default();
+        cpu.regs_mut().set_banked_sp(&user, space.stack_top());
+        SimpleMachine { cpu, space, system }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::NullSink;
+    use vax_arch::{Assembler, Opcode, Operand, Reg};
+
+    #[test]
+    fn machine_runs_a_trivial_program() {
+        let mut asm = Assembler::new(0x200);
+        asm.inst(Opcode::Movl, &[Operand::Literal(5), Operand::Reg(Reg::R0)])
+            .unwrap();
+        asm.inst(
+            Opcode::Addl2,
+            &[Operand::Literal(3), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(Opcode::Halt, &[]).unwrap();
+        let image = asm.finish().unwrap();
+        let mut m = SimpleMachine::with_code(&image);
+        let mut sink = NullSink;
+        let err = m.cpu.run(100, &mut sink).unwrap_err();
+        assert!(matches!(err, crate::CpuError::Halted { .. }));
+        assert_eq!(m.cpu.regs().get(Reg::R0), 8);
+    }
+}

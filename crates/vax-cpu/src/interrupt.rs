@@ -1,0 +1,97 @@
+//! Hardware interrupt requests.
+
+/// A pending hardware interrupt: a device asserting a request at `ipl`
+/// with an SCB `vector` (byte offset into the system control block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupt {
+    /// Request IPL (device levels are 20–23 on the 11/780; the interval
+    /// timer requests at 24).
+    pub ipl: u8,
+    /// SCB vector offset (longword-aligned byte offset).
+    pub vector: u16,
+}
+
+/// Pending-request pool with highest-IPL-first delivery.
+#[derive(Debug, Clone, Default)]
+pub struct InterruptLines {
+    pending: Vec<Interrupt>,
+}
+
+impl InterruptLines {
+    /// No requests pending.
+    pub fn new() -> InterruptLines {
+        InterruptLines::default()
+    }
+
+    /// Assert a request.
+    pub fn post(&mut self, int: Interrupt) {
+        self.pending.push(int);
+    }
+
+    /// Highest pending IPL, if any request is outstanding.
+    pub fn max_ipl(&self) -> Option<u8> {
+        self.pending.iter().map(|i| i.ipl).max()
+    }
+
+    /// Remove and return the highest-IPL request above `threshold`.
+    pub fn acknowledge_above(&mut self, threshold: u8) -> Option<Interrupt> {
+        let (idx, _) = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.ipl > threshold)
+            .max_by_key(|(_, i)| i.ipl)?;
+        Some(self.pending.swap_remove(idx))
+    }
+
+    /// Number of outstanding requests (diagnostics and tests).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Any requests outstanding? (diagnostics and tests)
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_highest_ipl_first() {
+        let mut lines = InterruptLines::new();
+        lines.post(Interrupt {
+            ipl: 20,
+            vector: 0x100,
+        });
+        lines.post(Interrupt {
+            ipl: 24,
+            vector: 0xC0,
+        });
+        lines.post(Interrupt {
+            ipl: 21,
+            vector: 0x104,
+        });
+        assert_eq!(lines.max_ipl(), Some(24));
+        let first = lines.acknowledge_above(0).unwrap();
+        assert_eq!(first.ipl, 24);
+        let second = lines.acknowledge_above(0).unwrap();
+        assert_eq!(second.ipl, 21);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn threshold_masks_requests() {
+        let mut lines = InterruptLines::new();
+        lines.post(Interrupt {
+            ipl: 20,
+            vector: 0x100,
+        });
+        assert!(lines.acknowledge_above(20).is_none());
+        assert!(lines.acknowledge_above(19).is_some());
+    }
+}

@@ -1,0 +1,76 @@
+//! Internal processor registers reachable via `MTPR`/`MFPR`.
+
+/// The processor-register codes this model implements (a subset of the
+//  architectural set, matching what the workloads' kernel uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IprReg {
+    /// Kernel stack pointer.
+    Ksp,
+    /// User stack pointer.
+    Usp,
+    /// Interrupt stack pointer.
+    Isp,
+    /// Process control block base (physical address).
+    Pcbb,
+    /// System control block base (physical address).
+    Scbb,
+    /// Interrupt priority level.
+    Ipl,
+    /// Software interrupt request (write-only: posts a level).
+    Sirr,
+    /// Software interrupt summary (pending-level bitmask).
+    Sisr,
+}
+
+impl IprReg {
+    /// Decode an architectural register code.
+    pub fn from_code(code: u32) -> Option<IprReg> {
+        Some(match code {
+            0 => IprReg::Ksp,
+            3 => IprReg::Usp,
+            4 => IprReg::Isp,
+            16 => IprReg::Pcbb,
+            17 => IprReg::Scbb,
+            18 => IprReg::Ipl,
+            20 => IprReg::Sirr,
+            21 => IprReg::Sisr,
+            _ => return None,
+        })
+    }
+
+    /// The architectural register code.
+    pub fn code(self) -> u32 {
+        match self {
+            IprReg::Ksp => 0,
+            IprReg::Usp => 3,
+            IprReg::Isp => 4,
+            IprReg::Pcbb => 16,
+            IprReg::Scbb => 17,
+            IprReg::Ipl => 18,
+            IprReg::Sirr => 20,
+            IprReg::Sisr => 21,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for r in [
+            IprReg::Ksp,
+            IprReg::Usp,
+            IprReg::Isp,
+            IprReg::Pcbb,
+            IprReg::Scbb,
+            IprReg::Ipl,
+            IprReg::Sirr,
+            IprReg::Sisr,
+        ] {
+            assert_eq!(IprReg::from_code(r.code()), Some(r));
+        }
+        assert_eq!(IprReg::from_code(99), None);
+    }
+}

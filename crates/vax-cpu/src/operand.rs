@@ -1,0 +1,95 @@
+//! Evaluated operands: what the specifier microroutines hand the execute
+//! phase.
+
+use vax_arch::Reg;
+
+/// Where an operand lives after specifier evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A general register (or register pair for quad operands).
+    Reg(Reg),
+    /// Memory at a virtual address.
+    Mem(u32),
+    /// A short literal or immediate: value only, no location.
+    Value,
+}
+
+/// One evaluated operand.
+///
+/// Read/modify operands carry the fetched `value`; write/address operands
+/// carry the destination in `loc` (the address already computed, so the
+/// store is a pure write µop later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Operand {
+    /// Location for stores / address operands.
+    pub loc: Loc,
+    /// Fetched value (zero-extended to 64 bits), for read/modify operands.
+    pub value: u64,
+}
+
+impl Operand {
+    /// A pure value operand (literal/immediate).
+    pub fn value(value: u64) -> Operand {
+        Operand {
+            loc: Loc::Value,
+            value,
+        }
+    }
+
+    /// A register operand carrying `value`.
+    pub fn reg(reg: Reg, value: u64) -> Operand {
+        Operand {
+            loc: Loc::Reg(reg),
+            value,
+        }
+    }
+
+    /// A memory operand at `va` carrying `value`.
+    pub fn mem(va: u32, value: u64) -> Operand {
+        Operand {
+            loc: Loc::Mem(va),
+            value,
+        }
+    }
+
+    /// The memory address, for address-access operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand is not in memory (the assembler's template
+    /// validation makes this unreachable for well-formed code).
+    pub fn addr(&self) -> u32 {
+        match self.loc {
+            Loc::Mem(va) => va,
+            other => panic!("address of non-memory operand {other:?}"),
+        }
+    }
+
+    /// 32-bit view of the value (convenience mirror of `EvalOp::u32`).
+    #[allow(dead_code)]
+    #[inline]
+    pub fn u32(&self) -> u32 {
+        self.value as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Operand::value(7);
+        assert_eq!(v.u32(), 7);
+        let m = Operand::mem(0x1000, 9);
+        assert_eq!(m.addr(), 0x1000);
+        let r = Operand::reg(Reg::R3, 1);
+        assert_eq!(r.loc, Loc::Reg(Reg::R3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-memory")]
+    fn addr_of_value_panics() {
+        let _ = Operand::value(0).addr();
+    }
+}

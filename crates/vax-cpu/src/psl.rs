@@ -1,0 +1,144 @@
+//! Processor status longword: condition codes, IPL, access mode.
+
+use std::fmt;
+
+/// Processor access mode. The model implements the two modes the
+/// characterization workloads exercise (VMS uses all four, but the
+/// kernel/user distinction carries all the TB/stack-switching behaviour
+/// that matters here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Kernel mode.
+    Kernel,
+    /// User mode.
+    #[default]
+    User,
+}
+
+/// The processor status longword (the portion this model uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Psl {
+    /// Negative condition code.
+    pub n: bool,
+    /// Zero condition code.
+    pub z: bool,
+    /// Overflow condition code.
+    pub v: bool,
+    /// Carry condition code.
+    pub c: bool,
+    /// Interrupt priority level, 0–31.
+    pub ipl: u8,
+    /// Current access mode.
+    pub mode: Mode,
+    /// Executing on the interrupt stack?
+    pub interrupt_stack: bool,
+}
+
+impl Psl {
+    /// Kernel-mode reset state (IPL 31, as at bootstrap).
+    pub fn kernel_boot() -> Psl {
+        Psl {
+            ipl: 31,
+            mode: Mode::Kernel,
+            ..Psl::default()
+        }
+    }
+
+    /// Pack into the architectural longword layout (CC in bits 3:0, IPL in
+    /// bits 20:16, current mode in bits 25:24, IS in bit 26).
+    pub fn to_u32(self) -> u32 {
+        let mut w = 0u32;
+        if self.c {
+            w |= 1;
+        }
+        if self.v {
+            w |= 2;
+        }
+        if self.z {
+            w |= 4;
+        }
+        if self.n {
+            w |= 8;
+        }
+        w |= u32::from(self.ipl & 0x1F) << 16;
+        w |= match self.mode {
+            Mode::Kernel => 0,
+            Mode::User => 3,
+        } << 24;
+        if self.interrupt_stack {
+            w |= 1 << 26;
+        }
+        w
+    }
+
+    /// Unpack from the architectural longword layout.
+    pub fn from_u32(w: u32) -> Psl {
+        Psl {
+            c: w & 1 != 0,
+            v: w & 2 != 0,
+            z: w & 4 != 0,
+            n: w & 8 != 0,
+            ipl: ((w >> 16) & 0x1F) as u8,
+            mode: if (w >> 24) & 3 == 0 {
+                Mode::Kernel
+            } else {
+                Mode::User
+            },
+            interrupt_stack: w & (1 << 26) != 0,
+        }
+    }
+
+    /// Set N and Z from a signed 32-bit result; clears V (move-style
+    /// condition codes leave C alone).
+    pub fn set_nz_long(&mut self, value: u32) {
+        self.n = (value as i32) < 0;
+        self.z = value == 0;
+        self.v = false;
+    }
+}
+
+impl fmt::Display for Psl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{} ipl={} {:?}{}]",
+            if self.n { 'N' } else { '-' },
+            if self.z { 'Z' } else { '-' },
+            if self.v { 'V' } else { '-' },
+            if self.c { 'C' } else { '-' },
+            self.ipl,
+            self.mode,
+            if self.interrupt_stack { " IS" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_longword() {
+        let p = Psl {
+            n: true,
+            z: false,
+            v: true,
+            c: true,
+            ipl: 22,
+            mode: Mode::User,
+            interrupt_stack: false,
+        };
+        assert_eq!(Psl::from_u32(p.to_u32()), p);
+        let k = Psl::kernel_boot();
+        assert_eq!(Psl::from_u32(k.to_u32()), k);
+    }
+
+    #[test]
+    fn nz_helper() {
+        let mut p = Psl::default();
+        p.set_nz_long(0);
+        assert!(p.z && !p.n);
+        p.set_nz_long(0x8000_0000);
+        assert!(p.n && !p.z);
+    }
+}

@@ -1,0 +1,145 @@
+//! The general register file, with per-mode stack pointer banking.
+
+use crate::{Mode, Psl};
+use vax_arch::Reg;
+
+/// The sixteen general registers plus the banked stack pointers
+/// (KSP/USP/ISP); the architectural `SP` is whichever bank the current
+/// PSL selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFile {
+    r: [u32; 16],
+    ksp: u32,
+    usp: u32,
+    isp: u32,
+}
+
+impl RegFile {
+    /// All zeros.
+    pub fn new() -> RegFile {
+        RegFile {
+            r: [0; 16],
+            ksp: 0,
+            usp: 0,
+            isp: 0,
+        }
+    }
+
+    /// Read a register.
+    #[inline]
+    pub fn get(&self, reg: Reg) -> u32 {
+        self.r[reg.number() as usize]
+    }
+
+    /// Write a register.
+    #[inline]
+    pub fn set(&mut self, reg: Reg, value: u32) {
+        self.r[reg.number() as usize] = value;
+    }
+
+    /// The PC.
+    #[inline]
+    pub fn pc(&self) -> u32 {
+        self.get(Reg::Pc)
+    }
+
+    /// Set the PC.
+    #[inline]
+    pub fn set_pc(&mut self, pc: u32) {
+        self.set(Reg::Pc, pc);
+    }
+
+    /// The SP (current bank).
+    #[inline]
+    pub fn sp(&self) -> u32 {
+        self.get(Reg::Sp)
+    }
+
+    /// Set the SP (current bank).
+    #[inline]
+    pub fn set_sp(&mut self, sp: u32) {
+        self.set(Reg::Sp, sp);
+    }
+
+    /// Save the live SP into the bank selected by `old`, then load the
+    /// bank selected by `new` — the microcode's stack switch.
+    pub fn switch_stack(&mut self, old: &Psl, new: &Psl) {
+        *self.bank_mut(old) = self.sp();
+        let sp = *self.bank_mut(new);
+        self.set_sp(sp);
+    }
+
+    fn bank_mut(&mut self, psl: &Psl) -> &mut u32 {
+        if psl.interrupt_stack {
+            &mut self.isp
+        } else {
+            match psl.mode {
+                Mode::Kernel => &mut self.ksp,
+                Mode::User => &mut self.usp,
+            }
+        }
+    }
+
+    /// Directly set a banked stack pointer (machine setup / MTPR).
+    pub fn set_banked_sp(&mut self, psl: &Psl, value: u32) {
+        *self.bank_mut(psl) = value;
+    }
+
+    /// Read a banked stack pointer (MFPR / context save).
+    pub fn banked_sp(&mut self, psl: &Psl) -> u32 {
+        *self.bank_mut(psl)
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut r = RegFile::new();
+        r.set(Reg::R5, 42);
+        assert_eq!(r.get(Reg::R5), 42);
+        r.set_pc(0x200);
+        assert_eq!(r.pc(), 0x200);
+    }
+
+    #[test]
+    fn stack_banking_preserves_per_mode_sps() {
+        let mut r = RegFile::new();
+        let kernel = Psl::kernel_boot();
+        let user = Psl {
+            mode: Mode::User,
+            ipl: 0,
+            ..Psl::default()
+        };
+        r.set_sp(0x8000_1000); // live SP while in kernel
+        r.switch_stack(&kernel, &user);
+        assert_eq!(r.sp(), 0, "fresh user SP bank");
+        r.set_sp(0x4000_0800);
+        r.switch_stack(&user, &kernel);
+        assert_eq!(r.sp(), 0x8000_1000, "kernel SP restored");
+        r.switch_stack(&kernel, &user);
+        assert_eq!(r.sp(), 0x4000_0800, "user SP restored");
+    }
+
+    #[test]
+    fn interrupt_stack_is_its_own_bank() {
+        let mut r = RegFile::new();
+        let kernel = Psl::kernel_boot();
+        let on_is = Psl {
+            interrupt_stack: true,
+            ..Psl::kernel_boot()
+        };
+        r.set_banked_sp(&on_is, 0x8800_0000);
+        r.set_sp(0x8000_2000);
+        r.switch_stack(&kernel, &on_is);
+        assert_eq!(r.sp(), 0x8800_0000);
+    }
+}

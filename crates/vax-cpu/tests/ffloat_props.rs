@@ -1,0 +1,99 @@
+//! Property tests for the VAX floating-point codecs, driven through the
+//! instruction interface (CVTLF/CVTFL etc. on a live machine) and
+//! directly through arithmetic identities.
+
+use proptest::prelude::*;
+use upc_monitor::NullSink;
+use vax_arch::{Assembler, Opcode, Operand, Reg};
+use vax_cpu::harness::SimpleMachine;
+
+/// Run CVTLF x -> CVTFL round trip on the machine.
+fn cvt_round_trip(x: i32) -> i32 {
+    let mut asm = Assembler::new(0x400);
+    asm.inst(
+        Opcode::Movl,
+        &[Operand::Immediate(x as u32 as u64), Operand::Reg(Reg::R0)],
+    )
+    .unwrap();
+    asm.inst(Opcode::Cvtlf, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R1)])
+        .unwrap();
+    asm.inst(Opcode::Cvtfl, &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R2)])
+        .unwrap();
+    asm.inst(Opcode::Halt, &[]).unwrap();
+    let mut m = SimpleMachine::with_code(&asm.finish().unwrap());
+    let _ = m.cpu.run(100, &mut NullSink);
+    m.cpu.regs().get(Reg::R2) as i32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Integers up to 24 bits convert to F_floating and back exactly
+    /// (F has a 24-bit effective mantissa).
+    #[test]
+    fn cvtlf_cvtfl_exact_for_24_bit(x in -(1i32 << 24)..(1i32 << 24)) {
+        prop_assert_eq!(cvt_round_trip(x), x);
+    }
+
+    /// F_floating addition on the machine agrees with f64 addition for
+    /// small integers (exactly representable).
+    #[test]
+    fn addf_matches_integer_addition(a in -2000i32..2000, b in -2000i32..2000) {
+        let mut asm = Assembler::new(0x400);
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(a as u32 as u64), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(Opcode::Cvtlf, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R1)])
+            .unwrap();
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(b as u32 as u64), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(Opcode::Cvtlf, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R2)])
+            .unwrap();
+        asm.inst(
+            Opcode::Addf3,
+            &[
+                Operand::Reg(Reg::R1),
+                Operand::Reg(Reg::R2),
+                Operand::Reg(Reg::R3),
+            ],
+        )
+        .unwrap();
+        asm.inst(Opcode::Cvtfl, &[Operand::Reg(Reg::R3), Operand::Reg(Reg::R4)])
+            .unwrap();
+        asm.inst(Opcode::Halt, &[]).unwrap();
+        let mut m = SimpleMachine::with_code(&asm.finish().unwrap());
+        let _ = m.cpu.run(100, &mut NullSink);
+        prop_assert_eq!(m.cpu.regs().get(Reg::R4) as i32, a + b);
+    }
+
+    /// CMPF ordering agrees with integer ordering.
+    #[test]
+    fn cmpf_orders_like_integers(a in -5000i32..5000, b in -5000i32..5000) {
+        let mut asm = Assembler::new(0x400);
+        for (val, dst) in [(a, Reg::R1), (b, Reg::R2)] {
+            asm.inst(
+                Opcode::Movl,
+                &[Operand::Immediate(val as u32 as u64), Operand::Reg(Reg::R0)],
+            )
+            .unwrap();
+            asm.inst(Opcode::Cvtlf, &[Operand::Reg(Reg::R0), Operand::Reg(dst)])
+                .unwrap();
+        }
+        asm.inst(Opcode::Cmpf, &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R2)])
+            .unwrap();
+        asm.inst(Opcode::Movpsl, &[Operand::Reg(Reg::R5)]).unwrap();
+        asm.inst(Opcode::Halt, &[]).unwrap();
+        let mut m = SimpleMachine::with_code(&asm.finish().unwrap());
+        let _ = m.cpu.run(100, &mut NullSink);
+        let psl = m.cpu.regs().get(Reg::R5);
+        let n = psl & 0x8 != 0;
+        let z = psl & 0x4 != 0;
+        prop_assert_eq!(z, a == b, "Z vs equality");
+        prop_assert_eq!(n, a < b, "N vs ordering");
+    }
+}

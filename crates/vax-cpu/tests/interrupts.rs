@@ -1,0 +1,182 @@
+//! Interrupt and exception delivery through the SCB, REI return paths,
+//! and the stack-switching rules.
+
+use upc_monitor::{Command, HistogramBoard, NullSink};
+use vax_arch::{Assembler, Opcode, Operand, Reg};
+use vax_cpu::harness::SimpleMachine;
+use vax_cpu::{CpuError, Interrupt};
+use vax_ucode::EventTag;
+
+/// A machine whose SCB vectors point at a REI stub (SimpleMachine default)
+/// and a main loop that just increments R0 forever.
+fn looping_machine() -> SimpleMachine {
+    let mut asm = Assembler::new(0x400);
+    let top = asm.label_here();
+    asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R0)]).unwrap();
+    asm.branch(Opcode::Brb, &[], top).unwrap();
+    SimpleMachine::with_code(&asm.finish().unwrap())
+}
+
+#[test]
+fn hardware_interrupt_is_serviced_and_resumes() {
+    let mut m = looping_machine();
+    m.cpu.psl_mut().ipl = 0;
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    // Run a bit, post an interrupt, keep running.
+    m.cpu.run(100, &mut board).unwrap();
+    let r0_before = m.cpu.regs().get(Reg::R0);
+    m.cpu.post_interrupt(Interrupt {
+        ipl: 20,
+        vector: 0xF0,
+    });
+    m.cpu.run(100, &mut board).unwrap();
+    // The loop kept making progress after the REI stub returned.
+    assert!(m.cpu.regs().get(Reg::R0) >= r0_before + 45);
+    // The interrupt-service microcode ran exactly once.
+    let hist = board.snapshot();
+    let cs = m.cpu.control_store();
+    let mut entries = 0;
+    for (addr, class) in cs.iter() {
+        if class.tag == EventTag::InterruptEntry {
+            entries += hist.issue(addr);
+        }
+    }
+    assert_eq!(entries, 1);
+    // And one REI executed (the stub).
+    assert_eq!(hist.issue(cs.exec_entry(Opcode::Rei)), 1);
+}
+
+#[test]
+fn interrupts_respect_ipl_masking() {
+    let mut m = looping_machine();
+    // Boot PSL starts at IPL 31 only during bootstrap; harness machines
+    // run at the boot PSL, so lower it first.
+    m.cpu.psl_mut().ipl = 25;
+    m.cpu.post_interrupt(Interrupt {
+        ipl: 20,
+        vector: 0xF0,
+    });
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    m.cpu.run(50, &mut board).unwrap();
+    let int_entry = m.cpu.control_store().int_entry();
+    assert_eq!(
+        board.snapshot().issue(int_entry),
+        0,
+        "IPL 20 must not interrupt IPL 25"
+    );
+    // Lower IPL: now it fires.
+    m.cpu.psl_mut().ipl = 0;
+    m.cpu.run(50, &mut board).unwrap();
+    assert_eq!(board.snapshot().issue(int_entry), 1);
+}
+
+#[test]
+fn higher_ipl_wins_arbitration() {
+    let mut m = looping_machine();
+    m.cpu.psl_mut().ipl = 0;
+    m.cpu.post_interrupt(Interrupt {
+        ipl: 20,
+        vector: 0xF0,
+    });
+    m.cpu.post_interrupt(Interrupt {
+        ipl: 24,
+        vector: 0xC0,
+    });
+    // First step services the IPL 24 one; PSL IPL rises to 24, masking
+    // the IPL 20 request until the stub's REI.
+    let mut sink = NullSink;
+    let outcome = m.cpu.step(&mut sink).unwrap();
+    assert!(matches!(outcome, vax_cpu::StepOutcome::Interrupt));
+    assert_eq!(m.cpu.psl().ipl, 24);
+}
+
+#[test]
+fn reserved_instruction_faults_through_scb() {
+    // 0xFF is an unimplemented opcode byte: the CPU delivers a
+    // reserved-instruction exception; the stub REIs back to the byte
+    // after... which faults again — so just check the first delivery.
+    let mut asm = Assembler::new(0x400);
+    asm.inst(Opcode::Nop, &[]).unwrap();
+    asm.bytes(&[0xFF]);
+    asm.inst(Opcode::Halt, &[]).unwrap();
+    let image = asm.finish().unwrap();
+    let mut m = SimpleMachine::with_code(&image);
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let mut saw_exception = false;
+    for _ in 0..10 {
+        match m.cpu.step(&mut board) {
+            Ok(vax_cpu::StepOutcome::Exception(f)) => {
+                assert!(matches!(f, vax_cpu::Fault::ReservedInstruction { opcode: 0xFF }));
+                saw_exception = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(CpuError::Halted { .. }) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(saw_exception);
+    let cs = m.cpu.control_store();
+    assert!(board.snapshot().issue(cs.exc_entry()) >= 1);
+}
+
+#[test]
+fn user_mode_privileged_instruction_faults() {
+    // Drop to user mode via REI, then attempt MTPR.
+    let mut asm = Assembler::new(0x400);
+    let user = asm.new_label();
+    // Push a user-mode PSL and the user entry PC, then REI.
+    asm.inst(
+        Opcode::Pushl,
+        &[Operand::Immediate(0x0300_0000)], // user mode, IPL 0
+    )
+    .unwrap();
+    let user_ref = user;
+    asm.moval_pcrel(user_ref, Operand::Reg(Reg::R1)).unwrap();
+    asm.inst(Opcode::Pushl, &[Operand::Reg(Reg::R1)]).unwrap();
+    asm.inst(Opcode::Rei, &[]).unwrap();
+    asm.place(user).unwrap();
+    // User mode: MTPR must fault (privileged).
+    asm.inst(Opcode::Mtpr, &[Operand::Literal(0), Operand::Literal(18)])
+        .unwrap();
+    asm.inst(Opcode::Halt, &[]).unwrap();
+    let image = asm.finish().unwrap();
+    let mut m = SimpleMachine::with_code(&image);
+    let mut sink = NullSink;
+    let mut saw = false;
+    for _ in 0..20 {
+        match m.cpu.step(&mut sink) {
+            Ok(vax_cpu::StepOutcome::Exception(vax_cpu::Fault::Privileged)) => {
+                saw = true;
+                break;
+            }
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    assert!(saw, "MTPR in user mode must raise the privileged fault");
+}
+
+#[test]
+fn interrupt_uses_interrupt_stack_and_rei_restores() {
+    let mut m = looping_machine();
+    m.cpu.psl_mut().ipl = 0;
+    let sp_before = m.cpu.regs().sp();
+    m.cpu.post_interrupt(Interrupt {
+        ipl: 22,
+        vector: 0xF4,
+    });
+    let mut sink = NullSink;
+    // Service (switches to interrupt stack)...
+    m.cpu.step(&mut sink).unwrap();
+    assert!(m.cpu.psl().interrupt_stack);
+    assert_ne!(m.cpu.regs().sp(), sp_before);
+    // ...REI stub runs next instruction and returns.
+    m.cpu.step(&mut sink).unwrap();
+    assert!(!m.cpu.psl().interrupt_stack);
+    assert_eq!(m.cpu.regs().sp(), sp_before, "SP restored after REI");
+    assert_eq!(m.cpu.psl().ipl, 0);
+}

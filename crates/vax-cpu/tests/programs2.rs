@@ -1,0 +1,584 @@
+//! Second semantics suite: the instructions not covered by
+//! `programs.rs` — MOVC5/SKPC/SCANC/SPANC, field compares, extended
+//! multiply/divide, quad moves, multi-precision carry chains, decimal
+//! arithmetic variants, CALLG, CASE fall-through, processor registers.
+
+use upc_monitor::NullSink;
+use vax_arch::{Assembler, CodeImage, Opcode, Operand, Reg};
+use vax_cpu::harness::SimpleMachine;
+use vax_cpu::CpuError;
+
+fn run_program(build: impl FnOnce(&mut Assembler)) -> SimpleMachine {
+    let mut asm = Assembler::new(0x400);
+    build(&mut asm);
+    asm.inst(Opcode::Halt, &[]).unwrap();
+    let image = asm.finish().unwrap();
+    run_image(&image)
+}
+
+fn run_image(image: &CodeImage) -> SimpleMachine {
+    let mut m = SimpleMachine::with_code(image);
+    match m.cpu.run(1_000_000, &mut NullSink) {
+        Err(CpuError::Halted { .. }) => m,
+        other => panic!("program did not halt cleanly: {other:?}"),
+    }
+}
+
+fn r(m: &SimpleMachine, reg: Reg) -> u32 {
+    m.cpu.regs().get(reg)
+}
+
+#[test]
+fn movc5_copies_and_fills() {
+    let m = run_program(|asm| {
+        let src = asm.new_label();
+        let dst = asm.new_label();
+        asm.moval_pcrel(src, Operand::Reg(Reg::R6)).unwrap();
+        asm.moval_pcrel(dst, Operand::Reg(Reg::R7)).unwrap();
+        // movc5 #4, (r6), #'x', #8, (r7): copy 4, fill 4 with 'x'.
+        asm.inst(
+            Opcode::Movc5,
+            &[
+                Operand::Literal(4),
+                Operand::RegDeferred(Reg::R6),
+                Operand::Immediate(u64::from(b'x')),
+                Operand::Literal(8),
+                Operand::RegDeferred(Reg::R7),
+            ],
+        )
+        .unwrap();
+        // Read back the filled destination into R4/R5.
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::RegDeferred(Reg::R7), Operand::Reg(Reg::R4)],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Disp(4, Reg::R7), Operand::Reg(Reg::R5)],
+        )
+        .unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(src).unwrap();
+        asm.bytes(b"abcdWXYZ");
+        asm.place(dst).unwrap();
+        asm.bytes(&[0u8; 8]);
+        asm.place(done).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4).to_le_bytes(), *b"abcd");
+    assert_eq!(r(&m, Reg::R5).to_le_bytes(), *b"xxxx");
+}
+
+#[test]
+fn skpc_skips_matching_bytes() {
+    let m = run_program(|asm| {
+        let data = asm.new_label();
+        asm.moval_pcrel(data, Operand::Reg(Reg::R6)).unwrap();
+        asm.inst(
+            Opcode::Skpc,
+            &[
+                Operand::Immediate(u64::from(b'a')),
+                Operand::Literal(10),
+                Operand::RegDeferred(Reg::R6),
+            ],
+        )
+        .unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(data).unwrap();
+        asm.bytes(b"aaaabcdefg");
+        asm.place(done).unwrap();
+    });
+    // Four leading 'a's skipped: 6 bytes remain.
+    assert_eq!(r(&m, Reg::R0), 6);
+}
+
+#[test]
+fn scanc_and_spanc_use_the_table() {
+    let m = run_program(|asm| {
+        let data = asm.new_label();
+        let table = asm.new_label();
+        asm.moval_pcrel(data, Operand::Reg(Reg::R6)).unwrap();
+        asm.moval_pcrel(table, Operand::Reg(Reg::R7)).unwrap();
+        // SCANC: find first byte whose table entry has bit 0 set; the
+        // table marks byte value 3.
+        asm.inst(
+            Opcode::Scanc,
+            &[
+                Operand::Literal(6),
+                Operand::RegDeferred(Reg::R6),
+                Operand::RegDeferred(Reg::R7),
+                Operand::Literal(1),
+            ],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movl, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R4)])
+            .unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(data).unwrap();
+        asm.bytes(&[0, 1, 2, 3, 4, 5]);
+        asm.place(table).unwrap();
+        let mut tbl = [0u8; 8];
+        tbl[3] = 1;
+        asm.bytes(&tbl);
+        asm.place(done).unwrap();
+    });
+    // Byte value 3 is at index 3: remaining = 3.
+    assert_eq!(r(&m, Reg::R4), 3);
+}
+
+#[test]
+fn emul_and_ediv_round_trip() {
+    let m = run_program(|asm| {
+        // R2:R3 = 100000 * 70000 + 5 (EMUL prod into R2/R3).
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(100_000), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(70_000), Operand::Reg(Reg::R1)],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Emul,
+            &[
+                Operand::Reg(Reg::R0),
+                Operand::Reg(Reg::R1),
+                Operand::Literal(5),
+                Operand::Reg(Reg::R2),
+            ],
+        )
+        .unwrap();
+        // EDIV back: quotient into R4, remainder into R5.
+        asm.inst(
+            Opcode::Ediv,
+            &[
+                Operand::Reg(Reg::R0),
+                Operand::Reg(Reg::R2),
+                Operand::Reg(Reg::R4),
+                Operand::Reg(Reg::R5),
+            ],
+        )
+        .unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4), 70_000);
+    assert_eq!(r(&m, Reg::R5), 5);
+    // EMUL's quad product in R2:R3.
+    let prod = u64::from(r(&m, Reg::R2)) | (u64::from(r(&m, Reg::R3)) << 32);
+    assert_eq!(prod, 100_000u64 * 70_000 + 5);
+}
+
+#[test]
+fn movq_and_ashq_are_64_bit() {
+    let m = run_program(|asm| {
+        let data = asm.new_label();
+        asm.moval_pcrel(data, Operand::Reg(Reg::R6)).unwrap();
+        asm.inst(
+            Opcode::Movq,
+            &[Operand::RegDeferred(Reg::R6), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Ashq,
+            &[
+                Operand::Literal(8),
+                Operand::Reg(Reg::R0),
+                Operand::Reg(Reg::R2),
+            ],
+        )
+        .unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(data).unwrap();
+        asm.long(0x1122_3344);
+        asm.long(0x0000_0055);
+        asm.place(done).unwrap();
+    });
+    let q = u64::from(r(&m, Reg::R2)) | (u64::from(r(&m, Reg::R3)) << 32);
+    assert_eq!(q, 0x0000_0055_1122_3344u64 << 8);
+}
+
+#[test]
+fn adwc_sbwc_multiprecision() {
+    let m = run_program(|asm| {
+        // 64-bit add: (0xFFFFFFFF, 1) + (1, 0) = (0, 2) via ADDL2 + ADWC.
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(0xFFFF_FFFF), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R1)])
+            .unwrap();
+        asm.inst(Opcode::Addl2, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+            .unwrap();
+        asm.inst(Opcode::Adwc, &[Operand::Literal(0), Operand::Reg(Reg::R1)])
+            .unwrap();
+    });
+    assert_eq!(r(&m, Reg::R0), 0);
+    assert_eq!(r(&m, Reg::R1), 2, "carry propagated");
+}
+
+#[test]
+fn field_compares_and_memory_insv() {
+    let m = run_program(|asm| {
+        let data = asm.new_label();
+        asm.moval_pcrel(data, Operand::Reg(Reg::R6)).unwrap();
+        // INSV 0x2A into bits 4..12 of memory.
+        asm.inst(
+            Opcode::Insv,
+            &[
+                Operand::Immediate(0x2A),
+                Operand::Literal(4),
+                Operand::Literal(8),
+                Operand::RegDeferred(Reg::R6),
+            ],
+        )
+        .unwrap();
+        // EXTZV it back into R4.
+        asm.inst(
+            Opcode::Extzv,
+            &[
+                Operand::Literal(4),
+                Operand::Literal(8),
+                Operand::RegDeferred(Reg::R6),
+                Operand::Reg(Reg::R4),
+            ],
+        )
+        .unwrap();
+        // CMPZV equal => Z set; record PSL.
+        asm.inst(
+            Opcode::Cmpzv,
+            &[
+                Operand::Literal(4),
+                Operand::Literal(8),
+                Operand::RegDeferred(Reg::R6),
+                Operand::Immediate(0x2A),
+            ],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movpsl, &[Operand::Reg(Reg::R5)]).unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(data).unwrap();
+        asm.long(0);
+        asm.long(0);
+        asm.place(done).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4), 0x2A);
+    assert!(r(&m, Reg::R5) & 0x4 != 0, "CMPZV equal sets Z");
+}
+
+#[test]
+fn extv_sign_extends() {
+    let m = run_program(|asm| {
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(0x0000_00F0), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        // Bits 4..8 of 0xF0 = 0b1111 -> sign-extended = -1.
+        asm.inst(
+            Opcode::Extv,
+            &[
+                Operand::Literal(4),
+                Operand::Literal(4),
+                Operand::Reg(Reg::R0),
+                Operand::Reg(Reg::R1),
+            ],
+        )
+        .unwrap();
+    });
+    assert_eq!(r(&m, Reg::R1), 0xFFFF_FFFF);
+}
+
+#[test]
+fn decimal_subtract_multiply_compare() {
+    let m = run_program(|asm| {
+        let a = asm.new_label();
+        let b = asm.new_label();
+        let c = asm.new_label();
+        asm.moval_pcrel(a, Operand::Reg(Reg::R6)).unwrap();
+        asm.moval_pcrel(b, Operand::Reg(Reg::R7)).unwrap();
+        asm.moval_pcrel(c, Operand::Reg(Reg::R8)).unwrap();
+        for (val, reg) in [(250u64, Reg::R6), (100, Reg::R7)] {
+            asm.inst(
+                Opcode::Cvtlp,
+                &[
+                    Operand::Immediate(val),
+                    Operand::Literal(7),
+                    Operand::RegDeferred(reg),
+                ],
+            )
+            .unwrap();
+        }
+        // SUBP4: (r7) = (r7) - (r6) -> 100 - 250 = -150.
+        asm.inst(
+            Opcode::Subp4,
+            &[
+                Operand::Literal(7),
+                Operand::RegDeferred(Reg::R6),
+                Operand::Literal(7),
+                Operand::RegDeferred(Reg::R7),
+            ],
+        )
+        .unwrap();
+        // MULP: (r8) = (r7) * (r6)?  MULP mul, muld, prod (6 operands).
+        asm.inst(
+            Opcode::Mulp,
+            &[
+                Operand::Literal(7),
+                Operand::RegDeferred(Reg::R6),
+                Operand::Literal(7),
+                Operand::RegDeferred(Reg::R7),
+                Operand::Literal(9),
+                Operand::RegDeferred(Reg::R8),
+            ],
+        )
+        .unwrap();
+        // CVTPL results.
+        asm.inst(
+            Opcode::Cvtpl,
+            &[
+                Operand::Literal(7),
+                Operand::RegDeferred(Reg::R7),
+                Operand::Reg(Reg::R4),
+            ],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Cvtpl,
+            &[
+                Operand::Literal(9),
+                Operand::RegDeferred(Reg::R8),
+                Operand::Reg(Reg::R5),
+            ],
+        )
+        .unwrap();
+        // CMPP3 a vs b: 250 vs -150 -> N clear (a > b).
+        asm.inst(
+            Opcode::Cmpp3,
+            &[
+                Operand::Literal(7),
+                Operand::RegDeferred(Reg::R6),
+                Operand::RegDeferred(Reg::R7),
+            ],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movpsl, &[Operand::Reg(Reg::R3)]).unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        for l in [a, b, c] {
+            asm.place(l).unwrap();
+            asm.bytes(&[0u8; 8]);
+        }
+        asm.place(done).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4) as i32, -150);
+    assert_eq!(r(&m, Reg::R5) as i32, 250 * -150);
+    assert_eq!(r(&m, Reg::R3) & 0x8, 0, "CMPP3: 250 > -150 clears N");
+}
+
+#[test]
+fn callg_passes_an_arglist() {
+    let m = run_program(|asm| {
+        let proc_entry = asm.new_label();
+        let arglist = asm.new_label();
+        asm.moval_pcrel(proc_entry, Operand::Reg(Reg::R10)).unwrap();
+        asm.moval_pcrel(arglist, Operand::Reg(Reg::R9)).unwrap();
+        asm.inst(
+            Opcode::Callg,
+            &[Operand::RegDeferred(Reg::R9), Operand::RegDeferred(Reg::R10)],
+        )
+        .unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(proc_entry).unwrap();
+        asm.word(0); // no saved registers
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Disp(4, Reg::Ap), Operand::Reg(Reg::R4)],
+        )
+        .unwrap();
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        asm.place(arglist).unwrap();
+        asm.long(1); // argument count
+        asm.long(777); // argument 1
+        asm.place(done).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4), 777);
+}
+
+#[test]
+fn case_fallthrough_out_of_range() {
+    let m = run_program(|asm| {
+        asm.inst(Opcode::Movl, &[Operand::Literal(9), Operand::Reg(Reg::R0)])
+            .unwrap();
+        let t0 = asm.new_label();
+        let t1 = asm.new_label();
+        // Selector 9, base 0, limit 1 -> out of range -> falls past table.
+        asm.case(
+            Opcode::Casel,
+            &[
+                Operand::Reg(Reg::R0),
+                Operand::Literal(0),
+                Operand::Literal(1),
+            ],
+            &[t0, t1],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movl, &[Operand::Literal(42), Operand::Reg(Reg::R1)])
+            .unwrap();
+        let done = asm.new_label();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(t0).unwrap();
+        asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R1)])
+            .unwrap();
+        asm.branch(Opcode::Brb, &[], done).unwrap();
+        asm.place(t1).unwrap();
+        asm.inst(Opcode::Movl, &[Operand::Literal(2), Operand::Reg(Reg::R1)])
+            .unwrap();
+        asm.place(done).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R1), 42, "fell through past the table");
+}
+
+#[test]
+fn mtpr_mfpr_round_trip_sisr() {
+    // Kernel-mode program: set software-interrupt summary bits via SIRR,
+    // read SISR back. (Level 1 stays pending but below kernel-boot IPL.)
+    let m = run_program(|asm| {
+        asm.inst(
+            Opcode::Mtpr,
+            &[Operand::Literal(1), Operand::Literal(20)], // SIRR <- 1
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Mfpr,
+            &[Operand::Literal(21), Operand::Reg(Reg::R4)], // R4 <- SISR
+        )
+        .unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4), 1 << 1);
+}
+
+#[test]
+fn prober_reports_accessibility() {
+    let m = run_program(|asm| {
+        // Probe a mapped address and an unmapped one.
+        asm.inst(
+            Opcode::Prober,
+            &[
+                Operand::Literal(0),
+                Operand::Literal(4),
+                Operand::Disp(0x400, Reg::R11), // R11=0, VA 0x400 mapped
+            ],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movpsl, &[Operand::Reg(Reg::R4)]).unwrap();
+        asm.inst(
+            Opcode::Prober,
+            &[
+                Operand::Literal(0),
+                Operand::Literal(4),
+                Operand::Absolute(0x3F00_0000), // far beyond P0LR
+            ],
+        )
+        .unwrap();
+        asm.inst(Opcode::Movpsl, &[Operand::Reg(Reg::R5)]).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R4) & 0x4, 0, "mapped: Z clear");
+    assert_ne!(r(&m, Reg::R5) & 0x4, 0, "unmapped: Z set");
+}
+
+#[test]
+fn bbss_sets_and_bbcc_clears() {
+    let m = run_program(|asm| {
+        asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R0)]).unwrap();
+        let l1 = asm.new_label();
+        // BBSS on clear bit: no branch, bit set afterwards.
+        asm.branch(
+            Opcode::Bbss,
+            &[Operand::Literal(3), Operand::Reg(Reg::R0)],
+            l1,
+        )
+        .unwrap();
+        asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R2)]).unwrap();
+        asm.place(l1).unwrap();
+        // Now BBCC on the set bit: branches (bit set) and clears it.
+        let l2 = asm.new_label();
+        asm.branch(
+            Opcode::Bbcc,
+            &[Operand::Literal(3), Operand::Reg(Reg::R0)],
+            l2,
+        )
+        .unwrap();
+        asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R3)]).unwrap();
+        asm.place(l2).unwrap();
+    });
+    assert_eq!(r(&m, Reg::R2), 1, "BBSS on clear bit fell through");
+    assert_eq!(r(&m, Reg::R0), 0, "BBCC cleared the bit");
+    assert_eq!(
+        r(&m, Reg::R3),
+        1,
+        "BBCC branches on *clear*; the bit was set, so it fell through"
+    );
+}
+
+#[test]
+fn acbw_loops_with_word_operands() {
+    let m = run_program(|asm| {
+        asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R0)]).unwrap();
+        asm.inst(Opcode::Clrw, &[Operand::Reg(Reg::R1)]).unwrap();
+        let top = asm.label_here();
+        asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R0)]).unwrap();
+        // acbw #6, #2, r1: r1 += 2 while <= 6.
+        asm.branch(
+            Opcode::Acbw,
+            &[
+                Operand::Literal(6),
+                Operand::Literal(2),
+                Operand::Reg(Reg::R1),
+            ],
+            top,
+        )
+        .unwrap();
+    });
+    // r1: 2,4,6 (loop) then 8 (exit): body ran 4 times.
+    assert_eq!(r(&m, Reg::R0), 4);
+    assert_eq!(r(&m, Reg::R1) & 0xFFFF, 8);
+}
+
+#[test]
+fn dfloat_arithmetic_runs() {
+    let m = run_program(|asm| {
+        asm.inst(
+            Opcode::Cvtld,
+            &[Operand::Immediate(10), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Cvtld,
+            &[Operand::Immediate(4), Operand::Reg(Reg::R2)],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Divd3,
+            &[
+                Operand::Reg(Reg::R2),
+                Operand::Reg(Reg::R0),
+                Operand::Reg(Reg::R4),
+            ],
+        )
+        .unwrap();
+        asm.inst(
+            Opcode::Cvtdl,
+            &[Operand::Reg(Reg::R4), Operand::Reg(Reg::R6)],
+        )
+        .unwrap();
+    });
+    assert_eq!(r(&m, Reg::R6), 2, "10.0 / 4.0 truncates to 2");
+}

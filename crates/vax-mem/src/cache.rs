@@ -1,0 +1,173 @@
+//! The 11/780 data cache: presence-only model.
+//!
+//! Data always lives in [`crate::PhysMem`] (the cache is write-through, so
+//! memory is never stale); the cache tracks only which blocks are present,
+//! which is all the timing model needs.
+
+use crate::CacheConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u32,
+}
+
+/// Physically indexed, physically tagged set-associative cache with random
+/// replacement (as on the 11/780) and no-write-allocate policy.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    sets: u32,
+    ways: u32,
+    block_shift: u32,
+    set_mask: u32,
+    /// Simple xorshift state for random replacement; deterministic.
+    rng: u32,
+}
+
+impl Cache {
+    /// A cache of the given geometry, initially empty.
+    pub fn new(config: CacheConfig) -> Cache {
+        config.validate();
+        let sets = config.sets();
+        Cache {
+            lines: vec![Line::default(); (sets * config.ways) as usize],
+            sets,
+            ways: config.ways,
+            block_shift: config.block_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            rng: 0x2545_F491,
+        }
+    }
+
+    #[inline]
+    fn set_and_tag(&self, pa: u32) -> (u32, u32) {
+        let block = pa >> self.block_shift;
+        (block & self.set_mask, block >> self.sets.trailing_zeros())
+    }
+
+    #[inline]
+    fn set_lines(&self, set: u32) -> std::ops::Range<usize> {
+        let start = (set * self.ways) as usize;
+        start..start + self.ways as usize
+    }
+
+    /// Is the block containing `pa` present?
+    #[inline]
+    pub fn probe(&self, pa: u32) -> bool {
+        let (set, tag) = self.set_and_tag(pa);
+        self.lines[self.set_lines(set)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Bring the block containing `pa` in (random victim if the set is
+    /// full). No-op if already present.
+    pub fn fill(&mut self, pa: u32) {
+        let (set, tag) = self.set_and_tag(pa);
+        let range = self.set_lines(set);
+        if self.lines[range.clone()]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+        {
+            return;
+        }
+        // Prefer an invalid way; otherwise evict pseudo-randomly.
+        let victim = match self.lines[range.clone()].iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 17;
+                self.rng ^= self.rng << 5;
+                (self.rng % self.ways) as usize
+            }
+        };
+        let idx = range.start + victim;
+        self.lines[idx] = Line { valid: true, tag };
+    }
+
+    /// A write touches the cache only to update a hit; on a miss the cache
+    /// is *not* updated (paper §2.1). Returns whether the write hit.
+    pub fn write_probe(&mut self, pa: u32) -> bool {
+        self.probe(pa)
+    }
+
+    /// Invalidate everything (power-up or explicit flush).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+
+    /// Number of valid lines (diagnostics).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 8-byte blocks = 64 bytes.
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            block_bytes: 8,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.probe(0x100));
+        c.fill(0x100);
+        assert!(c.probe(0x100));
+        assert!(c.probe(0x107), "same 8-byte block");
+        assert!(!c.probe(0x108), "next block");
+    }
+
+    #[test]
+    fn two_way_associativity_holds_two_conflicting_blocks() {
+        let mut c = small();
+        // Same set: addresses 32 bytes apart (4 sets * 8 bytes).
+        c.fill(0x000);
+        c.fill(0x020);
+        assert!(c.probe(0x000));
+        assert!(c.probe(0x020));
+        // A third conflicting block evicts one of them.
+        c.fill(0x040);
+        assert!(c.probe(0x040));
+        let survivors = [0x000, 0x020]
+            .iter()
+            .filter(|&&pa| c.probe(pa))
+            .count();
+        assert_eq!(survivors, 1);
+    }
+
+    #[test]
+    fn write_miss_does_not_allocate() {
+        let mut c = small();
+        assert!(!c.write_probe(0x200));
+        assert!(!c.probe(0x200), "no-write-allocate");
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = small();
+        c.fill(0x0);
+        c.fill(0x8);
+        assert_eq!(c.valid_lines(), 2);
+        c.invalidate_all();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn fill_is_idempotent() {
+        let mut c = small();
+        c.fill(0x10);
+        c.fill(0x10);
+        assert_eq!(c.valid_lines(), 1);
+    }
+}

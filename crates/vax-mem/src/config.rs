@@ -1,0 +1,171 @@
+//! Configuration of the memory subsystem.
+//!
+//! Defaults reproduce the VAX-11/780 as described in the paper and the
+//! companion cache study; the fields exist so the ablation benches can
+//! sweep geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Data cache geometry and policy (fixed: write-through, no write-allocate,
+/// as on the 11/780).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes. 11/780: 8 KB.
+    pub size_bytes: u32,
+    /// Associativity. 11/780: 2-way.
+    pub ways: u32,
+    /// Block (line) size in bytes. 11/780: 8.
+    pub block_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.block_bytes)
+    }
+
+    /// Panics if the geometry is not a valid power-of-two arrangement.
+    pub fn validate(&self) {
+        assert!(self.size_bytes.is_power_of_two(), "cache size");
+        assert!(self.block_bytes.is_power_of_two(), "block size");
+        assert!(self.ways >= 1, "ways");
+        assert!(
+            self.size_bytes >= self.ways * self.block_bytes,
+            "cache smaller than one set"
+        );
+        assert!(self.sets().is_power_of_two(), "set count");
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 2,
+            block_bytes: 8,
+        }
+    }
+}
+
+/// Translation buffer geometry.
+///
+/// The 11/780 TB holds 128 entries, 2-way set associative, split into a
+/// system half and a process half; the process half is flushed on context
+/// switch (paper §3.4, \[3\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TbConfig {
+    /// Total entries. 11/780: 128.
+    pub entries: u32,
+    /// Associativity. 11/780: 2-way.
+    pub ways: u32,
+    /// Split halves (system/process)? 11/780: true.
+    pub split: bool,
+}
+
+impl TbConfig {
+    /// Sets per half (if split) or in total (if unified).
+    pub fn sets_per_half(&self) -> u32 {
+        let halves = if self.split { 2 } else { 1 };
+        self.entries / (self.ways * halves)
+    }
+
+    /// Panics if the geometry is invalid.
+    pub fn validate(&self) {
+        assert!(self.entries.is_power_of_two(), "tb entries");
+        assert!(self.ways >= 1);
+        assert!(self.sets_per_half() >= 1, "tb smaller than one set");
+        assert!(self.sets_per_half().is_power_of_two(), "tb set count");
+    }
+}
+
+impl Default for TbConfig {
+    fn default() -> Self {
+        TbConfig {
+            entries: 128,
+            ways: 2,
+            split: true,
+        }
+    }
+}
+
+/// Full memory-subsystem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Physical memory size in bytes (power of two). The measured machines
+    /// had 8 MB (paper §2.2).
+    pub phys_bytes: u32,
+    /// Cache geometry.
+    pub cache: CacheConfig,
+    /// Translation buffer geometry.
+    pub tb: TbConfig,
+    /// EBOX read-stall cycles for a cache miss with an idle SBI
+    /// ("in the simplest case this takes 6 cycles", §4.3).
+    pub read_miss_cycles: u32,
+    /// Cycles the write buffer + SBI are busy completing one write
+    /// ("a write will stall if attempted less than 6 cycles after the
+    /// previous write", §4.3).
+    pub write_cycles: u32,
+    /// Write-buffer entries. The 11/780 has one 4-byte buffer; deeper
+    /// buffers (as on later VAXes) absorb write bursts — an ablation
+    /// axis for the paper's CALL/RET write-stall observation.
+    pub write_buffer_entries: u32,
+}
+
+impl MemConfig {
+    /// Panics if any sub-configuration is invalid.
+    pub fn validate(&self) {
+        assert!(self.phys_bytes.is_power_of_two(), "physical memory size");
+        self.cache.validate();
+        self.tb.validate();
+        assert!(self.read_miss_cycles >= 1);
+        assert!(self.write_cycles >= 1);
+        assert!(self.write_buffer_entries >= 1, "write buffer entries");
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            phys_bytes: 8 * 1024 * 1024,
+            cache: CacheConfig::default(),
+            tb: TbConfig::default(),
+            read_miss_cycles: 6,
+            write_cycles: 6,
+            write_buffer_entries: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_780() {
+        let c = MemConfig::default();
+        c.validate();
+        assert_eq!(c.cache.sets(), 512);
+        assert_eq!(c.tb.sets_per_half(), 32);
+        assert_eq!(c.phys_bytes, 8 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache size")]
+    fn rejects_non_power_of_two_cache() {
+        CacheConfig {
+            size_bytes: 3000,
+            ..CacheConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn unified_tb_sets() {
+        let tb = TbConfig {
+            entries: 128,
+            ways: 2,
+            split: false,
+        };
+        assert_eq!(tb.sets_per_half(), 64);
+    }
+}

@@ -1,0 +1,171 @@
+//! Hardware event counters — the model's stand-in for the companion cache
+//! study's separate hardware monitor.
+//!
+//! These events are *invisible to microcode* on the real machine (paper
+//! §2.2, §4.1–4.2), so the µPC-histogram analysis must not derive them
+//! from the histogram; it reads them from here, clearly labelled as a
+//! second instrument.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated hardware events. All counts are totals over a run; the
+/// analysis divides by the instruction count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HwCounters {
+    /// Longword read requests issued by the instruction buffer.
+    pub ib_requests: u64,
+    /// Bytes actually accepted into the IB across those requests.
+    pub ib_bytes_delivered: u64,
+    /// I-stream cache read hits.
+    pub cache_hit_i: u64,
+    /// I-stream cache read misses.
+    pub cache_miss_i: u64,
+    /// D-stream cache read hits.
+    pub cache_hit_d: u64,
+    /// D-stream cache read misses.
+    pub cache_miss_d: u64,
+    /// D-stream writes (write-through; each goes to memory).
+    pub writes: u64,
+    /// Writes that found their block in the cache (cache updated).
+    pub write_hits: u64,
+    /// Unaligned D-stream references (each costs two physical references).
+    pub unaligned_refs: u64,
+    /// TB misses on D-stream (EBOX) references.
+    pub tb_miss_d: u64,
+    /// TB misses on I-stream (I-fetch) references.
+    pub tb_miss_i: u64,
+    /// TB hits (either stream).
+    pub tb_hits: u64,
+    /// SBI read transactions.
+    pub sbi_reads: u64,
+    /// SBI write transactions.
+    pub sbi_writes: u64,
+}
+
+impl HwCounters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> HwCounters {
+        HwCounters::default()
+    }
+
+    /// Zero everything (measurement start).
+    pub fn clear(&mut self) {
+        *self = HwCounters::default();
+    }
+
+    /// Merge another counter set into this one (composite workloads).
+    pub fn merge(&mut self, other: &HwCounters) {
+        self.ib_requests += other.ib_requests;
+        self.ib_bytes_delivered += other.ib_bytes_delivered;
+        self.cache_hit_i += other.cache_hit_i;
+        self.cache_miss_i += other.cache_miss_i;
+        self.cache_hit_d += other.cache_hit_d;
+        self.cache_miss_d += other.cache_miss_d;
+        self.writes += other.writes;
+        self.write_hits += other.write_hits;
+        self.unaligned_refs += other.unaligned_refs;
+        self.tb_miss_d += other.tb_miss_d;
+        self.tb_miss_i += other.tb_miss_i;
+        self.tb_hits += other.tb_hits;
+        self.sbi_reads += other.sbi_reads;
+        self.sbi_writes += other.sbi_writes;
+    }
+
+    /// Total cache read misses (both streams).
+    pub fn cache_read_misses(&self) -> u64 {
+        self.cache_miss_i + self.cache_miss_d
+    }
+
+    /// Total TB misses (both streams).
+    pub fn tb_misses(&self) -> u64 {
+        self.tb_miss_d + self.tb_miss_i
+    }
+
+    /// Name/value pairs for persistence alongside a histogram.
+    pub fn to_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ib_requests", self.ib_requests),
+            ("ib_bytes_delivered", self.ib_bytes_delivered),
+            ("cache_hit_i", self.cache_hit_i),
+            ("cache_miss_i", self.cache_miss_i),
+            ("cache_hit_d", self.cache_hit_d),
+            ("cache_miss_d", self.cache_miss_d),
+            ("writes", self.writes),
+            ("write_hits", self.write_hits),
+            ("unaligned_refs", self.unaligned_refs),
+            ("tb_miss_d", self.tb_miss_d),
+            ("tb_miss_i", self.tb_miss_i),
+            ("tb_hits", self.tb_hits),
+            ("sbi_reads", self.sbi_reads),
+            ("sbi_writes", self.sbi_writes),
+        ]
+    }
+
+    /// Rebuild from persisted pairs; unknown names are ignored, missing
+    /// names stay zero.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, u64)>) -> HwCounters {
+        let mut c = HwCounters::new();
+        for (name, value) in pairs {
+            match name {
+                "ib_requests" => c.ib_requests = value,
+                "ib_bytes_delivered" => c.ib_bytes_delivered = value,
+                "cache_hit_i" => c.cache_hit_i = value,
+                "cache_miss_i" => c.cache_miss_i = value,
+                "cache_hit_d" => c.cache_hit_d = value,
+                "cache_miss_d" => c.cache_miss_d = value,
+                "writes" => c.writes = value,
+                "write_hits" => c.write_hits = value,
+                "unaligned_refs" => c.unaligned_refs = value,
+                "tb_miss_d" => c.tb_miss_d = value,
+                "tb_miss_i" => c.tb_miss_i = value,
+                "tb_hits" => c.tb_hits = value,
+                "sbi_reads" => c.sbi_reads = value,
+                "sbi_writes" => c.sbi_writes = value,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Average bytes delivered per IB request (paper §4.1 reports ≈1.7).
+    pub fn ib_bytes_per_request(&self) -> f64 {
+        if self.ib_requests == 0 {
+            0.0
+        } else {
+            self.ib_bytes_delivered as f64 / self.ib_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = HwCounters {
+            ib_requests: 10,
+            cache_miss_i: 2,
+            ..HwCounters::default()
+        };
+        let b = HwCounters {
+            ib_requests: 5,
+            cache_miss_d: 3,
+            ..HwCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ib_requests, 15);
+        assert_eq!(a.cache_read_misses(), 5);
+    }
+
+    #[test]
+    fn ib_bytes_per_request_handles_zero() {
+        assert_eq!(HwCounters::new().ib_bytes_per_request(), 0.0);
+        let c = HwCounters {
+            ib_requests: 4,
+            ib_bytes_delivered: 7,
+            ..HwCounters::default()
+        };
+        assert!((c.ib_bytes_per_request() - 1.75).abs() < 1e-12);
+    }
+}

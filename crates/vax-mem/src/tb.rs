@@ -1,0 +1,236 @@
+//! The translation buffer.
+//!
+//! 128 entries, 2-way set associative, split into a *system* half (S0
+//! addresses) and a *process* half (P0/P1 addresses); the process half is
+//! flushed by `LDPCTX` on context switch. Unlike the cache, the TB is
+//! microcode-managed: misses trap to a microcode service routine, which is
+//! exactly why the paper can measure them with the µPC histogram (§4.2).
+
+use crate::paging::Pte;
+use crate::TbConfig;
+
+/// Which half of a split TB an address maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TbHalf {
+    /// P0/P1 (per-process) addresses.
+    Process,
+    /// S0 (system) addresses.
+    System,
+}
+
+impl TbHalf {
+    /// Classify a virtual address: S0 has VA bit 31 set.
+    #[inline]
+    pub fn of_va(va: u32) -> TbHalf {
+        if va & 0x8000_0000 != 0 {
+            TbHalf::System
+        } else {
+            TbHalf::Process
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    vpn: u32,
+    pte: Pte,
+}
+
+impl Default for Entry {
+    fn default() -> Self {
+        Entry {
+            valid: false,
+            vpn: 0,
+            pte: Pte::invalid(),
+        }
+    }
+}
+
+/// The translation buffer.
+#[derive(Debug, Clone)]
+pub struct Tb {
+    entries: Vec<Entry>,
+    sets_per_half: u32,
+    ways: u32,
+    split: bool,
+    rng: u32,
+}
+
+impl Tb {
+    /// An empty TB of the given geometry.
+    pub fn new(config: TbConfig) -> Tb {
+        config.validate();
+        Tb {
+            entries: vec![Entry::default(); config.entries as usize],
+            sets_per_half: config.sets_per_half(),
+            ways: config.ways,
+            split: config.split,
+            rng: 0x9E37_79B9,
+        }
+    }
+
+    #[inline]
+    fn set_base(&self, va: u32) -> usize {
+        let vpn = va >> crate::PAGE_SHIFT;
+        let set = vpn & (self.sets_per_half - 1);
+        let half_offset = if self.split && TbHalf::of_va(va) == TbHalf::System {
+            self.sets_per_half * self.ways
+        } else {
+            0
+        };
+        (half_offset + set * self.ways) as usize
+    }
+
+    /// Look up the translation for `va`. A hit costs no extra cycles.
+    #[inline]
+    pub fn lookup(&self, va: u32) -> Option<Pte> {
+        let vpn = va >> crate::PAGE_SHIFT;
+        let base = self.set_base(va);
+        self.entries[base..base + self.ways as usize]
+            .iter()
+            .find(|e| e.valid && e.vpn == vpn)
+            .map(|e| e.pte)
+    }
+
+    /// Insert a translation (called by the miss-service microroutine).
+    pub fn insert(&mut self, va: u32, pte: Pte) {
+        let vpn = va >> crate::PAGE_SHIFT;
+        let base = self.set_base(va);
+        let ways = self.ways as usize;
+        let set = &mut self.entries[base..base + ways];
+        let victim = match set.iter().position(|e| !e.valid || e.vpn == vpn) {
+            Some(i) => i,
+            None => {
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 17;
+                self.rng ^= self.rng << 5;
+                (self.rng as usize) % ways
+            }
+        };
+        set[victim] = Entry {
+            valid: true,
+            vpn,
+            pte,
+        };
+    }
+
+    /// Flush the process half (context switch via `LDPCTX`). On a unified
+    /// TB this flushes process-region entries individually.
+    pub fn flush_process(&mut self) {
+        if self.split {
+            let half = (self.sets_per_half * self.ways) as usize;
+            for e in &mut self.entries[..half] {
+                e.valid = false;
+            }
+        } else {
+            for e in &mut self.entries {
+                if e.valid && e.vpn >> (31 - crate::PAGE_SHIFT) == 0 {
+                    e.valid = false;
+                }
+            }
+        }
+    }
+
+    /// Flush everything.
+    pub fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+
+    /// Number of valid entries (diagnostics).
+    pub fn valid_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAGE_BYTES;
+
+    fn tb() -> Tb {
+        Tb::new(TbConfig::default())
+    }
+
+    fn pte(pfn: u32) -> Pte {
+        Pte::valid_frame(pfn)
+    }
+
+    const S0: u32 = 0x8000_0000;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = tb();
+        assert!(t.lookup(0x200).is_none());
+        t.insert(0x200, pte(7));
+        let got = t.lookup(0x200).unwrap();
+        assert_eq!(got.pfn(), 7);
+        assert!(t.lookup(0x200 + PAGE_BYTES).is_none(), "next page misses");
+    }
+
+    #[test]
+    fn same_page_hits_for_all_offsets() {
+        let mut t = tb();
+        t.insert(0x1000, pte(3));
+        assert!(t.lookup(0x1000 + PAGE_BYTES - 1).is_some());
+    }
+
+    #[test]
+    fn process_flush_spares_system_half() {
+        let mut t = tb();
+        t.insert(0x1000, pte(1));
+        t.insert(S0 | 0x1000, pte(2));
+        t.flush_process();
+        assert!(t.lookup(0x1000).is_none());
+        assert!(t.lookup(S0 | 0x1000).is_some());
+    }
+
+    #[test]
+    fn unified_tb_process_flush_spares_system_pages() {
+        let mut t = Tb::new(TbConfig {
+            entries: 128,
+            ways: 2,
+            split: false,
+        });
+        t.insert(0x1000, pte(1));
+        t.insert(S0 | 0x1000, pte(2));
+        t.flush_process();
+        assert!(t.lookup(0x1000).is_none());
+        assert!(t.lookup(S0 | 0x1000).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut t = tb();
+        t.insert(0x1000, pte(1));
+        t.insert(0x1000, pte(9));
+        assert_eq!(t.lookup(0x1000).unwrap().pfn(), 9);
+        assert_eq!(t.valid_entries(), 1);
+    }
+
+    #[test]
+    fn conflict_eviction_keeps_set_size() {
+        let mut t = tb();
+        // 32 sets per half; same set every 32 pages.
+        let stride = 32 * PAGE_BYTES;
+        t.insert(0, pte(1));
+        t.insert(stride, pte(2));
+        t.insert(2 * stride, pte(3));
+        let alive = [0, stride, 2 * stride]
+            .iter()
+            .filter(|&&va| t.lookup(va).is_some())
+            .count();
+        assert_eq!(alive, 2, "2-way set holds two translations");
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut t = tb();
+        t.insert(0x1000, pte(1));
+        t.insert(S0 | 0x2000, pte(2));
+        t.flush_all();
+        assert_eq!(t.valid_entries(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Micro-address newtype.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An address in the 11/780 control store (and thus a bucket index on the
+/// histogram board, which has 16 K count locations — paper §2.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MicroAddr(u16);
+
+impl MicroAddr {
+    /// Number of addressable control-store locations (= histogram buckets).
+    pub const SPACE: usize = 16 * 1024;
+
+    /// A micro-address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the 16 K control store.
+    pub const fn new(addr: u16) -> MicroAddr {
+        assert!((addr as usize) < MicroAddr::SPACE, "micro-address range");
+        MicroAddr(addr)
+    }
+
+    /// The raw address value.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Usable as a bucket index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The address `offset` locations later.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the control store.
+    pub const fn offset(self, offset: u16) -> MicroAddr {
+        MicroAddr::new(self.0 + offset)
+    }
+}
+
+impl fmt::Display for MicroAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{:04x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = MicroAddr::new(0x123);
+        assert_eq!(a.value(), 0x123);
+        assert_eq!(a.index(), 0x123);
+        assert_eq!(a.offset(2).value(), 0x125);
+        assert_eq!(a.to_string(), "u0123");
+    }
+
+    #[test]
+    #[should_panic(expected = "micro-address range")]
+    fn rejects_out_of_range() {
+        let _ = MicroAddr::new(0x4000);
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-address classification: Table 8 row, memory-operation class, and
+//! event tags for frequency analysis.
+
+use std::fmt;
+use vax_arch::{BranchClass, Opcode, OpcodeGroup, SpecModeClass};
+
+/// Specifier position distinguished by the 11/780 microcode: the first
+/// specifier ("SPEC1") versus all later ones ("SPEC2-6") — paper §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpecPosition {
+    /// The specifier directly following the opcode.
+    First,
+    /// Specifiers 2–6.
+    Rest,
+}
+
+impl SpecPosition {
+    /// Both positions, SPEC1 first.
+    pub const ALL: [SpecPosition; 2] = [SpecPosition::First, SpecPosition::Rest];
+
+    /// Index 0 for SPEC1, 1 for SPEC2-6.
+    pub const fn index(self) -> usize {
+        match self {
+            SpecPosition::First => 0,
+            SpecPosition::Rest => 1,
+        }
+    }
+
+    /// Label as printed in Tables 4/5/8.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpecPosition::First => "SPEC1",
+            SpecPosition::Rest => "SPEC2-6",
+        }
+    }
+}
+
+impl fmt::Display for SpecPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The rows of the paper's Table 8: the stages/activities an average
+/// instruction's cycles are attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Row {
+    /// Initial instruction decode (one non-overlapped cycle).
+    Decode,
+    /// First-specifier processing.
+    Spec1,
+    /// Processing of specifiers 2–6.
+    Spec2to6,
+    /// Branch-displacement processing.
+    BranchDisp,
+    /// Execute phase, by opcode group.
+    Exec(OpcodeGroup),
+    /// Interrupts and exceptions (overhead, not per-instruction).
+    IntExcept,
+    /// Memory management (TB miss service) and alignment microcode.
+    MemMgmt,
+    /// Abort cycles (one per microcode trap).
+    Abort,
+}
+
+impl Row {
+    /// All rows in Table 8 order.
+    pub const ALL: [Row; 14] = [
+        Row::Decode,
+        Row::Spec1,
+        Row::Spec2to6,
+        Row::BranchDisp,
+        Row::Exec(OpcodeGroup::Simple),
+        Row::Exec(OpcodeGroup::Field),
+        Row::Exec(OpcodeGroup::Float),
+        Row::Exec(OpcodeGroup::CallRet),
+        Row::Exec(OpcodeGroup::System),
+        Row::Exec(OpcodeGroup::Character),
+        Row::Exec(OpcodeGroup::Decimal),
+        Row::IntExcept,
+        Row::MemMgmt,
+        Row::Abort,
+    ];
+
+    /// Stable index 0–13 in Table 8 order.
+    pub const fn index(self) -> usize {
+        match self {
+            Row::Decode => 0,
+            Row::Spec1 => 1,
+            Row::Spec2to6 => 2,
+            Row::BranchDisp => 3,
+            Row::Exec(g) => 4 + g.index(),
+            Row::IntExcept => 11,
+            Row::MemMgmt => 12,
+            Row::Abort => 13,
+        }
+    }
+
+    /// Row label as printed in Table 8.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Row::Decode => "Decode",
+            Row::Spec1 => "Spec 1",
+            Row::Spec2to6 => "Spec 2-6",
+            Row::BranchDisp => "B-Disp",
+            Row::Exec(g) => g.name(),
+            Row::IntExcept => "Int/Except",
+            Row::MemMgmt => "Mem Mgmt",
+            Row::Abort => "Abort",
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static memory-operation class of a microinstruction. On the 11/780
+/// a microinstruction can read or write, never both (§4.3); the histogram
+/// board distinguishes read stalls from write stalls by this property of
+/// the stalled address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Autonomous EBOX operation, no memory reference.
+    Compute,
+    /// Performs a D-stream read.
+    Read,
+    /// Performs a D-stream write.
+    Write,
+}
+
+/// The decode points where the microcode may find the IB empty; IB stall
+/// cycles are attributed to the row of the starved decode (§5 discussion
+/// of where IB stalls occur).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallPoint {
+    /// Initial opcode decode.
+    Decode,
+    /// First specifier decode.
+    Spec1,
+    /// Later specifier decode.
+    Spec2to6,
+    /// Branch-displacement fetch.
+    BranchDisp,
+}
+
+impl StallPoint {
+    /// All stall points.
+    pub const ALL: [StallPoint; 4] = [
+        StallPoint::Decode,
+        StallPoint::Spec1,
+        StallPoint::Spec2to6,
+        StallPoint::BranchDisp,
+    ];
+
+    /// Index 0–3.
+    pub const fn index(self) -> usize {
+        match self {
+            StallPoint::Decode => 0,
+            StallPoint::Spec1 => 1,
+            StallPoint::Spec2to6 => 2,
+            StallPoint::BranchDisp => 3,
+        }
+    }
+
+    /// The Table 8 row the stall is charged to.
+    pub const fn row(self) -> Row {
+        match self {
+            StallPoint::Decode => Row::Decode,
+            StallPoint::Spec1 => Row::Spec1,
+            StallPoint::Spec2to6 => Row::Spec2to6,
+            StallPoint::BranchDisp => Row::BranchDisp,
+        }
+    }
+}
+
+/// What executing the microinstruction at an address *means*, for event
+/// frequency analysis (paper §3: "the frequency of many events can be
+/// determined through examination of the relative execution counts of
+/// various microinstructions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventTag {
+    /// No event; plain routine body.
+    None,
+    /// The IRD1 decode dispatch: exactly one execution per instruction.
+    InstDecode,
+    /// An IB-stall dispatch: each execution is one IB-stall cycle.
+    IbStall(StallPoint),
+    /// Entry to a specifier routine: one execution per specifier of this
+    /// position and mode class.
+    SpecEntry(SpecPosition, SpecModeClass),
+    /// The index-mode prefix routine: one execution per indexed specifier.
+    SpecIndex(SpecPosition),
+    /// Branch-displacement processing: one execution per displacement.
+    BranchDispatch,
+    /// Entry to an opcode's execute routine: one execution per instance of
+    /// the opcode.
+    ExecEntry(Opcode),
+    /// The IB-redirect cycle of a taken PC-changing instruction.
+    BranchTaken(BranchClass),
+    /// Entry to the TB miss service routine: one execution per miss.
+    TbMissEntry,
+    /// Entry to interrupt service microcode: one execution per interrupt.
+    InterruptEntry,
+    /// Entry to exception service microcode.
+    ExceptionEntry,
+    /// Executed when `MTPR` posts a software interrupt request.
+    SoftIntRequest,
+    /// Alignment/memory-management microcode body.
+    MemMgmtBody,
+    /// An abort cycle (one per microcode trap).
+    AbortCycle,
+}
+
+/// The full classification of one control-store address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrClass {
+    /// Table 8 row.
+    pub row: Row,
+    /// Static memory-operation class.
+    pub op: MemOp,
+    /// Event meaning of an execution count at this address.
+    pub tag: EventTag,
+}
+
+impl AddrClass {
+    /// An unremarkable compute-body address in `row`.
+    pub const fn body(row: Row) -> AddrClass {
+        AddrClass {
+            row,
+            op: MemOp::Compute,
+            tag: EventTag::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_indices_are_unique_and_ordered() {
+        for (i, r) in Row::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i, "{r}");
+        }
+    }
+
+    #[test]
+    fn stall_points_map_to_rows() {
+        assert_eq!(StallPoint::Decode.row(), Row::Decode);
+        assert_eq!(StallPoint::Spec1.row(), Row::Spec1);
+        assert_eq!(StallPoint::Spec2to6.row(), Row::Spec2to6);
+        assert_eq!(StallPoint::BranchDisp.row(), Row::BranchDisp);
+    }
+
+    #[test]
+    fn spec_positions() {
+        assert_eq!(SpecPosition::First.name(), "SPEC1");
+        assert_eq!(SpecPosition::Rest.index(), 1);
+    }
+}

@@ -1,0 +1,641 @@
+//! The deterministic control-store layout.
+
+use crate::{AddrClass, EventTag, MemOp, MicroAddr, Row, SpecPosition, StallPoint};
+use vax_arch::{BranchClass, Opcode, OpcodeGroup, SpecModeClass};
+
+const IRD1: u16 = 0x000;
+const IB_STALL_BASE: u16 = 0x001; // 4 addresses, one per StallPoint
+const BDISP: u16 = 0x005;
+const SPEC_INDEX_BASE: u16 = 0x008; // 2 addresses (SPEC1, SPEC2-6)
+const SPEC_BASE: u16 = 0x010; // 2 positions x 10 classes x 4 slots = 80
+const SPEC_SLOTS: u16 = 4;
+const BRANCH_TAKEN_BASE: u16 = 0x060; // 9 branch classes
+const TB_MISS_BASE: u16 = 0x070; // entry, body, pte read, sys read, insert
+const MEMMGMT_BASE: u16 = 0x078; // compute, read, write (alignment etc.)
+const INT_BASE: u16 = 0x080; // entry, body, read, write
+const EXC_BASE: u16 = 0x084; // entry, body, read, write
+const ABORT: u16 = 0x088;
+const SOFT_INT_REQ: u16 = 0x089;
+const EXEC_BASE: u16 = 0x100; // per opcode: entry, compute, read, write
+const EXEC_SLOTS: u16 = 4;
+
+/// The control store: a classification for every allocated micro-address,
+/// plus named accessors the CPU model dispatches through.
+///
+/// # Example
+///
+/// ```
+/// use vax_ucode::{ControlStore, EventTag, MemOp};
+/// use vax_arch::Opcode;
+///
+/// let cs = ControlStore::build();
+/// let entry = cs.exec_entry(Opcode::Movl);
+/// let class = cs.class(entry);
+/// assert_eq!(class.tag, EventTag::ExecEntry(Opcode::Movl));
+/// assert_eq!(class.op, MemOp::Compute);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControlStore {
+    classes: Vec<Option<AddrClass>>,
+    opcode_index: [u16; 256],
+    size: usize,
+}
+
+impl ControlStore {
+    /// Build the layout. Deterministic: the same "listing" every time,
+    /// like a microcode revision.
+    pub fn build() -> ControlStore {
+        let mut opcode_index = [u16::MAX; 256];
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            opcode_index[op.to_byte() as usize] = i as u16;
+        }
+        let top = EXEC_BASE as usize + Opcode::ALL.len() * EXEC_SLOTS as usize;
+        assert!(top <= MicroAddr::SPACE, "layout exceeds the control store");
+        let mut classes: Vec<Option<AddrClass>> = vec![None; top];
+
+        let mut set = |addr: u16, class: AddrClass| {
+            classes[addr as usize] = Some(class);
+        };
+
+        set(
+            IRD1,
+            AddrClass {
+                row: Row::Decode,
+                op: MemOp::Compute,
+                tag: EventTag::InstDecode,
+            },
+        );
+        for point in StallPoint::ALL {
+            set(
+                IB_STALL_BASE + point.index() as u16,
+                AddrClass {
+                    row: point.row(),
+                    op: MemOp::Compute,
+                    tag: EventTag::IbStall(point),
+                },
+            );
+        }
+        set(
+            BDISP,
+            AddrClass {
+                row: Row::BranchDisp,
+                op: MemOp::Compute,
+                tag: EventTag::BranchDispatch,
+            },
+        );
+        for pos in SpecPosition::ALL {
+            set(
+                SPEC_INDEX_BASE + pos.index() as u16,
+                AddrClass {
+                    row: spec_row(pos),
+                    op: MemOp::Compute,
+                    tag: EventTag::SpecIndex(pos),
+                },
+            );
+        }
+        for pos in SpecPosition::ALL {
+            for class in SpecModeClass::ALL {
+                let base = spec_slot_base(pos, class);
+                let row = spec_row(pos);
+                set(
+                    base,
+                    AddrClass {
+                        row,
+                        op: MemOp::Compute,
+                        tag: EventTag::SpecEntry(pos, class),
+                    },
+                );
+                set(base + 1, AddrClass::body(row));
+                set(
+                    base + 2,
+                    AddrClass {
+                        row,
+                        op: MemOp::Read,
+                        tag: EventTag::None,
+                    },
+                );
+                set(
+                    base + 3,
+                    AddrClass {
+                        row,
+                        op: MemOp::Write,
+                        tag: EventTag::None,
+                    },
+                );
+            }
+        }
+        for class in BranchClass::ALL {
+            // For displacement branches the taken-redirect cycle IS the
+            // branch-displacement target calculation (§5: B-Disp compute
+            // is spent only when the instruction branches); classes that
+            // compute their targets from operands redirect within their
+            // execute row.
+            let row = match class {
+                BranchClass::SimpleCond
+                | BranchClass::Loop
+                | BranchClass::LowBitTest
+                | BranchClass::BitBranch => Row::BranchDisp,
+                other => Row::Exec(branch_class_group(other)),
+            };
+            set(
+                BRANCH_TAKEN_BASE + class.index() as u16,
+                AddrClass {
+                    row,
+                    op: MemOp::Compute,
+                    tag: EventTag::BranchTaken(class),
+                },
+            );
+        }
+        // TB miss service routine.
+        set(
+            TB_MISS_BASE,
+            AddrClass {
+                row: Row::MemMgmt,
+                op: MemOp::Compute,
+                tag: EventTag::TbMissEntry,
+            },
+        );
+        set(TB_MISS_BASE + 1, AddrClass::body(Row::MemMgmt));
+        set(
+            TB_MISS_BASE + 2,
+            AddrClass {
+                row: Row::MemMgmt,
+                op: MemOp::Read,
+                tag: EventTag::None,
+            },
+        );
+        set(
+            TB_MISS_BASE + 3,
+            AddrClass {
+                row: Row::MemMgmt,
+                op: MemOp::Read,
+                tag: EventTag::None,
+            },
+        );
+        set(TB_MISS_BASE + 4, AddrClass::body(Row::MemMgmt));
+        // Alignment / other memory-management microcode.
+        set(
+            MEMMGMT_BASE,
+            AddrClass {
+                row: Row::MemMgmt,
+                op: MemOp::Compute,
+                tag: EventTag::MemMgmtBody,
+            },
+        );
+        set(
+            MEMMGMT_BASE + 1,
+            AddrClass {
+                row: Row::MemMgmt,
+                op: MemOp::Read,
+                tag: EventTag::MemMgmtBody,
+            },
+        );
+        set(
+            MEMMGMT_BASE + 2,
+            AddrClass {
+                row: Row::MemMgmt,
+                op: MemOp::Write,
+                tag: EventTag::MemMgmtBody,
+            },
+        );
+        // Interrupt service dispatch microcode.
+        set(
+            INT_BASE,
+            AddrClass {
+                row: Row::IntExcept,
+                op: MemOp::Compute,
+                tag: EventTag::InterruptEntry,
+            },
+        );
+        set(INT_BASE + 1, AddrClass::body(Row::IntExcept));
+        set(
+            INT_BASE + 2,
+            AddrClass {
+                row: Row::IntExcept,
+                op: MemOp::Read,
+                tag: EventTag::None,
+            },
+        );
+        set(
+            INT_BASE + 3,
+            AddrClass {
+                row: Row::IntExcept,
+                op: MemOp::Write,
+                tag: EventTag::None,
+            },
+        );
+        // Exception service dispatch microcode.
+        set(
+            EXC_BASE,
+            AddrClass {
+                row: Row::IntExcept,
+                op: MemOp::Compute,
+                tag: EventTag::ExceptionEntry,
+            },
+        );
+        set(EXC_BASE + 1, AddrClass::body(Row::IntExcept));
+        set(
+            EXC_BASE + 2,
+            AddrClass {
+                row: Row::IntExcept,
+                op: MemOp::Read,
+                tag: EventTag::None,
+            },
+        );
+        set(
+            EXC_BASE + 3,
+            AddrClass {
+                row: Row::IntExcept,
+                op: MemOp::Write,
+                tag: EventTag::None,
+            },
+        );
+        set(
+            ABORT,
+            AddrClass {
+                row: Row::Abort,
+                op: MemOp::Compute,
+                tag: EventTag::AbortCycle,
+            },
+        );
+        set(
+            SOFT_INT_REQ,
+            AddrClass {
+                row: Row::Exec(OpcodeGroup::System),
+                op: MemOp::Compute,
+                tag: EventTag::SoftIntRequest,
+            },
+        );
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            let base = EXEC_BASE + i as u16 * EXEC_SLOTS;
+            let row = Row::Exec(op.group());
+            set(
+                base,
+                AddrClass {
+                    row,
+                    op: MemOp::Compute,
+                    tag: EventTag::ExecEntry(op),
+                },
+            );
+            set(base + 1, AddrClass::body(row));
+            set(
+                base + 2,
+                AddrClass {
+                    row,
+                    op: MemOp::Read,
+                    tag: EventTag::None,
+                },
+            );
+            set(
+                base + 3,
+                AddrClass {
+                    row,
+                    op: MemOp::Write,
+                    tag: EventTag::None,
+                },
+            );
+        }
+
+        ControlStore {
+            classes,
+            opcode_index,
+            size: top,
+        }
+    }
+
+    /// Number of allocated control-store locations.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The classification of `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for addresses outside the allocated layout (a mis-built CPU
+    /// model, not a runtime condition).
+    pub fn class(&self, addr: MicroAddr) -> AddrClass {
+        self.classes
+            .get(addr.index())
+            .copied()
+            .flatten()
+            .unwrap_or_else(|| panic!("unallocated micro-address {addr}"))
+    }
+
+    /// Iterate over all allocated (address, class) pairs — the "listing".
+    pub fn iter(&self) -> impl Iterator<Item = (MicroAddr, AddrClass)> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (MicroAddr::new(i as u16), c)))
+    }
+
+    // ----- named accessors (CPU dispatch points) ---------------------------
+
+    /// The IRD1 initial-decode dispatch.
+    pub fn ird1(&self) -> MicroAddr {
+        MicroAddr::new(IRD1)
+    }
+
+    /// The IB-stall dispatch for a starved decode at `point`.
+    pub fn ib_stall(&self, point: StallPoint) -> MicroAddr {
+        MicroAddr::new(IB_STALL_BASE + point.index() as u16)
+    }
+
+    /// Branch-displacement processing.
+    pub fn bdisp(&self) -> MicroAddr {
+        MicroAddr::new(BDISP)
+    }
+
+    /// Index-mode prefix routine for a specifier at `pos`.
+    pub fn spec_index(&self, pos: SpecPosition) -> MicroAddr {
+        MicroAddr::new(SPEC_INDEX_BASE + pos.index() as u16)
+    }
+
+    /// Entry of the specifier routine for (`pos`, `class`).
+    pub fn spec_entry(&self, pos: SpecPosition, class: SpecModeClass) -> MicroAddr {
+        MicroAddr::new(spec_slot_base(pos, class))
+    }
+
+    /// Compute-body slot of a specifier routine.
+    pub fn spec_compute(&self, pos: SpecPosition, class: SpecModeClass) -> MicroAddr {
+        MicroAddr::new(spec_slot_base(pos, class) + 1)
+    }
+
+    /// Read slot of a specifier routine (operand fetch).
+    pub fn spec_read(&self, pos: SpecPosition, class: SpecModeClass) -> MicroAddr {
+        MicroAddr::new(spec_slot_base(pos, class) + 2)
+    }
+
+    /// Write slot of a specifier routine (result store).
+    pub fn spec_write(&self, pos: SpecPosition, class: SpecModeClass) -> MicroAddr {
+        MicroAddr::new(spec_slot_base(pos, class) + 3)
+    }
+
+    /// The IB-redirect cycle of a taken branch of `class`.
+    pub fn branch_taken(&self, class: BranchClass) -> MicroAddr {
+        MicroAddr::new(BRANCH_TAKEN_BASE + class.index() as u16)
+    }
+
+    /// TB-miss service routine entry.
+    pub fn tb_miss_entry(&self) -> MicroAddr {
+        MicroAddr::new(TB_MISS_BASE)
+    }
+
+    /// TB-miss routine compute body.
+    pub fn tb_miss_body(&self) -> MicroAddr {
+        MicroAddr::new(TB_MISS_BASE + 1)
+    }
+
+    /// TB-miss PTE read microinstruction.
+    pub fn tb_miss_pte_read(&self) -> MicroAddr {
+        MicroAddr::new(TB_MISS_BASE + 2)
+    }
+
+    /// TB-miss nested system PTE read (double miss).
+    pub fn tb_miss_sys_read(&self) -> MicroAddr {
+        MicroAddr::new(TB_MISS_BASE + 3)
+    }
+
+    /// TB-miss insert/restart tail.
+    pub fn tb_miss_insert(&self) -> MicroAddr {
+        MicroAddr::new(TB_MISS_BASE + 4)
+    }
+
+    /// Alignment/memory-management compute body.
+    pub fn memmgmt_compute(&self) -> MicroAddr {
+        MicroAddr::new(MEMMGMT_BASE)
+    }
+
+    /// Alignment/memory-management read.
+    pub fn memmgmt_read(&self) -> MicroAddr {
+        MicroAddr::new(MEMMGMT_BASE + 1)
+    }
+
+    /// Alignment/memory-management write.
+    pub fn memmgmt_write(&self) -> MicroAddr {
+        MicroAddr::new(MEMMGMT_BASE + 2)
+    }
+
+    /// Interrupt service entry.
+    pub fn int_entry(&self) -> MicroAddr {
+        MicroAddr::new(INT_BASE)
+    }
+
+    /// Interrupt service compute body.
+    pub fn int_body(&self) -> MicroAddr {
+        MicroAddr::new(INT_BASE + 1)
+    }
+
+    /// Interrupt service read (vector fetch).
+    pub fn int_read(&self) -> MicroAddr {
+        MicroAddr::new(INT_BASE + 2)
+    }
+
+    /// Interrupt service write (PC/PSL push).
+    pub fn int_write(&self) -> MicroAddr {
+        MicroAddr::new(INT_BASE + 3)
+    }
+
+    /// Exception service entry.
+    pub fn exc_entry(&self) -> MicroAddr {
+        MicroAddr::new(EXC_BASE)
+    }
+
+    /// Exception service compute body.
+    pub fn exc_body(&self) -> MicroAddr {
+        MicroAddr::new(EXC_BASE + 1)
+    }
+
+    /// Exception service read.
+    pub fn exc_read(&self) -> MicroAddr {
+        MicroAddr::new(EXC_BASE + 2)
+    }
+
+    /// Exception service write.
+    pub fn exc_write(&self) -> MicroAddr {
+        MicroAddr::new(EXC_BASE + 3)
+    }
+
+    /// The abort-cycle location (one execution per microcode trap).
+    pub fn abort(&self) -> MicroAddr {
+        MicroAddr::new(ABORT)
+    }
+
+    /// Executed when `MTPR` posts a software interrupt request.
+    pub fn soft_int_request(&self) -> MicroAddr {
+        MicroAddr::new(SOFT_INT_REQ)
+    }
+
+    fn opcode_slot(&self, op: Opcode) -> u16 {
+        let i = self.opcode_index[op.to_byte() as usize];
+        debug_assert_ne!(i, u16::MAX);
+        EXEC_BASE + i * EXEC_SLOTS
+    }
+
+    /// Execute-routine entry for `op` (dispatch target of I-Decode).
+    pub fn exec_entry(&self, op: Opcode) -> MicroAddr {
+        MicroAddr::new(self.opcode_slot(op))
+    }
+
+    /// Execute-routine compute body for `op`.
+    pub fn exec_compute(&self, op: Opcode) -> MicroAddr {
+        MicroAddr::new(self.opcode_slot(op) + 1)
+    }
+
+    /// Execute-routine read microinstruction for `op`.
+    pub fn exec_read(&self, op: Opcode) -> MicroAddr {
+        MicroAddr::new(self.opcode_slot(op) + 2)
+    }
+
+    /// Execute-routine write microinstruction for `op`.
+    pub fn exec_write(&self, op: Opcode) -> MicroAddr {
+        MicroAddr::new(self.opcode_slot(op) + 3)
+    }
+}
+
+impl Default for ControlStore {
+    fn default() -> Self {
+        ControlStore::build()
+    }
+}
+
+fn spec_row(pos: SpecPosition) -> Row {
+    match pos {
+        SpecPosition::First => Row::Spec1,
+        SpecPosition::Rest => Row::Spec2to6,
+    }
+}
+
+fn spec_slot_base(pos: SpecPosition, class: SpecModeClass) -> u16 {
+    SPEC_BASE + (pos.index() as u16 * 10 + class.index() as u16) * SPEC_SLOTS
+}
+
+/// The group whose execute row a taken branch's redirect cycle belongs to.
+fn branch_class_group(class: BranchClass) -> OpcodeGroup {
+    match class {
+        BranchClass::SimpleCond
+        | BranchClass::Loop
+        | BranchClass::LowBitTest
+        | BranchClass::SubroutineCallRet
+        | BranchClass::Unconditional
+        | BranchClass::Case => OpcodeGroup::Simple,
+        BranchClass::BitBranch => OpcodeGroup::Field,
+        BranchClass::ProcedureCallRet => OpcodeGroup::CallRet,
+        BranchClass::SystemBranch => OpcodeGroup::System,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_fits_the_board() {
+        let cs = ControlStore::build();
+        assert!(cs.size() <= MicroAddr::SPACE);
+        // Sanity: a few hundred words, like a real machine's WCS scale.
+        assert!(cs.size() > 256);
+    }
+
+    #[test]
+    fn all_named_addresses_are_classified() {
+        let cs = ControlStore::build();
+        assert_eq!(cs.class(cs.ird1()).tag, EventTag::InstDecode);
+        assert_eq!(
+            cs.class(cs.ib_stall(StallPoint::Spec1)).tag,
+            EventTag::IbStall(StallPoint::Spec1)
+        );
+        assert_eq!(cs.class(cs.bdisp()).row, Row::BranchDisp);
+        assert_eq!(cs.class(cs.tb_miss_entry()).tag, EventTag::TbMissEntry);
+        assert_eq!(cs.class(cs.tb_miss_pte_read()).op, MemOp::Read);
+        assert_eq!(cs.class(cs.abort()).row, Row::Abort);
+        assert_eq!(cs.class(cs.int_entry()).tag, EventTag::InterruptEntry);
+        assert_eq!(cs.class(cs.exc_entry()).tag, EventTag::ExceptionEntry);
+    }
+
+    #[test]
+    fn spec_slots_distinguish_position_class_and_op() {
+        let cs = ControlStore::build();
+        for pos in SpecPosition::ALL {
+            for class in SpecModeClass::ALL {
+                let e = cs.class(cs.spec_entry(pos, class));
+                assert_eq!(e.tag, EventTag::SpecEntry(pos, class));
+                assert_eq!(e.op, MemOp::Compute);
+                assert_eq!(cs.class(cs.spec_read(pos, class)).op, MemOp::Read);
+                assert_eq!(cs.class(cs.spec_write(pos, class)).op, MemOp::Write);
+                let expected_row = match pos {
+                    SpecPosition::First => Row::Spec1,
+                    SpecPosition::Rest => Row::Spec2to6,
+                };
+                assert_eq!(e.row, expected_row);
+            }
+        }
+    }
+
+    #[test]
+    fn exec_slots_cover_every_opcode_without_collision() {
+        let cs = ControlStore::build();
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            let entry = cs.exec_entry(op);
+            assert!(seen.insert(entry), "collision at {entry} for {op}");
+            assert_eq!(cs.class(entry).tag, EventTag::ExecEntry(op));
+            assert_eq!(cs.class(entry).row, Row::Exec(op.group()));
+            assert_eq!(cs.class(cs.exec_read(op)).op, MemOp::Read);
+            assert_eq!(cs.class(cs.exec_write(op)).op, MemOp::Write);
+        }
+    }
+
+    #[test]
+    fn branch_taken_rows_split_by_target_source() {
+        let cs = ControlStore::build();
+        // Displacement branches redirect in the B-Disp row.
+        assert_eq!(
+            cs.class(cs.branch_taken(BranchClass::SimpleCond)).row,
+            Row::BranchDisp
+        );
+        assert_eq!(
+            cs.class(cs.branch_taken(BranchClass::BitBranch)).row,
+            Row::BranchDisp
+        );
+        assert_eq!(
+            cs.class(cs.branch_taken(BranchClass::Loop)).row,
+            Row::BranchDisp
+        );
+        // Operand-targeted PC changers redirect in their execute row.
+        assert_eq!(
+            cs.class(cs.branch_taken(BranchClass::ProcedureCallRet)).row,
+            Row::Exec(OpcodeGroup::CallRet)
+        );
+        assert_eq!(
+            cs.class(cs.branch_taken(BranchClass::Unconditional)).row,
+            Row::Exec(OpcodeGroup::Simple)
+        );
+        assert_eq!(
+            cs.class(cs.branch_taken(BranchClass::SystemBranch)).row,
+            Row::Exec(OpcodeGroup::System)
+        );
+    }
+
+    #[test]
+    fn listing_iterates_uniquely() {
+        let cs = ControlStore::build();
+        let mut seen = std::collections::HashSet::new();
+        let mut entries = 0usize;
+        for (addr, class) in cs.iter() {
+            assert!(seen.insert(addr));
+            if matches!(class.tag, EventTag::ExecEntry(_)) {
+                entries += 1;
+            }
+        }
+        assert_eq!(entries, Opcode::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn unallocated_address_panics() {
+        let cs = ControlStore::build();
+        let _ = cs.class(MicroAddr::new(0x0F0));
+    }
+}

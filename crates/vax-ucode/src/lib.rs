@@ -1,0 +1,33 @@
+//! Control-store model of the VAX-11/780: the micro-address layout and the
+//! "microcode listing" map.
+//!
+//! The paper's instrument counts cycles *per control-store location*; all
+//! interpretation — which locations are specifier routines, which belong to
+//! the TB-miss service routine, which opcode a dispatch target implements —
+//! comes from the microcode listing. This crate is that listing for our
+//! model:
+//!
+//! * [`ControlStore::build`] lays out a deterministic micro-address space
+//!   (decode dispatch, IB-stall dispatches, per-mode specifier routines,
+//!   per-opcode execute routines, branch-taken redirects, the TB-miss
+//!   routine, interrupt/exception service, memory management and abort
+//!   locations);
+//! * every address has a **static** memory-operation class
+//!   ([`MemOp`]) — exactly the property the paper exploits to tell read
+//!   stalls from write stalls (§4.3);
+//! * every address has a Table 8 **row** ([`Row`]) and an [`EventTag`]
+//!   that the analysis uses to recover event frequencies (§3).
+//!
+//! The CPU model executes microinstructions *at* these addresses; the
+//! monitor counts them; the analysis reads only (histogram, this map).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod class;
+mod layout;
+
+pub use addr::MicroAddr;
+pub use class::{AddrClass, EventTag, MemOp, Row, SpecPosition, StallPoint};
+pub use layout::ControlStore;

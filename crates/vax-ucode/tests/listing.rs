@@ -1,0 +1,114 @@
+//! Invariants of the control-store listing that the whole methodology
+//! rests on: unique addresses, static memory-op classes, and complete
+//! event coverage.
+
+use std::collections::HashMap;
+use vax_arch::{BranchClass, Opcode, SpecModeClass};
+use vax_ucode::{ControlStore, EventTag, MemOp, MicroAddr, Row, SpecPosition, StallPoint};
+
+#[test]
+fn every_event_tag_has_exactly_one_address() {
+    let cs = ControlStore::build();
+    let mut by_tag: HashMap<String, Vec<MicroAddr>> = HashMap::new();
+    for (addr, class) in cs.iter() {
+        let key = match class.tag {
+            // `None` is the generic body marker; `MemMgmtBody` marks the
+            // whole alignment-microcode block (compute/read/write slots).
+            // Neither is a counting event.
+            EventTag::None | EventTag::MemMgmtBody => continue,
+            other => format!("{other:?}"),
+        };
+        by_tag.entry(key).or_default().push(addr);
+    }
+    for (tag, addrs) in by_tag {
+        assert_eq!(addrs.len(), 1, "tag {tag} has {} addresses", addrs.len());
+    }
+}
+
+#[test]
+fn event_tags_cover_the_full_event_space() {
+    let cs = ControlStore::build();
+    let tags: Vec<EventTag> = cs.iter().map(|(_, c)| c.tag).collect();
+    // One decode dispatch.
+    assert!(tags.contains(&EventTag::InstDecode));
+    // All stall points.
+    for p in StallPoint::ALL {
+        assert!(tags.contains(&EventTag::IbStall(p)), "{p:?}");
+    }
+    // Every (position, mode class) pair.
+    for pos in SpecPosition::ALL {
+        for class in SpecModeClass::ALL {
+            assert!(
+                tags.contains(&EventTag::SpecEntry(pos, class)),
+                "{pos:?}/{class:?}"
+            );
+        }
+        assert!(tags.contains(&EventTag::SpecIndex(pos)));
+    }
+    // Every opcode and branch class.
+    for &op in Opcode::ALL {
+        assert!(tags.contains(&EventTag::ExecEntry(op)), "{op}");
+    }
+    for class in BranchClass::ALL {
+        assert!(tags.contains(&EventTag::BranchTaken(class)), "{class:?}");
+    }
+    // The service/overhead events.
+    for t in [
+        EventTag::TbMissEntry,
+        EventTag::InterruptEntry,
+        EventTag::ExceptionEntry,
+        EventTag::SoftIntRequest,
+        EventTag::AbortCycle,
+        EventTag::BranchDispatch,
+    ] {
+        assert!(tags.contains(&t), "{t:?}");
+    }
+}
+
+#[test]
+fn read_and_write_addresses_exist_for_every_routine_that_references_memory() {
+    let cs = ControlStore::build();
+    // Specifier routines: every (pos, class) has distinct read and write
+    // slots with the right static class.
+    for pos in SpecPosition::ALL {
+        for class in SpecModeClass::ALL {
+            assert_eq!(cs.class(cs.spec_read(pos, class)).op, MemOp::Read);
+            assert_eq!(cs.class(cs.spec_write(pos, class)).op, MemOp::Write);
+            assert_eq!(cs.class(cs.spec_compute(pos, class)).op, MemOp::Compute);
+        }
+    }
+    for &op in Opcode::ALL {
+        assert_eq!(cs.class(cs.exec_read(op)).op, MemOp::Read);
+        assert_eq!(cs.class(cs.exec_write(op)).op, MemOp::Write);
+        assert_eq!(cs.class(cs.exec_entry(op)).op, MemOp::Compute);
+        assert_eq!(cs.class(cs.exec_compute(op)).op, MemOp::Compute);
+    }
+}
+
+#[test]
+fn rows_partition_the_listing_consistently() {
+    let cs = ControlStore::build();
+    for (addr, class) in cs.iter() {
+        // Exec rows only at exec/branch-taken/softint addresses; spec rows
+        // only at spec addresses; and every address has a valid row index.
+        assert!(class.row.index() < Row::ALL.len(), "{addr}");
+        if let EventTag::SpecEntry(pos, _) = class.tag {
+            let expected = match pos {
+                SpecPosition::First => Row::Spec1,
+                SpecPosition::Rest => Row::Spec2to6,
+            };
+            assert_eq!(class.row, expected);
+        }
+        if let EventTag::ExecEntry(op) = class.tag {
+            assert_eq!(class.row, Row::Exec(op.group()));
+        }
+    }
+}
+
+#[test]
+fn the_board_is_big_enough_for_the_listing() {
+    let cs = ControlStore::build();
+    assert!(cs.size() <= MicroAddr::SPACE);
+    // And we use a realistic fraction of a writable control store.
+    assert!(cs.size() >= 512, "listing suspiciously small: {}", cs.size());
+}

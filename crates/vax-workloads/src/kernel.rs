@@ -1,0 +1,431 @@
+//! The miniature VMS kernel: boot code, interrupt service routines, the
+//! rescheduling software interrupt (real `SVPCTX`/`LDPCTX` context
+//! switches), `CHMK` system services, and the (excluded-from-measurement)
+//! Null-process idle loop.
+//!
+//! All of it is genuine VAX code assembled into system space, so kernel
+//! activity is measured by the µPC monitor exactly like user activity —
+//! the property the paper's method was built to capture (§1).
+
+use crate::mix::{sample_count, ProfileParams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use vax_arch::{ArchError, Assembler, CodeImage, Opcode, Operand, Reg};
+
+/// IPR codes used by kernel code (match `vax_cpu::IprReg`).
+const IPR_PCBB: u8 = 16;
+const IPR_SCBB: u8 = 17;
+const IPR_SIRR: u8 = 20;
+
+/// Software interrupt levels.
+const AST_LEVEL: u8 = 2;
+const RESCHED_LEVEL: u8 = 3;
+
+/// Kernel data-area offsets (relative to the kernel data base, which
+/// handlers load into `R5`).
+pub mod kdata {
+    /// Interval-timer tick counter.
+    pub const TICK: u32 = 0;
+    /// Current process index.
+    pub const CUR: u32 = 4;
+    /// Number of processes.
+    pub const NPROC: u32 = 8;
+    /// Terminal "device buffer" longword.
+    pub const DEVBUF: u32 = 12;
+    /// Kernel queue head (two longwords).
+    pub const QHEAD: u32 = 16;
+    /// Kernel queue nodes (16 × 8 bytes).
+    pub const QNODES: u32 = 24;
+    /// Kernel string buffer A (256 bytes).
+    pub const KSTR_A: u32 = 152;
+    /// Kernel string buffer B (256 bytes).
+    pub const KSTR_B: u32 = 408;
+    /// Kernel scalar scratch area (360 bytes).
+    pub const SCRATCH: u32 = 664;
+    /// PCB physical-address table (one longword per process).
+    pub const PCB_TABLE: u32 = 1024;
+    /// Total kernel data size in bytes (up to 64 processes).
+    pub const SIZE: u32 = 1024 + 64 * 4;
+}
+
+/// The assembled kernel plus everything the session builder needs to
+/// install it.
+#[derive(Debug)]
+pub struct KernelImage {
+    /// Kernel code (based in system space).
+    pub code: CodeImage,
+    /// Initial contents of the kernel data area.
+    pub data: Vec<u8>,
+    /// Bootstrap entry (kernel mode, runs once).
+    pub boot_pc: u32,
+    /// The Null-process idle loop (excluded from measurement, §2.2).
+    pub idle_pc: u32,
+    /// SCB vector installations: (vector byte offset, handler VA).
+    pub vectors: Vec<(u16, u32)>,
+}
+
+/// Build the kernel.
+///
+/// `code_base` and `data_base` are system VAs the session has mapped;
+/// `scb_pa` is the physical SCB; `pcb_pas` are the processes' physical
+/// PCB addresses.
+///
+/// # Errors
+///
+/// Propagates assembler errors (generator bugs).
+pub fn build_kernel(
+    params: &ProfileParams,
+    rng: &mut StdRng,
+    code_base: u32,
+    data_base: u32,
+    scb_pa: u32,
+    pcb_pas: &[u32],
+) -> Result<KernelImage, ArchError> {
+    let mut asm = Assembler::new(code_base);
+    let kb = Reg::R5;
+    let load_kb = |asm: &mut Assembler| -> Result<(), ArchError> {
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(u64::from(data_base)), Operand::Reg(kb)],
+        )?;
+        Ok(())
+    };
+
+    // ----- bootstrap ---------------------------------------------------------
+    let boot_pc = asm.here();
+    asm.inst(
+        Opcode::Mtpr,
+        &[
+            Operand::Immediate(u64::from(scb_pa)),
+            Operand::Literal(IPR_SCBB),
+        ],
+    )?;
+    asm.inst(
+        Opcode::Mtpr,
+        &[
+            Operand::Immediate(u64::from(pcb_pas[0])),
+            Operand::Literal(IPR_PCBB),
+        ],
+    )?;
+    asm.inst(Opcode::Ldpctx, &[])?;
+    asm.inst(Opcode::Rei, &[])?;
+
+    // ----- idle loop (the Null process) --------------------------------------
+    let idle_pc = asm.here();
+    let idle_top = asm.label_here();
+    asm.branch(Opcode::Brb, &[], idle_top)?;
+
+    // ----- interval-timer ISR (hardware, IPL 24, vector 0xC0) ----------------
+    let timer_isr = asm.here();
+    let timer_mask = (1u16 << 0) | (1 << 1) | (1 << 2) | (1 << 3) | (1 << 5);
+    asm.inst(Opcode::Pushr, &[Operand::Immediate(u64::from(timer_mask))])?;
+    load_kb(&mut asm)?;
+    asm.inst(Opcode::Incl, &[Operand::Disp(kdata::TICK as i32, kb)])?;
+    emit_kernel_slots(&mut asm, rng, kb, 6, false)?;
+    asm.inst(
+        Opcode::Mtpr,
+        &[
+            Operand::Literal(RESCHED_LEVEL),
+            Operand::Literal(IPR_SIRR),
+        ],
+    )?;
+    asm.inst(Opcode::Popr, &[Operand::Immediate(u64::from(timer_mask))])?;
+    asm.inst(Opcode::Rei, &[])?;
+
+    // ----- terminal ISR (hardware, IPL 20, vectors 0xF0..) -------------------
+    let term_isr = asm.here();
+    let term_mask = 0x3Fu16 | (1 << 5); // R0..R5
+    asm.inst(Opcode::Pushr, &[Operand::Immediate(u64::from(term_mask))])?;
+    load_kb(&mut asm)?;
+    // Read and acknowledge the "device".
+    asm.inst(
+        Opcode::Movl,
+        &[Operand::Disp(kdata::DEVBUF as i32, kb), Operand::Reg(Reg::R0)],
+    )?;
+    asm.inst(Opcode::Incl, &[Operand::Disp(kdata::DEVBUF as i32, kb)])?;
+    // Echo/typeahead bookkeeping.
+    emit_kernel_slots(&mut asm, rng, kb, 8, true)?;
+    // Post an AST-level software interrupt when the tick count's low bit
+    // agrees (a drifting, data-dependent condition).
+    let skip_ast = asm.new_label();
+    asm.branch(
+        Opcode::Blbc,
+        &[Operand::Disp(kdata::TICK as i32, kb)],
+        skip_ast,
+    )?;
+    asm.inst(
+        Opcode::Mtpr,
+        &[Operand::Literal(AST_LEVEL), Operand::Literal(IPR_SIRR)],
+    )?;
+    asm.place(skip_ast)?;
+    asm.inst(Opcode::Popr, &[Operand::Immediate(u64::from(term_mask))])?;
+    asm.inst(Opcode::Rei, &[])?;
+
+    // ----- AST delivery (software level 2, vector 0x88) ----------------------
+    let ast_isr = asm.here();
+    let ast_mask = 0x23u16; // R0, R1, R5
+    asm.inst(Opcode::Pushr, &[Operand::Immediate(u64::from(ast_mask))])?;
+    load_kb(&mut asm)?;
+    emit_kernel_slots(&mut asm, rng, kb, 6, false)?;
+    asm.inst(Opcode::Popr, &[Operand::Immediate(u64::from(ast_mask))])?;
+    asm.inst(Opcode::Rei, &[])?;
+
+    // ----- rescheduler (software level 3, vector 0x8C) -----------------------
+    // The interrupted PC/PSL frame sits on the outgoing process's kernel
+    // stack; SVPCTX banks it with the context; LDPCTX + REI resume the
+    // incoming process. This is the VMS flow the paper's context-switch
+    // headway (Table 7) counts.
+    let sched = asm.here();
+    asm.inst(Opcode::Svpctx, &[])?;
+    load_kb(&mut asm)?;
+    asm.inst(
+        Opcode::Movl,
+        &[Operand::Disp(kdata::CUR as i32, kb), Operand::Reg(Reg::R0)],
+    )?;
+    asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R0)])?;
+    asm.inst(
+        Opcode::Cmpl,
+        &[Operand::Reg(Reg::R0), Operand::Disp(kdata::NPROC as i32, kb)],
+    )?;
+    let no_wrap = asm.new_label();
+    asm.branch(Opcode::Blss, &[], no_wrap)?;
+    asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R0)])?;
+    asm.place(no_wrap)?;
+    asm.inst(
+        Opcode::Movl,
+        &[Operand::Reg(Reg::R0), Operand::Disp(kdata::CUR as i32, kb)],
+    )?;
+    // Fetch the next PCB physical address: indexed off the table.
+    let table = Operand::Disp(kdata::PCB_TABLE as i32, kb)
+        .indexed(Reg::R0)
+        .expect("displacement is indexable");
+    asm.inst(Opcode::Movl, &[table, Operand::Reg(Reg::R1)])?;
+    asm.inst(
+        Opcode::Mtpr,
+        &[Operand::Reg(Reg::R1), Operand::Literal(IPR_PCBB)],
+    )?;
+    asm.inst(Opcode::Ldpctx, &[])?;
+    asm.inst(Opcode::Rei, &[])?;
+
+    // ----- CHMK system services ----------------------------------------------
+    let chmk = asm.here();
+    // Pop the service code (R0/R1 are the service ABI's scratch).
+    asm.inst(
+        Opcode::Movl,
+        &[Operand::AutoIncrement(Reg::Sp), Operand::Reg(Reg::R1)],
+    )?;
+    let nsvc = params.service_count.max(1);
+    let svc_labels: Vec<_> = (0..nsvc).map(|_| asm.new_label()).collect();
+    asm.case(
+        Opcode::Caseb,
+        &[
+            Operand::Reg(Reg::R1),
+            Operand::Literal(0),
+            Operand::Literal((nsvc - 1) as u8),
+        ],
+        &svc_labels,
+    )?;
+    // Out-of-range service code: fail back to the caller.
+    asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R0)])?;
+    asm.inst(Opcode::Rei, &[])?;
+    let svc_mask = 0x2Du16; // R0, R2, R3, R5
+    for (i, label) in svc_labels.iter().enumerate() {
+        asm.place(*label)?;
+        asm.inst(Opcode::Pushr, &[Operand::Immediate(u64::from(svc_mask))])?;
+        load_kb(&mut asm)?;
+        let slots = sample_count(rng, params.service_slots, params.service_slots * 2);
+        // Give a couple of services a buffer-copy personality.
+        let heavy = i % 3 == 0;
+        emit_kernel_slots(&mut asm, rng, kb, slots, heavy)?;
+        asm.inst(Opcode::Popr, &[Operand::Immediate(u64::from(svc_mask))])?;
+        asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R0)])?;
+        asm.inst(Opcode::Rei, &[])?;
+    }
+
+    let code = asm.finish()?;
+
+    // ----- kernel data image ---------------------------------------------------
+    let mut data = vec![0u8; kdata::SIZE as usize];
+    let put = |data: &mut Vec<u8>, off: u32, v: u32| {
+        data[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
+    };
+    put(&mut data, kdata::NPROC, pcb_pas.len() as u32);
+    // Self-linked queue head (absolute VAs).
+    let qhead_va = data_base + kdata::QHEAD;
+    put(&mut data, kdata::QHEAD, qhead_va);
+    put(&mut data, kdata::QHEAD + 4, qhead_va);
+    for (i, &pa) in pcb_pas.iter().enumerate() {
+        put(&mut data, kdata::PCB_TABLE + 4 * i as u32, pa);
+    }
+    for i in 0..256u32 {
+        data[(kdata::KSTR_A + i) as usize] = b'a' + (i % 26) as u8;
+    }
+
+    // ----- SCB vectors ----------------------------------------------------------
+    let mut vectors = vec![
+        (0xC0u16, timer_isr),            // interval timer (IPL 24)
+        (0x88, ast_isr),                 // software level 2
+        (0x8C, sched),                   // software level 3 (reschedule)
+        (0x40, chmk),                    // CHMK
+    ];
+    for line in 0..crate::rte::TERMINAL_CONTROLLERS {
+        vectors.push((crate::rte::TERMINAL_VECTOR_BASE + 4 * line, term_isr));
+    }
+
+    Ok(KernelImage {
+        code,
+        data,
+        boot_pc,
+        idle_pc,
+        vectors,
+    })
+}
+
+/// Restricted kernel-mode slot sampler: registers `R0–R3`, kernel data
+/// off `R5`, absolute kernel addresses, queue and string work. `heavy`
+/// biases toward buffer copies (echo paths, record services).
+fn emit_kernel_slots(
+    asm: &mut Assembler,
+    rng: &mut StdRng,
+    kb: Reg,
+    n: u32,
+    heavy: bool,
+) -> Result<(), ArchError> {
+    let scratch = |rng: &mut StdRng| [Reg::R0, Reg::R2, Reg::R3][rng.random_range(0..3usize)];
+    let kdisp = |rng: &mut StdRng| -> i32 {
+        (kdata::SCRATCH + 4 * rng.random_range(0..80u32)) as i32
+    };
+    for _ in 0..n {
+        let pick: f64 = rng.random();
+        if heavy && pick < 0.10 {
+            // Buffer copy between the kernel string areas.
+            let len = rng.random_range(8..48u32);
+            asm.inst(
+                Opcode::Movc3,
+                &[
+                    Operand::Immediate(u64::from(len)),
+                    Operand::Disp(kdata::KSTR_A as i32, kb),
+                    Operand::Disp(kdata::KSTR_B as i32, kb),
+                ],
+            )?;
+        } else if pick < 0.06 {
+            // Queue work.
+            let node = rng.random_range(0..16u32);
+            let head = Operand::Disp(kdata::QHEAD as i32, kb);
+            let entry = Operand::Disp((kdata::QNODES + 8 * node) as i32, kb);
+            asm.inst(Opcode::Insque, &[entry.clone(), head.clone()])?;
+            asm.inst(Opcode::Remque, &[entry, Operand::Reg(Reg::R2)])?;
+        } else if pick < 0.10 {
+            // Data-dependent short branch on a drifting counter.
+            let skip = asm.new_label();
+            asm.branch(
+                Opcode::Blbc,
+                &[Operand::Disp(kdata::TICK as i32, kb)],
+                skip,
+            )?;
+            asm.inst(Opcode::Incl, &[Operand::Disp(kdisp(rng), kb)])?;
+            asm.place(skip)?;
+        } else if pick < 0.30 {
+            asm.inst(
+                Opcode::Movl,
+                &[
+                    Operand::Disp(kdisp(rng), kb),
+                    Operand::Reg(scratch(rng)),
+                ],
+            )?;
+        } else if pick < 0.42 {
+            asm.inst(
+                Opcode::Movl,
+                &[
+                    Operand::Reg(scratch(rng)),
+                    Operand::Disp(kdisp(rng), kb),
+                ],
+            )?;
+        } else if pick < 0.60 {
+            asm.inst(
+                Opcode::Addl2,
+                &[
+                    Operand::Disp(kdisp(rng), kb),
+                    Operand::Reg(scratch(rng)),
+                ],
+            )?;
+        } else if pick < 0.72 {
+            asm.inst(
+                Opcode::Bicl2,
+                &[
+                    Operand::Literal(rng.random_range(0..64u32) as u8),
+                    Operand::Reg(scratch(rng)),
+                ],
+            )?;
+        } else if pick < 0.82 {
+            asm.inst(
+                Opcode::Cmpl,
+                &[
+                    Operand::Reg(scratch(rng)),
+                    Operand::Disp(kdisp(rng), kb),
+                ],
+            )?;
+        } else if pick < 0.97 {
+            asm.inst(Opcode::Incl, &[Operand::Reg(scratch(rng))])?;
+        } else {
+            // Short counted loop.
+            let iters = rng.random_range(6..14u32);
+            asm.inst(
+                Opcode::Movl,
+                &[Operand::Literal(iters as u8), Operand::Reg(Reg::R3)],
+            )?;
+            let top = asm.label_here();
+            asm.inst(
+                Opcode::Addl2,
+                &[Operand::Literal(1), Operand::Reg(Reg::R2)],
+            )?;
+            asm.branch(Opcode::Sobgtr, &[Operand::Reg(Reg::R3)], top)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{profile, WorkloadKind};
+    use rand::SeedableRng;
+
+    #[test]
+    fn kernel_builds_and_vectors_resolve() {
+        let params = profile(WorkloadKind::TimesharingLight);
+        let mut rng = StdRng::seed_from_u64(1);
+        let pcbs = [0x10000u32, 0x10100, 0x10200];
+        let k = build_kernel(&params, &mut rng, 0x8000_8000, 0x8000_0000, 0x4000, &pcbs)
+            .expect("kernel builds");
+        assert!(k.code.len() > 200);
+        assert_eq!(k.boot_pc, 0x8000_8000);
+        // Every vector lands inside the kernel code image.
+        for &(v, handler) in &k.vectors {
+            assert!(
+                handler >= k.code.base && handler < k.code.end(),
+                "vector {v:#x} -> {handler:#010x} outside kernel"
+            );
+        }
+        // Data image contains the process count and queue head.
+        let nproc = u32::from_le_bytes(
+            k.data[kdata::NPROC as usize..kdata::NPROC as usize + 4]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(nproc, 3);
+    }
+
+    #[test]
+    fn kernel_is_deterministic() {
+        let params = profile(WorkloadKind::Commercial);
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            build_kernel(&params, &mut rng, 0x8000_8000, 0x8000_0000, 0x4000, &[0x10000])
+                .unwrap()
+                .code
+                .bytes
+        };
+        assert_eq!(build(), build());
+    }
+}

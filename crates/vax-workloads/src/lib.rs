@@ -1,0 +1,36 @@
+//! Synthetic VAX timesharing workloads for the characterization study.
+//!
+//! The paper measured five workloads — two live timesharing systems and
+//! three Remote-Terminal-Emulator-driven synthetic environments
+//! (educational, scientific/engineering, commercial) — all under VMS with
+//! the Null process excluded (§2.2). This crate builds the moral
+//! equivalent as *real machine images*:
+//!
+//! * [`codegen`] emits genuine VAX machine code per workload profile:
+//!   function/loop/call structure, data-driven conditional branches,
+//!   string/decimal/floating work, with instruction-mix and
+//!   addressing-mode distributions as the calibration inputs;
+//! * [`kernel`] builds a miniature VMS: SCB, interrupt service routines,
+//!   a software-interrupt scheduler doing real `SVPCTX`/`LDPCTX` context
+//!   switches, and `CHMK` system services;
+//! * [`rte`] models the remote terminal emulator: scripted users whose
+//!   keystrokes arrive as terminal interrupts;
+//! * [`session`] assembles it all into a runnable [`Machine`].
+//!
+//! Everything is deterministic given the profile's seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codegen;
+pub mod kernel;
+pub mod mix;
+pub mod process;
+pub mod profiles;
+pub mod rte;
+pub mod session;
+
+pub use mix::{MixWeights, ModeWeights, ProfileParams};
+pub use profiles::{profile, WorkloadKind};
+pub use rte::{RteConfig, RteSource};
+pub use session::{build_machine, build_machine_with_config, Machine};

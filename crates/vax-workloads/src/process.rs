@@ -1,0 +1,215 @@
+//! Process image construction: initialized data regions and PCBs.
+
+use crate::codegen::DataLayout;
+use crate::mix::ProfileParams;
+use rand::rngs::StdRng;
+use rand::Rng;
+use vax_mem::AddressSpace;
+
+/// Fractions of 2³² used as compare thresholds (mean ≈ 0.5 so the
+/// simple-conditional taken rate lands near Table 2's 56 % including the
+/// always-taken BRB/BRW).
+pub(crate) const THRESHOLDS: [f64; 8] = [0.20, 0.35, 0.50, 0.50, 0.65, 0.80, 0.30, 0.70];
+
+/// Probability a branch-bias longword has bit 0 set (`BLBS` taken rate,
+/// Table 2 low-bit tests: 41 %).
+const LOWBIT_P: f64 = 0.41;
+
+/// Probability a flag-byte bit is set (bit-branch taken rate, Table 2:
+/// 44 %).
+const FLAGBIT_P: f64 = 0.38;
+
+/// Build the initialized data region for one process.
+pub fn build_data_image(
+    layout: &DataLayout,
+    params: &ProfileParams,
+    rng: &mut StdRng,
+    functions: &[u32],
+) -> Vec<u8> {
+    let mut data = vec![0u8; layout.total_len as usize];
+    let put32 = |data: &mut Vec<u8>, off: u32, v: u32| {
+        data[off as usize..off as usize + 4].copy_from_slice(&v.to_le_bytes());
+    };
+
+    // Threshold slots.
+    for (i, &f) in THRESHOLDS.iter().enumerate() {
+        let v = (f * 4_294_967_296.0) as u64 as u32;
+        put32(&mut data, layout.thresholds_off + 4 * i as u32, v);
+    }
+    // Scalar area: small integers (bounded so arithmetic stays tame).
+    let scalar_start = layout.thresholds_off + layout.threshold_count * 4;
+    let mut off = scalar_start;
+    while off + 4 <= layout.scalar_off + layout.scalar_len {
+        put32(&mut data, off, rng.random_range(0..4096u32));
+        off += 4;
+    }
+    // Flag bytes.
+    for i in 0..layout.flags_len {
+        let mut b = 0u8;
+        for bit in 0..8 {
+            if rng.random::<f64>() < FLAGBIT_P {
+                b |= 1 << bit;
+            }
+        }
+        data[(layout.flags_off + i) as usize] = b;
+    }
+    // Walker arenas: random bytes.
+    for i in 0..layout.walker_len {
+        data[(layout.walk_up_off + i) as usize] = rng.random();
+        data[(layout.walk_down_off + i) as usize] = rng.random();
+    }
+    // String arena A: text with spaces (LOCC finds one quickly enough to
+    // be realistic but not trivially).
+    for i in 0..layout.string_len {
+        let c = if rng.random::<f64>() < 0.15 {
+            b' '
+        } else {
+            b'a' + (rng.random_range(0..26u32) as u8)
+        };
+        data[(layout.string_a_off + i) as usize] = c;
+    }
+    // Decimal slots: valid packed decimals.
+    for s in 0..layout.decimal_slots {
+        let digits = layout.decimal_digits;
+        let cap = 10i128.saturating_pow(digits.min(27));
+        let value = i128::from(rng.random_range(0..u64::MAX)) % (cap / 2).max(1);
+        let value = if rng.random::<bool>() { value } else { -value };
+        let bytes = encode_packed(value, digits);
+        let base = (layout.decimal_off + 16 * s) as usize;
+        data[base..base + bytes.len()].copy_from_slice(&bytes);
+    }
+    // Queue head: self-linked.
+    let qhead_va = layout.base + layout.queue_off;
+    put32(&mut data, layout.queue_off, qhead_va);
+    put32(&mut data, layout.queue_off + 4, qhead_va);
+    // Pointer table: addresses of aligned scalar longwords, concentrated
+    // in the first 16 KB (pointer-chasing has locality too).
+    for i in 0..layout.ptr_entries {
+        let window = (16 * 1024).min(layout.scalar_len - layout.threshold_count * 4 - 4);
+        let slot = rng.random_range(0..(window / 4).max(1));
+        let va = layout.base + scalar_start + 4 * slot;
+        put32(&mut data, layout.ptr_table_off + 4 * i, va);
+    }
+    // Function table.
+    for (i, &f) in functions.iter().enumerate() {
+        put32(&mut data, layout.func_table_off + 4 * i as u32, f);
+    }
+    // Branch-bias stream: uniform longwords with a biased low bit.
+    let mut i = 0;
+    while i + 4 <= layout.bias_len {
+        let mut v: u32 = rng.random();
+        v &= !1;
+        if rng.random::<f64>() < LOWBIT_P {
+            v |= 1;
+        }
+        put32(&mut data, layout.bias_off + i, v);
+        i += 4;
+    }
+    let _ = params;
+    data
+}
+
+/// Encode `value` as a VAX packed decimal of `digits` digits (matches the
+/// CPU model's layout: MSD-first nibble pairs, sign in the last byte's
+/// low nibble, 12 = plus / 13 = minus).
+pub fn encode_packed(value: i128, digits: u32) -> Vec<u8> {
+    let bytes = digits / 2 + 1;
+    let total_digits = (bytes - 1) * 2 + 1;
+    let negative = value < 0;
+    let mut mag = value.unsigned_abs() % 10u128.saturating_pow(total_digits.min(38));
+    let mut digs = vec![0u8; total_digits as usize];
+    for d in digs.iter_mut() {
+        *d = (mag % 10) as u8;
+        mag /= 10;
+    }
+    let mut out = Vec::with_capacity(bytes as usize);
+    for i in 0..bytes {
+        if i == bytes - 1 {
+            let sign = if negative { 13 } else { 12 };
+            out.push((digs[0] << 4) | sign);
+        } else {
+            let hi = digs[(total_digits - 2 * i - 1) as usize];
+            let lo = digs[(total_digits - 2 * i - 2) as usize];
+            out.push((hi << 4) | lo);
+        }
+    }
+    out
+}
+
+/// PCB field image (matches `vax-cpu`'s SVPCTX/LDPCTX layout).
+pub fn build_pcb(space: &AddressSpace, ksp: u32, usp: u32) -> [u8; 88] {
+    let mut pcb = [0u8; 88];
+    let mut put = |off: usize, v: u32| {
+        pcb[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    };
+    put(0, ksp); // KSP
+    put(4, usp); // USP
+    put(56, usp); // AP
+    put(60, usp); // FP
+    put(72, space.p0br);
+    put(76, space.p0lr);
+    put(80, space.p1br);
+    put(84, space.p1lr);
+    pcb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::DataLayout;
+    use crate::profiles::{profile, WorkloadKind};
+    use rand::SeedableRng;
+
+    #[test]
+    fn packed_encoding_matches_expected_nibbles() {
+        // 123 in 3 digits: bytes [0x12, 0x3C].
+        assert_eq!(encode_packed(123, 3), vec![0x12, 0x3C]);
+        // -45 in 3 digits: [0x04, 0x5D].
+        assert_eq!(encode_packed(-45, 3), vec![0x04, 0x5D]);
+    }
+
+    #[test]
+    fn data_image_has_expected_structure() {
+        let params = profile(WorkloadKind::TimesharingLight);
+        let layout = DataLayout::for_profile(&params, 0x10000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let funcs = [0x400u32, 0x500, 0x600];
+        let img = build_data_image(&layout, &params, &mut rng, &funcs);
+        assert_eq!(img.len(), layout.total_len as usize);
+        // Queue head self-linked.
+        let q = layout.queue_off as usize;
+        let flink = u32::from_le_bytes(img[q..q + 4].try_into().unwrap());
+        assert_eq!(flink, 0x10000 + layout.queue_off);
+        // Function table entries.
+        let f = layout.func_table_off as usize;
+        let f0 = u32::from_le_bytes(img[f..f + 4].try_into().unwrap());
+        assert_eq!(f0, 0x400);
+        // Bias low-bit density is near 0.41.
+        let mut set = 0u32;
+        let mut n = 0u32;
+        let mut i = layout.bias_off as usize;
+        while i + 4 <= (layout.bias_off + layout.bias_len) as usize {
+            set += u32::from(img[i] & 1);
+            n += 1;
+            i += 4;
+        }
+        let p = f64::from(set) / f64::from(n);
+        assert!((0.36..0.46).contains(&p), "low-bit density {p}");
+    }
+
+    #[test]
+    fn pcb_layout_round_trips() {
+        let space = AddressSpace {
+            p0br: 0x8000_1000,
+            p0lr: 100,
+            p1br: 0x8000_2000,
+            p1lr: 40,
+        };
+        let pcb = build_pcb(&space, 0x4000_4FF8, 0x4000_4000);
+        assert_eq!(
+            u32::from_le_bytes(pcb[0..4].try_into().unwrap()),
+            0x4000_4FF8
+        );
+        assert_eq!(u32::from_le_bytes(pcb[76..80].try_into().unwrap()), 100);
+    }
+}

@@ -1,0 +1,168 @@
+//! The five measured workloads (paper §2.2) plus the composite.
+
+use crate::mix::{MixWeights, ModeWeights, ProfileParams};
+
+/// Which of the paper's workloads to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Research-group machine: general timesharing, ≈15 users, lightly
+    /// loaded (text editing, program development, mail).
+    TimesharingLight,
+    /// CPU-development machine: ≈30 users plus circuit simulation and
+    /// microcode development.
+    TimesharingHeavy,
+    /// RTE: educational environment, 40 simulated users doing program
+    /// development and file manipulation.
+    Educational,
+    /// RTE: scientific/engineering, 40 users of scientific computation
+    /// and program development.
+    SciEng,
+    /// RTE: commercial transaction processing, 32 users of database
+    /// inquiries and updates.
+    Commercial,
+}
+
+impl WorkloadKind {
+    /// All five, in the paper's order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::TimesharingLight,
+        WorkloadKind::TimesharingHeavy,
+        WorkloadKind::Educational,
+        WorkloadKind::SciEng,
+        WorkloadKind::Commercial,
+    ];
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::TimesharingLight => "timesharing-light",
+            WorkloadKind::TimesharingHeavy => "timesharing-heavy",
+            WorkloadKind::Educational => "educational",
+            WorkloadKind::SciEng => "sci-eng",
+            WorkloadKind::Commercial => "commercial",
+        }
+    }
+}
+
+/// Build the parameter set for a workload.
+pub fn profile(kind: WorkloadKind) -> ProfileParams {
+    let base = ProfileParams {
+        name: kind.name(),
+        seed: 0x780_0000 + kind_index(kind),
+        processes: 6,
+        user_mix: MixWeights::timesharing(),
+        modes: ModeWeights::composite(),
+        functions_per_process: 16,
+        slots_per_function: 30,
+        loop_mean_iters: 14,
+        string_mean_len: 72,
+        decimal_mean_digits: 12,
+        call_mask_regs: 4,
+        scalar_bytes: 64 * 1024,
+        timer_period: 64_000,
+        terminal_users: 15,
+        think_mean_cycles: 760_000,
+        burst_mean_keys: 6,
+        key_gap_cycles: 18_000,
+        service_count: 6,
+        service_slots: 40,
+        ast_probability: 0.13,
+        dma_period: 120,
+        dma_burst: 16,
+    };
+    match kind {
+        WorkloadKind::TimesharingLight => base,
+        WorkloadKind::TimesharingHeavy => ProfileParams {
+            processes: 10,
+            terminal_users: 30,
+            think_mean_cycles: 2_000_000,
+            // Circuit simulation and microcode development: more float
+            // and field work.
+            user_mix: MixWeights {
+                float_ops: 14.0,
+                field_ops: 12.0,
+                muldiv: 2.2,
+                ..base.user_mix
+            },
+            scalar_bytes: 112 * 1024,
+            ..base
+        },
+        WorkloadKind::Educational => ProfileParams {
+            processes: 8,
+            terminal_users: 40,
+            think_mean_cycles: 2_600_000,
+            // Program development: compiler-ish — calls, fields, strings.
+            user_mix: MixWeights {
+                calls_proc: 3.8,
+                jsb_leaf: 9.0,
+                field_ops: 11.0,
+                char_ops: 0.7,
+                float_ops: 3.0,
+                ..base.user_mix
+            },
+            ..base
+        },
+        WorkloadKind::SciEng => ProfileParams {
+            processes: 8,
+            terminal_users: 40,
+            think_mean_cycles: 2_600_000,
+            user_mix: MixWeights {
+                float_ops: 18.0,
+                muldiv: 2.8,
+                loop_construct: 1.2,
+                char_ops: 0.25,
+                decimal_ops: 0.0,
+                ..base.user_mix
+            },
+            scalar_bytes: 96 * 1024,
+            ..base
+        },
+        WorkloadKind::Commercial => ProfileParams {
+            processes: 8,
+            terminal_users: 32,
+            think_mean_cycles: 2_100_000,
+            // Transaction processing: decimal, strings, services, queues.
+            user_mix: MixWeights {
+                decimal_ops: 0.22,
+                char_ops: 0.9,
+                syscall: 1.6,
+                queue_ops: 0.6,
+                float_ops: 4.0,
+                ..base.user_mix
+            },
+            service_slots: 55,
+            ..base
+        },
+    }
+}
+
+fn kind_index(kind: WorkloadKind) -> u64 {
+    WorkloadKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL") as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate_and_are_distinct() {
+        let mut seeds = std::collections::HashSet::new();
+        for kind in WorkloadKind::ALL {
+            let p = profile(kind);
+            p.validate();
+            assert!(seeds.insert(p.seed), "seeds must differ");
+            assert_eq!(p.name, kind.name());
+        }
+    }
+
+    #[test]
+    fn scieng_leans_float_commercial_leans_decimal() {
+        let sci = profile(WorkloadKind::SciEng);
+        let com = profile(WorkloadKind::Commercial);
+        assert!(sci.user_mix.float_ops > com.user_mix.float_ops);
+        assert!(com.user_mix.decimal_ops > sci.user_mix.decimal_ops);
+    }
+}

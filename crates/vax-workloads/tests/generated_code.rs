@@ -1,0 +1,119 @@
+//! Validation of generated workload code: every profile's program must
+//! fully disassemble, respect the register conventions, and stay within
+//! its layout budgets.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vax_arch::{disasm, Assembler};
+use vax_workloads::codegen::{CodeGen, DataLayout};
+use vax_workloads::{profile, WorkloadKind};
+
+fn generate(kind: WorkloadKind, process: u64) -> (vax_arch::CodeImage, Vec<u32>, DataLayout) {
+    let params = profile(kind);
+    let layout = DataLayout::for_profile(&params, 512);
+    let code_base = (512 + layout.total_len + 15) & !15;
+    let mut asm = Assembler::new(code_base);
+    let rng = StdRng::seed_from_u64(params.seed ^ (0x9E37_79B9u64.wrapping_mul(process + 1)));
+    let mut generator = CodeGen::new(&mut asm, rng, &params, layout);
+    let prog = generator.generate().expect("generates");
+    let image = asm.finish().expect("assembles");
+    (image, prog.functions, layout)
+}
+
+#[test]
+fn every_profile_generates_decodable_functions() {
+    for kind in WorkloadKind::ALL {
+        let (image, functions, _) = generate(kind, 0);
+        assert!(!functions.is_empty());
+        // Disassemble each function body linearly from its entry mask to
+        // at least a handful of instructions (case tables stop linear
+        // disassembly, which is fine).
+        for (i, &f) in functions.iter().enumerate() {
+            let off = (f - image.base) as usize + 2; // skip entry mask
+            let lines = disasm::disassemble(&image.bytes[off..], f + 2);
+            assert!(
+                lines.len() >= 4,
+                "{kind:?} fn{i} produced only {} lines",
+                lines.len()
+            );
+            // No undecodable bytes before the function's RET (linear
+            // disassembly past RET runs into the next function's raw
+            // entry-mask word, which is data, not code).
+            for (_, _, text) in &lines {
+                if text == "ret" {
+                    break;
+                }
+                assert!(
+                    !text.starts_with(".byte"),
+                    "{kind:?} fn{i}: undecodable byte in body"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_code_never_writes_the_reserved_registers() {
+    // R9 (tables), R10 (bias — autoincrement reads only), R11 (data base)
+    // must never be the *destination* of a generated body instruction,
+    // or the process would lose its data addressing. We check textually
+    // over the disassembly: no line's last operand is R9/R11, and R10
+    // appears only as "(R10)+".
+    let (image, functions, _) = generate(WorkloadKind::TimesharingLight, 0);
+    for &f in &functions {
+        let off = (f - image.base) as usize + 2;
+        for (_, _, text) in disasm::disassemble(&image.bytes[off..], f + 2) {
+            // Skip the prologue walker loads (destinations R6/R7/R8).
+            if let Some(last) = text.rsplit(", ").next() {
+                assert_ne!(last, "R11", "R11 written by: {text}");
+                assert_ne!(last, "R9", "R9 written by: {text}");
+                assert_ne!(last, "R10", "R10 written by: {text}");
+            }
+            if text.contains("R10") {
+                assert!(
+                    text.contains("(R10)+"),
+                    "R10 used other than as bias walker: {text}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distinct_processes_get_distinct_code() {
+    let (a, _, _) = generate(WorkloadKind::SciEng, 0);
+    let (b, _, _) = generate(WorkloadKind::SciEng, 1);
+    assert_ne!(a.bytes, b.bytes, "per-process seeds must differ");
+}
+
+#[test]
+fn layouts_scale_with_profile_parameters() {
+    let small = DataLayout::for_profile(
+        &vax_workloads::ProfileParams {
+            scalar_bytes: 8 * 1024,
+            ..profile(WorkloadKind::TimesharingLight)
+        },
+        512,
+    );
+    let big = DataLayout::for_profile(
+        &vax_workloads::ProfileParams {
+            scalar_bytes: 128 * 1024,
+            ..profile(WorkloadKind::TimesharingLight)
+        },
+        512,
+    );
+    assert!(big.total_len > small.total_len);
+    assert_eq!(big.bias_len, small.bias_len, "bias stream size is fixed");
+}
+
+#[test]
+fn dispatcher_precedes_all_functions() {
+    let (image, functions, _) = generate(WorkloadKind::Commercial, 0);
+    for &f in &functions {
+        assert!(f > image.base, "function below code base");
+        assert!(f < image.end(), "function beyond code end");
+    }
+    let mut sorted = functions.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, functions, "functions are laid out in order");
+}

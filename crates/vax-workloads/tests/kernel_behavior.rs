@@ -1,0 +1,121 @@
+//! Behavioural checks on the running mini-VMS: system services execute
+//! and return, the scheduler round-robins through all processes, and the
+//! measured event mix contains what the kernel is supposed to produce.
+
+use upc_monitor::{Command, HistogramBoard};
+use vax_arch::Opcode;
+use vax_ucode::EventTag;
+use vax_workloads::{build_machine, profile, ProfileParams, WorkloadKind};
+
+fn small() -> ProfileParams {
+    ProfileParams {
+        processes: 4,
+        functions_per_process: 8,
+        slots_per_function: 20,
+        scalar_bytes: 16 * 1024,
+        terminal_users: 6,
+        ..profile(WorkloadKind::Commercial)
+    }
+}
+
+#[test]
+fn system_services_are_invoked_and_return() {
+    let mut machine = build_machine(&small());
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    machine.run_instructions(120_000, &mut board).expect("runs");
+    let hist = board.snapshot();
+    let cs = machine.cpu.control_store();
+
+    let chmk = hist.issue(cs.exec_entry(Opcode::Chmk));
+    let rei = hist.issue(cs.exec_entry(Opcode::Rei));
+    assert!(chmk > 5, "CHMK services invoked: {chmk}");
+    // Every CHMK and every interrupt returns through REI.
+    let mut interrupts = 0;
+    for (addr, class) in cs.iter() {
+        if class.tag == EventTag::InterruptEntry {
+            interrupts += hist.issue(addr);
+        }
+    }
+    // One handler may still be in flight per process when the run stops,
+    // plus the bootstrap's own REI.
+    let slack = u64::from(small().processes) + 1;
+    assert!(
+        rei + slack >= chmk + interrupts,
+        "REI ({rei}) must cover CHMK ({chmk}) + interrupts ({interrupts})"
+    );
+}
+
+#[test]
+fn scheduler_round_robins_through_every_process() {
+    let params = small();
+    let mut machine = build_machine(&params);
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    machine.run_instructions(150_000, &mut board).expect("runs");
+    let hist = board.snapshot();
+    let cs = machine.cpu.control_store();
+    let switches = hist.issue(cs.exec_entry(Opcode::Svpctx));
+    assert!(
+        switches >= params.processes as u64,
+        "at least one full rotation: {switches} switches"
+    );
+    // LDPCTX count = SVPCTX count + the bootstrap's initial LDPCTX
+    // (± one in-flight reschedule at the measurement edge).
+    let ldpctx = hist.issue(cs.exec_entry(Opcode::Ldpctx));
+    assert!(
+        ldpctx >= switches && ldpctx <= switches + 2,
+        "LDPCTX {ldpctx} vs SVPCTX {switches}"
+    );
+}
+
+#[test]
+fn pushr_popr_balance_in_handlers() {
+    let mut machine = build_machine(&small());
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    machine.run_instructions(100_000, &mut board).expect("runs");
+    let hist = board.snapshot();
+    let cs = machine.cpu.control_store();
+    let pushr = hist.issue(cs.exec_entry(Opcode::Pushr));
+    let popr = hist.issue(cs.exec_entry(Opcode::Popr));
+    // Handlers always pair them; user code emits adjacent pairs. A
+    // context switch can park a process between the two, so allow a
+    // per-process imbalance.
+    let slack = 2 * u64::from(small().processes) + 2;
+    assert!(
+        pushr.abs_diff(popr) <= slack,
+        "pushr {pushr} vs popr {popr}"
+    );
+}
+
+#[test]
+fn null_process_is_never_entered_under_load() {
+    let mut machine = build_machine(&small());
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    for _ in 0..50_000 {
+        assert!(!machine.at_idle(), "always-ready processes never idle");
+        machine.step(&mut board).expect("runs");
+    }
+}
+
+#[test]
+fn calls_and_rets_balance() {
+    let mut machine = build_machine(&small());
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    machine.run_instructions(100_000, &mut board).expect("runs");
+    let hist = board.snapshot();
+    let cs = machine.cpu.control_store();
+    let calls = hist.issue(cs.exec_entry(Opcode::Calls));
+    let rets = hist.issue(cs.exec_entry(Opcode::Ret));
+    // In-flight call chains (one per process) bound the imbalance.
+    let bound = u64::from(small().processes)
+        * u64::from(small().functions_per_process + 1);
+    assert!(calls > 50, "calls: {calls}");
+    assert!(
+        calls.abs_diff(rets) <= bound,
+        "calls {calls} vs rets {rets}"
+    );
+}

@@ -1,0 +1,34 @@
+//! The full characterization study: run all five workloads, merge their
+//! µPC histograms, and print every table of the paper with the
+//! paper-vs-measured comparison.
+//!
+//! ```sh
+//! cargo run --release --example composite_study [instructions_per_workload]
+//! ```
+
+use vax780_core::CompositeStudy;
+use vax_analysis::report::StudyReport;
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    eprintln!("running 5 workloads x {instructions} instructions ...");
+    let (results, analysis) = CompositeStudy::new(instructions).run();
+    for r in &results {
+        let a = r.analysis();
+        eprintln!(
+            "  {:<20} {:>9} instr  {:>10} cycles  CPI {:>5.2}",
+            r.name,
+            r.instructions,
+            r.cycles,
+            a.cpi()
+        );
+    }
+    let report = StudyReport::new(&analysis);
+    println!("=== composite: {} instructions, CPI {:.3} ===", analysis.instructions(), analysis.cpi());
+    println!("{}", report.rendered_tables);
+    println!("=== paper vs measured ===");
+    println!("{}", report.comparison_table());
+}

@@ -1,0 +1,42 @@
+//! What-if from the paper's §5: "saving the non-overlapped I-Decode
+//! cycle could save one cycle on each non-PC-changing instruction. (The
+//! later VAX model 11/750 did [this].)" Run the same workload on both
+//! machine variants and measure the saving.
+//!
+//! ```sh
+//! cargo run --release --example decode_overlap_ablation [instructions]
+//! ```
+
+use vax780_core::Experiment;
+use vax_analysis::tables::Table2;
+use vax_cpu::CpuConfig;
+use vax_workloads::WorkloadKind;
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+    let run = |config: CpuConfig| {
+        Experiment::new(WorkloadKind::TimesharingLight)
+            .instructions(instructions)
+            .cpu_config(config)
+            .run()
+            .analysis()
+    };
+    eprintln!("running both machine variants x {instructions} instructions ...");
+    let base = run(CpuConfig::default());
+    let folded = run(CpuConfig::with_decode_overlap());
+
+    let t2 = Table2::from_analysis(&base);
+    let non_pc_changing = 1.0 - t2.total.0 / 100.0;
+    println!("11/780 (non-overlapped decode):  CPI {:.3}", base.cpi());
+    println!("11/750-style (folded decode):    CPI {:.3}", folded.cpi());
+    println!(
+        "measured saving: {:.3} cycles/instruction",
+        base.cpi() - folded.cpi()
+    );
+    println!(
+        "paper's prediction: one cycle per non-PC-changing instruction = {non_pc_changing:.3}"
+    );
+}

@@ -1,0 +1,54 @@
+//! Per-workload comparison: run each of the paper's five workloads
+//! separately and print a side-by-side matrix — the variation the
+//! composite averages over ("these results are, of course, dependent on
+//! the characteristics of that workload", §6).
+//!
+//! ```sh
+//! cargo run --release --example five_workloads [instructions]
+//! ```
+
+use vax780_core::Experiment;
+use vax_analysis::tables::{Table1, Table8};
+use vax_analysis::{Column, Section4Stats};
+use vax_arch::OpcodeGroup;
+use vax_workloads::WorkloadKind;
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150_000);
+
+    let mut rows = Vec::new();
+    for kind in WorkloadKind::ALL {
+        eprintln!("running {} ...", kind.name());
+        let a = Experiment::new(kind).instructions(instructions).run().analysis();
+        let t1 = Table1::from_analysis(&a);
+        let t8 = Table8::from_analysis(&a);
+        let s4 = Section4Stats::from_analysis(&a);
+        rows.push((
+            kind.name(),
+            a.cpi(),
+            t1.pct(OpcodeGroup::Float),
+            t1.pct(OpcodeGroup::Decimal) + t1.pct(OpcodeGroup::Character),
+            t8.col_totals[Column::RStall.index()]
+                + t8.col_totals[Column::WStall.index()]
+                + t8.col_totals[Column::IbStall.index()],
+            s4.cache_miss_per_instr(),
+            s4.tb_miss_per_instr,
+        ));
+    }
+
+    println!(
+        "{:<20} {:>6} {:>8} {:>9} {:>8} {:>9} {:>9}",
+        "workload", "CPI", "FLOAT%", "DEC+CHR%", "stalls", "c-miss", "tb-miss"
+    );
+    for (name, cpi, float, decchr, stalls, cmiss, tbmiss) in &rows {
+        println!(
+            "{name:<20} {cpi:>6.2} {float:>8.2} {decchr:>9.2} {stalls:>8.2} {cmiss:>9.3} {tbmiss:>9.4}"
+        );
+    }
+    println!(
+        "\ncomposite target (paper): CPI 10.59, stalls 2.13, c-miss 0.280, tb-miss 0.029"
+    );
+}

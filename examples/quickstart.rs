@@ -1,0 +1,65 @@
+//! Quickstart: build a tiny machine, attach the µPC histogram monitor,
+//! run a hand-written VAX program, and read the measurement back — the
+//! whole methodology of the paper in fifty lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use upc_monitor::{Command, HistogramBoard};
+use vax_analysis::tables::{Table1, Table8};
+use vax_analysis::Analysis;
+use vax_arch::{Assembler, Opcode, Operand, Reg};
+use vax_cpu::harness::SimpleMachine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 1's component inventory, as built by this model.
+    println!("VAX-11/780 model: I-Fetch (8-byte IB) + I-Decode + microcoded EBOX");
+    println!("memory: 128-entry TB | 8 KB write-through cache | 1-longword write buffer | SBI");
+    println!();
+
+    // A small program: sum an array with a counted loop, then HALT.
+    let mut asm = Assembler::new(0x400);
+    let data = asm.new_label();
+    asm.moval_pcrel(data, Operand::Reg(Reg::R11))?;
+    asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R0)])?;
+    asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R1)])?;
+    let top = asm.label_here();
+    asm.inst(
+        Opcode::Addl2,
+        &[Operand::AutoIncrement(Reg::R11), Operand::Reg(Reg::R0)],
+    )?;
+    asm.branch(
+        Opcode::Aoblss,
+        &[Operand::Literal(32), Operand::Reg(Reg::R1)],
+        top,
+    )?;
+    asm.inst(Opcode::Halt, &[])?;
+    asm.place(data)?;
+    for i in 0..32u32 {
+        asm.long(i);
+    }
+    let image = asm.finish()?;
+
+    // Attach the monitor — passive, like the real Unibus board.
+    let mut machine = SimpleMachine::with_code(&image);
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let outcome = machine.cpu.run(10_000, &mut board);
+    board.execute(Command::Stop);
+    println!("run ended with: {:?}", outcome.unwrap_err()); // HALT
+    println!("R0 (array sum) = {}", machine.cpu.regs().get(Reg::R0));
+    assert_eq!(machine.cpu.regs().get(Reg::R0), (0..32).sum::<u32>());
+
+    // Reduce the histogram exactly the way the paper does.
+    let analysis = Analysis::new(
+        &board.snapshot(),
+        machine.cpu.control_store(),
+        machine.cpu.mem().counters(),
+    );
+    println!("\ninstructions: {}", analysis.instructions());
+    println!("cycles/instruction: {:.2}", analysis.cpi());
+    println!("\n{}", Table1::from_analysis(&analysis));
+    println!("{}", Table8::from_analysis(&analysis));
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The scientific/engineering workload (40 simulated users of scientific
+//! computation, paper §2.2): floating-point-heavy, loop-heavy. Shows the
+//! per-workload variation the composite averages over.
+//!
+//! ```sh
+//! cargo run --release --example scieng_compute [instructions]
+//! ```
+
+use vax780_core::Experiment;
+use vax_analysis::tables::{Table1, Table2, Table8};
+use vax_analysis::Column;
+use vax_arch::{BranchClass, OpcodeGroup};
+use vax_ucode::Row;
+use vax_workloads::WorkloadKind;
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250_000);
+    eprintln!("measuring sci/eng workload: {instructions} instructions ...");
+    let measured = Experiment::new(WorkloadKind::SciEng)
+        .instructions(instructions)
+        .run();
+    let a = measured.analysis();
+
+    println!(
+        "sci-eng: {} instructions, CPI {:.2}",
+        a.instructions(),
+        a.cpi()
+    );
+    let t1 = Table1::from_analysis(&a);
+    let t2 = Table2::from_analysis(&a);
+    let t8 = Table8::from_analysis(&a);
+    println!("\n{t1}");
+    println!(
+        "FLOAT share {:.2}% (composite paper value: 3.62%) — scientific work runs hotter",
+        t1.pct(OpcodeGroup::Float)
+    );
+    let loops = t2
+        .rows
+        .iter()
+        .find(|(c, ..)| *c == BranchClass::Loop)
+        .expect("loop row");
+    println!(
+        "loop branches: {:.1}% of instructions, {:.0}% taken (≈{:.0} iterations/loop)",
+        loops.1,
+        loops.2,
+        1.0 / (1.0 - loops.2 / 100.0)
+    );
+    println!(
+        "FLOAT execute time: {:.3} cycles/instruction; compute column total {:.2}",
+        t8.row_total(Row::Exec(OpcodeGroup::Float)),
+        t8.col_totals[Column::Compute.index()]
+    );
+    println!("\n{t8}");
+}

@@ -1,0 +1,211 @@
+//! `vax780` — command-line front end for the characterization study.
+//!
+//! ```text
+//! vax780 run [--workload NAME|all] [--instructions N] [--warmup N]
+//!            [--decode-overlap] [--save-histogram FILE]
+//! vax780 report --histogram FILE [--instructions-hint N]
+//! vax780 disasm --workload NAME [--function K] [--lines N]
+//! vax780 list
+//! ```
+//!
+//! `run` measures one workload (or the five-workload composite), prints
+//! every table plus the paper comparison, and can save the raw histogram;
+//! `report` re-analyses a saved histogram (the paper's "additional
+//! interpretation of the raw histogram data", §2.2); `disasm` shows the
+//! generated VAX code a workload actually runs.
+
+use std::process::ExitCode;
+use vax780_core::{CompositeStudy, Experiment};
+use vax_analysis::report::StudyReport;
+use vax_analysis::Analysis;
+use vax_cpu::CpuConfig;
+use vax_ucode::ControlStore;
+use vax_workloads::{profile, WorkloadKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("list") => {
+            for kind in WorkloadKind::ALL {
+                println!("{}", kind.name());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!(
+                "usage: vax780 <run|report|disasm|list> [options]\n\
+                 \n\
+                 run     --workload NAME|all  --instructions N  --warmup N\n\
+                 \x20       --decode-overlap  --save-histogram FILE\n\
+                 report  --histogram FILE\n\
+                 disasm  --workload NAME  --function K  --lines N\n\
+                 list    (print workload names)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_kind(name: &str) -> Option<WorkloadKind> {
+    WorkloadKind::ALL.into_iter().find(|k| k.name() == name)
+}
+
+fn print_analysis(analysis: &Analysis) {
+    let report = StudyReport::new(analysis);
+    println!(
+        "instructions {}   cycles {}   CPI {:.3}\n",
+        analysis.instructions(),
+        analysis.total_cycles(),
+        analysis.cpi()
+    );
+    println!("{}", report.rendered_tables);
+    println!("=== paper vs measured ===");
+    println!("{}", report.comparison_table());
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let instructions: u64 = opt(args, "--instructions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let warmup: u64 = opt(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+    let workload = opt(args, "--workload").unwrap_or("all");
+    let mut cpu_config = CpuConfig::default();
+    if flag(args, "--decode-overlap") {
+        cpu_config = CpuConfig::with_decode_overlap();
+    }
+
+    let (analysis, histogram, counters) = if workload == "all" {
+        eprintln!("running composite: 5 workloads x {instructions} instructions ...");
+        let (results, analysis) = CompositeStudy::new(instructions).warmup(warmup).run();
+        let mut merged = upc_monitor::Histogram::new();
+        let mut counters = vax_mem::HwCounters::new();
+        for r in &results {
+            eprintln!("  {:<20} CPI {:.2}", r.name, r.analysis().cpi());
+            merged.merge(&r.histogram);
+            counters.merge(&r.counters);
+        }
+        (analysis, merged, counters)
+    } else {
+        let Some(kind) = parse_kind(workload) else {
+            eprintln!("unknown workload '{workload}'; try `vax780 list`");
+            return ExitCode::FAILURE;
+        };
+        eprintln!("running {workload}: {instructions} instructions ...");
+        let measured = Experiment::new(kind)
+            .warmup(warmup)
+            .instructions(instructions)
+            .cpu_config(cpu_config)
+            .run();
+        let counters = measured.counters;
+        (measured.analysis(), measured.histogram, counters)
+    };
+
+    print_analysis(&analysis);
+    if let Some(path) = opt(args, "--save-histogram") {
+        let text =
+            upc_monitor::codec::to_text_with_counters(&histogram, &counters.to_pairs());
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to save histogram: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("histogram saved to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let Some(path) = opt(args, "--histogram") else {
+        eprintln!("report requires --histogram FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (hist, pairs) = match upc_monitor::codec::from_text_with_counters(&text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let counters =
+        vax_mem::HwCounters::from_pairs(pairs.iter().map(|(n, v)| (n.as_str(), *v)));
+    let cs = ControlStore::build();
+    let analysis = Analysis::new(&hist, &cs, &counters);
+    print_analysis(&analysis);
+    ExitCode::SUCCESS
+}
+
+fn cmd_disasm(args: &[String]) -> ExitCode {
+    let workload = opt(args, "--workload").unwrap_or("timesharing-light");
+    let Some(kind) = parse_kind(workload) else {
+        eprintln!("unknown workload '{workload}'; try `vax780 list`");
+        return ExitCode::FAILURE;
+    };
+    let lines: usize = opt(args, "--lines")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let function: usize = opt(args, "--function")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+
+    // Regenerate the first process's program exactly as the session does.
+    use rand::SeedableRng;
+    let params = profile(kind);
+    let layout_base = vax_mem::PAGE_BYTES;
+    let layout = vax_workloads::codegen::DataLayout::for_profile(&params, layout_base);
+    let code_base = (layout_base + layout.total_len + 15) & !15;
+    let mut asm = vax_arch::Assembler::new(code_base);
+    let rng = rand::rngs::StdRng::seed_from_u64(params.seed ^ 0x9E37_79B9);
+    let mut generator = vax_workloads::codegen::CodeGen::new(&mut asm, rng, &params, layout);
+    let prog = generator.generate().expect("generation succeeds");
+    let image = asm.finish().expect("assembles");
+
+    let start_va = if function == 0 {
+        prog.entry
+    } else if let Some(&f) = prog.functions.get(function - 1) {
+        f
+    } else {
+        eprintln!(
+            "function index out of range (1..={})",
+            prog.functions.len()
+        );
+        return ExitCode::FAILURE;
+    };
+    let offset = (start_va - image.base) as usize;
+    // Functions start with an entry-mask word, not an opcode.
+    let skip = if function > 0 { 2 } else { 0 };
+    println!("; {} process 0, {} @ {start_va:#010x}", kind.name(),
+        if function == 0 { "dispatcher".to_string() } else { format!("function {function}") });
+    if function > 0 {
+        let mask = u16::from_le_bytes([image.bytes[offset], image.bytes[offset + 1]]);
+        println!("{start_va:#010x}\t.entry mask={mask:#06x}");
+    }
+    for (pc, _, text) in vax_arch::disasm::disassemble(&image.bytes[offset + skip..], start_va + skip as u32)
+        .into_iter()
+        .take(lines)
+    {
+        println!("{pc:#010x}\t{text}");
+    }
+    ExitCode::SUCCESS
+}

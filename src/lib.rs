@@ -1,0 +1,16 @@
+//! Umbrella crate for the VAX-11/780 characterization reproduction.
+//!
+//! Re-exports the workspace crates under one roof and hosts the runnable
+//! examples and cross-crate integration tests. See the README for the
+//! architecture overview and `DESIGN.md` for the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use upc_monitor as monitor;
+pub use vax780_core as study;
+pub use vax_analysis as analysis;
+pub use vax_arch as arch;
+pub use vax_cpu as cpu;
+pub use vax_mem as mem;
+pub use vax_ucode as ucode;
+pub use vax_workloads as workloads;

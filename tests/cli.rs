@@ -1,0 +1,91 @@
+//! Integration tests for the `vax780` command-line front end.
+
+use std::process::Command;
+
+fn vax780() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vax780"))
+}
+
+#[test]
+fn list_prints_all_workloads() {
+    let out = vax780().arg("list").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "timesharing-light",
+        "timesharing-heavy",
+        "educational",
+        "sci-eng",
+        "commercial",
+    ] {
+        assert!(text.contains(name), "missing {name} in:\n{text}");
+    }
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = vax780().output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn run_save_and_report_round_trip() {
+    let dir = std::env::temp_dir().join("vax780-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let hist = dir.join("hist.txt");
+    let out = vax780()
+        .args([
+            "run",
+            "--workload",
+            "timesharing-light",
+            "--instructions",
+            "8000",
+            "--warmup",
+            "2000",
+            "--save-histogram",
+        ])
+        .arg(&hist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("TABLE 8"));
+    assert!(text.contains("paper vs measured"));
+
+    // Re-analyse the saved histogram: same instruction count appears.
+    let out2 = vax780()
+        .args(["report", "--histogram"])
+        .arg(&hist)
+        .output()
+        .expect("runs");
+    assert!(out2.status.success());
+    let t1 = text.split("instructions ").nth(1).unwrap();
+    let t2 = String::from_utf8_lossy(&out2.stdout);
+    let t2 = t2.split("instructions ").nth(1).unwrap().to_string();
+    let n1: u64 = t1.split_whitespace().next().unwrap().parse().unwrap();
+    let n2: u64 = t2.split_whitespace().next().unwrap().parse().unwrap();
+    assert_eq!(n1, n2, "saved histogram preserves the measurement");
+}
+
+#[test]
+fn disasm_produces_vax_assembly() {
+    let out = vax780()
+        .args(["disasm", "--workload", "sci-eng", "--function", "1", "--lines", "10"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(".entry mask="));
+    assert!(text.contains("moval"), "prologue expected:\n{text}");
+}
+
+#[test]
+fn rejects_unknown_workload() {
+    let out = vax780()
+        .args(["run", "--workload", "nonesuch"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
