@@ -1,0 +1,8 @@
+#!/bin/sh
+# Repository gate: formatting, lints, and the full test suite.
+# Run from the workspace root before committing.
+set -eux
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -27,7 +27,10 @@ fn tb_rate(timer_period: u64) -> f64 {
 
 fn bench(c: &mut Criterion) {
     println!("\n=== ABLATION: scheduling quantum vs TB miss rate ===");
-    println!("{:>14} {:>16} {:>14}", "quantum (cyc)", "~switch headway", "TB miss/instr");
+    println!(
+        "{:>14} {:>16} {:>14}",
+        "quantum (cyc)", "~switch headway", "TB miss/instr"
+    );
     let mut rates = Vec::new();
     for period in [16_000u64, 32_000, 64_000, 128_000, 256_000] {
         let rate = tb_rate(period);

@@ -10,8 +10,16 @@ fn bench(c: &mut Criterion) {
     let analysis = composite_analysis();
     let s4 = Section4Stats::from_analysis(analysis);
     println!("\n=== SECTION 3/4: Event Rates per Instruction ===");
-    compare("IB refs/instr", paper::IB_REFS_PER_INSTR.value, s4.ib_refs_per_instr);
-    compare("IB bytes/ref", paper::IB_BYTES_PER_REF.value, s4.ib_bytes_per_ref);
+    compare(
+        "IB refs/instr",
+        paper::IB_REFS_PER_INSTR.value,
+        s4.ib_refs_per_instr,
+    );
+    compare(
+        "IB bytes/ref",
+        paper::IB_BYTES_PER_REF.value,
+        s4.ib_bytes_per_ref,
+    );
     compare(
         "cache read misses/instr",
         paper::CACHE_MISSES_PER_INSTR.value,
@@ -27,7 +35,11 @@ fn bench(c: &mut Criterion) {
         paper::CACHE_MISSES_D_PER_INSTR.value,
         s4.cache_miss_d_per_instr,
     );
-    compare("TB misses/instr", paper::TB_MISSES_PER_INSTR.value, s4.tb_miss_per_instr);
+    compare(
+        "TB misses/instr",
+        paper::TB_MISSES_PER_INSTR.value,
+        s4.tb_miss_per_instr,
+    );
     compare(
         "TB service cycles",
         paper::TB_SERVICE_CYCLES.value,

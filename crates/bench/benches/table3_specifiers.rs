@@ -12,9 +12,21 @@ fn bench(c: &mut Criterion) {
     let t3 = Table3::from_analysis(analysis);
     println!("\n=== TABLE 3: Specifiers per Average Instruction ===");
     compare("First specifiers", paper::SPEC1_PER_INSTR.value, t3.spec1);
-    compare("Other specifiers", paper::SPEC2_6_PER_INSTR.value, t3.spec2_6);
-    compare("Branch displacements", paper::BDISP_PER_INSTR.value, t3.bdisp);
-    compare("Total specifiers", paper::SPECS_PER_INSTR.value, t3.total_specs());
+    compare(
+        "Other specifiers",
+        paper::SPEC2_6_PER_INSTR.value,
+        t3.spec2_6,
+    );
+    compare(
+        "Branch displacements",
+        paper::BDISP_PER_INSTR.value,
+        t3.bdisp,
+    );
+    compare(
+        "Total specifiers",
+        paper::SPECS_PER_INSTR.value,
+        t3.total_specs(),
+    );
     c.bench_function("reduce_table3", |b| {
         b.iter(|| black_box(Table3::from_analysis(black_box(analysis))))
     });

@@ -10,10 +10,26 @@ fn bench(c: &mut Criterion) {
     let analysis = composite_analysis();
     let t6 = Table6::from_analysis(analysis);
     println!("\n=== TABLE 6: Estimated Size of Average Instruction ===");
-    compare("Specifiers/instruction", paper::SPECS_PER_INSTR.value, t6.specs_per_instr);
-    compare("Bytes/specifier", paper::SPEC_SIZE_BYTES.value, t6.est_spec_bytes);
-    compare("Branch disp/instruction", paper::BDISP_PER_INSTR.value, t6.bdisp_per_instr);
-    compare("TOTAL bytes/instruction", paper::INSTRUCTION_BYTES.value, t6.total_bytes);
+    compare(
+        "Specifiers/instruction",
+        paper::SPECS_PER_INSTR.value,
+        t6.specs_per_instr,
+    );
+    compare(
+        "Bytes/specifier",
+        paper::SPEC_SIZE_BYTES.value,
+        t6.est_spec_bytes,
+    );
+    compare(
+        "Branch disp/instruction",
+        paper::BDISP_PER_INSTR.value,
+        t6.bdisp_per_instr,
+    );
+    compare(
+        "TOTAL bytes/instruction",
+        paper::INSTRUCTION_BYTES.value,
+        t6.total_bytes,
+    );
     c.bench_function("reduce_table6", |b| {
         b.iter(|| black_box(Table6::from_analysis(black_box(analysis))))
     });

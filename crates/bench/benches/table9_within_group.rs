@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
         );
     }
     // The paper's qualitative claim: two orders of magnitude of spread.
-    let spread = t9.total(OpcodeGroup::Character).max(t9.total(OpcodeGroup::Decimal))
+    let spread = t9
+        .total(OpcodeGroup::Character)
+        .max(t9.total(OpcodeGroup::Decimal))
         / t9.total(OpcodeGroup::Simple);
     println!("spread CHARACTER-or-DECIMAL / SIMPLE = {spread:.0}x (paper: ~100x)");
     c.bench_function("reduce_table9", |b| {

@@ -20,9 +20,7 @@ static COMPOSITE: OnceLock<Analysis> = OnceLock::new();
 /// The composite analysis, computed once per bench process.
 pub fn composite_analysis() -> &'static Analysis {
     COMPOSITE.get_or_init(|| {
-        eprintln!(
-            "[bench] running composite: 5 workloads x {BENCH_INSTRUCTIONS} instructions ..."
-        );
+        eprintln!("[bench] running composite: 5 workloads x {BENCH_INSTRUCTIONS} instructions ...");
         let (_, analysis) = CompositeStudy::new(BENCH_INSTRUCTIONS).warmup(15_000).run();
         analysis
     })

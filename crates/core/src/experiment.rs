@@ -1,6 +1,6 @@
 //! A single measurement experiment on one workload.
 
-use upc_monitor::{Command, HistogramBoard, Histogram, NullSink};
+use upc_monitor::{Command, Histogram, HistogramBoard, NullSink};
 use vax_analysis::Analysis;
 use vax_cpu::CpuConfig;
 use vax_mem::{HwCounters, MemConfig};
@@ -66,8 +66,7 @@ impl Experiment {
     /// Panics if the machine halts or faults unrecoverably — generated
     /// workloads never do; such a panic is a model bug.
     pub fn run(&self) -> MeasuredWorkload {
-        let mut machine =
-            build_machine_with_config(&self.params, self.cpu_config, self.mem_config);
+        let mut machine = build_machine_with_config(&self.params, self.cpu_config, self.mem_config);
         let mut null = NullSink;
         // Warm-up: caches, TB, scheduler all reach steady state.
         machine

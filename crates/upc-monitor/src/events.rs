@@ -1,0 +1,116 @@
+//! Typed machine events for the *second* instrument.
+//!
+//! The histogram board only ever sees `(µPC, stalled)` pairs — that is
+//! the paper's instrument and it stays that way. A tracer wants more:
+//! which opcode retired, whether a reference hit the cache, how full the
+//! write buffer was. These events ride on the same [`CycleSink`] trait
+//! as default-no-op hooks, so a detached sink (or the histogram board,
+//! which ignores them) pays nothing for their existence.
+//!
+//! [`CycleSink`]: crate::CycleSink
+
+use vax_arch::Opcode;
+use vax_ucode::StallPoint;
+
+/// Which reference stream touched the cache/TB (the 11/780 cache is
+/// unified but the study attributes events per stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemStream {
+    /// Instruction-buffer fill.
+    IFetch,
+    /// Operand data reference.
+    Data,
+}
+
+/// Why the CPU spent a stall cycle (the trace's refinement of the
+/// histogram's stall plane, which only distinguishes stalls by µPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Operand read waiting on cache/SBI.
+    Read,
+    /// Write waiting on a full write buffer.
+    Write,
+    /// Instruction buffer empty at a decode point.
+    Ib(StallPoint),
+}
+
+/// One typed machine event, emitted from the cycle loop alongside the
+/// `(µPC, stalled)` stream. Everything is `Copy`: emission must never
+/// allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineEvent {
+    /// An opcode byte was decoded (IRD1).
+    Decode {
+        /// The decoded instruction.
+        opcode: Opcode,
+    },
+    /// An instruction retired (all specifiers evaluated, execution done).
+    Retire {
+        /// The retiring instruction.
+        opcode: Opcode,
+        /// Address of its opcode byte.
+        pc: u32,
+        /// Number of operand specifiers evaluated.
+        specifiers: u8,
+    },
+    /// A stall was charged, with its cause (cycles also reach
+    /// `record_stall`; this event carries the *why*).
+    Stall {
+        /// What the processor was waiting for.
+        cause: StallCause,
+        /// How many cycles were lost.
+        cycles: u32,
+    },
+    /// The cache serviced a reference.
+    CacheAccess {
+        /// Which stream issued it.
+        stream: MemStream,
+        /// Whether it hit.
+        hit: bool,
+    },
+    /// A translation-buffer miss entered the microcode fill routine.
+    TbMiss {
+        /// Which stream missed.
+        stream: MemStream,
+        /// A system-space PTE fetch was needed too (double miss).
+        double: bool,
+    },
+    /// A write entered the write buffer.
+    WriteBuffer {
+        /// Entries occupied after this write (the 11/780 buffer holds
+        /// one longword; the model may be configured deeper).
+        occupancy: u8,
+    },
+    /// A transaction went out on the SBI.
+    Sbi {
+        /// `true` for a read (8-byte block fill), `false` for a write.
+        read: bool,
+    },
+    /// An interrupt was taken.
+    InterruptEntry {
+        /// Interrupt priority level of the request.
+        ipl: u8,
+    },
+    /// A fault/exception was dispatched.
+    ExceptionEntry,
+    /// LDPCTX switched address space: a process context switch.
+    ContextSwitch {
+        /// New page-table base (identifies the process).
+        new_space: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copyable() {
+        // Emission happens every few cycles; the event must stay
+        // register-sized-ish and trivially copyable.
+        assert!(std::mem::size_of::<MachineEvent>() <= 16);
+        let e = MachineEvent::Sbi { read: true };
+        let f = e;
+        assert_eq!(e, f);
+    }
+}

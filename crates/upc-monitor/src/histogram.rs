@@ -1,13 +1,12 @@
 //! Raw histogram data: the board's counters, read out.
 
-use serde::{Deserialize, Serialize};
 use vax_ucode::MicroAddr;
 
 /// A snapshot of both count planes.
 ///
 /// This is the *entire* input the µPC analysis gets from the instrument —
 /// interpretation requires the microcode listing (`vax_ucode::ControlStore`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     issue: Vec<u64>,
     stall: Vec<u64>,
@@ -154,10 +153,7 @@ mod tests {
         let v: Vec<_> = h.nonzero().collect();
         assert_eq!(
             v,
-            vec![
-                (MicroAddr::new(10), 1, 0),
-                (MicroAddr::new(20), 0, 2)
-            ]
+            vec![(MicroAddr::new(10), 1, 0), (MicroAddr::new(20), 0, 2)]
         );
     }
 

@@ -33,9 +33,11 @@
 
 mod board;
 pub mod codec;
+pub mod events;
 mod histogram;
 
 pub use board::{Command, CommandResponse, HistogramBoard};
+pub use events::MachineEvent;
 pub use histogram::Histogram;
 
 use vax_ucode::MicroAddr;
@@ -44,12 +46,61 @@ use vax_ucode::MicroAddr;
 ///
 /// The CPU model drives one of these; [`HistogramBoard`] is the paper's
 /// instrument, [`NullSink`] runs unmonitored (the board switched off).
+///
+/// The two `record_*` methods are the original histogram feed. The
+/// `trace_*` hooks carry typed events for richer instruments (see
+/// [`events`]); they default to no-ops so the board and the null sink
+/// are unaffected, and a second instrument can ride alongside the board
+/// through the tuple fan-out: `(&mut board, &mut tracer)` is itself a
+/// `CycleSink` that forwards every event to both.
 pub trait CycleSink {
     /// One microinstruction issued (executed, not stalled) at `addr`.
     fn record_issue(&mut self, addr: MicroAddr);
 
     /// `cycles` stall cycles charged to the microinstruction at `addr`.
     fn record_stall(&mut self, addr: MicroAddr, cycles: u32);
+
+    /// A typed machine event (decode, retire, cache access, …).
+    #[inline]
+    fn trace_event(&mut self, event: MachineEvent) {
+        let _ = event;
+    }
+
+    /// A named phase began (`begin == true`) or ended. Emitted by
+    /// workload/session code, not the cycle loop.
+    #[inline]
+    fn trace_phase(&mut self, name: &str, begin: bool) {
+        let _ = (name, begin);
+    }
+}
+
+/// Fan-out combinator: drive two sinks from one cycle loop. The µPC
+/// board and a tracer can observe the same run without duplicating the
+/// emission sites.
+impl<A: CycleSink, B: CycleSink> CycleSink for (A, B) {
+    #[inline]
+    fn record_issue(&mut self, addr: MicroAddr) {
+        self.0.record_issue(addr);
+        self.1.record_issue(addr);
+    }
+
+    #[inline]
+    fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
+        self.0.record_stall(addr, cycles);
+        self.1.record_stall(addr, cycles);
+    }
+
+    #[inline]
+    fn trace_event(&mut self, event: MachineEvent) {
+        self.0.trace_event(event);
+        self.1.trace_event(event);
+    }
+
+    #[inline]
+    fn trace_phase(&mut self, name: &str, begin: bool) {
+        self.0.trace_phase(name, begin);
+        self.1.trace_phase(name, begin);
+    }
 }
 
 /// A sink that discards everything (monitor detached).
@@ -73,5 +124,15 @@ impl<S: CycleSink + ?Sized> CycleSink for &mut S {
     #[inline]
     fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
         (**self).record_stall(addr, cycles);
+    }
+
+    #[inline]
+    fn trace_event(&mut self, event: MachineEvent) {
+        (**self).trace_event(event);
+    }
+
+    #[inline]
+    fn trace_phase(&mut self, name: &str, begin: bool) {
+        (**self).trace_phase(name, begin);
     }
 }

@@ -5,10 +5,7 @@ use upc_monitor::{codec, Command, CycleSink, Histogram, HistogramBoard};
 use vax_ucode::MicroAddr;
 
 fn events() -> impl Strategy<Value = Vec<(u16, bool, u32)>> {
-    prop::collection::vec(
-        (0u16..0x4000, any::<bool>(), 1u32..100),
-        0..300,
-    )
+    prop::collection::vec((0u16..0x4000, any::<bool>(), 1u32..100), 0..300)
 }
 
 proptest! {

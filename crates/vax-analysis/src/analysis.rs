@@ -369,7 +369,10 @@ mod tests {
         }
         // One of them had a memory destination with a 3-cycle write stall.
         h.bump_issue(cs.spec_write(SpecPosition::Rest, SpecModeClass::Displacement));
-        h.bump_stall(cs.spec_write(SpecPosition::Rest, SpecModeClass::Displacement), 3);
+        h.bump_stall(
+            cs.spec_write(SpecPosition::Rest, SpecModeClass::Displacement),
+            3,
+        );
         (h, cs, HwCounters::new())
     }
 

@@ -18,6 +18,7 @@
 
 mod analysis;
 pub mod paper;
+pub mod reconcile;
 pub mod report;
 pub mod section4;
 pub mod tables;

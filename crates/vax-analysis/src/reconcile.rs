@@ -1,0 +1,293 @@
+//! Two-instrument reconciliation: does the trace agree with the µPC
+//! histogram board and the hardware counters?
+//!
+//! The paper's credibility rests on instruments that cross-check: the
+//! µPC histogram accounts for every processor cycle, and the separate
+//! hardware monitor counts the events microcode cannot see. The tracer
+//! is a third instrument watching the same run through the same
+//! [`upc_monitor::CycleSink`] feed, and it keeps its own derived clock.
+//! This module turns "the instruments agree" from prose into an
+//! executable check:
+//!
+//! * the tracer's derived cycle clock (`issues + stall_cycles`) must
+//!   equal the histogram's `total_cycles()`, plane by plane;
+//! * every cache/TB/SBI/write aggregate in the trace must equal the
+//!   corresponding [`vax_mem::HwCounters`] field, exactly;
+//! * when the ring dropped nothing, replaying the per-event record must
+//!   reproduce the aggregates.
+//!
+//! Any disagreement means an emission point (or one of the instruments)
+//! is wrong — which is precisely what the check is for.
+
+use std::fmt;
+use upc_monitor::Histogram;
+use vax_mem::HwCounters;
+use vax_trace::Tracer;
+
+/// One compared quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Check {
+    /// What is being compared.
+    pub name: &'static str,
+    /// The trace's value.
+    pub trace: u64,
+    /// The reference instrument's value.
+    pub reference: u64,
+    /// Which instrument supplied the reference.
+    pub instrument: &'static str,
+}
+
+impl Check {
+    /// Did the two instruments agree?
+    pub fn ok(&self) -> bool {
+        self.trace == self.reference
+    }
+}
+
+/// The full comparison, one [`Check`] per reconciled quantity.
+#[derive(Debug, Clone)]
+pub struct Reconciliation {
+    /// All comparisons performed, in report order.
+    pub checks: Vec<Check>,
+    /// Whether the event ring dropped records (the replay check is
+    /// skipped when it did; the aggregate checks still run).
+    pub ring_dropped: u64,
+}
+
+impl Reconciliation {
+    /// True when every check agreed exactly.
+    pub fn is_ok(&self) -> bool {
+        self.checks.iter().all(Check::ok)
+    }
+
+    /// The checks that disagreed.
+    pub fn failures(&self) -> Vec<Check> {
+        self.checks.iter().copied().filter(|c| !c.ok()).collect()
+    }
+}
+
+impl fmt::Display for Reconciliation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:>14} {:>14}  {:<10} agree",
+            "quantity", "trace", "reference", "instrument"
+        )?;
+        for c in &self.checks {
+            writeln!(
+                f,
+                "{:<24} {:>14} {:>14}  {:<10} {}",
+                c.name,
+                c.trace,
+                c.reference,
+                c.instrument,
+                if c.ok() { "yes" } else { "NO" }
+            )?;
+        }
+        write!(
+            f,
+            "{} ({} events dropped from the ring)",
+            if self.is_ok() {
+                "all instruments agree"
+            } else {
+                "INSTRUMENT DISAGREEMENT"
+            },
+            self.ring_dropped
+        )
+    }
+}
+
+/// Reconcile a tracer against the histogram board and hardware counters
+/// that observed the *same* cycles.
+///
+/// `hw` must be the counter deltas over exactly the traced interval
+/// (capture a baseline with [`HwCounters::delta_since`] if the machine
+/// ran before the tracer attached). `pending_ib_tb_miss` is the
+/// machine's in-flight I-stream TB-miss flag at the stop point
+/// ([`vax_cpu::Cpu::pending_ib_tb_miss`] — the hardware counted it, but
+/// microcode has not yet serviced it, so the trace legitimately has not
+/// seen it yet).
+pub fn reconcile(
+    tracer: &Tracer,
+    histogram: &Histogram,
+    hw: &HwCounters,
+    pending_ib_tb_miss: bool,
+) -> Reconciliation {
+    let t = tracer.counters();
+    let mut checks = vec![
+        Check {
+            name: "total_cycles",
+            trace: t.total_cycles(),
+            reference: histogram.total_cycles(),
+            instrument: "histogram",
+        },
+        Check {
+            name: "issues",
+            trace: t.issues,
+            reference: histogram.total_issues(),
+            instrument: "histogram",
+        },
+        Check {
+            name: "stall_cycles",
+            trace: t.stall_cycles,
+            reference: histogram.total_stalls(),
+            instrument: "histogram",
+        },
+        // The trace's own clock and its stall-cause partition must be
+        // internally consistent before cross-instrument claims mean
+        // anything. (IB stalls are *issued* dispatch cycles, not
+        // record_stall stalls, so they sit outside this sum.)
+        Check {
+            name: "stall_cause_partition",
+            trace: t.read_stall_cycles + t.write_stall_cycles,
+            reference: t.stall_cycles,
+            instrument: "trace",
+        },
+        Check {
+            name: "derived_clock",
+            trace: tracer.now(),
+            reference: t.total_cycles(),
+            instrument: "trace",
+        },
+        Check {
+            name: "cache_hit_i",
+            trace: t.cache_hit_i,
+            reference: hw.cache_hit_i,
+            instrument: "hw",
+        },
+        Check {
+            name: "cache_miss_i",
+            trace: t.cache_miss_i,
+            reference: hw.cache_miss_i,
+            instrument: "hw",
+        },
+        Check {
+            name: "cache_hit_d",
+            trace: t.cache_hit_d,
+            reference: hw.cache_hit_d,
+            instrument: "hw",
+        },
+        Check {
+            name: "cache_miss_d",
+            trace: t.cache_miss_d,
+            reference: hw.cache_miss_d,
+            instrument: "hw",
+        },
+        Check {
+            name: "tb_miss_i",
+            trace: t.tb_miss_i,
+            reference: hw.tb_miss_i - u64::from(pending_ib_tb_miss),
+            instrument: "hw",
+        },
+        Check {
+            name: "tb_miss_d",
+            trace: t.tb_miss_d,
+            reference: hw.tb_miss_d,
+            instrument: "hw",
+        },
+        Check {
+            name: "writes",
+            trace: t.writes_buffered,
+            reference: hw.writes,
+            instrument: "hw",
+        },
+        Check {
+            name: "sbi_reads",
+            trace: t.sbi_reads,
+            reference: hw.sbi_reads,
+            instrument: "hw",
+        },
+        Check {
+            name: "sbi_writes",
+            trace: t.sbi_writes,
+            reference: hw.sbi_writes,
+            instrument: "hw",
+        },
+    ];
+    if tracer.dropped() == 0 {
+        let replayed = tracer.replay();
+        checks.push(Check {
+            name: "replay_issues",
+            trace: replayed.issues,
+            reference: t.issues,
+            instrument: "replay",
+        });
+        checks.push(Check {
+            name: "replay_stall_cycles",
+            trace: replayed.stall_cycles,
+            reference: t.stall_cycles,
+            instrument: "replay",
+        });
+        checks.push(Check {
+            name: "replay_aggregates",
+            trace: u64::from(replayed == *t),
+            reference: 1,
+            instrument: "replay",
+        });
+    }
+    Reconciliation {
+        checks,
+        ring_dropped: tracer.dropped(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::events::{MachineEvent, MemStream};
+    use upc_monitor::CycleSink;
+    use vax_ucode::MicroAddr;
+
+    /// Drive the tracer and a histogram by hand through the same feed
+    /// and watch them reconcile.
+    #[test]
+    fn hand_driven_feed_reconciles() {
+        let mut tracer = Tracer::with_capacity(256);
+        let mut hist = Histogram::new();
+        let mut hw = HwCounters::new();
+        for i in 0..10u16 {
+            let addr = MicroAddr::new(i);
+            tracer.record_issue(addr);
+            hist.bump_issue(addr);
+        }
+        tracer.record_stall(MicroAddr::new(3), 4);
+        hist.bump_stall(MicroAddr::new(3), 4);
+        tracer.trace_event(MachineEvent::Stall {
+            cause: upc_monitor::events::StallCause::Read,
+            cycles: 4,
+        });
+        tracer.trace_event(MachineEvent::CacheAccess {
+            stream: MemStream::Data,
+            hit: false,
+        });
+        tracer.trace_event(MachineEvent::Sbi { read: true });
+        hw.cache_miss_d = 1;
+        hw.sbi_reads = 1;
+        let r = reconcile(&tracer, &hist, &hw, false);
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn disagreement_is_reported() {
+        let tracer = Tracer::with_capacity(16);
+        let mut hist = Histogram::new();
+        hist.bump_issue(MicroAddr::new(0)); // histogram saw a cycle the trace missed
+        let r = reconcile(&tracer, &hist, &HwCounters::new(), false);
+        assert!(!r.is_ok());
+        let failures = r.failures();
+        assert!(failures.iter().any(|c| c.name == "total_cycles"));
+        assert!(format!("{r}").contains("DISAGREEMENT"));
+    }
+
+    #[test]
+    fn pending_ib_tb_miss_is_subtracted() {
+        let tracer = Tracer::with_capacity(16);
+        let hw = HwCounters {
+            tb_miss_i: 1,
+            ..HwCounters::new()
+        };
+        // The hardware flagged a miss microcode has not serviced yet.
+        let r = reconcile(&tracer, &Histogram::new(), &hw, true);
+        assert!(r.is_ok(), "{r}");
+    }
+}

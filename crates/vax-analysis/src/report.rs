@@ -1,9 +1,7 @@
 //! Paper-vs-measured comparison reports (the EXPERIMENTS.md generator).
 
 use crate::paper::{self, Provenance, Ref};
-use crate::tables::{
-    Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9,
-};
+use crate::tables::{Table1, Table2, Table3, Table4, Table5, Table6, Table7, Table8, Table9};
 use crate::{Analysis, Section4Stats};
 use std::fmt::Write as _;
 use vax_arch::{OpcodeGroup, SpecModeClass};
@@ -82,12 +80,27 @@ impl StudyReport {
                 *taken,
             );
         }
-        push(&mut cmp, "T2 total %inst", paper::TABLE2_TOTAL_PCT, t2.total.0);
-        push(&mut cmp, "T2 total %taken", paper::TABLE2_TAKEN_PCT, t2.total.1);
+        push(
+            &mut cmp,
+            "T2 total %inst",
+            paper::TABLE2_TOTAL_PCT,
+            t2.total.0,
+        );
+        push(
+            &mut cmp,
+            "T2 total %taken",
+            paper::TABLE2_TAKEN_PCT,
+            t2.total.1,
+        );
         // Table 3.
         let t3 = Table3::from_analysis(a);
         push(&mut cmp, "T3 spec1/inst", paper::SPEC1_PER_INSTR, t3.spec1);
-        push(&mut cmp, "T3 spec2-6/inst", paper::SPEC2_6_PER_INSTR, t3.spec2_6);
+        push(
+            &mut cmp,
+            "T3 spec2-6/inst",
+            paper::SPEC2_6_PER_INSTR,
+            t3.spec2_6,
+        );
         push(&mut cmp, "T3 bdisp/inst", paper::BDISP_PER_INSTR, t3.bdisp);
         // Table 4.
         let t4 = Table4::from_analysis(a);
@@ -107,8 +120,18 @@ impl StudyReport {
         );
         // Table 5.
         let t5 = Table5::from_analysis(a);
-        push(&mut cmp, "T5 reads/inst", paper::table5::TOTAL.0, t5.total.0);
-        push(&mut cmp, "T5 writes/inst", paper::table5::TOTAL.1, t5.total.1);
+        push(
+            &mut cmp,
+            "T5 reads/inst",
+            paper::table5::TOTAL.0,
+            t5.total.0,
+        );
+        push(
+            &mut cmp,
+            "T5 writes/inst",
+            paper::table5::TOTAL.1,
+            t5.total.1,
+        );
         push(
             &mut cmp,
             "T5 read:write",
@@ -117,8 +140,18 @@ impl StudyReport {
         );
         // Table 6.
         let t6 = Table6::from_analysis(a);
-        push(&mut cmp, "T6 bytes/inst", paper::INSTRUCTION_BYTES, t6.total_bytes);
-        push(&mut cmp, "T6 bytes/spec", paper::SPEC_SIZE_BYTES, t6.est_spec_bytes);
+        push(
+            &mut cmp,
+            "T6 bytes/inst",
+            paper::INSTRUCTION_BYTES,
+            t6.total_bytes,
+        );
+        push(
+            &mut cmp,
+            "T6 bytes/spec",
+            paper::SPEC_SIZE_BYTES,
+            t6.est_spec_bytes,
+        );
         // Table 7.
         let t7 = Table7::from_analysis(a);
         push(
@@ -176,8 +209,18 @@ impl StudyReport {
         }
         // Section 4.
         let s4 = Section4Stats::from_analysis(a);
-        push(&mut cmp, "S4 IB refs/inst", paper::IB_REFS_PER_INSTR, s4.ib_refs_per_instr);
-        push(&mut cmp, "S4 IB bytes/ref", paper::IB_BYTES_PER_REF, s4.ib_bytes_per_ref);
+        push(
+            &mut cmp,
+            "S4 IB refs/inst",
+            paper::IB_REFS_PER_INSTR,
+            s4.ib_refs_per_instr,
+        );
+        push(
+            &mut cmp,
+            "S4 IB bytes/ref",
+            paper::IB_BYTES_PER_REF,
+            s4.ib_bytes_per_ref,
+        );
         push(
             &mut cmp,
             "S4 cache miss/inst",
@@ -196,7 +239,12 @@ impl StudyReport {
             paper::CACHE_MISSES_D_PER_INSTR,
             s4.cache_miss_d_per_instr,
         );
-        push(&mut cmp, "S4 TB miss/inst", paper::TB_MISSES_PER_INSTR, s4.tb_miss_per_instr);
+        push(
+            &mut cmp,
+            "S4 TB miss/inst",
+            paper::TB_MISSES_PER_INSTR,
+            s4.tb_miss_per_instr,
+        );
         push(
             &mut cmp,
             "S4 TB service cycles",

@@ -74,7 +74,11 @@ impl Section4Stats {
 impl fmt::Display for Section4Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "SECTION 3/4 — Event Rates per Instruction")?;
-        writeln!(f, "IB references            {:>8.2}", self.ib_refs_per_instr)?;
+        writeln!(
+            f,
+            "IB references            {:>8.2}",
+            self.ib_refs_per_instr
+        )?;
         writeln!(f, "IB bytes per reference   {:>8.2}", self.ib_bytes_per_ref)?;
         writeln!(
             f,
@@ -93,7 +97,11 @@ impl fmt::Display for Section4Stats {
             "TB service cycles        {:>8.1}  ({:.1} read stall)",
             self.tb_service_cycles, self.tb_service_read_stall
         )?;
-        writeln!(f, "Unaligned references     {:>8.4}", self.unaligned_per_instr)?;
+        writeln!(
+            f,
+            "Unaligned references     {:>8.4}",
+            self.unaligned_per_instr
+        )?;
         writeln!(
             f,
             "Reads / writes           {:>8.3} / {:.3}  (ratio {:.2})",

@@ -65,7 +65,11 @@ impl Table2 {
             all += n;
             taken += t;
             let pct = a.per_instr(n) * 100.0;
-            let taken_pct = if n == 0 { 0.0 } else { 100.0 * t as f64 / n as f64 };
+            let taken_pct = if n == 0 {
+                0.0
+            } else {
+                100.0 * t as f64 / n as f64
+            };
             rows.push((class, pct, taken_pct, a.per_instr(t) * 100.0));
         }
         let total_pct = a.per_instr(all) * 100.0;
@@ -157,7 +161,13 @@ impl Table4 {
     pub fn from_analysis(a: &Analysis) -> Table4 {
         let s1 = a.spec_total(SpecPosition::First);
         let s2 = a.spec_total(SpecPosition::Rest);
-        let pct = |n: u64, d: u64| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+        let pct = |n: u64, d: u64| {
+            if d == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / d as f64
+            }
+        };
         let rows = SpecModeClass::ALL
             .iter()
             .map(|&c| {
@@ -250,9 +260,10 @@ impl Table5 {
     pub fn from_analysis(a: &Analysis) -> Table5 {
         let row_of = |src: &Table5Source| -> (f64, f64) {
             match src {
-                Table5Source::Spec1 => {
-                    (a.reads_per_instr(Row::Spec1), a.writes_per_instr(Row::Spec1))
-                }
+                Table5Source::Spec1 => (
+                    a.reads_per_instr(Row::Spec1),
+                    a.writes_per_instr(Row::Spec1),
+                ),
                 Table5Source::Spec2to6 => (
                     a.reads_per_instr(Row::Spec2to6),
                     a.writes_per_instr(Row::Spec2to6),
@@ -262,7 +273,13 @@ impl Table5 {
                     a.writes_per_instr(Row::Exec(*g)),
                 ),
                 Table5Source::Other => {
-                    let rows = [Row::Decode, Row::BranchDisp, Row::IntExcept, Row::MemMgmt, Row::Abort];
+                    let rows = [
+                        Row::Decode,
+                        Row::BranchDisp,
+                        Row::IntExcept,
+                        Row::MemMgmt,
+                        Row::Abort,
+                    ];
                     (
                         rows.iter().map(|&r| a.reads_per_instr(r)).sum(),
                         rows.iter().map(|&r| a.writes_per_instr(r)).sum(),
@@ -360,8 +377,16 @@ impl Table6 {
 impl fmt::Display for Table6 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "TABLE 6 — Estimated Size of Average Instruction")?;
-        writeln!(f, "{:<14} {:>9} {:>9} {:>14}", "Object", "Num/inst", "Est size", "Size/inst")?;
-        writeln!(f, "{:<14} {:>9.2} {:>9.2} {:>14.2}", "Opcode", 1.0, 1.0, 1.0)?;
+        writeln!(
+            f,
+            "{:<14} {:>9} {:>9} {:>14}",
+            "Object", "Num/inst", "Est size", "Size/inst"
+        )?;
+        writeln!(
+            f,
+            "{:<14} {:>9.2} {:>9.2} {:>14.2}",
+            "Opcode", 1.0, 1.0, 1.0
+        )?;
         writeln!(
             f,
             "{:<14} {:>9.2} {:>9.2} {:>14.2}",

@@ -119,9 +119,12 @@ pub fn standard_sweep(a: &Analysis) -> Vec<WhatIf> {
     let t2 = crate::tables::Table2::from_analysis(a);
     let pc_frac = t2.total.0 / 100.0;
     vec![
-        apply(a, Scenario::FoldedDecode {
-            pc_changing_fraction: pc_frac,
-        }),
+        apply(
+            a,
+            Scenario::FoldedDecode {
+                pc_changing_fraction: pc_frac,
+            },
+        ),
         apply(a, Scenario::NoIbStalls),
         apply(a, Scenario::NoReadStalls),
         apply(a, Scenario::NoWriteStalls),

@@ -286,17 +286,13 @@ impl Assembler {
         dtype: DataType,
     ) -> Result<(), ArchError> {
         // Literal and immediate modes cannot be written.
-        if access.writes_value()
-            && matches!(operand, Operand::Literal(_) | Operand::Immediate(_))
-        {
+        if access.writes_value() && matches!(operand, Operand::Literal(_) | Operand::Immediate(_)) {
             return Err(ArchError::InvalidMode(format!(
                 "{operand:?} cannot be the destination of a {access} operand"
             )));
         }
         // Address/field operands must name memory (or a register for field).
-        if matches!(access, AccessType::Address)
-            && !operand.is_memory()
-        {
+        if matches!(access, AccessType::Address) && !operand.is_memory() {
             return Err(ArchError::InvalidMode(format!(
                 "{operand:?} cannot supply an address operand"
             )));
@@ -393,41 +389,41 @@ impl Assembler {
             fixups,
         } = self;
         for fixup in fixups {
-            let target = labels[fixup.label.0 as usize]
-                .ok_or(ArchError::UnresolvedLabel(fixup.label.0))?;
+            let target =
+                labels[fixup.label.0 as usize].ok_or(ArchError::UnresolvedLabel(fixup.label.0))?;
             let field_va = base + fixup.offset as u32;
             match fixup.kind {
                 FixupKind::BranchByte => {
                     let next = field_va + 1;
                     let disp = i64::from(target) - i64::from(next);
-                    let disp8: i8 = disp.try_into().map_err(|_| {
-                        ArchError::DisplacementOverflow {
-                            mnemonic: fixup.mnemonic,
-                            disp,
-                        }
-                    })?;
+                    let disp8: i8 =
+                        disp.try_into()
+                            .map_err(|_| ArchError::DisplacementOverflow {
+                                mnemonic: fixup.mnemonic,
+                                disp,
+                            })?;
                     bytes[fixup.offset] = disp8 as u8;
                 }
                 FixupKind::BranchWord => {
                     let next = field_va + 2;
                     let disp = i64::from(target) - i64::from(next);
-                    let disp16: i16 = disp.try_into().map_err(|_| {
-                        ArchError::DisplacementOverflow {
-                            mnemonic: fixup.mnemonic,
-                            disp,
-                        }
-                    })?;
+                    let disp16: i16 =
+                        disp.try_into()
+                            .map_err(|_| ArchError::DisplacementOverflow {
+                                mnemonic: fixup.mnemonic,
+                                disp,
+                            })?;
                     bytes[fixup.offset..fixup.offset + 2]
                         .copy_from_slice(&(disp16 as u16).to_le_bytes());
                 }
                 FixupKind::CaseWord { table_base } => {
                     let disp = i64::from(target) - i64::from(table_base);
-                    let disp16: i16 = disp.try_into().map_err(|_| {
-                        ArchError::DisplacementOverflow {
-                            mnemonic: fixup.mnemonic,
-                            disp,
-                        }
-                    })?;
+                    let disp16: i16 =
+                        disp.try_into()
+                            .map_err(|_| ArchError::DisplacementOverflow {
+                                mnemonic: fixup.mnemonic,
+                                disp,
+                            })?;
                     bytes[fixup.offset..fixup.offset + 2]
                         .copy_from_slice(&(disp16 as u16).to_le_bytes());
                 }
@@ -482,9 +478,8 @@ impl Assembler {
         operands: &[Operand],
         target: Label,
     ) -> Result<u32, ArchError> {
-        let reversed = reverse_condition(op).ok_or_else(|| {
-            ArchError::BadOperand(format!("{} is not reversible", op.mnemonic()))
-        })?;
+        let reversed = reverse_condition(op)
+            .ok_or_else(|| ArchError::BadOperand(format!("{} is not reversible", op.mnemonic())))?;
         let skip = self.new_label();
         let va = self.branch(reversed, operands, skip)?;
         self.branch(Opcode::Brw, &[], target)?;
@@ -569,10 +564,7 @@ mod tests {
         let mut asm = Assembler::new(0);
         let l = asm.new_label();
         asm.branch(Opcode::Brb, &[], l).unwrap();
-        assert!(matches!(
-            asm.finish(),
-            Err(ArchError::UnresolvedLabel(_))
-        ));
+        assert!(matches!(asm.finish(), Err(ArchError::UnresolvedLabel(_))));
     }
 
     #[test]

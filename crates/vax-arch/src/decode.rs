@@ -113,7 +113,9 @@ pub fn decode_specifier<S: ByteSource>(
         let base = src.next_u8()?;
         len += 1;
         if base >> 4 == 4 {
-            return Err(ArchError::InvalidMode("index base is itself indexed".into()));
+            return Err(ArchError::InvalidMode(
+                "index base is itself indexed".into(),
+            ));
         }
         (base, Some(rx))
     } else {
@@ -282,10 +284,7 @@ mod tests {
 
     #[test]
     fn decodes_literal_and_register() {
-        let inst = roundtrip(
-            Opcode::Movl,
-            &[Operand::Literal(42), Operand::Reg(Reg::R7)],
-        );
+        let inst = roundtrip(Opcode::Movl, &[Operand::Literal(42), Operand::Reg(Reg::R7)]);
         assert_eq!(inst.specs[0].mode, AddrMode::Literal(42));
         assert_eq!(inst.specs[1].mode, AddrMode::Register(Reg::R7));
     }

@@ -119,7 +119,10 @@ mod tests {
         assert_eq!(
             asm_one(
                 Opcode::Movl,
-                &[Operand::AutoIncrement(Reg::R6), Operand::AutoDecrement(Reg::R7)]
+                &[
+                    Operand::AutoIncrement(Reg::R6),
+                    Operand::AutoDecrement(Reg::R7)
+                ]
             ),
             "movl\t(R6)+, -(R7)"
         );

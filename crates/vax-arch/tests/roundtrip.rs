@@ -2,9 +2,7 @@
 //! bytes yields the original opcode, operand modes and length.
 
 use proptest::prelude::*;
-use vax_arch::{
-    AccessType, AddrMode, Assembler, Decoder, Opcode, Operand, Reg, SliceSource,
-};
+use vax_arch::{AccessType, AddrMode, Assembler, Decoder, Opcode, Operand, Reg, SliceSource};
 
 /// Strategy for a register that is safe in any addressing mode (not PC/SP,
 /// which have special encodings or side effects we exercise separately).

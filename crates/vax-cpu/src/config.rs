@@ -79,6 +79,9 @@ mod tests {
     fn ablation_flips_overlap_only() {
         let a = CpuConfig::with_decode_overlap();
         assert!(a.decode_overlap);
-        assert_eq!(a.tb_miss_head_cycles, CpuConfig::default().tb_miss_head_cycles);
+        assert_eq!(
+            a.tb_miss_head_cycles,
+            CpuConfig::default().tb_miss_head_cycles
+        );
     }
 }

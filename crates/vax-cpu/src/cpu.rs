@@ -8,7 +8,8 @@ use crate::interrupt::{Interrupt, InterruptLines};
 use crate::psl::{Mode, Psl};
 use crate::regs::RegFile;
 use crate::specifier;
-use upc_monitor::CycleSink;
+use upc_monitor::events::{MemStream, StallCause};
+use upc_monitor::{CycleSink, MachineEvent};
 use vax_arch::{DataType, Opcode};
 use vax_mem::{MemorySubsystem, Stream, Width};
 use vax_ucode::{ControlStore, MicroAddr, StallPoint};
@@ -184,24 +185,43 @@ impl Cpu {
         self.sisr
     }
 
+    /// Is an I-stream TB miss flagged but not yet serviced? The hardware
+    /// counters record the miss when the prefetcher hits it; the trace
+    /// records it when microcode services (or a flush discards) it, so a
+    /// reconciliation at an arbitrary stop point must subtract this
+    /// in-flight miss.
+    pub fn pending_ib_tb_miss(&self) -> bool {
+        self.ib.tb_miss().is_some()
+    }
+
     // ----- the microcycle engine -------------------------------------------
 
     /// Issue one compute microinstruction at `addr`.
     #[inline]
     pub(crate) fn micro_compute<S: CycleSink>(&mut self, addr: MicroAddr, sink: &mut S) {
         sink.record_issue(addr);
-        self.ib.tick(&mut self.mem, self.now, true);
+        let fetch = self.ib.tick(&mut self.mem, self.now, true);
+        note_ib_fetch(fetch, sink);
         self.now += 1;
     }
 
-    /// Burn `cycles` stall cycles charged to `addr`.
-    pub(crate) fn stall<S: CycleSink>(&mut self, addr: MicroAddr, cycles: u32, sink: &mut S) {
+    /// Burn `cycles` stall cycles charged to `addr`, tagged with `cause`
+    /// for the trace (the histogram only keys stalls by µPC).
+    pub(crate) fn stall<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        cycles: u32,
+        cause: StallCause,
+        sink: &mut S,
+    ) {
         if cycles == 0 {
             return;
         }
         sink.record_stall(addr, cycles);
+        sink.trace_event(MachineEvent::Stall { cause, cycles });
         for _ in 0..cycles {
-            self.ib.tick(&mut self.mem, self.now, true);
+            let fetch = self.ib.tick(&mut self.mem, self.now, true);
+            note_ib_fetch(fetch, sink);
             self.now += 1;
         }
     }
@@ -215,7 +235,7 @@ impl Cpu {
         loop {
             match self.mem.translate(va, Stream::Data) {
                 Ok(pa) => return Ok(pa),
-                Err(_) => self.tb_microtrap(va, sink)?,
+                Err(_) => self.tb_microtrap(va, MemStream::Data, sink)?,
             }
         }
     }
@@ -226,6 +246,7 @@ impl Cpu {
     pub(crate) fn tb_microtrap<S: CycleSink>(
         &mut self,
         va: u32,
+        stream: MemStream,
         sink: &mut S,
     ) -> Result<(), Fault> {
         self.micro_compute(self.cs.abort(), sink);
@@ -233,22 +254,36 @@ impl Cpu {
         for _ in 0..self.config.tb_miss_head_cycles {
             self.micro_compute(self.cs.tb_miss_body(), sink);
         }
-        let fill = self.mem.tb_fill(va, self.now).map_err(Fault::from)?;
+        let fill = self.mem.tb_fill(va, self.now);
+        // The fill's PTE reads went through the cache as D-stream
+        // references (even for an I-stream miss, and even when the walk
+        // ends in a fault) — attribute them before acting on the result.
+        let (sys_read, pte_read) = self.mem.last_fill_reads();
+        for outcome in [sys_read, pte_read].into_iter().flatten() {
+            note_data_read(outcome.miss, sink);
+        }
+        sink.trace_event(MachineEvent::TbMiss {
+            stream,
+            double: sys_read.is_some(),
+        });
+        let fill = fill.map_err(Fault::from)?;
         if let Some(sys) = fill.system_fill {
             for _ in 0..self.config.tb_miss_double_cycles {
                 self.micro_compute(self.cs.tb_miss_body(), sink);
             }
             let addr = self.cs.tb_miss_sys_read();
             sink.record_issue(addr);
-            self.ib.tick(&mut self.mem, self.now, false);
+            let fetch = self.ib.tick(&mut self.mem, self.now, false);
+            note_ib_fetch(fetch, sink);
             self.now += 1;
-            self.stall(addr, sys.stall, sink);
+            self.stall(addr, sys.stall, StallCause::Read, sink);
         }
         let addr = self.cs.tb_miss_pte_read();
         sink.record_issue(addr);
-        self.ib.tick(&mut self.mem, self.now, false);
+        let fetch = self.ib.tick(&mut self.mem, self.now, false);
+        note_ib_fetch(fetch, sink);
         self.now += 1;
-        self.stall(addr, fill.pte_read.stall, sink);
+        self.stall(addr, fill.pte_read.stall, StallCause::Read, sink);
         for _ in 0..self.config.tb_miss_tail_cycles {
             self.micro_compute(self.cs.tb_miss_insert(), sink);
         }
@@ -265,10 +300,12 @@ impl Cpu {
     ) -> Result<u32, Fault> {
         let pa = self.translate_data(va, sink)?;
         sink.record_issue(addr);
-        self.ib.tick(&mut self.mem, self.now, false);
+        let fetch = self.ib.tick(&mut self.mem, self.now, false);
+        note_ib_fetch(fetch, sink);
         let outcome = self.mem.read(pa, width, self.now);
+        note_data_read(outcome.miss, sink);
         self.now += 1;
-        self.stall(addr, outcome.stall, sink);
+        self.stall(addr, outcome.stall, StallCause::Read, sink);
         Ok(outcome.value)
     }
 
@@ -283,10 +320,12 @@ impl Cpu {
     ) -> Result<(), Fault> {
         let pa = self.translate_data(va, sink)?;
         sink.record_issue(addr);
-        self.ib.tick(&mut self.mem, self.now, false);
+        let fetch = self.ib.tick(&mut self.mem, self.now, false);
+        note_ib_fetch(fetch, sink);
         let outcome = self.mem.write(pa, width, value, self.now);
+        note_data_write(self.mem.write_buffer_occupancy(), sink);
         self.now += 1;
-        self.stall(addr, outcome.stall, sink);
+        self.stall(addr, outcome.stall, StallCause::Write, sink);
         Ok(())
     }
 
@@ -345,7 +384,11 @@ impl Cpu {
             // Byte-wise split keeps each physical write aligned; charge the
             // first byte at the caller's address, the rest to alignment
             // microcode.
-            let a = if i == 0 { addr } else { self.cs.memmgmt_write() };
+            let a = if i == 0 {
+                addr
+            } else {
+                self.cs.memmgmt_write()
+            };
             if i == lo_bytes {
                 self.micro_compute(self.cs.memmgmt_compute(), sink);
             }
@@ -386,10 +429,12 @@ impl Cpu {
         sink: &mut S,
     ) -> u32 {
         sink.record_issue(addr);
-        self.ib.tick(&mut self.mem, self.now, false);
+        let fetch = self.ib.tick(&mut self.mem, self.now, false);
+        note_ib_fetch(fetch, sink);
         let outcome = self.mem.read(pa & !3, Width::Long, self.now);
+        note_data_read(outcome.miss, sink);
         self.now += 1;
-        self.stall(addr, outcome.stall, sink);
+        self.stall(addr, outcome.stall, StallCause::Read, sink);
         outcome.value
     }
 
@@ -402,10 +447,12 @@ impl Cpu {
         sink: &mut S,
     ) {
         sink.record_issue(addr);
-        self.ib.tick(&mut self.mem, self.now, false);
+        let fetch = self.ib.tick(&mut self.mem, self.now, false);
+        note_ib_fetch(fetch, sink);
         let outcome = self.mem.write(pa & !3, Width::Long, value, self.now);
+        note_data_write(self.mem.write_buffer_occupancy(), sink);
         self.now += 1;
-        self.stall(addr, outcome.stall, sink);
+        self.stall(addr, outcome.stall, StallCause::Write, sink);
     }
 
     // ----- IB consumption ---------------------------------------------------
@@ -423,13 +470,34 @@ impl Cpu {
                 return Ok(b);
             }
             if let Some(va) = self.ib.tb_miss() {
-                self.tb_microtrap(va, sink)?;
+                self.tb_microtrap(va, MemStream::IFetch, sink)?;
                 self.ib.clear_tb_miss();
                 continue;
             }
             // Starved: execute the IB-stall dispatch microinstruction.
+            // These are issued cycles, not `record_stall` stalls, so the
+            // trace carries the cause explicitly.
+            sink.trace_event(MachineEvent::Stall {
+                cause: StallCause::Ib(point),
+                cycles: 1,
+            });
             self.micro_compute(self.cs.ib_stall(point), sink);
         }
+    }
+
+    /// Flush the IB for an execution redirect (taken branch, interrupt,
+    /// exception). A flagged-but-unserviced I-stream TB miss is reported
+    /// to the sink before it is discarded: the hardware monitor counted
+    /// it when the prefetcher hit it, so the trace must see it too or the
+    /// two instruments drift apart.
+    pub(crate) fn flush_ib<S: CycleSink>(&mut self, pc: u32, sink: &mut S) {
+        if self.ib.tb_miss().is_some() {
+            sink.trace_event(MachineEvent::TbMiss {
+                stream: MemStream::IFetch,
+                double: false,
+            });
+        }
+        self.ib.flush(pc);
     }
 
     /// Take a little-endian word from the I-stream.
@@ -478,18 +546,20 @@ impl Cpu {
                 self.deliver_exception(fault, pc_at_start, sink)?;
                 Ok(StepOutcome::Exception(fault))
             }
-            Err(ExecStop::Halt) => Err(CpuError::Halted {
-                pc: self.regs.pc(),
-            }),
+            Err(ExecStop::Halt) => Err(CpuError::Halted { pc: self.regs.pc() }),
         }
     }
 
     fn execute_one<S: CycleSink>(&mut self, sink: &mut S) -> Result<Opcode, ExecStop> {
+        let pc_at_start = self.regs.pc();
         let opbyte = self
             .ib_take_byte(StallPoint::Decode, sink)
             .map_err(ExecStop::Fault)?;
-        let opcode = Opcode::from_byte(opbyte)
-            .ok_or(ExecStop::Fault(Fault::ReservedInstruction { opcode: opbyte }))?;
+        let opcode =
+            Opcode::from_byte(opbyte).ok_or(ExecStop::Fault(Fault::ReservedInstruction {
+                opcode: opbyte,
+            }))?;
+        sink.trace_event(MachineEvent::Decode { opcode });
         // The non-overlapped decode cycle (§2.1). The 11/750-style ablation
         // folds it away for non-PC-changing instructions (§5).
         if !self.config.decode_overlap || opcode.is_pc_changing() {
@@ -510,14 +580,14 @@ impl Cpu {
         for (i, template) in opcode.operands().iter().enumerate() {
             if template.is_branch_displacement() {
                 let disp = match template.data_type() {
-                    DataType::Byte => self
-                        .ib_take_byte(StallPoint::BranchDisp, sink)
-                        .map_err(ExecStop::Fault)? as i8
-                        as i32,
-                    DataType::Word => self
-                        .ib_take_u16(StallPoint::BranchDisp, sink)
-                        .map_err(ExecStop::Fault)? as i16
-                        as i32,
+                    DataType::Byte => {
+                        self.ib_take_byte(StallPoint::BranchDisp, sink)
+                            .map_err(ExecStop::Fault)? as i8 as i32
+                    }
+                    DataType::Word => {
+                        self.ib_take_u16(StallPoint::BranchDisp, sink)
+                            .map_err(ExecStop::Fault)? as i16 as i32
+                    }
                     other => unreachable!("displacement of type {other}"),
                 };
                 // The displacement bytes are consumed here (IB stalls land
@@ -527,13 +597,19 @@ impl Cpu {
                 // instruction does not branch".
                 branch_disp = Some(disp);
             } else {
-                let op = specifier::eval_specifier(self, i, *template, sink)
-                    .map_err(ExecStop::Fault)?;
+                let op =
+                    specifier::eval_specifier(self, i, *template, sink).map_err(ExecStop::Fault)?;
                 ops.push(op);
             }
         }
         // Execute phase.
+        let specifiers = (ops.len() + usize::from(branch_disp.is_some())) as u8;
         exec::execute(self, opcode, &ops, branch_disp, sink)?;
+        sink.trace_event(MachineEvent::Retire {
+            opcode,
+            pc: pc_at_start,
+            specifiers,
+        });
         Ok(opcode)
     }
 
@@ -564,6 +640,7 @@ impl Cpu {
                 (level, scb::SOFTWARE_BASE + 4 * u16::from(level))
             }
         };
+        sink.trace_event(MachineEvent::InterruptEntry { ipl });
         let (u_entry, u_body, u_read, u_write) = (
             self.cs.int_entry(),
             self.cs.int_body(),
@@ -602,7 +679,7 @@ impl Cpu {
         }
         let handler = self.micro_read_phys(u_read, self.scbb + u32::from(vector), sink);
         self.regs.set_pc(handler);
-        self.ib.flush(handler);
+        self.flush_ib(handler, sink);
     }
 
     /// Exception-service microcode; delivers `fault` through the SCB.
@@ -617,6 +694,7 @@ impl Cpu {
             Fault::LengthViolation { .. } => scb::ACCESS_VIOLATION,
             Fault::ReservedInstruction { .. } | Fault::Privileged => scb::RESERVED_INSTRUCTION,
         };
+        sink.trace_event(MachineEvent::ExceptionEntry);
         let (u_abort, u_entry, u_body, u_read, u_write) = (
             self.cs.abort(),
             self.cs.exc_entry(),
@@ -646,7 +724,7 @@ impl Cpu {
             });
         }
         self.regs.set_pc(handler);
-        self.ib.flush(handler);
+        self.flush_ib(handler, sink);
         Ok(())
     }
 
@@ -689,6 +767,42 @@ impl From<Fault> for ExecStop {
     fn from(f: Fault) -> ExecStop {
         ExecStop::Fault(f)
     }
+}
+
+/// Report an IB prefetch issued this cycle (if any) to the sink.
+#[inline]
+fn note_ib_fetch<S: CycleSink>(fetch: Option<bool>, sink: &mut S) {
+    if let Some(miss) = fetch {
+        sink.trace_event(MachineEvent::CacheAccess {
+            stream: MemStream::IFetch,
+            hit: !miss,
+        });
+        if miss {
+            sink.trace_event(MachineEvent::Sbi { read: true });
+        }
+    }
+}
+
+/// Report a D-stream cache read (and its SBI fill, on a miss).
+#[inline]
+fn note_data_read<S: CycleSink>(miss: bool, sink: &mut S) {
+    sink.trace_event(MachineEvent::CacheAccess {
+        stream: MemStream::Data,
+        hit: !miss,
+    });
+    if miss {
+        sink.trace_event(MachineEvent::Sbi { read: true });
+    }
+}
+
+/// Report a write entering the write buffer (every write also goes out
+/// on the SBI — the cache is write-through).
+#[inline]
+fn note_data_write<S: CycleSink>(occupancy: usize, sink: &mut S) {
+    sink.trace_event(MachineEvent::WriteBuffer {
+        occupancy: occupancy.min(usize::from(u8::MAX)) as u8,
+    });
+    sink.trace_event(MachineEvent::Sbi { read: false });
 }
 
 #[inline]

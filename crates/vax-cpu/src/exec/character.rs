@@ -38,7 +38,16 @@ pub(super) fn exec<S: CycleSink>(
             let fill = ops[2].u32() as u8;
             let dstlen = ops[3].u32() & 0xFFFF;
             let dst = ops[4].addr();
-            move_bytes(cpu, op, src, dst, srclen.min(dstlen), Some(fill), dstlen, sink)?;
+            move_bytes(
+                cpu,
+                op,
+                src,
+                dst,
+                srclen.min(dstlen),
+                Some(fill),
+                dstlen,
+                sink,
+            )?;
             // Condition codes compare the source and destination lengths.
             let diff = srclen.wrapping_sub(dstlen);
             cpu.psl.z = srclen == dstlen;

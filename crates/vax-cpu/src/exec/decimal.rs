@@ -205,7 +205,13 @@ fn write_packed<S: CycleSink>(
             let lo_index = hi_index - 1;
             (digs[hi_index] << 4) | digs[lo_index]
         };
-        cpu.write_data(cpu.cs.exec_write(op), addr + i, Width::Byte, u32::from(byte), sink)?;
+        cpu.write_data(
+            cpu.cs.exec_write(op),
+            addr + i,
+            Width::Byte,
+            u32::from(byte),
+            sink,
+        )?;
     }
     Ok(())
 }

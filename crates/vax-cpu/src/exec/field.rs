@@ -174,8 +174,10 @@ fn write_field<S: CycleSink>(
             both = (both & !(mask << pos)) | ((u64::from(value) & mask) << pos);
             cpu.regs.set(r, both as u32);
             if pos + size > 32 {
-                cpu.regs
-                    .set(Reg::from_number((r.number() + 1) & 0xF), (both >> 32) as u32);
+                cpu.regs.set(
+                    Reg::from_number((r.number() + 1) & 0xF),
+                    (both >> 32) as u32,
+                );
             }
             Ok(())
         }
@@ -192,8 +194,7 @@ fn write_field<S: CycleSink>(
             } else {
                 let lw1 = cpu.read_data(cpu.cs.exec_read(op), base_lw + 4, Width::Long, sink)?;
                 let mut both = u64::from(lw0) | (u64::from(lw1) << 32);
-                both =
-                    (both & !(mask << off_bits)) | ((u64::from(value) & mask) << off_bits);
+                both = (both & !(mask << off_bits)) | ((u64::from(value) & mask) << off_bits);
                 cpu.write_data(
                     cpu.cs.exec_write(op),
                     base_lw,

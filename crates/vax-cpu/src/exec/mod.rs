@@ -74,7 +74,7 @@ pub(crate) fn take_branch<S: CycleSink>(
 ) {
     cpu.micro_compute(cpu.cs.branch_taken(class), sink);
     cpu.regs.set_pc(target);
-    cpu.ib.flush(target);
+    cpu.flush_ib(target, sink);
 }
 
 /// Push a longword (stack write in the execute row).

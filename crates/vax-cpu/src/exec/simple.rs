@@ -2,8 +2,8 @@
 //! and all the simple/loop/case/subroutine control flow.
 
 use super::{
-    add_cc, computes, disp_target, mask_of, pop_long, push_long, set_nz, sext, store,
-    sub_cc, take_branch,
+    add_cc, computes, disp_target, mask_of, pop_long, push_long, set_nz, sext, store, sub_cc,
+    take_branch,
 };
 use crate::cpu::Cpu;
 use crate::fault::Fault;
@@ -103,7 +103,12 @@ pub(super) fn exec<S: CycleSink>(
         }
         Sbwc => {
             let borrow = u32::from(cpu.psl.c);
-            let r = sub_cc(cpu, ops[1].u32(), ops[0].u32().wrapping_add(borrow), DataType::Long);
+            let r = sub_cc(
+                cpu,
+                ops[1].u32(),
+                ops[0].u32().wrapping_add(borrow),
+                DataType::Long,
+            );
             store(cpu, &ops[1], u64::from(r), sink)?;
         }
         Incb | Incw | Incl => {
@@ -228,7 +233,11 @@ pub(super) fn exec<S: CycleSink>(
             let idx = (ops[1].u32() as i32).wrapping_add(1);
             set_nz(cpu, idx as u32, DataType::Long, sink);
             store(cpu, &ops[1], idx as u32 as u64, sink)?;
-            let go = if op == Aoblss { idx < limit } else { idx <= limit };
+            let go = if op == Aoblss {
+                idx < limit
+            } else {
+                idx <= limit
+            };
             if go {
                 let t = disp_target(cpu, disp.expect("displacement decoded"), sink);
                 take_branch(cpu, BranchClass::Loop, t, sink);

@@ -7,7 +7,7 @@ use crate::fault::Fault;
 use crate::ipr::IprReg;
 use crate::psl::{Mode, Psl};
 use crate::specifier::EvalOps;
-use upc_monitor::CycleSink;
+use upc_monitor::{CycleSink, MachineEvent};
 use vax_arch::{BranchClass, Opcode, Reg};
 use vax_mem::{AddressSpace, Width};
 
@@ -156,8 +156,7 @@ fn chmx<S: CycleSink>(cpu: &mut Cpu, op: Opcode, code: u16, sink: &mut S) -> Res
         Opcode::Chms => scb::CHMS,
         _ => scb::CHMU,
     };
-    let handler =
-        cpu.micro_read_phys(cpu.cs.exec_read(op), cpu.scbb + u32::from(vector), sink);
+    let handler = cpu.micro_read_phys(cpu.cs.exec_read(op), cpu.scbb + u32::from(vector), sink);
     take_branch(cpu, BranchClass::SystemBranch, handler, sink);
     Ok(())
 }
@@ -255,6 +254,7 @@ fn ldpctx<S: CycleSink>(cpu: &mut Cpu, op: Opcode, sink: &mut S) {
         p1br,
         p1lr,
     });
+    sink.trace_event(MachineEvent::ContextSwitch { new_space: p0br });
     // Install the stack banks, then continue in kernel mode on the new
     // process's kernel stack.
     let kernel = Psl {

@@ -70,8 +70,8 @@ impl SimpleMachine {
             mem.phys_mut().write_u32(scb_pa + v * 4, stub_va);
         }
         // The stub: REI (pops PC/PSL pushed by the event).
-        let stub_pa = vax_mem::resolve_va(mem.phys(), &system, &space, stub_va)
-            .expect("kernel page mapped");
+        let stub_pa =
+            vax_mem::resolve_va(mem.phys(), &system, &space, stub_va).expect("kernel page mapped");
         mem.phys_mut()
             .write_u8(stub_pa, vax_arch::Opcode::Rei.to_byte());
 
@@ -85,7 +85,8 @@ impl SimpleMachine {
             interrupt_stack: true,
             ..crate::Psl::kernel_boot()
         };
-        cpu.regs_mut().set_banked_sp(&on_is, kernel_va + 4 * PAGE_BYTES);
+        cpu.regs_mut()
+            .set_banked_sp(&on_is, kernel_va + 4 * PAGE_BYTES);
         // User stack: top of P1.
         let user = crate::Psl::default();
         cpu.regs_mut().set_banked_sp(&user, space.stack_top());
@@ -104,11 +105,8 @@ mod tests {
         let mut asm = Assembler::new(0x200);
         asm.inst(Opcode::Movl, &[Operand::Literal(5), Operand::Reg(Reg::R0)])
             .unwrap();
-        asm.inst(
-            Opcode::Addl2,
-            &[Operand::Literal(3), Operand::Reg(Reg::R0)],
-        )
-        .unwrap();
+        asm.inst(Opcode::Addl2, &[Operand::Literal(3), Operand::Reg(Reg::R0)])
+            .unwrap();
         asm.inst(Opcode::Halt, &[]).unwrap();
         let image = asm.finish().unwrap();
         let mut m = SimpleMachine::with_code(&image);

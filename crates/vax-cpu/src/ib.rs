@@ -99,7 +99,11 @@ impl InstructionBuffer {
 
     /// One prefetcher cycle at time `now`. `port_free` is false when the
     /// EBOX is using the cache this cycle (the EBOX has priority).
-    pub fn tick(&mut self, mem: &mut MemorySubsystem, now: u64, port_free: bool) {
+    ///
+    /// Returns `Some(miss)` when a cache reference was issued this cycle
+    /// (so the caller can attribute the I-stream cache/SBI activity to
+    /// its observers), `None` otherwise.
+    pub fn tick(&mut self, mem: &mut MemorySubsystem, now: u64, port_free: bool) -> Option<bool> {
         // Accept a completed fill first.
         if let Some(fill) = self.pending {
             if fill.ready_at <= now {
@@ -117,11 +121,7 @@ impl InstructionBuffer {
         }
         // Issue a new reference if there is room, no fill in flight, no
         // unserviced TB miss, and the cache port is free.
-        if self.pending.is_none()
-            && self.tb_miss_va.is_none()
-            && self.len < IB_BYTES
-            && port_free
-        {
+        if self.pending.is_none() && self.tb_miss_va.is_none() && self.len < IB_BYTES && port_free {
             match mem.translate(self.fetch_va, Stream::IFetch) {
                 Ok(pa) => {
                     let outcome = mem.ifetch(pa & !3, now);
@@ -130,12 +130,14 @@ impl InstructionBuffer {
                         ready_at: outcome.ready_at,
                         va: self.fetch_va,
                     });
+                    return Some(outcome.miss);
                 }
                 Err(_) => {
                     self.tb_miss_va = Some(self.fetch_va);
                 }
             }
         }
+        None
     }
 }
 
@@ -165,7 +167,7 @@ mod tests {
         let mut now = 10;
         let mut got = Vec::new();
         while got.len() < 8 && now < 200 {
-            ib.tick(&mut mem, now, true);
+            let _ = ib.tick(&mut mem, now, true);
             if let Some(b) = ib.take_byte() {
                 got.push(b);
             }
@@ -180,7 +182,7 @@ mod tests {
         let (mut mem, pc) = machine_with_code(&code);
         // No tb_fill: the first reference misses.
         let mut ib = InstructionBuffer::new(pc);
-        ib.tick(&mut mem, 0, true);
+        let _ = ib.tick(&mut mem, 0, true);
         assert_eq!(ib.tb_miss(), Some(pc));
         assert_eq!(ib.available(), 0);
         // Service it; fetching resumes.
@@ -188,7 +190,7 @@ mod tests {
         ib.clear_tb_miss();
         let mut now = 20;
         while ib.available() == 0 && now < 100 {
-            ib.tick(&mut mem, now, true);
+            let _ = ib.tick(&mut mem, now, true);
             now += 1;
         }
         assert!(ib.available() > 0);
@@ -201,14 +203,14 @@ mod tests {
         mem.tb_fill(pc, 0).unwrap();
         let mut ib = InstructionBuffer::new(pc);
         for now in 10..40 {
-            ib.tick(&mut mem, now, true);
+            let _ = ib.tick(&mut mem, now, true);
         }
         assert!(ib.available() > 0);
         ib.flush(pc + 16);
         assert_eq!(ib.available(), 0);
         let mut now = 50;
         while ib.available() == 0 && now < 150 {
-            ib.tick(&mut mem, now, true);
+            let _ = ib.tick(&mut mem, now, true);
             now += 1;
         }
         assert_eq!(ib.take_byte(), Some(17), "refetched from the new PC");
@@ -220,9 +222,9 @@ mod tests {
         let (mut mem, pc) = machine_with_code(&code);
         mem.tb_fill(pc, 0).unwrap();
         let mut ib = InstructionBuffer::new(pc);
-        ib.tick(&mut mem, 0, false);
+        let _ = ib.tick(&mut mem, 0, false);
         assert_eq!(mem.counters().ib_requests, 0, "no request while port busy");
-        ib.tick(&mut mem, 1, true);
+        let _ = ib.tick(&mut mem, 1, true);
         assert_eq!(mem.counters().ib_requests, 1);
     }
 
@@ -236,18 +238,18 @@ mod tests {
         let mut ib = InstructionBuffer::new(pc);
         let mut now = 0;
         while ib.available() < 8 {
-            ib.tick(&mut mem, now, true);
+            let _ = ib.tick(&mut mem, now, true);
             now += 1;
             assert!(now < 100);
         }
         let reqs_full = mem.counters().ib_requests;
         // Full: ticks issue no new requests.
-        ib.tick(&mut mem, now, true);
+        let _ = ib.tick(&mut mem, now, true);
         assert_eq!(mem.counters().ib_requests, reqs_full);
         // One byte of room: a new request goes out even though the target
         // longword was already referenced (partial acceptance).
         ib.take_byte();
-        ib.tick(&mut mem, now + 1, true);
+        let _ = ib.tick(&mut mem, now + 1, true);
         assert_eq!(mem.counters().ib_requests, reqs_full + 1);
     }
 }

@@ -271,8 +271,10 @@ pub(crate) fn store_operand<S: CycleSink>(
             cpu.micro_compute(cpu.cs.spec_compute(eop.pos, eop.class), sink);
             if is_quad(eop.dtype) {
                 cpu.regs.set(r, value as u32);
-                cpu.regs
-                    .set(Reg::from_number((r.number() + 1) & 0xF), (value >> 32) as u32);
+                cpu.regs.set(
+                    Reg::from_number((r.number() + 1) & 0xF),
+                    (value >> 32) as u32,
+                );
             } else {
                 // Sub-longword register writes merge into the low bits.
                 let old = cpu.regs.get(r);

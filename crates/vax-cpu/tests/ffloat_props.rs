@@ -15,10 +15,16 @@ fn cvt_round_trip(x: i32) -> i32 {
         &[Operand::Immediate(x as u32 as u64), Operand::Reg(Reg::R0)],
     )
     .unwrap();
-    asm.inst(Opcode::Cvtlf, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R1)])
-        .unwrap();
-    asm.inst(Opcode::Cvtfl, &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R2)])
-        .unwrap();
+    asm.inst(
+        Opcode::Cvtlf,
+        &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R1)],
+    )
+    .unwrap();
+    asm.inst(
+        Opcode::Cvtfl,
+        &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R2)],
+    )
+    .unwrap();
     asm.inst(Opcode::Halt, &[]).unwrap();
     let mut m = SimpleMachine::with_code(&asm.finish().unwrap());
     let _ = m.cpu.run(100, &mut NullSink);

@@ -109,7 +109,10 @@ fn reserved_instruction_faults_through_scb() {
     for _ in 0..10 {
         match m.cpu.step(&mut board) {
             Ok(vax_cpu::StepOutcome::Exception(f)) => {
-                assert!(matches!(f, vax_cpu::Fault::ReservedInstruction { opcode: 0xFF }));
+                assert!(matches!(
+                    f,
+                    vax_cpu::Fault::ReservedInstruction { opcode: 0xFF }
+                ));
                 saw_exception = true;
                 break;
             }

@@ -231,18 +231,12 @@ fn pushr_popr_round_trip() {
             .unwrap();
         asm.inst(Opcode::Movl, &[Operand::Literal(2), Operand::Reg(Reg::R2)])
             .unwrap();
-        asm.inst(
-            Opcode::Pushr,
-            &[Operand::Immediate((1 << 1) | (1 << 2))],
-        )
-        .unwrap();
+        asm.inst(Opcode::Pushr, &[Operand::Immediate((1 << 1) | (1 << 2))])
+            .unwrap();
         asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R1)]).unwrap();
         asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R2)]).unwrap();
-        asm.inst(
-            Opcode::Popr,
-            &[Operand::Immediate((1 << 1) | (1 << 2))],
-        )
-        .unwrap();
+        asm.inst(Opcode::Popr, &[Operand::Immediate((1 << 1) | (1 << 2))])
+            .unwrap();
     });
     assert_eq!(r(&m, Reg::R1), 1);
     assert_eq!(r(&m, Reg::R2), 2);
@@ -286,7 +280,10 @@ fn string_move_and_compare() {
         asm.place(done).unwrap();
     });
     // Z is PSL bit 2.
-    assert!(r(&m, Reg::R8) & 0x4 != 0, "strings compare equal after move");
+    assert!(
+        r(&m, Reg::R8) & 0x4 != 0,
+        "strings compare equal after move"
+    );
     assert_eq!(r(&m, Reg::R0), 0, "cmpc3 leaves zero remainder");
 }
 
@@ -690,8 +687,11 @@ fn cpi_of_simple_loop_is_plausible() {
     let top = asm.label_here();
     asm.inst(Opcode::Addl2, &[Operand::Literal(1), Operand::Reg(Reg::R1)])
         .unwrap();
-    asm.inst(Opcode::Addl2, &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R2)])
-        .unwrap();
+    asm.inst(
+        Opcode::Addl2,
+        &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R2)],
+    )
+    .unwrap();
     asm.branch(Opcode::Sobgtr, &[Operand::Reg(Reg::R0)], top)
         .unwrap();
     asm.inst(Opcode::Halt, &[]).unwrap();

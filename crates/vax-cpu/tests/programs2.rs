@@ -113,8 +113,11 @@ fn scanc_and_spanc_use_the_table() {
             ],
         )
         .unwrap();
-        asm.inst(Opcode::Movl, &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R4)])
-            .unwrap();
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Reg(Reg::R0), Operand::Reg(Reg::R4)],
+        )
+        .unwrap();
         let done = asm.new_label();
         asm.branch(Opcode::Brb, &[], done).unwrap();
         asm.place(data).unwrap();
@@ -391,7 +394,10 @@ fn callg_passes_an_arglist() {
         asm.moval_pcrel(arglist, Operand::Reg(Reg::R9)).unwrap();
         asm.inst(
             Opcode::Callg,
-            &[Operand::RegDeferred(Reg::R9), Operand::RegDeferred(Reg::R10)],
+            &[
+                Operand::RegDeferred(Reg::R9),
+                Operand::RegDeferred(Reg::R10),
+            ],
         )
         .unwrap();
         let done = asm.new_label();

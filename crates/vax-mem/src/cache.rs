@@ -139,10 +139,7 @@ mod tests {
         // A third conflicting block evicts one of them.
         c.fill(0x040);
         assert!(c.probe(0x040));
-        let survivors = [0x000, 0x020]
-            .iter()
-            .filter(|&&pa| c.probe(pa))
-            .count();
+        let survivors = [0x000, 0x020].iter().filter(|&&pa| c.probe(pa)).count();
         assert_eq!(survivors, 1);
     }
 

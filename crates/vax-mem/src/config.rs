@@ -4,11 +4,9 @@
 //! companion cache study; the fields exist so the ablation benches can
 //! sweep geometry.
 
-use serde::{Deserialize, Serialize};
-
 /// Data cache geometry and policy (fixed: write-through, no write-allocate,
 /// as on the 11/780).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total size in bytes. 11/780: 8 KB.
     pub size_bytes: u32,
@@ -52,7 +50,7 @@ impl Default for CacheConfig {
 /// The 11/780 TB holds 128 entries, 2-way set associative, split into a
 /// system half and a process half; the process half is flushed on context
 /// switch (paper §3.4, \[3\]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TbConfig {
     /// Total entries. 11/780: 128.
     pub entries: u32,
@@ -89,7 +87,7 @@ impl Default for TbConfig {
 }
 
 /// Full memory-subsystem configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
     /// Physical memory size in bytes (power of two). The measured machines
     /// had 8 MB (paper §2.2).

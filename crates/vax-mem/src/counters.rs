@@ -6,11 +6,9 @@
 //! from the histogram; it reads them from here, clearly labelled as a
 //! second instrument.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulated hardware events. All counts are totals over a run; the
 /// analysis divides by the instruction count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HwCounters {
     /// Longword read requests issued by the instruction buffer.
     pub ib_requests: u64,
@@ -69,6 +67,28 @@ impl HwCounters {
         self.tb_hits += other.tb_hits;
         self.sbi_reads += other.sbi_reads;
         self.sbi_writes += other.sbi_writes;
+    }
+
+    /// Counts accumulated since `base` was captured (field-wise
+    /// difference). Used to compare instruments that attached after the
+    /// machine already ran — e.g. a tracer attached post-warmup.
+    pub fn delta_since(&self, base: &HwCounters) -> HwCounters {
+        HwCounters {
+            ib_requests: self.ib_requests - base.ib_requests,
+            ib_bytes_delivered: self.ib_bytes_delivered - base.ib_bytes_delivered,
+            cache_hit_i: self.cache_hit_i - base.cache_hit_i,
+            cache_miss_i: self.cache_miss_i - base.cache_miss_i,
+            cache_hit_d: self.cache_hit_d - base.cache_hit_d,
+            cache_miss_d: self.cache_miss_d - base.cache_miss_d,
+            writes: self.writes - base.writes,
+            write_hits: self.write_hits - base.write_hits,
+            unaligned_refs: self.unaligned_refs - base.unaligned_refs,
+            tb_miss_d: self.tb_miss_d - base.tb_miss_d,
+            tb_miss_i: self.tb_miss_i - base.tb_miss_i,
+            tb_hits: self.tb_hits - base.tb_hits,
+            sbi_reads: self.sbi_reads - base.sbi_reads,
+            sbi_writes: self.sbi_writes - base.sbi_writes,
+        }
     }
 
     /// Total cache read misses (both streams).

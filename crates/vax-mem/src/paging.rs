@@ -171,12 +171,7 @@ pub fn pte_location(sys: &SystemMap, space: &AddressSpace, va: u32) -> Option<Pt
 /// Software page-table walk (no cache/TB effects): resolve `va` to a
 /// physical address. Used when *loading* machine images, not during
 /// simulation.
-pub fn resolve_va(
-    phys: &PhysMem,
-    sys: &SystemMap,
-    space: &AddressSpace,
-    va: u32,
-) -> Option<u32> {
+pub fn resolve_va(phys: &PhysMem, sys: &SystemMap, space: &AddressSpace, va: u32) -> Option<u32> {
     let loc = pte_location(sys, space, va)?;
     let pte_pa = match loc {
         PteLocation::Physical(pa) => pa,

@@ -129,6 +129,11 @@ pub struct MemorySubsystem {
     system: SystemMap,
     space: AddressSpace,
     counters: HwCounters,
+    /// Cache-read outcomes of the most recent [`MemorySubsystem::tb_fill`]
+    /// call `(system PTE read, process/system PTE read)`, recorded even
+    /// when the fill ends in a fault. The tracer needs them: a faulting
+    /// fill still made cache references that the hardware counters saw.
+    last_fill_reads: (Option<ReadOutcome>, Option<ReadOutcome>),
 }
 
 impl MemorySubsystem {
@@ -144,6 +149,7 @@ impl MemorySubsystem {
             system: SystemMap { sbr: 0, slr: 0 },
             space: AddressSpace::empty(),
             counters: HwCounters::new(),
+            last_fill_reads: (None, None),
             config,
         }
     }
@@ -239,6 +245,7 @@ impl MemorySubsystem {
     ///
     /// Returns [`MemFault`] for length violations or invalid PTEs.
     pub fn tb_fill(&mut self, va: u32, now: u64) -> Result<TbFill, MemFault> {
+        self.last_fill_reads = (None, None);
         let loc = paging::pte_location(&self.system, &self.space, va)
             .ok_or(MemFault::LengthViolation { va })?;
         let (system_fill, pte_pa) = match loc {
@@ -250,9 +257,8 @@ impl MemorySubsystem {
                     None => {
                         // The nested system fill is part of servicing the
                         // original miss: one miss-routine entry, one count.
-                        let outer_loc =
-                            paging::pte_location(&self.system, &self.space, sva)
-                                .ok_or(MemFault::LengthViolation { va })?;
+                        let outer_loc = paging::pte_location(&self.system, &self.space, sva)
+                            .ok_or(MemFault::LengthViolation { va })?;
                         let outer_pa = match outer_loc {
                             PteLocation::Physical(pa) => pa,
                             PteLocation::SystemVirtual(_) => {
@@ -260,15 +266,13 @@ impl MemorySubsystem {
                             }
                         };
                         let outcome = self.cached_read_u32(outer_pa, now, Stream::Data);
+                        self.last_fill_reads.0 = Some(outcome);
                         let outer = Pte::from_raw(outcome.value);
                         if !outer.is_valid() {
                             return Err(MemFault::PageFault { va: sva });
                         }
                         self.tb.insert(sva, outer);
-                        (
-                            Some(outcome),
-                            outer.frame_pa() + (sva & (PAGE_BYTES - 1)),
-                        )
+                        (Some(outcome), outer.frame_pa() + (sva & (PAGE_BYTES - 1)))
                     }
                 };
                 (fill, pa)
@@ -276,6 +280,7 @@ impl MemorySubsystem {
         };
         let delay = system_fill.map_or(0, |f| u64::from(f.stall));
         let pte_read = self.cached_read_u32(pte_pa, now + delay, Stream::Data);
+        self.last_fill_reads.1 = Some(pte_read);
         let pte = Pte::from_raw(pte_read.value);
         if !pte.is_valid() {
             return Err(MemFault::PageFault { va });
@@ -328,7 +333,9 @@ impl MemorySubsystem {
                 Stream::Data => self.counters.cache_miss_d += 1,
             }
             self.counters.sbi_reads += 1;
-            let wait = self.sbi.acquire(now, u64::from(self.config.read_miss_cycles));
+            let wait = self
+                .sbi
+                .acquire(now, u64::from(self.config.read_miss_cycles));
             self.cache.fill(pa);
             ReadOutcome {
                 value,
@@ -400,7 +407,9 @@ impl MemorySubsystem {
         } else {
             self.counters.cache_miss_i += 1;
             self.counters.sbi_reads += 1;
-            let wait = self.sbi.acquire(now, u64::from(self.config.read_miss_cycles));
+            let wait = self
+                .sbi
+                .acquire(now, u64::from(self.config.read_miss_cycles));
             self.cache.fill(pa);
             IFetchOutcome {
                 data: value,
@@ -408,6 +417,20 @@ impl MemorySubsystem {
                 miss: true,
             }
         }
+    }
+
+    /// The cache-read outcomes of the most recent [`MemorySubsystem::tb_fill`],
+    /// `(system PTE read, PTE read)`, present even when the fill faulted.
+    /// Lets an observer attribute the fill's cache/SBI traffic without
+    /// changing `tb_fill`'s error type.
+    pub fn last_fill_reads(&self) -> (Option<ReadOutcome>, Option<ReadOutcome>) {
+        self.last_fill_reads
+    }
+
+    /// Write-buffer entries currently occupied (most recently completed
+    /// write included until its drain time passes).
+    pub fn write_buffer_occupancy(&self) -> usize {
+        self.wbuf.len()
     }
 
     /// Record bytes accepted by the IB (for the §4.1 statistic).
@@ -431,6 +454,7 @@ impl MemorySubsystem {
         self.sbi.reset();
         self.wbuf.clear();
         self.counters.clear();
+        self.last_fill_reads = (None, None);
     }
 
     /// Software page-table walk with no cache/TB/timing effects: would a

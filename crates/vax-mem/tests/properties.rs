@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use vax_mem::{
-    load_virtual, resolve_va, Cache, CacheConfig, MapBuilder, MemConfig, MemorySubsystem,
-    Stream, Tb, TbConfig, Width, PAGE_BYTES,
+    load_virtual, resolve_va, Cache, CacheConfig, MapBuilder, MemConfig, MemorySubsystem, Stream,
+    Tb, TbConfig, Width, PAGE_BYTES,
 };
 
 fn small_machine() -> MemorySubsystem {

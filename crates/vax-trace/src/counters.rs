@@ -1,0 +1,206 @@
+//! Lossless aggregate counts.
+//!
+//! The ring buffer may drop old events; these counters never do. They
+//! are the quantities the reconciliation checker compares against the
+//! histogram board and `HwCounters` — in particular `issues` and
+//! `stall_cycles`, whose sum is the tracer's derived cycle clock.
+
+use upc_monitor::events::{MachineEvent, MemStream, StallCause};
+
+/// Aggregated event totals for one traced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Microinstructions issued (one cycle each).
+    pub issues: u64,
+    /// Stall cycles charged (all causes).
+    pub stall_cycles: u64,
+    /// Stall cycles by cause: operand reads.
+    pub read_stall_cycles: u64,
+    /// Stall cycles by cause: writes into a full buffer.
+    pub write_stall_cycles: u64,
+    /// Stall cycles by cause: instruction buffer empty.
+    pub ib_stall_cycles: u64,
+    /// Opcode bytes decoded (IRD1 entries).
+    pub decodes: u64,
+    /// Instructions retired.
+    pub retires: u64,
+    /// Operand specifiers evaluated (summed over retires).
+    pub specifiers: u64,
+    /// Cache hits, I-stream.
+    pub cache_hit_i: u64,
+    /// Cache misses, I-stream.
+    pub cache_miss_i: u64,
+    /// Cache hits, D-stream.
+    pub cache_hit_d: u64,
+    /// Cache misses, D-stream.
+    pub cache_miss_d: u64,
+    /// TB misses, I-stream.
+    pub tb_miss_i: u64,
+    /// TB misses, D-stream.
+    pub tb_miss_d: u64,
+    /// TB misses that also missed on the system PTE (double misses).
+    pub tb_double_misses: u64,
+    /// Writes accepted into the write buffer.
+    pub writes_buffered: u64,
+    /// Highest write-buffer occupancy observed.
+    pub write_buffer_peak: u8,
+    /// SBI read (block-fill) transactions.
+    pub sbi_reads: u64,
+    /// SBI write transactions.
+    pub sbi_writes: u64,
+    /// Interrupts taken.
+    pub interrupts: u64,
+    /// Exceptions dispatched.
+    pub exceptions: u64,
+    /// LDPCTX context switches.
+    pub context_switches: u64,
+}
+
+impl TraceCounters {
+    /// Total cycles implied by the aggregates: `issues + stall_cycles`.
+    /// This must equal the histogram board's `total_cycles()` when both
+    /// instruments watch the same run — the paper's two-instrument
+    /// agreement, as an equation.
+    pub fn total_cycles(&self) -> u64 {
+        self.issues + self.stall_cycles
+    }
+
+    /// Fold one typed machine event into the aggregates.
+    #[inline]
+    pub fn apply(&mut self, event: MachineEvent) {
+        match event {
+            MachineEvent::Decode { .. } => self.decodes += 1,
+            MachineEvent::Retire { specifiers, .. } => {
+                self.retires += 1;
+                self.specifiers += u64::from(specifiers);
+            }
+            MachineEvent::Stall { cause, cycles } => match cause {
+                StallCause::Read => self.read_stall_cycles += u64::from(cycles),
+                StallCause::Write => self.write_stall_cycles += u64::from(cycles),
+                StallCause::Ib(_) => self.ib_stall_cycles += u64::from(cycles),
+            },
+            MachineEvent::CacheAccess { stream, hit } => {
+                let slot = match (stream, hit) {
+                    (MemStream::IFetch, true) => &mut self.cache_hit_i,
+                    (MemStream::IFetch, false) => &mut self.cache_miss_i,
+                    (MemStream::Data, true) => &mut self.cache_hit_d,
+                    (MemStream::Data, false) => &mut self.cache_miss_d,
+                };
+                *slot += 1;
+            }
+            MachineEvent::TbMiss { stream, double } => {
+                match stream {
+                    MemStream::IFetch => self.tb_miss_i += 1,
+                    MemStream::Data => self.tb_miss_d += 1,
+                }
+                if double {
+                    self.tb_double_misses += 1;
+                }
+            }
+            MachineEvent::WriteBuffer { occupancy } => {
+                self.writes_buffered += 1;
+                self.write_buffer_peak = self.write_buffer_peak.max(occupancy);
+            }
+            MachineEvent::Sbi { read } => {
+                if read {
+                    self.sbi_reads += 1;
+                } else {
+                    self.sbi_writes += 1;
+                }
+            }
+            MachineEvent::InterruptEntry { .. } => self.interrupts += 1,
+            MachineEvent::ExceptionEntry => self.exceptions += 1,
+            MachineEvent::ContextSwitch { .. } => self.context_switches += 1,
+        }
+    }
+
+    /// `(name, value)` pairs for reporting, in a stable order.
+    pub fn to_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("issues", self.issues),
+            ("stall_cycles", self.stall_cycles),
+            ("read_stall_cycles", self.read_stall_cycles),
+            ("write_stall_cycles", self.write_stall_cycles),
+            ("ib_stall_cycles", self.ib_stall_cycles),
+            ("decodes", self.decodes),
+            ("retires", self.retires),
+            ("specifiers", self.specifiers),
+            ("cache_hit_i", self.cache_hit_i),
+            ("cache_miss_i", self.cache_miss_i),
+            ("cache_hit_d", self.cache_hit_d),
+            ("cache_miss_d", self.cache_miss_d),
+            ("tb_miss_i", self.tb_miss_i),
+            ("tb_miss_d", self.tb_miss_d),
+            ("tb_double_misses", self.tb_double_misses),
+            ("writes_buffered", self.writes_buffered),
+            ("write_buffer_peak", u64::from(self.write_buffer_peak)),
+            ("sbi_reads", self.sbi_reads),
+            ("sbi_writes", self.sbi_writes),
+            ("interrupts", self.interrupts),
+            ("exceptions", self.exceptions),
+            ("context_switches", self.context_switches),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vax_ucode::StallPoint;
+
+    #[test]
+    fn stall_causes_partition() {
+        let mut c = TraceCounters::default();
+        c.apply(MachineEvent::Stall {
+            cause: StallCause::Read,
+            cycles: 3,
+        });
+        c.apply(MachineEvent::Stall {
+            cause: StallCause::Write,
+            cycles: 2,
+        });
+        c.apply(MachineEvent::Stall {
+            cause: StallCause::Ib(StallPoint::Decode),
+            cycles: 5,
+        });
+        assert_eq!(c.read_stall_cycles, 3);
+        assert_eq!(c.write_stall_cycles, 2);
+        assert_eq!(c.ib_stall_cycles, 5);
+    }
+
+    #[test]
+    fn cache_events_split_by_stream_and_outcome() {
+        let mut c = TraceCounters::default();
+        for (stream, hit, n) in [
+            (MemStream::IFetch, true, 4),
+            (MemStream::IFetch, false, 3),
+            (MemStream::Data, true, 2),
+            (MemStream::Data, false, 1),
+        ] {
+            for _ in 0..n {
+                c.apply(MachineEvent::CacheAccess { stream, hit });
+            }
+        }
+        assert_eq!(
+            (c.cache_hit_i, c.cache_miss_i, c.cache_hit_d, c.cache_miss_d),
+            (4, 3, 2, 1)
+        );
+    }
+
+    #[test]
+    fn write_buffer_peak_tracks_max() {
+        let mut c = TraceCounters::default();
+        for occ in [1u8, 3, 2] {
+            c.apply(MachineEvent::WriteBuffer { occupancy: occ });
+        }
+        assert_eq!(c.writes_buffered, 3);
+        assert_eq!(c.write_buffer_peak, 3);
+    }
+
+    #[test]
+    fn pairs_cover_every_field() {
+        // A reminder to extend to_pairs when adding fields: the struct
+        // currently has 22 counters (the peak is reported as u64).
+        assert_eq!(TraceCounters::default().to_pairs().len(), 22);
+    }
+}

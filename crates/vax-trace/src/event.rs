@@ -1,0 +1,64 @@
+//! Timestamped trace records.
+
+use upc_monitor::MachineEvent;
+use vax_ucode::MicroAddr;
+
+/// What happened (without the timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A microinstruction issued at this µPC (one cycle).
+    MicroIssue {
+        /// Control-store address.
+        addr: MicroAddr,
+    },
+    /// Stall cycles charged to the microinstruction at this µPC.
+    MicroStall {
+        /// Control-store address being stalled.
+        addr: MicroAddr,
+        /// Cycles lost.
+        cycles: u32,
+    },
+    /// A typed machine event from the emission points (decode, retire,
+    /// cache access, TB miss, SBI transaction, …).
+    Machine(MachineEvent),
+    /// A named phase boundary; the name lives in the tracer's intern
+    /// table (see [`crate::Tracer::phase_name`]).
+    Phase {
+        /// Index into the tracer's phase-name table.
+        name: u16,
+        /// `true` at phase start, `false` at phase end.
+        begin: bool,
+    },
+}
+
+/// One record in the ring buffer: an event stamped with the derived
+/// cycle clock at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle number (tracer-derived clock).
+    pub now: u64,
+    /// The event.
+    pub kind: TraceEventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_stays_compact() {
+        // The ring holds hundreds of thousands of these.
+        assert!(std::mem::size_of::<TraceEvent>() <= 32);
+    }
+
+    #[test]
+    fn kinds_compare() {
+        let a = TraceEventKind::MicroIssue {
+            addr: MicroAddr::new(1),
+        };
+        let b = TraceEventKind::MicroIssue {
+            addr: MicroAddr::new(1),
+        };
+        assert_eq!(a, b);
+    }
+}

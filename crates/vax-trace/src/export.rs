@@ -1,0 +1,378 @@
+//! Trace export: JSONL and Chrome `trace_event` JSON.
+//!
+//! Both writers are dependency-free (JSON is emitted by hand — the
+//! workspace builds offline). The Chrome format loads directly in
+//! Perfetto / `chrome://tracing`; one simulated cycle is mapped to one
+//! microsecond of trace time.
+
+use crate::event::TraceEventKind;
+use crate::tracer::Tracer;
+use std::io::{self, Write};
+use upc_monitor::events::{MachineEvent, MemStream, StallCause};
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn stream_name(s: MemStream) -> &'static str {
+    match s {
+        MemStream::IFetch => "i",
+        MemStream::Data => "d",
+    }
+}
+
+/// Render one machine event's JSONL payload (everything after `"t"`).
+fn machine_fields(ev: &MachineEvent, line: &mut String) {
+    match *ev {
+        MachineEvent::Decode { opcode } => {
+            line.push_str(&format!(
+                "\"ev\":\"decode\",\"opcode\":\"{}\"",
+                opcode.mnemonic()
+            ));
+        }
+        MachineEvent::Retire {
+            opcode,
+            pc,
+            specifiers,
+        } => {
+            line.push_str(&format!(
+                "\"ev\":\"retire\",\"opcode\":\"{}\",\"pc\":{pc},\"specs\":{specifiers}",
+                opcode.mnemonic()
+            ));
+        }
+        MachineEvent::Stall { cause, cycles } => {
+            let cause_str = match cause {
+                StallCause::Read => "read".to_string(),
+                StallCause::Write => "write".to_string(),
+                StallCause::Ib(point) => format!("ib:{point:?}"),
+            };
+            line.push_str(&format!(
+                "\"ev\":\"stall\",\"cause\":\"{cause_str}\",\"cycles\":{cycles}"
+            ));
+        }
+        MachineEvent::CacheAccess { stream, hit } => {
+            line.push_str(&format!(
+                "\"ev\":\"cache\",\"stream\":\"{}\",\"hit\":{hit}",
+                stream_name(stream)
+            ));
+        }
+        MachineEvent::TbMiss { stream, double } => {
+            line.push_str(&format!(
+                "\"ev\":\"tb_miss\",\"stream\":\"{}\",\"double\":{double}",
+                stream_name(stream)
+            ));
+        }
+        MachineEvent::WriteBuffer { occupancy } => {
+            line.push_str(&format!(
+                "\"ev\":\"write_buffer\",\"occupancy\":{occupancy}"
+            ));
+        }
+        MachineEvent::Sbi { read } => {
+            line.push_str(&format!(
+                "\"ev\":\"sbi\",\"op\":\"{}\"",
+                if read { "read" } else { "write" }
+            ));
+        }
+        MachineEvent::InterruptEntry { ipl } => {
+            line.push_str(&format!("\"ev\":\"interrupt\",\"ipl\":{ipl}"));
+        }
+        MachineEvent::ExceptionEntry => {
+            line.push_str("\"ev\":\"exception\"");
+        }
+        MachineEvent::ContextSwitch { new_space } => {
+            line.push_str(&format!("\"ev\":\"context_switch\",\"space\":{new_space}"));
+        }
+    }
+}
+
+/// Write the trace as JSON Lines: one event object per line, newest
+/// last, then one `"summary"` object carrying the lossless counters.
+pub fn write_jsonl<W: Write>(tracer: &Tracer, w: &mut W) -> io::Result<()> {
+    let mut line = String::with_capacity(128);
+    for event in tracer.events() {
+        line.clear();
+        line.push_str(&format!("{{\"t\":{},", event.now));
+        match event.kind {
+            TraceEventKind::MicroIssue { addr } => {
+                line.push_str(&format!("\"ev\":\"issue\",\"upc\":{}", addr.value()));
+            }
+            TraceEventKind::MicroStall { addr, cycles } => {
+                line.push_str(&format!(
+                    "\"ev\":\"ustall\",\"upc\":{},\"cycles\":{cycles}",
+                    addr.value()
+                ));
+            }
+            TraceEventKind::Machine(ref ev) => machine_fields(ev, &mut line),
+            TraceEventKind::Phase { name, begin } => {
+                let mut escaped = String::new();
+                escape_json(tracer.phase_name(name), &mut escaped);
+                line.push_str(&format!(
+                    "\"ev\":\"phase\",\"name\":\"{escaped}\",\"begin\":{begin}"
+                ));
+            }
+        }
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    let mut summary = format!("{{\"ev\":\"summary\",\"dropped\":{}", tracer.dropped());
+    for (name, value) in tracer.counters().to_pairs() {
+        summary.push_str(&format!(",\"{name}\":{value}"));
+    }
+    summary.push('}');
+    writeln!(w, "{summary}")
+}
+
+/// Write the trace in Chrome `trace_event` format (Perfetto-loadable).
+///
+/// Mapping: phases → `B`/`E` duration events on the "phases" track;
+/// microinstruction issues → 1-cycle `X` slices and stalls → `X` slices
+/// with their duration on the "ucode" track; retires and memory events →
+/// instants on their own tracks; write-buffer occupancy → a `C` counter
+/// series.
+pub fn write_chrome_trace<W: Write>(tracer: &Tracer, w: &mut W) -> io::Result<()> {
+    const PID: u32 = 1;
+    const TID_PHASES: u32 = 1;
+    const TID_UCODE: u32 = 2;
+    const TID_INSN: u32 = 3;
+    const TID_MEM: u32 = 4;
+
+    writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    // Name the tracks.
+    for (tid, name) in [
+        (TID_PHASES, "phases"),
+        (TID_UCODE, "ucode"),
+        (TID_INSN, "instructions"),
+        (TID_MEM, "memory"),
+    ] {
+        writeln!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{name}\"}}}},"
+        )?;
+    }
+
+    let mut first = true;
+    let mut entry = String::with_capacity(160);
+    for event in tracer.events() {
+        entry.clear();
+        let ts = event.now;
+        match event.kind {
+            TraceEventKind::MicroIssue { addr } => {
+                entry.push_str(&format!(
+                    "{{\"name\":\"{addr}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":1,\
+                     \"pid\":{PID},\"tid\":{TID_UCODE}}}"
+                ));
+            }
+            TraceEventKind::MicroStall { addr, cycles } => {
+                entry.push_str(&format!(
+                    "{{\"name\":\"stall@{addr}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{cycles},\
+                     \"pid\":{PID},\"tid\":{TID_UCODE},\"cat\":\"stall\"}}"
+                ));
+            }
+            TraceEventKind::Machine(ref ev) => match *ev {
+                MachineEvent::Retire {
+                    opcode,
+                    pc,
+                    specifiers,
+                } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":{TID_INSN},\
+                         \"args\":{{\"pc\":{pc},\"specs\":{specifiers}}}}}",
+                        opcode.mnemonic()
+                    ));
+                }
+                MachineEvent::WriteBuffer { occupancy } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"write_buffer\",\"ph\":\"C\",\"ts\":{ts},\
+                         \"pid\":{PID},\"args\":{{\"occupancy\":{occupancy}}}}}"
+                    ));
+                }
+                MachineEvent::CacheAccess { stream, hit } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"cache_{}_{}\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":{TID_MEM},\"cat\":\"cache\"}}",
+                        stream_name(stream),
+                        if hit { "hit" } else { "miss" }
+                    ));
+                }
+                MachineEvent::TbMiss { stream, double } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"tb_miss_{}\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":{TID_MEM},\"cat\":\"tb\",\
+                         \"args\":{{\"double\":{double}}}}}",
+                        stream_name(stream)
+                    ));
+                }
+                MachineEvent::Sbi { read } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"sbi_{}\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"t\",\
+                         \"pid\":{PID},\"tid\":{TID_MEM},\"cat\":\"sbi\"}}",
+                        if read { "read" } else { "write" }
+                    ));
+                }
+                MachineEvent::InterruptEntry { ipl } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"interrupt\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"p\",\
+                         \"pid\":{PID},\"tid\":{TID_INSN},\"args\":{{\"ipl\":{ipl}}}}}"
+                    ));
+                }
+                MachineEvent::ExceptionEntry => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"exception\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"p\",\
+                         \"pid\":{PID},\"tid\":{TID_INSN}}}"
+                    ));
+                }
+                MachineEvent::ContextSwitch { new_space } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"context_switch\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"p\",\
+                         \"pid\":{PID},\"tid\":{TID_PHASES},\
+                         \"args\":{{\"space\":{new_space}}}}}"
+                    ));
+                }
+                // Decode and cause-tagged stalls duplicate information
+                // already visible on the ucode track; keep the Chrome
+                // view uncluttered.
+                MachineEvent::Decode { .. } | MachineEvent::Stall { .. } => continue,
+            },
+            TraceEventKind::Phase { name, begin } => {
+                let mut escaped = String::new();
+                escape_json(tracer.phase_name(name), &mut escaped);
+                entry.push_str(&format!(
+                    "{{\"name\":\"{escaped}\",\"ph\":\"{}\",\"ts\":{ts},\
+                     \"pid\":{PID},\"tid\":{TID_PHASES}}}",
+                    if begin { "B" } else { "E" }
+                ));
+            }
+        }
+        if !first {
+            writeln!(w, ",")?;
+        }
+        w.write_all(entry.as_bytes())?;
+        first = false;
+    }
+    writeln!(w, "\n]}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::CycleSink;
+    use vax_arch::Opcode;
+    use vax_ucode::MicroAddr;
+
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::with_capacity(64);
+        t.trace_phase("measure", true);
+        t.record_issue(MicroAddr::new(0x10));
+        t.trace_event(MachineEvent::Decode {
+            opcode: Opcode::Movl,
+        });
+        t.record_stall(MicroAddr::new(0x10), 3);
+        t.trace_event(MachineEvent::Stall {
+            cause: StallCause::Read,
+            cycles: 3,
+        });
+        t.trace_event(MachineEvent::CacheAccess {
+            stream: MemStream::Data,
+            hit: false,
+        });
+        t.trace_event(MachineEvent::Sbi { read: true });
+        t.trace_event(MachineEvent::WriteBuffer { occupancy: 1 });
+        t.trace_event(MachineEvent::Retire {
+            opcode: Opcode::Movl,
+            pc: 0x200,
+            specifiers: 2,
+        });
+        t.trace_phase("measure", false);
+        t
+    }
+
+    /// A deliberately small JSON validator: enough to prove the writers
+    /// emit well-formed JSON without an external parser.
+    fn check_json(s: &str) {
+        let mut depth: i32 = 0;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced braces in {s}");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+        assert!(!in_str, "unterminated string: {s}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed_objects() {
+        let t = sample_tracer();
+        let mut out = Vec::new();
+        write_jsonl(&t, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Every recorded event plus the summary line.
+        assert_eq!(lines.len(), t.len() + 1);
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "not an object: {line}"
+            );
+            check_json(line);
+        }
+        assert!(lines.last().unwrap().contains("\"ev\":\"summary\""));
+        assert!(text.contains("\"ev\":\"retire\",\"opcode\":\"movl\""));
+        assert!(text.contains("\"cause\":\"read\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_one_json_document() {
+        let t = sample_tracer();
+        let mut out = Vec::new();
+        write_chrome_trace(&t, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        check_json(&text);
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn escaping_handles_hostile_phase_names() {
+        let mut t = Tracer::with_capacity(8);
+        t.trace_phase("weird \"name\"\nwith\\stuff", true);
+        let mut out = Vec::new();
+        write_jsonl(&t, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for line in text.lines() {
+            check_json(line);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! vax-trace: the simulator's second instrument.
+//!
+//! Emer & Clark attached **two** instruments to the 11/780: the µPC
+//! histogram board (what `upc-monitor` reproduces) and a separate set of
+//! hardware event counters for the cache/TB study. Their methodology
+//! only worked because the instruments could be reconciled — total
+//! cycles seen by one had to equal total cycles seen by the other. This
+//! crate is that second instrument for the *simulator*: a typed,
+//! low-overhead event tracer that attaches to the machine exactly like
+//! the board does (a [`CycleSink`] driven from the cycle loop) and
+//! records what the histogram cannot: opcodes, stall causes, cache and
+//! TB outcomes per stream, write-buffer occupancy, SBI traffic, context
+//! switches.
+//!
+//! Structure:
+//!
+//! - [`event`] — the timestamped record stored per event;
+//! - [`ring`] — fixed-capacity ring buffer (oldest events drop first);
+//! - [`counters`] — aggregation that never drops, whatever the ring does;
+//! - [`Tracer`] — the [`CycleSink`] implementation tying them together,
+//!   with its own derived cycle clock (`+1` per issue, `+n` per stall) —
+//!   the clock *is* the reconciliation invariant: it must land exactly on
+//!   the histogram's `issues + stalls`;
+//! - [`export`] — JSONL and Chrome `trace_event` (Perfetto-loadable)
+//!   writers, no external dependencies;
+//! - [`metrics`] — host-side self-metrics (wall time per phase,
+//!   simulated cycles/sec, instructions/sec, named span timings).
+//!
+//! Attaching both instruments at once uses the fan-out sink:
+//!
+//! ```
+//! use upc_monitor::{CycleSink, HistogramBoard, Command};
+//! use vax_trace::Tracer;
+//! use vax_ucode::MicroAddr;
+//!
+//! let mut board = HistogramBoard::new();
+//! board.execute(Command::Start);
+//! let mut tracer = Tracer::with_capacity(1024);
+//! {
+//!     let mut tee = (&mut board, &mut tracer);
+//!     tee.record_issue(MicroAddr::new(7));
+//!     tee.record_stall(MicroAddr::new(7), 3);
+//! }
+//! assert_eq!(tracer.now(), u64::from(board.snapshot().total_cycles()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod ring;
+mod tracer;
+
+pub use counters::TraceCounters;
+pub use event::{TraceEvent, TraceEventKind};
+pub use metrics::{PhaseMetrics, SelfMetrics, SpanSet};
+pub use ring::RingBuffer;
+pub use tracer::{Tracer, DEFAULT_CAPACITY};

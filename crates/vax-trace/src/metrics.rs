@@ -1,0 +1,257 @@
+//! Host-side self-metrics: where does the *simulator* spend time?
+//!
+//! The paper measured a real machine; we measure a model of it, and as
+//! workloads scale the model's own speed becomes an engineering
+//! quantity. [`SelfMetrics`] aggregates wall time per workload phase
+//! together with the simulated cycles and retired instructions in that
+//! phase, yielding simulated-cycles-per-second and
+//! instructions-per-second. [`SpanSet`] is a lighter companion for
+//! ad-hoc named spans (e.g. per-crate costs: run loop vs analysis vs
+//! export).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-time and simulated-work totals for one named phase.
+#[derive(Debug, Clone)]
+pub struct PhaseMetrics {
+    /// Phase name (e.g. "warmup", "measure", "export").
+    pub name: String,
+    /// Host wall time spent in the phase.
+    pub wall: Duration,
+    /// Simulated cycles elapsed during the phase.
+    pub cycles: u64,
+    /// Instructions retired during the phase.
+    pub instructions: u64,
+}
+
+impl PhaseMetrics {
+    /// Simulated cycles per host second (0 if no time elapsed).
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Instructions retired per host second (0 if no time elapsed).
+    pub fn instructions_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.instructions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Collected self-metrics for a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct SelfMetrics {
+    phases: Vec<PhaseMetrics>,
+    open: Option<(String, Instant, u64, u64)>,
+}
+
+impl SelfMetrics {
+    /// An empty recorder.
+    pub fn new() -> SelfMetrics {
+        SelfMetrics::default()
+    }
+
+    /// Begin a phase. `cycles` / `instructions` are the machine's
+    /// running totals at entry; the phase records the deltas. An
+    /// unfinished previous phase is closed first.
+    pub fn begin_phase(&mut self, name: &str, cycles: u64, instructions: u64) {
+        if self.open.is_some() {
+            self.end_phase(cycles, instructions);
+        }
+        self.open = Some((name.to_string(), Instant::now(), cycles, instructions));
+    }
+
+    /// End the open phase given the machine's running totals at exit.
+    pub fn end_phase(&mut self, cycles: u64, instructions: u64) {
+        if let Some((name, start, c0, i0)) = self.open.take() {
+            self.phases.push(PhaseMetrics {
+                name,
+                wall: start.elapsed(),
+                cycles: cycles.saturating_sub(c0),
+                instructions: instructions.saturating_sub(i0),
+            });
+        }
+    }
+
+    /// Completed phases, in order.
+    pub fn phases(&self) -> &[PhaseMetrics] {
+        &self.phases
+    }
+
+    /// Total wall time across completed phases.
+    pub fn total_wall(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+
+    /// Total simulated cycles across completed phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.phases.iter().map(|p| p.cycles).sum()
+    }
+}
+
+impl fmt::Display for SelfMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>12} {:>12} {:>14} {:>14}",
+            "phase", "wall", "cycles", "instrs", "cyc/s", "instr/s"
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "{:<16} {:>12.3?} {:>12} {:>12} {:>14.0} {:>14.0}",
+                p.name,
+                p.wall,
+                p.cycles,
+                p.instructions,
+                p.cycles_per_sec(),
+                p.instructions_per_sec()
+            )?;
+        }
+        write!(f, "total wall {:.3?}", self.total_wall())
+    }
+}
+
+/// Accumulating named span timer: `let _g = spans.enter("export");`
+/// charges the guard's lifetime to the "export" bucket.
+#[derive(Debug, Default)]
+pub struct SpanSet {
+    totals: Vec<(String, Duration, u64)>,
+}
+
+impl SpanSet {
+    /// An empty span set.
+    pub fn new() -> SpanSet {
+        SpanSet::default()
+    }
+
+    /// Start a span; time accrues until the guard drops.
+    pub fn enter(&mut self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            set: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Directly add an observed duration to a bucket.
+    pub fn add(&mut self, name: &str, elapsed: Duration) {
+        if let Some(slot) = self.totals.iter_mut().find(|(n, _, _)| n == name) {
+            slot.1 += elapsed;
+            slot.2 += 1;
+        } else {
+            self.totals.push((name.to_string(), elapsed, 1));
+        }
+    }
+
+    /// `(name, total elapsed, enter count)` per bucket, insertion order.
+    pub fn totals(&self) -> &[(String, Duration, u64)] {
+        &self.totals
+    }
+}
+
+impl fmt::Display for SpanSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>12} {:>8}", "span", "total", "count")?;
+        for (name, total, count) in &self.totals {
+            writeln!(f, "{name:<24} {total:>12.3?} {count:>8}")?;
+        }
+        Ok(())
+    }
+}
+
+/// RAII guard from [`SpanSet::enter`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    set: &'a mut SpanSet,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.set.add(self.name, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_record_deltas() {
+        let mut m = SelfMetrics::new();
+        m.begin_phase("warmup", 0, 0);
+        m.end_phase(1_000, 100);
+        m.begin_phase("measure", 1_000, 100);
+        m.end_phase(11_000, 1_100);
+        let phases = m.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].cycles, 1_000);
+        assert_eq!(phases[1].cycles, 10_000);
+        assert_eq!(phases[1].instructions, 1_000);
+        assert_eq!(m.total_cycles(), 11_000);
+    }
+
+    #[test]
+    fn reopening_closes_previous_phase() {
+        let mut m = SelfMetrics::new();
+        m.begin_phase("a", 0, 0);
+        m.begin_phase("b", 500, 50);
+        m.end_phase(700, 60);
+        assert_eq!(m.phases().len(), 2);
+        assert_eq!(m.phases()[0].name, "a");
+        assert_eq!(m.phases()[0].cycles, 500);
+        assert_eq!(m.phases()[1].cycles, 200);
+    }
+
+    #[test]
+    fn rates_are_finite_and_positive() {
+        let p = PhaseMetrics {
+            name: "x".into(),
+            wall: Duration::from_millis(10),
+            cycles: 50_000,
+            instructions: 5_000,
+        };
+        assert!(p.cycles_per_sec() > 0.0);
+        assert!(p.instructions_per_sec() > 0.0);
+        let display = format!(
+            "{}",
+            SelfMetrics {
+                phases: vec![p],
+                open: None
+            }
+        );
+        assert!(display.contains("cyc/s"));
+    }
+
+    #[test]
+    fn span_guard_accumulates() {
+        let mut spans = SpanSet::new();
+        {
+            let _g = spans.enter("work");
+        }
+        {
+            let _g = spans.enter("work");
+        }
+        {
+            let _g = spans.enter("other");
+        }
+        let totals = spans.totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].0, "work");
+        assert_eq!(totals[0].2, 2);
+        assert_eq!(totals[1].2, 1);
+        assert!(format!("{spans}").contains("work"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Fixed-capacity event storage.
+//!
+//! The trace must never grow without bound — a long run at one event per
+//! cycle would exhaust memory — so events land in a ring: once full, the
+//! oldest record is overwritten and a drop counter increments. Aggregate
+//! counters (in [`crate::counters`]) are unaffected by drops; only the
+//! per-event record is lossy.
+
+use crate::event::TraceEvent;
+
+/// Ring buffer over [`TraceEvent`], oldest-first iteration.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl RingBuffer {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingBuffer {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: Vec::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, overwriting the oldest if full.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity the ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many events were overwritten (0 means the record is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Drop all retained events (the drop counter resets too).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, TraceEventKind};
+    use vax_ucode::MicroAddr;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent {
+            now: n,
+            kind: TraceEventKind::MicroIssue {
+                addr: MicroAddr::new((n % 100) as u16),
+            },
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = RingBuffer::new(4);
+        for n in 0..6 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let order: Vec<u64> = r.iter().map(|e| e.now).collect();
+        assert_eq!(order, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn below_capacity_keeps_everything() {
+        let mut r = RingBuffer::new(10);
+        for n in 0..7 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.dropped(), 0);
+        let order: Vec<u64> = r.iter().map(|e| e.now).collect();
+        assert_eq!(order, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wrap_twice() {
+        let mut r = RingBuffer::new(3);
+        for n in 0..9 {
+            r.push(ev(n));
+        }
+        assert_eq!(r.dropped(), 6);
+        let order: Vec<u64> = r.iter().map(|e| e.now).collect();
+        assert_eq!(order, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = RingBuffer::new(2);
+        for n in 0..5 {
+            r.push(ev(n));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        r.push(ev(9));
+        assert_eq!(r.iter().map(|e| e.now).collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -1,0 +1,259 @@
+//! The tracer: a [`CycleSink`] with its own clock.
+
+use crate::counters::TraceCounters;
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::ring::RingBuffer;
+use upc_monitor::{CycleSink, MachineEvent};
+use vax_ucode::MicroAddr;
+
+/// Default ring capacity (events), roughly a quarter-second of traced
+/// machine time at one event per 200 ns cycle.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// The second instrument: records typed events into a bounded ring and
+/// aggregates counters that never drop.
+///
+/// The tracer carries no wall clock and asks the CPU for nothing: its
+/// notion of time is *derived* from the sink feed itself — `+1` per
+/// issue, `+n` per `n`-cycle stall. If the derived clock disagrees with
+/// the µPC board's `issues + stalls` after a shared run, one of the two
+/// instruments (or an emission point) is wrong; `vax-analysis` turns
+/// that comparison into an executable check.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    ring: RingBuffer,
+    counters: TraceCounters,
+    now: u64,
+    phase_names: Vec<String>,
+}
+
+impl Tracer {
+    /// A tracer with the default ring capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            ring: RingBuffer::new(capacity),
+            counters: TraceCounters::default(),
+            now: 0,
+            phase_names: Vec::new(),
+        }
+    }
+
+    /// The derived cycle clock (total cycles observed so far).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Lossless aggregates.
+    pub fn counters(&self) -> &TraceCounters {
+        &self.counters
+    }
+
+    /// Retained events, oldest → newest.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty() && self.now == 0
+    }
+
+    /// Events overwritten by ring wrap-around (0 = complete record).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Resolve an interned phase-name index from a [`TraceEventKind::Phase`].
+    pub fn phase_name(&self, index: u16) -> &str {
+        &self.phase_names[usize::from(index)]
+    }
+
+    /// All phase names seen, in intern order.
+    pub fn phase_names(&self) -> &[String] {
+        &self.phase_names
+    }
+
+    /// Forget recorded events and counts (capacity and interned phase
+    /// names are kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.counters = TraceCounters::default();
+        self.now = 0;
+    }
+
+    /// Recompute aggregate counters from the retained events alone.
+    ///
+    /// When [`Tracer::dropped`] is zero the result must equal
+    /// [`Tracer::counters`] exactly — the consistency-checker uses this
+    /// to prove the per-event record and the aggregates tell the same
+    /// story. With drops, the replay only covers the retained suffix.
+    pub fn replay(&self) -> TraceCounters {
+        let mut counters = TraceCounters::default();
+        for event in self.events() {
+            match event.kind {
+                TraceEventKind::MicroIssue { .. } => counters.issues += 1,
+                TraceEventKind::MicroStall { cycles, .. } => {
+                    counters.stall_cycles += u64::from(cycles);
+                }
+                TraceEventKind::Machine(e) => counters.apply(e),
+                TraceEventKind::Phase { .. } => {}
+            }
+        }
+        counters
+    }
+
+    #[inline]
+    fn push(&mut self, kind: TraceEventKind) {
+        self.ring.push(TraceEvent {
+            now: self.now,
+            kind,
+        });
+    }
+
+    fn intern_phase(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.phase_names.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        assert!(
+            self.phase_names.len() < usize::from(u16::MAX),
+            "phase name table full"
+        );
+        self.phase_names.push(name.to_string());
+        (self.phase_names.len() - 1) as u16
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl CycleSink for Tracer {
+    #[inline]
+    fn record_issue(&mut self, addr: MicroAddr) {
+        self.push(TraceEventKind::MicroIssue { addr });
+        self.counters.issues += 1;
+        self.now += 1;
+    }
+
+    #[inline]
+    fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
+        self.push(TraceEventKind::MicroStall { addr, cycles });
+        self.counters.stall_cycles += u64::from(cycles);
+        self.now += u64::from(cycles);
+    }
+
+    #[inline]
+    fn trace_event(&mut self, event: MachineEvent) {
+        self.push(TraceEventKind::Machine(event));
+        self.counters.apply(event);
+    }
+
+    fn trace_phase(&mut self, name: &str, begin: bool) {
+        let idx = self.intern_phase(name);
+        self.push(TraceEventKind::Phase { name: idx, begin });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::events::{MemStream, StallCause};
+    use vax_ucode::StallPoint;
+
+    #[test]
+    fn clock_counts_issues_and_stalls() {
+        let mut t = Tracer::with_capacity(16);
+        t.record_issue(MicroAddr::new(1));
+        t.record_stall(MicroAddr::new(1), 4);
+        t.record_issue(MicroAddr::new(2));
+        assert_eq!(t.now(), 6);
+        assert_eq!(t.counters().total_cycles(), 6);
+    }
+
+    #[test]
+    fn machine_events_do_not_advance_the_clock() {
+        let mut t = Tracer::with_capacity(16);
+        t.record_issue(MicroAddr::new(1));
+        t.trace_event(MachineEvent::CacheAccess {
+            stream: MemStream::Data,
+            hit: true,
+        });
+        t.trace_event(MachineEvent::Stall {
+            cause: StallCause::Ib(StallPoint::Decode),
+            cycles: 2,
+        });
+        assert_eq!(t.now(), 1);
+        assert_eq!(t.counters().cache_hit_d, 1);
+        assert_eq!(t.counters().ib_stall_cycles, 2);
+    }
+
+    #[test]
+    fn phase_names_intern_once() {
+        let mut t = Tracer::with_capacity(16);
+        t.trace_phase("warmup", true);
+        t.trace_phase("warmup", false);
+        t.trace_phase("measure", true);
+        assert_eq!(
+            t.phase_names(),
+            &["warmup".to_string(), "measure".to_string()]
+        );
+        let phases: Vec<(u16, bool)> = t
+            .events()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Phase { name, begin } => Some((name, begin)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases, vec![(0, true), (0, false), (1, true)]);
+        assert_eq!(t.phase_name(1), "measure");
+    }
+
+    #[test]
+    fn ring_drop_preserves_counters() {
+        let mut t = Tracer::with_capacity(4);
+        for i in 0..100 {
+            t.record_issue(MicroAddr::new(i));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 96);
+        assert_eq!(t.counters().issues, 100);
+        assert_eq!(t.now(), 100);
+    }
+
+    #[test]
+    fn replay_matches_live_counters_without_drops() {
+        let mut t = Tracer::with_capacity(64);
+        t.record_issue(MicroAddr::new(3));
+        t.record_stall(MicroAddr::new(3), 5);
+        t.trace_event(MachineEvent::CacheAccess {
+            stream: MemStream::Data,
+            hit: false,
+        });
+        t.trace_event(MachineEvent::Sbi { read: true });
+        t.trace_phase("measure", true);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.replay(), *t.counters());
+    }
+
+    #[test]
+    fn clear_keeps_interned_names() {
+        let mut t = Tracer::with_capacity(8);
+        t.trace_phase("measure", true);
+        t.record_issue(MicroAddr::new(0));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.phase_names().len(), 1);
+    }
+}

@@ -1,13 +1,10 @@
 //! Micro-address newtype.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An address in the 11/780 control store (and thus a bucket index on the
 /// histogram board, which has 16 K count locations — paper §2.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MicroAddr(u16);
 
 impl MicroAddr {

@@ -110,5 +110,9 @@ fn the_board_is_big_enough_for_the_listing() {
     let cs = ControlStore::build();
     assert!(cs.size() <= MicroAddr::SPACE);
     // And we use a realistic fraction of a writable control store.
-    assert!(cs.size() >= 512, "listing suspiciously small: {}", cs.size());
+    assert!(
+        cs.size() >= 512,
+        "listing suspiciously small: {}",
+        cs.size()
+    );
 }

@@ -326,7 +326,11 @@ impl<'a> CodeGen<'a> {
         // be called from inside other functions, which must get their own
         // walker positions back), plus a few general callee-saves.
         let mut mask: u16 = (1 << 6) | (1 << 7) | (1 << 8);
-        let extra = sample_count(&mut self.rng, self.params.call_mask_regs.saturating_sub(2), 4);
+        let extra = sample_count(
+            &mut self.rng,
+            self.params.call_mask_regs.saturating_sub(2),
+            4,
+        );
         for _ in 0..extra {
             mask |= 1 << self.rng.random_range(2..=5u16);
         }
@@ -648,17 +652,11 @@ impl<'a> CodeGen<'a> {
         let dst = Operand::Reg(self.scratch_reg());
         let d = self.scalar_disp(DataType::Long);
         match self.rng.random_range(0..3u32) {
-            0 => self.asm.inst(
-                Opcode::Movl,
-                &[Operand::Disp(d, regs::DATA_BASE), dst],
-            )?,
-            1 => self
+            0 => self
                 .asm
-                .inst(Opcode::Addl2, &[Operand::Literal(3), dst])?,
-            _ => self.asm.inst(
-                Opcode::Bicl2,
-                &[Operand::Literal(7), dst],
-            )?,
+                .inst(Opcode::Movl, &[Operand::Disp(d, regs::DATA_BASE), dst])?,
+            1 => self.asm.inst(Opcode::Addl2, &[Operand::Literal(3), dst])?,
+            _ => self.asm.inst(Opcode::Bicl2, &[Operand::Literal(7), dst])?,
         };
         Ok(())
     }
@@ -981,9 +979,7 @@ impl<'a> CodeGen<'a> {
     /// the call graph is acyclic and stack depth is bounded by the
     /// function count).
     fn emit_calls_fn(&mut self) -> Result<(), vax_arch::ArchError> {
-        let next = self
-            .rng
-            .random_range(self.current_function + 1..self.nfunc);
+        let next = self.rng.random_range(self.current_function + 1..self.nfunc);
         let nargs = self.rng.random_range(0..2u32);
         for a in 0..nargs {
             self.asm
@@ -1152,16 +1148,11 @@ impl<'a> CodeGen<'a> {
             Operand::Immediate(u64::from(len))
         };
         match self.rng.random_range(0..10u32) {
-            0..=6 => self
+            0..=6 => self.asm.inst(Opcode::Movc3, &[len_op, src, dst])?,
+            7 | 8 => self.asm.inst(Opcode::Cmpc3, &[len_op, src, dst])?,
+            _ => self
                 .asm
-                .inst(Opcode::Movc3, &[len_op, src, dst])?,
-            7 | 8 => self
-                .asm
-                .inst(Opcode::Cmpc3, &[len_op, src, dst])?,
-            _ => self.asm.inst(
-                Opcode::Locc,
-                &[Operand::Literal(b' ' & 63), len_op, src],
-            )?,
+                .inst(Opcode::Locc, &[Operand::Literal(b' ' & 63), len_op, src])?,
         };
         Ok(())
     }
@@ -1256,12 +1247,14 @@ mod tests {
         let params = profile(WorkloadKind::TimesharingLight);
         let mut asm = Assembler::new(0x400);
         let layout = DataLayout::for_profile(&params, 0x8_0000);
-        let mut gen = CodeGen::new(&mut asm, StdRng::seed_from_u64(params.seed), &params, layout);
-        let prog = gen.generate().expect("generation succeeds");
-        assert_eq!(
-            prog.functions.len(),
-            params.functions_per_process as usize
+        let mut gen = CodeGen::new(
+            &mut asm,
+            StdRng::seed_from_u64(params.seed),
+            &params,
+            layout,
         );
+        let prog = gen.generate().expect("generation succeeds");
+        assert_eq!(prog.functions.len(), params.functions_per_process as usize);
         let image = asm.finish().expect("all labels resolve");
         assert!(image.len() > 4000, "non-trivial program: {}", image.len());
         // Whole image decodes instruction by instruction from entry to
@@ -1281,8 +1274,12 @@ mod tests {
         let build = || {
             let mut asm = Assembler::new(0x400);
             let layout = DataLayout::for_profile(&params, 0x8_0000);
-            let mut gen =
-                CodeGen::new(&mut asm, StdRng::seed_from_u64(params.seed), &params, layout);
+            let mut gen = CodeGen::new(
+                &mut asm,
+                StdRng::seed_from_u64(params.seed),
+                &params,
+                layout,
+            );
             gen.generate().unwrap();
             asm.finish().unwrap().bytes
         };

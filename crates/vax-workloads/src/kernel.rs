@@ -124,10 +124,7 @@ pub fn build_kernel(
     emit_kernel_slots(&mut asm, rng, kb, 6, false)?;
     asm.inst(
         Opcode::Mtpr,
-        &[
-            Operand::Literal(RESCHED_LEVEL),
-            Operand::Literal(IPR_SIRR),
-        ],
+        &[Operand::Literal(RESCHED_LEVEL), Operand::Literal(IPR_SIRR)],
     )?;
     asm.inst(Opcode::Popr, &[Operand::Immediate(u64::from(timer_mask))])?;
     asm.inst(Opcode::Rei, &[])?;
@@ -140,7 +137,10 @@ pub fn build_kernel(
     // Read and acknowledge the "device".
     asm.inst(
         Opcode::Movl,
-        &[Operand::Disp(kdata::DEVBUF as i32, kb), Operand::Reg(Reg::R0)],
+        &[
+            Operand::Disp(kdata::DEVBUF as i32, kb),
+            Operand::Reg(Reg::R0),
+        ],
     )?;
     asm.inst(Opcode::Incl, &[Operand::Disp(kdata::DEVBUF as i32, kb)])?;
     // Echo/typeahead bookkeeping.
@@ -185,7 +185,10 @@ pub fn build_kernel(
     asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R0)])?;
     asm.inst(
         Opcode::Cmpl,
-        &[Operand::Reg(Reg::R0), Operand::Disp(kdata::NPROC as i32, kb)],
+        &[
+            Operand::Reg(Reg::R0),
+            Operand::Disp(kdata::NPROC as i32, kb),
+        ],
     )?;
     let no_wrap = asm.new_label();
     asm.branch(Opcode::Blss, &[], no_wrap)?;
@@ -263,10 +266,10 @@ pub fn build_kernel(
 
     // ----- SCB vectors ----------------------------------------------------------
     let mut vectors = vec![
-        (0xC0u16, timer_isr),            // interval timer (IPL 24)
-        (0x88, ast_isr),                 // software level 2
-        (0x8C, sched),                   // software level 3 (reschedule)
-        (0x40, chmk),                    // CHMK
+        (0xC0u16, timer_isr), // interval timer (IPL 24)
+        (0x88, ast_isr),      // software level 2
+        (0x8C, sched),        // software level 3 (reschedule)
+        (0x40, chmk),         // CHMK
     ];
     for line in 0..crate::rte::TERMINAL_CONTROLLERS {
         vectors.push((crate::rte::TERMINAL_VECTOR_BASE + 4 * line, term_isr));
@@ -292,9 +295,8 @@ fn emit_kernel_slots(
     heavy: bool,
 ) -> Result<(), ArchError> {
     let scratch = |rng: &mut StdRng| [Reg::R0, Reg::R2, Reg::R3][rng.random_range(0..3usize)];
-    let kdisp = |rng: &mut StdRng| -> i32 {
-        (kdata::SCRATCH + 4 * rng.random_range(0..80u32)) as i32
-    };
+    let kdisp =
+        |rng: &mut StdRng| -> i32 { (kdata::SCRATCH + 4 * rng.random_range(0..80u32)) as i32 };
     for _ in 0..n {
         let pick: f64 = rng.random();
         if heavy && pick < 0.10 {
@@ -318,36 +320,23 @@ fn emit_kernel_slots(
         } else if pick < 0.10 {
             // Data-dependent short branch on a drifting counter.
             let skip = asm.new_label();
-            asm.branch(
-                Opcode::Blbc,
-                &[Operand::Disp(kdata::TICK as i32, kb)],
-                skip,
-            )?;
+            asm.branch(Opcode::Blbc, &[Operand::Disp(kdata::TICK as i32, kb)], skip)?;
             asm.inst(Opcode::Incl, &[Operand::Disp(kdisp(rng), kb)])?;
             asm.place(skip)?;
         } else if pick < 0.30 {
             asm.inst(
                 Opcode::Movl,
-                &[
-                    Operand::Disp(kdisp(rng), kb),
-                    Operand::Reg(scratch(rng)),
-                ],
+                &[Operand::Disp(kdisp(rng), kb), Operand::Reg(scratch(rng))],
             )?;
         } else if pick < 0.42 {
             asm.inst(
                 Opcode::Movl,
-                &[
-                    Operand::Reg(scratch(rng)),
-                    Operand::Disp(kdisp(rng), kb),
-                ],
+                &[Operand::Reg(scratch(rng)), Operand::Disp(kdisp(rng), kb)],
             )?;
         } else if pick < 0.60 {
             asm.inst(
                 Opcode::Addl2,
-                &[
-                    Operand::Disp(kdisp(rng), kb),
-                    Operand::Reg(scratch(rng)),
-                ],
+                &[Operand::Disp(kdisp(rng), kb), Operand::Reg(scratch(rng))],
             )?;
         } else if pick < 0.72 {
             asm.inst(
@@ -360,10 +349,7 @@ fn emit_kernel_slots(
         } else if pick < 0.82 {
             asm.inst(
                 Opcode::Cmpl,
-                &[
-                    Operand::Reg(scratch(rng)),
-                    Operand::Disp(kdisp(rng), kb),
-                ],
+                &[Operand::Reg(scratch(rng)), Operand::Disp(kdisp(rng), kb)],
             )?;
         } else if pick < 0.97 {
             asm.inst(Opcode::Incl, &[Operand::Reg(scratch(rng))])?;
@@ -375,10 +361,7 @@ fn emit_kernel_slots(
                 &[Operand::Literal(iters as u8), Operand::Reg(Reg::R3)],
             )?;
             let top = asm.label_here();
-            asm.inst(
-                Opcode::Addl2,
-                &[Operand::Literal(1), Operand::Reg(Reg::R2)],
-            )?;
+            asm.inst(Opcode::Addl2, &[Operand::Literal(1), Operand::Reg(Reg::R2)])?;
             asm.branch(Opcode::Sobgtr, &[Operand::Reg(Reg::R3)], top)?;
         }
     }
@@ -421,10 +404,17 @@ mod tests {
         let params = profile(WorkloadKind::Commercial);
         let build = || {
             let mut rng = StdRng::seed_from_u64(9);
-            build_kernel(&params, &mut rng, 0x8000_8000, 0x8000_0000, 0x4000, &[0x10000])
-                .unwrap()
-                .code
-                .bytes
+            build_kernel(
+                &params,
+                &mut rng,
+                0x8000_8000,
+                0x8000_0000,
+                0x4000,
+                &[0x10000],
+            )
+            .unwrap()
+            .code
+            .bytes
         };
         assert_eq!(build(), build());
     }

@@ -16,9 +16,7 @@ use rand::SeedableRng;
 use upc_monitor::CycleSink;
 use vax_arch::Assembler;
 use vax_cpu::{Cpu, CpuConfig, CpuError, Interrupt, Psl, StepOutcome};
-use vax_mem::{
-    load_virtual, AddressSpace, MapBuilder, MemConfig, MemorySubsystem, PAGE_BYTES,
-};
+use vax_mem::{load_virtual, AddressSpace, MapBuilder, MemConfig, MemorySubsystem, PAGE_BYTES};
 
 /// Interval-timer interrupt: IPL 24, SCB vector 0xC0 (the 11/780 clock).
 const TIMER_IPL: u8 = 24;
@@ -95,16 +93,32 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates CPU errors.
-    pub fn run_instructions<S: CycleSink>(
-        &mut self,
-        n: u64,
-        sink: &mut S,
-    ) -> Result<(), CpuError> {
+    pub fn run_instructions<S: CycleSink>(&mut self, n: u64, sink: &mut S) -> Result<(), CpuError> {
         let target = self.cpu.instructions() + n;
         while self.cpu.instructions() < target {
             self.step(sink)?;
         }
         Ok(())
+    }
+
+    /// Run `n` instructions as a named phase: the sink receives
+    /// begin/end phase markers around the run, so a tracing sink can
+    /// bracket warmup/measure/cooldown in its timeline. Non-tracing
+    /// sinks ignore the markers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU errors; the end marker is still emitted.
+    pub fn run_phase<S: CycleSink>(
+        &mut self,
+        name: &str,
+        n: u64,
+        sink: &mut S,
+    ) -> Result<(), CpuError> {
+        sink.trace_phase(name, true);
+        let result = self.run_instructions(n, sink);
+        sink.trace_phase(name, false);
+        result
     }
 
     /// Is the CPU sitting in the Null process? (The idle loop is a
@@ -182,15 +196,9 @@ pub fn build_machine_with_config(
     let kdata_pages = kernel::kdata::SIZE.div_ceil(PAGE_BYTES).max(4);
     let kdata_va = 0x8000_0000;
     let kcode_va = kdata_va + kdata_pages * PAGE_BYTES;
-    let kernel_img: KernelImage = kernel::build_kernel(
-        params,
-        &mut rng,
-        kcode_va,
-        kdata_va,
-        scb_pa,
-        &pcb_pas,
-    )
-    .expect("kernel builds");
+    let kernel_img: KernelImage =
+        kernel::build_kernel(params, &mut rng, kcode_va, kdata_va, scb_pa, &pcb_pas)
+            .expect("kernel builds");
     let kcode_pages = (kernel_img.code.len() as u32).div_ceil(PAGE_BYTES) + 1;
 
     // ----- system mappings (order defines the fixed kernel VAs) -------------
@@ -226,13 +234,20 @@ pub fn build_machine_with_config(
 
     // SCB vectors (physical).
     for &(vector, handler) in &kernel_img.vectors {
-        mem.phys_mut().write_u32(scb_pa + u32::from(vector), handler);
+        mem.phys_mut()
+            .write_u32(scb_pa + u32::from(vector), handler);
     }
 
     // Load process images, stacks, PCBs.
     for (i, plan) in plans.iter().enumerate() {
         let space = spaces[i];
-        load_virtual(mem.phys_mut(), &system, &space, plan.layout.base, &plan.data);
+        load_virtual(
+            mem.phys_mut(),
+            &system,
+            &space,
+            plan.layout.base,
+            &plan.data,
+        );
         load_virtual(
             mem.phys_mut(),
             &system,

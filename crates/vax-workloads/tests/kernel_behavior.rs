@@ -111,8 +111,7 @@ fn calls_and_rets_balance() {
     let calls = hist.issue(cs.exec_entry(Opcode::Calls));
     let rets = hist.issue(cs.exec_entry(Opcode::Ret));
     // In-flight call chains (one per process) bound the imbalance.
-    let bound = u64::from(small().processes)
-        * u64::from(small().functions_per_process + 1);
+    let bound = u64::from(small().processes) * u64::from(small().functions_per_process + 1);
     assert!(calls > 50, "calls: {calls}");
     assert!(
         calls.abs_diff(rets) <= bound,

@@ -39,8 +39,7 @@ fn main() {
 
     // The paper's point, quantified: DECIMAL+CHARACTER are a fraction of a
     // percent of executions but orders of magnitude costlier each.
-    let rare_freq =
-        t1.pct(OpcodeGroup::Decimal) + t1.pct(OpcodeGroup::Character);
+    let rare_freq = t1.pct(OpcodeGroup::Decimal) + t1.pct(OpcodeGroup::Character);
     let rare_time = (t9.total(OpcodeGroup::Decimal) * t1.pct(OpcodeGroup::Decimal)
         + t9.total(OpcodeGroup::Character) * t1.pct(OpcodeGroup::Character))
         / 100.0;

@@ -27,7 +27,11 @@ fn main() {
         );
     }
     let report = StudyReport::new(&analysis);
-    println!("=== composite: {} instructions, CPI {:.3} ===", analysis.instructions(), analysis.cpi());
+    println!(
+        "=== composite: {} instructions, CPI {:.3} ===",
+        analysis.instructions(),
+        analysis.cpi()
+    );
     println!("{}", report.rendered_tables);
     println!("=== paper vs measured ===");
     println!("{}", report.comparison_table());

@@ -22,7 +22,10 @@ fn main() {
     let mut rows = Vec::new();
     for kind in WorkloadKind::ALL {
         eprintln!("running {} ...", kind.name());
-        let a = Experiment::new(kind).instructions(instructions).run().analysis();
+        let a = Experiment::new(kind)
+            .instructions(instructions)
+            .run()
+            .analysis();
         let t1 = Table1::from_analysis(&a);
         let t8 = Table8::from_analysis(&a);
         let s4 = Section4Stats::from_analysis(&a);
@@ -48,7 +51,5 @@ fn main() {
             "{name:<20} {cpi:>6.2} {float:>8.2} {decchr:>9.2} {stalls:>8.2} {cmiss:>9.3} {tbmiss:>9.4}"
         );
     }
-    println!(
-        "\ncomposite target (paper): CPI 10.59, stalls 2.13, c-miss 0.280, tb-miss 0.029"
-    );
+    println!("\ncomposite target (paper): CPI 10.59, stalls 2.13, c-miss 0.280, tb-miss 0.029");
 }

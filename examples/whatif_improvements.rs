@@ -31,11 +31,13 @@ fn main() {
     // The paper's own example: "optimizing FIELD memory writes will have
     // a payoff of at most 0.007 cycles per instruction, or only about
     // 0.07 percent of total performance."
-    let field_writes = a.cell(vax_ucode::Row::Exec(OpcodeGroup::Field), vax_analysis::Column::Write)
-        + a.cell(
-            vax_ucode::Row::Exec(OpcodeGroup::Field),
-            vax_analysis::Column::WStall,
-        );
+    let field_writes = a.cell(
+        vax_ucode::Row::Exec(OpcodeGroup::Field),
+        vax_analysis::Column::Write,
+    ) + a.cell(
+        vax_ucode::Row::Exec(OpcodeGroup::Field),
+        vax_analysis::Column::WStall,
+    );
     println!(
         "\npaper's §5 example — optimizing FIELD memory writes:\n  \
          at most {:.4} cycles/instruction ({:.2}% of total; paper: 0.007, 0.07%)",

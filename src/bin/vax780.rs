@@ -3,6 +3,9 @@
 //! ```text
 //! vax780 run [--workload NAME|all] [--instructions N] [--warmup N]
 //!            [--decode-overlap] [--save-histogram FILE]
+//! vax780 trace [--workload NAME] [--instructions N] [--warmup N]
+//!              [--trace-out FILE] [--trace-format jsonl|chrome]
+//!              [--trace-limit N] [--metrics]
 //! vax780 report --histogram FILE [--instructions-hint N]
 //! vax780 disasm --workload NAME [--function K] [--lines N]
 //! vax780 list
@@ -10,6 +13,9 @@
 //!
 //! `run` measures one workload (or the five-workload composite), prints
 //! every table plus the paper comparison, and can save the raw histogram;
+//! `trace` runs a workload with the second instrument attached (the
+//! event tracer riding alongside the µPC board), exports the trace, and
+//! reconciles the two instruments against the hardware counters;
 //! `report` re-analyses a saved histogram (the paper's "additional
 //! interpretation of the raw histogram data", §2.2); `disasm` shows the
 //! generated VAX code a workload actually runs.
@@ -26,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("list") => {
@@ -36,10 +43,13 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: vax780 <run|report|disasm|list> [options]\n\
+                "usage: vax780 <run|trace|report|disasm|list> [options]\n\
                  \n\
                  run     --workload NAME|all  --instructions N  --warmup N\n\
                  \x20       --decode-overlap  --save-histogram FILE\n\
+                 trace   --workload NAME  --instructions N  --warmup N\n\
+                 \x20       --trace-out FILE  --trace-format jsonl|chrome\n\
+                 \x20       --trace-limit N  --metrics\n\
                  report  --histogram FILE\n\
                  disasm  --workload NAME  --function K  --lines N\n\
                  list    (print workload names)"
@@ -118,8 +128,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
     print_analysis(&analysis);
     if let Some(path) = opt(args, "--save-histogram") {
-        let text =
-            upc_monitor::codec::to_text_with_counters(&histogram, &counters.to_pairs());
+        let text = upc_monitor::codec::to_text_with_counters(&histogram, &counters.to_pairs());
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("failed to save histogram: {e}");
             return ExitCode::FAILURE;
@@ -127,6 +136,105 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("histogram saved to {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// Run one workload with both instruments attached from boot — the µPC
+/// board and the event tracer tee'd off the same [`CycleSink`] feed —
+/// then export the trace and reconcile trace vs histogram vs hardware
+/// counters. Any disagreement is a nonzero exit: the instruments must
+/// tell one story.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    use upc_monitor::{Command, HistogramBoard};
+    use vax_trace::{SelfMetrics, Tracer};
+
+    let instructions: u64 = opt(args, "--instructions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let warmup: u64 = opt(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let workload = opt(args, "--workload").unwrap_or("timesharing-light");
+    let Some(kind) = parse_kind(workload) else {
+        eprintln!("unknown workload '{workload}'; try `vax780 list`");
+        return ExitCode::FAILURE;
+    };
+    let format = opt(args, "--trace-format").unwrap_or("jsonl");
+    if format != "jsonl" && format != "chrome" {
+        eprintln!("unknown trace format '{format}' (want jsonl or chrome)");
+        return ExitCode::FAILURE;
+    }
+    let limit: usize = opt(args, "--trace-limit")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(vax_trace::DEFAULT_CAPACITY);
+
+    let mut metrics = SelfMetrics::new();
+    let mut machine = vax_workloads::build_machine(&profile(kind));
+    // Baseline after build: the counter deltas from here cover exactly
+    // the cycles both sinks observe.
+    let hw_base = *machine.cpu.mem().counters();
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let mut tracer = Tracer::with_capacity(limit);
+
+    eprintln!("tracing {workload}: {warmup} warmup + {instructions} measured instructions ...");
+    {
+        let mut tee = (&mut board, &mut tracer);
+        for (phase, count) in [("warmup", warmup), ("measure", instructions)] {
+            if count == 0 {
+                continue;
+            }
+            metrics.begin_phase(phase, machine.cpu.now(), machine.cpu.instructions());
+            if let Err(e) = machine.run_phase(phase, count, &mut tee) {
+                eprintln!("machine stopped during {phase}: {e:?}");
+                return ExitCode::FAILURE;
+            }
+            metrics.end_phase(machine.cpu.now(), machine.cpu.instructions());
+        }
+    }
+    board.execute(Command::Stop);
+
+    if let Some(path) = opt(args, "--trace-out") {
+        metrics.begin_phase("export", machine.cpu.now(), machine.cpu.instructions());
+        let result = std::fs::File::create(path).and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            if format == "chrome" {
+                vax_trace::export::write_chrome_trace(&tracer, &mut w)
+            } else {
+                vax_trace::export::write_jsonl(&tracer, &mut w)
+            }
+        });
+        metrics.end_phase(machine.cpu.now(), machine.cpu.instructions());
+        if let Err(e) = result {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "{} events written to {path} ({format}, {} dropped by the ring)",
+            tracer.len(),
+            tracer.dropped()
+        );
+    }
+
+    if flag(args, "--metrics") {
+        println!("=== simulator self-metrics ===");
+        println!("{metrics}\n");
+    }
+
+    let histogram = board.snapshot();
+    let hw = machine.cpu.mem().counters().delta_since(&hw_base);
+    let reconciliation = vax_analysis::reconcile::reconcile(
+        &tracer,
+        &histogram,
+        &hw,
+        machine.cpu.pending_ib_tb_miss(),
+    );
+    println!("=== instrument reconciliation ===");
+    println!("{reconciliation}");
+    if reconciliation.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {
@@ -148,8 +256,7 @@ fn cmd_report(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let counters =
-        vax_mem::HwCounters::from_pairs(pairs.iter().map(|(n, v)| (n.as_str(), *v)));
+    let counters = vax_mem::HwCounters::from_pairs(pairs.iter().map(|(n, v)| (n.as_str(), *v)));
     let cs = ControlStore::build();
     let analysis = Analysis::new(&hist, &cs, &counters);
     print_analysis(&analysis);
@@ -186,24 +293,29 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
     } else if let Some(&f) = prog.functions.get(function - 1) {
         f
     } else {
-        eprintln!(
-            "function index out of range (1..={})",
-            prog.functions.len()
-        );
+        eprintln!("function index out of range (1..={})", prog.functions.len());
         return ExitCode::FAILURE;
     };
     let offset = (start_va - image.base) as usize;
     // Functions start with an entry-mask word, not an opcode.
     let skip = if function > 0 { 2 } else { 0 };
-    println!("; {} process 0, {} @ {start_va:#010x}", kind.name(),
-        if function == 0 { "dispatcher".to_string() } else { format!("function {function}") });
+    println!(
+        "; {} process 0, {} @ {start_va:#010x}",
+        kind.name(),
+        if function == 0 {
+            "dispatcher".to_string()
+        } else {
+            format!("function {function}")
+        }
+    );
     if function > 0 {
         let mask = u16::from_le_bytes([image.bytes[offset], image.bytes[offset + 1]]);
         println!("{start_va:#010x}\t.entry mask={mask:#06x}");
     }
-    for (pc, _, text) in vax_arch::disasm::disassemble(&image.bytes[offset + skip..], start_va + skip as u32)
-        .into_iter()
-        .take(lines)
+    for (pc, _, text) in
+        vax_arch::disasm::disassemble(&image.bytes[offset + skip..], start_va + skip as u32)
+            .into_iter()
+            .take(lines)
     {
         println!("{pc:#010x}\t{text}");
     }

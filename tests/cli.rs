@@ -48,7 +48,11 @@ fn run_save_and_report_round_trip() {
         .arg(&hist)
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("TABLE 8"));
     assert!(text.contains("paper vs measured"));
@@ -71,7 +75,15 @@ fn run_save_and_report_round_trip() {
 #[test]
 fn disasm_produces_vax_assembly() {
     let out = vax780()
-        .args(["disasm", "--workload", "sci-eng", "--function", "1", "--lines", "10"])
+        .args([
+            "disasm",
+            "--workload",
+            "sci-eng",
+            "--function",
+            "1",
+            "--lines",
+            "10",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
@@ -88,4 +100,89 @@ fn rejects_unknown_workload() {
         .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+}
+
+#[test]
+fn trace_exports_both_formats_and_reconciles() {
+    let dir = std::env::temp_dir().join("vax780-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // JSONL export, with self-metrics.
+    let jsonl = dir.join("run.jsonl");
+    let out = vax780()
+        .args([
+            "trace",
+            "--workload",
+            "educational",
+            "--instructions",
+            "6000",
+            "--warmup",
+            "2000",
+            "--metrics",
+            "--trace-out",
+        ])
+        .arg(&jsonl)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("all instruments agree"),
+        "reconciliation:\n{text}"
+    );
+    assert!(text.contains("simulator self-metrics"));
+    assert!(text.contains("cyc/s"));
+    let trace = std::fs::read_to_string(&jsonl).unwrap();
+    for line in trace.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "JSONL line is not an object: {line}"
+        );
+    }
+    assert!(trace.lines().last().unwrap().contains("\"ev\":\"summary\""));
+    assert!(trace.contains("\"ev\":\"retire\""));
+    assert!(trace.contains("\"ev\":\"phase\",\"name\":\"measure\""));
+
+    // Chrome trace_event export.
+    let chrome = dir.join("run.chrome.json");
+    let out = vax780()
+        .args([
+            "trace",
+            "--workload",
+            "timesharing-light",
+            "--instructions",
+            "6000",
+            "--warmup",
+            "2000",
+            "--trace-format",
+            "chrome",
+            "--trace-out",
+        ])
+        .arg(&chrome)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("all instruments agree"));
+    let trace = std::fs::read_to_string(&chrome).unwrap();
+    assert!(trace.starts_with("{\"displayTimeUnit\""));
+    assert!(trace.trim_end().ends_with("]}"));
+    assert!(trace.contains("\"traceEvents\""));
+}
+
+#[test]
+fn trace_rejects_bad_format() {
+    let out = vax780()
+        .args(["trace", "--trace-format", "yaml"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown trace format"));
 }

@@ -25,8 +25,16 @@ fn every_cycle_is_classified_exactly_once() {
     let a = quick_analysis(WorkloadKind::TimesharingLight);
     let row_sum: f64 = Row::ALL.iter().map(|&r| a.row_total(r)).sum();
     let col_sum: f64 = Column::ALL.iter().map(|&c| a.col_total(c)).sum();
-    assert!((row_sum - a.cpi()).abs() < 1e-9, "rows {row_sum} vs {}", a.cpi());
-    assert!((col_sum - a.cpi()).abs() < 1e-9, "cols {col_sum} vs {}", a.cpi());
+    assert!(
+        (row_sum - a.cpi()).abs() < 1e-9,
+        "rows {row_sum} vs {}",
+        a.cpi()
+    );
+    assert!(
+        (col_sum - a.cpi()).abs() < 1e-9,
+        "cols {col_sum} vs {}",
+        a.cpi()
+    );
 }
 
 #[test]
@@ -58,7 +66,9 @@ fn rare_groups_cost_orders_of_magnitude_more() {
     let a = quick_analysis(WorkloadKind::Commercial);
     let t9 = Table9::from_analysis(&a);
     let simple = t9.total(OpcodeGroup::Simple);
-    let heavy = t9.total(OpcodeGroup::Character).max(t9.total(OpcodeGroup::Decimal));
+    let heavy = t9
+        .total(OpcodeGroup::Character)
+        .max(t9.total(OpcodeGroup::Decimal));
     assert!(simple < 3.0, "SIMPLE within-group {simple}");
     assert!(
         heavy / simple > 25.0,
@@ -165,12 +175,22 @@ fn decode_overlap_saves_close_to_the_nonbranching_fraction() {
         .cpu_config(CpuConfig::with_decode_overlap())
         .run()
         .analysis();
-    let saving = base.cpi() - folded.cpi();
     let t2 = Table2::from_analysis(&base);
     let predicted = 1.0 - t2.total.0 / 100.0;
+    // The fold removes exactly the IRD1 issue cycle of non-PC-changing
+    // instructions, so the *decode row* must thin by the non-branching
+    // fraction. Total CPI also drops, but by a noisier amount: shifting
+    // every later instruction earlier realigns interrupts, DMA and
+    // write-buffer drain, which perturbs the other rows.
+    let decode_saving = base.row_total(Row::Decode) - folded.row_total(Row::Decode);
     assert!(
-        (saving - predicted).abs() < 0.15,
-        "saving {saving:.3} vs predicted {predicted:.3}"
+        (decode_saving - predicted).abs() < 0.05,
+        "decode-row saving {decode_saving:.3} vs predicted {predicted:.3}"
+    );
+    let cpi_saving = base.cpi() - folded.cpi();
+    assert!(
+        cpi_saving > 0.5 * predicted,
+        "total CPI saving {cpi_saving:.3} implausibly small vs {predicted:.3}"
     );
 }
 

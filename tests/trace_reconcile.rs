@@ -1,0 +1,169 @@
+//! The two-instrument contract, end to end: the event tracer, the µPC
+//! histogram board, and the hardware counters watch the same run and
+//! must tell exactly the same story — for any workload, any length.
+//!
+//! Also the zero-cost side of the bargain: with the tracer detached
+//! (the default `CycleSink` trace hooks), a run is cycle-for-cycle and
+//! counter-for-counter identical to an unmonitored one.
+
+use proptest::prelude::*;
+use upc_monitor::{Command, CycleSink, HistogramBoard, NullSink};
+use vax_mem::HwCounters;
+use vax_trace::Tracer;
+use vax_workloads::{build_machine, profile, Machine, ProfileParams, WorkloadKind};
+
+/// A scaled-down profile so property cases run in milliseconds.
+fn small_profile(kind: WorkloadKind, seed_salt: u64) -> ProfileParams {
+    let base = profile(kind);
+    ProfileParams {
+        processes: 3,
+        functions_per_process: 8,
+        slots_per_function: 20,
+        scalar_bytes: 16 * 1024,
+        terminal_users: 4,
+        seed: base.seed ^ seed_salt,
+        ..base
+    }
+}
+
+struct TracedRun {
+    tracer: Tracer,
+    histogram: upc_monitor::Histogram,
+    hw: HwCounters,
+    pending_ib_tb_miss: bool,
+    instructions: u64,
+}
+
+/// Boot a machine with the board+tracer tee attached from the first
+/// cycle and run `instructions`; both instruments see every event.
+fn traced_run(params: &ProfileParams, instructions: u64) -> TracedRun {
+    let mut machine = build_machine(params);
+    let hw_base = *machine.cpu.mem().counters();
+    let instr_base = machine.cpu.instructions();
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let mut tracer = Tracer::new();
+    {
+        let mut tee = (&mut board, &mut tracer);
+        machine
+            .run_phase("measure", instructions, &mut tee)
+            .expect("workload runs");
+    }
+    TracedRun {
+        tracer,
+        histogram: board.snapshot(),
+        hw: machine.cpu.mem().counters().delta_since(&hw_base),
+        pending_ib_tb_miss: machine.cpu.pending_ib_tb_miss(),
+        instructions: machine.cpu.instructions() - instr_base,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random workloads and lengths, every aggregate the trace
+    /// derives must equal — exactly, not approximately — what the
+    /// histogram board and the hardware counters measured.
+    #[test]
+    fn instruments_reconcile_exactly(
+        kind in prop::sample::select(vec![
+            WorkloadKind::TimesharingLight,
+            WorkloadKind::Educational,
+            WorkloadKind::SciEng,
+        ]),
+        instructions in 2_000u64..5_000,
+        salt in 0u64..1_000,
+    ) {
+        let params = small_profile(kind, salt);
+        let run = traced_run(&params, instructions);
+        let r = vax_analysis::reconcile::reconcile(
+            &run.tracer,
+            &run.histogram,
+            &run.hw,
+            run.pending_ib_tb_miss,
+        );
+        prop_assert!(r.is_ok(), "{r}");
+        // The derived clock is the histogram's cycle total.
+        prop_assert_eq!(run.tracer.now(), run.histogram.total_cycles());
+        // One Retire event per retired instruction.
+        prop_assert_eq!(run.tracer.counters().retires, run.instructions);
+        prop_assert_eq!(run.tracer.counters().decodes, run.tracer.counters().retires);
+        // Nothing dropped at these sizes, so replay must agree too.
+        prop_assert_eq!(run.tracer.dropped(), 0);
+        prop_assert_eq!(&run.tracer.replay(), run.tracer.counters());
+    }
+}
+
+fn run_machine<S: CycleSink>(params: &ProfileParams, n: u64, sink: &mut S) -> Machine {
+    let mut machine = build_machine(params);
+    machine.run_instructions(n, sink).expect("workload runs");
+    machine
+}
+
+/// A sink using only the required methods — the trace hooks stay at
+/// their default no-op bodies, exactly like a third-party sink written
+/// before the tracing layer existed.
+struct MinimalSink {
+    issues: u64,
+    stalls: u64,
+}
+
+impl CycleSink for MinimalSink {
+    fn record_issue(&mut self, _addr: vax_ucode::MicroAddr) {
+        self.issues += 1;
+    }
+    fn record_stall(&mut self, _addr: vax_ucode::MicroAddr, cycles: u32) {
+        self.stalls += u64::from(cycles);
+    }
+}
+
+/// Detached tracing is free: the machine's behaviour — cycles, PC,
+/// retired instructions, every hardware counter — is bit-identical
+/// whether it runs unmonitored, under the board, under a trace-less
+/// minimal sink, or under the full board+tracer tee. The sinks observe;
+/// they never steer.
+#[test]
+fn detached_tracing_does_not_perturb_the_machine() {
+    let params = small_profile(WorkloadKind::TimesharingLight, 7);
+    const N: u64 = 8_000;
+
+    let baseline = run_machine(&params, N, &mut NullSink);
+    let fingerprint = |m: &Machine| {
+        (
+            m.cpu.now(),
+            m.cpu.pc(),
+            m.cpu.instructions(),
+            *m.cpu.mem().counters(),
+        )
+    };
+    let expect = fingerprint(&baseline);
+
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    assert_eq!(fingerprint(&run_machine(&params, N, &mut board)), expect);
+
+    let mut minimal = MinimalSink {
+        issues: 0,
+        stalls: 0,
+    };
+    assert_eq!(fingerprint(&run_machine(&params, N, &mut minimal)), expect);
+    assert_eq!(minimal.issues + minimal.stalls, expect.0, "clock from feed");
+
+    let mut board2 = HistogramBoard::new();
+    board2.execute(Command::Start);
+    let mut tracer = Tracer::new();
+    let mut tee = (&mut board2, &mut tracer);
+    assert_eq!(fingerprint(&run_machine(&params, N, &mut tee)), expect);
+    assert!(!tracer.is_empty(), "attached tracer did record");
+}
+
+/// A stopped board and a null sink see nothing; only an attached tracer
+/// accumulates events. Detachment means literally zero recorded state.
+#[test]
+fn detached_sinks_record_nothing() {
+    let params = small_profile(WorkloadKind::Educational, 11);
+    let mut stopped = HistogramBoard::new(); // never started
+    let machine = run_machine(&params, 2_000, &mut stopped);
+    assert!(machine.cpu.now() > 0);
+    assert_eq!(stopped.snapshot().total_cycles(), 0);
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion 0.5 API used by `crates/bench`:
+//! `Criterion`, `benchmark_group` with `sample_size` / `throughput`,
+//! `Bencher::iter`, `Throughput::Elements`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it reports a simple min/mean over a fixed
+//! number of timed samples — enough to compare runs by eye and to keep
+//! the benches executable without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall time, filled by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing each sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup run.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("bench {id:<40} (no samples)");
+        return;
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let mut line = format!(
+        "bench {id:<40} min {:>12.3?} mean {:>12.3?} ({} samples)",
+        min,
+        mean,
+        times.len()
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!("  {:>12.0} {unit}", count as f64 / secs));
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Time a single function under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &b.times, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b.times, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    fn bench(c: &mut Criterion) {
+        c.bench_function("sum_direct", |b| {
+            b.iter(|| black_box(sum_to(black_box(1000))))
+        });
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("sum", |b| b.iter(|| black_box(sum_to(1000))));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}
