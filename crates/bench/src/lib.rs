@@ -17,11 +17,20 @@ pub const BENCH_INSTRUCTIONS: u64 = 60_000;
 
 static COMPOSITE: OnceLock<Analysis> = OnceLock::new();
 
-/// The composite analysis, computed once per bench process.
+/// The composite analysis, computed once per bench process. The five
+/// workloads fan across one worker per host core; the merge is
+/// bit-identical to a serial run, so bench numbers are unaffected.
 pub fn composite_analysis() -> &'static Analysis {
     COMPOSITE.get_or_init(|| {
         eprintln!("[bench] running composite: 5 workloads x {BENCH_INSTRUCTIONS} instructions ...");
-        let (_, analysis) = CompositeStudy::new(BENCH_INSTRUCTIONS).warmup(15_000).run();
+        let (_, analysis, metrics) = CompositeStudy::new(BENCH_INSTRUCTIONS)
+            .warmup(15_000)
+            .run_with_metrics();
+        eprintln!(
+            "[bench] composite wall {:.3?} ({:.2}x parallel speedup)",
+            metrics.wall,
+            metrics.speedup()
+        );
         analysis
     })
 }

@@ -72,31 +72,49 @@ impl Experiment {
         machine
             .run_instructions(self.warmup_instructions, &mut null)
             .expect("warmup runs");
-        // Measurement boundary: clear the second instrument too.
-        machine.cpu.mem_mut().counters_mut().clear();
-        let insns_before = machine.cpu.instructions();
-        let cycles_before = machine.cpu.now();
+        measure(&mut machine, self.instructions)
+    }
+}
 
-        let mut board = HistogramBoard::new();
-        board.execute(Command::Start);
-        while machine.cpu.instructions() - insns_before < self.instructions {
-            // Null-process exclusion (§2.2): collection is suspended
-            // while the idle loop runs.
-            if machine.at_idle() {
-                machine.step(&mut null).expect("workload runs");
-            } else {
-                machine.step(&mut board).expect("workload runs");
-            }
-        }
-        board.execute(Command::Stop);
+/// Measure `instructions` retired instructions on an already-warmed
+/// machine: clear the second instrument at the measurement boundary,
+/// attach the µPC board, and step with the Null-process exclusion.
+///
+/// Both instruments observe the same cycles: while the idle loop runs,
+/// the histogram board is bypassed (§2.2) AND the hardware counters are
+/// rolled back over the step, so counter-derived per-instruction rates
+/// stay commensurate with the histogram instead of being inflated by
+/// idle cache/TB/SBI traffic the board never saw.
+///
+/// # Panics
+///
+/// Panics if the machine halts or faults unrecoverably (a model bug).
+pub fn measure(machine: &mut vax_workloads::Machine, instructions: u64) -> MeasuredWorkload {
+    let mut null = NullSink;
+    // Measurement boundary: clear the second instrument too.
+    machine.cpu.mem_mut().counters_mut().clear();
+    let insns_before = machine.cpu.instructions();
+    let cycles_before = machine.cpu.now();
 
-        MeasuredWorkload {
-            name: self.params.name,
-            histogram: board.into_histogram(),
-            counters: *machine.cpu.mem().counters(),
-            instructions: machine.cpu.instructions() - insns_before,
-            cycles: machine.cpu.now() - cycles_before,
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    while machine.cpu.instructions() - insns_before < instructions {
+        if machine.at_idle() {
+            let suspended = *machine.cpu.mem().counters();
+            machine.step(&mut null).expect("workload runs");
+            *machine.cpu.mem_mut().counters_mut() = suspended;
+        } else {
+            machine.step(&mut board).expect("workload runs");
         }
+    }
+    board.execute(Command::Stop);
+
+    MeasuredWorkload {
+        name: machine.name,
+        histogram: board.into_histogram(),
+        counters: *machine.cpu.mem().counters(),
+        instructions: machine.cpu.instructions() - insns_before,
+        cycles: machine.cpu.now() - cycles_before,
     }
 }
 

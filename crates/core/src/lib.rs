@@ -24,6 +24,7 @@
 
 mod experiment;
 mod study;
+pub mod sweep;
 
-pub use experiment::{Experiment, MeasuredWorkload};
-pub use study::CompositeStudy;
+pub use experiment::{measure, Experiment, MeasuredWorkload};
+pub use study::{default_workers, CampaignMetrics, CompositeStudy};

@@ -1,11 +1,105 @@
 //! The composite study: all five workloads, summed.
+//!
+//! Each workload experiment owns its machine, RNG seed, and sinks, so
+//! the campaign is embarrassingly parallel: [`CompositeStudy::run`]
+//! fans the workloads across a bounded scoped-thread pool and merges
+//! the results in workload order, which makes the merged histogram and
+//! counters bit-identical to a serial run regardless of which worker
+//! finished first.
 
 use crate::{Experiment, MeasuredWorkload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use upc_monitor::Histogram;
 use vax_analysis::Analysis;
-use vax_mem::HwCounters;
+use vax_cpu::CpuConfig;
+use vax_mem::{HwCounters, MemConfig};
+use vax_trace::SelfMetrics;
 use vax_ucode::ControlStore;
 use vax_workloads::WorkloadKind;
+
+/// Worker count when none is requested: one per host core, capped by the
+/// number of jobs to run.
+pub fn default_workers(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, jobs.max(1))
+}
+
+/// Host-side metrics for one parallel campaign: what each worker did and
+/// how long the whole fan-out took.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignMetrics {
+    /// Per-worker phase metrics (one phase per job the worker ran).
+    pub workers: Vec<SelfMetrics>,
+    /// Wall-clock for the whole campaign (fan-out to join).
+    pub wall: Duration,
+}
+
+impl CampaignMetrics {
+    /// Sum of busy wall time across workers.
+    pub fn busy(&self) -> Duration {
+        self.workers.iter().map(SelfMetrics::total_wall).sum()
+    }
+
+    /// Aggregate parallel speedup: total busy time / elapsed wall time.
+    /// 1.0 means no overlap (serial); N means N workers were saturated.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.busy().as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// Total simulated instructions across all workers.
+    pub fn instructions(&self) -> u64 {
+        self.workers
+            .iter()
+            .flat_map(|w| w.phases())
+            .map(|p| p.instructions)
+            .sum()
+    }
+
+    /// Aggregate simulated MIPS (instructions per host second of wall
+    /// time, in millions).
+    pub fn aggregate_mips(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.instructions() as f64 / wall / 1e6
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, w) in self.workers.iter().enumerate() {
+            for p in w.phases() {
+                writeln!(
+                    f,
+                    "worker {i}: {:<20} {:>10.3?}  {:>10} instrs  {:>8.3} sim-MIPS",
+                    p.name,
+                    p.wall,
+                    p.instructions,
+                    p.instructions_per_sec() / 1e6
+                )?;
+            }
+        }
+        write!(
+            f,
+            "wall {:.3?}   busy {:.3?}   speedup {:.2}x   aggregate {:.3} sim-MIPS",
+            self.wall,
+            self.busy(),
+            self.speedup(),
+            self.aggregate_mips()
+        )
+    }
+}
 
 /// The paper's full experimental campaign: five workloads, one composite.
 #[derive(Debug, Clone)]
@@ -13,6 +107,9 @@ pub struct CompositeStudy {
     instructions_each: u64,
     warmup_each: u64,
     kinds: Vec<WorkloadKind>,
+    cpu_config: CpuConfig,
+    mem_config: MemConfig,
+    workers: Option<usize>,
 }
 
 impl CompositeStudy {
@@ -22,6 +119,9 @@ impl CompositeStudy {
             instructions_each,
             warmup_each: 30_000,
             kinds: WorkloadKind::ALL.to_vec(),
+            cpu_config: CpuConfig::default(),
+            mem_config: MemConfig::default(),
+            workers: None,
         }
     }
 
@@ -37,28 +137,170 @@ impl CompositeStudy {
         self
     }
 
+    /// Override the CPU configuration for every workload (ablations).
+    pub fn cpu_config(mut self, config: CpuConfig) -> CompositeStudy {
+        self.cpu_config = config;
+        self
+    }
+
+    /// Override the memory configuration for every workload (ablations).
+    pub fn mem_config(mut self, config: MemConfig) -> CompositeStudy {
+        self.mem_config = config;
+        self
+    }
+
+    /// Cap the worker pool (default: one worker per host core, at most
+    /// one per workload). `1` forces the serial path.
+    pub fn max_workers(mut self, n: usize) -> CompositeStudy {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    fn experiment(&self, kind: WorkloadKind) -> Experiment {
+        Experiment::new(kind)
+            .warmup(self.warmup_each)
+            .instructions(self.instructions_each)
+            .cpu_config(self.cpu_config)
+            .mem_config(self.mem_config)
+    }
+
     /// Run every workload and return (per-workload results, composite
     /// analysis) — "the sum of the five µPC histograms" (§2.2).
+    /// Workloads run concurrently when more than one worker is available;
+    /// the merge is performed in workload order, so the result is
+    /// bit-identical to [`CompositeStudy::run_serial`].
     pub fn run(&self) -> (Vec<MeasuredWorkload>, Analysis) {
+        let (results, analysis, _) = self.run_with_metrics();
+        (results, analysis)
+    }
+
+    /// As [`CompositeStudy::run`], forcing the single-threaded path.
+    pub fn run_serial(&self) -> (Vec<MeasuredWorkload>, Analysis) {
         let results: Vec<MeasuredWorkload> = self
             .kinds
             .iter()
-            .map(|&kind| {
-                Experiment::new(kind)
-                    .warmup(self.warmup_each)
-                    .instructions(self.instructions_each)
-                    .run()
+            .map(|&k| self.experiment(k).run())
+            .collect();
+        let analysis = merge_results(&results);
+        (results, analysis)
+    }
+
+    /// Run the campaign and also report host-side self-metrics: per-worker
+    /// wall time and simulated MIPS, plus the aggregate speedup.
+    pub fn run_with_metrics(&self) -> (Vec<MeasuredWorkload>, Analysis, CampaignMetrics) {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| default_workers(self.kinds.len()))
+            .clamp(1, self.kinds.len().max(1));
+        let started = Instant::now();
+        let (results, worker_metrics) = run_jobs(
+            workers,
+            self.kinds.len(),
+            |i| self.kinds[i].name().to_string(),
+            |i| self.experiment(self.kinds[i]).run(),
+        );
+        let metrics = CampaignMetrics {
+            workers: worker_metrics,
+            wall: started.elapsed(),
+        };
+        let analysis = merge_results(&results);
+        (results, analysis, metrics)
+    }
+}
+
+/// Merge per-workload measurements into the composite analysis, in the
+/// order given (deterministic regardless of execution order).
+fn merge_results(results: &[MeasuredWorkload]) -> Analysis {
+    let mut histogram = Histogram::new();
+    let mut counters = HwCounters::new();
+    for r in results {
+        histogram.merge(&r.histogram);
+        counters.merge(&r.counters);
+    }
+    let cs = ControlStore::build();
+    Analysis::new(&histogram, &cs, &counters)
+}
+
+/// Run `jobs` closures across a bounded scoped-thread pool and return
+/// the results in job order plus per-worker [`SelfMetrics`] (one phase
+/// per job, named by `label(i)`, charged with its simulated work).
+///
+/// The pool is a simple atomic work queue: workers claim the next job
+/// index until none remain. Results land in per-index slots, so the
+/// output order never depends on scheduling. A panicking job propagates
+/// out of the scope (a model bug, exactly as in the serial path).
+pub(crate) fn run_jobs<T, L, F>(
+    workers: usize,
+    jobs: usize,
+    label: L,
+    job: F,
+) -> (Vec<T>, Vec<SelfMetrics>)
+where
+    T: Send + HasSimWork,
+    L: Fn(usize) -> String + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, jobs.max(1));
+    if workers <= 1 {
+        // Serial fast path: no threads, same slot discipline.
+        let mut metrics = SelfMetrics::new();
+        let mut out = Vec::with_capacity(jobs);
+        for i in 0..jobs {
+            metrics.begin_phase(&label(i), 0, 0);
+            let value = job(i);
+            let (cycles, instructions) = value.sim_work();
+            metrics.end_phase(cycles, instructions);
+            out.push(value);
+        }
+        return (out, vec![metrics]);
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let mut worker_metrics: Vec<SelfMetrics> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut metrics = SelfMetrics::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        metrics.begin_phase(&label(i), 0, 0);
+                        let value = job(i);
+                        let (cycles, instructions) = value.sim_work();
+                        metrics.end_phase(cycles, instructions);
+                        *slots[i].lock().expect("slot lock") = Some(value);
+                    }
+                    metrics
+                })
             })
             .collect();
-        let mut histogram = Histogram::new();
-        let mut counters = HwCounters::new();
-        for r in &results {
-            histogram.merge(&r.histogram);
-            counters.merge(&r.counters);
+        for h in handles {
+            worker_metrics.push(h.join().expect("worker thread"));
         }
-        let cs = ControlStore::build();
-        let analysis = Analysis::new(&histogram, &cs, &counters);
-        (results, analysis)
+    });
+    let out = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every job slot filled")
+        })
+        .collect();
+    (out, worker_metrics)
+}
+
+/// Simulated work carried by a job result, for worker self-metrics.
+pub(crate) trait HasSimWork {
+    /// `(simulated cycles, simulated instructions)` this result cost.
+    fn sim_work(&self) -> (u64, u64);
+}
+
+impl HasSimWork for MeasuredWorkload {
+    fn sim_work(&self) -> (u64, u64) {
+        (self.cycles, self.instructions)
     }
 }
 
@@ -76,5 +318,35 @@ mod tests {
         let per_sum: u64 = results.iter().map(|r| r.analysis().instructions()).sum();
         assert_eq!(analysis.instructions(), per_sum);
         assert!(analysis.cpi() > 2.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let study = CompositeStudy::new(6_000)
+            .warmup(2_000)
+            .with_kinds(&[WorkloadKind::TimesharingLight, WorkloadKind::Educational]);
+        let (serial, serial_analysis) = study.run_serial();
+        let (parallel, parallel_analysis, metrics) =
+            study.clone().max_workers(2).run_with_metrics();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.histogram, p.histogram);
+            assert_eq!(s.counters, p.counters);
+            assert_eq!(s.instructions, p.instructions);
+            assert_eq!(s.cycles, p.cycles);
+        }
+        assert_eq!(
+            serial_analysis.instructions(),
+            parallel_analysis.instructions()
+        );
+        assert_eq!(
+            serial_analysis.total_cycles(),
+            parallel_analysis.total_cycles()
+        );
+        // Two jobs ran, between them covering all simulated work.
+        let phases: usize = metrics.workers.iter().map(|w| w.phases().len()).sum();
+        assert_eq!(phases, 2);
+        assert!(metrics.speedup() > 0.0);
     }
 }

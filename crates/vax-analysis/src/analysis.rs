@@ -191,6 +191,16 @@ impl Analysis {
         self.instructions
     }
 
+    /// Replace the instruction count used for per-instruction
+    /// normalization (CPI, frequencies). The histogram-derived count is
+    /// the paper's definition; this override exists for re-analyses of
+    /// saved histograms where the caller knows the true retired count
+    /// (`vax780 report --instructions-hint`).
+    pub fn with_instructions(mut self, n: u64) -> Analysis {
+        self.instructions = n;
+        self
+    }
+
     /// Total classified cycles.
     pub fn total_cycles(&self) -> u64 {
         self.total_cycles

@@ -21,6 +21,7 @@ pub mod paper;
 pub mod reconcile;
 pub mod report;
 pub mod section4;
+pub mod sweep;
 pub mod tables;
 pub mod whatif;
 

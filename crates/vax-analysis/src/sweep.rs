@@ -1,0 +1,269 @@
+//! Sweep report formatting: per-point CPI/stall breakdowns as an
+//! aligned table, CSV, or JSONL.
+//!
+//! The sweep engine (`vax780_core::sweep`) re-simulates the workloads
+//! under ablated machine configurations — the §6 what-if analyses done
+//! by measurement instead of by subtracting Table 8 columns. Each point
+//! reduces to one [`SweepRow`]; this module renders the set.
+
+use crate::{Analysis, Column};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One sweep point, reduced to the numbers a what-if table needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Point label, e.g. `cache-size=4KB`.
+    pub label: String,
+    /// The axis this point ablates (`baseline` for the reference point).
+    pub axis: String,
+    /// Instructions counted by the composite analysis.
+    pub instructions: u64,
+    /// Total classified cycles.
+    pub cycles: u64,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Table 8 column totals, cycles per instruction.
+    pub compute: f64,
+    /// D-stream read microinstructions per instruction.
+    pub read: f64,
+    /// Read-stall cycles per instruction.
+    pub read_stall: f64,
+    /// D-stream write microinstructions per instruction.
+    pub write: f64,
+    /// Write-stall cycles per instruction.
+    pub write_stall: f64,
+    /// IB-stall cycles per instruction.
+    pub ib_stall: f64,
+    /// TB misses per 1000 instructions (second instrument).
+    pub tb_miss_per_1k: f64,
+    /// Cache read misses per 1000 instructions (second instrument).
+    pub cache_miss_per_1k: f64,
+    /// Host wall-clock seconds spent simulating this point.
+    pub wall_secs: f64,
+    /// Simulated instructions per host second, in millions.
+    pub sim_mips: f64,
+}
+
+impl SweepRow {
+    /// Reduce one point's composite analysis, charging it `wall` of host
+    /// time and `sim_instructions` of simulated work (for self-metrics).
+    pub fn from_analysis(
+        label: impl Into<String>,
+        axis: impl Into<String>,
+        analysis: &Analysis,
+        wall: Duration,
+        sim_instructions: u64,
+    ) -> SweepRow {
+        let secs = wall.as_secs_f64();
+        let c = analysis.counters();
+        let per_1k = |count: u64| 1000.0 * analysis.per_instr(count);
+        SweepRow {
+            label: label.into(),
+            axis: axis.into(),
+            instructions: analysis.instructions(),
+            cycles: analysis.total_cycles(),
+            cpi: analysis.cpi(),
+            compute: analysis.col_total(Column::Compute),
+            read: analysis.col_total(Column::Read),
+            read_stall: analysis.col_total(Column::RStall),
+            write: analysis.col_total(Column::Write),
+            write_stall: analysis.col_total(Column::WStall),
+            ib_stall: analysis.col_total(Column::IbStall),
+            tb_miss_per_1k: per_1k(c.tb_misses()),
+            cache_miss_per_1k: per_1k(c.cache_read_misses()),
+            wall_secs: secs,
+            sim_mips: if secs > 0.0 {
+                sim_instructions as f64 / secs / 1e6
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The CSV/JSONL field names, in emission order.
+const FIELDS: [&str; 15] = [
+    "label",
+    "axis",
+    "instructions",
+    "cycles",
+    "cpi",
+    "compute",
+    "read",
+    "read_stall",
+    "write",
+    "write_stall",
+    "ib_stall",
+    "tb_miss_per_1k",
+    "cache_miss_per_1k",
+    "wall_secs",
+    "sim_mips",
+];
+
+fn numeric_fields(r: &SweepRow) -> [f64; 11] {
+    [
+        r.cpi,
+        r.compute,
+        r.read,
+        r.read_stall,
+        r.write,
+        r.write_stall,
+        r.ib_stall,
+        r.tb_miss_per_1k,
+        r.cache_miss_per_1k,
+        r.wall_secs,
+        r.sim_mips,
+    ]
+}
+
+/// Render the aligned human-readable table. The first row is the
+/// reference point for the Δ-CPI and speedup columns (the sweep engine
+/// always emits the baseline first).
+pub fn render_table(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>7} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "point",
+        "CPI",
+        "dCPI",
+        "speedup",
+        "Compute",
+        "Read",
+        "R-Stl",
+        "Write",
+        "W-Stl",
+        "IB-Stl",
+        "TBm/1k",
+        "C$m/1k"
+    );
+    let base_cpi = rows.first().map_or(0.0, |r| r.cpi);
+    for r in rows {
+        let speedup = if r.cpi > 0.0 { base_cpi / r.cpi } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8.3} {:>+7.3} {:>7.3}x {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.2} {:>8.2}",
+            r.label,
+            r.cpi,
+            r.cpi - base_cpi,
+            speedup,
+            r.compute,
+            r.read,
+            r.read_stall,
+            r.write,
+            r.write_stall,
+            r.ib_stall,
+            r.tb_miss_per_1k,
+            r.cache_miss_per_1k
+        );
+    }
+    out
+}
+
+/// Machine-readable CSV, header first. Labels are quoted.
+pub fn to_csv(rows: &[SweepRow]) -> String {
+    let mut out = FIELDS.join(",");
+    out.push('\n');
+    for r in rows {
+        let _ = write!(
+            out,
+            "\"{}\",\"{}\",{},{}",
+            r.label.replace('"', "\"\""),
+            r.axis.replace('"', "\"\""),
+            r.instructions,
+            r.cycles
+        );
+        for v in numeric_fields(r) {
+            let _ = write!(out, ",{v:.6}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Machine-readable JSONL: one object per point, keys as in [`to_csv`].
+pub fn to_jsonl(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"axis\":\"{}\",\"instructions\":{},\"cycles\":{}",
+            escape_json(&r.label),
+            escape_json(&r.axis),
+            r.instructions,
+            r.cycles
+        );
+        for (name, v) in FIELDS[4..].iter().zip(numeric_fields(r)) {
+            let _ = write!(out, ",\"{name}\":{v:.6}");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, cpi: f64) -> SweepRow {
+        SweepRow {
+            label: label.into(),
+            axis: "cache-size".into(),
+            instructions: 1000,
+            cycles: (cpi * 1000.0) as u64,
+            cpi,
+            compute: cpi * 0.5,
+            read: 0.6,
+            read_stall: 0.9,
+            write: 0.3,
+            write_stall: 0.8,
+            ib_stall: 1.1,
+            tb_miss_per_1k: 20.0,
+            cache_miss_per_1k: 80.0,
+            wall_secs: 0.5,
+            sim_mips: 2.0,
+        }
+    }
+
+    #[test]
+    fn table_reports_delta_and_speedup_vs_first_row() {
+        let rows = vec![row("baseline", 10.0), row("cache-size=4KB", 12.5)];
+        let t = render_table(&rows);
+        assert!(t.contains("baseline"), "{t}");
+        assert!(t.contains("+2.500"), "{t}");
+        assert!(t.contains("0.800x"), "{t}");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let rows = vec![row("a", 10.0), row("b", 11.0)];
+        let csv = to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("label,axis,instructions,cycles,cpi"));
+        assert_eq!(lines[0].split(',').count(), FIELDS.len());
+        assert_eq!(lines[1].split(',').count(), FIELDS.len());
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects() {
+        let rows = vec![row("quote\"label", 10.0)];
+        let j = to_jsonl(&rows);
+        let line = j.lines().next().unwrap();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"quote\\\"label\""));
+        assert!(line.contains("\"cpi\":10.000000"));
+    }
+}

@@ -1,6 +1,7 @@
-//! The full characterization study: run all five workloads, merge their
-//! µPC histograms, and print every table of the paper with the
-//! paper-vs-measured comparison.
+//! The full characterization study: run all five workloads (in parallel,
+//! one worker per core), merge their µPC histograms, and print every
+//! table of the paper with the paper-vs-measured comparison plus the
+//! simulator's own campaign metrics.
 //!
 //! ```sh
 //! cargo run --release --example composite_study [instructions_per_workload]
@@ -15,7 +16,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(300_000);
     eprintln!("running 5 workloads x {instructions} instructions ...");
-    let (results, analysis) = CompositeStudy::new(instructions).run();
+    let (results, analysis, metrics) = CompositeStudy::new(instructions).run_with_metrics();
+    eprintln!("{metrics}");
     for r in &results {
         let a = r.analysis();
         eprintln!(

@@ -1,0 +1,30 @@
+//! Sweep the machine-configuration grid — the §6 what-if analyses done
+//! by re-simulation instead of Table 8 arithmetic — and print the
+//! per-point CPI/stall breakdown with the worker-pool self-metrics.
+//!
+//! ```sh
+//! cargo run --release --example sweep_ablations [instructions_per_workload]
+//! ```
+//!
+//! Each point re-measures the five-workload composite under one ablated
+//! configuration (cache size/ways, TB entries/split, write-buffer
+//! depth, decode overlap); points fan across one worker per host core.
+
+use vax780_core::sweep::{Sweep, SweepGrid};
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let grid = SweepGrid::all();
+    eprintln!(
+        "sweeping {} points x 5 workloads x {instructions} instructions ...",
+        grid.len()
+    );
+    let outcome = Sweep::new(grid, instructions).run();
+    println!("=== configuration sweep ===");
+    print!("{}", vax_analysis::sweep::render_table(&outcome.rows));
+    println!("\n=== sweep self-metrics ===");
+    println!("{}", outcome.metrics);
+}

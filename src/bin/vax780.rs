@@ -3,6 +3,10 @@
 //! ```text
 //! vax780 run [--workload NAME|all] [--instructions N] [--warmup N]
 //!            [--decode-overlap] [--save-histogram FILE]
+//!            [--jobs N] [--serial] [--metrics]
+//! vax780 sweep [--workload NAME|all] [--instructions N] [--warmup N]
+//!              [--axis NAME]... [--jobs N] [--serial]
+//!              [--csv FILE] [--jsonl FILE] [--metrics]
 //! vax780 trace [--workload NAME] [--instructions N] [--warmup N]
 //!              [--trace-out FILE] [--trace-format jsonl|chrome]
 //!              [--trace-limit N] [--metrics]
@@ -11,16 +15,23 @@
 //! vax780 list
 //! ```
 //!
-//! `run` measures one workload (or the five-workload composite), prints
-//! every table plus the paper comparison, and can save the raw histogram;
-//! `trace` runs a workload with the second instrument attached (the
-//! event tracer riding alongside the µPC board), exports the trace, and
+//! `run` measures one workload (or the five-workload composite, fanned
+//! across a worker pool), prints every table plus the paper comparison,
+//! and can save the raw histogram; `sweep` re-measures the composite
+//! under a grid of machine ablations (§6 what-ifs by simulation) and
+//! emits a per-point CPI/stall table plus optional CSV/JSONL; `trace`
+//! runs a workload with the second instrument attached (the event
+//! tracer riding alongside the µPC board), exports the trace, and
 //! reconciles the two instruments against the hardware counters;
 //! `report` re-analyses a saved histogram (the paper's "additional
 //! interpretation of the raw histogram data", §2.2); `disasm` shows the
 //! generated VAX code a workload actually runs.
+//!
+//! Unrecognized options are an error: a typo aborts the run instead of
+//! silently measuring the defaults.
 
 use std::process::ExitCode;
+use vax780_core::sweep::{Sweep, SweepAxis, SweepGrid};
 use vax780_core::{CompositeStudy, Experiment};
 use vax_analysis::report::StudyReport;
 use vax_analysis::Analysis;
@@ -31,29 +42,118 @@ use vax_workloads::{profile, WorkloadKind};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("report") => cmd_report(&args[1..]),
-        Some("disasm") => cmd_disasm(&args[1..]),
-        Some("list") => {
-            for kind in WorkloadKind::ALL {
-                println!("{}", kind.name());
-            }
-            ExitCode::SUCCESS
-        }
+        Some("run") => checked(cmd_run, "run", &args[1..], RUN_SPEC),
+        Some("sweep") => checked(cmd_sweep, "sweep", &args[1..], SWEEP_SPEC),
+        Some("trace") => checked(cmd_trace, "trace", &args[1..], TRACE_SPEC),
+        Some("report") => checked(cmd_report, "report", &args[1..], REPORT_SPEC),
+        Some("disasm") => checked(cmd_disasm, "disasm", &args[1..], DISASM_SPEC),
+        Some("list") => checked(
+            |_| {
+                for kind in WorkloadKind::ALL {
+                    println!("{}", kind.name());
+                }
+                ExitCode::SUCCESS
+            },
+            "list",
+            &args[1..],
+            &[],
+        ),
         _ => {
-            eprintln!(
-                "usage: vax780 <run|trace|report|disasm|list> [options]\n\
-                 \n\
-                 run     --workload NAME|all  --instructions N  --warmup N\n\
-                 \x20       --decode-overlap  --save-histogram FILE\n\
-                 trace   --workload NAME  --instructions N  --warmup N\n\
-                 \x20       --trace-out FILE  --trace-format jsonl|chrome\n\
-                 \x20       --trace-limit N  --metrics\n\
-                 report  --histogram FILE\n\
-                 disasm  --workload NAME  --function K  --lines N\n\
-                 list    (print workload names)"
-            );
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: vax780 <run|sweep|trace|report|disasm|list> [options]\n\
+     \n\
+     run     --workload NAME|all  --instructions N  --warmup N\n\
+     \x20       --decode-overlap  --save-histogram FILE\n\
+     \x20       --jobs N  --serial  --metrics\n\
+     sweep   --workload NAME|all  --instructions N  --warmup N\n\
+     \x20       --axis cache-size|cache-ways|tb-entries|tb-split|write-buffer|decode-overlap\n\
+     \x20       --jobs N  --serial  --csv FILE  --jsonl FILE  --metrics\n\
+     trace   --workload NAME  --instructions N  --warmup N\n\
+     \x20       --trace-out FILE  --trace-format jsonl|chrome\n\
+     \x20       --trace-limit N  --metrics\n\
+     report  --histogram FILE  --instructions-hint N\n\
+     disasm  --workload NAME  --function K  --lines N\n\
+     list    (print workload names)";
+
+/// Option spec for one subcommand: `(name, takes_value)`.
+type Spec = &'static [(&'static str, bool)];
+
+const RUN_SPEC: Spec = &[
+    ("--workload", true),
+    ("--instructions", true),
+    ("--warmup", true),
+    ("--decode-overlap", false),
+    ("--save-histogram", true),
+    ("--jobs", true),
+    ("--serial", false),
+    ("--metrics", false),
+];
+const SWEEP_SPEC: Spec = &[
+    ("--workload", true),
+    ("--instructions", true),
+    ("--warmup", true),
+    ("--axis", true),
+    ("--jobs", true),
+    ("--serial", false),
+    ("--csv", true),
+    ("--jsonl", true),
+    ("--metrics", false),
+];
+const TRACE_SPEC: Spec = &[
+    ("--workload", true),
+    ("--instructions", true),
+    ("--warmup", true),
+    ("--trace-out", true),
+    ("--trace-format", true),
+    ("--trace-limit", true),
+    ("--metrics", false),
+];
+const REPORT_SPEC: Spec = &[("--histogram", true), ("--instructions-hint", true)];
+const DISASM_SPEC: Spec = &[
+    ("--workload", true),
+    ("--function", true),
+    ("--lines", true),
+];
+
+/// Reject unrecognized options before dispatching: a typo like
+/// `--instruction` must abort, not silently run the defaults.
+fn check_args(cmd: &str, args: &[String], spec: Spec) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match spec.iter().find(|(name, _)| name == a) {
+            Some((name, true)) => {
+                if i + 1 >= args.len() {
+                    return Err(format!("vax780 {cmd}: option '{name}' requires a value"));
+                }
+                i += 2;
+            }
+            Some((_, false)) => i += 1,
+            None if a.starts_with("--") => {
+                return Err(format!("vax780 {cmd}: unrecognized option '{a}'"));
+            }
+            None => return Err(format!("vax780 {cmd}: unexpected argument '{a}'")),
+        }
+    }
+    Ok(())
+}
+
+fn checked(
+    cmd: impl Fn(&[String]) -> ExitCode,
+    name: &str,
+    args: &[String],
+    spec: Spec,
+) -> ExitCode {
+    match check_args(name, args, spec) {
+        Ok(()) => cmd(args),
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
@@ -66,8 +166,32 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Every value of a repeatable option, in order.
+fn opt_all<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
 fn flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Worker-pool size from `--jobs`/`--serial` (`None` = library default).
+fn jobs_arg(args: &[String]) -> Result<Option<usize>, String> {
+    if flag(args, "--serial") {
+        return Ok(Some(1));
+    }
+    match opt(args, "--jobs") {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!("--jobs wants a positive integer, got '{s}'")),
+        },
+    }
 }
 
 fn parse_kind(name: &str) -> Option<WorkloadKind> {
@@ -95,6 +219,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(30_000);
     let workload = opt(args, "--workload").unwrap_or("all");
+    let jobs = match jobs_arg(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut cpu_config = CpuConfig::default();
     if flag(args, "--decode-overlap") {
         cpu_config = CpuConfig::with_decode_overlap();
@@ -102,13 +233,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
 
     let (analysis, histogram, counters) = if workload == "all" {
         eprintln!("running composite: 5 workloads x {instructions} instructions ...");
-        let (results, analysis) = CompositeStudy::new(instructions).warmup(warmup).run();
+        let mut study = CompositeStudy::new(instructions)
+            .warmup(warmup)
+            .cpu_config(cpu_config);
+        if let Some(n) = jobs {
+            study = study.max_workers(n);
+        }
+        let (results, analysis, metrics) = study.run_with_metrics();
         let mut merged = upc_monitor::Histogram::new();
         let mut counters = vax_mem::HwCounters::new();
         for r in &results {
             eprintln!("  {:<20} CPI {:.2}", r.name, r.analysis().cpi());
             merged.merge(&r.histogram);
             counters.merge(&r.counters);
+        }
+        if flag(args, "--metrics") {
+            println!("=== campaign self-metrics ===");
+            println!("{metrics}\n");
         }
         (analysis, merged, counters)
     } else {
@@ -134,6 +275,90 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("histogram saved to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Re-measure the composite under a grid of machine ablations (§6) and
+/// print the per-point CPI/stall breakdown, with optional CSV/JSONL
+/// export and host-side self-metrics for the worker pool.
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let instructions: u64 = opt(args, "--instructions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let warmup: u64 = opt(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15_000);
+    let workload = opt(args, "--workload").unwrap_or("all");
+    let jobs = match jobs_arg(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let kinds: Vec<WorkloadKind> = if workload == "all" {
+        WorkloadKind::ALL.to_vec()
+    } else {
+        let Some(kind) = parse_kind(workload) else {
+            eprintln!("unknown workload '{workload}'; try `vax780 list`");
+            return ExitCode::FAILURE;
+        };
+        vec![kind]
+    };
+
+    let axis_names = opt_all(args, "--axis");
+    let grid = if axis_names.is_empty() {
+        SweepGrid::all()
+    } else {
+        let mut axes = Vec::new();
+        for name in axis_names {
+            let Some(axis) = SweepAxis::parse(name) else {
+                eprintln!(
+                    "unknown sweep axis '{name}' (want one of: {})",
+                    SweepAxis::ALL.map(SweepAxis::name).join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            axes.push(axis);
+        }
+        SweepGrid::with_axes(&axes)
+    };
+
+    eprintln!(
+        "sweeping {} points x {} workload(s) x {instructions} instructions ...",
+        grid.len(),
+        kinds.len()
+    );
+    let mut sweep = Sweep::new(grid, instructions)
+        .warmup(warmup)
+        .with_kinds(&kinds);
+    if let Some(n) = jobs {
+        sweep = sweep.max_workers(n);
+    }
+    let outcome = sweep.run();
+
+    println!("=== configuration sweep ===");
+    print!("{}", vax_analysis::sweep::render_table(&outcome.rows));
+
+    for (path, text, what) in [
+        opt(args, "--csv").map(|p| (p, vax_analysis::sweep::to_csv(&outcome.rows), "CSV")),
+        opt(args, "--jsonl").map(|p| (p, vax_analysis::sweep::to_jsonl(&outcome.rows), "JSONL")),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {what} to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("{what} written to {path}");
+    }
+
+    if flag(args, "--metrics") {
+        println!("\n=== sweep self-metrics ===");
+        println!("{}", outcome.metrics);
     }
     ExitCode::SUCCESS
 }
@@ -258,7 +483,32 @@ fn cmd_report(args: &[String]) -> ExitCode {
     };
     let counters = vax_mem::HwCounters::from_pairs(pairs.iter().map(|(n, v)| (n.as_str(), *v)));
     let cs = ControlStore::build();
-    let analysis = Analysis::new(&hist, &cs, &counters);
+    let mut analysis = Analysis::new(&hist, &cs, &counters);
+    if let Some(hint_text) = opt(args, "--instructions-hint") {
+        let Ok(hint) = hint_text.parse::<u64>() else {
+            eprintln!("--instructions-hint wants a positive integer, got '{hint_text}'");
+            return ExitCode::FAILURE;
+        };
+        if hint == 0 {
+            eprintln!("--instructions-hint wants a positive integer, got '0'");
+            return ExitCode::FAILURE;
+        }
+        // Validate the hint against the histogram's own execute-entry
+        // count: a hint that disagrees wildly means the caller is
+        // re-analysing the wrong histogram.
+        let derived = analysis.instructions();
+        let deviation = (hint.abs_diff(derived)) as f64 / derived.max(1) as f64;
+        if derived > 0 && deviation > 0.05 {
+            eprintln!(
+                "--instructions-hint {hint} disagrees with the histogram's \
+                 execute-entry count {derived} by {:.1}% (>5%); refusing",
+                100.0 * deviation
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("instruction count overridden: {derived} (histogram) -> {hint} (hint)");
+        analysis = analysis.with_instructions(hint);
+    }
     print_analysis(&analysis);
     ExitCode::SUCCESS
 }

@@ -186,3 +186,200 @@ fn trace_rejects_bad_format() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown trace format"));
 }
+
+#[test]
+fn rejects_unknown_flags_naming_the_flag() {
+    // A typo must abort with a nonzero exit naming the flag — never
+    // silently run the defaults.
+    for (sub, bad) in [
+        ("run", "--instruction"),
+        ("trace", "--trace-outt"),
+        ("report", "--histograms"),
+        ("disasm", "--line"),
+        ("sweep", "--axes"),
+        ("list", "--verbose"),
+    ] {
+        let out = vax780().args([sub, bad, "5"]).output().expect("runs");
+        assert!(!out.status.success(), "{sub} {bad} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("unrecognized option '{bad}'")),
+            "{sub}: stderr should name {bad}:\n{err}"
+        );
+    }
+    // Stray positional arguments are rejected too.
+    let out = vax780().args(["run", "oops"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument 'oops'"));
+    // A value-taking option at the end of the line wants its value.
+    let out = vax780().args(["run", "--workload"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}
+
+#[test]
+fn run_parallel_composite_matches_serial_and_reports_metrics() {
+    let base = [
+        "run",
+        "--workload",
+        "all",
+        "--instructions",
+        "3000",
+        "--warmup",
+        "1000",
+    ];
+    let parallel = vax780()
+        .args(base)
+        .args(["--jobs", "2", "--metrics"])
+        .output()
+        .expect("runs");
+    assert!(
+        parallel.status.success(),
+        "{}",
+        String::from_utf8_lossy(&parallel.stderr)
+    );
+    let ptext = String::from_utf8_lossy(&parallel.stdout);
+    assert!(ptext.contains("campaign self-metrics"), "{ptext}");
+    assert!(ptext.contains("speedup"), "{ptext}");
+
+    let serial = vax780().args(base).arg("--serial").output().expect("runs");
+    assert!(serial.status.success());
+    let stext = String::from_utf8_lossy(&serial.stdout);
+    // Same measurement either way: identical instruction/cycle/CPI line.
+    let headline = |t: &str| {
+        t.lines()
+            .find(|l| l.starts_with("instructions "))
+            .expect("headline")
+            .to_string()
+    };
+    assert_eq!(headline(&ptext), headline(&stext));
+}
+
+#[test]
+fn sweep_smoke_emits_table_csv_and_jsonl() {
+    let dir = std::env::temp_dir().join("vax780-sweep-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("sweep.csv");
+    let jsonl = dir.join("sweep.jsonl");
+    let out = vax780()
+        .args([
+            "sweep",
+            "--workload",
+            "timesharing-light",
+            "--instructions",
+            "2500",
+            "--warmup",
+            "1000",
+            "--axis",
+            "write-buffer",
+            "--jobs",
+            "2",
+            "--metrics",
+            "--csv",
+        ])
+        .arg(&csv)
+        .arg("--jsonl")
+        .arg(&jsonl)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("configuration sweep"), "{text}");
+    assert!(text.contains("baseline"), "{text}");
+    assert!(text.contains("write-buffer=4"), "{text}");
+    assert!(text.contains("sweep self-metrics"), "{text}");
+    assert!(text.contains("speedup"), "{text}");
+
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("label,axis,instructions,cycles,cpi"));
+    assert_eq!(csv_text.lines().count(), 5); // header + baseline + 3 depths
+    let jsonl_text = std::fs::read_to_string(&jsonl).unwrap();
+    assert_eq!(jsonl_text.lines().count(), 4);
+    for line in jsonl_text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"cpi\":"), "{line}");
+    }
+
+    let out = vax780()
+        .args(["sweep", "--axis", "nonesuch"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown sweep axis 'nonesuch'"));
+}
+
+#[test]
+fn report_instructions_hint_overrides_and_validates() {
+    let dir = std::env::temp_dir().join("vax780-hint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let hist = dir.join("hist.txt");
+    let out = vax780()
+        .args([
+            "run",
+            "--workload",
+            "educational",
+            "--instructions",
+            "5000",
+            "--warmup",
+            "1500",
+            "--save-histogram",
+        ])
+        .arg(&hist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let derived: u64 = String::from_utf8_lossy(&out.stdout)
+        .split("instructions ")
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    // A hint within tolerance overrides the normalization count.
+    let hint = derived + derived / 50; // +2%
+    let out = vax780()
+        .args(["report", "--histogram"])
+        .arg(&hist)
+        .args(["--instructions-hint", &hint.to_string()])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains(&format!("instructions {hint}")),
+        "hint should override the analysis count:\n{text}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("instruction count overridden"));
+
+    // A wildly wrong hint means the wrong histogram: refuse.
+    let out = vax780()
+        .args(["report", "--histogram"])
+        .arg(&hist)
+        .args(["--instructions-hint", &(derived * 10).to_string()])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("disagrees with the histogram"), "{err}");
+
+    // Garbage hints are rejected up front.
+    let out = vax780()
+        .args(["report", "--histogram"])
+        .arg(&hist)
+        .args(["--instructions-hint", "many"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("positive integer"));
+}
