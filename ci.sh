@@ -6,3 +6,6 @@ set -eux
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+# Static verification: every built-in profile must lint clean, warnings
+# promoted to errors (generation is seed-deterministic, so this is stable).
+cargo run --release -- lint --all-profiles --deny all

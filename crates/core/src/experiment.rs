@@ -66,6 +66,11 @@ impl Experiment {
     /// Panics if the machine halts or faults unrecoverably — generated
     /// workloads never do; such a panic is a model bug.
     pub fn run(&self) -> MeasuredWorkload {
+        // Debug builds refuse structurally broken workloads up front;
+        // release campaigns skip the analysis cost. The gate memoizes
+        // per (profile, seed), so sweeps pay it once.
+        #[cfg(debug_assertions)]
+        vax_lint::debug_gate(&self.params);
         let mut machine = build_machine_with_config(&self.params, self.cpu_config, self.mem_config);
         let mut null = NullSink;
         // Warm-up: caches, TB, scheduler all reach steady state.

@@ -100,6 +100,41 @@ pub enum MachineEvent {
     },
 }
 
+impl MachineEvent {
+    /// Every event kind name, in declaration order. Cross-checked against
+    /// [`kind_name`](MachineEvent::kind_name) (whose exhaustive match the
+    /// compiler enforces) so taxonomy audits can enumerate kinds without
+    /// constructing events.
+    pub const KIND_NAMES: &'static [&'static str] = &[
+        "decode",
+        "retire",
+        "stall",
+        "cache_access",
+        "tb_miss",
+        "write_buffer",
+        "sbi",
+        "interrupt_entry",
+        "exception_entry",
+        "context_switch",
+    ];
+
+    /// The kind name of this event (variant, without payload).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MachineEvent::Decode { .. } => "decode",
+            MachineEvent::Retire { .. } => "retire",
+            MachineEvent::Stall { .. } => "stall",
+            MachineEvent::CacheAccess { .. } => "cache_access",
+            MachineEvent::TbMiss { .. } => "tb_miss",
+            MachineEvent::WriteBuffer { .. } => "write_buffer",
+            MachineEvent::Sbi { .. } => "sbi",
+            MachineEvent::InterruptEntry { .. } => "interrupt_entry",
+            MachineEvent::ExceptionEntry => "exception_entry",
+            MachineEvent::ContextSwitch { .. } => "context_switch",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,6 +37,7 @@ mod error;
 mod group;
 mod opcode;
 mod reg;
+pub mod sdecode;
 mod specifier;
 
 pub use access::AccessType;

@@ -1,0 +1,196 @@
+//! Static decoding over byte slices: position-tracked instruction decode
+//! for analyzers that never execute the code.
+//!
+//! The incremental [`Decoder`] consumes a [`ByteSource`] one instruction
+//! at a time and deliberately knows nothing about where the bytes sit in
+//! an image. Static analysis wants more: the byte *offset* of every
+//! instruction, and enough CASEx awareness to step over the displacement
+//! table that follows a case instruction's specifiers (which the plain
+//! decoder cannot size, because the table length comes from the limit
+//! operand's value). This module provides that layer; `vax-lint` builds
+//! its control-flow graph on top of it.
+
+use crate::{AddrMode, ArchError, DecodedInst, Decoder, SliceSource};
+
+/// A statically decoded instruction, located within its image slice.
+#[derive(Debug, Clone)]
+pub struct LocatedInst {
+    /// Byte offset of the opcode byte within the decoded slice.
+    pub offset: usize,
+    /// The decoded instruction (length excludes any case table).
+    pub inst: DecodedInst,
+    /// CASEx displacement-table entries (signed words, relative to the
+    /// address just past the specifiers). `None` for non-case opcodes
+    /// *and* for case instructions whose limit operand is not a static
+    /// constant — in the latter case the table cannot be sized and
+    /// linear decoding must stop.
+    pub case_entries: Option<Vec<i16>>,
+    /// Total encoded length in bytes, case table included.
+    pub total_len: usize,
+}
+
+impl LocatedInst {
+    /// Offset of the first byte past this instruction (and its table).
+    pub fn end(&self) -> usize {
+        self.offset + self.total_len
+    }
+
+    /// Can linear decoding continue past this instruction? False only
+    /// for a case instruction with a non-constant limit operand.
+    pub fn sized(&self) -> bool {
+        !self.inst.opcode.has_case_table() || self.case_entries.is_some()
+    }
+}
+
+/// Extract a small unsigned constant from a decoded specifier, if the
+/// specifier is a short literal or an immediate.
+pub fn static_constant(mode: &AddrMode) -> Option<u64> {
+    match mode {
+        AddrMode::Literal(v) => Some(u64::from(*v)),
+        AddrMode::Immediate { data, .. } => Some(*data),
+        _ => None,
+    }
+}
+
+/// Statically decode the instruction at `offset` within `bytes`.
+///
+/// For CASEx opcodes with a static limit operand, the displacement table
+/// following the specifiers is read into `case_entries` and included in
+/// `total_len`, so the caller can continue decoding linearly past it.
+///
+/// # Errors
+///
+/// [`ArchError::Truncated`] if the slice ends mid-instruction (or
+/// mid-table), and any decode error the incremental decoder reports
+/// (unknown opcode etc.).
+pub fn decode_at(bytes: &[u8], offset: usize) -> Result<LocatedInst, ArchError> {
+    let tail = bytes.get(offset..).ok_or(ArchError::Truncated)?;
+    let mut src = SliceSource::new(tail);
+    let inst = Decoder::decode(&mut src)?;
+    let mut total_len = inst.len as usize;
+    let case_entries = if inst.opcode.has_case_table() {
+        // CASEx operands are (selector, base, limit); the table holds
+        // limit+1 word displacements relative to the address just past
+        // the specifiers.
+        match inst.specs.last().and_then(|s| static_constant(&s.mode)) {
+            Some(limit) => {
+                let count = (limit as usize) + 1;
+                let table = tail
+                    .get(total_len..total_len + 2 * count)
+                    .ok_or(ArchError::Truncated)?;
+                let entries: Vec<i16> = table
+                    .chunks_exact(2)
+                    .map(|c| i16::from_le_bytes([c[0], c[1]]))
+                    .collect();
+                total_len += 2 * count;
+                Some(entries)
+            }
+            None => None,
+        }
+    } else {
+        None
+    };
+    Ok(LocatedInst {
+        offset,
+        inst,
+        case_entries,
+        total_len,
+    })
+}
+
+/// Statically decode `bytes[start..end)` as a straight-line instruction
+/// stream, stepping over case tables.
+///
+/// # Errors
+///
+/// Returns the instructions decoded so far plus the offset and error of
+/// the first failure (decode error, truncation, or an unsized case
+/// table). `Ok` means the range decoded *totally*: every byte belongs to
+/// exactly one instruction or case table.
+pub fn decode_range(
+    bytes: &[u8],
+    start: usize,
+    end: usize,
+) -> Result<Vec<LocatedInst>, (Vec<LocatedInst>, usize, ArchError)> {
+    let mut out = Vec::new();
+    let mut pos = start;
+    while pos < end.min(bytes.len()) {
+        match decode_at(bytes, pos) {
+            Ok(li) if li.sized() => {
+                pos = li.end();
+                out.push(li);
+            }
+            Ok(li) => {
+                let off = li.offset;
+                out.push(li);
+                return Err((
+                    out,
+                    off,
+                    ArchError::InvalidMode("case limit is not a static constant".into()),
+                ));
+            }
+            Err(e) => return Err((out, pos, e)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assembler, Opcode, Operand, Reg};
+
+    #[test]
+    fn locates_instructions_and_sizes_case_tables() {
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+            .unwrap();
+        let targets: Vec<_> = (0..3).map(|_| asm.new_label()).collect();
+        asm.case(
+            Opcode::Casel,
+            &[
+                Operand::Reg(Reg::R0),
+                Operand::Literal(0),
+                Operand::Literal(2),
+            ],
+            &targets,
+        )
+        .unwrap();
+        for t in targets {
+            asm.place(t).unwrap();
+            asm.inst(Opcode::Incl, &[Operand::Reg(Reg::R1)]).unwrap();
+        }
+        let img = asm.finish().unwrap();
+
+        let insts = decode_range(&img.bytes, 0, img.bytes.len()).expect("total decode");
+        assert_eq!(insts[0].inst.opcode, Opcode::Movl);
+        assert_eq!(insts[1].inst.opcode, Opcode::Casel);
+        let entries = insts[1].case_entries.as_ref().expect("sized table");
+        assert_eq!(entries.len(), 3);
+        // The three INCLs follow the table; offsets tile the image.
+        assert_eq!(insts.len(), 5);
+        let mut pos = 0;
+        for li in &insts {
+            assert_eq!(li.offset, pos);
+            pos = li.end();
+        }
+        assert_eq!(pos, img.bytes.len());
+        // Case entries resolve to the INCL instruction starts.
+        let table_base = insts[1].offset + insts[1].inst.len as usize;
+        for (k, e) in entries.iter().enumerate() {
+            let target = table_base.wrapping_add(*e as usize);
+            assert_eq!(target, insts[2 + k].offset);
+        }
+    }
+
+    #[test]
+    fn reports_offset_of_first_bad_byte() {
+        let mut asm = Assembler::new(0);
+        asm.inst(Opcode::Nop, &[]).unwrap();
+        let mut bytes = asm.finish().unwrap().bytes;
+        bytes.push(0xFF); // not a VAX opcode in our table
+        let (decoded, at, _) = decode_range(&bytes, 0, bytes.len()).unwrap_err();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(at, 1);
+    }
+}

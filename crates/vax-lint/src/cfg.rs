@@ -1,0 +1,625 @@
+//! Static decode and control-flow checks over a generated image.
+//!
+//! The image is decoded region by region (dispatcher, then each
+//! function body past its 2-byte entry mask) with the total static
+//! decoder, then checked against the generator's documented safety
+//! invariants: decode totality, in-bounds branch targets, no
+//! privileged opcodes, adjacent push/pop idioms, sized case tables,
+//! reachability, and worst-case walker/bias/pointer-arena consumption.
+
+use crate::diag::{Diagnostic, Report, Rule};
+use crate::image::ImageModel;
+use vax_arch::sdecode::{decode_range, LocatedInst};
+use vax_arch::{AddrMode, BranchClass, Opcode, Reg};
+
+/// One contiguous decoded code region of the image.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Display name (`dispatcher`, `fn3`, ...).
+    pub name: String,
+    /// Byte offset of the first instruction (entry masks excluded).
+    pub start: usize,
+    /// Byte offset one past the last instruction.
+    pub end: usize,
+    /// The instructions, in address order, tiling `[start, end)`.
+    pub insts: Vec<LocatedInst>,
+    /// Is this a function body (subject to arena-budget analysis)?
+    pub is_function: bool,
+}
+
+/// A fully decoded image: every region, every instruction located.
+#[derive(Debug, Clone)]
+pub struct DecodedImage {
+    /// All regions in address order, dispatcher first.
+    pub regions: Vec<Region>,
+}
+
+impl DecodedImage {
+    /// Iterate over every located instruction in every region.
+    pub fn insts(&self) -> impl Iterator<Item = &LocatedInst> {
+        self.regions.iter().flat_map(|r| r.insts.iter())
+    }
+}
+
+/// The generator's register conventions (mirrors `codegen::regs`; the
+/// lint recomputes budgets from the instruction stream alone).
+mod regs {
+    use vax_arch::Reg;
+    pub const BIAS: Reg = Reg::R10;
+    pub const WALK_UP: Reg = Reg::R6;
+    pub const WALK_DOWN: Reg = Reg::R7;
+    pub const PTR_WALKER: Reg = Reg::R8;
+}
+
+/// Opcodes that must never appear in a user-mode stream.
+const PRIVILEGED: &[Opcode] = &[
+    Opcode::Halt,
+    Opcode::Rei,
+    Opcode::Ldpctx,
+    Opcode::Svpctx,
+    Opcode::Mtpr,
+    Opcode::Mfpr,
+];
+
+/// Decode the image into regions and run every image-family check.
+///
+/// Returns the decoded image (when total decode succeeded everywhere)
+/// so downstream analyses (the static mix) can reuse it.
+pub fn check_image(model: &ImageModel) -> (Option<DecodedImage>, Report) {
+    let mut report = Report::new();
+    let ctx = &model.name;
+
+    // ----- region boundaries -------------------------------------------------
+    let len = model.bytes.len();
+    let entry_off = match rel_offset(model, model.entry) {
+        Some(off) => off,
+        None => {
+            report.push(Diagnostic::error(
+                Rule::ImageBranchTarget,
+                ctx.clone(),
+                format!("entry {:#x} lies outside the image", model.entry),
+            ));
+            return (None, report);
+        }
+    };
+    let mut fn_offs = Vec::with_capacity(model.functions.len());
+    for (i, &f) in model.functions.iter().enumerate() {
+        match rel_offset(model, f) {
+            // +2 skips the procedure entry mask word.
+            Some(off) if off + 2 <= len => fn_offs.push(off),
+            _ => {
+                report.push(Diagnostic::error(
+                    Rule::ImageBranchTarget,
+                    ctx.clone(),
+                    format!("function {i} entry {f:#x} lies outside the image"),
+                ));
+                return (None, report);
+            }
+        }
+    }
+    if fn_offs.windows(2).any(|w| w[0] >= w[1]) || fn_offs.first().is_some_and(|&f| f < entry_off) {
+        report.push(Diagnostic::error(
+            Rule::ImageBranchTarget,
+            ctx.clone(),
+            "function entries are not in ascending address order past the entry".to_string(),
+        ));
+        return (None, report);
+    }
+
+    let mut bounds = Vec::new();
+    let first_end = fn_offs.first().copied().unwrap_or(len);
+    bounds.push(("dispatcher".to_string(), entry_off, first_end, false));
+    for (i, &off) in fn_offs.iter().enumerate() {
+        let end = fn_offs.get(i + 1).copied().unwrap_or(len);
+        bounds.push((format!("fn{i}"), off + 2, end, true));
+    }
+
+    // ----- totality decode ---------------------------------------------------
+    let mut regions = Vec::new();
+    let mut decode_ok = true;
+    for (name, start, end, is_function) in bounds {
+        match decode_range(&model.bytes, start, end) {
+            Ok(insts) => regions.push(Region {
+                name,
+                start,
+                end,
+                insts,
+                is_function,
+            }),
+            Err((decoded, bad_off, e)) => {
+                decode_ok = false;
+                let rule = if format!("{e}").contains("case limit") {
+                    Rule::ImageCaseTable
+                } else {
+                    Rule::ImageDecode
+                };
+                report.push(
+                    Diagnostic::error(
+                        rule,
+                        format!("{ctx}/{name}"),
+                        format!("decode fails at byte {bad_off:#x}: {e}"),
+                    )
+                    .at(bad_off as u64),
+                );
+                regions.push(Region {
+                    name,
+                    start,
+                    end: decoded.last().map_or(start, LocatedInst::end),
+                    insts: decoded,
+                    is_function,
+                });
+            }
+        }
+    }
+    let image = DecodedImage { regions };
+
+    // ----- per-instruction checks -------------------------------------------
+    let starts: std::collections::BTreeSet<usize> = image.insts().map(|inst| inst.offset).collect();
+    for region in &image.regions {
+        check_privileged(ctx, region, &mut report);
+        check_push_pop(ctx, region, &mut report);
+        check_branch_targets(ctx, region, &starts, len, &mut report);
+    }
+    check_reachability(ctx, &image, entry_off, &fn_offs, &mut report);
+    // Walker/bias/pointer budgets apply per region: the walkers are
+    // re-based at every function entry, and the dispatcher (which never
+    // touches them) vacuously passes.
+    for region in &image.regions {
+        check_budgets(ctx, region, model, &mut report);
+    }
+
+    (decode_ok.then_some(image), report)
+}
+
+fn rel_offset(model: &ImageModel, va: u32) -> Option<usize> {
+    if va >= model.base && va < model.end() {
+        Some((va - model.base) as usize)
+    } else {
+        None
+    }
+}
+
+fn check_privileged(ctx: &str, region: &Region, report: &mut Report) {
+    for inst in &region.insts {
+        if PRIVILEGED.contains(&inst.inst.opcode) {
+            report.push(
+                Diagnostic::error(
+                    Rule::ImagePrivileged,
+                    format!("{ctx}/{}", region.name),
+                    format!(
+                        "privileged opcode {} in a user-mode stream",
+                        inst.inst.opcode.mnemonic()
+                    ),
+                )
+                .at(inst.offset as u64),
+            );
+        }
+    }
+}
+
+/// Both stack idioms the generator claims are always balanced:
+/// `PUSHR mask` immediately followed by `POPR` of the same mask, and
+/// `PUSHL` immediately consumed by another push, a `CALLS`, or a
+/// `MOVL (SP)+, dst` pop.
+fn check_push_pop(ctx: &str, region: &Region, report: &mut Report) {
+    for pair in region.insts.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        match a.inst.opcode {
+            Opcode::Pushr => {
+                let balanced = b.inst.opcode == Opcode::Popr
+                    && a.inst.specs.first().map(|s| &s.mode)
+                        == b.inst.specs.first().map(|s| &s.mode);
+                if !balanced {
+                    report.push(
+                        Diagnostic::error(
+                            Rule::ImagePushPop,
+                            format!("{ctx}/{}", region.name),
+                            format!(
+                                "PUSHR is not followed by a POPR of the same mask (next is {})",
+                                b.inst.opcode.mnemonic()
+                            ),
+                        )
+                        .at(a.offset as u64),
+                    );
+                }
+            }
+            Opcode::Pushl => {
+                let consumed = match b.inst.opcode {
+                    Opcode::Pushl | Opcode::Calls => true,
+                    Opcode::Movl => matches!(
+                        b.inst.specs.first().map(|s| &s.mode),
+                        Some(AddrMode::AutoIncrement(Reg::Sp))
+                    ),
+                    _ => false,
+                };
+                if !consumed {
+                    report.push(
+                        Diagnostic::error(
+                            Rule::ImagePushPop,
+                            format!("{ctx}/{}", region.name),
+                            format!(
+                                "PUSHL is not consumed by a push, CALLS, or (SP)+ pop (next is {})",
+                                b.inst.opcode.mnemonic()
+                            ),
+                        )
+                        .at(a.offset as u64),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(last) = region.insts.last() {
+        if matches!(last.inst.opcode, Opcode::Pushr | Opcode::Pushl) {
+            report.push(
+                Diagnostic::error(
+                    Rule::ImagePushPop,
+                    format!("{ctx}/{}", region.name),
+                    "region ends on an unbalanced push".to_string(),
+                )
+                .at(last.offset as u64),
+            );
+        }
+    }
+}
+
+/// Every statically known transfer target — branch displacements and
+/// case-table entries — must land on a decoded instruction boundary
+/// inside the image.
+fn check_branch_targets(
+    ctx: &str,
+    region: &Region,
+    starts: &std::collections::BTreeSet<usize>,
+    image_len: usize,
+    report: &mut Report,
+) {
+    let mut bad = |off: usize, what: String, target: i64| {
+        let landing = if target < 0 || target as usize >= image_len {
+            "outside the image"
+        } else {
+            "inside another instruction"
+        };
+        report.push(
+            Diagnostic::error(
+                Rule::ImageBranchTarget,
+                format!("{ctx}/{}", region.name),
+                format!("{what} target {target:#x} lands {landing}"),
+            )
+            .at(off as u64),
+        );
+    };
+    for inst in &region.insts {
+        if let Some(disp) = inst.inst.branch_disp {
+            let target = inst.offset as i64 + i64::from(inst.inst.len) + i64::from(disp);
+            if target < 0 || !starts.contains(&(target as usize)) {
+                bad(
+                    inst.offset,
+                    format!("{} branch", inst.inst.opcode.mnemonic()),
+                    target,
+                );
+            }
+        }
+        if let Some(entries) = &inst.case_entries {
+            let table_base = inst.offset as i64 + i64::from(inst.inst.len);
+            for (i, &entry) in entries.iter().enumerate() {
+                let target = table_base + i64::from(entry);
+                if target < 0 || !starts.contains(&(target as usize)) {
+                    bad(
+                        inst.offset,
+                        format!("{} case entry {i}", inst.inst.opcode.mnemonic()),
+                        target,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Worklist reachability from the dispatcher entry and every function
+/// entry. Code the walk never reaches is a generator bug worth seeing
+/// (it distorts the static mix), but harmless to run — a warning.
+fn check_reachability(
+    ctx: &str,
+    image: &DecodedImage,
+    entry_off: usize,
+    fn_offs: &[usize],
+    report: &mut Report,
+) {
+    use std::collections::{BTreeMap, BTreeSet};
+    let by_off: BTreeMap<usize, &LocatedInst> =
+        image.insts().map(|inst| (inst.offset, inst)).collect();
+    let mut work: Vec<usize> = Vec::new();
+    work.push(entry_off);
+    // Function entries are reached through the pointer table (CALLS),
+    // which static analysis cannot follow; treat them as roots.
+    work.extend(fn_offs.iter().map(|&f| f + 2));
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    while let Some(off) = work.pop() {
+        if !seen.insert(off) {
+            continue;
+        }
+        let Some(inst) = by_off.get(&off) else {
+            continue;
+        };
+        let op = inst.inst.opcode;
+        let fall_through = match op.branch_class() {
+            // BRB/BRW share the simple-branch class but never fall
+            // through; RET/RSB end the walk (callers are separate roots).
+            Some(BranchClass::SimpleCond) => !matches!(op, Opcode::Brb | Opcode::Brw),
+            Some(BranchClass::ProcedureCallRet) => op != Opcode::Ret,
+            Some(BranchClass::SubroutineCallRet) => op != Opcode::Rsb,
+            _ => true,
+        };
+        if fall_through {
+            work.push(inst.end());
+        }
+        if let Some(disp) = inst.inst.branch_disp {
+            let target = off as i64 + i64::from(inst.inst.len) + i64::from(disp);
+            if target >= 0 {
+                work.push(target as usize);
+            }
+        }
+        if let Some(entries) = &inst.case_entries {
+            let table_base = off as i64 + i64::from(inst.inst.len);
+            for &entry in entries {
+                let target = table_base + i64::from(entry);
+                if target >= 0 {
+                    work.push(target as usize);
+                }
+            }
+        }
+    }
+    for region in &image.regions {
+        let unreached: Vec<usize> = region
+            .insts
+            .iter()
+            .map(|inst| inst.offset)
+            .filter(|off| !seen.contains(off))
+            .collect();
+        if let Some(&first) = unreached.first() {
+            report.push(
+                Diagnostic::warning(
+                    Rule::ImageUnreachable,
+                    format!("{ctx}/{}", region.name),
+                    format!(
+                        "{} instruction(s) unreachable from any entry",
+                        unreached.len()
+                    ),
+                )
+                .at(first as u64),
+            );
+        }
+    }
+}
+
+/// Recompute the generator's worst-case arena accounting from the
+/// instruction stream: each walker-mode specifier consumes its operand
+/// size once per iteration of every enclosing counted loop, and the
+/// total must fit the arena the walker is re-based to at function
+/// entry.
+fn check_budgets(ctx: &str, region: &Region, model: &ImageModel, report: &mut Report) {
+    // Counted-loop intervals: a backward Loop-class branch closes the
+    // interval [target, branch]; its trip count comes from the loop
+    // idiom (AOBLSS/SOBGTR/ACBL), capped at the generator's own cap.
+    const ITER_CAP: u64 = 32;
+    let mut loops: Vec<(usize, usize, u64)> = Vec::new();
+    for inst in &region.insts {
+        if inst.inst.opcode.branch_class() != Some(BranchClass::Loop) {
+            continue;
+        }
+        let Some(disp) = inst.inst.branch_disp else {
+            continue;
+        };
+        let target = inst.offset as i64 + i64::from(inst.inst.len) + i64::from(disp);
+        if disp >= 0 || target < 0 {
+            continue;
+        }
+        let top = target as usize;
+        let iters = match inst.inst.opcode {
+            Opcode::Aoblss => static_literal(inst, 0),
+            Opcode::Acbl => static_literal(inst, 0).map(|v| v + 1),
+            Opcode::Sobgtr => region
+                .insts
+                .iter()
+                .find(|prev| prev.end() == top && prev.inst.opcode == Opcode::Movl)
+                .and_then(|prev| static_literal(prev, 0)),
+            _ => None,
+        };
+        loops.push((top, inst.offset, iters.unwrap_or(ITER_CAP).min(ITER_CAP)));
+    }
+
+    let mut walker_use: u64 = 0;
+    let mut bias_use: u64 = 0;
+    let mut ptr_use: u64 = 0;
+    for inst in &region.insts {
+        let mult: u64 = loops
+            .iter()
+            .filter(|&&(top, bottom, _)| (top..=bottom).contains(&inst.offset))
+            .map(|&(_, _, iters)| iters)
+            .fold(1, u64::saturating_mul);
+        let templates = inst.inst.opcode.operands();
+        for (spec, template) in inst.inst.specs.iter().zip(templates) {
+            let size = u64::from(template.data_type().size_bytes());
+            match spec.mode {
+                AddrMode::AutoIncrement(regs::WALK_UP)
+                | AddrMode::AutoDecrement(regs::WALK_DOWN) => {
+                    walker_use = walker_use.saturating_add(size.saturating_mul(mult));
+                }
+                AddrMode::AutoIncrement(regs::BIAS) => {
+                    bias_use = bias_use.saturating_add(size.saturating_mul(mult));
+                }
+                AddrMode::AutoIncDeferred(regs::PTR_WALKER) => {
+                    ptr_use = ptr_use.saturating_add(mult);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let budgets = [
+        (
+            "walker arenas",
+            walker_use,
+            u64::from(model.budgets.walker_len),
+            "bytes",
+        ),
+        (
+            "bias stream",
+            bias_use,
+            u64::from(model.budgets.bias_len),
+            "bytes",
+        ),
+        (
+            "pointer table",
+            ptr_use,
+            u64::from(model.budgets.ptr_entries),
+            "entries",
+        ),
+    ];
+    for (what, used, limit, unit) in budgets {
+        if used > limit {
+            report.push(Diagnostic::error(
+                Rule::ImageWalkerBudget,
+                format!("{ctx}/{}", region.name),
+                format!(
+                    "worst-case {what} consumption {used} {unit} exceeds the arena ({limit} {unit})"
+                ),
+            ));
+        }
+    }
+}
+
+/// The static constant of specifier `i`, if it is a short literal or
+/// immediate.
+fn static_literal(inst: &LocatedInst, i: usize) -> Option<u64> {
+    inst.inst
+        .specs
+        .get(i)
+        .and_then(|s| vax_arch::sdecode::static_constant(&s.mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Budgets;
+    use vax_arch::{Assembler, Operand};
+
+    fn model_from(asm_bytes: Vec<u8>, base: u32, functions: Vec<u32>) -> ImageModel {
+        ImageModel {
+            name: "test".into(),
+            base,
+            entry: base,
+            functions,
+            bytes: asm_bytes,
+            budgets: Budgets {
+                walker_len: 4096,
+                bias_len: 16384,
+                ptr_entries: 256,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_straight_line_code_passes() {
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Movl, &[Operand::Literal(5), Operand::Reg(Reg::R0)])
+            .unwrap();
+        asm.inst(Opcode::Pushl, &[Operand::Reg(Reg::R0)]).unwrap();
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::AutoIncrement(Reg::Sp), Operand::Reg(Reg::R1)],
+        )
+        .unwrap();
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        let image = asm.finish().unwrap();
+        let (decoded, report) = check_image(&model_from(image.bytes, 0x1000, vec![]));
+        assert!(decoded.is_some());
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn privileged_opcode_is_flagged_with_offset() {
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Nop, &[]).unwrap();
+        asm.inst(Opcode::Halt, &[]).unwrap();
+        let image = asm.finish().unwrap();
+        let (_, report) = check_image(&model_from(image.bytes, 0x1000, vec![]));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::ImagePrivileged)
+            .expect("privileged finding");
+        assert_eq!(d.offset, Some(1));
+    }
+
+    #[test]
+    fn out_of_bounds_branch_is_flagged() {
+        // BRB with a displacement leaving the image.
+        let bytes = vec![0x11, 0x70, 0x01];
+        let (_, report) = check_image(&model_from(bytes, 0x1000, vec![]));
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::ImageBranchTarget && d.offset == Some(0)),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn unbalanced_pushr_is_flagged() {
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Pushr, &[Operand::Immediate(0x3)]).unwrap();
+        asm.inst(Opcode::Popr, &[Operand::Immediate(0x7)]).unwrap();
+        let image = asm.finish().unwrap();
+        let (_, report) = check_image(&model_from(image.bytes, 0x1000, vec![]));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::ImagePushPop));
+    }
+
+    #[test]
+    fn walker_overrun_in_a_loop_is_flagged() {
+        // MOVL #31, R3; top: MOVQ (R6)+, R0; SOBGTR R3, top — 8 bytes
+        // per iteration times 31 iterations exceeds a 64-byte arena.
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Movl, &[Operand::Literal(31), Operand::Reg(Reg::R3)])
+            .unwrap();
+        let top = asm.label_here();
+        asm.inst(
+            Opcode::Movq,
+            &[Operand::AutoIncrement(Reg::R6), Operand::Reg(Reg::R0)],
+        )
+        .unwrap();
+        asm.branch(Opcode::Sobgtr, &[Operand::Reg(Reg::R3)], top)
+            .unwrap();
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        let image = asm.finish().unwrap();
+        let mut model = model_from(image.bytes, 0x1000, vec![]);
+        model.budgets.walker_len = 64;
+        let (_, report) = check_image(&model);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::ImageWalkerBudget),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn unreachable_code_warns() {
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        asm.inst(Opcode::Nop, &[]).unwrap();
+        let image = asm.finish().unwrap();
+        let (_, report) = check_image(&model_from(image.bytes, 0x1000, vec![]));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::ImageUnreachable));
+    }
+}

@@ -1,0 +1,238 @@
+//! The unit of image linting: a generated user program plus the
+//! placement facts the analyzer needs, with a text serialization so
+//! images can be linted (and corrupted, for testing the linter itself)
+//! outside the generating process.
+
+use vax_workloads::codegen::DataLayout;
+use vax_workloads::ProcessImage;
+
+/// The arena sizes behind the generator's documented budget claims
+/// (walkers re-based per function entry, worst-case consumption bounded
+/// by the arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budgets {
+    /// Length of each walker arena (forward and backward), bytes.
+    pub walker_len: u32,
+    /// Length of the branch-bias stream, bytes.
+    pub bias_len: u32,
+    /// Pointer-table entries.
+    pub ptr_entries: u32,
+}
+
+impl Budgets {
+    /// Extract the budget-relevant arena sizes from a data layout.
+    pub fn from_layout(layout: &DataLayout) -> Budgets {
+        Budgets {
+            walker_len: layout.walker_len,
+            bias_len: layout.bias_len,
+            ptr_entries: layout.ptr_entries,
+        }
+    }
+}
+
+/// A lintable image: code bytes plus placement facts.
+#[derive(Debug, Clone)]
+pub struct ImageModel {
+    /// Profile name the image was generated from.
+    pub name: String,
+    /// Virtual address of `bytes[0]`.
+    pub base: u32,
+    /// Entry PC (the dispatcher).
+    pub entry: u32,
+    /// Function addresses (each starts with a 2-byte entry mask).
+    pub functions: Vec<u32>,
+    /// The code bytes.
+    pub bytes: Vec<u8>,
+    /// Arena sizes for the walker-budget checks.
+    pub budgets: Budgets,
+}
+
+impl ImageModel {
+    /// Build the model for one generated process image.
+    pub fn from_process(name: &str, plan: &ProcessImage) -> ImageModel {
+        ImageModel {
+            name: name.to_string(),
+            base: plan.image.base,
+            entry: plan.entry,
+            functions: plan.functions.clone(),
+            bytes: plan.image.bytes.clone(),
+            budgets: Budgets::from_layout(&plan.layout),
+        }
+    }
+
+    /// First virtual address past the image.
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// Serialize to the `vax-lint-image v1` text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("vax-lint-image v1\n");
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!("base {:#x}\n", self.base));
+        out.push_str(&format!("entry {:#x}\n", self.entry));
+        out.push_str("functions");
+        for f in &self.functions {
+            out.push_str(&format!(" {f:#x}"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "budgets walker={} bias={} ptr={}\n",
+            self.budgets.walker_len, self.budgets.bias_len, self.budgets.ptr_entries
+        ));
+        out.push_str(&format!("bytes {}\n", self.bytes.len()));
+        for row in self.bytes.chunks(32) {
+            for b in row {
+                out.push_str(&format!("{b:02x}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the `vax-lint-image v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed line.
+    pub fn parse(text: &str) -> Result<ImageModel, String> {
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        if header.trim() != "vax-lint-image v1" {
+            return Err(format!("bad header '{header}' (want 'vax-lint-image v1')"));
+        }
+        let mut name = None;
+        let mut base = None;
+        let mut entry = None;
+        let mut functions = None;
+        let mut budgets = None;
+        let mut byte_count = None;
+        let parse_u32 = |s: &str| -> Result<u32, String> {
+            let t = s.trim();
+            let (digits, radix) = match t.strip_prefix("0x") {
+                Some(hex) => (hex, 16),
+                None => (t, 10),
+            };
+            u32::from_str_radix(digits, radix).map_err(|_| format!("bad number '{s}'"))
+        };
+        for line in lines.by_ref() {
+            let Some((key, rest)) = line.split_once(' ') else {
+                return Err(format!("malformed line '{line}'"));
+            };
+            match key {
+                "name" => name = Some(rest.trim().to_string()),
+                "base" => base = Some(parse_u32(rest)?),
+                "entry" => entry = Some(parse_u32(rest)?),
+                "functions" => {
+                    functions = Some(rest.split_whitespace().map(parse_u32).collect::<Result<
+                        Vec<u32>,
+                        String,
+                    >>(
+                    )?);
+                }
+                "budgets" => {
+                    let mut b = Budgets {
+                        walker_len: 0,
+                        bias_len: 0,
+                        ptr_entries: 0,
+                    };
+                    for field in rest.split_whitespace() {
+                        let Some((k, v)) = field.split_once('=') else {
+                            return Err(format!("malformed budget '{field}'"));
+                        };
+                        let v = parse_u32(v)?;
+                        match k {
+                            "walker" => b.walker_len = v,
+                            "bias" => b.bias_len = v,
+                            "ptr" => b.ptr_entries = v,
+                            _ => return Err(format!("unknown budget '{k}'")),
+                        }
+                    }
+                    budgets = Some(b);
+                }
+                "bytes" => {
+                    byte_count = Some(parse_u32(rest)? as usize);
+                    break;
+                }
+                _ => return Err(format!("unknown key '{key}'")),
+            }
+        }
+        let byte_count = byte_count.ok_or("missing 'bytes' line")?;
+        let mut bytes = Vec::with_capacity(byte_count);
+        for line in lines {
+            let line = line.trim();
+            if line.len() % 2 != 0 {
+                return Err(format!("odd-length hex line '{line}'"));
+            }
+            for i in (0..line.len()).step_by(2) {
+                let b = u8::from_str_radix(&line[i..i + 2], 16)
+                    .map_err(|_| format!("bad hex in '{line}'"))?;
+                bytes.push(b);
+            }
+        }
+        if bytes.len() != byte_count {
+            return Err(format!(
+                "byte count mismatch: header says {byte_count}, got {}",
+                bytes.len()
+            ));
+        }
+        Ok(ImageModel {
+            name: name.ok_or("missing 'name' line")?,
+            base: base.ok_or("missing 'base' line")?,
+            entry: entry.ok_or("missing 'entry' line")?,
+            functions: functions.ok_or("missing 'functions' line")?,
+            bytes,
+            budgets: budgets.ok_or("missing 'budgets' line")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let model = ImageModel {
+            name: "test".into(),
+            base: 0x1_0000,
+            entry: 0x1_0000,
+            functions: vec![0x1_0040, 0x1_0200],
+            bytes: (0..=255u8).collect(),
+            budgets: Budgets {
+                walker_len: 4096,
+                bias_len: 16384,
+                ptr_entries: 256,
+            },
+        };
+        let text = model.render();
+        let back = ImageModel::parse(&text).expect("parses");
+        assert_eq!(back.name, model.name);
+        assert_eq!(back.base, model.base);
+        assert_eq!(back.entry, model.entry);
+        assert_eq!(back.functions, model.functions);
+        assert_eq!(back.bytes, model.bytes);
+        assert_eq!(back.budgets, model.budgets);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ImageModel::parse("not an image").is_err());
+        let mut good = ImageModel {
+            name: "x".into(),
+            base: 0,
+            entry: 0,
+            functions: vec![],
+            bytes: vec![1, 2, 3],
+            budgets: Budgets {
+                walker_len: 1,
+                bias_len: 1,
+                ptr_entries: 1,
+            },
+        }
+        .render();
+        good.push_str("zz\n");
+        assert!(ImageModel::parse(&good).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! Static instruction-mix and addressing-mode checks: the decoded
+//! image's histograms diffed against the `ProfileParams` that claim to
+//! have generated it.
+//!
+//! Each generator emitter leaves a signature instruction the static
+//! decode can count (CHMK for syscalls, CASEL for dispatch, a
+//! bias-stream CMPL for the compare-and-branch idiom, ...). The
+//! signature counts are compared, share against share, with the
+//! normalized `MixWeights` over the same categories. The three
+//! filler-diluted categories (moves/arith/logic) are excluded: leaf
+//! bodies and branch shadows emit those opcodes outside the weighted
+//! sampling, so their static share says nothing about the weights.
+//!
+//! Tolerances are deliberately loose — the generator samples weights
+//! stochastically and substitutes fallbacks when arena budgets run
+//! out — and were calibrated so every built-in profile passes with
+//! about 2x margin. The checks catch a *wrong table*, not sampling
+//! noise.
+
+use crate::cfg::DecodedImage;
+use crate::diag::{Diagnostic, Report, Rule};
+use vax_arch::sdecode::LocatedInst;
+use vax_arch::{AddrMode, BranchClass, Opcode, Reg, SpecModeClass};
+use vax_workloads::ProfileParams;
+
+/// A weighted emitter category with a statically countable signature.
+struct Category {
+    name: &'static str,
+    weight: fn(&ProfileParams) -> f64,
+    matches: fn(&LocatedInst) -> bool,
+}
+
+/// Short-hand: does the instruction use the bias stream (`(R10)+`)?
+fn uses_bias(inst: &LocatedInst) -> bool {
+    inst.inst
+        .specs
+        .iter()
+        .any(|s| s.mode == AddrMode::AutoIncrement(Reg::R10))
+}
+
+/// A backward Loop-class branch: the closing instruction of one
+/// generated counted loop.
+fn is_loop_bottom(inst: &LocatedInst) -> bool {
+    inst.inst.opcode.branch_class() == Some(BranchClass::Loop)
+        && inst.inst.branch_disp.is_some_and(|d| d < 0)
+}
+
+const CATEGORIES: &[Category] = &[
+    Category {
+        name: "cond_branch",
+        weight: |p| p.user_mix.cond_branch,
+        matches: |i| i.inst.opcode == Opcode::Cmpl && uses_bias(i),
+    },
+    Category {
+        name: "lowbit_branch",
+        weight: |p| p.user_mix.lowbit_branch,
+        matches: |i| matches!(i.inst.opcode, Opcode::Blbs | Opcode::Blbc),
+    },
+    Category {
+        name: "loop_construct",
+        weight: |p| p.user_mix.loop_construct,
+        matches: is_loop_bottom,
+    },
+    Category {
+        name: "case_dispatch",
+        weight: |p| p.user_mix.case_dispatch,
+        matches: |i| i.inst.opcode.has_case_table(),
+    },
+    Category {
+        name: "jmp_uncond",
+        weight: |p| p.user_mix.jmp_uncond,
+        matches: |i| i.inst.opcode == Opcode::Jmp,
+    },
+    Category {
+        name: "jsb_leaf",
+        weight: |p| p.user_mix.jsb_leaf,
+        matches: |i| matches!(i.inst.opcode, Opcode::Bsbb | Opcode::Bsbw | Opcode::Jsb),
+    },
+    Category {
+        name: "calls_proc",
+        weight: |p| p.user_mix.calls_proc,
+        matches: |i| i.inst.opcode == Opcode::Calls,
+    },
+    Category {
+        name: "pushr_popr",
+        weight: |p| p.user_mix.pushr_popr,
+        matches: |i| i.inst.opcode == Opcode::Pushr,
+    },
+    Category {
+        name: "field_ops",
+        weight: |p| p.user_mix.field_ops,
+        matches: |i| {
+            matches!(
+                i.inst.opcode,
+                Opcode::Extv | Opcode::Extzv | Opcode::Insv | Opcode::Ffs
+            )
+        },
+    },
+    Category {
+        name: "bit_branch",
+        weight: |p| p.user_mix.bit_branch,
+        matches: |i| i.inst.opcode.branch_class() == Some(BranchClass::BitBranch),
+    },
+    Category {
+        name: "float_ops",
+        weight: |p| p.user_mix.float_ops,
+        matches: |i| {
+            matches!(
+                i.inst.opcode,
+                Opcode::Cvtlf
+                    | Opcode::Addf2
+                    | Opcode::Mulf3
+                    | Opcode::Movf
+                    | Opcode::Subf3
+                    | Opcode::Cmpf
+            )
+        },
+    },
+    Category {
+        name: "muldiv",
+        weight: |p| p.user_mix.muldiv,
+        matches: |i| matches!(i.inst.opcode, Opcode::Mull3 | Opcode::Divl3),
+    },
+    Category {
+        name: "char_ops",
+        weight: |p| p.user_mix.char_ops,
+        matches: |i| matches!(i.inst.opcode, Opcode::Movc3 | Opcode::Cmpc3 | Opcode::Locc),
+    },
+    Category {
+        name: "decimal_ops",
+        weight: |p| p.user_mix.decimal_ops,
+        matches: |i| matches!(i.inst.opcode, Opcode::Addp4 | Opcode::Cmpp3 | Opcode::Movp),
+    },
+    Category {
+        name: "queue_ops",
+        weight: |p| p.user_mix.queue_ops,
+        matches: |i| i.inst.opcode == Opcode::Insque,
+    },
+    Category {
+        name: "syscall",
+        weight: |p| p.user_mix.syscall,
+        matches: |i| i.inst.opcode == Opcode::Chmk,
+    },
+];
+
+/// Share drift allowed before `mix-share` fires, relative to the
+/// expected share (calibrated; the worst built-in drift is loops at
+/// about 0.35 relative).
+const MIX_REL_TOL: f64 = 0.80;
+/// Absolute share drift always allowed (swallows small-count noise).
+const MIX_ABS_TOL: f64 = 0.02;
+/// Expected signature count below which shares are too noisy to judge.
+const MIX_MIN_EXPECTED: f64 = 30.0;
+/// Expected count above which an entirely absent category is an error.
+const MIX_ABSENT_FLOOR: f64 = 8.0;
+
+/// Compare the image's static mix to the profile's weights.
+pub fn check_mix(image: &DecodedImage, params: &ProfileParams, report: &mut Report) {
+    let ctx = params.name;
+    // Only function bodies: the dispatcher's fixed CALLS/CHMK pattern is
+    // not drawn from the weights.
+    let insts: Vec<&LocatedInst> = image
+        .regions
+        .iter()
+        .filter(|r| r.is_function)
+        .flat_map(|r| r.insts.iter())
+        .collect();
+    let counts: Vec<u64> = CATEGORIES
+        .iter()
+        .map(|c| insts.iter().filter(|i| (c.matches)(i)).count() as u64)
+        .collect();
+    let weights: Vec<f64> = CATEGORIES.iter().map(|c| (c.weight)(params)).collect();
+    let total_count: u64 = counts.iter().sum();
+    let total_weight: f64 = weights.iter().sum();
+    if total_count == 0 || total_weight <= 0.0 {
+        report.push(Diagnostic::error(
+            Rule::MixCategory,
+            ctx,
+            "no weighted-category signatures decoded at all".to_string(),
+        ));
+        return;
+    }
+    for ((cat, &count), &weight) in CATEGORIES.iter().zip(&counts).zip(&weights) {
+        let expected_share = weight / total_weight;
+        let expected_count = expected_share * total_count as f64;
+        if weight <= 0.0 {
+            if count > 0 {
+                report.push(Diagnostic::error(
+                    Rule::MixCategory,
+                    ctx,
+                    format!(
+                        "category '{}' has zero weight but {count} signature instruction(s)",
+                        cat.name
+                    ),
+                ));
+            }
+            continue;
+        }
+        if count == 0 {
+            if expected_count >= MIX_ABSENT_FLOOR {
+                report.push(Diagnostic::error(
+                    Rule::MixCategory,
+                    ctx,
+                    format!(
+                        "category '{}' is weighted (expected ~{expected_count:.0} signatures) but absent",
+                        cat.name
+                    ),
+                ));
+            }
+            continue;
+        }
+        let observed_share = count as f64 / total_count as f64;
+        let drift = (observed_share - expected_share).abs();
+        if expected_count >= MIX_MIN_EXPECTED
+            && drift > (MIX_REL_TOL * expected_share).max(MIX_ABS_TOL)
+        {
+            report.push(Diagnostic::warning(
+                Rule::MixShare,
+                ctx,
+                format!(
+                    "category '{}' share {observed_share:.3} drifts from the profile's {expected_share:.3}",
+                    cat.name
+                ),
+            ));
+        }
+    }
+
+    check_modes(ctx, &insts, params, report);
+}
+
+/// Mode-share tolerance, relative to the expected share. Very loose by
+/// design: the weights steer only the *sampled* operands of generic
+/// value slots, and the many fixed register/literal operands of the
+/// other emitters dilute them (see `ModeWeights::composite`). The check
+/// still catches a weight table pointed at the wrong modes.
+const MODE_REL_TOL: f64 = 4.0;
+/// Absolute mode-share drift always allowed.
+const MODE_ABS_TOL: f64 = 0.25;
+
+fn check_modes(
+    ctx: &'static str,
+    insts: &[&LocatedInst],
+    params: &ProfileParams,
+    report: &mut Report,
+) {
+    let class_weight = |class: SpecModeClass| -> f64 {
+        let m = &params.modes;
+        match class {
+            SpecModeClass::Register => m.register,
+            SpecModeClass::ShortLiteral => m.literal,
+            SpecModeClass::Immediate => m.immediate,
+            SpecModeClass::Displacement => m.displacement,
+            SpecModeClass::RegisterDeferred => m.reg_deferred,
+            SpecModeClass::DisplacementDeferred => m.disp_deferred,
+            SpecModeClass::AutoIncrement => m.autoincrement,
+            SpecModeClass::AutoDecrement => m.autodecrement,
+            SpecModeClass::AutoIncDeferred => m.autoinc_deferred,
+            SpecModeClass::Absolute => m.absolute,
+        }
+    };
+    let mut counts = [0u64; SpecModeClass::ALL.len()];
+    let mut indexed = 0u64;
+    for inst in insts {
+        for spec in &inst.inst.specs {
+            let class = spec.mode_class();
+            let slot = SpecModeClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("class listed");
+            counts[slot] += 1;
+            if spec.index.is_some() {
+                indexed += 1;
+            }
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    let total_weight: f64 = SpecModeClass::ALL.iter().map(|&c| class_weight(c)).sum();
+    if total == 0 || total_weight <= 0.0 {
+        report.push(Diagnostic::error(
+            Rule::ModeShare,
+            ctx,
+            "no operand specifiers decoded at all".to_string(),
+        ));
+        return;
+    }
+    for (&class, &count) in SpecModeClass::ALL.iter().zip(&counts) {
+        let expected = class_weight(class) / total_weight;
+        let observed = count as f64 / total as f64;
+        if expected <= 0.0 {
+            continue;
+        }
+        // A weighted mode that never appears in a large image means the
+        // operand sampler cannot produce it — a wiring error.
+        if count == 0 && expected * total as f64 >= 50.0 {
+            report.push(Diagnostic::error(
+                Rule::ModeShare,
+                ctx,
+                format!("addressing mode {class:?} is weighted but never appears"),
+            ));
+            continue;
+        }
+        let drift = (observed - expected).abs();
+        if drift > (MODE_REL_TOL * expected).max(MODE_ABS_TOL) {
+            report.push(Diagnostic::warning(
+                Rule::ModeShare,
+                ctx,
+                format!(
+                    "addressing mode {class:?} share {observed:.3} drifts from the weighted {expected:.3}"
+                ),
+            ));
+        }
+    }
+    // Indexed prefixes ride on top of the base-mode histogram.
+    let observed_indexed = indexed as f64 / total as f64;
+    if (observed_indexed - params.modes.indexed).abs()
+        > (MODE_REL_TOL * params.modes.indexed).max(MODE_ABS_TOL)
+    {
+        report.push(Diagnostic::warning(
+            Rule::ModeShare,
+            ctx,
+            format!(
+                "indexed-specifier share {observed_indexed:.3} drifts from the weighted {:.3}",
+                params.modes.indexed
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::check_image;
+    use crate::image::ImageModel;
+    use vax_workloads::{plan_processes, profile, WorkloadKind};
+
+    fn decoded_profile() -> (DecodedImage, ProfileParams) {
+        let params = profile(WorkloadKind::TimesharingLight);
+        let plans = plan_processes(&params).expect("generation succeeds");
+        let model = ImageModel::from_process(params.name, &plans[0]);
+        let (decoded, report) = check_image(&model);
+        assert_eq!(report.errors(), 0, "{}", report.render_text());
+        (decoded.expect("total decode"), params)
+    }
+
+    #[test]
+    fn builtin_profile_mix_is_within_tolerance() {
+        let (image, params) = decoded_profile();
+        let mut report = Report::new();
+        check_mix(&image, &params, &mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn zero_weight_category_present_is_an_error() {
+        let (image, mut params) = decoded_profile();
+        // The image is full of bias-stream compares; claim the profile
+        // never emits them.
+        params.user_mix.cond_branch = 0.0;
+        let mut report = Report::new();
+        check_mix(&image, &params, &mut report);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::MixCategory && d.message.contains("cond_branch")),
+            "{}",
+            report.render_text()
+        );
+    }
+}

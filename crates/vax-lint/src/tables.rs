@@ -1,0 +1,468 @@
+//! Table audits: the opcode table, the control-store layout, and the
+//! instrument taxonomy (hardware counters x trace events x trace
+//! counters). These check the simulator's *configuration*, not any
+//! particular run — they are independent of workload images.
+
+use crate::diag::{Diagnostic, Report, Rule};
+use std::collections::BTreeMap;
+use upc_monitor::events::{MachineEvent, MemStream, StallCause};
+use vax_arch::{BranchClass, Opcode, SpecModeClass};
+use vax_mem::HwCounters;
+use vax_trace::TraceCounters;
+use vax_ucode::{ControlStore, SpecPosition, StallPoint};
+
+/// Audit the opcode table: operand templates consistent with each
+/// opcode's flags, unique encodings, branch displacements only on
+/// displacement-branch classes.
+pub fn check_opcode_table(report: &mut Report) {
+    const CTX: &str = "opcode-table";
+    let mut bytes_seen: BTreeMap<u8, Opcode> = BTreeMap::new();
+    for &op in Opcode::ALL {
+        let cell = u64::from(op.to_byte());
+        if let Some(prev) = bytes_seen.insert(op.to_byte(), op) {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!(
+                        "{} and {} share encoding {:#04x}",
+                        prev.mnemonic(),
+                        op.mnemonic(),
+                        op.to_byte()
+                    ),
+                )
+                .at(cell),
+            );
+        }
+        if Opcode::from_byte(op.to_byte()) != Some(op) {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!("{} does not round-trip through its byte", op.mnemonic()),
+                )
+                .at(cell),
+            );
+        }
+        if op.specifier_count() > 6 {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!("{} exceeds the 6-specifier limit", op.mnemonic()),
+                )
+                .at(cell),
+            );
+        }
+        let disp_templates = op
+            .operands()
+            .iter()
+            .filter(|t| t.is_branch_displacement())
+            .count();
+        let disp_is_last = op
+            .operands()
+            .last()
+            .is_none_or(|t| t.is_branch_displacement())
+            || disp_templates == 0;
+        if disp_templates > 1 || !disp_is_last {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!(
+                        "{} must list exactly one branch displacement, as the final template",
+                        op.mnemonic()
+                    ),
+                )
+                .at(cell),
+            );
+        }
+        if op.branch_displacement().is_some() && op.branch_class().is_none() {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!(
+                        "{} takes a branch displacement but has no branch class",
+                        op.mnemonic()
+                    ),
+                )
+                .at(cell),
+            );
+        }
+        if op.has_case_table() && op.branch_class() != Some(BranchClass::Case) {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!(
+                        "{} carries a case table outside the Case class",
+                        op.mnemonic()
+                    ),
+                )
+                .at(cell),
+            );
+        }
+        let displacement_classes = [
+            BranchClass::SimpleCond,
+            BranchClass::Loop,
+            BranchClass::LowBitTest,
+            BranchClass::BitBranch,
+        ];
+        if op
+            .branch_class()
+            .is_some_and(|c| displacement_classes.contains(&c))
+            && op.branch_displacement().is_none()
+        {
+            report.push(
+                Diagnostic::error(
+                    Rule::TableOpcode,
+                    CTX,
+                    format!(
+                        "{} is in a displacement-branch class but takes no displacement",
+                        op.mnemonic()
+                    ),
+                )
+                .at(cell),
+            );
+        }
+    }
+}
+
+/// Audit the control-store layout: named regions pairwise disjoint and
+/// fully allocated, every allocated address inside exactly one region,
+/// and every dispatch accessor pointing at an allocated address.
+pub fn check_control_store(report: &mut Report) {
+    const CTX: &str = "control-store";
+    let cs = ControlStore::build();
+    let regions = cs.regions();
+
+    for window in regions.windows(2) {
+        let (a_name, a_base, a_len) = window[0];
+        let (b_name, b_base, _) = window[1];
+        if a_base + a_len > b_base {
+            report.push(
+                Diagnostic::error(
+                    Rule::UcodeOverlap,
+                    CTX,
+                    format!("region '{a_name}' ({a_base:#x}+{a_len:#x}) overlaps '{b_name}' ({b_base:#x})"),
+                )
+                .at(u64::from(b_base)),
+            );
+        }
+    }
+
+    let in_region = |addr: u16| -> Vec<&'static str> {
+        regions
+            .iter()
+            .filter(|&&(_, base, len)| (base..base + len).contains(&addr))
+            .map(|&(name, _, _)| name)
+            .collect()
+    };
+    let allocated: BTreeMap<u16, vax_ucode::AddrClass> = cs
+        .iter()
+        .map(|(addr, class)| (addr.value(), class))
+        .collect();
+
+    for &addr in allocated.keys() {
+        let homes = in_region(addr);
+        match homes.len() {
+            1 => {}
+            0 => report.push(
+                Diagnostic::error(
+                    Rule::UcodeCoverage,
+                    CTX,
+                    format!("allocated micro-address {addr:#06x} is outside every named region"),
+                )
+                .at(u64::from(addr)),
+            ),
+            _ => report.push(
+                Diagnostic::error(
+                    Rule::UcodeOverlap,
+                    CTX,
+                    format!(
+                        "micro-address {addr:#06x} falls in regions {}",
+                        homes.join(", ")
+                    ),
+                )
+                .at(u64::from(addr)),
+            ),
+        }
+    }
+    for &(name, base, len) in &regions {
+        for addr in base..base + len {
+            if !allocated.contains_key(&addr) {
+                report.push(
+                    Diagnostic::error(
+                        Rule::UcodeCoverage,
+                        CTX,
+                        format!("region '{name}' has an unallocated gap at {addr:#06x}"),
+                    )
+                    .at(u64::from(addr)),
+                );
+            }
+        }
+    }
+
+    // Every dispatch entry the model can reach must be allocated (the
+    // accessors compute addresses; a truncated table would panic only
+    // at simulation time — catch it here instead).
+    let mut entries: Vec<(String, u16)> = vec![
+        ("ird1".into(), cs.ird1().value()),
+        ("bdisp".into(), cs.bdisp().value()),
+        ("tb-miss".into(), cs.tb_miss_entry().value()),
+        ("memmgmt-compute".into(), cs.memmgmt_compute().value()),
+        ("memmgmt-read".into(), cs.memmgmt_read().value()),
+        ("memmgmt-write".into(), cs.memmgmt_write().value()),
+        ("interrupt".into(), cs.int_entry().value()),
+        ("exception".into(), cs.exc_entry().value()),
+        ("abort".into(), cs.abort().value()),
+        ("soft-int".into(), cs.soft_int_request().value()),
+    ];
+    for point in StallPoint::ALL {
+        entries.push((format!("ib-stall/{point:?}"), cs.ib_stall(point).value()));
+    }
+    for pos in SpecPosition::ALL {
+        entries.push((format!("spec-index/{pos:?}"), cs.spec_index(pos).value()));
+        for class in SpecModeClass::ALL {
+            entries.push((
+                format!("spec/{pos:?}/{class:?}"),
+                cs.spec_entry(pos, class).value(),
+            ));
+        }
+    }
+    for class in BranchClass::ALL {
+        entries.push((
+            format!("branch-taken/{class:?}"),
+            cs.branch_taken(class).value(),
+        ));
+    }
+    for &op in Opcode::ALL {
+        entries.push((format!("exec/{}", op.mnemonic()), cs.exec_entry(op).value()));
+    }
+    for (what, addr) in entries {
+        if !allocated.contains_key(&addr) {
+            report.push(
+                Diagnostic::error(
+                    Rule::UcodeCoverage,
+                    CTX,
+                    format!("dispatch entry {what} points at unallocated {addr:#06x}"),
+                )
+                .at(u64::from(addr)),
+            );
+        }
+    }
+}
+
+/// Which trace event kind witnesses each hardware counter. The two
+/// instruments watch the same machine; a counter with no event kind
+/// (or vice versa) is unobservable by one of them and breaks the
+/// PR-1 reconciliation pass.
+pub const HW_EVENT_MAP: &[(&str, &str)] = &[
+    ("ib_requests", "cache_access"),
+    ("ib_bytes_delivered", "cache_access"),
+    ("cache_hit_i", "cache_access"),
+    ("cache_miss_i", "cache_access"),
+    ("cache_hit_d", "cache_access"),
+    ("cache_miss_d", "cache_access"),
+    ("writes", "write_buffer"),
+    ("write_hits", "write_buffer"),
+    ("unaligned_refs", "cache_access"),
+    ("tb_miss_d", "tb_miss"),
+    ("tb_miss_i", "tb_miss"),
+    ("tb_hits", "cache_access"),
+    ("sbi_reads", "sbi"),
+    ("sbi_writes", "sbi"),
+];
+
+/// Which trace-counter fields each event kind feeds.
+pub const EVENT_TRACE_MAP: &[(&str, &[&str])] = &[
+    ("decode", &["decodes"]),
+    ("retire", &["retires", "specifiers"]),
+    (
+        "stall",
+        &["read_stall_cycles", "write_stall_cycles", "ib_stall_cycles"],
+    ),
+    (
+        "cache_access",
+        &["cache_hit_i", "cache_miss_i", "cache_hit_d", "cache_miss_d"],
+    ),
+    ("tb_miss", &["tb_miss_i", "tb_miss_d", "tb_double_misses"]),
+    ("write_buffer", &["writes_buffered", "write_buffer_peak"]),
+    ("sbi", &["sbi_reads", "sbi_writes"]),
+    ("interrupt_entry", &["interrupts"]),
+    ("exception_entry", &["exceptions"]),
+    ("context_switch", &["context_switches"]),
+];
+
+/// One sample event of each kind, for the behavioral half of the audit.
+fn sample_events() -> Vec<MachineEvent> {
+    vec![
+        MachineEvent::Decode {
+            opcode: Opcode::Movl,
+        },
+        MachineEvent::Retire {
+            opcode: Opcode::Movl,
+            pc: 0x1000,
+            specifiers: 2,
+        },
+        MachineEvent::Stall {
+            cause: StallCause::Read,
+            cycles: 1,
+        },
+        MachineEvent::CacheAccess {
+            stream: MemStream::Data,
+            hit: false,
+        },
+        MachineEvent::TbMiss {
+            stream: MemStream::Data,
+            double: true,
+        },
+        MachineEvent::WriteBuffer { occupancy: 1 },
+        MachineEvent::Sbi { read: true },
+        MachineEvent::InterruptEntry { ipl: 24 },
+        MachineEvent::ExceptionEntry,
+        MachineEvent::ContextSwitch { new_space: 1 },
+    ]
+}
+
+/// Audit the instrument taxonomy: every hardware counter maps to a
+/// trace event kind, every event kind is mapped and actually moves the
+/// trace-counter fields the map declares for it.
+pub fn check_taxonomy(report: &mut Report) {
+    const CTX: &str = "instrument-taxonomy";
+
+    // Hardware counters -> event kinds: total, and into real kinds.
+    for (cell, &field) in HwCounters::FIELD_NAMES.iter().enumerate() {
+        match HW_EVENT_MAP.iter().find(|(f, _)| *f == field) {
+            None => report.push(
+                Diagnostic::error(
+                    Rule::CounterTaxonomy,
+                    CTX,
+                    format!("hardware counter '{field}' has no trace event kind"),
+                )
+                .at(cell as u64),
+            ),
+            Some(&(_, kind)) if !MachineEvent::KIND_NAMES.contains(&kind) => report.push(
+                Diagnostic::error(
+                    Rule::CounterTaxonomy,
+                    CTX,
+                    format!("hardware counter '{field}' maps to unknown event kind '{kind}'"),
+                )
+                .at(cell as u64),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (field, _) in HW_EVENT_MAP {
+        if !HwCounters::FIELD_NAMES.contains(field) {
+            report.push(Diagnostic::error(
+                Rule::CounterTaxonomy,
+                CTX,
+                format!("taxonomy lists unknown hardware counter '{field}'"),
+            ));
+        }
+    }
+
+    // Event kinds <-> trace counters: the map must cover every kind,
+    // name only real fields, and leave no trace field unfed.
+    for (cell, &kind) in MachineEvent::KIND_NAMES.iter().enumerate() {
+        if !EVENT_TRACE_MAP.iter().any(|(k, _)| *k == kind) {
+            report.push(
+                Diagnostic::error(
+                    Rule::CounterTaxonomy,
+                    CTX,
+                    format!("event kind '{kind}' feeds no trace counter"),
+                )
+                .at(cell as u64),
+            );
+        }
+    }
+    let mut fed: Vec<&str> = vec!["issues", "stall_cycles"]; // derived by the tracer itself
+    for (kind, fields) in EVENT_TRACE_MAP {
+        if !MachineEvent::KIND_NAMES.contains(kind) {
+            report.push(Diagnostic::error(
+                Rule::CounterTaxonomy,
+                CTX,
+                format!("taxonomy lists unknown event kind '{kind}'"),
+            ));
+        }
+        for field in *fields {
+            if !TraceCounters::FIELD_NAMES.contains(field) {
+                report.push(Diagnostic::error(
+                    Rule::CounterTaxonomy,
+                    CTX,
+                    format!("event kind '{kind}' claims unknown trace counter '{field}'"),
+                ));
+            }
+            fed.push(field);
+        }
+    }
+    for (cell, &field) in TraceCounters::FIELD_NAMES.iter().enumerate() {
+        if !fed.contains(&field) {
+            report.push(
+                Diagnostic::error(
+                    Rule::CounterTaxonomy,
+                    CTX,
+                    format!("trace counter '{field}' is fed by no event kind"),
+                )
+                .at(cell as u64),
+            );
+        }
+    }
+
+    // Behavioral half: applying one event of each kind must move at
+    // least one of the fields the map declares for that kind.
+    for event in sample_events() {
+        let kind = event.kind_name();
+        let Some(&(_, fields)) = EVENT_TRACE_MAP.iter().find(|(k, _)| *k == kind) else {
+            continue; // already reported above
+        };
+        let before = TraceCounters::default();
+        let mut after = before;
+        after.apply(event);
+        let moved = {
+            let b: BTreeMap<_, _> = before.to_pairs().into_iter().collect();
+            after
+                .to_pairs()
+                .into_iter()
+                .any(|(name, v)| fields.contains(&name) && b[name] != v)
+        };
+        if !moved {
+            report.push(Diagnostic::error(
+                Rule::CounterTaxonomy,
+                CTX,
+                format!("a '{kind}' event moves none of its declared trace counters"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_table_is_clean() {
+        let mut report = Report::new();
+        check_opcode_table(&mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn control_store_layout_is_clean() {
+        let mut report = Report::new();
+        check_control_store(&mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn instrument_taxonomy_is_exhaustive_both_ways() {
+        let mut report = Report::new();
+        check_taxonomy(&mut report);
+        assert!(report.is_clean(), "{}", report.render_text());
+        // The maps themselves are total over the declared names.
+        assert_eq!(HW_EVENT_MAP.len(), HwCounters::FIELD_NAMES.len());
+        assert_eq!(EVENT_TRACE_MAP.len(), MachineEvent::KIND_NAMES.len());
+    }
+}

@@ -41,6 +41,26 @@ pub struct HwCounters {
 }
 
 impl HwCounters {
+    /// The field names reported by [`to_pairs`](HwCounters::to_pairs), in
+    /// order, as a static list (for taxonomy audits that must enumerate
+    /// the instrument's counters without a value in hand).
+    pub const FIELD_NAMES: &'static [&'static str] = &[
+        "ib_requests",
+        "ib_bytes_delivered",
+        "cache_hit_i",
+        "cache_miss_i",
+        "cache_hit_d",
+        "cache_miss_d",
+        "writes",
+        "write_hits",
+        "unaligned_refs",
+        "tb_miss_d",
+        "tb_miss_i",
+        "tb_hits",
+        "sbi_reads",
+        "sbi_writes",
+    ];
+
     /// Fresh, zeroed counters.
     pub fn new() -> HwCounters {
         HwCounters::default()
@@ -176,6 +196,16 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.ib_requests, 15);
         assert_eq!(a.cache_read_misses(), 5);
+    }
+
+    #[test]
+    fn field_names_match_to_pairs() {
+        let names: Vec<&str> = HwCounters::new()
+            .to_pairs()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, HwCounters::FIELD_NAMES);
     }
 
     #[test]

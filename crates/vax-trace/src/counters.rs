@@ -57,6 +57,33 @@ pub struct TraceCounters {
 }
 
 impl TraceCounters {
+    /// The field names reported by [`to_pairs`](TraceCounters::to_pairs),
+    /// in order, as a static list (for taxonomy audits).
+    pub const FIELD_NAMES: &'static [&'static str] = &[
+        "issues",
+        "stall_cycles",
+        "read_stall_cycles",
+        "write_stall_cycles",
+        "ib_stall_cycles",
+        "decodes",
+        "retires",
+        "specifiers",
+        "cache_hit_i",
+        "cache_miss_i",
+        "cache_hit_d",
+        "cache_miss_d",
+        "tb_miss_i",
+        "tb_miss_d",
+        "tb_double_misses",
+        "writes_buffered",
+        "write_buffer_peak",
+        "sbi_reads",
+        "sbi_writes",
+        "interrupts",
+        "exceptions",
+        "context_switches",
+    ];
+
     /// Total cycles implied by the aggregates: `issues + stall_cycles`.
     /// This must equal the histogram board's `total_cycles()` when both
     /// instruments watch the same run — the paper's two-instrument
@@ -195,6 +222,16 @@ mod tests {
         }
         assert_eq!(c.writes_buffered, 3);
         assert_eq!(c.write_buffer_peak, 3);
+    }
+
+    #[test]
+    fn field_names_match_to_pairs() {
+        let names: Vec<&str> = TraceCounters::default()
+            .to_pairs()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, TraceCounters::FIELD_NAMES);
     }
 
     #[test]

@@ -330,6 +330,28 @@ impl ControlStore {
             .filter_map(|(i, c)| c.map(|c| (MicroAddr::new(i as u16), c)))
     }
 
+    /// The named regions of the layout: `(name, base, len)` in address
+    /// order. Every allocated address falls in exactly one region; the
+    /// gaps between regions are deliberately unallocated (a real listing
+    /// leaves patch space). Auditing tools check both properties.
+    pub fn regions(&self) -> Vec<(&'static str, u16, u16)> {
+        vec![
+            ("ird1", IRD1, 1),
+            ("ib-stall", IB_STALL_BASE, 4),
+            ("bdisp", BDISP, 1),
+            ("spec-index", SPEC_INDEX_BASE, 2),
+            ("spec", SPEC_BASE, 2 * 10 * SPEC_SLOTS),
+            ("branch-taken", BRANCH_TAKEN_BASE, 9),
+            ("tb-miss", TB_MISS_BASE, 5),
+            ("memmgmt", MEMMGMT_BASE, 3),
+            ("interrupt", INT_BASE, 4),
+            ("exception", EXC_BASE, 4),
+            ("abort", ABORT, 1),
+            ("soft-int", SOFT_INT_REQ, 1),
+            ("exec", EXEC_BASE, Opcode::ALL.len() as u16 * EXEC_SLOTS),
+        ]
+    }
+
     // ----- named accessors (CPU dispatch points) ---------------------------
 
     /// The IRD1 initial-decode dispatch.

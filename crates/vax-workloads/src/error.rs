@@ -1,0 +1,125 @@
+//! Workload-construction errors.
+//!
+//! Building a machine image from a profile can fail in three places: the
+//! profile parameters themselves, the per-process code generator, and
+//! the kernel builder. Each failure carries enough context to report a
+//! diagnostic (which profile, which process) instead of aborting the
+//! whole process with a panic.
+
+use crate::mix::ProfileParams;
+use std::fmt;
+use vax_arch::ArchError;
+
+/// Why a workload machine could not be built.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The profile parameters are out of range.
+    Params {
+        /// Profile name.
+        profile: &'static str,
+        /// What is wrong with the parameters.
+        message: String,
+    },
+    /// The per-process code generator (or its assembler) failed.
+    Codegen {
+        /// Profile name.
+        profile: &'static str,
+        /// Index of the process whose program failed.
+        process: u32,
+        /// The underlying assembler/architecture error.
+        source: ArchError,
+    },
+    /// The kernel builder failed.
+    Kernel {
+        /// Profile name.
+        profile: &'static str,
+        /// The underlying assembler/architecture error.
+        source: ArchError,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Params { profile, message } => {
+                write!(f, "profile '{profile}': invalid parameters: {message}")
+            }
+            WorkloadError::Codegen {
+                profile,
+                process,
+                source,
+            } => write!(
+                f,
+                "profile '{profile}': process {process} code generation failed: {source}"
+            ),
+            WorkloadError::Kernel { profile, source } => {
+                write!(f, "profile '{profile}': kernel build failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Params { .. } => None,
+            WorkloadError::Codegen { source, .. } | WorkloadError::Kernel { source, .. } => {
+                Some(source)
+            }
+        }
+    }
+}
+
+impl ProfileParams {
+    /// Check the parameters, reporting the first violation as an error
+    /// instead of panicking (the checked twin of
+    /// [`validate`](ProfileParams::validate)).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Params`] naming the out-of-range field.
+    pub fn check(&self) -> Result<(), WorkloadError> {
+        let constraints: &[(&str, bool)] = &[
+            ("processes >= 1", self.processes >= 1),
+            (
+                "functions_per_process >= 1",
+                self.functions_per_process >= 1,
+            ),
+            ("slots_per_function >= 4", self.slots_per_function >= 4),
+            ("loop_mean_iters >= 2", self.loop_mean_iters >= 2),
+            ("service_count >= 1", self.service_count >= 1),
+            ("timer_period >= 1000", self.timer_period >= 1000),
+        ];
+        for (what, ok) in constraints {
+            if !ok {
+                return Err(WorkloadError::Params {
+                    profile: self.name,
+                    message: format!("requires {what}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{profile, WorkloadKind};
+
+    #[test]
+    fn check_accepts_builtin_profiles_and_names_violations() {
+        for kind in WorkloadKind::ALL {
+            profile(kind).check().expect("builtin profile is valid");
+        }
+        let bad = ProfileParams {
+            slots_per_function: 1,
+            ..profile(WorkloadKind::Commercial)
+        };
+        let err = bad.check().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("commercial"), "{text}");
+        assert!(text.contains("slots_per_function"), "{text}");
+    }
+}

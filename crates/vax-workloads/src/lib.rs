@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod codegen;
+pub mod error;
 pub mod kernel;
 pub mod mix;
 pub mod process;
@@ -30,7 +31,11 @@ pub mod profiles;
 pub mod rte;
 pub mod session;
 
+pub use error::WorkloadError;
 pub use mix::{MixWeights, ModeWeights, ProfileParams};
 pub use profiles::{profile, WorkloadKind};
 pub use rte::{RteConfig, RteSource};
-pub use session::{build_machine, build_machine_with_config, Machine};
+pub use session::{
+    build_machine, build_machine_with_config, plan_processes, try_build_machine,
+    try_build_machine_with_config, Machine, ProcessImage,
+};

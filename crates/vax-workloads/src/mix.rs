@@ -187,12 +187,9 @@ pub struct ProfileParams {
 impl ProfileParams {
     /// Sanity checks; panics on nonsense parameters.
     pub fn validate(&self) {
-        assert!(self.processes >= 1);
-        assert!(self.functions_per_process >= 1);
-        assert!(self.slots_per_function >= 4);
-        assert!(self.loop_mean_iters >= 2);
-        assert!(self.service_count >= 1);
-        assert!(self.timer_period >= 1000);
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 //! 0, and from then on the timer drives scheduling.
 
 use crate::codegen::{CodeGen, DataLayout};
+use crate::error::WorkloadError;
 use crate::kernel::{self, KernelImage};
 use crate::mix::ProfileParams;
 use crate::process;
@@ -139,11 +140,79 @@ impl Machine {
     }
 }
 
+/// One process's generated program, before it is loaded into memory:
+/// the assembled code image, the data layout/image it runs against, and
+/// the placement facts a static analyzer needs (entry point, function
+/// addresses).
+#[derive(Debug)]
+pub struct ProcessImage {
+    /// Assembled user code.
+    pub image: vax_arch::CodeImage,
+    /// Data-region layout the code was generated against.
+    pub layout: DataLayout,
+    /// Initial contents of the data region.
+    pub data: Vec<u8>,
+    /// User-mode entry PC (the dispatcher).
+    pub entry: u32,
+    /// Function addresses (each starts with a 2-byte entry mask), in
+    /// function-table order.
+    pub functions: Vec<u32>,
+}
+
+/// Generate every process image for a profile — the pure-codegen half of
+/// machine construction, exposed so static analysis (`vax-lint`) can
+/// inspect exactly the code a machine would run without building one.
+///
+/// Deterministic in `params.seed`.
+///
+/// # Errors
+///
+/// [`WorkloadError::Params`] for out-of-range parameters and
+/// [`WorkloadError::Codegen`] when generation or assembly fails.
+pub fn plan_processes(params: &ProfileParams) -> Result<Vec<ProcessImage>, WorkloadError> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    plan_processes_with(params, &mut rng)
+}
+
+/// As [`plan_processes`], continuing an existing RNG stream (the kernel
+/// builder consumes the same stream right after the data images, so the
+/// split must not reseed in between).
+fn plan_processes_with(
+    params: &ProfileParams,
+    rng: &mut StdRng,
+) -> Result<Vec<ProcessImage>, WorkloadError> {
+    params.check()?;
+    let mut plans = Vec::with_capacity(params.processes as usize);
+    for i in 0..params.processes {
+        let layout_base = PAGE_BYTES; // page 0 reserved
+        let layout = DataLayout::for_profile(params, layout_base);
+        let code_base = (layout_base + layout.total_len + 15) & !15;
+        let mut asm = Assembler::new(code_base);
+        let gen_rng = StdRng::seed_from_u64(params.seed ^ (0x9E37_79B9 * u64::from(i + 1)));
+        let mut generator = CodeGen::new(&mut asm, gen_rng, params, layout);
+        let codegen_err = |source| WorkloadError::Codegen {
+            profile: params.name,
+            process: i,
+            source,
+        };
+        let prog = generator.generate().map_err(codegen_err)?;
+        let image = asm.finish().map_err(codegen_err)?;
+        let data = process::build_data_image(&layout, params, rng, &prog.functions);
+        plans.push(ProcessImage {
+            image,
+            layout,
+            data,
+            entry: prog.entry,
+            functions: prog.functions,
+        });
+    }
+    Ok(plans)
+}
+
 /// Build a machine for the given workload profile.
 ///
-/// Deterministic in `params.seed`. Panics only on internal invariant
-/// violations (e.g. generated code overflowing its window), which are
-/// generator bugs, not runtime conditions.
+/// Deterministic in `params.seed`. Panics on construction failure; use
+/// [`try_build_machine`] to report the error instead.
 pub fn build_machine(params: &ProfileParams) -> Machine {
     build_machine_with_config(params, CpuConfig::default(), MemConfig::default())
 }
@@ -155,36 +224,39 @@ pub fn build_machine_with_config(
     cpu_config: CpuConfig,
     mem_config: MemConfig,
 ) -> Machine {
-    params.validate();
+    match try_build_machine_with_config(params, cpu_config, mem_config) {
+        Ok(machine) => machine,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Build a machine for the given workload profile, reporting failures
+/// (bad parameters, generator or kernel bugs) as a [`WorkloadError`]
+/// diagnostic instead of aborting the process.
+///
+/// # Errors
+///
+/// Any [`WorkloadError`] from parameter checking, process code
+/// generation, or the kernel builder.
+pub fn try_build_machine(params: &ProfileParams) -> Result<Machine, WorkloadError> {
+    try_build_machine_with_config(params, CpuConfig::default(), MemConfig::default())
+}
+
+/// As [`try_build_machine`] with explicit CPU/memory configurations.
+///
+/// # Errors
+///
+/// Any [`WorkloadError`] from parameter checking, process code
+/// generation, or the kernel builder.
+pub fn try_build_machine_with_config(
+    params: &ProfileParams,
+    cpu_config: CpuConfig,
+    mem_config: MemConfig,
+) -> Result<Machine, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(params.seed);
+    let plans = plan_processes_with(params, &mut rng)?;
     let mut mem = MemorySubsystem::new(mem_config);
     let mut mb = MapBuilder::new(mem.phys(), 8192);
-
-    // ----- generate per-process programs (pure codegen, no memory yet) ----
-    struct ProcPlan {
-        image: vax_arch::CodeImage,
-        layout: DataLayout,
-        data: Vec<u8>,
-        entry: u32,
-    }
-    let mut plans = Vec::with_capacity(params.processes as usize);
-    for i in 0..params.processes {
-        let layout_base = PAGE_BYTES; // page 0 reserved
-        let layout = DataLayout::for_profile(params, layout_base);
-        let code_base = (layout_base + layout.total_len + 15) & !15;
-        let mut asm = Assembler::new(code_base);
-        let gen_rng = StdRng::seed_from_u64(params.seed ^ (0x9E37_79B9 * u64::from(i + 1)));
-        let mut generator = CodeGen::new(&mut asm, gen_rng, params, layout);
-        let prog = generator.generate().expect("program generation");
-        let image = asm.finish().expect("program assembles");
-        let data = process::build_data_image(&layout, params, &mut rng, &prog.functions);
-        plans.push(ProcPlan {
-            image,
-            layout,
-            data,
-            entry: prog.entry,
-        });
-    }
 
     // ----- physical allocations: SCB and PCBs ------------------------------
     let scb_pa = mb.alloc_frames(1) * PAGE_BYTES;
@@ -196,9 +268,13 @@ pub fn build_machine_with_config(
     let kdata_pages = kernel::kdata::SIZE.div_ceil(PAGE_BYTES).max(4);
     let kdata_va = 0x8000_0000;
     let kcode_va = kdata_va + kdata_pages * PAGE_BYTES;
-    let kernel_img: KernelImage =
-        kernel::build_kernel(params, &mut rng, kcode_va, kdata_va, scb_pa, &pcb_pas)
-            .expect("kernel builds");
+    let kernel_img: KernelImage = kernel::build_kernel(
+        params, &mut rng, kcode_va, kdata_va, scb_pa, &pcb_pas,
+    )
+    .map_err(|source| WorkloadError::Kernel {
+        profile: params.name,
+        source,
+    })?;
     let kcode_pages = (kernel_img.code.len() as u32).div_ceil(PAGE_BYTES) + 1;
 
     // ----- system mappings (order defines the fixed kernel VAs) -------------
@@ -290,7 +366,7 @@ pub fn build_machine_with_config(
         seed: params.seed ^ 0xDEAD_BEEF,
     });
 
-    Machine {
+    Ok(Machine {
         cpu,
         name: params.name,
         idle_pc: kernel_img.idle_pc,
@@ -301,7 +377,7 @@ pub fn build_machine_with_config(
         next_dma: params.dma_period,
         rte,
         interrupts_posted: 0,
-    }
+    })
 }
 
 #[cfg(test)]

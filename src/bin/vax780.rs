@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         Some("trace") => checked(cmd_trace, "trace", &args[1..], TRACE_SPEC),
         Some("report") => checked(cmd_report, "report", &args[1..], REPORT_SPEC),
         Some("disasm") => checked(cmd_disasm, "disasm", &args[1..], DISASM_SPEC),
+        Some("lint") => checked(cmd_lint, "lint", &args[1..], LINT_SPEC),
         Some("list") => checked(
             |_| {
                 for kind in WorkloadKind::ALL {
@@ -65,7 +66,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vax780 <run|sweep|trace|report|disasm|list> [options]\n\
+const USAGE: &str = "usage: vax780 <run|sweep|trace|report|disasm|lint|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
@@ -78,6 +79,8 @@ const USAGE: &str = "usage: vax780 <run|sweep|trace|report|disasm|list> [options
      \x20       --trace-limit N  --metrics\n\
      report  --histogram FILE  --instructions-hint N\n\
      disasm  --workload NAME  --function K  --lines N\n\
+     lint    --profile NAME  --all-profiles  --image FILE\n\
+     \x20       --emit-image FILE  --jsonl  --deny RULE|all\n\
      list    (print workload names)";
 
 /// Option spec for one subcommand: `(name, takes_value)`.
@@ -118,6 +121,14 @@ const DISASM_SPEC: Spec = &[
     ("--workload", true),
     ("--function", true),
     ("--lines", true),
+];
+const LINT_SPEC: Spec = &[
+    ("--profile", true),
+    ("--all-profiles", false),
+    ("--image", true),
+    ("--emit-image", true),
+    ("--jsonl", false),
+    ("--deny", true),
 ];
 
 /// Reject unrecognized options before dispatching: a typo like
@@ -393,7 +404,13 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         .unwrap_or(vax_trace::DEFAULT_CAPACITY);
 
     let mut metrics = SelfMetrics::new();
-    let mut machine = vax_workloads::build_machine(&profile(kind));
+    let mut machine = match vax_workloads::try_build_machine(&profile(kind)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("vax780 trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // Baseline after build: the counter deltas from here cover exactly
     // the cycles both sinks observe.
     let hw_base = *machine.cpu.mem().counters();
@@ -527,23 +544,23 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
         .unwrap_or(0);
 
     // Regenerate the first process's program exactly as the session does.
-    use rand::SeedableRng;
     let params = profile(kind);
-    let layout_base = vax_mem::PAGE_BYTES;
-    let layout = vax_workloads::codegen::DataLayout::for_profile(&params, layout_base);
-    let code_base = (layout_base + layout.total_len + 15) & !15;
-    let mut asm = vax_arch::Assembler::new(code_base);
-    let rng = rand::rngs::StdRng::seed_from_u64(params.seed ^ 0x9E37_79B9);
-    let mut generator = vax_workloads::codegen::CodeGen::new(&mut asm, rng, &params, layout);
-    let prog = generator.generate().expect("generation succeeds");
-    let image = asm.finish().expect("assembles");
+    let plans = match vax_workloads::plan_processes(&params) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("vax780 disasm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = &plans[0];
+    let image = &plan.image;
 
     let start_va = if function == 0 {
-        prog.entry
-    } else if let Some(&f) = prog.functions.get(function - 1) {
+        plan.entry
+    } else if let Some(&f) = plan.functions.get(function - 1) {
         f
     } else {
-        eprintln!("function index out of range (1..={})", prog.functions.len());
+        eprintln!("function index out of range (1..={})", plan.functions.len());
         return ExitCode::FAILURE;
     };
     let offset = (start_va - image.base) as usize;
@@ -570,4 +587,100 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
         println!("{pc:#010x}\t{text}");
     }
     ExitCode::SUCCESS
+}
+
+/// `vax780 lint`: run the static analyzers. The table audits always
+/// run; `--profile`/`--all-profiles` additionally generate and lint
+/// workload images, and `--image` lints a serialized image file.
+/// Exit status is nonzero when any error-severity finding remains
+/// after `--deny` promotion.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    use vax_lint::{ImageModel, Rule};
+
+    let deny: Vec<String> = opt_all(args, "--deny")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    for d in &deny {
+        if d != "all" && Rule::parse(d).is_none() {
+            eprintln!("vax780 lint: unknown rule '{d}' for --deny (or 'all')");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut report = vax_lint::lint_tables();
+
+    if let Some(path) = opt(args, "--image") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("vax780 lint: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let model = match ImageModel::parse(&text) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("vax780 lint: {path} is not a lint image: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        report.merge(vax_lint::lint_image_model(&model, None));
+    }
+
+    let mut kinds: Vec<WorkloadKind> = Vec::new();
+    if flag(args, "--all-profiles") {
+        kinds.extend(WorkloadKind::ALL);
+    } else if let Some(name) = opt(args, "--profile") {
+        match parse_kind(name) {
+            Some(kind) => kinds.push(kind),
+            None => {
+                eprintln!("unknown workload '{name}'; try `vax780 list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for kind in &kinds {
+        let params = profile(*kind);
+        match vax_lint::lint_profile(&params) {
+            Ok(r) => report.merge(r),
+            Err(e) => {
+                eprintln!("vax780 lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = opt(args, "--emit-image") {
+        let kind = kinds
+            .first()
+            .copied()
+            .unwrap_or(WorkloadKind::TimesharingLight);
+        let params = profile(kind);
+        let plans = match vax_workloads::plan_processes(&params) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("vax780 lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let model = ImageModel::from_process(params.name, &plans[0]);
+        if let Err(e) = std::fs::write(path, model.render()) {
+            eprintln!("vax780 lint: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (process 0 of {})", params.name);
+    }
+
+    report.apply_deny(&deny);
+    if flag(args, "--jsonl") {
+        print!("{}", report.render_jsonl());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

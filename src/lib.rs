@@ -11,6 +11,7 @@ pub use vax780_core as study;
 pub use vax_analysis as analysis;
 pub use vax_arch as arch;
 pub use vax_cpu as cpu;
+pub use vax_lint as lint;
 pub use vax_mem as mem;
 pub use vax_ucode as ucode;
 pub use vax_workloads as workloads;

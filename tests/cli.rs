@@ -197,6 +197,7 @@ fn rejects_unknown_flags_naming_the_flag() {
         ("report", "--histograms"),
         ("disasm", "--line"),
         ("sweep", "--axes"),
+        ("lint", "--profiles"),
         ("list", "--verbose"),
     ] {
         let out = vax780().args([sub, bad, "5"]).output().expect("runs");
@@ -310,6 +311,97 @@ fn sweep_smoke_emits_table_csv_and_jsonl() {
         .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown sweep axis 'nonesuch'"));
+}
+
+#[test]
+fn lint_clean_profile_exits_zero() {
+    let out = vax780()
+        .args(["lint", "--profile", "timesharing-light", "--deny", "all"])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lint: clean"));
+
+    // Unknown profiles and deny rules are rejected up front.
+    let out = vax780()
+        .args(["lint", "--profile", "nonesuch"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+    let out = vax780()
+        .args(["lint", "--all-profiles", "--deny", "nonesuch"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule 'nonesuch'"));
+}
+
+#[test]
+fn lint_corrupted_image_fails_naming_rule_and_offset() {
+    let dir = std::env::temp_dir().join("vax780-lint-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let img = dir.join("img.txt");
+    let out = vax780()
+        .args(["lint", "--profile", "timesharing-light", "--emit-image"])
+        .arg(&img)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The dispatcher ends with `brw top` — opcode 0x31 plus two
+    // displacement bytes — ending exactly at the first function. Patch
+    // the displacement to +32767, far outside the image.
+    let text = std::fs::read_to_string(&img).unwrap();
+    let hex_field = |key: &str| -> u32 {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("no '{key}' line"));
+        let word = line.split_whitespace().nth(1).unwrap();
+        u32::from_str_radix(word.trim_start_matches("0x"), 16).unwrap()
+    };
+    let brw_off = (hex_field("functions ") - hex_field("base ") - 3) as usize;
+
+    let bytes_line_start = text.find("\nbytes ").unwrap() + 1;
+    let hex_start = bytes_line_start + text[bytes_line_start..].find('\n').unwrap() + 1;
+    let header = &text[..hex_start];
+    let hex: String = text[hex_start..].split_whitespace().collect();
+    let mut bytes: Vec<u8> = (0..hex.len() / 2)
+        .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).unwrap())
+        .collect();
+    assert_eq!(bytes[brw_off], 0x31, "expected the dispatcher's brw");
+    bytes[brw_off + 1] = 0xff;
+    bytes[brw_off + 2] = 0x7f;
+    let mut patched = header.to_string();
+    for row in bytes.chunks(32) {
+        for b in row {
+            patched.push_str(&format!("{b:02x}"));
+        }
+        patched.push('\n');
+    }
+    std::fs::write(&img, patched).unwrap();
+
+    let out = vax780()
+        .args(["lint", "--image"])
+        .arg(&img)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "corrupted image must fail lint");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("image-branch-target"), "{report}");
+    assert!(
+        report.contains(&format!("+{brw_off:#06x}")),
+        "diagnostic should name the byte offset:\n{report}"
+    );
 }
 
 #[test]
