@@ -9,3 +9,21 @@ cargo test --workspace -q
 # Static verification: every built-in profile must lint clean, warnings
 # promoted to errors (generation is seed-deterministic, so this is stable).
 cargo run --release -- lint --all-profiles --deny all
+
+# Fault-campaign gate: an injected run must take its machine checks and
+# still reconcile all three instruments exactly (nonzero exit otherwise).
+cargo run --release -- inject --faults parity,sbi-timeout --seed 780 \
+    --workload educational --instructions 20000 --warmup 5000 --report
+
+# Checkpoint/resume gate: "kill" a composite campaign after 2 jobs, resume
+# it from the checkpoint, and require the exact numbers of an
+# uninterrupted campaign.
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"' EXIT
+cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
+    > "$CKPT_DIR/uninterrupted.txt"
+cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
+    --checkpoint "$CKPT_DIR/campaign.ckpt" --halt-after 2 > /dev/null
+cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
+    --checkpoint "$CKPT_DIR/campaign.ckpt" > "$CKPT_DIR/resumed.txt"
+diff "$CKPT_DIR/uninterrupted.txt" "$CKPT_DIR/resumed.txt"

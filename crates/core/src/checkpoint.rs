@@ -1,0 +1,354 @@
+//! Campaign checkpoint/resume.
+//!
+//! A checkpoint file records every completed job of a composite
+//! campaign — label, lengths, and the full measurement (histogram plus
+//! hardware counters, via the `upc-monitor` text codec). The file is
+//! append-only: the header is written once, and each finished job adds
+//! one self-contained section, so a campaign killed mid-flight loses at
+//! most the jobs that were still running. Resuming replays completed
+//! jobs from the file byte-for-byte and runs only the missing ones; the
+//! final merged result is bit-identical to an uninterrupted campaign.
+
+use crate::MeasuredWorkload;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use upc_monitor::codec;
+use vax_workloads::WorkloadKind;
+
+const HEADER: &str = "vax-campaign-checkpoint v1";
+
+/// Why a checkpoint could not be loaded, created, or extended.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file's contents did not parse.
+    Corrupt {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// What was wrong, with a line number where available.
+        detail: String,
+    },
+    /// The checkpoint was written by a campaign with different lengths;
+    /// resuming it would silently mix incompatible measurements.
+    ConfigMismatch {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// `(instructions, warmup)` recorded in the file.
+        found: (u64, u64),
+        /// `(instructions, warmup)` of the resuming campaign.
+        expected: (u64, u64),
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "checkpoint {} is corrupt: {detail}", path.display())
+            }
+            CheckpointError::ConfigMismatch {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {} was written by a campaign with instructions={} warmup={} \
+                 (this campaign has instructions={} warmup={})",
+                path.display(),
+                found.0,
+                found.1,
+                expected.0,
+                expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A loaded (or freshly created) campaign checkpoint.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    instructions_each: u64,
+    warmup_each: u64,
+    jobs: Vec<(String, MeasuredWorkload)>,
+}
+
+impl Checkpoint {
+    /// Open `path` for a campaign with the given lengths. A missing file
+    /// is created with just the header; an existing one is parsed and
+    /// its recorded config verified against the campaign's.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on I/O failure, unparseable contents, or a
+    /// config mismatch.
+    pub fn open(
+        path: &Path,
+        instructions_each: u64,
+        warmup_each: u64,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let io_err = |source| CheckpointError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let cp = Checkpoint::parse(path, &text)?;
+                if (cp.instructions_each, cp.warmup_each) != (instructions_each, warmup_each) {
+                    return Err(CheckpointError::ConfigMismatch {
+                        path: path.to_path_buf(),
+                        found: (cp.instructions_each, cp.warmup_each),
+                        expected: (instructions_each, warmup_each),
+                    });
+                }
+                Ok(cp)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                std::fs::write(
+                    path,
+                    format!(
+                        "{HEADER}\nconfig instructions {instructions_each} warmup {warmup_each}\n"
+                    ),
+                )
+                .map_err(io_err)?;
+                Ok(Checkpoint {
+                    path: path.to_path_buf(),
+                    instructions_each,
+                    warmup_each,
+                    jobs: Vec::new(),
+                })
+            }
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn parse(path: &Path, text: &str) -> Result<Checkpoint, CheckpointError> {
+        let corrupt = |detail: String| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let mut lines = text.lines().enumerate().peekable();
+        if lines.next().map(|(_, l)| l.trim()) != Some(HEADER) {
+            return Err(corrupt(format!("missing `{HEADER}` header")));
+        }
+        let config = lines
+            .next()
+            .map(|(_, l)| l.trim().to_string())
+            .unwrap_or_default();
+        let parts: Vec<&str> = config.split_ascii_whitespace().collect();
+        let (instructions_each, warmup_each) = match parts.as_slice() {
+            ["config", "instructions", i, "warmup", w] => (
+                i.parse()
+                    .map_err(|_| corrupt(format!("bad config line `{config}`")))?,
+                w.parse()
+                    .map_err(|_| corrupt(format!("bad config line `{config}`")))?,
+            ),
+            _ => return Err(corrupt(format!("bad config line `{config}`"))),
+        };
+        let mut jobs: Vec<(String, MeasuredWorkload)> = Vec::new();
+        while let Some((lineno, raw)) = lines.next() {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let head: Vec<&str> = raw.split_ascii_whitespace().collect();
+            let (label, instructions, cycles) = match head.as_slice() {
+                ["job", label, "instructions", i, "cycles", c] => {
+                    let i: u64 = i
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad job line {}", lineno + 1)))?;
+                    let c: u64 = c
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad job line {}", lineno + 1)))?;
+                    ((*label).to_string(), i, c)
+                }
+                _ => return Err(corrupt(format!("unexpected line {}: `{raw}`", lineno + 1))),
+            };
+            let mut body = String::new();
+            let mut closed = false;
+            for (_, l) in lines.by_ref() {
+                if l.trim() == "end" {
+                    closed = true;
+                    break;
+                }
+                body.push_str(l);
+                body.push('\n');
+            }
+            if !closed {
+                return Err(corrupt(format!("job '{label}' has no `end` line")));
+            }
+            let (histogram, counter_pairs) = codec::from_text_with_counters(&body)
+                .map_err(|e| corrupt(format!("job '{label}': {e}")))?;
+            let counters = vax_mem::HwCounters::from_pairs(
+                counter_pairs.iter().map(|(n, v)| (n.as_str(), *v)),
+            );
+            let Some(kind) = WorkloadKind::ALL.iter().find(|k| k.name() == label) else {
+                return Err(corrupt(format!("job '{label}' is not a known workload")));
+            };
+            jobs.push((
+                label,
+                MeasuredWorkload {
+                    name: kind.name(),
+                    histogram,
+                    counters,
+                    instructions,
+                    cycles,
+                },
+            ));
+        }
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            instructions_each,
+            warmup_each,
+            jobs: Vec::from_iter(jobs),
+        })
+    }
+
+    /// Labels of the jobs already completed, file order.
+    pub fn completed(&self) -> Vec<&str> {
+        self.jobs.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// Is this job already recorded?
+    pub fn contains(&self, label: &str) -> bool {
+        self.jobs.iter().any(|(l, _)| l == label)
+    }
+
+    /// The recorded measurement for a job.
+    pub fn get(&self, label: &str) -> Option<&MeasuredWorkload> {
+        self.jobs.iter().find(|(l, _)| l == label).map(|(_, m)| m)
+    }
+
+    /// Append one completed job to the file and to the in-memory set.
+    /// Called under the pool's completion lock, so sections never
+    /// interleave even when workers finish concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the append fails.
+    pub fn record(
+        &mut self,
+        label: &str,
+        result: &MeasuredWorkload,
+    ) -> Result<(), CheckpointError> {
+        let mut section = format!(
+            "job {label} instructions {} cycles {}\n",
+            result.instructions, result.cycles
+        );
+        let pairs = result.counters.to_pairs();
+        section.push_str(&codec::to_text_with_counters(&result.histogram, &pairs));
+        section.push_str("end\n");
+        let io_err = |source| CheckpointError::Io {
+            path: self.path.clone(),
+            source,
+        };
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        file.write_all(section.as_bytes()).map_err(io_err)?;
+        file.flush().map_err(io_err)?;
+        self.jobs.push((label.to_string(), result.clone()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::Histogram;
+    use vax_mem::HwCounters;
+    use vax_ucode::MicroAddr;
+
+    fn sample(kind: WorkloadKind) -> MeasuredWorkload {
+        let mut h = Histogram::new();
+        h.bump_issue(MicroAddr::new(0x10));
+        h.bump_stall(MicroAddr::new(0x10), 3);
+        let mut c = HwCounters::new();
+        c.sbi_reads = 7;
+        c.machine_checks = 1;
+        MeasuredWorkload {
+            name: kind.name(),
+            histogram: h,
+            counters: c,
+            instructions: 1000,
+            cycles: 4200,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_jobs() {
+        let dir = std::env::temp_dir().join("vax-ckpt-test-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        let mut cp = Checkpoint::open(&path, 1000, 100).unwrap();
+        let kind = WorkloadKind::ALL[0];
+        let m = sample(kind);
+        cp.record(kind.name(), &m).unwrap();
+
+        let back = Checkpoint::open(&path, 1000, 100).unwrap();
+        assert!(back.contains(kind.name()));
+        let r = back.get(kind.name()).unwrap();
+        assert_eq!(r.histogram, m.histogram);
+        assert_eq!(r.counters, m.counters);
+        assert_eq!(r.instructions, 1000);
+        assert_eq!(r.cycles, 4200);
+        assert_eq!(back.completed(), vec![kind.name()]);
+    }
+
+    #[test]
+    fn config_mismatch_is_refused() {
+        let dir = std::env::temp_dir().join("vax-ckpt-test-mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        Checkpoint::open(&path, 1000, 100).unwrap();
+        let err = Checkpoint::open(&path, 2000, 100).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ConfigMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_files_are_reported_not_panicked() {
+        let dir = std::env::temp_dir().join("vax-ckpt-test-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let err = Checkpoint::open(&path, 1000, 100).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        // Truncated job section.
+        std::fs::write(
+            &path,
+            "vax-campaign-checkpoint v1\nconfig instructions 1000 warmup 100\n\
+             job ts-light instructions 1 cycles 2\nupc-histogram v1\n",
+        )
+        .unwrap();
+        let err = Checkpoint::open(&path, 1000, 100).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+    }
+}

@@ -3,6 +3,7 @@
 use upc_monitor::{Command, Histogram, HistogramBoard, NullSink};
 use vax_analysis::Analysis;
 use vax_cpu::CpuConfig;
+use vax_fault::{FaultEngine, FaultPlan};
 use vax_mem::{HwCounters, MemConfig};
 use vax_ucode::ControlStore;
 use vax_workloads::{build_machine_with_config, profile, ProfileParams, WorkloadKind};
@@ -15,6 +16,7 @@ pub struct Experiment {
     mem_config: MemConfig,
     warmup_instructions: u64,
     instructions: u64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Experiment {
@@ -32,6 +34,7 @@ impl Experiment {
             mem_config: MemConfig::default(),
             warmup_instructions: 30_000,
             instructions: 200_000,
+            fault_plan: None,
         }
     }
 
@@ -59,6 +62,14 @@ impl Experiment {
         self
     }
 
+    /// Install a fault-injection plan. The engine is armed at the
+    /// measurement boundary, so `@cycle` trigger offsets count from the
+    /// first measured cycle — warmup never takes faults.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Experiment {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Run the measurement.
     ///
     /// # Panics
@@ -77,6 +88,12 @@ impl Experiment {
         machine
             .run_instructions(self.warmup_instructions, &mut null)
             .expect("warmup runs");
+        if let Some(plan) = &self.fault_plan {
+            machine
+                .cpu
+                .mem_mut()
+                .set_fault_hook(Box::new(FaultEngine::new(plan)));
+        }
         measure(&mut machine, self.instructions)
     }
 }
@@ -96,10 +113,12 @@ impl Experiment {
 /// Panics if the machine halts or faults unrecoverably (a model bug).
 pub fn measure(machine: &mut vax_workloads::Machine, instructions: u64) -> MeasuredWorkload {
     let mut null = NullSink;
-    // Measurement boundary: clear the second instrument too.
+    // Measurement boundary: clear the second instrument too, and arm
+    // any installed fault hook so trigger offsets count from here.
     machine.cpu.mem_mut().counters_mut().clear();
     let insns_before = machine.cpu.instructions();
     let cycles_before = machine.cpu.now();
+    machine.cpu.mem_mut().arm_fault_hook(cycles_before);
 
     let mut board = HistogramBoard::new();
     board.execute(Command::Start);

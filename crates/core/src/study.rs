@@ -6,8 +6,15 @@
 //! the results in workload order, which makes the merged histogram and
 //! counters bit-identical to a serial run regardless of which worker
 //! finished first.
+//!
+//! The pool is a crash-hardened supervisor: each job runs under
+//! `catch_unwind`, a panicking job is retried a bounded number of times
+//! with a deterministic backoff and then quarantined as a structured
+//! [`JobFailure`] — the other workers keep draining the queue, so one
+//! poisoned workload cannot abort a campaign.
 
 use crate::{Experiment, MeasuredWorkload};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -26,6 +33,43 @@ pub fn default_workers(jobs: usize) -> usize {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .clamp(1, jobs.max(1))
+}
+
+/// How many times the supervisor attempts a job before quarantining it.
+pub const MAX_JOB_ATTEMPTS: u32 = 2;
+
+/// A job the supervisor gave up on: every attempt panicked. The
+/// campaign keeps the failure as data instead of unwinding the pool.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Job index in submission order.
+    pub index: usize,
+    /// Job label (the workload or sweep-point name).
+    pub label: String,
+    /// Attempts made (= [`MAX_JOB_ATTEMPTS`] unless the queue drained).
+    pub attempts: u32,
+    /// The final attempt's panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job '{}' (#{}) failed after {} attempt(s): {}",
+            self.label, self.index, self.attempts, self.message
+        )
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Host-side metrics for one parallel campaign: what each worker did and
@@ -187,24 +231,149 @@ impl CompositeStudy {
 
     /// Run the campaign and also report host-side self-metrics: per-worker
     /// wall time and simulated MIPS, plus the aggregate speedup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job was quarantined (a model bug, as in the serial
+    /// path) — use [`CompositeStudy::run_supervised`] to keep failures
+    /// as data instead.
     pub fn run_with_metrics(&self) -> (Vec<MeasuredWorkload>, Analysis, CampaignMetrics) {
+        let outcome = self.run_supervised();
+        if let Some(failure) = outcome.failures.first() {
+            panic!("{failure}");
+        }
+        (outcome.results, outcome.analysis, outcome.metrics)
+    }
+
+    /// Run the campaign under the quarantine supervisor: a panicking
+    /// workload is retried and, failing that, reported as a
+    /// [`JobFailure`] while the rest of the campaign completes. The
+    /// composite analysis merges the successful jobs in workload order.
+    pub fn run_supervised(&self) -> CampaignOutcome {
+        self.run_internal(None, None)
+            .expect("no checkpoint I/O on the unsupervised path")
+    }
+
+    /// As [`CompositeStudy::run_supervised`], with checkpoint/resume:
+    /// jobs already recorded in `checkpoint` are restored instead of
+    /// re-run, and each fresh completion is appended to the file before
+    /// the campaign moves on. `halt_after` stops the campaign after that
+    /// many *fresh* jobs (deterministic stand-in for a mid-campaign
+    /// kill, used by the resume tests).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CheckpointError`] if appending a completed job to the
+    /// checkpoint file fails.
+    pub fn run_checkpointed(
+        &self,
+        checkpoint: &mut crate::Checkpoint,
+        halt_after: Option<usize>,
+    ) -> Result<CampaignOutcome, crate::CheckpointError> {
+        self.run_internal(Some(checkpoint), halt_after)
+    }
+
+    fn run_internal(
+        &self,
+        checkpoint: Option<&mut crate::Checkpoint>,
+        halt_after: Option<usize>,
+    ) -> Result<CampaignOutcome, crate::CheckpointError> {
+        let started = Instant::now();
+        let restored: Vec<Option<MeasuredWorkload>> = self
+            .kinds
+            .iter()
+            .map(|&k| checkpoint.as_ref().and_then(|cp| cp.get(k.name())).cloned())
+            .collect();
+        let resumed = restored.iter().flatten().count();
+        let mut missing: Vec<usize> = (0..self.kinds.len())
+            .filter(|&i| restored[i].is_none())
+            .collect();
+        let halted: Vec<usize> = match halt_after {
+            Some(n) if n < missing.len() => missing.split_off(n),
+            _ => Vec::new(),
+        };
         let workers = self
             .workers
-            .unwrap_or_else(|| default_workers(self.kinds.len()))
-            .clamp(1, self.kinds.len().max(1));
-        let started = Instant::now();
-        let (results, worker_metrics) = run_jobs(
+            .unwrap_or_else(|| default_workers(missing.len()))
+            .clamp(1, missing.len().max(1));
+        let checkpoint = checkpoint.map(Mutex::new);
+        let append_error: Mutex<Option<crate::CheckpointError>> = Mutex::new(None);
+        let (outcomes, worker_metrics) = run_jobs_with(
             workers,
-            self.kinds.len(),
-            |i| self.kinds[i].name().to_string(),
-            |i| self.experiment(self.kinds[i]).run(),
+            missing.len(),
+            |j| self.kinds[missing[j]].name().to_string(),
+            |j| self.experiment(self.kinds[missing[j]]).run(),
+            |j, result: &MeasuredWorkload| {
+                if let Some(cp) = &checkpoint {
+                    let label = self.kinds[missing[j]].name();
+                    if let Err(e) = cp.lock().expect("checkpoint lock").record(label, result) {
+                        append_error.lock().expect("error slot").get_or_insert(e);
+                    }
+                }
+            },
         );
+        if let Some(e) = append_error.into_inner().expect("error slot") {
+            return Err(e);
+        }
         let metrics = CampaignMetrics {
             workers: worker_metrics,
             wall: started.elapsed(),
         };
+        // Reassemble in workload order: restored, fresh, failed, halted.
+        let mut results: Vec<MeasuredWorkload> = restored.into_iter().flatten().collect();
+        let mut failures = Vec::new();
+        for (j, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(f) => failures.push(JobFailure {
+                    index: missing[j],
+                    ..f
+                }),
+            }
+        }
+        results.sort_by_key(|r| {
+            self.kinds
+                .iter()
+                .position(|k| k.name() == r.name)
+                .unwrap_or(usize::MAX)
+        });
+        let pending = halted
+            .into_iter()
+            .map(|i| self.kinds[i].name().to_string())
+            .collect();
         let analysis = merge_results(&results);
-        (results, analysis, metrics)
+        Ok(CampaignOutcome {
+            results,
+            failures,
+            pending,
+            analysis,
+            metrics,
+            resumed,
+        })
+    }
+}
+
+/// What a supervised (and possibly checkpointed) campaign produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Completed measurements, workload order (restored + fresh).
+    pub results: Vec<MeasuredWorkload>,
+    /// Jobs the supervisor quarantined.
+    pub failures: Vec<JobFailure>,
+    /// Labels of jobs not attempted (campaign halted by `halt_after`).
+    pub pending: Vec<String>,
+    /// Composite analysis over the completed measurements.
+    pub analysis: Analysis,
+    /// Host-side self-metrics for the fresh jobs.
+    pub metrics: CampaignMetrics,
+    /// How many results were restored from the checkpoint.
+    pub resumed: usize,
+}
+
+impl CampaignOutcome {
+    /// Did every workload complete?
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty() && self.pending.is_empty()
     }
 }
 
@@ -221,41 +390,86 @@ fn merge_results(results: &[MeasuredWorkload]) -> Analysis {
     Analysis::new(&histogram, &cs, &counters)
 }
 
+/// Run one job under the supervisor's quarantine discipline: panics are
+/// caught, the job is retried up to [`MAX_JOB_ATTEMPTS`] times with a
+/// deterministic fixed-delay backoff, and a job that never succeeds
+/// becomes an `Err(JobFailure)` instead of unwinding the pool.
+fn attempt_job<T, F>(i: usize, label: &str, job: &F) -> Result<T, JobFailure>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let mut last = String::new();
+    for attempt in 1..=MAX_JOB_ATTEMPTS {
+        match catch_unwind(AssertUnwindSafe(|| job(i))) {
+            Ok(value) => return Ok(value),
+            Err(payload) => {
+                last = panic_message(payload);
+                if attempt < MAX_JOB_ATTEMPTS {
+                    // Deterministic backoff: a fixed schedule, not a
+                    // randomized one, so reruns behave identically.
+                    std::thread::sleep(Duration::from_millis(u64::from(attempt) * 10));
+                }
+            }
+        }
+    }
+    Err(JobFailure {
+        index: i,
+        label: label.to_string(),
+        attempts: MAX_JOB_ATTEMPTS,
+        message: last,
+    })
+}
+
 /// Run `jobs` closures across a bounded scoped-thread pool and return
-/// the results in job order plus per-worker [`SelfMetrics`] (one phase
-/// per job, named by `label(i)`, charged with its simulated work).
+/// the per-job outcomes in job order plus per-worker [`SelfMetrics`]
+/// (one phase per job, named by `label(i)`, charged with its simulated
+/// work).
 ///
 /// The pool is a simple atomic work queue: workers claim the next job
 /// index until none remain. Results land in per-index slots, so the
-/// output order never depends on scheduling. A panicking job propagates
-/// out of the scope (a model bug, exactly as in the serial path).
-pub(crate) fn run_jobs<T, L, F>(
+/// output order never depends on scheduling. A panicking job is
+/// quarantined (see [`JobFailure`]); `on_complete` is invoked for each
+/// success, serialized under a lock so implementations may append to a
+/// shared checkpoint file.
+pub(crate) fn run_jobs_with<T, L, F, C>(
     workers: usize,
     jobs: usize,
     label: L,
     job: F,
-) -> (Vec<T>, Vec<SelfMetrics>)
+    on_complete: C,
+) -> (Vec<Result<T, JobFailure>>, Vec<SelfMetrics>)
 where
     T: Send + HasSimWork,
     L: Fn(usize) -> String + Sync,
     F: Fn(usize) -> T + Sync,
+    C: Fn(usize, &T) + Sync,
 {
     let workers = workers.clamp(1, jobs.max(1));
+    let completion_lock = Mutex::new(());
+    let complete = |i: usize, value: &T| {
+        let _guard = completion_lock.lock().expect("completion lock");
+        on_complete(i, value);
+    };
     if workers <= 1 {
         // Serial fast path: no threads, same slot discipline.
         let mut metrics = SelfMetrics::new();
         let mut out = Vec::with_capacity(jobs);
         for i in 0..jobs {
-            metrics.begin_phase(&label(i), 0, 0);
-            let value = job(i);
-            let (cycles, instructions) = value.sim_work();
+            let name = label(i);
+            metrics.begin_phase(&name, 0, 0);
+            let outcome = attempt_job(i, &name, &job);
+            let (cycles, instructions) = outcome.as_ref().map_or((0, 0), HasSimWork::sim_work);
             metrics.end_phase(cycles, instructions);
-            out.push(value);
+            if let Ok(value) = &outcome {
+                complete(i, value);
+            }
+            out.push(outcome);
         }
         return (out, vec![metrics]);
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, JobFailure>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
     let mut worker_metrics: Vec<SelfMetrics> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -267,11 +481,16 @@ where
                         if i >= jobs {
                             break;
                         }
-                        metrics.begin_phase(&label(i), 0, 0);
-                        let value = job(i);
-                        let (cycles, instructions) = value.sim_work();
+                        let name = label(i);
+                        metrics.begin_phase(&name, 0, 0);
+                        let outcome = attempt_job(i, &name, &job);
+                        let (cycles, instructions) =
+                            outcome.as_ref().map_or((0, 0), HasSimWork::sim_work);
                         metrics.end_phase(cycles, instructions);
-                        *slots[i].lock().expect("slot lock") = Some(value);
+                        if let Ok(value) = &outcome {
+                            complete(i, value);
+                        }
+                        *slots[i].lock().expect("slot lock") = Some(outcome);
                     }
                     metrics
                 })
@@ -290,6 +509,29 @@ where
         })
         .collect();
     (out, worker_metrics)
+}
+
+/// [`run_jobs_with`] without a completion hook, unwrapping quarantined
+/// failures into a panic on the *caller's* thread — the pool itself
+/// still drains every job first, so a poisoned job cannot strand its
+/// siblings mid-flight.
+pub(crate) fn run_jobs<T, L, F>(
+    workers: usize,
+    jobs: usize,
+    label: L,
+    job: F,
+) -> (Vec<T>, Vec<SelfMetrics>)
+where
+    T: Send + HasSimWork,
+    L: Fn(usize) -> String + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let (outcomes, metrics) = run_jobs_with(workers, jobs, label, job, |_, _| {});
+    let out = outcomes
+        .into_iter()
+        .map(|o| o.unwrap_or_else(|failure| panic!("{failure}")))
+        .collect();
+    (out, metrics)
 }
 
 /// Simulated work carried by a job result, for worker self-metrics.
@@ -318,6 +560,53 @@ mod tests {
         let per_sum: u64 = results.iter().map(|r| r.analysis().instructions()).sum();
         assert_eq!(analysis.instructions(), per_sum);
         assert!(analysis.cpi() > 2.0);
+    }
+
+    #[derive(Debug)]
+    struct Tiny(u64);
+    impl HasSimWork for Tiny {
+        fn sim_work(&self) -> (u64, u64) {
+            (self.0, self.0)
+        }
+    }
+
+    #[test]
+    fn poisoned_job_is_quarantined_not_fatal() {
+        // One job out of four panics on every attempt; its siblings must
+        // still complete and the failure must carry the job's label.
+        let (outcomes, _) = run_jobs_with(
+            2,
+            4,
+            |i| format!("job-{i}"),
+            |i| {
+                assert!(i != 1, "poisoned workload");
+                Tiny(i as u64)
+            },
+            |_, _| {},
+        );
+        assert_eq!(outcomes.len(), 4);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 1 {
+                let f = o.as_ref().unwrap_err();
+                assert_eq!(f.label, "job-1");
+                assert_eq!(f.index, 1);
+                assert_eq!(f.attempts, MAX_JOB_ATTEMPTS);
+                assert!(f.message.contains("poisoned workload"), "{}", f.message);
+            } else {
+                assert!(o.is_ok(), "sibling job {i} should have completed");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_campaign_completes() {
+        let outcome = CompositeStudy::new(5_000)
+            .warmup(2_000)
+            .with_kinds(&[WorkloadKind::TimesharingLight])
+            .run_supervised();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.resumed, 0);
     }
 
     #[test]

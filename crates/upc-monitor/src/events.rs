@@ -10,6 +10,7 @@
 //! [`CycleSink`]: crate::CycleSink
 
 use vax_arch::Opcode;
+use vax_fault::FaultClass;
 use vax_ucode::StallPoint;
 
 /// Which reference stream touched the cache/TB (the 11/780 cache is
@@ -93,6 +94,11 @@ pub enum MachineEvent {
     },
     /// A fault/exception was dispatched.
     ExceptionEntry,
+    /// An injected hardware fault entered machine-check microcode.
+    MachineCheck {
+        /// The fault class being recovered from.
+        class: FaultClass,
+    },
     /// LDPCTX switched address space: a process context switch.
     ContextSwitch {
         /// New page-table base (identifies the process).
@@ -115,6 +121,7 @@ impl MachineEvent {
         "sbi",
         "interrupt_entry",
         "exception_entry",
+        "machine_check",
         "context_switch",
     ];
 
@@ -130,6 +137,7 @@ impl MachineEvent {
             MachineEvent::Sbi { .. } => "sbi",
             MachineEvent::InterruptEntry { .. } => "interrupt_entry",
             MachineEvent::ExceptionEntry => "exception_entry",
+            MachineEvent::MachineCheck { .. } => "machine_check",
             MachineEvent::ContextSwitch { .. } => "context_switch",
         }
     }

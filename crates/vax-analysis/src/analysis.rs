@@ -67,7 +67,7 @@ impl Column {
 pub struct Analysis {
     instructions: u64,
     /// Raw cycles per (row, column).
-    row_col: [[u64; 6]; 14],
+    row_col: [[u64; 6]; Row::COUNT],
     /// Execute-entry counts per opcode byte.
     opcode_counts: [u64; 256],
     /// Per Table 1 group.
@@ -92,9 +92,11 @@ pub struct Analysis {
     exception_entries: u64,
     /// Software-interrupt request events.
     soft_int_requests: u64,
+    /// Machine-check (injected fault) entries.
+    machine_check_entries: u64,
     /// Read/write microinstruction counts per Table 8 row.
-    reads_by_row: [u64; 14],
-    writes_by_row: [u64; 14],
+    reads_by_row: [u64; Row::COUNT],
+    writes_by_row: [u64; Row::COUNT],
     /// The hardware counters (second instrument).
     counters: HwCounters,
     total_cycles: u64,
@@ -105,7 +107,7 @@ impl Analysis {
     pub fn new(hist: &Histogram, cs: &ControlStore, counters: &HwCounters) -> Analysis {
         let mut a = Analysis {
             instructions: 0,
-            row_col: [[0; 6]; 14],
+            row_col: [[0; 6]; Row::COUNT],
             opcode_counts: [0; 256],
             group_counts: [0; 7],
             branch_taken: [0; 9],
@@ -118,8 +120,9 @@ impl Analysis {
             interrupt_entries: 0,
             exception_entries: 0,
             soft_int_requests: 0,
-            reads_by_row: [0; 14],
-            writes_by_row: [0; 14],
+            machine_check_entries: 0,
+            reads_by_row: [0; Row::COUNT],
+            writes_by_row: [0; Row::COUNT],
             counters: *counters,
             total_cycles: hist.total_cycles(),
         };
@@ -174,6 +177,7 @@ impl Analysis {
                 EventTag::InterruptEntry => a.interrupt_entries += issues,
                 EventTag::ExceptionEntry => a.exception_entries += issues,
                 EventTag::SoftIntRequest => a.soft_int_requests += issues,
+                EventTag::MachineCheckEntry => a.machine_check_entries += issues,
                 _ => {}
             }
             if tb_addrs.contains(&addr) {
@@ -325,6 +329,17 @@ impl Analysis {
     /// Software-interrupt requests posted.
     pub fn soft_int_requests(&self) -> u64 {
         self.soft_int_requests
+    }
+
+    /// Machine-check entries (injected faults taken).
+    pub fn machine_check_entries(&self) -> u64 {
+        self.machine_check_entries
+    }
+
+    /// Total cycles attributed to the fault-handling control-store
+    /// region (recovery microcode), all columns.
+    pub fn fault_handling_cycles(&self) -> u64 {
+        self.row_col[Row::FaultHandling.index()].iter().sum()
     }
 
     /// D-stream read microinstructions in a row, per instruction.

@@ -21,9 +21,11 @@ pub mod paper;
 pub mod reconcile;
 pub mod report;
 pub mod section4;
+pub mod sensitivity;
 pub mod sweep;
 pub mod tables;
 pub mod whatif;
 
 pub use analysis::{Analysis, Column};
 pub use section4::Section4Stats;
+pub use sensitivity::FaultSensitivity;

@@ -203,6 +203,15 @@ pub fn reconcile(
             reference: hw.sbi_writes,
             instrument: "hw",
         },
+        // Injected faults: every machine check the memory subsystem
+        // counted must have produced exactly one trace event on its way
+        // through the machine-check microcode.
+        Check {
+            name: "machine_checks",
+            trace: t.machine_checks,
+            reference: hw.machine_checks,
+            instrument: "hw",
+        },
     ];
     if tracer.dropped() == 0 {
         let replayed = tracer.replay();

@@ -1,0 +1,139 @@
+//! Fault-sensitivity analysis: how much does CPI move per injected
+//! fault class?
+//!
+//! The paper characterizes the *healthy* machine; this table asks the
+//! robustness question the same instruments can answer: run the same
+//! workload once clean and once per fault class, and attribute the CPI
+//! difference. Because the machine-check microcode executes from its
+//! own control-store region, the histogram splits the cost into the
+//! direct recovery cycles (the fault-handling row) and the indirect
+//! cost (refilling a flushed cache/TB, waiting out a poisoned SBI),
+//! which is everything else.
+
+use crate::Analysis;
+use std::fmt;
+use vax_fault::FaultClass;
+
+/// One fault class's measured impact.
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityRow {
+    /// The injected class.
+    pub class: FaultClass,
+    /// Machine checks actually taken in the injected run.
+    pub faults_taken: u64,
+    /// CPI of the injected run.
+    pub cpi: f64,
+    /// CPI delta versus the clean baseline.
+    pub delta_cpi: f64,
+    /// Cycles spent in the fault-handling control-store region,
+    /// per fault taken (direct recovery cost).
+    pub recovery_cycles_per_fault: f64,
+}
+
+/// The fault-sensitivity table: ΔCPI per injected fault class.
+#[derive(Debug, Clone)]
+pub struct FaultSensitivity {
+    /// CPI of the clean (no faults injected) run.
+    pub baseline_cpi: f64,
+    /// One row per injected class, in injection order.
+    pub rows: Vec<SensitivityRow>,
+}
+
+impl FaultSensitivity {
+    /// Build from a clean baseline and `(class, analysis)` pairs, each
+    /// analysis digested from a run that injected only that class.
+    pub fn new(baseline: &Analysis, injected: &[(FaultClass, Analysis)]) -> FaultSensitivity {
+        let baseline_cpi = baseline.cpi();
+        let rows = injected
+            .iter()
+            .map(|(class, a)| {
+                let taken = a.machine_check_entries();
+                let recovery = if taken == 0 {
+                    0.0
+                } else {
+                    a.fault_handling_cycles() as f64 / taken as f64
+                };
+                SensitivityRow {
+                    class: *class,
+                    faults_taken: taken,
+                    cpi: a.cpi(),
+                    delta_cpi: a.cpi() - baseline_cpi,
+                    recovery_cycles_per_fault: recovery,
+                }
+            })
+            .collect();
+        FaultSensitivity { baseline_cpi, rows }
+    }
+
+    /// The row for one class, if that class was injected.
+    pub fn row(&self, class: FaultClass) -> Option<&SensitivityRow> {
+        self.rows.iter().find(|r| r.class == class)
+    }
+}
+
+impl fmt::Display for FaultSensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FAULT SENSITIVITY — ΔCPI per injected fault class")?;
+        writeln!(f, "baseline CPI {:>24.3}", self.baseline_cpi)?;
+        writeln!(
+            f,
+            "{:<14} {:>7} {:>9} {:>9} {:>12}",
+            "Class", "Taken", "CPI", "dCPI", "Recov cyc"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>7} {:>9.3} {:>+9.3} {:>12.1}",
+                r.class.name(),
+                r.faults_taken,
+                r.cpi,
+                r.delta_cpi,
+                r.recovery_cycles_per_fault
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::Histogram;
+    use vax_arch::Opcode;
+    use vax_mem::HwCounters;
+    use vax_ucode::ControlStore;
+
+    fn run(faults: u64) -> Analysis {
+        let cs = ControlStore::build();
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.bump_issue(cs.ird1());
+            h.bump_issue(cs.exec_entry(Opcode::Movl));
+        }
+        for _ in 0..faults {
+            h.bump_issue(cs.abort());
+            h.bump_issue(cs.fault_entry());
+            for _ in 0..FaultClass::CacheParity.recovery_body_cycles() {
+                h.bump_issue(cs.fault_body());
+            }
+        }
+        Analysis::new(&h, &cs, &HwCounters::new())
+    }
+
+    #[test]
+    fn delta_cpi_reflects_recovery_cost() {
+        let base = run(0);
+        let injected = run(2);
+        assert_eq!(injected.machine_check_entries(), 2);
+        let s = FaultSensitivity::new(&base, &[(FaultClass::CacheParity, injected)]);
+        let row = s.row(FaultClass::CacheParity).unwrap();
+        assert_eq!(row.faults_taken, 2);
+        assert!(row.delta_cpi > 0.0, "faults cost cycles");
+        // Entry + body cycles land in the fault-handling region; the
+        // abort cycle is charged to the abort row as usual.
+        let per_fault = 1.0 + f64::from(FaultClass::CacheParity.recovery_body_cycles());
+        assert!((row.recovery_cycles_per_fault - per_fault).abs() < 1e-9);
+        let text = s.to_string();
+        assert!(text.contains("cache-parity"));
+    }
+}

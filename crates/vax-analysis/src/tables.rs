@@ -279,6 +279,7 @@ impl Table5 {
                         Row::IntExcept,
                         Row::MemMgmt,
                         Row::Abort,
+                        Row::FaultHandling,
                     ];
                     (
                         rows.iter().map(|&r| a.reads_per_instr(r)).sum(),
@@ -459,9 +460,9 @@ impl fmt::Display for Table7 {
 #[derive(Debug, Clone)]
 pub struct Table8 {
     /// cells[row][column].
-    pub cells: [[f64; 6]; 14],
+    pub cells: [[f64; 6]; Row::COUNT],
     /// Row totals.
-    pub row_totals: [f64; 14],
+    pub row_totals: [f64; Row::COUNT],
     /// Column totals.
     pub col_totals: [f64; 6],
     /// Grand total (CPI).
@@ -471,8 +472,8 @@ pub struct Table8 {
 impl Table8 {
     /// Compute from a digested measurement.
     pub fn from_analysis(a: &Analysis) -> Table8 {
-        let mut cells = [[0.0; 6]; 14];
-        let mut row_totals = [0.0; 14];
+        let mut cells = [[0.0; 6]; Row::COUNT];
+        let mut row_totals = [0.0; Row::COUNT];
         let mut col_totals = [0.0; 6];
         for row in Row::ALL {
             for col in Column::ALL {

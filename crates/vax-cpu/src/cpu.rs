@@ -11,12 +11,15 @@ use crate::specifier;
 use upc_monitor::events::{MemStream, StallCause};
 use upc_monitor::{CycleSink, MachineEvent};
 use vax_arch::{DataType, Opcode};
+use vax_fault::FaultClass;
 use vax_mem::{MemorySubsystem, Stream, Width};
 use vax_ucode::{ControlStore, MicroAddr, StallPoint};
 
 /// SCB vector offsets used by this model (byte offsets into the system
 /// control block, which lives at the physical address in `SCBB`).
 pub(crate) mod scb {
+    /// Machine check (injected hardware fault survived by microcode).
+    pub const MACHINE_CHECK: u16 = 0x04;
     /// Reserved/unimplemented instruction.
     pub const RESERVED_INSTRUCTION: u16 = 0x10;
     /// Access-control (length) violation.
@@ -44,6 +47,9 @@ pub enum StepOutcome {
     Interrupt,
     /// An exception was delivered to the OS mid-instruction.
     Exception(Fault),
+    /// An injected fault was taken through machine-check microcode (no
+    /// instruction executed).
+    MachineCheck(FaultClass),
 }
 
 /// Summary of a [`Cpu::run`] call.
@@ -200,6 +206,7 @@ impl Cpu {
     #[inline]
     pub(crate) fn micro_compute<S: CycleSink>(&mut self, addr: MicroAddr, sink: &mut S) {
         sink.record_issue(addr);
+        self.mem.observe_upc(addr.value());
         let fetch = self.ib.tick(&mut self.mem, self.now, true);
         note_ib_fetch(fetch, sink);
         self.now += 1;
@@ -273,6 +280,7 @@ impl Cpu {
             }
             let addr = self.cs.tb_miss_sys_read();
             sink.record_issue(addr);
+            self.mem.observe_upc(addr.value());
             let fetch = self.ib.tick(&mut self.mem, self.now, false);
             note_ib_fetch(fetch, sink);
             self.now += 1;
@@ -280,6 +288,7 @@ impl Cpu {
         }
         let addr = self.cs.tb_miss_pte_read();
         sink.record_issue(addr);
+        self.mem.observe_upc(addr.value());
         let fetch = self.ib.tick(&mut self.mem, self.now, false);
         note_ib_fetch(fetch, sink);
         self.now += 1;
@@ -300,6 +309,7 @@ impl Cpu {
     ) -> Result<u32, Fault> {
         let pa = self.translate_data(va, sink)?;
         sink.record_issue(addr);
+        self.mem.observe_upc(addr.value());
         let fetch = self.ib.tick(&mut self.mem, self.now, false);
         note_ib_fetch(fetch, sink);
         let outcome = self.mem.read(pa, width, self.now);
@@ -320,6 +330,7 @@ impl Cpu {
     ) -> Result<(), Fault> {
         let pa = self.translate_data(va, sink)?;
         sink.record_issue(addr);
+        self.mem.observe_upc(addr.value());
         let fetch = self.ib.tick(&mut self.mem, self.now, false);
         note_ib_fetch(fetch, sink);
         let outcome = self.mem.write(pa, width, value, self.now);
@@ -429,6 +440,7 @@ impl Cpu {
         sink: &mut S,
     ) -> u32 {
         sink.record_issue(addr);
+        self.mem.observe_upc(addr.value());
         let fetch = self.ib.tick(&mut self.mem, self.now, false);
         note_ib_fetch(fetch, sink);
         let outcome = self.mem.read(pa & !3, Width::Long, self.now);
@@ -447,6 +459,7 @@ impl Cpu {
         sink: &mut S,
     ) {
         sink.record_issue(addr);
+        self.mem.observe_upc(addr.value());
         let fetch = self.ib.tick(&mut self.mem, self.now, false);
         note_ib_fetch(fetch, sink);
         let outcome = self.mem.write(pa & !3, Width::Long, value, self.now);
@@ -531,6 +544,12 @@ impl Cpu {
     /// [`CpuError::Halted`] on a kernel-mode `HALT`;
     /// [`CpuError::UnhandledFault`] if an exception has no SCB vector.
     pub fn step<S: CycleSink>(&mut self, sink: &mut S) -> Result<StepOutcome, CpuError> {
+        // Injected faults are accepted at instruction boundaries, ahead
+        // of interrupt arbitration: a machine check outranks any IPL.
+        if let Some(class) = self.mem.poll_fault(self.now) {
+            self.machine_check(class, sink)?;
+            return Ok(StepOutcome::MachineCheck(class));
+        }
         // Interrupt arbitration happens between instructions.
         if let Some(int) = self.pending_interrupt() {
             self.service_interrupt(int, sink);
@@ -693,6 +712,7 @@ impl Cpu {
             Fault::PageFault { .. } => scb::TRANSLATION_NOT_VALID,
             Fault::LengthViolation { .. } => scb::ACCESS_VIOLATION,
             Fault::ReservedInstruction { .. } | Fault::Privileged => scb::RESERVED_INSTRUCTION,
+            Fault::MachineCheck => scb::MACHINE_CHECK,
         };
         sink.trace_event(MachineEvent::ExceptionEntry);
         let (u_abort, u_entry, u_body, u_read, u_write) = (
@@ -726,6 +746,35 @@ impl Cpu {
         self.regs.set_pc(handler);
         self.flush_ib(handler, sink);
         Ok(())
+    }
+
+    /// Machine-check microcode for an injected fault. The recovery
+    /// sequence (scrub/retry, per fault class) runs first and is
+    /// attributed to the fault-handling control-store region; the
+    /// architectural perturbation is then applied to the memory
+    /// subsystem, and the event is reported to the kernel's
+    /// machine-check handler through the normal exception microcode.
+    /// All recovery µwords are Compute ops, so the stall-cause
+    /// partition of the histogram stays exact under injection.
+    fn machine_check<S: CycleSink>(
+        &mut self,
+        class: FaultClass,
+        sink: &mut S,
+    ) -> Result<(), CpuError> {
+        sink.trace_event(MachineEvent::MachineCheck { class });
+        let (u_abort, u_entry, u_body) =
+            (self.cs.abort(), self.cs.fault_entry(), self.cs.fault_body());
+        self.micro_compute(u_abort, sink);
+        self.micro_compute(u_entry, sink);
+        for _ in 0..class.recovery_body_cycles() {
+            self.micro_compute(u_body, sink);
+        }
+        // Perturb the memory subsystem the way the real error would
+        // have (flushed cache/TB, busy SBI, ...), count it, and log the
+        // entry cycle back to the hook.
+        self.mem.apply_fault(class, self.now);
+        let pc = self.regs.pc();
+        self.deliver_exception(Fault::MachineCheck, pc, sink)
     }
 
     /// Run up to `max_instructions` instructions.

@@ -26,6 +26,12 @@ pub enum Fault {
     },
     /// Privileged instruction in user mode.
     Privileged,
+    /// An injected hardware fault taken through the machine-check
+    /// microcode (cache parity, SBI timeout, ...). Unlike the other
+    /// variants this is not raised by the instruction stream: the fault
+    /// engine latches it and the CPU accepts it at an instruction
+    /// boundary, so it is always architecturally survivable.
+    MachineCheck,
 }
 
 impl From<MemFault> for Fault {
@@ -46,6 +52,7 @@ impl fmt::Display for Fault {
                 write!(f, "reserved instruction {opcode:#04x}")
             }
             Fault::Privileged => write!(f, "privileged instruction in user mode"),
+            Fault::MachineCheck => write!(f, "machine check"),
         }
     }
 }

@@ -1,0 +1,202 @@
+//! The fault engine: arms a plan and decides, cycle by cycle, when a
+//! scheduled fault becomes pending.
+
+use crate::{FaultClass, FaultPlan, FaultTrigger};
+use std::collections::VecDeque;
+
+/// The hook the memory subsystem owns and the CPU polls. Object-safe so
+/// the simulator does not depend on the engine type (tests can supply
+/// their own schedules). `Send` because campaign workers build machines
+/// inside pool threads; `Debug` so the owning subsystem stays derivable.
+pub trait FaultHook: Send + std::fmt::Debug {
+    /// Start (or restart) the schedule: triggers are interpreted
+    /// relative to `now` from here on. Called at the measurement
+    /// boundary so `@cycle` offsets land inside the measured region.
+    fn arm(&mut self, now: u64);
+
+    /// Observe one µPC issue (drives `@upc` triggers). Called from the
+    /// CPU's microcycle loop only while a hook is installed.
+    fn observe_issue(&mut self, upc: u16);
+
+    /// Has any trigger matured by cycle `now`? Returns at most one
+    /// fault per call; the CPU polls at instruction boundaries, so a
+    /// matured fault is latched here until the machine can take it.
+    fn poll(&mut self, now: u64) -> Option<FaultClass>;
+
+    /// The log of faults actually taken (class, cycle the CPU accepted
+    /// it at). [`FaultHook::record_taken`] appends to this.
+    fn fired(&self) -> Vec<FiredFault>;
+
+    /// The CPU reports back the cycle at which it accepted a polled
+    /// fault (the machine-check entry cycle).
+    fn record_taken(&mut self, class: FaultClass, at_cycle: u64);
+}
+
+/// One fault the machine actually took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredFault {
+    /// The injected class.
+    pub class: FaultClass,
+    /// Cycle at which the machine-check microcode was entered.
+    pub at_cycle: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Armed {
+    class: FaultClass,
+    trigger: FaultTrigger,
+    /// For `@upc` triggers: issues from the address seen so far.
+    seen: u32,
+    spent: bool,
+}
+
+/// The standard [`FaultHook`]: executes a [`FaultPlan`] deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct FaultEngine {
+    scheduled: Vec<Armed>,
+    pending: VecDeque<FaultClass>,
+    fired: Vec<FiredFault>,
+    base_cycle: u64,
+    armed: bool,
+}
+
+impl FaultEngine {
+    /// An engine that will execute `plan` once armed.
+    pub fn new(plan: &FaultPlan) -> FaultEngine {
+        FaultEngine {
+            scheduled: plan
+                .faults
+                .iter()
+                .map(|f| Armed {
+                    class: f.class,
+                    trigger: f.trigger,
+                    seen: 0,
+                    spent: false,
+                })
+                .collect(),
+            pending: VecDeque::new(),
+            fired: Vec::new(),
+            base_cycle: 0,
+            armed: false,
+        }
+    }
+
+    /// Faults scheduled but not yet matured.
+    pub fn remaining(&self) -> usize {
+        self.scheduled.iter().filter(|a| !a.spent).count()
+    }
+}
+
+impl FaultHook for FaultEngine {
+    fn arm(&mut self, now: u64) {
+        self.base_cycle = now;
+        self.armed = true;
+        for a in &mut self.scheduled {
+            a.seen = 0;
+            a.spent = false;
+        }
+        self.pending.clear();
+        self.fired.clear();
+    }
+
+    fn observe_issue(&mut self, upc: u16) {
+        if !self.armed {
+            return;
+        }
+        for a in &mut self.scheduled {
+            if a.spent {
+                continue;
+            }
+            if let FaultTrigger::AtMicroPc { addr, hits } = a.trigger {
+                if addr == upc {
+                    a.seen += 1;
+                    if a.seen >= hits {
+                        a.spent = true;
+                        self.pending.push_back(a.class);
+                    }
+                }
+            }
+        }
+    }
+
+    fn poll(&mut self, now: u64) -> Option<FaultClass> {
+        if !self.armed {
+            return None;
+        }
+        let elapsed = now.saturating_sub(self.base_cycle);
+        for a in &mut self.scheduled {
+            if a.spent {
+                continue;
+            }
+            if let FaultTrigger::AtCycle(c) = a.trigger {
+                if elapsed >= c {
+                    a.spent = true;
+                    self.pending.push_back(a.class);
+                }
+            }
+        }
+        self.pending.pop_front()
+    }
+
+    fn fired(&self) -> Vec<FiredFault> {
+        self.fired.clone()
+    }
+
+    fn record_taken(&mut self, class: FaultClass, at_cycle: u64) {
+        self.fired.push(FiredFault { class, at_cycle });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_triggers_mature_in_order() {
+        let plan = FaultPlan::new()
+            .with(FaultClass::CacheParity, FaultTrigger::AtCycle(100))
+            .with(FaultClass::SbiTimeout, FaultTrigger::AtCycle(50));
+        let mut e = FaultEngine::new(&plan);
+        e.arm(1_000);
+        assert_eq!(e.poll(1_010), None, "nothing matured yet");
+        // Both matured by 1_200; plan order within a single poll batch.
+        assert_eq!(e.poll(1_200), Some(FaultClass::CacheParity));
+        assert_eq!(e.poll(1_200), Some(FaultClass::SbiTimeout));
+        assert_eq!(e.poll(2_000), None, "each fault fires once");
+        assert_eq!(e.remaining(), 0);
+    }
+
+    #[test]
+    fn upc_triggers_count_hits() {
+        let plan = FaultPlan::new().with(
+            FaultClass::TbCorrupt,
+            FaultTrigger::AtMicroPc {
+                addr: 0x42,
+                hits: 3,
+            },
+        );
+        let mut e = FaultEngine::new(&plan);
+        e.arm(0);
+        e.observe_issue(0x42);
+        e.observe_issue(0x41);
+        e.observe_issue(0x42);
+        assert_eq!(e.poll(10), None, "two hits of three");
+        e.observe_issue(0x42);
+        assert_eq!(e.poll(11), Some(FaultClass::TbCorrupt));
+    }
+
+    #[test]
+    fn unarmed_engine_is_inert_and_rearm_resets() {
+        let plan = FaultPlan::new().with(FaultClass::CacheParity, FaultTrigger::AtCycle(0));
+        let mut e = FaultEngine::new(&plan);
+        assert_eq!(e.poll(u64::MAX), None, "not armed");
+        e.observe_issue(0x0);
+        e.arm(500);
+        assert_eq!(e.poll(500), Some(FaultClass::CacheParity));
+        e.record_taken(FaultClass::CacheParity, 501);
+        assert_eq!(e.fired().len(), 1);
+        e.arm(600);
+        assert_eq!(e.fired().len(), 0, "re-arming clears the log");
+        assert_eq!(e.poll(600), Some(FaultClass::CacheParity), "schedule reset");
+    }
+}

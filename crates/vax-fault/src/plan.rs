@@ -1,0 +1,235 @@
+//! Fault plans: what to inject, and when.
+//!
+//! A plan is an ordered list of scheduled faults. Triggers are either a
+//! cycle count (relative to the moment the engine is armed, so the same
+//! plan injects at the same point of the *measured* region regardless of
+//! warm-up length) or a µPC address hit count (the fault fires when the
+//! machine has issued from that micro-address N times after arming).
+//!
+//! Plans have a stable text form so campaigns can store them next to
+//! their histograms:
+//!
+//! ```text
+//! fault-plan v1
+//! cache-parity @cycle 1000
+//! sbi-timeout @upc 0x100 hits 50
+//! ```
+
+use crate::FaultClass;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt;
+
+/// When a scheduled fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// After this many cycles have elapsed since the engine was armed.
+    AtCycle(u64),
+    /// When the micro-address has been issued from `hits` times since
+    /// the engine was armed.
+    AtMicroPc {
+        /// The micro-address to watch.
+        addr: u16,
+        /// Number of issues from `addr` before firing (1 = first issue).
+        hits: u32,
+    },
+}
+
+/// One fault in a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// What to inject.
+    pub class: FaultClass,
+    /// When to inject it.
+    pub trigger: FaultTrigger,
+}
+
+/// Error parsing a fault-plan text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// Missing or wrong `fault-plan v1` header.
+    BadHeader,
+    /// A fault line did not parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadHeader => write!(f, "missing `fault-plan v1` header"),
+            PlanError::BadLine { line } => write!(f, "malformed fault at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// An ordered list of scheduled faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults, in declaration order.
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule `fault` and return the plan (builder style).
+    #[must_use]
+    pub fn with(mut self, class: FaultClass, trigger: FaultTrigger) -> FaultPlan {
+        self.faults.push(ScheduledFault { class, trigger });
+        self
+    }
+
+    /// Is there anything to inject?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A seed-deterministic plan: `per_class` faults of each listed
+    /// class, at cycle offsets drawn uniformly from `[window/10, window)`.
+    /// The same `(classes, seed, per_class, window)` always builds the
+    /// same plan — this is what `vax780 inject --faults ... --seed N`
+    /// uses.
+    pub fn seeded(classes: &[FaultClass], seed: u64, per_class: u32, window: u64) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let window = window.max(10);
+        let mut plan = FaultPlan::new();
+        for &class in classes {
+            for _ in 0..per_class {
+                let cycle = rng.random_range(window / 10..window);
+                plan = plan.with(class, FaultTrigger::AtCycle(cycle));
+            }
+        }
+        plan
+    }
+
+    /// Serialize to the `fault-plan v1` text form.
+    pub fn render(&self) -> String {
+        let mut out = String::from("fault-plan v1\n");
+        for f in &self.faults {
+            match f.trigger {
+                FaultTrigger::AtCycle(c) => {
+                    out.push_str(&format!("{} @cycle {}\n", f.class.name(), c));
+                }
+                FaultTrigger::AtMicroPc { addr, hits } => {
+                    out.push_str(&format!(
+                        "{} @upc {:#x} hits {}\n",
+                        f.class.name(),
+                        addr,
+                        hits
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse the text form.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] on a missing header or malformed fault line.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("fault-plan v1") {
+            return Err(PlanError::BadHeader);
+        }
+        let mut plan = FaultPlan::new();
+        for (i, raw) in lines.enumerate() {
+            let line = i + 2;
+            let raw = raw.trim();
+            if raw.is_empty() || raw.starts_with('#') {
+                continue;
+            }
+            let mut parts = raw.split_ascii_whitespace();
+            let bad = || PlanError::BadLine { line };
+            let class = parts.next().and_then(FaultClass::parse).ok_or_else(bad)?;
+            let trigger = match parts.next().ok_or_else(bad)? {
+                "@cycle" => {
+                    let c = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    FaultTrigger::AtCycle(c)
+                }
+                "@upc" => {
+                    let a = parts.next().ok_or_else(bad)?;
+                    let a = a.strip_prefix("0x").unwrap_or(a);
+                    let addr = u16::from_str_radix(a, 16).map_err(|_| bad())?;
+                    if parts.next() != Some("hits") {
+                        return Err(bad());
+                    }
+                    let hits: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                    if hits == 0 {
+                        return Err(bad());
+                    }
+                    FaultTrigger::AtMicroPc { addr, hits }
+                }
+                _ => return Err(bad()),
+            };
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            plan = plan.with(class, trigger);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_text_round_trips() {
+        let plan = FaultPlan::new()
+            .with(FaultClass::CacheParity, FaultTrigger::AtCycle(1000))
+            .with(
+                FaultClass::SbiTimeout,
+                FaultTrigger::AtMicroPc {
+                    addr: 0x100,
+                    hits: 50,
+                },
+            );
+        let text = plan.render();
+        assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let classes = [FaultClass::CacheParity, FaultClass::TbCorrupt];
+        let a = FaultPlan::seeded(&classes, 780, 3, 10_000);
+        let b = FaultPlan::seeded(&classes, 780, 3, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 6);
+        let c = FaultPlan::seeded(&classes, 781, 3, 10_000);
+        assert_ne!(a, c, "different seeds place faults differently");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        assert_eq!(FaultPlan::parse("nope"), Err(PlanError::BadHeader));
+        assert_eq!(
+            FaultPlan::parse("fault-plan v1\nbogus @cycle 5"),
+            Err(PlanError::BadLine { line: 2 })
+        );
+        assert_eq!(
+            FaultPlan::parse("fault-plan v1\ncache-parity @when 5"),
+            Err(PlanError::BadLine { line: 2 })
+        );
+        assert_eq!(
+            FaultPlan::parse("fault-plan v1\ncache-parity @upc 0x10 hits 0"),
+            Err(PlanError::BadLine { line: 2 })
+        );
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let plan = FaultPlan::parse("fault-plan v1\n# comment\n\ntb-corrupt @cycle 7\n").unwrap();
+        assert_eq!(plan.faults.len(), 1);
+    }
+}

@@ -216,6 +216,8 @@ pub fn check_control_store(report: &mut Report) {
         ("memmgmt-write".into(), cs.memmgmt_write().value()),
         ("interrupt".into(), cs.int_entry().value()),
         ("exception".into(), cs.exc_entry().value()),
+        ("fault-recovery".into(), cs.fault_entry().value()),
+        ("fault-recovery-body".into(), cs.fault_body().value()),
         ("abort".into(), cs.abort().value()),
         ("soft-int".into(), cs.soft_int_request().value()),
     ];
@@ -273,6 +275,7 @@ pub const HW_EVENT_MAP: &[(&str, &str)] = &[
     ("tb_hits", "cache_access"),
     ("sbi_reads", "sbi"),
     ("sbi_writes", "sbi"),
+    ("machine_checks", "machine_check"),
 ];
 
 /// Which trace-counter fields each event kind feeds.
@@ -292,6 +295,7 @@ pub const EVENT_TRACE_MAP: &[(&str, &[&str])] = &[
     ("sbi", &["sbi_reads", "sbi_writes"]),
     ("interrupt_entry", &["interrupts"]),
     ("exception_entry", &["exceptions"]),
+    ("machine_check", &["machine_checks"]),
     ("context_switch", &["context_switches"]),
 ];
 
@@ -322,6 +326,9 @@ fn sample_events() -> Vec<MachineEvent> {
         MachineEvent::Sbi { read: true },
         MachineEvent::InterruptEntry { ipl: 24 },
         MachineEvent::ExceptionEntry,
+        MachineEvent::MachineCheck {
+            class: vax_fault::FaultClass::CacheParity,
+        },
         MachineEvent::ContextSwitch { new_space: 1 },
     ]
 }

@@ -38,6 +38,8 @@ pub struct HwCounters {
     pub sbi_reads: u64,
     /// SBI write transactions.
     pub sbi_writes: u64,
+    /// Injected faults taken through machine-check microcode.
+    pub machine_checks: u64,
 }
 
 impl HwCounters {
@@ -59,6 +61,7 @@ impl HwCounters {
         "tb_hits",
         "sbi_reads",
         "sbi_writes",
+        "machine_checks",
     ];
 
     /// Fresh, zeroed counters.
@@ -87,6 +90,7 @@ impl HwCounters {
         self.tb_hits += other.tb_hits;
         self.sbi_reads += other.sbi_reads;
         self.sbi_writes += other.sbi_writes;
+        self.machine_checks += other.machine_checks;
     }
 
     /// Counts accumulated since `base` was captured (field-wise
@@ -108,6 +112,7 @@ impl HwCounters {
             tb_hits: self.tb_hits - base.tb_hits,
             sbi_reads: self.sbi_reads - base.sbi_reads,
             sbi_writes: self.sbi_writes - base.sbi_writes,
+            machine_checks: self.machine_checks - base.machine_checks,
         }
     }
 
@@ -138,6 +143,7 @@ impl HwCounters {
             ("tb_hits", self.tb_hits),
             ("sbi_reads", self.sbi_reads),
             ("sbi_writes", self.sbi_writes),
+            ("machine_checks", self.machine_checks),
         ]
     }
 
@@ -161,6 +167,7 @@ impl HwCounters {
                 "tb_hits" => c.tb_hits = value,
                 "sbi_reads" => c.sbi_reads = value,
                 "sbi_writes" => c.sbi_writes = value,
+                "machine_checks" => c.machine_checks = value,
                 _ => {}
             }
         }

@@ -8,6 +8,7 @@ use crate::{
     AddressSpace, Cache, HwCounters, MemConfig, PhysMem, Pte, Sbi, SystemMap, Tb, TbHalf,
     PAGE_BYTES,
 };
+use vax_fault::{FaultClass, FaultHook, FiredFault};
 
 /// Which reference stream a memory operation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +135,9 @@ pub struct MemorySubsystem {
     /// when the fill ends in a fault. The tracer needs them: a faulting
     /// fill still made cache references that the hardware counters saw.
     last_fill_reads: (Option<ReadOutcome>, Option<ReadOutcome>),
+    /// Fault-injection hook (None on the happy path; installing one is
+    /// how `vax780 inject` perturbs the machine).
+    fault_hook: Option<Box<dyn FaultHook>>,
 }
 
 impl MemorySubsystem {
@@ -150,6 +154,7 @@ impl MemorySubsystem {
             space: AddressSpace::empty(),
             counters: HwCounters::new(),
             last_fill_reads: (None, None),
+            fault_hook: None,
             config,
         }
     }
@@ -457,6 +462,93 @@ impl MemorySubsystem {
         self.last_fill_reads = (None, None);
     }
 
+    // ----- fault injection -------------------------------------------------
+
+    /// Install a fault-injection hook. The hook is inert until
+    /// [`arm_fault_hook`](MemorySubsystem::arm_fault_hook) is called.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Remove the hook (back to the happy path).
+    pub fn clear_fault_hook(&mut self) {
+        self.fault_hook = None;
+    }
+
+    /// Is a hook installed? The CPU gates its per-µcycle observation
+    /// calls on this, so the happy path pays a single branch.
+    #[inline]
+    pub fn has_fault_hook(&self) -> bool {
+        self.fault_hook.is_some()
+    }
+
+    /// Arm the installed hook: trigger offsets count from `now`.
+    pub fn arm_fault_hook(&mut self, now: u64) {
+        if let Some(hook) = &mut self.fault_hook {
+            hook.arm(now);
+        }
+    }
+
+    /// Report one µPC issue to the hook (µPC-keyed triggers).
+    #[inline]
+    pub fn observe_upc(&mut self, upc: u16) {
+        if let Some(hook) = &mut self.fault_hook {
+            hook.observe_issue(upc);
+        }
+    }
+
+    /// Has a scheduled fault matured by `now`? At most one per call; the
+    /// CPU polls at instruction boundaries so the fault is taken between
+    /// instructions (architecturally survivable).
+    #[inline]
+    pub fn poll_fault(&mut self, now: u64) -> Option<FaultClass> {
+        match &mut self.fault_hook {
+            Some(hook) => hook.poll(now),
+            None => None,
+        }
+    }
+
+    /// The machine took an injected fault: count it on the hardware
+    /// monitor, log it on the hook, and apply the class's perturbation to
+    /// the subsystem state (this is what makes the fault *observable*
+    /// beyond its recovery-microcode cycles).
+    pub fn apply_fault(&mut self, class: FaultClass, now: u64) {
+        self.counters.machine_checks += 1;
+        if let Some(hook) = &mut self.fault_hook {
+            hook.record_taken(class, now);
+        }
+        match class {
+            // A parity error poisons the whole cache: recovery microcode
+            // flushes it and lets demand misses rebuild it.
+            FaultClass::CacheParity => self.cache.invalidate_all(),
+            // A corrupt TB entry cannot be located precisely; recovery
+            // invalidates the TB and the miss microcode refills it.
+            FaultClass::TbCorrupt => self.tb.flush_all(),
+            // A timed-out transfer is retried: the bus is held for the
+            // retry window, delaying any miss that arrives meanwhile.
+            FaultClass::SbiTimeout => {
+                let retry = 4 * u64::from(self.config.read_miss_cycles);
+                self.sbi.acquire(now, retry);
+            }
+            // The suspect buffered longword is re-sent: forced drain,
+            // re-occupying the SBI for one write time.
+            FaultClass::WriteBufferError => {
+                self.wbuf.clear();
+                self.sbi.acquire(now, u64::from(self.config.write_cycles));
+            }
+            // A control-store bit flip is repaired from the backup copy:
+            // pure recovery-cycle burn, no memory-side effect.
+            FaultClass::ControlStoreBitFlip => {}
+        }
+    }
+
+    /// The log of faults taken so far (empty without a hook).
+    pub fn faults_fired(&self) -> Vec<FiredFault> {
+        self.fault_hook
+            .as_ref()
+            .map_or_else(Vec::new, |h| h.fired())
+    }
+
     /// Software page-table walk with no cache/TB/timing effects: would a
     /// reference to `va` translate? Used by the `PROBEx` instructions.
     pub fn probe_va(&self, va: u32) -> bool {
@@ -612,6 +704,46 @@ mod tests {
         let mut mem = machine();
         let fault = mem.tb_fill(0x3F00_0000, 0).unwrap_err();
         assert!(matches!(fault, MemFault::LengthViolation { .. }));
+    }
+
+    #[test]
+    fn applied_faults_perturb_state_and_count() {
+        let mut mem = machine();
+        mem.tb_fill(0x1000, 0).unwrap();
+        let pa = mem.translate(0x1000, Stream::Data).unwrap();
+        mem.read(pa, Width::Long, 20); // warm the cache
+        assert!(mem.cache().valid_lines() > 0);
+        assert!(mem.tb().valid_entries() > 0);
+
+        mem.apply_fault(FaultClass::CacheParity, 100);
+        assert_eq!(mem.cache().valid_lines(), 0, "parity flushes the cache");
+        mem.apply_fault(FaultClass::TbCorrupt, 110);
+        assert_eq!(mem.tb().valid_entries(), 0, "corruption flushes the TB");
+        let free_before = mem.sbi.is_free(200);
+        assert!(free_before);
+        mem.apply_fault(FaultClass::SbiTimeout, 200);
+        assert!(!mem.sbi.is_free(200), "retry occupies the bus");
+        mem.apply_fault(FaultClass::ControlStoreBitFlip, 300);
+        assert_eq!(mem.counters().machine_checks, 4);
+    }
+
+    #[test]
+    fn fault_hook_drives_poll_and_fired_log() {
+        use vax_fault::{FaultEngine, FaultPlan, FaultTrigger};
+        let mut mem = machine();
+        assert!(!mem.has_fault_hook());
+        assert_eq!(mem.poll_fault(u64::MAX), None);
+        let plan = FaultPlan::new().with(FaultClass::CacheParity, FaultTrigger::AtCycle(50));
+        mem.set_fault_hook(Box::new(FaultEngine::new(&plan)));
+        assert!(mem.has_fault_hook());
+        mem.arm_fault_hook(1_000);
+        assert_eq!(mem.poll_fault(1_010), None);
+        assert_eq!(mem.poll_fault(1_050), Some(FaultClass::CacheParity));
+        mem.apply_fault(FaultClass::CacheParity, 1_051);
+        let fired = mem.faults_fired();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].class, FaultClass::CacheParity);
+        assert_eq!(fired[0].at_cycle, 1_051);
     }
 
     #[test]

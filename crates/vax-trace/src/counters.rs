@@ -54,6 +54,8 @@ pub struct TraceCounters {
     pub exceptions: u64,
     /// LDPCTX context switches.
     pub context_switches: u64,
+    /// Machine checks taken (injected faults).
+    pub machine_checks: u64,
 }
 
 impl TraceCounters {
@@ -82,6 +84,7 @@ impl TraceCounters {
         "interrupts",
         "exceptions",
         "context_switches",
+        "machine_checks",
     ];
 
     /// Total cycles implied by the aggregates: `issues + stall_cycles`.
@@ -138,6 +141,7 @@ impl TraceCounters {
             MachineEvent::InterruptEntry { .. } => self.interrupts += 1,
             MachineEvent::ExceptionEntry => self.exceptions += 1,
             MachineEvent::ContextSwitch { .. } => self.context_switches += 1,
+            MachineEvent::MachineCheck { .. } => self.machine_checks += 1,
         }
     }
 
@@ -166,6 +170,7 @@ impl TraceCounters {
             ("interrupts", self.interrupts),
             ("exceptions", self.exceptions),
             ("context_switches", self.context_switches),
+            ("machine_checks", self.machine_checks),
         ]
     }
 }
@@ -237,7 +242,7 @@ mod tests {
     #[test]
     fn pairs_cover_every_field() {
         // A reminder to extend to_pairs when adding fields: the struct
-        // currently has 22 counters (the peak is reported as u64).
-        assert_eq!(TraceCounters::default().to_pairs().len(), 22);
+        // currently has 23 counters (the peak is reported as u64).
+        assert_eq!(TraceCounters::default().to_pairs().len(), 23);
     }
 }

@@ -92,6 +92,9 @@ fn machine_fields(ev: &MachineEvent, line: &mut String) {
         MachineEvent::ContextSwitch { new_space } => {
             line.push_str(&format!("\"ev\":\"context_switch\",\"space\":{new_space}"));
         }
+        MachineEvent::MachineCheck { class } => {
+            line.push_str(&format!("\"ev\":\"machine_check\",\"class\":\"{class}\""));
+        }
     }
 }
 
@@ -238,6 +241,13 @@ pub fn write_chrome_trace<W: Write>(tracer: &Tracer, w: &mut W) -> io::Result<()
                         "{{\"name\":\"context_switch\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"p\",\
                          \"pid\":{PID},\"tid\":{TID_PHASES},\
                          \"args\":{{\"space\":{new_space}}}}}"
+                    ));
+                }
+                MachineEvent::MachineCheck { class } => {
+                    entry.push_str(&format!(
+                        "{{\"name\":\"machine_check\",\"ph\":\"i\",\"ts\":{ts},\"s\":\"p\",\
+                         \"pid\":{PID},\"tid\":{TID_INSN},\
+                         \"args\":{{\"class\":\"{class}\"}}}}"
                     ));
                 }
                 // Decode and cause-tagged stalls duplicate information

@@ -61,11 +61,16 @@ pub enum Row {
     MemMgmt,
     /// Abort cycles (one per microcode trap).
     Abort,
+    /// Machine-check and fault-recovery microcode (injected faults).
+    FaultHandling,
 }
 
 impl Row {
+    /// Number of rows (Table 8 plus the fault-handling extension).
+    pub const COUNT: usize = 15;
+
     /// All rows in Table 8 order.
-    pub const ALL: [Row; 14] = [
+    pub const ALL: [Row; Row::COUNT] = [
         Row::Decode,
         Row::Spec1,
         Row::Spec2to6,
@@ -80,9 +85,10 @@ impl Row {
         Row::IntExcept,
         Row::MemMgmt,
         Row::Abort,
+        Row::FaultHandling,
     ];
 
-    /// Stable index 0–13 in Table 8 order.
+    /// Stable index 0–14 in Table 8 order.
     pub const fn index(self) -> usize {
         match self {
             Row::Decode => 0,
@@ -93,6 +99,7 @@ impl Row {
             Row::IntExcept => 11,
             Row::MemMgmt => 12,
             Row::Abort => 13,
+            Row::FaultHandling => 14,
         }
     }
 
@@ -107,6 +114,7 @@ impl Row {
             Row::IntExcept => "Int/Except",
             Row::MemMgmt => "Mem Mgmt",
             Row::Abort => "Abort",
+            Row::FaultHandling => "Fault Handling",
         }
     }
 }
@@ -208,6 +216,9 @@ pub enum EventTag {
     ExceptionEntry,
     /// Executed when `MTPR` posts a software interrupt request.
     SoftIntRequest,
+    /// Entry to machine-check/fault-recovery microcode: one execution per
+    /// injected fault taken.
+    MachineCheckEntry,
     /// Alignment/memory-management microcode body.
     MemMgmtBody,
     /// An abort cycle (one per microcode trap).

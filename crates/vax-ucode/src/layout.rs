@@ -16,6 +16,7 @@ const INT_BASE: u16 = 0x080; // entry, body, read, write
 const EXC_BASE: u16 = 0x084; // entry, body, read, write
 const ABORT: u16 = 0x088;
 const SOFT_INT_REQ: u16 = 0x089;
+const FAULT_BASE: u16 = 0x090; // machine-check entry, recovery body
 const EXEC_BASE: u16 = 0x100; // per opcode: entry, compute, read, write
 const EXEC_SLOTS: u16 = 4;
 
@@ -266,6 +267,20 @@ impl ControlStore {
                 tag: EventTag::SoftIntRequest,
             },
         );
+        // Machine-check / fault-recovery microcode. The recovery flow is
+        // compute-only: the 780's machine-check microcode re-reads state
+        // registers internal to the CPU, so no D-stream stalls arise and
+        // the read+write == stall-cycle partition stays exact under
+        // injected faults.
+        set(
+            FAULT_BASE,
+            AddrClass {
+                row: Row::FaultHandling,
+                op: MemOp::Compute,
+                tag: EventTag::MachineCheckEntry,
+            },
+        );
+        set(FAULT_BASE + 1, AddrClass::body(Row::FaultHandling));
         for (i, &op) in Opcode::ALL.iter().enumerate() {
             let base = EXEC_BASE + i as u16 * EXEC_SLOTS;
             let row = Row::Exec(op.group());
@@ -348,6 +363,7 @@ impl ControlStore {
             ("exception", EXC_BASE, 4),
             ("abort", ABORT, 1),
             ("soft-int", SOFT_INT_REQ, 1),
+            ("fault-recovery", FAULT_BASE, 2),
             ("exec", EXEC_BASE, Opcode::ALL.len() as u16 * EXEC_SLOTS),
         ]
     }
@@ -489,6 +505,16 @@ impl ControlStore {
         MicroAddr::new(SOFT_INT_REQ)
     }
 
+    /// Machine-check/fault-recovery entry (one execution per fault taken).
+    pub fn fault_entry(&self) -> MicroAddr {
+        MicroAddr::new(FAULT_BASE)
+    }
+
+    /// Machine-check recovery compute body.
+    pub fn fault_body(&self) -> MicroAddr {
+        MicroAddr::new(FAULT_BASE + 1)
+    }
+
     fn opcode_slot(&self, op: Opcode) -> u16 {
         let i = self.opcode_index[op.to_byte() as usize];
         debug_assert_ne!(i, u16::MAX);
@@ -574,6 +600,9 @@ mod tests {
         assert_eq!(cs.class(cs.abort()).row, Row::Abort);
         assert_eq!(cs.class(cs.int_entry()).tag, EventTag::InterruptEntry);
         assert_eq!(cs.class(cs.exc_entry()).tag, EventTag::ExceptionEntry);
+        assert_eq!(cs.class(cs.fault_entry()).tag, EventTag::MachineCheckEntry);
+        assert_eq!(cs.class(cs.fault_entry()).row, Row::FaultHandling);
+        assert_eq!(cs.class(cs.fault_body()).op, MemOp::Compute);
     }
 
     #[test]

@@ -44,8 +44,10 @@ pub mod kdata {
     pub const SCRATCH: u32 = 664;
     /// PCB physical-address table (one longword per process).
     pub const PCB_TABLE: u32 = 1024;
+    /// Machine-check error-log counter.
+    pub const MCHECKS: u32 = 1024 + 64 * 4;
     /// Total kernel data size in bytes (up to 64 processes).
-    pub const SIZE: u32 = 1024 + 64 * 4;
+    pub const SIZE: u32 = 1024 + 64 * 4 + 4;
 }
 
 /// The assembled kernel plus everything the session builder needs to
@@ -245,6 +247,21 @@ pub fn build_kernel(
         asm.inst(Opcode::Rei, &[])?;
     }
 
+    // ----- machine check (vector 0x04) ---------------------------------------
+    // The recovery proper already ran in microcode by the time this
+    // handler is entered; the kernel's share is error logging, the way
+    // VMS's error logger fields a survivable machine check. Emitted
+    // last so every other ISR keeps its address (and the RNG stream it
+    // was generated from) whether or not faults are ever injected.
+    let mcheck_isr = asm.here();
+    let mcheck_mask = 0x23u16; // R0, R1, R5
+    asm.inst(Opcode::Pushr, &[Operand::Immediate(u64::from(mcheck_mask))])?;
+    load_kb(&mut asm)?;
+    asm.inst(Opcode::Incl, &[Operand::Disp(kdata::MCHECKS as i32, kb)])?;
+    emit_kernel_slots(&mut asm, rng, kb, 4, false)?;
+    asm.inst(Opcode::Popr, &[Operand::Immediate(u64::from(mcheck_mask))])?;
+    asm.inst(Opcode::Rei, &[])?;
+
     let code = asm.finish()?;
 
     // ----- kernel data image ---------------------------------------------------
@@ -270,6 +287,7 @@ pub fn build_kernel(
         (0x88, ast_isr),      // software level 2
         (0x8C, sched),        // software level 3 (reschedule)
         (0x40, chmk),         // CHMK
+        (0x04, mcheck_isr),   // machine check (injected faults)
     ];
     for line in 0..crate::rte::TERMINAL_CONTROLLERS {
         vectors.push((crate::rte::TERMINAL_VECTOR_BASE + 4 * line, term_isr));

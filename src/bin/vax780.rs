@@ -4,12 +4,16 @@
 //! vax780 run [--workload NAME|all] [--instructions N] [--warmup N]
 //!            [--decode-overlap] [--save-histogram FILE]
 //!            [--jobs N] [--serial] [--metrics]
+//!            [--checkpoint FILE] [--halt-after N]
 //! vax780 sweep [--workload NAME|all] [--instructions N] [--warmup N]
 //!              [--axis NAME]... [--jobs N] [--serial]
 //!              [--csv FILE] [--jsonl FILE] [--metrics]
 //! vax780 trace [--workload NAME] [--instructions N] [--warmup N]
 //!              [--trace-out FILE] [--trace-format jsonl|chrome]
 //!              [--trace-limit N] [--metrics]
+//! vax780 inject (--fault-plan FILE | --faults LIST [--seed N])
+//!               [--workload NAME] [--instructions N] [--warmup N]
+//!               [--report]
 //! vax780 report --histogram FILE [--instructions-hint N]
 //! vax780 disasm --workload NAME [--function K] [--lines N]
 //! vax780 list
@@ -23,6 +27,11 @@
 //! runs a workload with the second instrument attached (the event
 //! tracer riding alongside the µPC board), exports the trace, and
 //! reconciles the two instruments against the hardware counters;
+//! `inject` runs a workload under a deterministic fault plan — the
+//! scheduled faults trap to machine-check microcode, every instrument
+//! attributes the recovery cycles, and the run must still reconcile
+//! exactly (with `--report`, a clean baseline and one run per fault
+//! class quantify ΔCPI per class);
 //! `report` re-analyses a saved histogram (the paper's "additional
 //! interpretation of the raw histogram data", §2.2); `disasm` shows the
 //! generated VAX code a workload actually runs.
@@ -32,7 +41,7 @@
 
 use std::process::ExitCode;
 use vax780_core::sweep::{Sweep, SweepAxis, SweepGrid};
-use vax780_core::{CompositeStudy, Experiment};
+use vax780_core::{Checkpoint, CompositeStudy, Experiment};
 use vax_analysis::report::StudyReport;
 use vax_analysis::Analysis;
 use vax_cpu::CpuConfig;
@@ -45,6 +54,7 @@ fn main() -> ExitCode {
         Some("run") => checked(cmd_run, "run", &args[1..], RUN_SPEC),
         Some("sweep") => checked(cmd_sweep, "sweep", &args[1..], SWEEP_SPEC),
         Some("trace") => checked(cmd_trace, "trace", &args[1..], TRACE_SPEC),
+        Some("inject") => checked(cmd_inject, "inject", &args[1..], INJECT_SPEC),
         Some("report") => checked(cmd_report, "report", &args[1..], REPORT_SPEC),
         Some("disasm") => checked(cmd_disasm, "disasm", &args[1..], DISASM_SPEC),
         Some("lint") => checked(cmd_lint, "lint", &args[1..], LINT_SPEC),
@@ -66,17 +76,21 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vax780 <run|sweep|trace|report|disasm|lint|list> [options]\n\
+const USAGE: &str = "usage: vax780 <run|sweep|trace|inject|report|disasm|lint|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
      \x20       --jobs N  --serial  --metrics\n\
+     \x20       --checkpoint FILE  --halt-after N\n\
      sweep   --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --axis cache-size|cache-ways|tb-entries|tb-split|write-buffer|decode-overlap\n\
      \x20       --jobs N  --serial  --csv FILE  --jsonl FILE  --metrics\n\
      trace   --workload NAME  --instructions N  --warmup N\n\
      \x20       --trace-out FILE  --trace-format jsonl|chrome\n\
      \x20       --trace-limit N  --metrics\n\
+     inject  --fault-plan FILE | --faults CLASS[,CLASS...]  --seed N\n\
+     \x20       --workload NAME  --instructions N  --warmup N  --report\n\
+     \x20       (classes: cache-parity tb-corrupt sbi-timeout write-buffer cs-bit-flip)\n\
      report  --histogram FILE  --instructions-hint N\n\
      disasm  --workload NAME  --function K  --lines N\n\
      lint    --profile NAME  --all-profiles  --image FILE\n\
@@ -95,6 +109,8 @@ const RUN_SPEC: Spec = &[
     ("--jobs", true),
     ("--serial", false),
     ("--metrics", false),
+    ("--checkpoint", true),
+    ("--halt-after", true),
 ];
 const SWEEP_SPEC: Spec = &[
     ("--workload", true),
@@ -115,6 +131,15 @@ const TRACE_SPEC: Spec = &[
     ("--trace-format", true),
     ("--trace-limit", true),
     ("--metrics", false),
+];
+const INJECT_SPEC: Spec = &[
+    ("--workload", true),
+    ("--instructions", true),
+    ("--warmup", true),
+    ("--fault-plan", true),
+    ("--faults", true),
+    ("--seed", true),
+    ("--report", false),
 ];
 const REPORT_SPEC: Spec = &[("--histogram", true), ("--instructions-hint", true)];
 const DISASM_SPEC: Spec = &[
@@ -241,6 +266,25 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if flag(args, "--decode-overlap") {
         cpu_config = CpuConfig::with_decode_overlap();
     }
+    let checkpoint_path = opt(args, "--checkpoint");
+    let halt_after: Option<usize> = match opt(args, "--halt-after") {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--halt-after wants a non-negative integer, got '{s}'");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if halt_after.is_some() && checkpoint_path.is_none() {
+        eprintln!("--halt-after only makes sense with --checkpoint");
+        return ExitCode::FAILURE;
+    }
+    if checkpoint_path.is_some() && workload != "all" {
+        eprintln!("--checkpoint resumes the composite campaign; use --workload all");
+        return ExitCode::FAILURE;
+    }
 
     let (analysis, histogram, counters) = if workload == "all" {
         eprintln!("running composite: 5 workloads x {instructions} instructions ...");
@@ -250,19 +294,58 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if let Some(n) = jobs {
             study = study.max_workers(n);
         }
-        let (results, analysis, metrics) = study.run_with_metrics();
+        let outcome = match checkpoint_path {
+            Some(path) => {
+                let mut cp =
+                    match Checkpoint::open(std::path::Path::new(path), instructions, warmup) {
+                        Ok(cp) => cp,
+                        Err(e) => {
+                            eprintln!("vax780 run: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                let restored = cp.completed().len();
+                if restored > 0 {
+                    eprintln!("resuming: {restored} job(s) restored from {path}");
+                }
+                match study.run_checkpointed(&mut cp, halt_after) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("vax780 run: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => study.run_supervised(),
+        };
         let mut merged = upc_monitor::Histogram::new();
         let mut counters = vax_mem::HwCounters::new();
-        for r in &results {
+        for r in &outcome.results {
             eprintln!("  {:<20} CPI {:.2}", r.name, r.analysis().cpi());
             merged.merge(&r.histogram);
             counters.merge(&r.counters);
         }
         if flag(args, "--metrics") {
             println!("=== campaign self-metrics ===");
-            println!("{metrics}\n");
+            println!("{}\n", outcome.metrics);
         }
-        (analysis, merged, counters)
+        for f in &outcome.failures {
+            eprintln!("quarantined: {f}");
+        }
+        if !outcome.failures.is_empty() {
+            return ExitCode::FAILURE;
+        }
+        if !outcome.pending.is_empty() {
+            // A deliberate halt is not a failure: the checkpoint holds
+            // the completed jobs, resuming finishes the campaign.
+            eprintln!(
+                "halted: {} job(s) pending ({}); re-run with the same --checkpoint to resume",
+                outcome.pending.len(),
+                outcome.pending.join(", ")
+            );
+            return ExitCode::SUCCESS;
+        }
+        (outcome.analysis, merged, counters)
     } else {
         let Some(kind) = parse_kind(workload) else {
             eprintln!("unknown workload '{workload}'; try `vax780 list`");
@@ -282,7 +365,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if let Some(path) = opt(args, "--save-histogram") {
         let text = upc_monitor::codec::to_text_with_counters(&histogram, &counters.to_pairs());
         if let Err(e) = std::fs::write(path, text) {
-            eprintln!("failed to save histogram: {e}");
+            eprintln!("failed to save histogram to {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("histogram saved to {path}");
@@ -477,6 +560,169 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Run one workload under a deterministic fault plan with both
+/// instruments attached, reconcile them, and (with `--report`) measure
+/// the fault-sensitivity table: a clean baseline plus one injected run
+/// per fault class present in the plan.
+fn cmd_inject(args: &[String]) -> ExitCode {
+    use upc_monitor::{Command, HistogramBoard};
+    use vax_fault::{FaultClass, FaultEngine, FaultPlan};
+    use vax_trace::Tracer;
+
+    let instructions: u64 = opt(args, "--instructions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let warmup: u64 = opt(args, "--warmup")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let workload = opt(args, "--workload").unwrap_or("timesharing-light");
+    let Some(kind) = parse_kind(workload) else {
+        eprintln!("unknown workload '{workload}'; try `vax780 list`");
+        return ExitCode::FAILURE;
+    };
+
+    let plan = if let Some(path) = opt(args, "--fault-plan") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("vax780 inject: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match FaultPlan::parse(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("vax780 inject: cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(list) = opt(args, "--faults") {
+        let seed: u64 = match opt(args, "--seed").map(str::parse).transpose() {
+            Ok(s) => s.unwrap_or(780),
+            Err(_) => {
+                eprintln!("--seed wants an integer");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut classes = Vec::new();
+        for name in list.split(',') {
+            let Some(class) = FaultClass::parse(name.trim()) else {
+                eprintln!(
+                    "unknown fault class '{}' (want one of: {})",
+                    name.trim(),
+                    FaultClass::ALL.map(FaultClass::name).join(", ")
+                );
+                return ExitCode::FAILURE;
+            };
+            classes.push(class);
+        }
+        // 3 faults per class, scattered over the first chunk of the
+        // measured region (CPI > 3, so `3 * instructions` cycles have
+        // always elapsed before measurement ends).
+        FaultPlan::seeded(&classes, seed, 3, instructions.saturating_mul(3))
+    } else {
+        eprintln!("inject requires --fault-plan FILE or --faults CLASS[,CLASS...]");
+        return ExitCode::FAILURE;
+    };
+    if plan.is_empty() {
+        eprintln!("vax780 inject: the fault plan schedules nothing");
+        return ExitCode::FAILURE;
+    }
+
+    let mut machine = match vax_workloads::try_build_machine(&profile(kind)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("vax780 inject: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let hw_base = *machine.cpu.mem().counters();
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let mut tracer = Tracer::with_capacity(vax_trace::DEFAULT_CAPACITY);
+
+    eprintln!(
+        "injecting {} fault(s) into {workload}: {warmup} warmup + {instructions} measured \
+         instructions ...",
+        plan.faults.len()
+    );
+    {
+        let mut tee = (&mut board, &mut tracer);
+        if let Err(e) = machine.run_phase("warmup", warmup, &mut tee) {
+            eprintln!("machine stopped during warmup: {e:?}");
+            return ExitCode::FAILURE;
+        }
+        // Arm at the measurement boundary: `@cycle` offsets count from
+        // the first measured cycle, exactly as `Experiment::fault_plan`.
+        machine
+            .cpu
+            .mem_mut()
+            .set_fault_hook(Box::new(FaultEngine::new(&plan)));
+        let now = machine.cpu.now();
+        machine.cpu.mem_mut().arm_fault_hook(now);
+        if let Err(e) = machine.run_phase("measure", instructions, &mut tee) {
+            eprintln!("machine stopped during measure: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    board.execute(Command::Stop);
+
+    let fired = machine.cpu.mem().faults_fired();
+    println!("=== injected faults ===");
+    if fired.is_empty() {
+        println!("(no scheduled fault matured inside the measured window)");
+    }
+    for f in &fired {
+        println!("fired {} @ cycle {}", f.class, f.at_cycle);
+    }
+    println!();
+
+    let histogram = board.snapshot();
+    let hw = machine.cpu.mem().counters().delta_since(&hw_base);
+    let reconciliation = vax_analysis::reconcile::reconcile(
+        &tracer,
+        &histogram,
+        &hw,
+        machine.cpu.pending_ib_tb_miss(),
+    );
+    println!("=== instrument reconciliation ===");
+    println!("{reconciliation}");
+    if !reconciliation.is_ok() {
+        return ExitCode::FAILURE;
+    }
+
+    if flag(args, "--report") {
+        eprintln!("measuring clean baseline + one run per fault class ...");
+        let experiment = |p: Option<FaultPlan>| {
+            let mut e = Experiment::new(kind)
+                .warmup(warmup)
+                .instructions(instructions);
+            if let Some(p) = p {
+                e = e.fault_plan(p);
+            }
+            e.run().analysis()
+        };
+        let baseline = experiment(None);
+        let mut injected = Vec::new();
+        for class in FaultClass::ALL {
+            let subset: Vec<_> = plan
+                .faults
+                .iter()
+                .copied()
+                .filter(|f| f.class == class)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            injected.push((class, experiment(Some(FaultPlan { faults: subset }))));
+        }
+        let sensitivity = vax_analysis::FaultSensitivity::new(&baseline, &injected);
+        println!("=== fault sensitivity ===");
+        println!("{sensitivity}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {

@@ -194,6 +194,7 @@ fn rejects_unknown_flags_naming_the_flag() {
     for (sub, bad) in [
         ("run", "--instruction"),
         ("trace", "--trace-outt"),
+        ("inject", "--seeds"),
         ("report", "--histograms"),
         ("disasm", "--line"),
         ("sweep", "--axes"),
@@ -216,6 +217,279 @@ fn rejects_unknown_flags_naming_the_flag() {
     let out = vax780().args(["run", "--workload"]).output().expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("requires a value"));
+}
+
+#[test]
+fn inject_campaign_reconciles_and_reports_sensitivity() {
+    let out = vax780()
+        .args([
+            "inject",
+            "--workload",
+            "educational",
+            "--instructions",
+            "6000",
+            "--warmup",
+            "2000",
+            "--faults",
+            "parity,sbi-timeout",
+            "--seed",
+            "780",
+            "--report",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fired cache-parity @ cycle"), "{text}");
+    assert!(text.contains("fired sbi-timeout @ cycle"), "{text}");
+    assert!(
+        text.contains("all instruments agree"),
+        "injected run must reconcile:\n{text}"
+    );
+    assert!(text.contains("machine_checks"), "{text}");
+    assert!(text.contains("FAULT SENSITIVITY"), "{text}");
+    assert!(text.contains("dCPI"), "{text}");
+
+    // The same seed prints the same fault log, cycle for cycle.
+    let again = vax780()
+        .args([
+            "inject",
+            "--workload",
+            "educational",
+            "--instructions",
+            "6000",
+            "--warmup",
+            "2000",
+            "--faults",
+            "parity,sbi-timeout",
+            "--seed",
+            "780",
+        ])
+        .output()
+        .expect("runs");
+    assert!(again.status.success());
+    let fired = |t: &str| -> Vec<String> {
+        t.lines()
+            .filter(|l| l.starts_with("fired "))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(
+        fired(&text),
+        fired(&String::from_utf8_lossy(&again.stdout)),
+        "seeded injection must be reproducible"
+    );
+}
+
+#[test]
+fn inject_rejects_bad_plans_and_classes() {
+    let out = vax780().arg("inject").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --fault-plan"));
+
+    let out = vax780()
+        .args(["inject", "--faults", "gamma-ray"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault class 'gamma-ray'"));
+
+    let dir = std::env::temp_dir().join("vax780-inject-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan = dir.join("bad.plan");
+    std::fs::write(&plan, "not a plan\n").unwrap();
+    let out = vax780()
+        .args(["inject", "--fault-plan"])
+        .arg(&plan)
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot parse"), "{err}");
+    assert!(err.contains("bad.plan"), "error must name the file: {err}");
+}
+
+/// Satellite of the robustness work: every subcommand that writes an
+/// output file must exit nonzero *naming the path* when the write
+/// fails, instead of panicking.
+#[test]
+fn output_write_failures_exit_nonzero_naming_the_path() {
+    let dir = std::env::temp_dir().join("vax780-unwritable-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    // A path under a regular file can never be created.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "x").unwrap();
+    let bad = blocker.join("out.txt");
+    let bad_str = bad.to_string_lossy().into_owned();
+
+    let cases: Vec<Vec<String>> = vec![
+        vec![
+            "run".into(),
+            "--workload".into(),
+            "timesharing-light".into(),
+            "--instructions".into(),
+            "2000".into(),
+            "--warmup".into(),
+            "500".into(),
+            "--save-histogram".into(),
+            bad_str.clone(),
+        ],
+        vec![
+            "sweep".into(),
+            "--workload".into(),
+            "timesharing-light".into(),
+            "--instructions".into(),
+            "1500".into(),
+            "--warmup".into(),
+            "500".into(),
+            "--axis".into(),
+            "write-buffer".into(),
+            "--csv".into(),
+            bad_str.clone(),
+        ],
+        vec![
+            "trace".into(),
+            "--workload".into(),
+            "timesharing-light".into(),
+            "--instructions".into(),
+            "1500".into(),
+            "--warmup".into(),
+            "500".into(),
+            "--trace-out".into(),
+            bad_str.clone(),
+        ],
+        vec![
+            "lint".into(),
+            "--profile".into(),
+            "timesharing-light".into(),
+            "--emit-image".into(),
+            bad_str.clone(),
+        ],
+        vec![
+            "run".into(),
+            "--workload".into(),
+            "all".into(),
+            "--instructions".into(),
+            "1000".into(),
+            "--warmup".into(),
+            "300".into(),
+            "--checkpoint".into(),
+            bad_str.clone(),
+        ],
+    ];
+    for case in cases {
+        let out = vax780().args(&case).output().expect("runs");
+        assert!(
+            !out.status.success(),
+            "{:?} should fail on an unwritable path",
+            case[0]
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("blocker"),
+            "{}: stderr must name the path:\n{err}",
+            case[0]
+        );
+        assert!(
+            !err.contains("panicked"),
+            "{}: must fail cleanly, not panic:\n{err}",
+            case[0]
+        );
+    }
+}
+
+#[test]
+fn run_checkpoint_halts_resumes_and_matches_uninterrupted() {
+    let dir = std::env::temp_dir().join("vax780-ckpt-cli-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("camp.ckpt");
+    let base = [
+        "run",
+        "--workload",
+        "all",
+        "--instructions",
+        "2000",
+        "--warmup",
+        "800",
+    ];
+
+    let uninterrupted = vax780().args(base).output().expect("runs");
+    assert!(uninterrupted.status.success());
+    let headline = |t: &str| {
+        t.lines()
+            .find(|l| l.starts_with("instructions "))
+            .expect("headline")
+            .to_string()
+    };
+    let expect = headline(&String::from_utf8_lossy(&uninterrupted.stdout));
+
+    // "Kill" the campaign after two jobs...
+    let halted = vax780()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .args(["--halt-after", "2"])
+        .output()
+        .expect("runs");
+    assert!(
+        halted.status.success(),
+        "{}",
+        String::from_utf8_lossy(&halted.stderr)
+    );
+    let herr = String::from_utf8_lossy(&halted.stderr);
+    assert!(herr.contains("halted: 3 job(s) pending"), "{herr}");
+
+    // ...resume, and get the uninterrupted campaign's exact numbers.
+    let resumed = vax780()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .output()
+        .expect("runs");
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let rerr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(rerr.contains("resuming: 2 job(s) restored"), "{rerr}");
+    assert_eq!(
+        headline(&String::from_utf8_lossy(&resumed.stdout)),
+        expect,
+        "resumed campaign must be bit-identical to uninterrupted"
+    );
+
+    // A mismatched config is refused, not silently mixed.
+    let mismatch = vax780()
+        .args([
+            "run",
+            "--workload",
+            "all",
+            "--instructions",
+            "4000",
+            "--warmup",
+            "800",
+            "--checkpoint",
+        ])
+        .arg(&ckpt)
+        .output()
+        .expect("runs");
+    assert!(!mismatch.status.success());
+    assert!(String::from_utf8_lossy(&mismatch.stderr).contains("instructions=2000"));
+
+    // --halt-after without --checkpoint is an error.
+    let out = vax780()
+        .args(base)
+        .args(["--halt-after", "1"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint"));
 }
 
 #[test]
