@@ -27,3 +27,12 @@ cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
 cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
     --checkpoint "$CKPT_DIR/campaign.ckpt" > "$CKPT_DIR/resumed.txt"
 diff "$CKPT_DIR/uninterrupted.txt" "$CKPT_DIR/resumed.txt"
+
+# Simulator benchmark gate (the fast-loop trajectory): run the naive-vs-fast
+# bench and fail on ANY instrument divergence between the two interpreter
+# loops — bit-identical histograms, hardware counters, and trace streams,
+# or nonzero exit. Sizes are pinned smaller than the committed BENCH_5.json
+# (which is regenerated at the default spec) so the gate stays fast; the
+# equivalence machinery exercised is identical.
+cargo run --release -- bench --instructions 200000 --trace-instructions 10000 \
+    --warmup 10000 --repeat 2 --json "$CKPT_DIR/BENCH_ci.json"

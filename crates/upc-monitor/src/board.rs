@@ -91,6 +91,10 @@ impl Default for HistogramBoard {
 }
 
 impl CycleSink for HistogramBoard {
+    // The board is a pure aggregator: a batched add of `n` issues is
+    // exactly `n` single bumps, so the cycle loop may coalesce runs.
+    const COALESCE_OK: bool = true;
+
     #[inline]
     fn record_issue(&mut self, addr: MicroAddr) {
         if self.collecting {
@@ -102,6 +106,13 @@ impl CycleSink for HistogramBoard {
     fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
         if self.collecting {
             self.counts.bump_stall(addr, cycles);
+        }
+    }
+
+    #[inline]
+    fn record_issue_run(&mut self, addr: MicroAddr, n: u32) {
+        if self.collecting {
+            self.counts.add_issue(addr, u64::from(n));
         }
     }
 }

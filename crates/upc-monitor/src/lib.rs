@@ -54,11 +54,36 @@ use vax_ucode::MicroAddr;
 /// through the tuple fan-out: `(&mut board, &mut tracer)` is itself a
 /// `CycleSink` that forwards every event to both.
 pub trait CycleSink {
+    /// May the cycle loop coalesce a run of identical per-cycle
+    /// `record_issue` calls into one [`record_issue_run`] call?
+    ///
+    /// Pure aggregators (histogram, null) opt in: a batched add is
+    /// indistinguishable from `n` single adds. Sinks that derive state
+    /// from the *call sequence* — an event tracer whose clock advances
+    /// per `record_issue`, stamping interleaved `trace_event`s — must
+    /// leave this `false` so the loop keeps the naive one-call-per-cycle
+    /// feed and the recorded stream stays bit-identical.
+    ///
+    /// (`record_stall` needs no run form: the cycle loop already charges
+    /// a whole stall burst with a single call.)
+    const COALESCE_OK: bool = false;
+
     /// One microinstruction issued (executed, not stalled) at `addr`.
     fn record_issue(&mut self, addr: MicroAddr);
 
     /// `cycles` stall cycles charged to the microinstruction at `addr`.
     fn record_stall(&mut self, addr: MicroAddr, cycles: u32);
+
+    /// `n` consecutive issue cycles at the same `addr`. Only invoked by
+    /// loops that checked [`COALESCE_OK`](CycleSink::COALESCE_OK); the
+    /// default expands to `n` single calls so order-sensitive sinks are
+    /// correct even if one slips through.
+    #[inline]
+    fn record_issue_run(&mut self, addr: MicroAddr, n: u32) {
+        for _ in 0..n {
+            self.record_issue(addr);
+        }
+    }
 
     /// A typed machine event (decode, retire, cache access, …).
     #[inline]
@@ -78,10 +103,18 @@ pub trait CycleSink {
 /// board and a tracer can observe the same run without duplicating the
 /// emission sites.
 impl<A: CycleSink, B: CycleSink> CycleSink for (A, B) {
+    const COALESCE_OK: bool = A::COALESCE_OK && B::COALESCE_OK;
+
     #[inline]
     fn record_issue(&mut self, addr: MicroAddr) {
         self.0.record_issue(addr);
         self.1.record_issue(addr);
+    }
+
+    #[inline]
+    fn record_issue_run(&mut self, addr: MicroAddr, n: u32) {
+        self.0.record_issue_run(addr, n);
+        self.1.record_issue_run(addr, n);
     }
 
     #[inline]
@@ -108,17 +141,29 @@ impl<A: CycleSink, B: CycleSink> CycleSink for (A, B) {
 pub struct NullSink;
 
 impl CycleSink for NullSink {
+    const COALESCE_OK: bool = true;
+
     #[inline]
     fn record_issue(&mut self, _addr: MicroAddr) {}
 
     #[inline]
     fn record_stall(&mut self, _addr: MicroAddr, _cycles: u32) {}
+
+    #[inline]
+    fn record_issue_run(&mut self, _addr: MicroAddr, _n: u32) {}
 }
 
 impl<S: CycleSink + ?Sized> CycleSink for &mut S {
+    const COALESCE_OK: bool = S::COALESCE_OK;
+
     #[inline]
     fn record_issue(&mut self, addr: MicroAddr) {
         (**self).record_issue(addr);
+    }
+
+    #[inline]
+    fn record_issue_run(&mut self, addr: MicroAddr, n: u32) {
+        (**self).record_issue_run(addr, n);
     }
 
     #[inline]

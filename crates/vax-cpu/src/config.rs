@@ -35,6 +35,29 @@ pub struct CpuConfig {
     /// patches on production machines executed at a steady rate. 0
     /// disables.
     pub patch_abort_period: u32,
+    /// Use the predecode cache: parse each static instruction once and
+    /// replay the decoded form on re-execution, charging the identical
+    /// IB/decode cycles. A **host-side** optimization with no simulated
+    /// effect — histograms, hardware counters, and trace streams are
+    /// bit-identical to the naive loop (`tests/perf_equivalence.rs`
+    /// proves it; `vax780 bench` measures the speedup). `false` selects
+    /// the naive byte-by-byte loop, kept as the executable reference.
+    pub predecode: bool,
+    /// Use the sink fast paths: coalesce consecutive same-µPC issues
+    /// into one batched histogram call and skip prefetcher ticks that
+    /// provably mutate nothing. Like `predecode`, a host-side
+    /// optimization with no simulated effect; `false` restores the
+    /// per-cycle loop the equivalence suite and `vax780 bench` use as
+    /// the reference.
+    pub sink_batch: bool,
+    /// Use the generation-validated host shortcuts in the machine model:
+    /// the prefetcher's cheap-gate tick and the one-entry translation
+    /// shortcuts (IB and EBOX) that skip a TB set scan while the TB
+    /// generation proves the scan's outcome. All are host-side
+    /// optimizations counted exactly like the work they elide; `false`
+    /// selects the straight-line reference implementation (full scans,
+    /// every prefetcher cycle runs the full body).
+    pub host_shortcuts: bool,
 }
 
 impl Default for CpuConfig {
@@ -48,6 +71,9 @@ impl Default for CpuConfig {
             exc_service_body_cycles: 12,
             char_loop_spacing: 5,
             patch_abort_period: 12,
+            predecode: true,
+            sink_batch: true,
+            host_shortcuts: true,
         }
     }
 }
@@ -57,6 +83,19 @@ impl CpuConfig {
     pub fn with_decode_overlap() -> CpuConfig {
         CpuConfig {
             decode_overlap: true,
+            ..CpuConfig::default()
+        }
+    }
+
+    /// The naive reference loop: byte-by-byte decode on every dynamic
+    /// execution, no predecode cache, per-cycle sink calls. This is the
+    /// pre-optimization interpreter, kept as the executable reference;
+    /// `vax780 bench` and the equivalence suite compare against it.
+    pub fn naive_loop() -> CpuConfig {
+        CpuConfig {
+            predecode: false,
+            sink_batch: false,
+            host_shortcuts: false,
             ..CpuConfig::default()
         }
     }

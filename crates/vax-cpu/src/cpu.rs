@@ -5,6 +5,7 @@ use crate::exec;
 use crate::fault::{CpuError, Fault};
 use crate::ib::InstructionBuffer;
 use crate::interrupt::{Interrupt, InterruptLines};
+use crate::predecode::{PdOp, PredecodeCache, PredecodedInst};
 use crate::psl::{Mode, Psl};
 use crate::regs::RegFile;
 use crate::specifier;
@@ -78,6 +79,8 @@ pub struct Cpu {
     /// System control block base (physical).
     pub(crate) scbb: u32,
     pub(crate) insn_count: u64,
+    /// Host-side predecode cache (empty when `config.predecode` is off).
+    predecode: PredecodeCache,
 }
 
 impl std::fmt::Debug for Cpu {
@@ -96,12 +99,14 @@ impl Cpu {
     pub fn new(mem: MemorySubsystem, config: CpuConfig, pc: u32) -> Cpu {
         let mut regs = RegFile::new();
         regs.set_pc(pc);
+        let mut mem = mem;
+        mem.set_host_shortcuts(config.host_shortcuts);
         Cpu {
             regs,
             psl: Psl::kernel_boot(),
             mem,
             cs: ControlStore::build(),
-            ib: InstructionBuffer::new(pc),
+            ib: InstructionBuffer::new(pc, config.host_shortcuts),
             now: 0,
             config,
             lines: InterruptLines::new(),
@@ -109,6 +114,7 @@ impl Cpu {
             pcbb: 0,
             scbb: 0,
             insn_count: 0,
+            predecode: PredecodeCache::new(config.predecode),
         }
     }
 
@@ -127,6 +133,12 @@ impl Cpu {
     /// The control store listing (shared with the analysis).
     pub fn control_store(&self) -> &ControlStore {
         &self.cs
+    }
+
+    /// Predecode-cache hit/miss/insert counts (host-side diagnostics;
+    /// all zero in the naive loop).
+    pub fn predecode_stats(&self) -> crate::predecode::PredecodeStats {
+        self.predecode.stats()
     }
 
     /// The memory subsystem.
@@ -212,6 +224,73 @@ impl Cpu {
         self.now += 1;
     }
 
+    /// Issue `n` consecutive compute microinstructions at `addr` (the
+    /// body loops of the service microroutines). When the sink's
+    /// monomorphized type permits coalescing ([`CycleSink::COALESCE_OK`])
+    /// and the configuration enables the sink fast path, the issues are
+    /// recorded with one batched call and prefetcher ticks that provably
+    /// do nothing are skipped in bulk; the simulated machine (counters,
+    /// events, clock) is bit-identical either way.
+    #[inline]
+    pub(crate) fn micro_compute_run<S: CycleSink>(
+        &mut self,
+        addr: MicroAddr,
+        n: u32,
+        sink: &mut S,
+    ) {
+        if !S::COALESCE_OK || !self.config.sink_batch {
+            for _ in 0..n {
+                self.micro_compute(addr, sink);
+            }
+            return;
+        }
+        if n == 0 {
+            return;
+        }
+        sink.record_issue_run(addr, n);
+        if self.mem.has_fault_hook() {
+            // A fault hook must observe every µPC in order: no skipping.
+            for _ in 0..n {
+                self.mem.observe_upc(addr.value());
+                let fetch = self.ib.tick(&mut self.mem, self.now, true);
+                note_ib_fetch(fetch, sink);
+                self.now += 1;
+            }
+            return;
+        }
+        // No hook: observe_upc is a no-op, so only the prefetcher is
+        // left — run it with no-op ticks skipped in bulk.
+        self.run_ticks_bulk(n, sink);
+    }
+
+    /// Advance the clock by `n` cycles, ticking the prefetcher exactly
+    /// where the per-cycle loop would have ticked it to any effect.
+    /// Nothing consumes IB bytes inside the run, so its evolution is
+    /// fully predictable: a tick mutates nothing while the in-flight
+    /// fill is not ready (jump straight to `ready_at`), and once there
+    /// is no fill and the IB is full (or waiting on a TB miss) every
+    /// remaining tick is a no-op. The ticks that do run — and their
+    /// fetch outcomes — are exactly the mutating ones the per-cycle
+    /// loop would have run, at the same `now` values.
+    #[inline]
+    fn run_ticks_bulk<S: CycleSink>(&mut self, n: u32, sink: &mut S) {
+        let end = self.now + u64::from(n);
+        while self.now < end {
+            if let Some(ready) = self.ib.pending_ready_at() {
+                if ready > self.now {
+                    self.now = ready.min(end);
+                    continue;
+                }
+            } else if self.ib.quiescent() {
+                self.now = end;
+                break;
+            }
+            let fetch = self.ib.tick(&mut self.mem, self.now, true);
+            note_ib_fetch(fetch, sink);
+            self.now += 1;
+        }
+    }
+
     /// Burn `cycles` stall cycles charged to `addr`, tagged with `cause`
     /// for the trace (the histogram only keys stalls by µPC).
     pub(crate) fn stall<S: CycleSink>(
@@ -226,6 +305,13 @@ impl Cpu {
         }
         sink.record_stall(addr, cycles);
         sink.trace_event(MachineEvent::Stall { cause, cycles });
+        // Stall cycles don't observe a µPC, so the per-cycle work is the
+        // prefetcher alone; skip its no-op ticks in bulk when the sink
+        // permits.
+        if S::COALESCE_OK && self.config.sink_batch {
+            self.run_ticks_bulk(cycles, sink);
+            return;
+        }
         for _ in 0..cycles {
             let fetch = self.ib.tick(&mut self.mem, self.now, true);
             note_ib_fetch(fetch, sink);
@@ -258,9 +344,11 @@ impl Cpu {
     ) -> Result<(), Fault> {
         self.micro_compute(self.cs.abort(), sink);
         self.micro_compute(self.cs.tb_miss_entry(), sink);
-        for _ in 0..self.config.tb_miss_head_cycles {
-            self.micro_compute(self.cs.tb_miss_body(), sink);
-        }
+        self.micro_compute_run(
+            self.cs.tb_miss_body(),
+            self.config.tb_miss_head_cycles,
+            sink,
+        );
         let fill = self.mem.tb_fill(va, self.now);
         // The fill's PTE reads went through the cache as D-stream
         // references (even for an I-stream miss, and even when the walk
@@ -275,9 +363,11 @@ impl Cpu {
         });
         let fill = fill.map_err(Fault::from)?;
         if let Some(sys) = fill.system_fill {
-            for _ in 0..self.config.tb_miss_double_cycles {
-                self.micro_compute(self.cs.tb_miss_body(), sink);
-            }
+            self.micro_compute_run(
+                self.cs.tb_miss_body(),
+                self.config.tb_miss_double_cycles,
+                sink,
+            );
             let addr = self.cs.tb_miss_sys_read();
             sink.record_issue(addr);
             self.mem.observe_upc(addr.value());
@@ -293,9 +383,11 @@ impl Cpu {
         note_ib_fetch(fetch, sink);
         self.now += 1;
         self.stall(addr, fill.pte_read.stall, StallCause::Read, sink);
-        for _ in 0..self.config.tb_miss_tail_cycles {
-            self.micro_compute(self.cs.tb_miss_insert(), sink);
-        }
+        self.micro_compute_run(
+            self.cs.tb_miss_insert(),
+            self.config.tb_miss_tail_cycles,
+            sink,
+        );
         Ok(())
     }
 
@@ -498,6 +590,40 @@ impl Cpu {
         }
     }
 
+    /// Skip `n` instruction bytes whose values are already known from
+    /// the predecode cache. Cycle-for-cycle equivalent to `n` calls of
+    /// [`Cpu::ib_take_byte`]: available bytes are discarded in bulk at
+    /// zero simulated cost, and starvation stalls / I-stream TB misses
+    /// are handled at the identical points with the identical cycles.
+    pub(crate) fn ib_skip_bytes<S: CycleSink>(
+        &mut self,
+        n: usize,
+        point: StallPoint,
+        sink: &mut S,
+    ) -> Result<(), Fault> {
+        let mut left = n;
+        loop {
+            let k = self.ib.skip_bytes(left);
+            if k > 0 {
+                self.regs.set_pc(self.regs.pc().wrapping_add(k as u32));
+                left -= k;
+            }
+            if left == 0 {
+                return Ok(());
+            }
+            if let Some(va) = self.ib.tb_miss() {
+                self.tb_microtrap(va, MemStream::IFetch, sink)?;
+                self.ib.clear_tb_miss();
+                continue;
+            }
+            sink.trace_event(MachineEvent::Stall {
+                cause: StallCause::Ib(point),
+                cycles: 1,
+            });
+            self.micro_compute(self.cs.ib_stall(point), sink);
+        }
+    }
+
     /// Flush the IB for an execution redirect (taken branch, interrupt,
     /// exception). A flagged-but-unserviced I-stream TB miss is reported
     /// to the sink before it is discarded: the hardware monitor counted
@@ -571,6 +697,18 @@ impl Cpu {
 
     fn execute_one<S: CycleSink>(&mut self, sink: &mut S) -> Result<Opcode, ExecStop> {
         let pc_at_start = self.regs.pc();
+        // Predecode fast path: replay the cached parse of this static
+        // instruction. Bit-identical to the parse path below — same bytes
+        // consumed, same microinstructions issued, same evaluation code.
+        if self.config.predecode {
+            let space = self.code_space_tag(pc_at_start);
+            if let Some(idx) = self
+                .predecode
+                .lookup(pc_at_start, space, self.mem.decode_gen())
+            {
+                return self.execute_predecoded(idx, pc_at_start, sink);
+            }
+        }
         let opbyte = self
             .ib_take_byte(StallPoint::Decode, sink)
             .map_err(ExecStop::Fault)?;
@@ -584,29 +722,25 @@ impl Cpu {
         if !self.config.decode_overlap || opcode.is_pc_changing() {
             self.micro_compute(self.cs.ird1(), sink);
         }
-        // Microcode-patch abort cycles (§5: "one for each microcode
-        // patch") at a steady rate.
-        if self.config.patch_abort_period > 0
-            && self
-                .insn_count
-                .is_multiple_of(u64::from(self.config.patch_abort_period))
-        {
-            self.micro_compute(self.cs.abort(), sink);
-        }
-        // Specifier processing.
+        self.patch_abort_cycle(sink);
+        // Specifier processing, recording each parse for the predecode
+        // cache as we go.
+        let mut rec = PredecodedInst::new(opcode);
         let mut ops = specifier::EvalOps::new();
         let mut branch_disp: Option<i32> = None;
         for (i, template) in opcode.operands().iter().enumerate() {
             if template.is_branch_displacement() {
-                let disp = match template.data_type() {
-                    DataType::Byte => {
+                let (disp, bytes) = match template.data_type() {
+                    DataType::Byte => (
                         self.ib_take_byte(StallPoint::BranchDisp, sink)
-                            .map_err(ExecStop::Fault)? as i8 as i32
-                    }
-                    DataType::Word => {
+                            .map_err(ExecStop::Fault)? as i8 as i32,
+                        1u8,
+                    ),
+                    DataType::Word => (
                         self.ib_take_u16(StallPoint::BranchDisp, sink)
-                            .map_err(ExecStop::Fault)? as i16 as i32
-                    }
+                            .map_err(ExecStop::Fault)? as i16 as i32,
+                        2u8,
+                    ),
                     other => unreachable!("displacement of type {other}"),
                 };
                 // The displacement bytes are consumed here (IB stalls land
@@ -614,12 +748,21 @@ impl Cpu {
                 // cycle is spent only if the branch is taken — §5: "the
                 // branch displacement need not be computed when the
                 // instruction does not branch".
+                rec.push(PdOp::Branch { disp, bytes });
                 branch_disp = Some(disp);
             } else {
-                let op =
+                let (op, dec) =
                     specifier::eval_specifier(self, i, *template, sink).map_err(ExecStop::Fault)?;
+                rec.push(PdOp::Spec(dec));
                 ops.push(op);
             }
+        }
+        // All operands parsed cleanly: cache the parse. (Execute-phase
+        // faults don't invalidate a parse; instructions whose *parse*
+        // faults never reach here and stay on this path, preserving
+        // their exact fault payloads.)
+        if self.config.predecode {
+            self.insert_predecode(pc_at_start, rec);
         }
         // Execute phase.
         let specifiers = (ops.len() + usize::from(branch_disp.is_some())) as u8;
@@ -630,6 +773,112 @@ impl Cpu {
             specifiers,
         });
         Ok(opcode)
+    }
+
+    /// Replay a predecode-cache hit: consume the same I-stream bytes and
+    /// issue the same microinstructions as the parse path, evaluating
+    /// operands through the shared `eval_decoded` code. `idx` is the
+    /// cache slot from `PredecodeCache::lookup`, read in place per
+    /// operand: nothing inserts into the cache during a replay, so the
+    /// slot cannot be overwritten under us.
+    fn execute_predecoded<S: CycleSink>(
+        &mut self,
+        idx: usize,
+        pc_at_start: u32,
+        sink: &mut S,
+    ) -> Result<Opcode, ExecStop> {
+        let (opcode, nops) = self.predecode.header_at(idx);
+        self.ib_skip_bytes(1, StallPoint::Decode, sink)
+            .map_err(ExecStop::Fault)?; // the opcode byte
+        sink.trace_event(MachineEvent::Decode { opcode });
+        if !self.config.decode_overlap || opcode.is_pc_changing() {
+            self.micro_compute(self.cs.ird1(), sink);
+        }
+        self.patch_abort_cycle(sink);
+        let mut ops = specifier::EvalOps::new();
+        let mut branch_disp: Option<i32> = None;
+        for i in 0..usize::from(nops) {
+            match self.predecode.op_at(idx, i) {
+                PdOp::Branch { disp, bytes } => {
+                    self.ib_skip_bytes(usize::from(bytes), StallPoint::BranchDisp, sink)
+                        .map_err(ExecStop::Fault)?;
+                    branch_disp = Some(disp);
+                }
+                PdOp::Spec(dec) => {
+                    let op =
+                        specifier::eval_predecoded(self, i, &dec, sink).map_err(ExecStop::Fault)?;
+                    ops.push(op);
+                }
+            }
+        }
+        let specifiers = (ops.len() + usize::from(branch_disp.is_some())) as u8;
+        exec::execute(self, opcode, &ops, branch_disp, sink)?;
+        sink.trace_event(MachineEvent::Retire {
+            opcode,
+            pc: pc_at_start,
+            specifiers,
+        });
+        Ok(opcode)
+    }
+
+    /// Cache the parse of the instruction spanning `[pc, regs.pc())`,
+    /// flagging every physical code page it touches so simulated writes
+    /// there invalidate the cache. If any page fails to resolve (it was
+    /// just fetched, so this cannot normally happen), skip the insert —
+    /// staying on the parse path is always safe.
+    fn insert_predecode(&mut self, pc: u32, inst: PredecodedInst) {
+        let end = self.regs.pc();
+        if end <= pc {
+            return; // PC wrapped mid-instruction: not worth caching.
+        }
+        // Flag exactly the bytes the instruction occupies, page by page
+        // (the range is virtually contiguous but not physically).
+        let mut va = pc;
+        while va < end {
+            let page_end = (va & !(vax_mem::PAGE_BYTES - 1)).wrapping_add(vax_mem::PAGE_BYTES);
+            let chunk_end = if page_end == 0 {
+                end
+            } else {
+                page_end.min(end)
+            };
+            match self.mem.resolve_va(va) {
+                Some(pa) => self.mem.note_code_bytes(pa, chunk_end - va),
+                None => return,
+            }
+            va = chunk_end;
+        }
+        let space = self.code_space_tag(pc);
+        self.predecode
+            .insert(pc, space, self.mem.decode_gen(), inst);
+    }
+
+    /// The predecode address-space tag for code at `pc`: system-space
+    /// code (S0/S1, top VA bit set) is mapped identically for every
+    /// process and shares tag 0; process-space code is tagged with the
+    /// owning space's identity so entries survive context switches.
+    #[inline]
+    fn code_space_tag(&self, pc: u32) -> u64 {
+        if pc & 0x8000_0000 != 0 {
+            0
+        } else {
+            self.mem.space_tag()
+        }
+    }
+
+    /// Microcode-patch abort cycles (§5: "one for each microcode patch")
+    /// at a steady rate: on instruction counts `period, 2·period, …` —
+    /// never at count 0, which would charge a spurious abort on the very
+    /// first instruction of every run and skew short ablations.
+    #[inline]
+    fn patch_abort_cycle<S: CycleSink>(&mut self, sink: &mut S) {
+        if self.config.patch_abort_period > 0
+            && self.insn_count > 0
+            && self
+                .insn_count
+                .is_multiple_of(u64::from(self.config.patch_abort_period))
+        {
+            self.micro_compute(self.cs.abort(), sink);
+        }
     }
 
     fn pending_interrupt(&self) -> Option<PendingInt> {
@@ -668,9 +917,7 @@ impl Cpu {
         );
         self.micro_compute(u_entry, sink);
         let body = self.config.int_service_body_cycles;
-        for _ in 0..body / 2 {
-            self.micro_compute(u_body, sink);
-        }
+        self.micro_compute_run(u_body, body / 2, sink);
         // Hardware interrupts are serviced on the interrupt stack;
         // software interrupts (e.g. VMS rescheduling at level 3) on the
         // current process's kernel stack, so the PC/PSL frame is part of
@@ -686,16 +933,16 @@ impl Cpu {
         let sp = self.regs.sp().wrapping_sub(8);
         self.regs.set_sp(sp);
         // Pushes go through translation; the interrupt stack is wired
-        // resident in the workloads, so faults cannot occur here.
+        // resident in the workloads, so faults cannot occur here. The PSL
+        // slot address must wrap like the SP computation itself did: with
+        // SP < 8 the subtraction wraps and `sp + 4` would overflow.
         let pc = self.regs.pc();
         let psl_word = old_psl.to_u32();
-        let _ = self.write_data(u_write, sp + 4, Width::Long, psl_word, sink);
+        let _ = self.write_data(u_write, sp.wrapping_add(4), Width::Long, psl_word, sink);
         self.micro_compute(u_body, sink);
         self.micro_compute(u_body, sink);
         let _ = self.write_data(u_write, sp, Width::Long, pc, sink);
-        for _ in 0..body - body / 2 {
-            self.micro_compute(u_body, sink);
-        }
+        self.micro_compute_run(u_body, body - body / 2, sink);
         let handler = self.micro_read_phys(u_read, self.scbb + u32::from(vector), sink);
         self.regs.set_pc(handler);
         self.flush_ib(handler, sink);
@@ -724,9 +971,7 @@ impl Cpu {
         );
         self.micro_compute(u_abort, sink);
         self.micro_compute(u_entry, sink);
-        for _ in 0..self.config.exc_service_body_cycles {
-            self.micro_compute(u_body, sink);
-        }
+        self.micro_compute_run(u_body, self.config.exc_service_body_cycles, sink);
         let old_psl = self.psl;
         let mut new_psl = self.psl;
         new_psl.mode = Mode::Kernel;
@@ -734,7 +979,13 @@ impl Cpu {
         self.psl = new_psl;
         let sp = self.regs.sp().wrapping_sub(8);
         self.regs.set_sp(sp);
-        let _ = self.write_data(u_write, sp + 4, Width::Long, old_psl.to_u32(), sink);
+        let _ = self.write_data(
+            u_write,
+            sp.wrapping_add(4),
+            Width::Long,
+            old_psl.to_u32(),
+            sink,
+        );
         let _ = self.write_data(u_write, sp, Width::Long, pc_at_fault, sink);
         let handler = self.micro_read_phys(u_read, self.scbb + u32::from(vector), sink);
         if handler == 0 {
@@ -766,9 +1017,7 @@ impl Cpu {
             (self.cs.abort(), self.cs.fault_entry(), self.cs.fault_body());
         self.micro_compute(u_abort, sink);
         self.micro_compute(u_entry, sink);
-        for _ in 0..class.recovery_body_cycles() {
-            self.micro_compute(u_body, sink);
-        }
+        self.micro_compute_run(u_body, class.recovery_body_cycles(), sink);
         // Perturb the memory subsystem the way the real error would
         // have (flushed cache/TB, busy SBI, ...), count it, and log the
         // entry cycle back to the hook.

@@ -47,11 +47,10 @@ pub(crate) fn execute<S: CycleSink>(
 
 // ----- shared helpers --------------------------------------------------------
 
-/// Charge `n` compute cycles to the opcode's execute body.
+/// Charge `n` compute cycles to the opcode's execute body (batched into
+/// one sink call when the sink type permits coalescing).
 pub(crate) fn computes<S: CycleSink>(cpu: &mut Cpu, op: Opcode, n: u32, sink: &mut S) {
-    for _ in 0..n {
-        cpu.micro_compute(cpu.cs.exec_compute(op), sink);
-    }
+    cpu.micro_compute_run(cpu.cs.exec_compute(op), n, sink);
 }
 
 /// The branch target for a displacement branch: displacement is relative

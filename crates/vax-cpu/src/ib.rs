@@ -24,9 +24,10 @@ struct PendingFill {
 /// The instruction buffer.
 #[derive(Debug, Clone)]
 pub struct InstructionBuffer {
-    /// FIFO of fetched bytes.
-    bytes: [u8; IB_BYTES],
-    head: usize,
+    /// FIFO of fetched bytes, packed little-endian: the next byte to
+    /// consume is the low byte, byte `i` of the queue is bits
+    /// `8i..8i+8`. One shift consumes (or accepts) any number of bytes.
+    buf: u64,
     len: usize,
     /// VA of the next byte to *fetch* (not the next to consume).
     fetch_va: u32,
@@ -35,18 +36,35 @@ pub struct InstructionBuffer {
     /// starves (paper §2.1: the flag is recognised when the decode finds
     /// insufficient bytes).
     tb_miss_va: Option<u32>,
+    /// Host-side translation shortcut: the last page the prefetcher
+    /// translated and its frame base, valid while the TB generation is
+    /// unchanged (any TB mutation could have evicted the entry). A
+    /// shortcut hit counts as a TB hit — it *is* one: with the
+    /// generation unchanged the real lookup would find the same entry.
+    tpage: u32,
+    tframe: u32,
+    tgen: u64,
+    /// Use the host-side shortcuts ([`CpuConfig::host_shortcuts`]): the
+    /// cheap tick gate and the same-page translation shortcut. `false`
+    /// runs the straight-line reference body every cycle.
+    ///
+    /// [`CpuConfig::host_shortcuts`]: crate::CpuConfig::host_shortcuts
+    shortcuts: bool,
 }
 
 impl InstructionBuffer {
     /// An empty IB that will fetch from `pc`.
-    pub fn new(pc: u32) -> InstructionBuffer {
+    pub fn new(pc: u32, shortcuts: bool) -> InstructionBuffer {
         InstructionBuffer {
-            bytes: [0; IB_BYTES],
-            head: 0,
+            buf: 0,
             len: 0,
             fetch_va: pc,
             pending: None,
             tb_miss_va: None,
+            tpage: 0,
+            tframe: 0,
+            tgen: 0,
+            shortcuts,
         }
     }
 
@@ -68,11 +86,29 @@ impl InstructionBuffer {
         self.tb_miss_va = None;
     }
 
+    /// When the in-flight fill completes, if any. While `now` is before
+    /// this time a [`tick`] is a guaranteed no-op.
+    ///
+    /// [`tick`]: InstructionBuffer::tick
+    #[inline]
+    pub fn pending_ready_at(&self) -> Option<u64> {
+        self.pending.map(|f| f.ready_at)
+    }
+
+    /// True when, with no fill in flight, ticks are no-ops until the
+    /// EBOX consumes bytes or services the TB miss: the IB is full, or
+    /// an I-stream TB miss is waiting.
+    #[inline]
+    pub fn quiescent(&self) -> bool {
+        debug_assert!(self.pending.is_none());
+        self.tb_miss_va.is_some() || self.len >= IB_BYTES
+    }
+
     /// Discard everything and refetch from `pc` (taken branch / REI /
     /// context switch). The in-flight fill, if any, is dropped — its bus
     /// occupancy already happened, as on the real machine.
     pub fn flush(&mut self, pc: u32) {
-        self.head = 0;
+        self.buf = 0;
         self.len = 0;
         self.fetch_va = pc;
         self.pending = None;
@@ -80,21 +116,40 @@ impl InstructionBuffer {
     }
 
     /// Consume one byte.
+    #[inline]
     pub fn take_byte(&mut self) -> Option<u8> {
         if self.len == 0 {
             return None;
         }
-        let b = self.bytes[self.head];
-        self.head = (self.head + 1) % IB_BYTES;
+        let b = self.buf as u8;
+        self.buf >>= 8;
         self.len -= 1;
         Some(b)
     }
 
-    fn push_byte(&mut self, b: u8) {
-        debug_assert!(self.len < IB_BYTES);
-        let tail = (self.head + self.len) % IB_BYTES;
-        self.bytes[tail] = b;
-        self.len += 1;
+    /// Discard up to `n` buffered bytes in one step, returning how many
+    /// were consumed. Timing-equivalent to that many [`take_byte`]
+    /// calls: consuming an available byte costs no cycles, so only the
+    /// count left when the buffer runs dry is observable.
+    ///
+    /// [`take_byte`]: InstructionBuffer::take_byte
+    #[inline]
+    pub fn skip_bytes(&mut self, n: usize) -> usize {
+        let k = n.min(self.len);
+        // k == 8 would shift by the full width; `buf = 0` is the intent.
+        self.buf = if k < IB_BYTES { self.buf >> (8 * k) } else { 0 };
+        self.len -= k;
+        k
+    }
+
+    /// Append `take` bytes of `data` (starting at byte `offset`) behind
+    /// the buffered ones.
+    #[inline]
+    fn push_bytes(&mut self, data: u32, offset: usize, take: usize) {
+        debug_assert!((1..=4).contains(&take) && self.len + take <= IB_BYTES && offset + take <= 4);
+        let chunk = (u64::from(data) >> (8 * offset)) & ((1u64 << (8 * take)) - 1);
+        self.buf |= chunk << (8 * self.len);
+        self.len += take;
     }
 
     /// One prefetcher cycle at time `now`. `port_free` is false when the
@@ -103,7 +158,34 @@ impl InstructionBuffer {
     /// Returns `Some(miss)` when a cache reference was issued this cycle
     /// (so the caller can attribute the I-stream cache/SBI activity to
     /// its observers), `None` otherwise.
+    ///
+    /// This wrapper is the cheap inline gate: most cycles the prefetcher
+    /// has nothing to do (a fill is in flight but not ready, or the IB is
+    /// full), and those ticks return without touching the slow body.
+    #[inline]
     pub fn tick(&mut self, mem: &mut MemorySubsystem, now: u64, port_free: bool) -> Option<bool> {
+        if !self.shortcuts {
+            return self.tick_work(mem, now, port_free);
+        }
+        match self.pending {
+            Some(fill) if fill.ready_at > now => None,
+            Some(_) => self.tick_work(mem, now, port_free),
+            None => {
+                if self.tb_miss_va.is_some() || self.len >= IB_BYTES || !port_free {
+                    None
+                } else {
+                    self.tick_work(mem, now, port_free)
+                }
+            }
+        }
+    }
+
+    /// The prefetcher cycle proper; only reached when [`tick`] decided
+    /// there is real work (a ready fill to accept and/or a reference to
+    /// issue).
+    ///
+    /// [`tick`]: InstructionBuffer::tick
+    fn tick_work(&mut self, mem: &mut MemorySubsystem, now: u64, port_free: bool) -> Option<bool> {
         // Accept a completed fill first.
         if let Some(fill) = self.pending {
             if fill.ready_at <= now {
@@ -112,9 +194,7 @@ impl InstructionBuffer {
                 let avail = 4 - offset;
                 let room = IB_BYTES - self.len;
                 let take = avail.min(room);
-                for i in 0..take {
-                    self.push_byte((fill.data >> ((offset + i) * 8)) as u8);
-                }
+                self.push_bytes(fill.data, offset, take);
                 self.fetch_va = fill.va.wrapping_add(take as u32);
                 mem.note_ib_bytes(take as u32);
             }
@@ -122,20 +202,35 @@ impl InstructionBuffer {
         // Issue a new reference if there is room, no fill in flight, no
         // unserviced TB miss, and the cache port is free.
         if self.pending.is_none() && self.tb_miss_va.is_none() && self.len < IB_BYTES && port_free {
-            match mem.translate(self.fetch_va, Stream::IFetch) {
-                Ok(pa) => {
-                    let outcome = mem.ifetch(pa & !3, now);
-                    self.pending = Some(PendingFill {
-                        data: outcome.data,
-                        ready_at: outcome.ready_at,
-                        va: self.fetch_va,
-                    });
-                    return Some(outcome.miss);
+            // Same-page shortcut: while the TB generation is unchanged,
+            // the last translation's entry is still resident, so a real
+            // lookup would hit with the same frame. Count the hit and
+            // skip the set scan.
+            let page = self.fetch_va & !(vax_mem::PAGE_BYTES - 1);
+            let pa = if self.shortcuts && self.tgen == mem.tb_generation() && self.tpage == page {
+                mem.counters_mut().tb_hits += 1;
+                self.tframe + (self.fetch_va & (vax_mem::PAGE_BYTES - 1))
+            } else {
+                match mem.translate(self.fetch_va, Stream::IFetch) {
+                    Ok(pa) => {
+                        self.tpage = page;
+                        self.tframe = pa - (self.fetch_va & (vax_mem::PAGE_BYTES - 1));
+                        self.tgen = mem.tb_generation();
+                        pa
+                    }
+                    Err(_) => {
+                        self.tb_miss_va = Some(self.fetch_va);
+                        return None;
+                    }
                 }
-                Err(_) => {
-                    self.tb_miss_va = Some(self.fetch_va);
-                }
-            }
+            };
+            let outcome = mem.ifetch(pa & !3, now);
+            self.pending = Some(PendingFill {
+                data: outcome.data,
+                ready_at: outcome.ready_at,
+                va: self.fetch_va,
+            });
+            return Some(outcome.miss);
         }
         None
     }
@@ -163,7 +258,7 @@ mod tests {
         let code: Vec<u8> = (1..=16).collect();
         let (mut mem, pc) = machine_with_code(&code);
         mem.tb_fill(pc, 0).unwrap();
-        let mut ib = InstructionBuffer::new(pc);
+        let mut ib = InstructionBuffer::new(pc, true);
         let mut now = 10;
         let mut got = Vec::new();
         while got.len() < 8 && now < 200 {
@@ -181,7 +276,7 @@ mod tests {
         let code = [0u8; 4];
         let (mut mem, pc) = machine_with_code(&code);
         // No tb_fill: the first reference misses.
-        let mut ib = InstructionBuffer::new(pc);
+        let mut ib = InstructionBuffer::new(pc, true);
         let _ = ib.tick(&mut mem, 0, true);
         assert_eq!(ib.tb_miss(), Some(pc));
         assert_eq!(ib.available(), 0);
@@ -201,7 +296,7 @@ mod tests {
         let code: Vec<u8> = (1..=32).collect();
         let (mut mem, pc) = machine_with_code(&code);
         mem.tb_fill(pc, 0).unwrap();
-        let mut ib = InstructionBuffer::new(pc);
+        let mut ib = InstructionBuffer::new(pc, true);
         for now in 10..40 {
             let _ = ib.tick(&mut mem, now, true);
         }
@@ -221,7 +316,7 @@ mod tests {
         let code = [0xAAu8; 8];
         let (mut mem, pc) = machine_with_code(&code);
         mem.tb_fill(pc, 0).unwrap();
-        let mut ib = InstructionBuffer::new(pc);
+        let mut ib = InstructionBuffer::new(pc, true);
         let _ = ib.tick(&mut mem, 0, false);
         assert_eq!(mem.counters().ib_requests, 0, "no request while port busy");
         let _ = ib.tick(&mut mem, 1, true);
@@ -235,7 +330,7 @@ mod tests {
         let code: Vec<u8> = (1..=24).collect();
         let (mut mem, pc) = machine_with_code(&code);
         mem.tb_fill(pc, 0).unwrap();
-        let mut ib = InstructionBuffer::new(pc);
+        let mut ib = InstructionBuffer::new(pc, true);
         let mut now = 0;
         while ib.available() < 8 {
             let _ = ib.tick(&mut mem, now, true);

@@ -36,6 +36,7 @@ mod ib;
 mod interrupt;
 mod ipr;
 mod operand;
+mod predecode;
 mod psl;
 mod regs;
 mod specifier;
@@ -45,5 +46,6 @@ pub use cpu::{Cpu, RunOutcome, StepOutcome};
 pub use fault::{CpuError, Fault};
 pub use interrupt::Interrupt;
 pub use ipr::IprReg;
+pub use predecode::PredecodeStats;
 pub use psl::{Mode, Psl};
 pub use regs::RegFile;

@@ -63,6 +63,7 @@ impl Cache {
 
     /// Bring the block containing `pa` in (random victim if the set is
     /// full). No-op if already present.
+    #[inline]
     pub fn fill(&mut self, pa: u32) {
         let (set, tag) = self.set_and_tag(pa);
         let range = self.set_lines(set);

@@ -52,10 +52,18 @@ impl PhysMem {
         u16::from_le_bytes([self.read_u8(pa), self.read_u8(pa.wrapping_add(1))])
     }
 
-    /// Read a little-endian longword.
+    /// Read a little-endian longword: one slice load when the four bytes
+    /// are contiguous, bytewise (wrapping through the address mask) only
+    /// in the degenerate end-of-memory case.
     #[inline]
     pub fn read_u32(&self, pa: u32) -> u32 {
-        u32::from(self.read_u16(pa)) | (u32::from(self.read_u16(pa.wrapping_add(2))) << 16)
+        let i = self.idx(pa);
+        match self.bytes.get(i..i + 4) {
+            Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+            None => {
+                u32::from(self.read_u16(pa)) | (u32::from(self.read_u16(pa.wrapping_add(2))) << 16)
+            }
+        }
     }
 
     /// Read a little-endian quadword.

@@ -116,6 +116,9 @@ pub struct TbMiss {
     pub half: TbHalf,
 }
 
+/// Granularity of the predecode write-invalidation bitmap.
+const CODE_BLOCK_BYTES: usize = 64;
+
 /// The full memory subsystem of Figure 1.
 #[derive(Debug)]
 pub struct MemorySubsystem {
@@ -138,6 +141,33 @@ pub struct MemorySubsystem {
     /// Fault-injection hook (None on the happy path; installing one is
     /// how `vax780 inject` perturbs the machine).
     fault_hook: Option<Box<dyn FaultHook>>,
+    /// Generation stamp for host-side predecode caches layered above this
+    /// subsystem (see `vax_cpu`). Bumped whenever previously decoded
+    /// instruction bytes could be stale: a simulated write into a
+    /// physical page flagged as holding predecoded code. (Address-space
+    /// switches don't bump it — predecode entries are tagged with
+    /// [`MemorySubsystem::space_tag`] instead.) Starts at 1 so 0 can
+    /// serve as a never-valid sentinel.
+    decode_gen: u64,
+    /// One-entry translation shortcut (same argument as the IB
+    /// prefetcher's): the page and frame base of the last successful
+    /// [`MemorySubsystem::translate`], valid while the TB generation is
+    /// unchanged. A shortcut hit counts as a TB hit — it *is* one.
+    t_page: u32,
+    t_frame: u32,
+    t_gen: u64,
+    /// Use the one-entry translation shortcut. `false` scans the TB on
+    /// every translate — the straight-line reference the equivalence
+    /// suite compares against (see `CpuConfig::host_shortcuts` in
+    /// `vax_cpu`).
+    shortcuts: bool,
+    /// Bitmap over 64-byte physical blocks currently holding predecoded
+    /// instruction bytes. Block granularity matters: workload images
+    /// commonly keep writable data on the same page as code, and
+    /// page-granular flagging would turn every such store into a full
+    /// predecode flush. Cleared on every generation bump: the bump
+    /// invalidates all cached decode, so the flagged set restarts empty.
+    code_blocks: Vec<u64>,
 }
 
 impl MemorySubsystem {
@@ -155,6 +185,12 @@ impl MemorySubsystem {
             counters: HwCounters::new(),
             last_fill_reads: (None, None),
             fault_hook: None,
+            decode_gen: 1,
+            t_page: 0,
+            t_frame: 0,
+            t_gen: 0,
+            shortcuts: true,
+            code_blocks: vec![0; (config.phys_bytes as usize).div_ceil(CODE_BLOCK_BYTES * 64)],
             config,
         }
     }
@@ -174,6 +210,14 @@ impl MemorySubsystem {
         &mut self.phys
     }
 
+    /// Enable or disable the host-side one-entry translation shortcut
+    /// (see `CpuConfig::host_shortcuts` in `vax_cpu`). On by default;
+    /// `false` scans the TB on every translate, the straight-line
+    /// reference behaviour.
+    pub fn set_host_shortcuts(&mut self, on: bool) {
+        self.shortcuts = on;
+    }
+
     /// Install the system page-table description.
     pub fn set_system_map(&mut self, system: SystemMap) {
         self.system = system;
@@ -186,9 +230,84 @@ impl MemorySubsystem {
 
     /// Switch the current process address space (`LDPCTX`): installs the
     /// new base/length registers and flushes the process half of the TB.
+    /// Predecode state keyed by [`space_tag`] needs no flush here: the
+    /// outgoing space's entries go dormant behind their tag.
+    ///
+    /// [`space_tag`]: MemorySubsystem::space_tag
     pub fn switch_address_space(&mut self, space: AddressSpace) {
         self.space = space;
         self.tb.flush_process();
+    }
+
+    // ----- predecode invalidation protocol ---------------------------------
+
+    /// The current predecode generation. A host-side predecode cache
+    /// stamps each entry with the generation at insert time and treats
+    /// any entry with a stale stamp as a miss.
+    #[inline]
+    pub fn decode_gen(&self) -> u64 {
+        self.decode_gen
+    }
+
+    /// Identity of the current process address space: the P0/P1
+    /// page-table bases, which are distinct per process (each process's
+    /// page tables live at their own system VAs). Predecode caches tag
+    /// process-space entries with this value so entries survive context
+    /// switches; system-space code, mapped identically for every
+    /// process, should use the shared tag 0 instead.
+    #[inline]
+    pub fn space_tag(&self) -> u64 {
+        (u64::from(self.space.p0br) << 32) | u64::from(self.space.p1br)
+    }
+
+    /// Flag the 64-byte physical blocks covering `[pa, pa + len)` as
+    /// containing predecoded instruction bytes, so a later simulated
+    /// write into them bumps the generation (self-modifying code cannot
+    /// outrun the cache).
+    pub fn note_code_bytes(&mut self, pa: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let first = (pa as usize) / CODE_BLOCK_BYTES;
+        let last = (pa as usize + len as usize - 1) / CODE_BLOCK_BYTES;
+        for block in first..=last {
+            if let Some(word) = self.code_blocks.get_mut(block / 64) {
+                *word |= 1 << (block % 64);
+            }
+        }
+    }
+
+    #[inline]
+    fn code_block_flagged(&self, pa: u32) -> bool {
+        // Writes are width-aligned within one longword, so a single
+        // reference can never straddle a block boundary.
+        let block = (pa as usize) / CODE_BLOCK_BYTES;
+        self.code_blocks
+            .get(block / 64)
+            .is_some_and(|word| word & (1 << (block % 64)) != 0)
+    }
+
+    /// Invalidate all predecode state above this subsystem: bump the
+    /// generation and forget the flagged pages (re-inserts re-flag).
+    fn invalidate_predecode(&mut self) {
+        self.decode_gen += 1;
+        self.code_blocks.fill(0);
+    }
+
+    /// Software page-table walk with no cache/TB/timing/counter effects:
+    /// the physical address `va` resolves to, if mapped. Predecode
+    /// caches use it to flag code pages at insert time.
+    pub fn resolve_va(&self, va: u32) -> Option<u32> {
+        paging::resolve_va(&self.phys, &self.system, &self.space, va)
+    }
+
+    /// TB content generation: bumped by every insert and flush. A cached
+    /// (page → frame) shortcut taken by the IB prefetcher is valid only
+    /// while the generation is unchanged — any TB mutation could have
+    /// evicted the entry the shortcut relies on.
+    #[inline]
+    pub fn tb_generation(&self) -> u64 {
+        self.tb.generation()
     }
 
     /// The current process address space.
@@ -224,9 +343,21 @@ impl MemorySubsystem {
     /// Returns [`TbMiss`] when the TB has no entry for the page.
     #[inline]
     pub fn translate(&mut self, va: u32, stream: Stream) -> Result<u32, TbMiss> {
+        // One-entry shortcut: while the TB generation is unchanged, the
+        // entry behind the last successful translation is still
+        // resident, so a real lookup would hit with the same frame.
+        // Count the hit and skip the set scan.
+        let page = va & !(PAGE_BYTES - 1);
+        if self.shortcuts && self.t_gen == self.tb.generation() && self.t_page == page {
+            self.counters.tb_hits += 1;
+            return Ok(self.t_frame + (va & (PAGE_BYTES - 1)));
+        }
         match self.tb.lookup(va) {
             Some(pte) => {
                 self.counters.tb_hits += 1;
+                self.t_page = page;
+                self.t_frame = pte.frame_pa();
+                self.t_gen = self.tb.generation();
                 Ok(pte.frame_pa() + (va & (PAGE_BYTES - 1)))
             }
             None => {
@@ -299,6 +430,7 @@ impl MemorySubsystem {
 
     /// EBOX data read of `width` at physical address `pa` (must be aligned
     /// to `width`; the CPU splits unaligned references).
+    #[inline]
     pub fn read(&mut self, pa: u32, width: Width, now: u64) -> ReadOutcome {
         debug_assert!(
             (pa & 3) + width.bytes() <= 4,
@@ -318,6 +450,7 @@ impl MemorySubsystem {
     }
 
     /// Core read path: aligned longword through the cache.
+    #[inline]
     fn cached_read_u32(&mut self, pa: u32, now: u64, stream: Stream) -> ReadOutcome {
         debug_assert_eq!(pa & 3, 0);
         let hit = self.cache.probe(pa);
@@ -355,6 +488,7 @@ impl MemorySubsystem {
     /// One cycle to initiate (charged by the CPU as the µinstruction
     /// itself); the returned stall is the wait for the previous write to
     /// drain (paper §4.3).
+    #[inline]
     pub fn write(&mut self, pa: u32, width: Width, value: u32, now: u64) -> WriteOutcome {
         // Any offset within one longword is a single reference (the byte
         // rotator handles it); only longword-crossing writes must be
@@ -363,6 +497,11 @@ impl MemorySubsystem {
             (pa & 3) + width.bytes() <= 4,
             "CPU must split longword-crossing writes"
         );
+        // A store into a block holding predecoded code invalidates the
+        // predecode layer (cheap bitmap probe on the common path).
+        if self.code_block_flagged(pa) {
+            self.invalidate_predecode();
+        }
         // Retire completed drains, then stall only if every buffer entry
         // is still occupied (the 11/780 has exactly one).
         self.wbuf.retain(|&done| done > now);
@@ -396,6 +535,7 @@ impl MemorySubsystem {
 
     /// IB longword fetch at `pa` (aligned to 4). Does not stall the EBOX;
     /// returns when the data arrives.
+    #[inline]
     pub fn ifetch(&mut self, pa: u32, now: u64) -> IFetchOutcome {
         debug_assert_eq!(pa & 3, 0);
         self.counters.ib_requests += 1;
@@ -439,6 +579,7 @@ impl MemorySubsystem {
     }
 
     /// Record bytes accepted by the IB (for the §4.1 statistic).
+    #[inline]
     pub fn note_ib_bytes(&mut self, n: u32) {
         self.counters.ib_bytes_delivered += u64::from(n);
     }

@@ -55,6 +55,12 @@ pub struct Tb {
     ways: u32,
     split: bool,
     rng: u32,
+    /// Content generation: bumped by every mutation (insert or flush).
+    /// Lets a caller cache a translation and revalidate it for free —
+    /// an unchanged generation proves the cached entry is still present
+    /// (no insert could have evicted it, no flush dropped it). Starts at
+    /// 1 so 0 can serve as a never-valid sentinel.
+    gen: u64,
 }
 
 impl Tb {
@@ -67,6 +73,7 @@ impl Tb {
             ways: config.ways,
             split: config.split,
             rng: 0x9E37_79B9,
+            gen: 1,
         }
     }
 
@@ -93,8 +100,15 @@ impl Tb {
             .map(|e| e.pte)
     }
 
+    /// The content generation (see the field doc).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
     /// Insert a translation (called by the miss-service microroutine).
     pub fn insert(&mut self, va: u32, pte: Pte) {
+        self.gen += 1;
         let vpn = va >> crate::PAGE_SHIFT;
         let base = self.set_base(va);
         let ways = self.ways as usize;
@@ -118,6 +132,7 @@ impl Tb {
     /// Flush the process half (context switch via `LDPCTX`). On a unified
     /// TB this flushes process-region entries individually.
     pub fn flush_process(&mut self) {
+        self.gen += 1;
         if self.split {
             let half = (self.sets_per_half * self.ways) as usize;
             for e in &mut self.entries[..half] {
@@ -134,6 +149,7 @@ impl Tb {
 
     /// Flush everything.
     pub fn flush_all(&mut self) {
+        self.gen += 1;
         for e in &mut self.entries {
             e.valid = false;
         }

@@ -1,0 +1,445 @@
+//! Reproducible benchmark harness for the simulator itself.
+//!
+//! The paper instruments a real machine; we instrument the *simulator*:
+//! each of the five workloads is run twice under identical machine
+//! configurations — once with the naive byte-by-byte interpreter loop
+//! ([`CpuConfig::naive_loop`]) and once with the predecode-cache fast
+//! loop (the default) — and the harness reports per-workload sim-MIPS
+//! (millions of simulated instructions per host second), wall time, and
+//! the fast/naive speedup.
+//!
+//! Speed without fidelity is worthless, so the harness also *proves*
+//! the two loops are the same machine:
+//!
+//! * the timing runs must produce **bit-identical** µPC histograms and
+//!   hardware counters (and the same simulated cycle count);
+//! * a pair of smaller traced runs — the µPC board and the event tracer
+//!   tee'd off one [`upc_monitor::CycleSink`] feed — must produce
+//!   **bit-identical** event streams, and each run must pass the
+//!   three-way trace/histogram/counter reconciliation on its own.
+//!
+//! Any discrepancy is recorded as a divergence and fails the bench
+//! (`vax780 bench` exits nonzero), making this a trajectory gate: the
+//! fast loop is only allowed to be fast, never different.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use upc_monitor::{Command, Histogram, HistogramBoard, NullSink};
+use vax780_core::measure;
+use vax_cpu::CpuConfig;
+use vax_mem::{HwCounters, MemConfig};
+use vax_trace::Tracer;
+use vax_workloads::{build_machine_with_config, profile, WorkloadKind};
+
+/// What to run. The defaults are the pinned CI configuration — change
+/// them only through the CLI flags, so `BENCH_*.json` files stay
+/// comparable across commits.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchSpec {
+    /// Instructions measured per workload in each timing run.
+    pub timing_instructions: u64,
+    /// Instructions per workload in each traced equivalence run
+    /// (smaller: the tracer records every machine event).
+    pub trace_instructions: u64,
+    /// Warm-up instructions before each measured region.
+    pub warmup: u64,
+    /// Timing repetitions per loop; the *minimum* wall time is reported.
+    /// The minimum, not the mean: simulated work is deterministic, so
+    /// the fastest repetition is the one least disturbed by host noise.
+    pub repeat: u32,
+}
+
+impl Default for BenchSpec {
+    fn default() -> BenchSpec {
+        BenchSpec {
+            timing_instructions: 2_000_000,
+            trace_instructions: 20_000,
+            warmup: 30_000,
+            repeat: 3,
+        }
+    }
+}
+
+/// One workload's timing result.
+#[derive(Debug, Clone)]
+pub struct WorkloadBench {
+    /// Workload name.
+    pub name: &'static str,
+    /// Instructions measured (identical in both loops by construction).
+    pub instructions: u64,
+    /// Simulated cycles of the measured region.
+    pub cycles: u64,
+    /// Host wall time of the naive-loop measured region.
+    pub naive_wall: Duration,
+    /// Host wall time of the fast-loop measured region.
+    pub fast_wall: Duration,
+}
+
+impl WorkloadBench {
+    /// Simulated MIPS of the naive loop.
+    pub fn naive_mips(&self) -> f64 {
+        mips(self.instructions, self.naive_wall)
+    }
+
+    /// Simulated MIPS of the fast loop.
+    pub fn fast_mips(&self) -> f64 {
+        mips(self.instructions, self.fast_wall)
+    }
+
+    /// Fast-over-naive speedup (wall-time ratio).
+    pub fn speedup(&self) -> f64 {
+        self.naive_wall.as_secs_f64() / self.fast_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// The full benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// The spec that produced this report.
+    pub spec: BenchSpec,
+    /// Per-workload timing, in [`WorkloadKind::ALL`] order.
+    pub workloads: Vec<WorkloadBench>,
+    /// Human-readable descriptions of every equivalence violation.
+    /// Empty means the fast loop is bit-identical to the naive loop.
+    pub divergences: Vec<String>,
+}
+
+impl BenchReport {
+    /// Did every equivalence check pass?
+    pub fn is_equivalent(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Total instructions across all timed workloads.
+    pub fn total_instructions(&self) -> u64 {
+        self.workloads.iter().map(|w| w.instructions).sum()
+    }
+
+    /// Summed naive wall time.
+    pub fn naive_wall(&self) -> Duration {
+        self.workloads.iter().map(|w| w.naive_wall).sum()
+    }
+
+    /// Summed fast wall time.
+    pub fn fast_wall(&self) -> Duration {
+        self.workloads.iter().map(|w| w.fast_wall).sum()
+    }
+
+    /// Composite speedup (total naive wall over total fast wall).
+    pub fn composite_speedup(&self) -> f64 {
+        self.naive_wall().as_secs_f64() / self.fast_wall().as_secs_f64().max(1e-9)
+    }
+
+    /// Composite fast-loop sim-MIPS.
+    pub fn composite_fast_mips(&self) -> f64 {
+        mips(self.total_instructions(), self.fast_wall())
+    }
+
+    /// Composite naive-loop sim-MIPS.
+    pub fn composite_naive_mips(&self) -> f64 {
+        mips(self.total_instructions(), self.naive_wall())
+    }
+
+    /// The report as a JSON document (the `BENCH_*.json` schema: see
+    /// DESIGN.md "Host performance").
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"spec\": {{\"timing_instructions\": {}, \"trace_instructions\": {}, \
+             \"warmup\": {}, \"repeat\": {}}},\n",
+            self.spec.timing_instructions,
+            self.spec.trace_instructions,
+            self.spec.warmup,
+            self.spec.repeat
+        ));
+        s.push_str(&format!("  \"equivalent\": {},\n", self.is_equivalent()));
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"instructions\": {}, \"cycles\": {}, \
+                 \"naive_wall_s\": {:.4}, \"fast_wall_s\": {:.4}, \
+                 \"naive_mips\": {:.3}, \"fast_mips\": {:.3}, \"speedup\": {:.3}}}{}\n",
+                w.name,
+                w.instructions,
+                w.cycles,
+                w.naive_wall.as_secs_f64(),
+                w.fast_wall.as_secs_f64(),
+                w.naive_mips(),
+                w.fast_mips(),
+                w.speedup(),
+                if i + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"composite\": {{\"instructions\": {}, \"naive_wall_s\": {:.4}, \
+             \"fast_wall_s\": {:.4}, \"naive_mips\": {:.3}, \"fast_mips\": {:.3}, \
+             \"speedup\": {:.3}}},\n",
+            self.total_instructions(),
+            self.naive_wall().as_secs_f64(),
+            self.fast_wall().as_secs_f64(),
+            self.composite_naive_mips(),
+            self.composite_fast_mips(),
+            self.composite_speedup()
+        ));
+        s.push_str("  \"divergences\": [");
+        for (i, d) in self.divergences.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{}\"",
+                d.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// A fixed-width table for terminal output.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<20} {:>12} {:>10} {:>10} {:>9} {:>9} {:>8}\n",
+            "workload", "instructions", "naive s", "fast s", "naive MIPS", "fast MIPS", "speedup"
+        ));
+        for w in &self.workloads {
+            s.push_str(&format!(
+                "{:<20} {:>12} {:>10.3} {:>10.3} {:>9.2} {:>9.2} {:>7.2}x\n",
+                w.name,
+                w.instructions,
+                w.naive_wall.as_secs_f64(),
+                w.fast_wall.as_secs_f64(),
+                w.naive_mips(),
+                w.fast_mips(),
+                w.speedup()
+            ));
+        }
+        s.push_str(&format!(
+            "{:<20} {:>12} {:>10.3} {:>10.3} {:>9.2} {:>9.2} {:>7.2}x\n",
+            "composite",
+            self.total_instructions(),
+            self.naive_wall().as_secs_f64(),
+            self.fast_wall().as_secs_f64(),
+            self.composite_naive_mips(),
+            self.composite_fast_mips(),
+            self.composite_speedup()
+        ));
+        s
+    }
+}
+
+fn mips(instructions: u64, wall: Duration) -> f64 {
+    instructions as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+}
+
+/// One timed measurement: build, warm up (untimed), measure (timed).
+/// Returns the measurement plus the wall time of the measured region
+/// only, so machine construction and warm-up don't pollute sim-MIPS.
+fn timed_run(
+    kind: WorkloadKind,
+    config: CpuConfig,
+    spec: &BenchSpec,
+) -> (
+    vax780_core::MeasuredWorkload,
+    Duration,
+    vax_cpu::PredecodeStats,
+) {
+    let mut machine = build_machine_with_config(&profile(kind), config, MemConfig::default());
+    let mut null = NullSink;
+    machine
+        .run_instructions(spec.warmup, &mut null)
+        .expect("warmup runs");
+    let start = Instant::now();
+    let measured = measure(&mut machine, spec.timing_instructions);
+    let wall = start.elapsed();
+    let stats = machine.cpu.predecode_stats();
+    (measured, wall, stats)
+}
+
+/// Everything a traced equivalence run observes.
+struct TracedRun {
+    tracer: Tracer,
+    histogram: Histogram,
+    hw: HwCounters,
+    reconciles: bool,
+}
+
+/// Run `kind` with both instruments attached from boot (the µPC board
+/// and the event tracer tee'd off one sink feed), as `vax780 trace`
+/// does, and reconcile the instruments.
+fn traced_run(kind: WorkloadKind, config: CpuConfig, spec: &BenchSpec) -> TracedRun {
+    // Capacity for every event: equivalence on a ring that dropped
+    // events would still hold (both runs drop identically) but a full
+    // stream makes the check maximally strict.
+    let capacity = (spec.trace_instructions as usize)
+        .saturating_mul(96)
+        .clamp(1 << 16, 1 << 23);
+    let mut machine = build_machine_with_config(&profile(kind), config, MemConfig::default());
+    let hw_base = *machine.cpu.mem().counters();
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let mut tracer = Tracer::with_capacity(capacity);
+    {
+        let mut tee = (&mut board, &mut tracer);
+        machine
+            .run_phase("warmup", spec.warmup.min(5_000), &mut tee)
+            .expect("workload runs");
+        machine
+            .run_phase("measure", spec.trace_instructions, &mut tee)
+            .expect("workload runs");
+    }
+    board.execute(Command::Stop);
+    let histogram = board.snapshot();
+    let hw = machine.cpu.mem().counters().delta_since(&hw_base);
+    let reconciles = vax_analysis::reconcile::reconcile(
+        &tracer,
+        &histogram,
+        &hw,
+        machine.cpu.pending_ib_tb_miss(),
+    )
+    .is_ok();
+    TracedRun {
+        tracer,
+        histogram,
+        hw,
+        reconciles,
+    }
+}
+
+/// Compare the two loops' traced runs event-for-event and record every
+/// difference into `divergences`.
+fn check_traces(name: &str, naive: &TracedRun, fast: &TracedRun, divergences: &mut Vec<String>) {
+    if !naive.reconciles {
+        divergences.push(format!(
+            "{name}: naive loop fails instrument reconciliation"
+        ));
+    }
+    if !fast.reconciles {
+        divergences.push(format!("{name}: fast loop fails instrument reconciliation"));
+    }
+    if naive.histogram != fast.histogram {
+        divergences.push(format!("{name}: traced histograms differ"));
+    }
+    if naive.hw != fast.hw {
+        divergences.push(format!("{name}: traced hardware counters differ"));
+    }
+    if naive.tracer.counters() != fast.tracer.counters() {
+        divergences.push(format!("{name}: trace counters differ"));
+    }
+    if naive.tracer.now() != fast.tracer.now() {
+        divergences.push(format!(
+            "{name}: derived trace clocks differ ({} vs {})",
+            naive.tracer.now(),
+            fast.tracer.now()
+        ));
+    }
+    if naive.tracer.dropped() != fast.tracer.dropped()
+        || naive.tracer.len() != fast.tracer.len()
+        || !naive.tracer.events().eq(fast.tracer.events())
+    {
+        divergences.push(format!("{name}: trace event streams differ"));
+    }
+}
+
+/// Run the full benchmark: per-workload naive/fast timing with
+/// bit-identity checks, plus traced-run stream equivalence and
+/// three-way reconciliation in both modes.
+pub fn run_bench(spec: &BenchSpec) -> BenchReport {
+    run_bench_with_progress(spec, |_| {})
+}
+
+/// [`run_bench`] with a progress callback (one line per completed
+/// stage, for interactive use).
+pub fn run_bench_with_progress(spec: &BenchSpec, progress: impl Fn(&str)) -> BenchReport {
+    let mut workloads = Vec::new();
+    let mut divergences = Vec::new();
+    for kind in WorkloadKind::ALL {
+        let name = kind.name();
+        // Interleave the repetitions (naive, fast, naive, fast, …) so a
+        // burst of host load penalizes both loops alike, and keep each
+        // loop's best time.
+        let (mut naive, mut naive_wall, _) = timed_run(kind, CpuConfig::naive_loop(), spec);
+        let (mut fast, mut fast_wall, stats) = timed_run(kind, CpuConfig::default(), spec);
+        for _ in 1..spec.repeat.max(1) {
+            let (m, w, _) = timed_run(kind, CpuConfig::naive_loop(), spec);
+            if w < naive_wall {
+                (naive, naive_wall) = (m, w);
+            }
+            let (m, w, _) = timed_run(kind, CpuConfig::default(), spec);
+            if w < fast_wall {
+                (fast, fast_wall) = (m, w);
+            }
+        }
+        progress(&format!(
+            "{name}: timed naive {:.2}s fast {:.2}s (predecode {} hits / {} misses / {} inserts)",
+            naive_wall.as_secs_f64(),
+            fast_wall.as_secs_f64(),
+            stats.hits,
+            stats.misses,
+            stats.inserts
+        ));
+        if naive.histogram != fast.histogram {
+            divergences.push(format!("{name}: timed histograms differ"));
+        }
+        if naive.counters != fast.counters {
+            divergences.push(format!("{name}: timed hardware counters differ"));
+        }
+        if naive.cycles != fast.cycles || naive.instructions != fast.instructions {
+            divergences.push(format!(
+                "{name}: simulated progress differs ({} insns/{} cycles vs {} insns/{} cycles)",
+                naive.instructions, naive.cycles, fast.instructions, fast.cycles
+            ));
+        }
+        let naive_traced = traced_run(kind, CpuConfig::naive_loop(), spec);
+        let fast_traced = traced_run(kind, CpuConfig::default(), spec);
+        check_traces(name, &naive_traced, &fast_traced, &mut divergences);
+        progress(&format!("{name}: traces compared"));
+        workloads.push(WorkloadBench {
+            name,
+            instructions: fast.instructions,
+            cycles: fast.cycles,
+            naive_wall,
+            fast_wall,
+        });
+    }
+    BenchReport {
+        spec: *spec,
+        workloads,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature bench must come back equivalent — this is the same
+    /// machinery the CI gate runs at full size.
+    #[test]
+    fn mini_bench_is_equivalent() {
+        let spec = BenchSpec {
+            timing_instructions: 3_000,
+            trace_instructions: 2_000,
+            warmup: 1_000,
+            repeat: 1,
+        };
+        let report = run_bench(&spec);
+        assert!(
+            report.is_equivalent(),
+            "divergences: {:?}",
+            report.divergences
+        );
+        assert_eq!(report.workloads.len(), 5);
+        let json = report.to_json();
+        assert!(json.contains("\"equivalent\": true"));
+        assert!(json.contains("\"speedup\""));
+    }
+}

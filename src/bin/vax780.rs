@@ -16,6 +16,8 @@
 //!               [--report]
 //! vax780 report --histogram FILE [--instructions-hint N]
 //! vax780 disasm --workload NAME [--function K] [--lines N]
+//! vax780 bench [--instructions N] [--trace-instructions N] [--warmup N]
+//!              [--json FILE]
 //! vax780 list
 //! ```
 //!
@@ -34,7 +36,10 @@
 //! class quantify ΔCPI per class);
 //! `report` re-analyses a saved histogram (the paper's "additional
 //! interpretation of the raw histogram data", §2.2); `disasm` shows the
-//! generated VAX code a workload actually runs.
+//! generated VAX code a workload actually runs; `bench` measures the
+//! *simulator* — naive byte-by-byte loop vs the predecode-cache fast
+//! loop over all five workloads — and fails unless the two loops
+//! produce bit-identical histograms, counters, and trace streams.
 //!
 //! Unrecognized options are an error: a typo aborts the run instead of
 //! silently measuring the defaults.
@@ -58,6 +63,7 @@ fn main() -> ExitCode {
         Some("report") => checked(cmd_report, "report", &args[1..], REPORT_SPEC),
         Some("disasm") => checked(cmd_disasm, "disasm", &args[1..], DISASM_SPEC),
         Some("lint") => checked(cmd_lint, "lint", &args[1..], LINT_SPEC),
+        Some("bench") => checked(cmd_bench, "bench", &args[1..], BENCH_SPEC),
         Some("list") => checked(
             |_| {
                 for kind in WorkloadKind::ALL {
@@ -76,7 +82,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: vax780 <run|sweep|trace|inject|report|disasm|lint|list> [options]\n\
+const USAGE: &str =
+    "usage: vax780 <run|sweep|trace|inject|report|disasm|lint|bench|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
@@ -95,6 +102,8 @@ const USAGE: &str = "usage: vax780 <run|sweep|trace|inject|report|disasm|lint|li
      disasm  --workload NAME  --function K  --lines N\n\
      lint    --profile NAME  --all-profiles  --image FILE\n\
      \x20       --emit-image FILE  --jsonl  --deny RULE|all\n\
+     bench   --instructions N  --trace-instructions N  --warmup N\n\
+     \x20       --repeat N  --json FILE\n\
      list    (print workload names)";
 
 /// Option spec for one subcommand: `(name, takes_value)`.
@@ -146,6 +155,13 @@ const DISASM_SPEC: Spec = &[
     ("--workload", true),
     ("--function", true),
     ("--lines", true),
+];
+const BENCH_SPEC: Spec = &[
+    ("--instructions", true),
+    ("--trace-instructions", true),
+    ("--warmup", true),
+    ("--repeat", true),
+    ("--json", true),
 ];
 const LINT_SPEC: Spec = &[
     ("--profile", true),
@@ -723,6 +739,74 @@ fn cmd_inject(args: &[String]) -> ExitCode {
         println!("{sensitivity}");
     }
     ExitCode::SUCCESS
+}
+
+/// Benchmark the simulator: naive vs predecode loop over all five
+/// workloads, with bit-identity verification of every instrument.
+/// Nonzero exit on any divergence — speed is only reported once the two
+/// loops are proven to be the same machine.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut spec = vax_perf::BenchSpec::default();
+    if let Some(s) = opt(args, "--instructions") {
+        match s.parse() {
+            Ok(n) => spec.timing_instructions = n,
+            Err(_) => {
+                eprintln!("--instructions wants a positive integer, got '{s}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(s) = opt(args, "--trace-instructions") {
+        match s.parse() {
+            Ok(n) => spec.trace_instructions = n,
+            Err(_) => {
+                eprintln!("--trace-instructions wants a positive integer, got '{s}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(s) = opt(args, "--warmup") {
+        match s.parse() {
+            Ok(n) => spec.warmup = n,
+            Err(_) => {
+                eprintln!("--warmup wants a non-negative integer, got '{s}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(s) = opt(args, "--repeat") {
+        match s.parse() {
+            Ok(n) if n >= 1 => spec.repeat = n,
+            _ => {
+                eprintln!("--repeat wants a positive integer, got '{s}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!(
+        "benchmarking: 5 workloads x {} timed (best of {}) + {} traced instructions, naive vs fast loop ...",
+        spec.timing_instructions, spec.repeat, spec.trace_instructions
+    );
+    let report = vax_perf::run_bench_with_progress(&spec, |line| eprintln!("  {line}"));
+    println!("=== simulator benchmark (naive vs predecode loop) ===");
+    print!("{}", report.render_table());
+    if let Some(path) = opt(args, "--json") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {path}");
+    }
+    if report.is_equivalent() {
+        println!("equivalence: OK (histograms, counters, and trace streams bit-identical)");
+        ExitCode::SUCCESS
+    } else {
+        println!("equivalence: FAILED");
+        for d in &report.divergences {
+            println!("  divergence: {d}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_report(args: &[String]) -> ExitCode {
