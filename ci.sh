@@ -28,6 +28,20 @@ cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
     --checkpoint "$CKPT_DIR/campaign.ckpt" > "$CKPT_DIR/resumed.txt"
 diff "$CKPT_DIR/uninterrupted.txt" "$CKPT_DIR/resumed.txt"
 
+# Self-characterization gate: the full probe campaign — every opcode x
+# addressing-mode pair the five profiles execute, plus the per-mode
+# reference carriers — must measure, reconcile all three instruments
+# exactly, and agree with the static latency model everywhere except
+# the refinements recorded (with evidence) in PROBE_ALLOW.txt. Stale
+# allowlist entries are warnings, promoted to errors here by --deny all.
+cargo run --release -- probe --allowlist PROBE_ALLOW.txt --deny all \
+    --out "$CKPT_DIR/probe-tables.txt"
+# The artifact must round-trip and carry its provenance stamps.
+test -s "$CKPT_DIR/probe-tables.txt"
+grep -q '^vax-probe-tables v1$' "$CKPT_DIR/probe-tables.txt"
+grep -q '^meta cpu-model ' "$CKPT_DIR/probe-tables.txt"
+grep -q '^end$' "$CKPT_DIR/probe-tables.txt"
+
 # Simulator benchmark gate (the fast-loop trajectory): run the naive-vs-fast
 # bench and fail on ANY instrument divergence between the two interpreter
 # loops — bit-identical histograms, hardware counters, and trace streams,

@@ -35,10 +35,12 @@ mod board;
 pub mod codec;
 pub mod events;
 mod histogram;
+pub mod samples;
 
 pub use board::{Command, CommandResponse, HistogramBoard};
 pub use events::MachineEvent;
 pub use histogram::Histogram;
+pub use samples::SampleAggregator;
 
 use vax_ucode::MicroAddr;
 

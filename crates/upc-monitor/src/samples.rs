@@ -1,0 +1,272 @@
+//! Per-µPC sample aggregation with phase segmentation — the probe's
+//! hot-spot instrument.
+//!
+//! The histogram board answers "how many cycles at each address, total";
+//! the [`SampleAggregator`] answers "where did each *phase* of a run
+//! spend its cycles". It is a pure aggregator (coalesce-safe, like the
+//! board) that additionally listens to [`trace_phase`] markers and keeps
+//! one per-µPC count plane per phase segment. Phases nest; a sample is
+//! charged to the innermost open phase, named by the full stack joined
+//! with `/` (`measure-b/loop`), so prologue, warm-up, and measured
+//! windows separate cleanly in the export.
+//!
+//! Two export formats, both attributing each address to its
+//! control-store region (via [`ControlStore::regions`]):
+//!
+//! * JSONL — one object per (phase, address) with issue and stall
+//!   counts, for downstream tooling;
+//! * folded-stack text — `phase;region;0xADDR count` lines, the format
+//!   flamegraph renderers consume, weighted by total cycles.
+//!
+//! [`trace_phase`]: crate::CycleSink::trace_phase
+
+use crate::CycleSink;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use vax_ucode::{ControlStore, MicroAddr};
+
+/// (issues, stall cycles) at one address within one phase.
+type Counts = (u64, u64);
+
+/// A coalesce-safe [`CycleSink`] that aggregates per-µPC samples into
+/// per-phase planes.
+#[derive(Debug, Clone, Default)]
+pub struct SampleAggregator {
+    /// Open phase names, innermost last.
+    stack: Vec<String>,
+    /// Phase segments in first-appearance order: (name, addr → counts).
+    segments: Vec<(String, BTreeMap<u16, Counts>)>,
+    /// Index into `segments` of the segment samples currently charge to.
+    current: usize,
+}
+
+/// The segment name used before any `trace_phase` marker arrives.
+const DEFAULT_PHASE: &str = "run";
+
+impl SampleAggregator {
+    /// A fresh aggregator charging samples to the `run` segment.
+    pub fn new() -> SampleAggregator {
+        SampleAggregator {
+            stack: Vec::new(),
+            segments: vec![(DEFAULT_PHASE.to_string(), BTreeMap::new())],
+            current: 0,
+        }
+    }
+
+    fn segment_name(&self) -> String {
+        if self.stack.is_empty() {
+            DEFAULT_PHASE.to_string()
+        } else {
+            self.stack.join("/")
+        }
+    }
+
+    fn reselect(&mut self) {
+        let name = self.segment_name();
+        self.current = match self.segments.iter().position(|(n, _)| *n == name) {
+            Some(i) => i,
+            None => {
+                self.segments.push((name, BTreeMap::new()));
+                self.segments.len() - 1
+            }
+        };
+    }
+
+    fn bump(&mut self, addr: MicroAddr, issues: u64, stalls: u64) {
+        let e = self.segments[self.current]
+            .1
+            .entry(addr.value())
+            .or_default();
+        e.0 += issues;
+        e.1 += stalls;
+    }
+
+    /// Phase segments in first-appearance order.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.segments.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Total (issues, stall cycles) recorded in one phase segment.
+    pub fn phase_totals(&self, phase: &str) -> Counts {
+        self.segments
+            .iter()
+            .filter(|(n, _)| n == phase)
+            .flat_map(|(_, plane)| plane.values())
+            .fold((0, 0), |acc, &(i, s)| (acc.0 + i, acc.1 + s))
+    }
+
+    /// The `n` hottest addresses in one phase by total cycles
+    /// (issues + stalls), hottest first; ties break toward lower µPC.
+    pub fn hottest(&self, phase: &str, n: usize) -> Vec<(MicroAddr, Counts)> {
+        let mut v: Vec<(MicroAddr, Counts)> = self
+            .segments
+            .iter()
+            .filter(|(name, _)| name == phase)
+            .flat_map(|(_, plane)| plane.iter())
+            .map(|(&a, &c)| (MicroAddr::new(a), c))
+            .collect();
+        v.sort_by_key(|&(a, (i, s))| (std::cmp::Reverse(i + s), a.value()));
+        v.truncate(n);
+        v
+    }
+
+    /// Export one JSONL object per (phase, address), region-attributed.
+    pub fn to_jsonl(&self, cs: &ControlStore) -> String {
+        let regions = cs.regions();
+        let mut out = String::new();
+        for (phase, plane) in &self.segments {
+            for (&addr, &(issues, stalls)) in plane {
+                let _ = writeln!(
+                    out,
+                    "{{\"phase\":\"{phase}\",\"upc\":{addr},\"region\":\"{}\",\
+                     \"issues\":{issues},\"stalls\":{stalls}}}",
+                    region_of(&regions, addr)
+                );
+            }
+        }
+        out
+    }
+
+    /// Export folded-stack lines (`phase;region;0xADDR cycles`), the
+    /// input format of flamegraph renderers. Weight is total cycles.
+    pub fn to_folded(&self, cs: &ControlStore) -> String {
+        let regions = cs.regions();
+        let mut out = String::new();
+        for (phase, plane) in &self.segments {
+            for (&addr, &(issues, stalls)) in plane {
+                let cycles = issues + stalls;
+                if cycles > 0 {
+                    let _ = writeln!(
+                        out,
+                        "{phase};{};{addr:#05x} {cycles}",
+                        region_of(&regions, addr)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Name of the control-store region containing `addr`, or `unallocated`
+/// for patch-space addresses outside every region.
+fn region_of(regions: &[(&'static str, u16, u16)], addr: u16) -> &'static str {
+    regions
+        .iter()
+        .find(|&&(_, base, len)| addr >= base && addr < base + len)
+        .map(|&(name, _, _)| name)
+        .unwrap_or("unallocated")
+}
+
+impl CycleSink for SampleAggregator {
+    // Pure aggregator: n coalesced issues are indistinguishable from n
+    // single ones.
+    const COALESCE_OK: bool = true;
+
+    #[inline]
+    fn record_issue(&mut self, addr: MicroAddr) {
+        self.bump(addr, 1, 0);
+    }
+
+    #[inline]
+    fn record_issue_run(&mut self, addr: MicroAddr, n: u32) {
+        self.bump(addr, u64::from(n), 0);
+    }
+
+    #[inline]
+    fn record_stall(&mut self, addr: MicroAddr, cycles: u32) {
+        self.bump(addr, 0, u64::from(cycles));
+    }
+
+    fn trace_phase(&mut self, name: &str, begin: bool) {
+        if begin {
+            self.stack.push(name.to_string());
+        } else {
+            // Tolerate unbalanced ends: pop the innermost matching name.
+            if let Some(i) = self.stack.iter().rposition(|n| n == name) {
+                self.stack.truncate(i);
+            }
+        }
+        self.reselect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_charge_to_the_open_phase() {
+        let mut agg = SampleAggregator::new();
+        agg.record_issue(MicroAddr::new(0x100));
+        agg.trace_phase("measure", true);
+        agg.record_issue_run(MicroAddr::new(0x100), 5);
+        agg.record_stall(MicroAddr::new(0x100), 3);
+        agg.trace_phase("measure", false);
+        agg.record_issue(MicroAddr::new(0x100));
+        assert_eq!(agg.phase_totals("run"), (2, 0));
+        assert_eq!(agg.phase_totals("measure"), (5, 3));
+    }
+
+    #[test]
+    fn nested_phases_join_with_slash() {
+        let mut agg = SampleAggregator::new();
+        agg.trace_phase("measure", true);
+        agg.trace_phase("loop", true);
+        agg.record_issue(MicroAddr::new(0));
+        agg.trace_phase("loop", false);
+        agg.trace_phase("measure", false);
+        assert_eq!(agg.phase_totals("measure/loop"), (1, 0));
+        let names: Vec<_> = agg.segments().collect();
+        assert_eq!(names, ["run", "measure", "measure/loop"]);
+    }
+
+    #[test]
+    fn reopened_phase_accumulates_into_the_same_segment() {
+        let mut agg = SampleAggregator::new();
+        for _ in 0..2 {
+            agg.trace_phase("warm", true);
+            agg.record_issue(MicroAddr::new(1));
+            agg.trace_phase("warm", false);
+        }
+        assert_eq!(agg.phase_totals("warm"), (2, 0));
+        assert_eq!(agg.segments().filter(|n| *n == "warm").count(), 1);
+    }
+
+    #[test]
+    fn hottest_orders_by_cycles_then_address() {
+        let mut agg = SampleAggregator::new();
+        agg.record_issue_run(MicroAddr::new(0x200), 10);
+        agg.record_issue_run(MicroAddr::new(0x100), 10);
+        agg.record_issue_run(MicroAddr::new(0x300), 3);
+        agg.record_stall(MicroAddr::new(0x300), 9);
+        let hot = agg.hottest("run", 2);
+        assert_eq!(hot[0].0.value(), 0x300, "12 cycles beats 10");
+        assert_eq!(hot[1].0.value(), 0x100, "tie breaks toward lower µPC");
+    }
+
+    #[test]
+    fn exports_attribute_regions() {
+        let cs = ControlStore::build();
+        let mut agg = SampleAggregator::new();
+        agg.trace_phase("measure", true);
+        agg.record_issue(cs.ird1());
+        agg.record_issue(MicroAddr::new(0x100));
+        agg.record_issue(MicroAddr::new(0x0FF)); // patch space
+        let jsonl = agg.to_jsonl(&cs);
+        assert!(jsonl.contains("\"region\":\"ird1\""), "{jsonl}");
+        assert!(jsonl.contains("\"region\":\"exec\""), "{jsonl}");
+        assert!(jsonl.contains("\"region\":\"unallocated\""), "{jsonl}");
+        let folded = agg.to_folded(&cs);
+        assert!(folded.contains("measure;exec;0x100 1"), "{folded}");
+        // Empty default segment exports no lines.
+        assert!(!folded.contains("run;"), "{folded}");
+    }
+
+    #[test]
+    fn coalesce_is_declared_safe() {
+        // Pins the declared contract: the aggregator accepts coalesced
+        // issue runs, so bulk ticking must stay sample-equivalent.
+        const { assert!(SampleAggregator::COALESCE_OK) }
+    }
+}

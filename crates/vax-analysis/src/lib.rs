@@ -18,6 +18,7 @@
 
 mod analysis;
 pub mod paper;
+pub mod probe;
 pub mod reconcile;
 pub mod report;
 pub mod section4;
@@ -27,5 +28,6 @@ pub mod tables;
 pub mod whatif;
 
 pub use analysis::{Analysis, Column};
+pub use probe::InferredTables;
 pub use section4::Section4Stats;
 pub use sensitivity::FaultSensitivity;

@@ -1,0 +1,315 @@
+//! The probe artifact: measured per-opcode and per-mode issue tables.
+//!
+//! `vax780 probe` runs one targeted microbenchmark per opcode ×
+//! addressing-mode pair and infers, from calibrated histogram deltas,
+//! how many control-store issues each pair costs — the measured
+//! counterpart of `vax_ucode::model`'s static claims. This module holds
+//! the artifact those measurements fold into ([`InferredTables`]) and
+//! its versioned text codec (`vax-probe-tables v1`), designed like the
+//! `upc-histogram v1` codec: deterministic line order (BTreeMap-sorted
+//! sections), whitespace-separated fields, a header and an `end`
+//! trailer so truncation is detectable.
+//!
+//! ```text
+//! vax-probe-tables v1
+//! meta cpu-model GenuineIntel ...
+//! config unroll 8
+//! config iters 32
+//! op movl entry=1 compute=0 read=0 write=0 taken=0
+//! mode displacement read entry=1 index=0 compute=1 read=1 write=0
+//! pair movl displacement ok
+//! stallrow spec1 144
+//! end
+//! ```
+//!
+//! Counts are *per probe instruction execution* for `op` rows and *per
+//! specifier evaluation* for `mode` rows — already divided down by the
+//! unroll × iteration product, which the prober checks divides exactly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One measured opcode execute row: issues per execution, by slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpRow {
+    /// Execute-entry issues (the dispatch into the routine).
+    pub entry: u64,
+    /// Compute-slot issues.
+    pub compute: u64,
+    /// Read-slot issues.
+    pub read: u64,
+    /// Write-slot issues.
+    pub write: u64,
+    /// Branch-taken bucket issues attributed to this opcode.
+    pub taken: u64,
+}
+
+impl OpRow {
+    /// Total issues per execution.
+    pub fn total(&self) -> u64 {
+        self.entry + self.compute + self.read + self.write + self.taken
+    }
+}
+
+/// One measured addressing-mode row: issues per specifier evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeRow {
+    /// Specifier-entry issues.
+    pub entry: u64,
+    /// Index-prefix issues.
+    pub index: u64,
+    /// Compute-slot issues.
+    pub compute: u64,
+    /// Read-slot issues.
+    pub read: u64,
+    /// Write-slot issues.
+    pub write: u64,
+}
+
+impl ModeRow {
+    /// Total issues per evaluation.
+    pub fn total(&self) -> u64 {
+        self.entry + self.index + self.compute + self.read + self.write
+    }
+}
+
+/// The probe's inferred latency tables, with provenance.
+#[derive(Debug, Clone, Default)]
+pub struct InferredTables {
+    /// Host/provenance stamp, in insertion order: (key, value).
+    pub meta: Vec<(String, String)>,
+    /// Probe loop unroll factor (slots per loop body).
+    pub unroll: u64,
+    /// Loop iterations per measured phase.
+    pub iters: u64,
+    /// Measured opcode rows, keyed by mnemonic.
+    pub ops: BTreeMap<String, OpRow>,
+    /// Measured mode rows, keyed by (mode-class key, access key).
+    pub modes: BTreeMap<(String, String), ModeRow>,
+    /// Every probed (mnemonic, mode-class key) pair, with whether its
+    /// three-way instrument reconciliation held.
+    pub pairs: BTreeMap<(String, String), bool>,
+    /// Observed stall cycles by Table-8 row name, summed over every
+    /// measured phase (evidence, not per-execution claims — stalls
+    /// depend on alignment and do not divide down).
+    pub stall_rows: BTreeMap<String, u64>,
+}
+
+impl InferredTables {
+    /// An empty artifact with the given probe-loop geometry.
+    pub fn new(unroll: u64, iters: u64) -> InferredTables {
+        InferredTables {
+            unroll,
+            iters,
+            ..InferredTables::default()
+        }
+    }
+
+    /// Add one provenance stamp line.
+    pub fn stamp(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.push((key.into(), value.into()));
+    }
+
+    /// Render as `vax-probe-tables v1` text. Deterministic: map-backed
+    /// sections render in key order, meta in insertion order.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("vax-probe-tables v1\n");
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "meta {k} {v}");
+        }
+        let _ = writeln!(out, "config unroll {}", self.unroll);
+        let _ = writeln!(out, "config iters {}", self.iters);
+        for (mn, r) in &self.ops {
+            let _ = writeln!(
+                out,
+                "op {mn} entry={} compute={} read={} write={} taken={}",
+                r.entry, r.compute, r.read, r.write, r.taken
+            );
+        }
+        for ((class, access), r) in &self.modes {
+            let _ = writeln!(
+                out,
+                "mode {class} {access} entry={} index={} compute={} read={} write={}",
+                r.entry, r.index, r.compute, r.read, r.write
+            );
+        }
+        for ((mn, class), ok) in &self.pairs {
+            let _ = writeln!(out, "pair {mn} {class} {}", if *ok { "ok" } else { "FAIL" });
+        }
+        for (row, cycles) in &self.stall_rows {
+            let _ = writeln!(out, "stallrow {row} {cycles}");
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse `vax-probe-tables v1` text.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed line, a bad header, or a
+    /// missing `end` trailer.
+    pub fn from_text(text: &str) -> Result<InferredTables, String> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "vax-probe-tables v1")) => {}
+            Some((_, other)) => return Err(format!("bad header: `{other}`")),
+            None => return Err("empty artifact".to_string()),
+        }
+        let mut t = InferredTables::default();
+        let mut saw_end = false;
+        let parse_u64 = |n: usize, what: &str, s: &str| -> Result<u64, String> {
+            s.parse::<u64>()
+                .map_err(|_| format!("line {}: bad {what} `{s}`", n + 1))
+        };
+        let parse_slot = |n: usize, field: &str, key: &str| -> Result<u64, String> {
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `{key}=<n>`, got `{field}`", n + 1))?;
+            if k != key {
+                return Err(format!("line {}: expected slot `{key}`, got `{k}`", n + 1));
+            }
+            parse_u64(n, key, v)
+        };
+        for (n, line) in lines {
+            if saw_end {
+                return Err(format!("line {}: content after `end`", n + 1));
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                [] => {}
+                ["end"] => saw_end = true,
+                ["meta", key, rest @ ..] => t.stamp(*key, rest.join(" ")),
+                ["config", "unroll", v] => t.unroll = parse_u64(n, "unroll", v)?,
+                ["config", "iters", v] => t.iters = parse_u64(n, "iters", v)?,
+                ["op", mn, e, c, r, w, tk] => {
+                    t.ops.insert(
+                        mn.to_string(),
+                        OpRow {
+                            entry: parse_slot(n, e, "entry")?,
+                            compute: parse_slot(n, c, "compute")?,
+                            read: parse_slot(n, r, "read")?,
+                            write: parse_slot(n, w, "write")?,
+                            taken: parse_slot(n, tk, "taken")?,
+                        },
+                    );
+                }
+                ["mode", class, access, e, i, c, r, w] => {
+                    t.modes.insert(
+                        (class.to_string(), access.to_string()),
+                        ModeRow {
+                            entry: parse_slot(n, e, "entry")?,
+                            index: parse_slot(n, i, "index")?,
+                            compute: parse_slot(n, c, "compute")?,
+                            read: parse_slot(n, r, "read")?,
+                            write: parse_slot(n, w, "write")?,
+                        },
+                    );
+                }
+                ["pair", mn, class, ok] => {
+                    let ok = match *ok {
+                        "ok" => true,
+                        "FAIL" => false,
+                        other => return Err(format!("line {}: bad pair status `{other}`", n + 1)),
+                    };
+                    t.pairs.insert((mn.to_string(), class.to_string()), ok);
+                }
+                ["stallrow", row, cycles] => {
+                    t.stall_rows
+                        .insert(row.to_string(), parse_u64(n, "cycles", cycles)?);
+                }
+                _ => return Err(format!("line {}: unrecognized line `{line}`", n + 1)),
+            }
+        }
+        if !saw_end {
+            return Err("missing `end` trailer (truncated artifact?)".to_string());
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InferredTables {
+        let mut t = InferredTables::new(8, 32);
+        t.stamp("cpu-model", "Test CPU 9000");
+        t.stamp("rustc", "1.0.0-test");
+        t.ops.insert(
+            "movl".into(),
+            OpRow {
+                entry: 1,
+                ..OpRow::default()
+            },
+        );
+        t.ops.insert(
+            "mull2".into(),
+            OpRow {
+                entry: 1,
+                compute: 11,
+                ..OpRow::default()
+            },
+        );
+        t.modes.insert(
+            ("displacement".into(), "read".into()),
+            ModeRow {
+                entry: 1,
+                read: 1,
+                ..ModeRow::default()
+            },
+        );
+        t.pairs.insert(("movl".into(), "register".into()), true);
+        t.stall_rows.insert("spec1".into(), 144);
+        t
+    }
+
+    #[test]
+    fn roundtrips_exactly() {
+        let t = sample();
+        let text = t.to_text();
+        let back = InferredTables::from_text(&text).expect("parses");
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.unroll, 8);
+        assert_eq!(back.iters, 32);
+        assert_eq!(back.ops["mull2"].compute, 11);
+        assert_eq!(back.modes[&("displacement".into(), "read".into())].read, 1);
+        assert!(back.pairs[&("movl".into(), "register".into())]);
+        assert_eq!(back.stall_rows["spec1"], 144);
+        assert_eq!(back.meta[0], ("cpu-model".into(), "Test CPU 9000".into()));
+    }
+
+    #[test]
+    fn meta_values_may_contain_spaces() {
+        let t = sample();
+        let back = InferredTables::from_text(&t.to_text()).unwrap();
+        assert_eq!(back.meta[0].1, "Test CPU 9000");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let t = sample();
+        let text = t.to_text();
+        let cut = &text[..text.len() - "end\n".len()];
+        assert!(InferredTables::from_text(cut).is_err());
+    }
+
+    #[test]
+    fn bad_header_and_bad_lines_error() {
+        assert!(InferredTables::from_text("nope v9\nend\n").is_err());
+        assert!(InferredTables::from_text("vax-probe-tables v1\nop movl entry=x\nend\n").is_err());
+        assert!(InferredTables::from_text("vax-probe-tables v1\nend\nextra\n").is_err());
+    }
+
+    #[test]
+    fn section_order_is_deterministic() {
+        // Maps sort keys, so insertion order must not matter.
+        let mut a = InferredTables::new(8, 32);
+        a.ops.insert("movl".into(), OpRow::default());
+        a.ops.insert("addl2".into(), OpRow::default());
+        let mut b = InferredTables::new(8, 32);
+        b.ops.insert("addl2".into(), OpRow::default());
+        b.ops.insert("movl".into(), OpRow::default());
+        assert_eq!(a.to_text(), b.to_text());
+    }
+}

@@ -510,6 +510,46 @@ impl Table8 {
             + self.row_total(Row::BranchDisp);
         sum / self.cpi
     }
+
+    /// Render as a machine-readable JSON object (`vax780 report --json`):
+    /// per-row cells keyed by column name, row/column totals, and CPI.
+    pub fn to_json(&self) -> String {
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let mut out = String::from("{\"table\":8,\"rows\":{");
+        for (i, row) in Row::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{{", row.name()));
+            for col in Column::ALL {
+                out.push_str(&format!("\"{}\":{},", col.name(), num(self.cell(row, col))));
+            }
+            out.push_str(&format!("\"total\":{}}}", num(self.row_total(row))));
+        }
+        out.push_str("},\"columns\":{");
+        for (i, col) in Column::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                col.name(),
+                num(self.col_totals[col.index()])
+            ));
+        }
+        out.push_str(&format!(
+            "}},\"cpi\":{},\"decode_plus_spec_fraction\":{}}}",
+            num(self.cpi),
+            num(self.decode_plus_spec_fraction())
+        ));
+        out
+    }
 }
 
 impl fmt::Display for Table8 {

@@ -4,7 +4,7 @@ use std::fmt;
 
 /// How an instruction accesses an operand specifier (VAX Architecture
 /// Reference Manual notation: `.rx`, `.wx`, `.mx`, `.ax`, `.vx`, `.bx`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessType {
     /// Operand is read (`.rx`).
     Read,
@@ -43,6 +43,33 @@ impl AccessType {
     #[inline]
     pub const fn is_specifier(self) -> bool {
         !matches!(self, AccessType::Branch)
+    }
+
+    /// Stable machine-readable key — the [`Display`](fmt::Display) text,
+    /// used by artifact codecs and the probe allowlist.
+    pub const fn key(self) -> &'static str {
+        match self {
+            AccessType::Read => "read",
+            AccessType::Write => "write",
+            AccessType::Modify => "modify",
+            AccessType::Address => "address",
+            AccessType::Field => "field",
+            AccessType::Branch => "branch-displacement",
+        }
+    }
+
+    /// Look an access type up by its [`key`](AccessType::key).
+    pub fn from_key(key: &str) -> Option<AccessType> {
+        [
+            AccessType::Read,
+            AccessType::Write,
+            AccessType::Modify,
+            AccessType::Address,
+            AccessType::Field,
+            AccessType::Branch,
+        ]
+        .into_iter()
+        .find(|a| a.key() == key)
     }
 }
 

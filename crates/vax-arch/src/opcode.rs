@@ -446,6 +446,14 @@ impl Opcode {
     pub fn is_pc_changing(self) -> bool {
         self.branch_class().is_some()
     }
+
+    /// Look an opcode up by its assembler mnemonic.
+    pub fn from_mnemonic(mnemonic: &str) -> Option<Opcode> {
+        Opcode::ALL
+            .iter()
+            .copied()
+            .find(|o| o.mnemonic() == mnemonic)
+    }
 }
 
 impl fmt::Display for Opcode {

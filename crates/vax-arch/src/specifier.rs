@@ -253,6 +253,28 @@ impl SpecModeClass {
         }
     }
 
+    /// Stable machine-readable key (kebab case), used by artifact codecs
+    /// and the probe allowlist.
+    pub const fn key(self) -> &'static str {
+        match self {
+            SpecModeClass::Register => "register",
+            SpecModeClass::ShortLiteral => "short-literal",
+            SpecModeClass::Immediate => "immediate",
+            SpecModeClass::Displacement => "displacement",
+            SpecModeClass::RegisterDeferred => "register-deferred",
+            SpecModeClass::DisplacementDeferred => "displacement-deferred",
+            SpecModeClass::AutoIncrement => "autoincrement",
+            SpecModeClass::AutoDecrement => "autodecrement",
+            SpecModeClass::AutoIncDeferred => "autoincrement-deferred",
+            SpecModeClass::Absolute => "absolute",
+        }
+    }
+
+    /// Look a class up by its [`key`](SpecModeClass::key).
+    pub fn from_key(key: &str) -> Option<SpecModeClass> {
+        SpecModeClass::ALL.iter().copied().find(|c| c.key() == key)
+    }
+
     /// Stable index 0–9, in Table 4 row order.
     pub const fn index(self) -> usize {
         match self {

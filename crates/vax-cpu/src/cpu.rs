@@ -18,7 +18,7 @@ use vax_ucode::{ControlStore, MicroAddr, StallPoint};
 
 /// SCB vector offsets used by this model (byte offsets into the system
 /// control block, which lives at the physical address in `SCBB`).
-pub(crate) mod scb {
+pub mod scb {
     /// Machine check (injected hardware fault survived by microcode).
     pub const MACHINE_CHECK: u16 = 0x04;
     /// Reserved/unimplemented instruction.
@@ -180,6 +180,14 @@ impl Cpu {
     /// Set the PCB base (physical); see [`Cpu::set_scbb`].
     pub fn set_pcbb(&mut self, pa: u32) {
         self.pcbb = pa;
+    }
+
+    /// Point the SCB vector at byte `offset` (see [`scb`]) at the handler
+    /// `va`. Normally kernel boot code writes the SCB directly; exposed
+    /// for machine setup (e.g. installing a `CHMK` service routine).
+    pub fn set_scb_vector(&mut self, offset: u16, handler_va: u32) {
+        let pa = self.scbb + u32::from(offset);
+        self.mem.phys_mut().write_u32(pa, handler_va);
     }
 
     /// The current PC.

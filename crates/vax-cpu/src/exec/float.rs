@@ -14,7 +14,7 @@ use vax_arch::{DataType, Opcode};
 fn extra_cycles(op: Opcode) -> u32 {
     use Opcode::*;
     match op {
-        Movf | Movd | Tstf | Tstd => 3,
+        Movf | Movd | Mnegf | Tstf | Tstd => 3,
         Cmpf | Cmpd => 4,
         Cvtfb | Cvtfw | Cvtfl | Cvtbf | Cvtwf | Cvtlf | Cvtld | Cvtdl => 6,
         Addf2 | Addf3 | Subf2 | Subf3 => 7,

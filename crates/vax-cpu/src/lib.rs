@@ -42,6 +42,7 @@ mod regs;
 mod specifier;
 
 pub use config::CpuConfig;
+pub use cpu::scb;
 pub use cpu::{Cpu, RunOutcome, StepOutcome};
 pub use fault::{CpuError, Fault};
 pub use interrupt::Interrupt;

@@ -21,8 +21,9 @@ impl Severity {
     }
 }
 
-/// The rule catalog. Three families: image CFG/decode checks,
-/// static-mix-vs-profile checks, and table/taxonomy audits.
+/// The rule catalog. Four families: image CFG/decode checks,
+/// static-mix-vs-profile checks, table/taxonomy audits, and probe
+/// measurement-vs-model refutation checks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     // ----- image family -----------------------------------------------------
@@ -56,6 +57,19 @@ pub enum Rule {
     UcodeOverlap,
     /// A hardware counter or event kind is missing from the taxonomy.
     CounterTaxonomy,
+    // ----- probe family (measurement vs static model) -----------------------
+    /// A measured addressing-mode row disagrees with the static model.
+    ProbeMode,
+    /// A measured opcode execute row disagrees with the static model.
+    ProbeOpcode,
+    /// A probe measurement is internally inconsistent (reconciliation,
+    /// divisibility, cross-sequence agreement). Never allowlistable.
+    ProbeMeasurement,
+    /// A workload-exercised opcode × mode pair was not probed.
+    ProbeCoverage,
+    /// The probe allowlist is malformed, names unknown keys, or carries
+    /// entries no measurement used.
+    ProbeAllowlist,
 }
 
 impl Rule {
@@ -75,6 +89,11 @@ impl Rule {
         Rule::UcodeCoverage,
         Rule::UcodeOverlap,
         Rule::CounterTaxonomy,
+        Rule::ProbeMode,
+        Rule::ProbeOpcode,
+        Rule::ProbeMeasurement,
+        Rule::ProbeCoverage,
+        Rule::ProbeAllowlist,
     ];
 
     /// Stable rule identifier (what `--deny` matches).
@@ -94,6 +113,11 @@ impl Rule {
             Rule::UcodeCoverage => "ucode-coverage",
             Rule::UcodeOverlap => "ucode-overlap",
             Rule::CounterTaxonomy => "counter-taxonomy",
+            Rule::ProbeMode => "probe-mode",
+            Rule::ProbeOpcode => "probe-opcode",
+            Rule::ProbeMeasurement => "probe-measurement",
+            Rule::ProbeCoverage => "probe-coverage",
+            Rule::ProbeAllowlist => "probe-allowlist",
         }
     }
 

@@ -1,6 +1,6 @@
 //! vax-lint — static verification of the simulator's inputs.
 //!
-//! Three analyzer families, one rule catalog ([`Rule`]):
+//! Four analyzer families, one rule catalog ([`Rule`]):
 //!
 //! * **Image checks** ([`cfg`]): recursive static decode of a generated
 //!   workload image into regions and a control-flow graph, verifying
@@ -14,6 +14,9 @@
 //!   control-store layout coverage/overlap, and the instrument
 //!   taxonomy cross-check (`HwCounters` x `MachineEvent` kinds x
 //!   `TraceCounters`).
+//! * **Probe refutation** ([`probe`]): the allowlist of accepted
+//!   static-model refinements consumed by `vax780 probe` when it diffs
+//!   measured latency tables against `vax_ucode::model`.
 //!
 //! The runtime reconciliation pass (vax-trace) compares two instruments
 //! *after* a run; vax-lint rejects broken configurations *before* one.
@@ -28,11 +31,13 @@ pub mod cfg;
 pub mod diag;
 pub mod image;
 pub mod mix;
+pub mod probe;
 pub mod tables;
 
 pub use cfg::{check_image, DecodedImage, Region};
 pub use diag::{Diagnostic, Report, Rule, Severity};
 pub use image::{Budgets, ImageModel};
+pub use probe::Allowlist;
 
 use vax_workloads::{plan_processes, ProfileParams, WorkloadError};
 

@@ -1,0 +1,316 @@
+//! The probe refutation allowlist: accepted static-model refinements.
+//!
+//! `vax780 probe` diffs measured tables against `vax_ucode::model`'s
+//! claims and emits [`Rule::ProbeMode`] / [`Rule::ProbeOpcode`]
+//! diagnostics for every disagreement. A disagreement is either a
+//! simulator bug or a *documented model refinement*; the refinements the
+//! project has accepted (with evidence, see DESIGN.md) live in a
+//! checked-in allowlist file this module parses:
+//!
+//! ```text
+//! vax-probe-allow v1
+//! # accepted refinement: byte displacements fold the address add
+//! mode displacement * compute
+//! op movc3 compute
+//! ```
+//!
+//! `mode <class> <access|*> <field>` suppresses a mode-row disagreement;
+//! `op <mnemonic> <field>` an opcode-row one. Fields name the bucket
+//! slot (`entry`, `index`, `compute`, `read`, `write`, `taken`).
+//! [`Rule::ProbeMeasurement`] findings are never allowlistable — an
+//! internally inconsistent measurement cannot be "accepted".
+
+use crate::{Diagnostic, Report, Rule};
+use vax_arch::{AccessType, Opcode, SpecModeClass};
+
+/// Valid `field` names for mode entries.
+const MODE_FIELDS: &[&str] = &["entry", "index", "compute", "read", "write"];
+/// Valid `field` names for opcode entries.
+const OP_FIELDS: &[&str] = &["entry", "compute", "read", "write", "taken"];
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllowEntry {
+    /// `mode <class> <access|*> <field>`.
+    Mode {
+        /// Table 4 mode class the refinement applies to.
+        class: SpecModeClass,
+        /// Access type, or `None` for the `*` wildcard.
+        access: Option<AccessType>,
+        /// Bucket slot name.
+        field: String,
+    },
+    /// `op <mnemonic> <field>`.
+    Op {
+        /// The opcode whose execute row is refined.
+        opcode: Opcode,
+        /// Bucket slot name.
+        field: String,
+    },
+}
+
+/// A parsed allowlist with per-entry usage tracking, so unused entries
+/// can be reported (an unused acceptance is stale documentation).
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+    /// Source lines (1-based) of the entries, for unused reporting.
+    lines: Vec<usize>,
+}
+
+impl Allowlist {
+    /// Parse the `vax-probe-allow v1` text format. Malformed lines and
+    /// unknown keys become [`Rule::ProbeAllowlist`] errors in the report;
+    /// well-formed entries are kept regardless so one bad line does not
+    /// silently drop the rest.
+    pub fn parse(text: &str) -> (Allowlist, Report) {
+        let mut report = Report::new();
+        let mut list = Allowlist::default();
+        let mut lines = text.lines().enumerate();
+        let mut saw_header = false;
+        for (idx, line) in &mut lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "vax-probe-allow v1" {
+                saw_header = true;
+            } else {
+                report.push(
+                    Diagnostic::error(
+                        Rule::ProbeAllowlist,
+                        "allowlist",
+                        format!(
+                            "line {}: expected header `vax-probe-allow v1`, got `{line}`",
+                            idx + 1
+                        ),
+                    )
+                    .at(idx as u64),
+                );
+            }
+            break;
+        }
+        if !saw_header {
+            return (list, report);
+        }
+        for (idx, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let mut bad = |msg: String| {
+                report.push(
+                    Diagnostic::error(
+                        Rule::ProbeAllowlist,
+                        "allowlist",
+                        format!("line {}: {msg}", idx + 1),
+                    )
+                    .at(idx as u64),
+                );
+            };
+            match fields.as_slice() {
+                ["mode", class, access, field] => {
+                    let Some(class) = SpecModeClass::from_key(class) else {
+                        bad(format!("unknown mode class `{class}`"));
+                        continue;
+                    };
+                    let access = if *access == "*" {
+                        None
+                    } else {
+                        match AccessType::from_key(access) {
+                            Some(a) => Some(a),
+                            None => {
+                                bad(format!("unknown access type `{access}`"));
+                                continue;
+                            }
+                        }
+                    };
+                    if !MODE_FIELDS.contains(field) {
+                        bad(format!("unknown mode field `{field}`"));
+                        continue;
+                    }
+                    list.push(
+                        AllowEntry::Mode {
+                            class,
+                            access,
+                            field: field.to_string(),
+                        },
+                        idx + 1,
+                    );
+                }
+                ["op", mnemonic, field] => {
+                    let Some(opcode) = Opcode::from_mnemonic(mnemonic) else {
+                        bad(format!("unknown opcode mnemonic `{mnemonic}`"));
+                        continue;
+                    };
+                    if !OP_FIELDS.contains(field) {
+                        bad(format!("unknown opcode field `{field}`"));
+                        continue;
+                    }
+                    list.push(
+                        AllowEntry::Op {
+                            opcode,
+                            field: field.to_string(),
+                        },
+                        idx + 1,
+                    );
+                }
+                _ => bad(format!(
+                    "expected `mode <class> <access|*> <field>` or `op <mnemonic> <field>`, \
+                     got `{line}`"
+                )),
+            }
+        }
+        (list, report)
+    }
+
+    fn push(&mut self, entry: AllowEntry, line: usize) {
+        self.entries.push(entry);
+        self.used.push(false);
+        self.lines.push(line);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// No entries at all?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Is a mode-row disagreement for (`class`, `access`, `field`)
+    /// accepted? Marks any matching entry used.
+    pub fn allows_mode(&mut self, class: SpecModeClass, access: AccessType, field: &str) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if let AllowEntry::Mode {
+                class: c,
+                access: a,
+                field: f,
+            } = e
+            {
+                if *c == class && (a.is_none() || *a == Some(access)) && f == field {
+                    self.used[i] = true;
+                    hit = true;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Is an opcode-row disagreement for (`opcode`, `field`) accepted?
+    /// Marks any matching entry used.
+    pub fn allows_op(&mut self, opcode: Opcode, field: &str) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if let AllowEntry::Op {
+                opcode: o,
+                field: f,
+            } = e
+            {
+                if *o == opcode && f == field {
+                    self.used[i] = true;
+                    hit = true;
+                }
+            }
+        }
+        hit
+    }
+
+    /// Report every entry no measurement ever matched as a
+    /// [`Rule::ProbeAllowlist`] warning (stale acceptance).
+    pub fn report_unused(&self, report: &mut Report) {
+        for (i, e) in self.entries.iter().enumerate() {
+            if !self.used[i] {
+                let what = match e {
+                    AllowEntry::Mode {
+                        class,
+                        access,
+                        field,
+                    } => format!(
+                        "mode {} {} {field}",
+                        class.key(),
+                        access.map_or("*", |a| a.key())
+                    ),
+                    AllowEntry::Op { opcode, field } => format!("op {opcode} {field}"),
+                };
+                report.push(
+                    Diagnostic::warning(
+                        Rule::ProbeAllowlist,
+                        "allowlist",
+                        format!(
+                            "line {}: entry `{what}` matched no measured disagreement (stale?)",
+                            self.lines[i]
+                        ),
+                    )
+                    .at(self.lines[i] as u64 - 1),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# accepted refinements
+vax-probe-allow v1
+
+mode displacement * compute
+op movc3 read
+";
+
+    #[test]
+    fn parses_good_list() {
+        let (mut list, report) = Allowlist::parse(GOOD);
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(list.len(), 2);
+        assert!(list.allows_mode(SpecModeClass::Displacement, AccessType::Read, "compute"));
+        assert!(list.allows_mode(SpecModeClass::Displacement, AccessType::Write, "compute"));
+        assert!(!list.allows_mode(SpecModeClass::Displacement, AccessType::Read, "read"));
+        assert!(list.allows_op(Opcode::Movc3, "read"));
+        assert!(!list.allows_op(Opcode::Movc3, "write"));
+        let mut unused = Report::new();
+        list.report_unused(&mut unused);
+        assert!(unused.is_clean());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let (list, report) = Allowlist::parse("mode displacement * compute\n");
+        assert!(list.is_empty());
+        assert_eq!(report.errors(), 1);
+    }
+
+    #[test]
+    fn bad_keys_are_reported_but_good_lines_survive() {
+        let text = "vax-probe-allow v1\nmode nonsense * compute\nop movl entry\nop bogus entry\n";
+        let (list, report) = Allowlist::parse(text);
+        assert_eq!(list.len(), 1);
+        assert_eq!(report.errors(), 2);
+    }
+
+    #[test]
+    fn unused_entries_warn_with_their_line() {
+        let (list, report) = Allowlist::parse(GOOD);
+        assert!(report.is_clean());
+        let mut unused = Report::new();
+        list.report_unused(&mut unused);
+        assert_eq!(unused.warnings(), 2);
+    }
+
+    #[test]
+    fn specific_access_does_not_wildcard() {
+        let text = "vax-probe-allow v1\nmode absolute read compute\n";
+        let (mut list, report) = Allowlist::parse(text);
+        assert!(report.is_clean());
+        assert!(list.allows_mode(SpecModeClass::Absolute, AccessType::Read, "compute"));
+        assert!(!list.allows_mode(SpecModeClass::Absolute, AccessType::Write, "compute"));
+    }
+}

@@ -148,6 +148,10 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str(&format!(
+            "  \"host\": {},\n",
+            vax_trace::HostStamp::collect().to_json()
+        ));
+        s.push_str(&format!(
             "  \"spec\": {{\"timing_instructions\": {}, \"trace_instructions\": {}, \
              \"warmup\": {}, \"repeat\": {}}},\n",
             self.spec.timing_instructions,

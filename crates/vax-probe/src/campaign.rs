@@ -1,0 +1,242 @@
+//! The probe campaign: sweep every covered opcode × mode pair, diff
+//! each measurement against the static model, and fold the results
+//! into an [`InferredTables`] artifact plus a typed lint report.
+//!
+//! Beyond the coverage pairs, the campaign adds one *reference
+//! carrier* per (mode class, access) combination — a single-specifier
+//! opcode (`tstl`, `clrl`, `incl`, `pushal`) whose only operand is the
+//! injected one, so the first-position specifier buckets for that
+//! class belong to it alone and divide down to a standalone mode row.
+//! Field access has no single-specifier carrier in the architecture;
+//! field-access specifier costs are still verified inside the
+//! multi-operand probes that exercise them, they just get no isolated
+//! `mode` row in the artifact.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use upc_monitor::SampleAggregator;
+use vax_analysis::probe::InferredTables;
+use vax_arch::{AccessType, Opcode, SpecModeClass};
+use vax_lint::{Allowlist, Diagnostic, Report, Rule};
+use vax_ucode::{ControlStore, MicroAddr, Row};
+
+use crate::coverage::{self, PairKey};
+use crate::diff::{diff_pair, mode_row, op_row, BucketMap};
+use crate::gen::{DEFAULT_ITERS, DEFAULT_UNROLL};
+use crate::runner;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Probe instructions per loop body.
+    pub unroll: u32,
+    /// Loop iterations per measured phase.
+    pub iters: u32,
+    /// Probe only these pairs instead of the full coverage sweep.
+    /// A filtered run skips the completeness and stale-allowlist
+    /// checks — it is deliberately partial.
+    pub filter: Option<BTreeSet<PairKey>>,
+    /// `vax-probe-allow v1` allowlist text for accepted refinements.
+    pub allow_text: String,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> ProbeConfig {
+        ProbeConfig {
+            unroll: DEFAULT_UNROLL,
+            iters: DEFAULT_ITERS,
+            filter: None,
+            allow_text: "vax-probe-allow v1\n".to_string(),
+        }
+    }
+}
+
+/// What a campaign produces.
+#[derive(Debug)]
+pub struct ProbeOutcome {
+    /// The inferred latency tables (unstamped; the CLI adds host
+    /// provenance).
+    pub tables: InferredTables,
+    /// Typed `probe-*` diagnostics for every disagreement or
+    /// measurement failure.
+    pub report: Report,
+    /// Per-pair sample phases, for `--jsonl`/`--folded` export.
+    pub agg: SampleAggregator,
+}
+
+/// The single-specifier carrier opcode that isolates `access`, if the
+/// architecture has one.
+fn carrier(access: AccessType) -> Option<Opcode> {
+    match access {
+        AccessType::Read => Some(Opcode::Tstl),
+        AccessType::Write => Some(Opcode::Clrl),
+        AccessType::Modify => Some(Opcode::Incl),
+        AccessType::Address => Some(Opcode::Pushal),
+        _ => None,
+    }
+}
+
+/// Stable, whitespace-free artifact key for a Table-8 row.
+fn stall_key(row: Row) -> String {
+    row.name().to_lowercase().replace([' ', '/'], "-")
+}
+
+/// Run the campaign.
+///
+/// # Errors
+///
+/// Infrastructure failures only (coverage extraction); per-pair
+/// problems land in the returned [`Report`] instead.
+pub fn run_probe(config: &ProbeConfig) -> Result<ProbeOutcome, String> {
+    let cs = ControlStore::build();
+    let map = BucketMap::new(&cs);
+    let cov = coverage::collect()?;
+    let (mut allow, mut report) = Allowlist::parse(&config.allow_text);
+    let mut tables = InferredTables::new(u64::from(config.unroll), u64::from(config.iters));
+    let mut agg = SampleAggregator::new();
+
+    // Reference carriers, keyed by the pair that measures them.
+    let mut reference: BTreeMap<PairKey, (SpecModeClass, AccessType)> = BTreeMap::new();
+    for &(class, access) in &cov.accesses {
+        if let Some(op) = carrier(access) {
+            reference.insert(
+                PairKey {
+                    opcode: op,
+                    mode: Some(class),
+                },
+                (class, access),
+            );
+        }
+    }
+
+    let mut targets: BTreeSet<PairKey> = cov.pairs.clone();
+    targets.extend(reference.keys().copied());
+    if let Some(filter) = &config.filter {
+        targets = filter.clone();
+    }
+
+    for &pair in &targets {
+        let label = pair.label();
+        let mode_key = match pair.mode {
+            Some(class) => class.key().to_string(),
+            None => "none".to_string(),
+        };
+        let pair_id = (pair.opcode.mnemonic().to_string(), mode_key);
+        match runner::measure(pair, config.unroll, config.iters, &mut agg) {
+            Ok(m) => {
+                let diff = diff_pair(&cs, &map, &m, &mut allow, &mut report);
+                tables.pairs.insert(pair_id, diff.ok);
+                if pair.mode.is_none() {
+                    tables.ops.insert(
+                        pair.opcode.mnemonic().to_string(),
+                        op_row(&cs, &m, &diff.per_exec),
+                    );
+                }
+                if let Some(&(class, access)) = reference.get(&pair) {
+                    tables.modes.insert(
+                        (class.key().to_string(), access.key().to_string()),
+                        mode_row(&cs, class, &diff.per_exec),
+                    );
+                }
+                for (&addr, &stalls) in &m.stall_delta {
+                    if stalls > 0 {
+                        let key = stall_key(cs.class(MicroAddr::new(addr)).row);
+                        *tables.stall_rows.entry(key).or_insert(0) += stalls as u64;
+                    }
+                }
+            }
+            Err(err) => {
+                report.push(Diagnostic::error(Rule::ProbeCoverage, &label, err));
+                tables.pairs.insert(pair_id, false);
+            }
+        }
+    }
+
+    if config.filter.is_none() {
+        for pair in &cov.pairs {
+            let mode_key = match pair.mode {
+                Some(class) => class.key().to_string(),
+                None => "none".to_string(),
+            };
+            if !tables
+                .pairs
+                .contains_key(&(pair.opcode.mnemonic().to_string(), mode_key))
+            {
+                report.push(Diagnostic::error(
+                    Rule::ProbeCoverage,
+                    pair.label(),
+                    "covered pair was never probed".to_string(),
+                ));
+            }
+        }
+        allow.report_unused(&mut report);
+    }
+
+    Ok(ProbeOutcome {
+        tables,
+        report,
+        agg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filtered(labels: &[&str]) -> ProbeConfig {
+        ProbeConfig {
+            filter: Some(
+                labels
+                    .iter()
+                    .map(|l| PairKey::parse(l).expect("valid pair"))
+                    .collect(),
+            ),
+            ..ProbeConfig::default()
+        }
+    }
+
+    #[test]
+    fn filtered_campaign_fills_tables_and_stays_clean() {
+        let mut config = filtered(&["movl:none", "movl:displacement", "tstl:displacement"]);
+        config.allow_text = "vax-probe-allow v1\nmode displacement * compute\n".to_string();
+        let out = run_probe(&config).expect("campaign runs");
+        assert_eq!(out.report.errors(), 0, "\n{}", out.report.render_text());
+        assert!(out.tables.ops.contains_key("movl"));
+        let movl = out.tables.ops["movl"];
+        assert_eq!(movl.entry, 1, "movl executes in its entry slot alone");
+        assert!(out
+            .tables
+            .modes
+            .contains_key(&("displacement".to_string(), "read".to_string())));
+        assert_eq!(out.tables.pairs.len(), 3);
+        assert!(out.tables.pairs.values().all(|&ok| ok));
+    }
+
+    #[test]
+    fn probe_refutes_the_displacement_compute_claim() {
+        // The EBOX folds a byte displacement's address add into the
+        // entry cycle (vax-cpu specifier fast path); the static model
+        // claims a compute issue anyway. Without the allowlist the
+        // probe must refute the table — this is the measurement the
+        // checked-in PROBE_ALLOW.txt entry records.
+        let config = filtered(&["movl:displacement"]);
+        let out = run_probe(&config).expect("campaign runs");
+        assert_eq!(out.report.errors(), 1, "\n{}", out.report.render_text());
+        let text = out.report.render_text();
+        assert!(
+            text.contains("probe-mode")
+                && text.contains("mode displacement read compute")
+                && text.contains("model claims 1, measured 0"),
+            "unexpected diagnostics:\n{text}"
+        );
+        assert!(!out.tables.pairs[&("movl".to_string(), "displacement".to_string())]);
+    }
+
+    #[test]
+    fn artifact_text_is_deterministic() {
+        let config = filtered(&["incl:register-deferred", "addl2:none"]);
+        let a = run_probe(&config).expect("campaign runs").tables.to_text();
+        let b = run_probe(&config).expect("campaign runs").tables.to_text();
+        assert_eq!(a, b);
+    }
+}

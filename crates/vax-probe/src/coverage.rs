@@ -1,0 +1,161 @@
+//! What the probe must measure: every opcode × addressing-mode-class
+//! pair the five built-in workload profiles actually execute.
+//!
+//! Coverage is extracted *statically*: each profile's process images are
+//! regenerated (generation is seed-deterministic), decoded by the
+//! `vax-lint` image checker, and every decoded instruction contributes
+//! its opcode and the mode class of each operand specifier. Indexed
+//! specifiers collapse to their base class — the index prefix is a
+//! separate routine the probe checks via the base-class probes.
+//!
+//! Privileged and context-switch opcodes ([`exec_cost`] returns `None`)
+//! are excluded: the probe never drives them, by design.
+
+use std::collections::BTreeSet;
+
+use vax_arch::{AccessType, Opcode, SpecModeClass};
+use vax_lint::ImageModel;
+use vax_ucode::model::exec_cost;
+use vax_workloads::{plan_processes, profile, WorkloadKind};
+
+/// One probe target: an opcode, either in its canonical operand context
+/// (`mode == None`) or with one operand forced into a specific mode
+/// class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PairKey {
+    /// The opcode under the microscope.
+    pub opcode: Opcode,
+    /// The mode class injected into the first eligible operand
+    /// position, or `None` for the all-canonical probe.
+    pub mode: Option<SpecModeClass>,
+}
+
+impl PairKey {
+    /// Stable display label, `<mnemonic>:<class-key>` or
+    /// `<mnemonic>:none`.
+    pub fn label(&self) -> String {
+        match self.mode {
+            Some(class) => format!("{}:{}", self.opcode.mnemonic(), class.key()),
+            None => format!("{}:none", self.opcode.mnemonic()),
+        }
+    }
+
+    /// Parse a `<mnemonic>:<class-key|none>` label (CLI `--pair`).
+    pub fn parse(text: &str) -> Option<PairKey> {
+        let (mn, mode) = text.split_once(':')?;
+        let opcode = Opcode::from_mnemonic(mn)?;
+        let mode = match mode {
+            "none" => None,
+            key => Some(SpecModeClass::from_key(key)?),
+        };
+        Some(PairKey { opcode, mode })
+    }
+}
+
+/// Everything the probe campaign must cover.
+#[derive(Debug, Clone, Default)]
+pub struct Coverage {
+    /// Opcode × mode pairs, including the canonical (`mode == None`)
+    /// probe of every covered opcode.
+    pub pairs: BTreeSet<PairKey>,
+    /// (class, access) combinations seen on any specifier; drives the
+    /// reference probes that populate the per-mode table rows.
+    pub accesses: BTreeSet<(SpecModeClass, AccessType)>,
+}
+
+/// Extract coverage from the five built-in profiles.
+///
+/// # Errors
+///
+/// Propagates workload generation failures as text (they indicate a
+/// broken profile, not a probe problem).
+pub fn collect() -> Result<Coverage, String> {
+    let mut cov = Coverage::default();
+    for kind in WorkloadKind::ALL {
+        let params = profile(kind);
+        let plans = plan_processes(&params).map_err(|e| format!("{}: {e}", kind.name()))?;
+        for (i, plan) in plans.iter().enumerate() {
+            let model = ImageModel::from_process(&format!("{}-p{i}", kind.name()), plan);
+            let (decoded, _) = vax_lint::check_image(&model);
+            let Some(image) = decoded else {
+                return Err(format!("{}-p{i}: image failed to decode", kind.name()));
+            };
+            for li in image.insts() {
+                let op = li.inst.opcode;
+                if exec_cost(op).is_none() {
+                    continue;
+                }
+                cov.pairs.insert(PairKey {
+                    opcode: op,
+                    mode: None,
+                });
+                let templates = li
+                    .inst
+                    .opcode
+                    .operands()
+                    .iter()
+                    .filter(|t| !t.is_branch_displacement());
+                for (spec, t) in li.inst.specs.iter().zip(templates) {
+                    let class = spec.mode_class();
+                    cov.pairs.insert(PairKey {
+                        opcode: op,
+                        mode: Some(class),
+                    });
+                    cov.accesses.insert((class, t.access()));
+                }
+            }
+        }
+    }
+    Ok(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_trips() {
+        let pair = PairKey {
+            opcode: Opcode::Movl,
+            mode: Some(SpecModeClass::Displacement),
+        };
+        assert_eq!(pair.label(), "movl:displacement");
+        assert_eq!(PairKey::parse(&pair.label()), Some(pair));
+        let canon = PairKey {
+            opcode: Opcode::Addl2,
+            mode: None,
+        };
+        assert_eq!(PairKey::parse("addl2:none"), Some(canon));
+        assert_eq!(PairKey::parse("nope:none"), None);
+        assert_eq!(PairKey::parse("movl:nope"), None);
+    }
+
+    #[test]
+    fn coverage_is_nonempty_and_excludes_privileged() {
+        let cov = collect().expect("profiles generate");
+        assert!(cov.pairs.len() > 50, "got {}", cov.pairs.len());
+        assert!(!cov.pairs.iter().any(|p| exec_cost(p.opcode).is_none()));
+        // Every mode pair has a canonical sibling.
+        for p in &cov.pairs {
+            assert!(cov.pairs.contains(&PairKey {
+                opcode: p.opcode,
+                mode: None
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod dump {
+    #[test]
+    #[ignore]
+    fn dump_coverage() {
+        let cov = super::collect().unwrap();
+        for p in &cov.pairs {
+            println!("PAIR {}", p.label());
+        }
+        for (c, a) in &cov.accesses {
+            println!("ACC {} {}", c.key(), a.key());
+        }
+    }
+}

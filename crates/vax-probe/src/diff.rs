@@ -1,0 +1,447 @@
+//! Latency-table refutation: compare a pair's measured per-execution
+//! issue counts against the static model, bucket by bucket.
+//!
+//! The control-store layout gives every *checked* µPC location a
+//! semantic identity ([`Bucket`]): the IRD1 dispatch, a specifier slot
+//! at a (position, mode-class) coordinate, an opcode's execute slot, or
+//! a branch-taken redirect. The differ expands the model's claims for
+//! the probe's instruction shapes over those buckets, divides the
+//! measured histogram delta down to per-execution counts (which must
+//! divide exactly — a ragged delta is an internally inconsistent
+//! measurement, never an acceptable refinement), and classifies every
+//! disagreement as a typed `vax-lint` diagnostic. Locations outside
+//! the bucket map — stall dispatches, microtraps, the abort row the
+//! periodic consistency patch executes — carry no model claim and are
+//! ignored.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vax_arch::{AccessType, BranchClass, Opcode, SpecModeClass};
+use vax_lint::{Allowlist, Diagnostic, Report, Rule};
+use vax_ucode::model::{exec_cost, expected_issues};
+use vax_ucode::{ControlStore, MicroAddr, SpecPosition};
+
+use vax_analysis::probe::{ModeRow, OpRow};
+
+use crate::runner::PairMeasurement;
+
+/// Semantic identity of a checked µPC bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// The IRD1 initial-decode dispatch.
+    Ird1,
+    /// The index-prefix routine at a specifier position.
+    SpecIndex(SpecPosition),
+    /// Specifier-entry slot.
+    SpecEntry(SpecPosition, SpecModeClass),
+    /// Specifier compute slot.
+    SpecCompute(SpecPosition, SpecModeClass),
+    /// Specifier operand-read slot.
+    SpecRead(SpecPosition, SpecModeClass),
+    /// Specifier operand-write slot.
+    SpecWrite(SpecPosition, SpecModeClass),
+    /// Execute-routine entry for an opcode.
+    ExecEntry(Opcode),
+    /// Execute compute slot.
+    ExecCompute(Opcode),
+    /// Execute read slot.
+    ExecRead(Opcode),
+    /// Execute write slot.
+    ExecWrite(Opcode),
+    /// Branch-taken redirect for a branch class.
+    Taken(BranchClass),
+}
+
+/// Reverse map from µPC addresses to their checked-bucket identity.
+#[derive(Debug, Clone)]
+pub struct BucketMap {
+    map: BTreeMap<u16, Bucket>,
+}
+
+impl BucketMap {
+    /// Build the reverse map from the control-store layout. Privileged
+    /// opcodes (no model row) stay unmapped: the probe never drives
+    /// them, so their execute slots carry no claim to check.
+    pub fn new(cs: &ControlStore) -> BucketMap {
+        let mut map: BTreeMap<u16, Bucket> = BTreeMap::new();
+        let mut put = |addr: MicroAddr, b: Bucket| {
+            let prev = map.insert(addr.value(), b);
+            debug_assert!(prev.is_none(), "bucket collision at {:#06x}", addr.value());
+        };
+        put(cs.ird1(), Bucket::Ird1);
+        for pos in [SpecPosition::First, SpecPosition::Rest] {
+            put(cs.spec_index(pos), Bucket::SpecIndex(pos));
+            for class in SpecModeClass::ALL {
+                put(cs.spec_entry(pos, class), Bucket::SpecEntry(pos, class));
+                put(cs.spec_compute(pos, class), Bucket::SpecCompute(pos, class));
+                put(cs.spec_read(pos, class), Bucket::SpecRead(pos, class));
+                put(cs.spec_write(pos, class), Bucket::SpecWrite(pos, class));
+            }
+        }
+        for &op in Opcode::ALL {
+            if exec_cost(op).is_none() {
+                continue;
+            }
+            put(cs.exec_entry(op), Bucket::ExecEntry(op));
+            put(cs.exec_compute(op), Bucket::ExecCompute(op));
+            put(cs.exec_read(op), Bucket::ExecRead(op));
+            put(cs.exec_write(op), Bucket::ExecWrite(op));
+        }
+        for class in BranchClass::ALL {
+            put(cs.branch_taken(class), Bucket::Taken(class));
+        }
+        BucketMap { map }
+    }
+
+    /// Bucket identity of `addr`, if it is checked.
+    pub fn get(&self, addr: u16) -> Option<Bucket> {
+        self.map.get(&addr).copied()
+    }
+
+    /// Number of checked locations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the map empty (never, in practice)?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Per-pair diff outcome.
+#[derive(Debug, Clone)]
+pub struct PairDiff {
+    /// No measurement errors and no *unaccepted* model disagreement.
+    /// Allowlisted refinements leave the pair ok.
+    pub ok: bool,
+    /// Measured per-execution issue counts at checked buckets.
+    pub per_exec: BTreeMap<u16, u64>,
+}
+
+/// Diff one measured pair against the model, appending typed
+/// diagnostics to `report` and marking used allowlist entries.
+pub fn diff_pair(
+    cs: &ControlStore,
+    map: &BucketMap,
+    m: &PairMeasurement,
+    allow: &mut Allowlist,
+    report: &mut Report,
+) -> PairDiff {
+    let label = m.pair.label();
+    let divisor = m.program.divisor() as i64;
+    let errors_before = report.errors();
+
+    // The model's claims, summed over every instruction the probe loop
+    // executes per slot beyond the calibration loop.
+    let mut expected: BTreeMap<u16, u64> = BTreeMap::new();
+    for shape in &m.program.shapes {
+        match expected_issues(cs, shape) {
+            Some(claims) => {
+                for (addr, n) in claims {
+                    *expected.entry(addr).or_insert(0) += n;
+                }
+            }
+            None => {
+                report.push(Diagnostic::error(
+                    Rule::ProbeCoverage,
+                    &label,
+                    format!(
+                        "model does not characterize companion opcode {}",
+                        shape.opcode.mnemonic()
+                    ),
+                ));
+                return PairDiff {
+                    ok: false,
+                    per_exec: BTreeMap::new(),
+                };
+            }
+        }
+    }
+
+    if !m.reconciled {
+        report.push(Diagnostic::error(
+            Rule::ProbeMeasurement,
+            &label,
+            "three-way instrument reconciliation failed on a measured run".to_string(),
+        ));
+    }
+
+    // Divide the raw deltas down to per-execution counts at checked
+    // buckets. Negative or ragged deltas are measurement failures.
+    let mut per_exec: BTreeMap<u16, u64> = BTreeMap::new();
+    for (&addr, &delta) in &m.issue_delta {
+        if map.get(addr).is_none() {
+            continue;
+        }
+        if delta < 0 || delta % divisor != 0 {
+            report.push(
+                Diagnostic::error(
+                    Rule::ProbeMeasurement,
+                    &label,
+                    format!(
+                        "checked bucket {addr:#06x}: issue delta {delta} is not a clean \
+                         multiple of {divisor} executions"
+                    ),
+                )
+                .at(u64::from(addr)),
+            );
+            continue;
+        }
+        if delta > 0 {
+            per_exec.insert(addr, (delta / divisor) as u64);
+        }
+    }
+
+    // Bucket-by-bucket comparison.
+    let addrs: BTreeSet<u16> = expected.keys().chain(per_exec.keys()).copied().collect();
+    for addr in addrs {
+        let claimed = expected.get(&addr).copied().unwrap_or(0);
+        let measured = per_exec.get(&addr).copied().unwrap_or(0);
+        if claimed == measured {
+            continue;
+        }
+        let Some(bucket) = map.get(addr) else {
+            // Expanded claims only land on mapped buckets; anything else
+            // is a layout/model inconsistency.
+            report.push(
+                Diagnostic::error(
+                    Rule::ProbeMeasurement,
+                    &label,
+                    format!("model claim at unmapped µPC {addr:#06x}"),
+                )
+                .at(u64::from(addr)),
+            );
+            continue;
+        };
+        classify(bucket, addr, claimed, measured, m, &label, allow, report);
+    }
+
+    PairDiff {
+        ok: m.reconciled && report.errors() == errors_before,
+        per_exec,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn classify(
+    bucket: Bucket,
+    addr: u16,
+    claimed: u64,
+    measured: u64,
+    m: &PairMeasurement,
+    label: &str,
+    allow: &mut Allowlist,
+    report: &mut Report,
+) {
+    use Bucket::*;
+    let (rule, what, allowed) = match bucket {
+        Ird1 => (
+            Rule::ProbeMeasurement,
+            "decode dispatch (ird1)".to_string(),
+            false,
+        ),
+        SpecIndex(pos) => (
+            Rule::ProbeMeasurement,
+            format!("index prefix at {pos:?}"),
+            false,
+        ),
+        SpecEntry(pos, class)
+        | SpecCompute(pos, class)
+        | SpecRead(pos, class)
+        | SpecWrite(pos, class) => {
+            let field = match bucket {
+                SpecEntry(..) => "entry",
+                SpecCompute(..) => "compute",
+                SpecRead(..) => "read",
+                SpecWrite(..) => "write",
+                _ => unreachable!(),
+            };
+            match spec_access(m, pos, class) {
+                Some(access) => (
+                    Rule::ProbeMode,
+                    format!("mode {} {} {field}", class.key(), access.key()),
+                    allow.allows_mode(class, access, field),
+                ),
+                None => (
+                    Rule::ProbeMeasurement,
+                    format!(
+                        "specifier issues for {} at {pos:?} with no matching operand",
+                        class.key()
+                    ),
+                    false,
+                ),
+            }
+        }
+        ExecEntry(op) | ExecCompute(op) | ExecRead(op) | ExecWrite(op) => {
+            let field = match bucket {
+                ExecEntry(..) => "entry",
+                ExecCompute(..) => "compute",
+                ExecRead(..) => "read",
+                ExecWrite(..) => "write",
+                _ => unreachable!(),
+            };
+            (
+                Rule::ProbeOpcode,
+                format!("op {} {field}", op.mnemonic()),
+                allow.allows_op(op, field),
+            )
+        }
+        Taken(class) => match taken_owner(m, class) {
+            Some(op) => (
+                Rule::ProbeOpcode,
+                format!("op {} taken ({})", op.mnemonic(), class.name()),
+                allow.allows_op(op, "taken"),
+            ),
+            None => (
+                Rule::ProbeMeasurement,
+                format!(
+                    "branch-taken issues for {} with no claiming shape",
+                    class.name()
+                ),
+                false,
+            ),
+        },
+    };
+    if allowed {
+        return;
+    }
+    report.push(
+        Diagnostic::error(
+            rule,
+            label,
+            format!("{what}: model claims {claimed}, measured {measured}"),
+        )
+        .at(u64::from(addr)),
+    );
+}
+
+/// The access type of the probe operand occupying (`pos`, `class`) —
+/// the coordinate a specifier bucket disagreement must be charged to.
+fn spec_access(m: &PairMeasurement, pos: SpecPosition, class: SpecModeClass) -> Option<AccessType> {
+    for shape in &m.program.shapes {
+        for (i, spec) in shape.specs.iter().enumerate() {
+            let spec_pos = if i == 0 {
+                SpecPosition::First
+            } else {
+                SpecPosition::Rest
+            };
+            if spec_pos == pos && spec.class == class {
+                return Some(spec.access);
+            }
+        }
+    }
+    None
+}
+
+/// The shape opcode whose execute routine claims branch class `class`.
+fn taken_owner(m: &PairMeasurement, class: BranchClass) -> Option<Opcode> {
+    m.program
+        .shapes
+        .iter()
+        .map(|s| s.opcode)
+        .find(|&op| exec_cost(op).and_then(|c| c.taken) == Some(class))
+}
+
+/// Extract the measured opcode row from a canonical pair's per-exec
+/// counts. The `taken` slot is measured only when the probed opcode is
+/// the *sole* shape claiming its branch class (a CHMK probe's REI
+/// companion shares the system-branch bucket); otherwise the model's
+/// one-redirect claim is recorded.
+pub fn op_row(cs: &ControlStore, m: &PairMeasurement, per_exec: &BTreeMap<u16, u64>) -> OpRow {
+    let op = m.pair.opcode;
+    let g = |addr: MicroAddr| per_exec.get(&addr.value()).copied().unwrap_or(0);
+    let taken = match exec_cost(op).and_then(|c| c.taken) {
+        Some(class) => {
+            let claimants = m
+                .program
+                .shapes
+                .iter()
+                .filter(|s| exec_cost(s.opcode).and_then(|c| c.taken) == Some(class))
+                .count();
+            if claimants == 1 {
+                g(cs.branch_taken(class))
+            } else {
+                1
+            }
+        }
+        None => 0,
+    };
+    OpRow {
+        entry: g(cs.exec_entry(op)),
+        compute: g(cs.exec_compute(op)),
+        read: g(cs.exec_read(op)),
+        write: g(cs.exec_write(op)),
+        taken,
+    }
+}
+
+/// Extract the measured mode row from a reference pair's per-exec
+/// counts: the injected operand is the only first-position specifier,
+/// so the first-position buckets for its class belong to it alone.
+pub fn mode_row(cs: &ControlStore, class: SpecModeClass, per_exec: &BTreeMap<u16, u64>) -> ModeRow {
+    let g = |addr: MicroAddr| per_exec.get(&addr.value()).copied().unwrap_or(0);
+    let pos = SpecPosition::First;
+    ModeRow {
+        entry: g(cs.spec_entry(pos, class)),
+        index: g(cs.spec_index(pos)),
+        compute: g(cs.spec_compute(pos, class)),
+        read: g(cs.spec_read(pos, class)),
+        write: g(cs.spec_write(pos, class)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::PairKey;
+    use crate::gen::{DEFAULT_ITERS, DEFAULT_UNROLL};
+    use upc_monitor::SampleAggregator;
+
+    fn measure(label: &str) -> PairMeasurement {
+        let pair = PairKey::parse(label).expect("valid pair");
+        let mut agg = SampleAggregator::new();
+        crate::runner::measure(pair, DEFAULT_UNROLL, DEFAULT_ITERS, &mut agg)
+            .unwrap_or_else(|err| panic!("{label}: {err}"))
+    }
+
+    #[test]
+    fn bucket_map_is_collision_free_and_covers_the_regions() {
+        let cs = ControlStore::build();
+        let map = BucketMap::new(&cs);
+        assert!(!map.is_empty());
+        assert_eq!(map.get(cs.ird1().value()), Some(Bucket::Ird1));
+        assert_eq!(
+            map.get(cs.abort().value()),
+            None,
+            "the abort row must stay unchecked"
+        );
+    }
+
+    #[test]
+    fn ragged_delta_is_a_measurement_error() {
+        let cs = ControlStore::build();
+        let map = BucketMap::new(&cs);
+        let mut m = measure("movl:none");
+        // Corrupt one checked bucket by a non-multiple.
+        let addr = cs.ird1().value();
+        *m.issue_delta.entry(addr).or_insert(0) += 3;
+        let (mut allow, _) = Allowlist::parse("vax-probe-allow v1\n");
+        let mut report = Report::new();
+        let diff = diff_pair(&cs, &map, &m, &mut allow, &mut report);
+        assert!(!diff.ok);
+        assert!(report.errors() > 0);
+    }
+
+    #[test]
+    fn unreconciled_measurement_fails_the_pair() {
+        let cs = ControlStore::build();
+        let map = BucketMap::new(&cs);
+        let mut m = measure("movl:none");
+        m.reconciled = false;
+        let (mut allow, _) = Allowlist::parse("vax-probe-allow v1\n");
+        let mut report = Report::new();
+        let diff = diff_pair(&cs, &map, &m, &mut allow, &mut report);
+        assert!(!diff.ok);
+    }
+}

@@ -1,0 +1,957 @@
+//! Microbenchmark image generator: one opcode × mode pair per image.
+//!
+//! Each probe image contains a data block, helper stubs, a register
+//! prologue, and **two** steady-state loops built from the same slot
+//! skeleton:
+//!
+//! * the *calibration* loop (A) runs each slot's setup instructions
+//!   only;
+//! * the *probe* loop (B) runs the identical setup plus the probe
+//!   instruction(s).
+//!
+//! Both loops execute `unroll × iters` slots under an `ACBL` counter, so
+//! the per-µPC issue difference `B − A` divided by `unroll × iters` is
+//! the per-execution issue count of the probe instruction alone — the
+//! loop skeleton, the setup and the prologue all cancel. Setup is
+//! designed to make every probe execution identical: registers are
+//! reseeded per slot where the probe mutates them, condition codes are
+//! forced so conditional branches always fall through, and operand
+//! values are chosen so memory cells reach a fixed point before the
+//! measured (post-warmup) runs.
+
+use vax_arch::{AccessType, ArchError, Assembler, DataType, Opcode, Operand, Reg, SpecModeClass};
+use vax_ucode::model::{exec_cost, InstShape, SpecShape};
+
+use crate::coverage::PairKey;
+
+/// Default unroll factor: probe slots per loop body.
+pub const DEFAULT_UNROLL: u32 = 8;
+/// Default `ACBL` iteration count per loop run.
+pub const DEFAULT_ITERS: u32 = 32;
+
+/// Base virtual address of every probe image (inside `SimpleMachine`'s
+/// 1 MB P0 region).
+pub const BASE: u32 = 0x1000;
+
+/// Size of the data block preceding the code.
+const DATA_LEN: u32 = 0x100;
+
+// Data-block cell offsets (from BASE).
+const CELL_DATA: u32 = 0x00; // 8-byte scalar operand cell
+const CELL_PTR: u32 = 0x10; // long: address of CELL_DATA (deferred modes)
+const CELL_P1: u32 = 0x18; // packed decimal +0, 2 digits
+const CELL_P2: u32 = 0x20; // packed decimal +11, 2 digits
+const CELL_S1: u32 = 0x30; // 4-byte string
+const CELL_S2: u32 = 0x38; // 4-byte string (equal to S1)
+const CELL_SDST: u32 = 0x40; // string destination
+const CELL_QENTRY: u32 = 0x48; // self-linked queue entry
+const CELL_QHEAD: u32 = 0x50; // self-linked queue head
+const SP_SEED: u32 = 0xC0; // stack top; pushes grow down into 0x60..0xC0
+
+/// An assembled probe pair: image, entry points and the static shapes
+/// the model is asked to predict.
+#[derive(Debug, Clone)]
+pub struct ProbeProgram {
+    /// The machine code plus data, based at [`BASE`].
+    pub image: vax_arch::CodeImage,
+    /// Entry of the register-seeding prologue (run once, ends in HALT).
+    pub prologue: u32,
+    /// Entry of the calibration (setup-only) loop.
+    pub cal_entry: u32,
+    /// Entry of the probe loop.
+    pub probe_entry: u32,
+    /// VA of the CHMK service stub, if the probe takes a CHMK trap.
+    pub chmk_handler: Option<u32>,
+    /// Instructions executed once per slot in the probe loop beyond the
+    /// calibration loop, in execution order.
+    pub shapes: Vec<InstShape>,
+    /// Slots per loop body.
+    pub unroll: u32,
+    /// `ACBL` iterations per run.
+    pub iters: u32,
+}
+
+impl ProbeProgram {
+    /// Probe executions per run: every shape executes this many times.
+    pub fn divisor(&self) -> u64 {
+        u64::from(self.unroll) * u64::from(self.iters)
+    }
+}
+
+/// How the probe instruction must be embedded in a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeKind {
+    /// Straight-line instruction.
+    Plain,
+    /// Branch-displacement instruction targeting the next slot.
+    Branch,
+    /// `CASEx` with a one-entry table targeting the next slot.
+    Case,
+    /// `BSBx` to an `RSB` stub inside the slot.
+    Bsb,
+    /// `JMP`/`JSB` through a register seeded with the next slot's VA.
+    JmpNext,
+    /// `CALLS` to the `.word 0; ret` stub — the paired `RET` rides along.
+    Calls,
+    /// `CHMK` through the SCB to the service stub.
+    Chmk,
+    /// Bare `RET` consuming a frame built by the slot setup.
+    Ret,
+    /// Bare `RSB` consuming a return PC pushed by the slot setup.
+    Rsb,
+}
+
+/// Condition-code seed forcing a conditional branch to fall through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CcSeed {
+    /// `TSTL R0` (R0 = 1): clears N, Z, V, C.
+    TstR0,
+    /// `TSTL R1` (R1 = 0): sets Z.
+    TstR1,
+    /// `TSTL R2` (R2 = −1): sets N.
+    TstR2,
+    /// `MOVL #7FFFFFFF, R3; ADDL2 #1, R3`: sets V.
+    SetV,
+    /// `CMPL R1, R0` (0 − 1): sets C.
+    SetC,
+}
+
+/// What an address-access operand position points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddrTarget {
+    /// A data-block cell at this offset from [`BASE`].
+    Cell(u32),
+    /// The `.word 0; ret` procedure stub.
+    Proc,
+    /// The VA of the next slot (`JMP`-style flow).
+    NextSlot,
+}
+
+/// Fully resolved emission plan for one pair.
+#[derive(Debug, Clone)]
+struct Plan {
+    opcode: Opcode,
+    kind: ProbeKind,
+    /// Specifier operands of the probe instruction (branch displacement
+    /// excluded — the slot supplies the target label).
+    operands: Vec<Operand>,
+    /// Reseed SP at the top of every slot.
+    needs_sp: bool,
+    /// Condition-code seed, emitted last in the setup.
+    cc: Option<CcSeed>,
+    /// Per-slot R10 reseed for self-modifying bit branches.
+    r10_slot: Option<u32>,
+    /// Per-slot R6 reseed (auto-increment/-decrement probe operands).
+    r6_slot: Option<u32>,
+    // Prologue register seeds.
+    r2: u32,
+    r6: u32,
+    r7: RegSeed,
+    r8: u32,
+    r9: u32,
+    r10: u32,
+    /// Initial content of the 8-byte scalar cell.
+    data_value: u64,
+}
+
+/// A prologue seed that may name the procedure stub (VA known only at
+/// assembly time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegSeed {
+    Value(u32),
+    Proc,
+}
+
+/// Can a specifier of `class` legally (and usefully) be injected at an
+/// operand position with this access type?
+fn eligible(class: SpecModeClass, access: AccessType) -> bool {
+    use AccessType::*;
+    match class {
+        // Register mode works anywhere except address operands (where it
+        // is a reserved addressing mode).
+        SpecModeClass::Register => matches!(access, Read | Write | Modify | Field),
+        // Literal/immediate cannot be written and cannot supply addresses.
+        SpecModeClass::ShortLiteral | SpecModeClass::Immediate => matches!(access, Read),
+        // Memory modes: everything but field bases (the probe pins field
+        // bases to registers so field costs stay flat).
+        _ => matches!(access, Read | Write | Modify | Address),
+    }
+}
+
+/// The operand value fed to a probed instruction at position `pos`,
+/// chosen so execution cost is steady and no probe faults or branches.
+fn value_for(op: Opcode, pos: usize, dtype: DataType) -> u64 {
+    use Opcode::*;
+    match op {
+        // Loop limits of 0 guarantee the loop branch falls through.
+        Acbw | Acbl => {
+            if pos == 0 {
+                0
+            } else {
+                1
+            }
+        }
+        Aoblss | Aobleq => 0,
+        // Shift/rotate count of 1.
+        Ashl | Ashq | Rotl => 1,
+        // Selector 0 hits the one-entry case table.
+        Caseb | Casew | Casel => 0,
+        // Service code / argument count 0.
+        Chmk | Calls => 0,
+        // Register mask {R0}.
+        Pushr | Popr => 1,
+        // LOCC/SKPC: search char 0 (absent from the string), length 4.
+        Locc | Skpc => {
+            if pos == 0 {
+                0
+            } else {
+                4
+            }
+        }
+        Movc3 | Cmpc3 => 4,
+        // Packed decimal lengths: 2 digits.
+        Addp4 | Movp | Cmpp3 => 2,
+        // Field position 1, size 8 (never crosses a register pair).
+        Extv | Extzv | Ffs | Ffc | Cmpv | Cmpzv => {
+            if dtype == DataType::Byte {
+                8
+            } else {
+                1
+            }
+        }
+        Insv => {
+            if pos == 2 {
+                8
+            } else {
+                1
+            }
+        }
+        // Low-bit tests that must not branch.
+        Blbs => 2,
+        Blbc => 1,
+        // Bit branches: bit position 1 (R10 seed decides set/clear).
+        Bbs | Bbc | Bbss | Bbcc | Bbsc | Bbcs | Bbssi | Bbcci => 1,
+        // Everything else: 1 keeps divisors nonzero; floats use 0.0.
+        _ => {
+            if dtype.is_float() {
+                0
+            } else {
+                1
+            }
+        }
+    }
+}
+
+/// Address-operand bindings per address position, in order. `None`
+/// means every address position points at the scalar cell.
+fn address_targets(op: Opcode) -> Option<&'static [AddrTarget]> {
+    use AddrTarget::*;
+    use Opcode::*;
+    Some(match op {
+        Insque => &[Cell(CELL_QENTRY), Cell(CELL_QHEAD)],
+        Remque => &[Cell(CELL_QENTRY)],
+        Movc3 => &[Cell(CELL_S1), Cell(CELL_SDST)],
+        Cmpc3 => &[Cell(CELL_S1), Cell(CELL_S2)],
+        Locc | Skpc => &[Cell(CELL_S1)],
+        Movp | Cmpp3 | Addp4 => &[Cell(CELL_P1), Cell(CELL_P2)],
+        Calls => &[Proc],
+        Jmp | Jsb => &[NextSlot],
+        _ => return None,
+    })
+}
+
+fn probe_kind(op: Opcode) -> Result<ProbeKind, String> {
+    use Opcode::*;
+    Ok(match op {
+        Ret => ProbeKind::Ret,
+        Rsb => ProbeKind::Rsb,
+        Jmp | Jsb => ProbeKind::JmpNext,
+        Bsbb | Bsbw => ProbeKind::Bsb,
+        Calls => ProbeKind::Calls,
+        Chmk => ProbeKind::Chmk,
+        Caseb | Casew | Casel => ProbeKind::Case,
+        Callg | Rei => return Err(format!("{}: not probeable in isolation", op.mnemonic())),
+        _ if op.branch_displacement().is_some() => ProbeKind::Branch,
+        _ => ProbeKind::Plain,
+    })
+}
+
+/// Does the probe consume or move SP, requiring a per-slot reseed?
+fn needs_sp(op: Opcode, kind: ProbeKind) -> bool {
+    use Opcode::*;
+    matches!(
+        kind,
+        ProbeKind::Ret | ProbeKind::Rsb | ProbeKind::Bsb | ProbeKind::Calls | ProbeKind::Chmk
+    ) || matches!(op, Pushl | Pushal | Pushr | Popr | Jsb)
+}
+
+/// Condition-code seed forcing `op` (a simple conditional branch) to
+/// fall through; `None` for everything else.
+fn cc_seed(op: Opcode) -> Option<CcSeed> {
+    use Opcode::*;
+    Some(match op {
+        // Fall-through needs Z=1.
+        Bneq | Bgtr | Bgtru => CcSeed::TstR1,
+        // Fall-through needs all-clear CCs.
+        Beql | Bleq | Blss | Blequ | Bvs | Bcs => CcSeed::TstR0,
+        // Fall-through needs N=1.
+        Bgeq => CcSeed::TstR2,
+        Bvc => CcSeed::SetV,
+        Bcc => CcSeed::SetC,
+        _ => return None,
+    })
+}
+
+impl Plan {
+    fn new(pair: PairKey) -> Result<Plan, String> {
+        let op = pair.opcode;
+        if exec_cost(op).is_none() {
+            return Err(format!("{}: privileged opcode", op.mnemonic()));
+        }
+        let kind = probe_kind(op)?;
+        let templates: Vec<_> = op
+            .operands()
+            .iter()
+            .filter(|t| !t.is_branch_displacement())
+            .copied()
+            .collect();
+        let float_group = templates.iter().any(|t| t.data_type().is_float());
+
+        // Injection position: first operand whose access admits the
+        // requested class. A class with no eligible position degrades to
+        // the canonical probe (it can only arise from coverage noise).
+        let inject = pair.mode.and_then(|class| {
+            templates
+                .iter()
+                .position(|t| eligible(class, t.access()))
+                .map(|i| (i, class))
+        });
+
+        let mut plan = Plan {
+            opcode: op,
+            kind,
+            operands: Vec::with_capacity(templates.len()),
+            needs_sp: needs_sp(op, kind),
+            cc: cc_seed(op),
+            r10_slot: match op {
+                // BBSS sets the tested bit; reseed to all-clear.
+                Opcode::Bbss | Opcode::Bbssi => Some(0),
+                // BBCC clears the tested bit; reseed to all-set.
+                Opcode::Bbcc | Opcode::Bbcci => Some(u32::MAX),
+                _ => None,
+            },
+            r6_slot: None,
+            r2: if float_group { 0 } else { u32::MAX },
+            r6: 0,
+            r7: RegSeed::Value(0),
+            r8: 1,
+            r9: match op {
+                Opcode::Sobgeq | Opcode::Sobgtr => -5i32 as u32,
+                _ => 5,
+            },
+            r10: match op {
+                // BBC/BBCC/BBCS fall through while the tested bit is set.
+                Opcode::Bbc | Opcode::Bbcc | Opcode::Bbcci | Opcode::Bbcs => u32::MAX,
+                _ => 0,
+            },
+            data_value: 0,
+        };
+
+        let targets = address_targets(op);
+        let mut addr_ord = 0usize;
+        for (i, t) in templates.iter().enumerate() {
+            let access = t.access();
+            let dtype = t.data_type();
+            let injected = match inject {
+                Some((pos, class)) if pos == i => Some(class),
+                _ => None,
+            };
+            let operand = if let Some(class) = injected {
+                plan.injected_operand(class, access, dtype, op, i, targets, addr_ord)?
+            } else {
+                plan.canonical_operand(access, dtype, op, i, targets, addr_ord)?
+            };
+            if access == AccessType::Address {
+                addr_ord += 1;
+            }
+            plan.operands.push(operand);
+        }
+        Ok(plan)
+    }
+
+    /// Resolve the cell an address position binds to (`None` for
+    /// proc/next-slot flow targets handled by the slot skeleton).
+    fn addr_cell(
+        op: Opcode,
+        targets: Option<&[AddrTarget]>,
+        ord: usize,
+    ) -> Result<Option<u32>, String> {
+        match targets {
+            None => Ok(Some(CELL_DATA)),
+            Some(list) => match list.get(ord) {
+                Some(AddrTarget::Cell(c)) => Ok(Some(*c)),
+                Some(AddrTarget::Proc) | Some(AddrTarget::NextSlot) => Ok(None),
+                None => Err(format!(
+                    "{}: address position {ord} has no binding",
+                    op.mnemonic()
+                )),
+            },
+        }
+    }
+
+    fn canonical_operand(
+        &mut self,
+        access: AccessType,
+        dtype: DataType,
+        op: Opcode,
+        pos: usize,
+        targets: Option<&[AddrTarget]>,
+        addr_ord: usize,
+    ) -> Result<Operand, String> {
+        use AccessType::*;
+        Ok(match access {
+            Read => {
+                if dtype.is_float() || dtype == DataType::Quad {
+                    // R4:R5 hold 0.0 / quad zero.
+                    Operand::Reg(Reg::R4)
+                } else {
+                    let v = value_for(op, pos, dtype);
+                    if v <= 63 {
+                        Operand::Literal(v as u8)
+                    } else {
+                        Operand::Immediate(v)
+                    }
+                }
+            }
+            Write | Modify => {
+                if matches!(
+                    op,
+                    Opcode::Acbw
+                        | Opcode::Acbl
+                        | Opcode::Aoblss
+                        | Opcode::Aobleq
+                        | Opcode::Sobgeq
+                        | Opcode::Sobgtr
+                ) {
+                    Operand::Reg(Reg::R9)
+                } else if dtype.is_float() || dtype == DataType::Quad {
+                    Operand::Reg(Reg::R2)
+                } else {
+                    Operand::Reg(Reg::R10)
+                }
+            }
+            Address => {
+                let reg = pool_reg(op, addr_ord)?;
+                match Plan::addr_cell(op, targets, addr_ord)? {
+                    Some(cell) => {
+                        self.bind_pool(reg, RegSeed::Value(BASE + cell));
+                        Operand::RegDeferred(reg)
+                    }
+                    None => {
+                        // Proc / next-slot: always through R7; the seed is
+                        // the stub VA or a per-slot MOVAL.
+                        if targets.and_then(|l| l.get(addr_ord)) == Some(&AddrTarget::Proc) {
+                            self.bind_pool(Reg::R7, RegSeed::Proc);
+                        }
+                        Operand::RegDeferred(Reg::R7)
+                    }
+                }
+            }
+            Field => {
+                // Field bases stay in registers so field costs are flat:
+                // read-only fields in R8, written fields in R10.
+                if matches!(op, Opcode::Extv | Opcode::Extzv | Opcode::Ffs | Opcode::Ffc) {
+                    Operand::Reg(Reg::R8)
+                } else {
+                    Operand::Reg(Reg::R10)
+                }
+            }
+            Branch => return Err(format!("{}: branch template as specifier", op.mnemonic())),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn injected_operand(
+        &mut self,
+        class: SpecModeClass,
+        access: AccessType,
+        dtype: DataType,
+        op: Opcode,
+        pos: usize,
+        targets: Option<&[AddrTarget]>,
+        addr_ord: usize,
+    ) -> Result<Operand, String> {
+        use SpecModeClass::*;
+        let value = value_for(op, pos, dtype);
+        let memory_injection = !matches!(class, Register | ShortLiteral | Immediate);
+        if memory_injection {
+            // Resolve the memory target. Proc/next-slot flow targets
+            // cannot take an injected mode; keep the canonical flow.
+            let addr = if access == AccessType::Address {
+                match Plan::addr_cell(op, targets, addr_ord)? {
+                    Some(cell) => BASE + cell,
+                    None => {
+                        return self.canonical_operand(access, dtype, op, pos, targets, addr_ord)
+                    }
+                }
+            } else {
+                BASE + CELL_DATA
+            };
+            if access.reads_value() && addr == BASE + CELL_DATA {
+                self.data_value = value;
+            }
+            return Ok(match class {
+                RegisterDeferred => {
+                    self.r6 = addr;
+                    Operand::RegDeferred(Reg::R6)
+                }
+                Displacement => {
+                    // A 4-byte offset keeps the displacement in byte
+                    // width — the mode the workloads overwhelmingly use.
+                    self.r6 = addr.wrapping_sub(4);
+                    Operand::Disp(4, Reg::R6)
+                }
+                DisplacementDeferred => {
+                    self.r6 = (BASE + CELL_PTR).wrapping_sub(4);
+                    Operand::DispDeferred(4, Reg::R6)
+                }
+                AutoIncrement => {
+                    self.r6_slot = Some(addr);
+                    Operand::AutoIncrement(Reg::R6)
+                }
+                AutoDecrement => {
+                    self.r6_slot = Some(addr + dtype.size_bytes());
+                    Operand::AutoDecrement(Reg::R6)
+                }
+                AutoIncDeferred => {
+                    self.r6_slot = Some(BASE + CELL_PTR);
+                    Operand::AutoIncDeferred(Reg::R6)
+                }
+                Absolute => Operand::Absolute(addr),
+                Register | ShortLiteral | Immediate => unreachable!(),
+            });
+        }
+        Ok(match class {
+            ShortLiteral => Operand::Literal((value & 0x3F) as u8),
+            Immediate => Operand::Immediate(value),
+            Register => match access {
+                AccessType::Read => {
+                    if dtype.is_float() || dtype == DataType::Quad {
+                        Operand::Reg(Reg::R4)
+                    } else {
+                        self.r8 = value as u32;
+                        Operand::Reg(Reg::R8)
+                    }
+                }
+                // Write/modify/field register injections coincide with
+                // the canonical operand.
+                _ => self.canonical_operand(access, dtype, op, pos, targets, addr_ord)?,
+            },
+            _ => unreachable!(),
+        })
+    }
+
+    fn bind_pool(&mut self, reg: Reg, seed: RegSeed) {
+        match reg {
+            Reg::R7 => self.r7 = seed,
+            Reg::R10 => {
+                if let RegSeed::Value(v) = seed {
+                    self.r10 = v;
+                }
+            }
+            _ => unreachable!("pool registers are R7 and R10"),
+        }
+    }
+}
+
+/// Pool register for the `ord`-th address-access operand position.
+fn pool_reg(op: Opcode, ord: usize) -> Result<Reg, String> {
+    match ord {
+        0 => Ok(Reg::R7),
+        1 => Ok(Reg::R10),
+        _ => Err(format!("{}: more than two address operands", op.mnemonic())),
+    }
+}
+
+/// Assemble the probe pair image.
+///
+/// # Errors
+///
+/// Returns text diagnostics for pairs the generator cannot drive
+/// (privileged opcodes, unsupported flow shapes) and propagates
+/// assembler errors.
+pub fn build(pair: PairKey, unroll: u32, iters: u32) -> Result<ProbeProgram, String> {
+    if unroll == 0 || iters == 0 || iters > 64 {
+        return Err(format!("bad probe geometry: unroll={unroll} iters={iters}"));
+    }
+    let plan = Plan::new(pair)?;
+    let mut asm = Assembler::new(BASE);
+
+    // Data block.
+    let mut data = [0u8; DATA_LEN as usize];
+    data[CELL_DATA as usize..CELL_DATA as usize + 8]
+        .copy_from_slice(&plan.data_value.to_le_bytes());
+    data[CELL_PTR as usize..CELL_PTR as usize + 4]
+        .copy_from_slice(&(BASE + CELL_DATA).to_le_bytes());
+    // Packed +0 and +11 (2 digits: one digit byte plus sign nibble).
+    data[CELL_P1 as usize] = 0x00;
+    data[CELL_P1 as usize + 1] = 0x0C;
+    data[CELL_P2 as usize] = 0x01;
+    data[CELL_P2 as usize + 1] = 0x1C;
+    for k in 0..4 {
+        data[CELL_S1 as usize + k] = 0x01;
+        data[CELL_S2 as usize + k] = 0x01;
+    }
+    for (cell, link) in [(CELL_QENTRY, CELL_QENTRY), (CELL_QHEAD, CELL_QHEAD)] {
+        let va = (BASE + link).to_le_bytes();
+        data[cell as usize..cell as usize + 4].copy_from_slice(&va);
+        data[cell as usize + 4..cell as usize + 8].copy_from_slice(&va);
+    }
+    asm.bytes(&data);
+
+    let e = |err: ArchError| format!("{}: {err}", pair.label());
+
+    // Stubs.
+    let mut proc_va = 0u32;
+    if plan.r7 == RegSeed::Proc {
+        proc_va = asm.here();
+        asm.word(0); // entry mask: save no registers
+        asm.inst(Opcode::Ret, &[]).map_err(e)?;
+    }
+    let mut chmk_handler = None;
+    if plan.kind == ProbeKind::Chmk {
+        let va = asm.here();
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::AutoIncrement(Reg::Sp), Operand::Reg(Reg::R0)],
+        )
+        .map_err(e)?;
+        asm.inst(Opcode::Rei, &[]).map_err(e)?;
+        chmk_handler = Some(va);
+    }
+
+    // Prologue.
+    let prologue = asm.here();
+    let seeds: [(Reg, u32); 11] = [
+        (Reg::R0, 1),
+        (Reg::R1, 0),
+        (Reg::R2, plan.r2),
+        (Reg::R3, 0),
+        (Reg::R4, 0),
+        (Reg::R5, 0),
+        (Reg::R6, plan.r6),
+        (
+            Reg::R7,
+            match plan.r7 {
+                RegSeed::Value(v) => v,
+                RegSeed::Proc => proc_va,
+            },
+        ),
+        (Reg::R8, plan.r8),
+        (Reg::R9, plan.r9),
+        (Reg::R10, plan.r10),
+    ];
+    for (reg, v) in seeds {
+        asm.inst(
+            Opcode::Movl,
+            &[Operand::Immediate(u64::from(v)), Operand::Reg(reg)],
+        )
+        .map_err(e)?;
+    }
+    asm.inst(Opcode::Halt, &[]).map_err(e)?;
+
+    // The two loops.
+    let cal_entry = emit_loop(&mut asm, &plan, unroll, iters, false).map_err(e)?;
+    let probe_entry = emit_loop(&mut asm, &plan, unroll, iters, true).map_err(e)?;
+
+    let image = asm.finish().map_err(e)?;
+    Ok(ProbeProgram {
+        image,
+        prologue,
+        cal_entry,
+        probe_entry,
+        chmk_handler,
+        shapes: shapes(&plan),
+        unroll,
+        iters,
+    })
+}
+
+fn emit_loop(
+    asm: &mut Assembler,
+    plan: &Plan,
+    unroll: u32,
+    iters: u32,
+    with_probe: bool,
+) -> Result<u32, ArchError> {
+    let entry = asm.here();
+    asm.inst(Opcode::Clrl, &[Operand::Reg(Reg::R11)])?;
+    let top = asm.label_here();
+    for _ in 0..unroll {
+        emit_slot(asm, plan, with_probe)?;
+    }
+    // ACBL #iters-1, #1, R11: body runs exactly `iters` times.
+    asm.branch(
+        Opcode::Acbl,
+        &[
+            Operand::Literal((iters - 1) as u8),
+            Operand::Literal(1),
+            Operand::Reg(Reg::R11),
+        ],
+        top,
+    )?;
+    asm.inst(Opcode::Halt, &[])?;
+    Ok(entry)
+}
+
+fn emit_slot(asm: &mut Assembler, plan: &Plan, with_probe: bool) -> Result<(), ArchError> {
+    let next = asm.new_label();
+
+    // --- setup (identical in both loops) ---
+    if plan.needs_sp {
+        seed_reg(asm, Reg::Sp, BASE + SP_SEED)?;
+    }
+    if let Some(v) = plan.r6_slot {
+        seed_reg(asm, Reg::R6, v)?;
+    }
+    match plan.kind {
+        ProbeKind::Ret => {
+            // Frame for RET, fields ascending from FP:
+            // handler, mask (CALLS flag, no registers), saved AP,
+            // saved FP, return PC; AP points at a zero argument count.
+            asm.inst(Opcode::Pushl, &[Operand::Literal(0)])?;
+            asm.inst(
+                Opcode::Movl,
+                &[Operand::Reg(Reg::Sp), Operand::Reg(Reg::Ap)],
+            )?;
+            asm.moval_pcrel(next, Operand::Reg(Reg::R10))?;
+            asm.inst(Opcode::Pushl, &[Operand::Reg(Reg::R10)])?;
+            asm.inst(Opcode::Pushl, &[Operand::Literal(0)])?;
+            asm.inst(Opcode::Pushl, &[Operand::Reg(Reg::Ap)])?;
+            asm.inst(Opcode::Pushl, &[Operand::Immediate(0x2000)])?;
+            asm.inst(Opcode::Pushl, &[Operand::Literal(0)])?;
+            asm.inst(
+                Opcode::Movl,
+                &[Operand::Reg(Reg::Sp), Operand::Reg(Reg::Fp)],
+            )?;
+        }
+        ProbeKind::Rsb => {
+            asm.moval_pcrel(next, Operand::Reg(Reg::R10))?;
+            asm.inst(Opcode::Pushl, &[Operand::Reg(Reg::R10)])?;
+        }
+        ProbeKind::JmpNext => {
+            asm.moval_pcrel(next, Operand::Reg(Reg::R7))?;
+        }
+        _ => {}
+    }
+    if let Some(v) = plan.r10_slot {
+        seed_reg(asm, Reg::R10, v)?;
+    }
+    match plan.cc {
+        Some(CcSeed::TstR0) => {
+            asm.inst(Opcode::Tstl, &[Operand::Reg(Reg::R0)])?;
+        }
+        Some(CcSeed::TstR1) => {
+            asm.inst(Opcode::Tstl, &[Operand::Reg(Reg::R1)])?;
+        }
+        Some(CcSeed::TstR2) => {
+            asm.inst(Opcode::Tstl, &[Operand::Reg(Reg::R2)])?;
+        }
+        Some(CcSeed::SetV) => {
+            seed_reg(asm, Reg::R3, 0x7FFF_FFFF)?;
+            asm.inst(Opcode::Addl2, &[Operand::Literal(1), Operand::Reg(Reg::R3)])?;
+        }
+        Some(CcSeed::SetC) => {
+            asm.inst(
+                Opcode::Cmpl,
+                &[Operand::Reg(Reg::R1), Operand::Reg(Reg::R0)],
+            )?;
+        }
+        None => {}
+    }
+
+    // --- probe (probe loop only) ---
+    if with_probe {
+        match plan.kind {
+            ProbeKind::Plain | ProbeKind::Chmk => {
+                asm.inst(plan.opcode, &plan.operands)?;
+            }
+            ProbeKind::Branch => {
+                asm.branch(plan.opcode, &plan.operands, next)?;
+            }
+            ProbeKind::Case => {
+                asm.case(plan.opcode, &plan.operands, &[next])?;
+            }
+            ProbeKind::Bsb => {
+                let hop = asm.new_label();
+                asm.branch(plan.opcode, &plan.operands, hop)?;
+                asm.branch(Opcode::Brb, &[], next)?;
+                asm.place(hop)?;
+                asm.inst(Opcode::Rsb, &[])?;
+            }
+            ProbeKind::JmpNext | ProbeKind::Calls | ProbeKind::Ret | ProbeKind::Rsb => {
+                asm.inst(plan.opcode, &plan.operands)?;
+            }
+        }
+    }
+    asm.place(next)?;
+    Ok(())
+}
+
+fn seed_reg(asm: &mut Assembler, reg: Reg, value: u32) -> Result<(), ArchError> {
+    asm.inst(
+        Opcode::Movl,
+        &[Operand::Immediate(u64::from(value)), Operand::Reg(reg)],
+    )?;
+    Ok(())
+}
+
+/// The per-slot instruction shapes the model must predict: the probe
+/// instruction plus any companions (RET after CALLS, the CHMK service
+/// stub, the RSB/BRB of a BSB hop) in execution order.
+fn shapes(plan: &Plan) -> Vec<InstShape> {
+    let templates: Vec<_> = plan
+        .opcode
+        .operands()
+        .iter()
+        .filter(|t| !t.is_branch_displacement())
+        .copied()
+        .collect();
+    let primary = InstShape {
+        opcode: plan.opcode,
+        specs: plan
+            .operands
+            .iter()
+            .zip(&templates)
+            .map(|(operand, t)| SpecShape {
+                class: operand.mode_class(),
+                access: t.access(),
+                dtype: t.data_type(),
+                indexed: operand.is_indexed(),
+            })
+            .collect(),
+    };
+    let bare = |opcode: Opcode| InstShape {
+        opcode,
+        specs: Vec::new(),
+    };
+    let mut out = vec![primary];
+    match plan.kind {
+        ProbeKind::Bsb => {
+            out.push(bare(Opcode::Rsb));
+            out.push(bare(Opcode::Brb));
+        }
+        ProbeKind::Calls => out.push(bare(Opcode::Ret)),
+        ProbeKind::Chmk => {
+            out.push(InstShape {
+                opcode: Opcode::Movl,
+                specs: vec![
+                    SpecShape {
+                        class: SpecModeClass::AutoIncrement,
+                        access: AccessType::Read,
+                        dtype: DataType::Long,
+                        indexed: false,
+                    },
+                    SpecShape {
+                        class: SpecModeClass::Register,
+                        access: AccessType::Write,
+                        dtype: DataType::Long,
+                        indexed: false,
+                    },
+                ],
+            });
+            out.push(bare(Opcode::Rei));
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(text: &str) -> PairKey {
+        PairKey::parse(text).expect("valid pair label")
+    }
+
+    #[test]
+    fn builds_canonical_and_injected_images() {
+        for label in [
+            "movl:none",
+            "movl:displacement",
+            "movl:autoincrement",
+            "movl:autodecrement",
+            "movl:autoincrement-deferred",
+            "movl:displacement-deferred",
+            "movl:absolute",
+            "addl2:register",
+            "brb:none",
+            "bneq:none",
+            "acbl:none",
+            "sobgtr:none",
+            "casel:none",
+            "calls:short-literal",
+            "ret:none",
+            "rsb:none",
+            "chmk:none",
+            "bsbw:none",
+            "jmp:none",
+            "pushr:none",
+            "insque:displacement",
+            "remque:none",
+            "movc3:none",
+            "addp4:none",
+            "extv:register",
+            "bbss:none",
+            "addf2:none",
+            "movf:displacement",
+            "divl3:none",
+        ] {
+            let prog = build(pair(label), DEFAULT_UNROLL, DEFAULT_ITERS)
+                .unwrap_or_else(|err| panic!("{label}: {err}"));
+            assert!(prog.image.end() <= BASE + 0x10_0000, "{label}: image size");
+            assert_eq!(prog.divisor(), 256, "{label}");
+            assert!(!prog.shapes.is_empty(), "{label}");
+            assert_eq!(prog.shapes[0].opcode, pair(label).opcode, "{label}");
+        }
+    }
+
+    #[test]
+    fn probe_loop_is_strictly_longer_than_calibration_loop() {
+        let prog = build(pair("movl:none"), DEFAULT_UNROLL, DEFAULT_ITERS).unwrap();
+        assert!(prog.probe_entry > prog.cal_entry);
+        assert!(prog.image.end() > prog.probe_entry);
+    }
+
+    #[test]
+    fn rejects_privileged_and_bad_geometry() {
+        assert!(build(
+            PairKey {
+                opcode: Opcode::Mtpr,
+                mode: None
+            },
+            8,
+            32
+        )
+        .is_err());
+        assert!(build(pair("movl:none"), 0, 32).is_err());
+        assert!(build(pair("movl:none"), 8, 65).is_err());
+    }
+
+    #[test]
+    fn chmk_probe_has_handler_and_companion_shapes() {
+        let prog = build(pair("chmk:none"), 8, 32).unwrap();
+        assert!(prog.chmk_handler.is_some());
+        let ops: Vec<_> = prog.shapes.iter().map(|s| s.opcode).collect();
+        assert_eq!(ops, vec![Opcode::Chmk, Opcode::Movl, Opcode::Rei]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = build(pair("insque:displacement"), 8, 32).unwrap();
+        let b = build(pair("insque:displacement"), 8, 32).unwrap();
+        assert_eq!(a.image.bytes, b.image.bytes);
+        assert_eq!(a.shapes, b.shapes);
+    }
+}

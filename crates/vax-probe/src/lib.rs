@@ -1,0 +1,16 @@
+//! vax-probe: measurement-driven self-characterization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod coverage;
+pub mod diff;
+pub mod gen;
+pub mod runner;
+
+pub use campaign::{run_probe, ProbeConfig, ProbeOutcome};
+pub use coverage::{Coverage, PairKey};
+pub use diff::{diff_pair, Bucket, BucketMap, PairDiff};
+pub use gen::{ProbeProgram, DEFAULT_ITERS, DEFAULT_UNROLL};
+pub use runner::{measure, PairMeasurement};

@@ -1,0 +1,264 @@
+//! Probe execution: run one pair's calibration and probe loops under
+//! the full instrument stack and difference the per-µPC histograms.
+//!
+//! Each pair runs five times on a fresh machine: the register prologue,
+//! one unmonitored warm-up of each loop (so memory cells, caches and
+//! the TB reach steady state), then a measured run of each loop under
+//! the histogram board, the event tracer, the per-phase sample
+//! aggregator and the hardware counters simultaneously. Both measured
+//! runs must reconcile exactly across all three instruments before the
+//! differential is trusted.
+
+use std::collections::BTreeMap;
+
+use upc_monitor::{Command, CycleSink, Histogram, HistogramBoard, NullSink, SampleAggregator};
+use vax_analysis::reconcile::reconcile;
+use vax_cpu::harness::SimpleMachine;
+use vax_cpu::{scb, CpuError};
+use vax_trace::Tracer;
+
+use crate::coverage::PairKey;
+use crate::gen::{self, ProbeProgram};
+
+/// Instruction budget per loop run — orders of magnitude above any
+/// healthy probe loop, so hitting it means runaway control flow.
+const RUN_CAP: u64 = 1_000_000;
+
+/// Ring capacity for the per-run tracer. Only the tracer's *counters*
+/// feed reconciliation, so a small ring (events drop harmlessly) keeps
+/// the campaign cheap.
+const TRACE_RING: usize = 1024;
+
+/// The measured differential for one pair.
+#[derive(Debug, Clone)]
+pub struct PairMeasurement {
+    /// The probed pair.
+    pub pair: PairKey,
+    /// The generated program (shapes, geometry).
+    pub program: ProbeProgram,
+    /// Per-µPC issue delta (probe − calibration), raw over the whole
+    /// run; divide by [`ProbeProgram::divisor`] for per-execution
+    /// counts.
+    pub issue_delta: BTreeMap<u16, i64>,
+    /// Per-µPC stall-cycle delta (probe − calibration). Stalls are
+    /// timing-dependent evidence, not verified claims.
+    pub stall_delta: BTreeMap<u16, i64>,
+    /// Did every measured run reconcile exactly across the tracer, the
+    /// histogram board and the hardware counters?
+    pub reconciled: bool,
+}
+
+/// Build, warm and measure one pair, charging measured samples to
+/// `agg` under the `<pair-label>/cal` and `<pair-label>/probe` phases.
+///
+/// # Errors
+///
+/// Text diagnostics for generation failures, unexpected faults, or
+/// loops that fail to halt.
+pub fn measure(
+    pair: PairKey,
+    unroll: u32,
+    iters: u32,
+    agg: &mut SampleAggregator,
+) -> Result<PairMeasurement, String> {
+    let label = pair.label();
+    let program = gen::build(pair, unroll, iters)?;
+    let mut machine = SimpleMachine::with_code(&program.image);
+    if let Some(handler) = program.chmk_handler {
+        machine.cpu.set_scb_vector(scb::CHMK, handler);
+    }
+
+    run_quiet(&mut machine, program.prologue, &label, "prologue")?;
+    run_quiet(&mut machine, program.cal_entry, &label, "warm-cal")?;
+    run_quiet(&mut machine, program.probe_entry, &label, "warm-probe")?;
+
+    agg.trace_phase(&label, true);
+    let cal = instrumented_run(&mut machine, program.cal_entry, agg, &label, "cal");
+    let probe = cal.and_then(|cal| {
+        instrumented_run(&mut machine, program.probe_entry, agg, &label, "probe")
+            .map(|probe| (cal, probe))
+    });
+    agg.trace_phase(&label, false);
+    let (cal, probe) = probe?;
+
+    let mut issue_delta: BTreeMap<u16, i64> = BTreeMap::new();
+    let mut stall_delta: BTreeMap<u16, i64> = BTreeMap::new();
+    for (addr, issues, stalls) in probe.hist.nonzero() {
+        if issues > 0 {
+            issue_delta.insert(addr.value(), issues as i64);
+        }
+        if stalls > 0 {
+            stall_delta.insert(addr.value(), stalls as i64);
+        }
+    }
+    for (addr, issues, stalls) in cal.hist.nonzero() {
+        if issues > 0 {
+            *issue_delta.entry(addr.value()).or_insert(0) -= issues as i64;
+        }
+        if stalls > 0 {
+            *stall_delta.entry(addr.value()).or_insert(0) -= stalls as i64;
+        }
+    }
+    issue_delta.retain(|_, v| *v != 0);
+    stall_delta.retain(|_, v| *v != 0);
+
+    Ok(PairMeasurement {
+        pair,
+        program,
+        issue_delta,
+        stall_delta,
+        reconciled: cal.reconciled && probe.reconciled,
+    })
+}
+
+struct RunCapture {
+    hist: Histogram,
+    reconciled: bool,
+}
+
+fn run_to_halt<S: CycleSink>(
+    machine: &mut SimpleMachine,
+    entry: u32,
+    sink: &mut S,
+    label: &str,
+    what: &str,
+) -> Result<(), String> {
+    machine.cpu.jump(entry);
+    match machine.cpu.run(RUN_CAP, sink) {
+        Err(CpuError::Halted { .. }) => Ok(()),
+        Err(CpuError::UnhandledFault { fault, pc }) => Err(format!(
+            "{label}: {what}: unhandled fault {fault:?} at {pc:#x}"
+        )),
+        Err(other) => Err(format!("{label}: {what}: {other:?}")),
+        Ok(_) => Err(format!(
+            "{label}: {what}: did not halt within {RUN_CAP} instructions"
+        )),
+    }
+}
+
+fn run_quiet(
+    machine: &mut SimpleMachine,
+    entry: u32,
+    label: &str,
+    what: &str,
+) -> Result<(), String> {
+    run_to_halt(machine, entry, &mut NullSink, label, what)
+}
+
+fn instrumented_run(
+    machine: &mut SimpleMachine,
+    entry: u32,
+    agg: &mut SampleAggregator,
+    label: &str,
+    phase: &str,
+) -> Result<RunCapture, String> {
+    let hw_base = *machine.cpu.mem().counters();
+    let mut board = HistogramBoard::new();
+    board.execute(Command::Start);
+    let mut tracer = Tracer::with_capacity(TRACE_RING);
+    agg.trace_phase(phase, true);
+    let outcome = run_to_halt(
+        machine,
+        entry,
+        &mut ((&mut board, &mut tracer), &mut *agg),
+        label,
+        phase,
+    );
+    agg.trace_phase(phase, false);
+    board.execute(Command::Stop);
+    outcome?;
+    let hist = board.into_histogram();
+    let hw = machine.cpu.mem().counters().delta_since(&hw_base);
+    let rec = reconcile(&tracer, &hist, &hw, machine.cpu.pending_ib_tb_miss());
+    Ok(RunCapture {
+        hist,
+        reconciled: rec.is_ok(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{DEFAULT_ITERS, DEFAULT_UNROLL};
+
+    fn run(label: &str) -> PairMeasurement {
+        let pair = PairKey::parse(label).expect("valid pair");
+        let mut agg = SampleAggregator::new();
+        measure(pair, DEFAULT_UNROLL, DEFAULT_ITERS, &mut agg)
+            .unwrap_or_else(|err| panic!("{label}: {err}"))
+    }
+
+    #[test]
+    fn movl_probe_reconciles_and_yields_clean_deltas() {
+        let m = run("movl:none");
+        assert!(m.reconciled, "three-way reconciliation failed");
+        let divisor = m.program.divisor() as i64;
+        // The exactness invariant holds only at checked buckets; the
+        // abort row soaks up the periodic consistency patch and is by
+        // design outside the map.
+        let cs = vax_ucode::ControlStore::build();
+        let map = crate::diff::BucketMap::new(&cs);
+        let mut checked = 0;
+        for (&addr, &delta) in &m.issue_delta {
+            if map.get(addr).is_none() {
+                continue;
+            }
+            checked += 1;
+            assert!(delta > 0, "negative issue delta {delta} at {addr:#06x}");
+            assert_eq!(
+                delta % divisor,
+                0,
+                "issue delta {delta} at {addr:#06x} not a multiple of {divisor}"
+            );
+        }
+        assert!(checked > 0, "no checked buckets saw a delta");
+    }
+
+    #[test]
+    fn branching_probes_halt_and_reconcile() {
+        for label in ["brb:none", "bneq:none", "acbl:none", "casel:none"] {
+            let m = run(label);
+            assert!(m.reconciled, "{label}: reconciliation failed");
+        }
+    }
+
+    #[test]
+    fn flow_probes_halt_and_reconcile() {
+        for label in [
+            "ret:none",
+            "rsb:none",
+            "calls:none",
+            "chmk:none",
+            "jmp:none",
+        ] {
+            let m = run(label);
+            assert!(m.reconciled, "{label}: reconciliation failed");
+        }
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let a = run("insque:none");
+        let b = run("insque:none");
+        assert_eq!(a.issue_delta, b.issue_delta);
+        assert_eq!(a.stall_delta, b.stall_delta);
+    }
+
+    #[test]
+    fn samples_land_under_pair_phases() {
+        let pair = PairKey::parse("movl:none").unwrap();
+        let mut agg = SampleAggregator::new();
+        measure(pair, DEFAULT_UNROLL, DEFAULT_ITERS, &mut agg).unwrap();
+        let segments: Vec<_> = agg.segments().map(str::to_string).collect();
+        assert!(
+            segments.iter().any(|s| s == "movl:none/cal"),
+            "{segments:?}"
+        );
+        assert!(
+            segments.iter().any(|s| s == "movl:none/probe"),
+            "{segments:?}"
+        );
+        let cal = agg.phase_totals("movl:none/cal");
+        assert!(cal.0 > 0, "no issues charged to the cal phase");
+    }
+}

@@ -1,0 +1,111 @@
+//! Host and build provenance for measurement artifacts.
+//!
+//! A benchmark or probe artifact without its environment is not
+//! reproducible evidence: sim-MIPS depend on the host CPU, and inferred
+//! latency tables depend on the exact simulator revision. [`HostStamp`]
+//! collects what's knowable — host CPU model, rustc version, git
+//! revision, cargo profile and opt-level (the last four baked in by the
+//! build script) — with `unknown` for anything the environment refuses
+//! to reveal, never an error: stamping must not make measurement flaky.
+
+/// Provenance of the binary and the host it runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostStamp {
+    /// Host CPU model (from `/proc/cpuinfo`).
+    pub cpu_model: String,
+    /// `rustc --version` of the compiler that built this binary.
+    pub rustc: String,
+    /// Git revision (short) of the built tree.
+    pub git_rev: String,
+    /// Cargo build profile (`debug` / `release`).
+    pub profile: String,
+    /// Optimization level the profile compiled with.
+    pub opt_level: String,
+}
+
+impl HostStamp {
+    /// Collect the stamp. Build-time fields are compile-time constants;
+    /// the CPU model is read at call time.
+    pub fn collect() -> HostStamp {
+        HostStamp {
+            cpu_model: cpu_model(),
+            rustc: env!("VAX_RUSTC_VERSION").to_string(),
+            git_rev: env!("VAX_GIT_REV").to_string(),
+            profile: env!("VAX_BUILD_PROFILE").to_string(),
+            opt_level: env!("VAX_OPT_LEVEL").to_string(),
+        }
+    }
+
+    /// The stamp as ordered (key, value) pairs, the shape artifact
+    /// codecs store (`meta <key> <value>` lines).
+    pub fn lines(&self) -> Vec<(&'static str, &str)> {
+        vec![
+            ("cpu-model", self.cpu_model.as_str()),
+            ("rustc", self.rustc.as_str()),
+            ("git-rev", self.git_rev.as_str()),
+            ("profile", self.profile.as_str()),
+            ("opt-level", self.opt_level.as_str()),
+        ]
+    }
+
+    /// The stamp as a JSON object (for `BENCH_*.json`).
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{{\"cpu_model\": \"{}\", \"rustc\": \"{}\", \"git_rev\": \"{}\", \
+             \"profile\": \"{}\", \"opt_level\": \"{}\"}}",
+            esc(&self.cpu_model),
+            esc(&self.rustc),
+            esc(&self.git_rev),
+            esc(&self.profile),
+            esc(&self.opt_level)
+        )
+    }
+}
+
+/// First `model name` line of `/proc/cpuinfo`, or `unknown`.
+fn cpu_model() -> String {
+    let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return "unknown".to_string();
+    };
+    for line in text.lines() {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim() == "model name" {
+                return value.trim().to_string();
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_fields_are_nonempty() {
+        let s = HostStamp::collect();
+        for (key, value) in s.lines() {
+            assert!(!value.is_empty(), "{key} empty");
+        }
+        assert!(
+            s.rustc.contains("rustc") || s.rustc == "unknown",
+            "{}",
+            s.rustc
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shapewise() {
+        let s = HostStamp {
+            cpu_model: "Weird \"CPU\"".to_string(),
+            rustc: "rustc 1.0".to_string(),
+            git_rev: "abc123".to_string(),
+            profile: "debug".to_string(),
+            opt_level: "0".to_string(),
+        };
+        let json = s.to_json();
+        assert!(json.contains("Weird \\\"CPU\\\""), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -50,12 +50,14 @@
 pub mod counters;
 pub mod event;
 pub mod export;
+pub mod host;
 pub mod metrics;
 pub mod ring;
 mod tracer;
 
 pub use counters::TraceCounters;
 pub use event::{TraceEvent, TraceEventKind};
+pub use host::HostStamp;
 pub use metrics::{PhaseMetrics, SelfMetrics, SpanSet};
 pub use ring::RingBuffer;
 pub use tracer::{Tracer, DEFAULT_CAPACITY};

@@ -27,6 +27,7 @@
 mod addr;
 mod class;
 mod layout;
+pub mod model;
 
 pub use addr::MicroAddr;
 pub use class::{AddrClass, EventTag, MemOp, Row, SpecPosition, StallPoint};

@@ -42,6 +42,12 @@ impl WorkloadKind {
             WorkloadKind::Commercial => "commercial",
         }
     }
+
+    /// Look a workload up by its [`name`](WorkloadKind::name) (the label
+    /// CLI flags pass around).
+    pub fn parse(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 /// Build the parameter set for a workload.

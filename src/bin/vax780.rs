@@ -14,7 +14,11 @@
 //! vax780 inject (--fault-plan FILE | --faults LIST [--seed N])
 //!               [--workload NAME] [--instructions N] [--warmup N]
 //!               [--report]
-//! vax780 report --histogram FILE [--instructions-hint N]
+//! vax780 probe [--pair MN:CLASS|none]... [--unroll N] [--iters N]
+//!              [--allowlist FILE] [--out FILE]
+//!              [--samples FILE] [--folded FILE]
+//!              [--jsonl] [--deny RULE|all]
+//! vax780 report --histogram FILE [--instructions-hint N] [--json FILE]
 //! vax780 disasm --workload NAME [--function K] [--lines N]
 //! vax780 bench [--instructions N] [--trace-instructions N] [--warmup N]
 //!              [--json FILE]
@@ -34,6 +38,12 @@
 //! attributes the recovery cycles, and the run must still reconcile
 //! exactly (with `--report`, a clean baseline and one run per fault
 //! class quantify ΔCPI per class);
+//! `probe` characterizes the machine from the outside: one generated
+//! microbenchmark per opcode × addressing-mode pair, measured under
+//! every instrument at once, differenced against a calibration loop,
+//! and diffed bucket-by-bucket against the static latency model —
+//! disagreements become typed `probe-*` diagnostics unless an
+//! allowlist accepts them as measured refinements;
 //! `report` re-analyses a saved histogram (the paper's "additional
 //! interpretation of the raw histogram data", §2.2); `disasm` shows the
 //! generated VAX code a workload actually runs; `bench` measures the
@@ -61,6 +71,7 @@ fn main() -> ExitCode {
         Some("trace") => checked(cmd_trace, "trace", &args[1..], TRACE_SPEC),
         Some("inject") => checked(cmd_inject, "inject", &args[1..], INJECT_SPEC),
         Some("report") => checked(cmd_report, "report", &args[1..], REPORT_SPEC),
+        Some("probe") => checked(cmd_probe, "probe", &args[1..], PROBE_SPEC),
         Some("disasm") => checked(cmd_disasm, "disasm", &args[1..], DISASM_SPEC),
         Some("lint") => checked(cmd_lint, "lint", &args[1..], LINT_SPEC),
         Some("bench") => checked(cmd_bench, "bench", &args[1..], BENCH_SPEC),
@@ -83,7 +94,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vax780 <run|sweep|trace|inject|report|disasm|lint|bench|list> [options]\n\
+    "usage: vax780 <run|sweep|trace|inject|probe|report|disasm|lint|bench|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
@@ -98,7 +109,10 @@ const USAGE: &str =
      inject  --fault-plan FILE | --faults CLASS[,CLASS...]  --seed N\n\
      \x20       --workload NAME  --instructions N  --warmup N  --report\n\
      \x20       (classes: cache-parity tb-corrupt sbi-timeout write-buffer cs-bit-flip)\n\
-     report  --histogram FILE  --instructions-hint N\n\
+     probe   --pair MN:CLASS|none (repeatable)  --unroll N  --iters N\n\
+     \x20       --allowlist FILE  --out FILE  --samples FILE  --folded FILE\n\
+     \x20       --jsonl  --deny RULE|all\n\
+     report  --histogram FILE  --instructions-hint N  --json FILE\n\
      disasm  --workload NAME  --function K  --lines N\n\
      lint    --profile NAME  --all-profiles  --image FILE\n\
      \x20       --emit-image FILE  --jsonl  --deny RULE|all\n\
@@ -150,7 +164,22 @@ const INJECT_SPEC: Spec = &[
     ("--seed", true),
     ("--report", false),
 ];
-const REPORT_SPEC: Spec = &[("--histogram", true), ("--instructions-hint", true)];
+const REPORT_SPEC: Spec = &[
+    ("--histogram", true),
+    ("--instructions-hint", true),
+    ("--json", true),
+];
+const PROBE_SPEC: Spec = &[
+    ("--pair", true),
+    ("--unroll", true),
+    ("--iters", true),
+    ("--allowlist", true),
+    ("--out", true),
+    ("--samples", true),
+    ("--folded", true),
+    ("--jsonl", false),
+    ("--deny", true),
+];
 const DISASM_SPEC: Spec = &[
     ("--workload", true),
     ("--function", true),
@@ -809,6 +838,127 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     }
 }
 
+/// `vax780 probe`: measurement-driven self-characterization. Runs the
+/// full coverage campaign (or a `--pair` subset), infers per-opcode and
+/// per-mode issue tables from calibrated histogram deltas, and refutes
+/// or confirms the static model. Nonzero exit when any error-severity
+/// disagreement survives the allowlist and `--deny` promotion.
+fn cmd_probe(args: &[String]) -> ExitCode {
+    use vax_lint::Rule;
+    use vax_probe::{run_probe, PairKey, ProbeConfig};
+
+    let deny: Vec<String> = opt_all(args, "--deny")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    for d in &deny {
+        if d != "all" && Rule::parse(d).is_none() {
+            eprintln!("vax780 probe: unknown rule '{d}' for --deny (or 'all')");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut config = ProbeConfig::default();
+    for (name, slot) in [
+        ("--unroll", &mut config.unroll),
+        ("--iters", &mut config.iters),
+    ] {
+        if let Some(s) = opt(args, name) {
+            match s.parse() {
+                Ok(n) => *slot = n,
+                Err(_) => {
+                    eprintln!("{name} wants a positive integer, got '{s}'");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let pair_args = opt_all(args, "--pair");
+    if !pair_args.is_empty() {
+        let mut filter = std::collections::BTreeSet::new();
+        for text in pair_args {
+            let Some(pair) = PairKey::parse(text) else {
+                eprintln!("vax780 probe: bad pair '{text}' (want <mnemonic>:<class-key|none>)");
+                return ExitCode::FAILURE;
+            };
+            filter.insert(pair);
+        }
+        config.filter = Some(filter);
+    }
+    if let Some(path) = opt(args, "--allowlist") {
+        match std::fs::read_to_string(path) {
+            Ok(text) => config.allow_text = text,
+            Err(e) => {
+                eprintln!("vax780 probe: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match &config.filter {
+        Some(filter) => eprintln!("probing {} pair(s) ...", filter.len()),
+        None => {
+            eprintln!("probing full coverage (every opcode x mode pair, plus mode references) ...")
+        }
+    }
+    let mut outcome = match run_probe(&config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("vax780 probe: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let host = vax_trace::HostStamp::collect();
+    outcome.tables.stamp("cpu-model", &host.cpu_model);
+    outcome.tables.stamp("rustc", &host.rustc);
+    outcome.tables.stamp("git-rev", &host.git_rev);
+    outcome.tables.stamp("profile", &host.profile);
+    outcome.tables.stamp("opt-level", &host.opt_level);
+
+    let clean = outcome.tables.pairs.values().filter(|&&ok| ok).count();
+    eprintln!(
+        "probed {} pair(s): {clean} clean, {} op row(s), {} mode row(s)",
+        outcome.tables.pairs.len(),
+        outcome.tables.ops.len(),
+        outcome.tables.modes.len()
+    );
+
+    if let Some(path) = opt(args, "--out") {
+        if let Err(e) = std::fs::write(path, outcome.tables.to_text()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("inferred tables written to {path}");
+    }
+    let cs = ControlStore::build();
+    for (path, text, what) in [
+        opt(args, "--samples").map(|p| (p, outcome.agg.to_jsonl(&cs), "samples")),
+        opt(args, "--folded").map(|p| (p, outcome.agg.to_folded(&cs), "folded samples")),
+    ]
+    .into_iter()
+    .flatten()
+    {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write {what} to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("{what} written to {path}");
+    }
+
+    outcome.report.apply_deny(&deny);
+    if flag(args, "--jsonl") {
+        print!("{}", outcome.report.render_jsonl());
+    } else {
+        print!("{}", outcome.report.render_text());
+    }
+    if outcome.report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_report(args: &[String]) -> ExitCode {
     let Some(path) = opt(args, "--histogram") else {
         eprintln!("report requires --histogram FILE");
@@ -857,6 +1007,23 @@ fn cmd_report(args: &[String]) -> ExitCode {
         analysis = analysis.with_instructions(hint);
     }
     print_analysis(&analysis);
+    if let Some(path) = opt(args, "--json") {
+        let t8 = vax_analysis::tables::Table8::from_analysis(&analysis);
+        let json = format!(
+            "{{\n  \"host\": {},\n  \"instructions\": {},\n  \"cycles\": {},\n  \
+             \"cpi\": {},\n  \"table8\": {}\n}}\n",
+            vax_trace::HostStamp::collect().to_json(),
+            analysis.instructions(),
+            analysis.total_cycles(),
+            analysis.cpi(),
+            t8.to_json()
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("JSON report written to {path}");
+    }
     ExitCode::SUCCESS
 }
 

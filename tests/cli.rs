@@ -195,6 +195,7 @@ fn rejects_unknown_flags_naming_the_flag() {
         ("run", "--instruction"),
         ("trace", "--trace-outt"),
         ("inject", "--seeds"),
+        ("probe", "--pairs"),
         ("report", "--histograms"),
         ("disasm", "--line"),
         ("sweep", "--axes"),
@@ -367,6 +368,13 @@ fn output_write_failures_exit_nonzero_naming_the_path() {
             "--profile".into(),
             "timesharing-light".into(),
             "--emit-image".into(),
+            bad_str.clone(),
+        ],
+        vec![
+            "probe".into(),
+            "--pair".into(),
+            "movl:none".into(),
+            "--out".into(),
             bad_str.clone(),
         ],
         vec![
@@ -676,6 +684,171 @@ fn lint_corrupted_image_fails_naming_rule_and_offset() {
         report.contains(&format!("+{brw_off:#06x}")),
         "diagnostic should name the byte offset:\n{report}"
     );
+}
+
+#[test]
+fn probe_writes_artifact_and_sample_exports() {
+    let dir = std::env::temp_dir().join("vax780-probe-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tables = dir.join("tables.txt");
+    let samples = dir.join("samples.jsonl");
+    let folded = dir.join("samples.folded");
+    let out = vax780()
+        .args([
+            "probe",
+            "--pair",
+            "movl:none",
+            "--pair",
+            "incl:register-deferred",
+            "--deny",
+            "all",
+            "--out",
+        ])
+        .arg(&tables)
+        .arg("--samples")
+        .arg(&samples)
+        .arg("--folded")
+        .arg(&folded)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lint: clean"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("probed 2 pair(s): 2 clean"));
+
+    let text = std::fs::read_to_string(&tables).unwrap();
+    assert!(text.starts_with("vax-probe-tables v1\n"), "{text}");
+    assert!(text.contains("meta cpu-model "), "{text}");
+    assert!(text.contains("op movl entry=1 "), "{text}");
+    assert!(text.contains("pair movl none ok"), "{text}");
+    assert!(text.contains("pair incl register-deferred ok"), "{text}");
+    assert!(text.trim_end().ends_with("end"), "{text}");
+
+    // Samples land under per-pair phases in both export formats.
+    let samples = std::fs::read_to_string(&samples).unwrap();
+    for line in samples.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert!(samples.contains("movl:none/probe"), "{samples}");
+    let folded = std::fs::read_to_string(&folded).unwrap();
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("incl:register-deferred/cal;")),
+        "{folded}"
+    );
+}
+
+#[test]
+fn probe_refutes_the_model_without_the_allowlist() {
+    // The byte-displacement fast path: without PROBE_ALLOW.txt the
+    // probe must refute the static table's compute claim...
+    let out = vax780()
+        .args(["probe", "--pair", "movl:displacement"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success(), "disagreement must be a nonzero exit");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("probe-mode"), "{text}");
+    assert!(
+        text.contains("mode displacement read compute: model claims 1, measured 0"),
+        "{text}"
+    );
+
+    // ...and with the checked-in allowlist the refinement is accepted.
+    let out = vax780()
+        .args([
+            "probe",
+            "--pair",
+            "movl:displacement",
+            "--allowlist",
+            "PROBE_ALLOW.txt",
+            "--deny",
+            "all",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn probe_rejects_bad_pairs_rules_and_geometry() {
+    let out = vax780()
+        .args(["probe", "--pair", "movl:sideways"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad pair 'movl:sideways'"));
+
+    let out = vax780()
+        .args(["probe", "--deny", "nonesuch"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule 'nonesuch'"));
+
+    let out = vax780()
+        .args(["probe", "--pair", "movl:none", "--iters", "0"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("probe-coverage"), "{text}");
+}
+
+#[test]
+fn report_json_exports_table8_with_host_stamp() {
+    let dir = std::env::temp_dir().join("vax780-report-json-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let hist = dir.join("hist.txt");
+    let json = dir.join("report.json");
+    let out = vax780()
+        .args([
+            "run",
+            "--workload",
+            "educational",
+            "--instructions",
+            "4000",
+            "--warmup",
+            "1200",
+            "--save-histogram",
+        ])
+        .arg(&hist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let out = vax780()
+        .args(["report", "--histogram"])
+        .arg(&hist)
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("JSON report written"));
+    let text = std::fs::read_to_string(&json).unwrap();
+    for key in [
+        "\"host\"",
+        "\"cpu_model\"",
+        "\"instructions\"",
+        "\"cpi\"",
+        "\"table8\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in:\n{text}");
+    }
 }
 
 #[test]
