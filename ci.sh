@@ -42,11 +42,22 @@ grep -q '^vax-probe-tables v1$' "$CKPT_DIR/probe-tables.txt"
 grep -q '^meta cpu-model ' "$CKPT_DIR/probe-tables.txt"
 grep -q '^end$' "$CKPT_DIR/probe-tables.txt"
 
-# Simulator benchmark gate (the fast-loop trajectory): run the naive-vs-fast
-# bench and fail on ANY instrument divergence between the two interpreter
-# loops — bit-identical histograms, hardware counters, and trace streams,
-# or nonzero exit. Sizes are pinned smaller than the committed BENCH_5.json
-# (which is regenerated at the default spec) so the gate stays fast; the
-# equivalence machinery exercised is identical.
+# Simulator benchmark gate (the host-loop trajectory): run all three
+# interpreter tiers — naive byte-by-byte, predecode fast loop, and the
+# block-compiled tier — and fail on ANY instrument divergence between
+# them: bit-identical histograms, hardware counters, and trace streams,
+# plus proof that each accelerated tier actually engaged (predecode
+# hits, replayed block instructions), or nonzero exit. Sizes are pinned
+# smaller than the committed BENCH_7.json (which is regenerated at the
+# default spec) so the gate stays fast; the equivalence machinery
+# exercised is identical.
 cargo run --release -- bench --instructions 200000 --trace-instructions 10000 \
-    --warmup 10000 --repeat 2 --json "$CKPT_DIR/BENCH_ci.json"
+    --warmup 10000 --repeat 2 --tier naive --tier fast --tier block \
+    --json "$CKPT_DIR/BENCH_ci.json"
+
+# The --tier flag must reject unknown tiers instead of silently
+# benchmarking the defaults.
+if cargo run --release -- bench --tier warp > /dev/null 2>&1; then
+    echo "bench --tier accepted an unknown tier" >&2
+    exit 1
+fi

@@ -124,11 +124,22 @@ pub fn measure(machine: &mut vax_workloads::Machine, instructions: u64) -> Measu
     board.execute(Command::Start);
     while machine.cpu.instructions() - insns_before < instructions {
         if machine.at_idle() {
+            // One step at a time: the idle exclusion is re-evaluated at
+            // every instruction boundary. (The idle loop's `BRB` is
+            // PC-changing, so the block tier would not batch it anyway.)
             let suspended = *machine.cpu.mem().counters();
             machine.step(&mut null).expect("workload runs");
             *machine.cpu.mem_mut().counters_mut() = suspended;
         } else {
-            machine.step(&mut board).expect("workload runs");
+            // Busy: let the block tier retire a straight-line run, but
+            // never past the measurement target. Mid-run PCs can never
+            // be the idle PC — the idle loop is only entered by a taken
+            // branch, which ends any block — so the exclusion stays
+            // exact.
+            let remaining = instructions - (machine.cpu.instructions() - insns_before);
+            machine
+                .step_budgeted(remaining, &mut board)
+                .expect("workload runs");
         }
     }
     board.execute(Command::Stop);

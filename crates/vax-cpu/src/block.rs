@@ -1,0 +1,220 @@
+//! The block-compiled execution tier: verify straight-line runs of
+//! predecoded instructions once, then replay them back-to-back.
+//!
+//! The predecode cache (PR 5) removed the per-instruction *parse*; what
+//! remains of the per-instruction host cost is everything `Cpu::step`
+//! and `Machine::step` wrap around the replay — the fault poll, the
+//! interrupt arbitration, the external-event pump, and the step
+//! dispatch itself. This tier amortizes all of it: a *block* is a run
+//! of consecutive predecoded instructions starting at a PC, none of
+//! which can redirect execution or perturb interrupt state — except
+//! optionally the last, a resume-safe *terminator* (a plain branch,
+//! call, or jump), flattened so that short loop bodies still form
+//! blocks. On entry, `Cpu::step_budgeted` replays run after run in a
+//! tight loop, re-checking only the things that can legitimately change
+//! mid-run: the instruction budget, the external-event horizon, and the
+//! predecode generation.
+//!
+//! Every µinstruction of every instruction in the block is still issued
+//! one at a time through the same replay machinery the predecode tier
+//! uses (`eval_predecoded`, `exec::execute`, the IB byte-skip paths),
+//! so histograms, hardware counters, and trace streams are bit-identical
+//! to the naive loop **by construction** — the tier changes how the host
+//! reaches each instruction, never what the instruction does. Blocks
+//! therefore run under any sink, tracers included.
+//!
+//! # Representation: a block is a length, not a list
+//!
+//! A compiled block stores **no instruction entries at all**. Its
+//! entire representation is one flag bit and a six-bit instruction
+//! count packed into the spare byte of the head's predecode *tag* —
+//! the cache line the dispatch lookup already loads. The replay walks
+//! the run by doing exactly what the fast loop would do for each
+//! instruction — predecode lookup, replay the cached parse — minus the
+//! per-step fault poll, interrupt arbitration, and safety
+//! reclassification that the one-time verification already proved are
+//! no-ops for the next `count` instructions.
+//!
+//! That "store nothing" shape is the product of measurement, and the
+//! losing designs are worth recording. (1) Copying the ~160-byte
+//! cached parses into block entries doubled the data-cache working set
+//! and ran *slower* than the fast loop. (2) Keeping an independent
+//! two-way block cache plus a hashed non-head filter added two random
+//! host-cache probes per dispatch — slower again. (3) Recording
+//! `(PC, predecode slot)` pairs in a slot-parallel sidecar table was
+//! the subtlest failure: the per-replay load of a cold 80-byte block
+//! record from a multi-megabyte array cost more than the handful of
+//! hot predecode-lookup cycles it saved, reliably ~4% under the fast
+//! loop. The simulator spends hundreds of host cycles *executing* each
+//! instruction, so the only dispatch scheme that wins is one that adds
+//! **zero** memory traffic beyond what the fast loop already touches.
+//!
+//! # Entry and exit guards
+//!
+//! A block is entered only when the per-instruction step would have
+//! done nothing between its instructions:
+//!
+//! * no fault hook is installed (an armed hook polls at every
+//!   instruction boundary and must observe every µPC — the fast loop's
+//!   per-cycle fallback handles that; blocks simply stand down);
+//! * no interrupt is pending (checked by the step prologue) and none
+//!   can *become* pending mid-run: the CPU's event horizon — maintained
+//!   by `Machine::pump` as the earliest cycle any external source can
+//!   fire — bounds the run, and the instructions themselves cannot
+//!   touch IPL/SISR (MTPR is excluded);
+//! * the remaining instruction budget covers at least two instructions
+//!   (a budget of one is exactly a per-instruction step);
+//! * the predecode generation still matches between instructions, so
+//!   self-modifying code that overwrites a later instruction of the
+//!   *current* block forces an exit and a re-parse, exactly where the
+//!   naive loop would have seen the new bytes.
+//!
+//! # Invalidation
+//!
+//! The block state rides entirely on the head's predecode tag, so it
+//! can never outlive the parse it describes: any insert that changes
+//! the slot's identity clears the flags, a generation bump (the
+//! 64-byte-block bitmap in vax-mem bumps it on any write into
+//! predecoded bytes) makes the head lookup itself miss, and a context
+//! switch hides the head behind its space tag exactly as it hides the
+//! parse. *Interior* instructions of a block need no invalidation
+//! hooks at all — the replay re-looks each one up at the current
+//! generation, so an evicted or stale interior parse simply ends the
+//! replay early and reroutes to the parse path, which consumes the
+//! same bytes.
+
+use crate::predecode::{PdOp, PredecodedInst};
+use vax_arch::{Opcode, SpecModeClass};
+
+/// Maximum instructions per block. Long enough to cover the
+/// straight-line stretches the code generator emits between branches
+/// (terminator included) — and in practice runs are bounded anyway by
+/// the external-event horizon, which lands every dozen-odd
+/// instructions. A longer run simply continues as a second block at
+/// the continuation PC. Must fit the six count bits in the tag flags
+/// byte (≤ 63).
+pub(crate) const BLOCK_MAX: usize = 12;
+
+/// May the block tier keep executing in the same `step_budgeted` call
+/// after this instruction retires on the per-instruction path? Only
+/// instructions that cannot perturb the interrupt state the entry
+/// guards froze: anything touching IPL/SISR/PSL or the address space
+/// (MTPR, REI, CHMx, LDPCTX/SVPCTX, HALT, BPT) forces a return to the
+/// arbitration loop. Plain PC movers (branches, calls, RSB, JMP, case
+/// dispatch) are fine — they redirect execution without making an
+/// interrupt deliverable, so the skipped fault poll and arbitration
+/// re-check are still provable no-ops.
+pub(crate) fn resume_safe(op: Opcode) -> bool {
+    !matches!(
+        op,
+        Opcode::Halt
+            | Opcode::Bpt
+            | Opcode::Mtpr
+            | Opcode::Ldpctx
+            | Opcode::Svpctx
+            | Opcode::Rei
+            | Opcode::Chmk
+            | Opcode::Chme
+            | Opcode::Chms
+            | Opcode::Chmu
+    )
+}
+
+/// May this cached parse be flattened into a block? Anything that can
+/// redirect execution or perturb the interrupt/address-space state the
+/// entry guards rely on stays on the per-instruction path.
+pub(crate) fn block_safe(inst: &PredecodedInst) -> bool {
+    let op = inst.opcode;
+    if op.is_pc_changing() {
+        return false; // branches, calls, CHMx, REI, case dispatch
+    }
+    if matches!(
+        op,
+        Opcode::Halt | Opcode::Bpt | Opcode::Mtpr | Opcode::Ldpctx | Opcode::Svpctx
+    ) {
+        return false; // halts, traps, IPL/SISR/space side effects
+    }
+    // A register-mode PC operand (e.g. `MOVL R0, PC`) redirects
+    // execution without a branch class; exclude it statically.
+    for i in 0..usize::from(inst.nops) {
+        if let PdOp::Spec(dec) = inst.ops[i] {
+            if dec.class == SpecModeClass::Register && dec.reg.is_pc() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Host-side block-tier statistics (diagnostics: no simulated meaning).
+/// There is deliberately no miss counter: a "miss" is any dispatch that
+/// replays a single instruction instead of a block, and counting those
+/// would put a read-modify-write in the middle of the tier's *fallback*
+/// hot path. Single-instruction dispatches are simply the retired
+/// count minus `replayed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Dispatches that entered a compiled block.
+    pub hits: u64,
+    /// Blocks verified (their head tags flagged with a count).
+    pub builds: u64,
+    /// Instructions retired from inside blocks.
+    pub replayed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_max_fits_the_tag_count_bits() {
+        assert!((2..=0x3F).contains(&BLOCK_MAX));
+    }
+
+    #[test]
+    fn resume_safety_excludes_interrupt_perturbers() {
+        for op in [
+            Opcode::Brb,
+            Opcode::Beql,
+            Opcode::Rsb,
+            Opcode::Jmp,
+            Opcode::Movl,
+        ] {
+            assert!(resume_safe(op), "{op:?} cannot perturb interrupt state");
+        }
+        for op in [
+            Opcode::Halt,
+            Opcode::Bpt,
+            Opcode::Mtpr,
+            Opcode::Ldpctx,
+            Opcode::Svpctx,
+            Opcode::Rei,
+            Opcode::Chmk,
+            Opcode::Chme,
+            Opcode::Chms,
+            Opcode::Chmu,
+        ] {
+            assert!(!resume_safe(op), "{op:?} must end the run");
+        }
+    }
+
+    #[test]
+    fn block_safety_excludes_redirectors() {
+        assert!(block_safe(&PredecodedInst::new(Opcode::Movl)));
+        assert!(block_safe(&PredecodedInst::new(Opcode::Mfpr)));
+        for op in [
+            Opcode::Brb,
+            Opcode::Beql,
+            Opcode::Rsb,
+            Opcode::Rei,
+            Opcode::Chmk,
+            Opcode::Halt,
+            Opcode::Bpt,
+            Opcode::Mtpr,
+            Opcode::Ldpctx,
+            Opcode::Svpctx,
+        ] {
+            assert!(!block_safe(&PredecodedInst::new(op)), "{op:?} in a block");
+        }
+    }
+}

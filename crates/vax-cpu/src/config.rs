@@ -58,6 +58,17 @@ pub struct CpuConfig {
     /// selects the straight-line reference implementation (full scans,
     /// every prefetcher cycle runs the full body).
     pub host_shortcuts: bool,
+    /// Use the basic-block execution tier on top of the predecode cache:
+    /// straight-line runs of predecoded instructions are flattened into
+    /// one pre-resolved block and replayed back-to-back, amortizing the
+    /// per-instruction step overhead (fault poll, interrupt arbitration,
+    /// event pump, cache lookup) over the whole run. Entry guards keep
+    /// it a pure host-side optimization — no fault hook installed, no
+    /// pending interrupt, no external event due inside the block — and
+    /// every µinstruction is still issued one at a time, so histograms,
+    /// hardware counters, and trace streams stay bit-identical to the
+    /// naive loop. Requires `predecode`; has no effect without it.
+    pub block_tier: bool,
 }
 
 impl Default for CpuConfig {
@@ -74,6 +85,7 @@ impl Default for CpuConfig {
             predecode: true,
             sink_batch: true,
             host_shortcuts: true,
+            block_tier: true,
         }
     }
 }
@@ -96,6 +108,19 @@ impl CpuConfig {
             predecode: false,
             sink_batch: false,
             host_shortcuts: false,
+            block_tier: false,
+            ..CpuConfig::default()
+        }
+    }
+
+    /// The PR 5 fast loop without the block tier: predecode replay, sink
+    /// batching, and host shortcuts, but every instruction still goes
+    /// through the full per-instruction step. `vax780 bench --tier fast`
+    /// times this configuration so the block tier's marginal gain is
+    /// measured against the right baseline.
+    pub fn fast_loop() -> CpuConfig {
+        CpuConfig {
+            block_tier: false,
             ..CpuConfig::default()
         }
     }
@@ -112,6 +137,27 @@ mod tests {
         // Nominal TB service path: entry + head + read + tail ≈ 18 issue
         // cycles, landing near the paper's 21.6 with stalls.
         assert_eq!(1 + c.tb_miss_head_cycles + 1 + c.tb_miss_tail_cycles, 18);
+    }
+
+    #[test]
+    fn tier_configs_nest() {
+        let naive = CpuConfig::naive_loop();
+        assert!(!naive.predecode && !naive.sink_batch && !naive.host_shortcuts);
+        assert!(!naive.block_tier);
+        let fast = CpuConfig::fast_loop();
+        assert!(fast.predecode && fast.sink_batch && fast.host_shortcuts);
+        assert!(!fast.block_tier);
+        assert!(CpuConfig::default().block_tier);
+        // The simulated-machine parameters are identical in all three.
+        let strip = |c: CpuConfig| CpuConfig {
+            predecode: false,
+            sink_batch: false,
+            host_shortcuts: false,
+            block_tier: false,
+            ..c
+        };
+        assert_eq!(strip(naive), strip(fast));
+        assert_eq!(strip(fast), strip(CpuConfig::default()));
     }
 
     #[test]

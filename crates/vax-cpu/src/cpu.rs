@@ -1,5 +1,6 @@
 //! The CPU: clock owner, microcycle engine, and instruction stepper.
 
+use crate::block::{resume_safe, BlockStats, BLOCK_MAX};
 use crate::config::CpuConfig;
 use crate::exec;
 use crate::fault::{CpuError, Fault};
@@ -81,6 +82,15 @@ pub struct Cpu {
     pub(crate) insn_count: u64,
     /// Host-side predecode cache (empty when `config.predecode` is off).
     predecode: PredecodeCache,
+    /// Host-side block-tier counters (the blocks themselves live in
+    /// the predecode tags; see `block.rs`).
+    block_stats: BlockStats,
+    /// Earliest cycle at which an external event source (machine timer,
+    /// run-time event queue, DMA engine) can fire. Maintained by the
+    /// machine's event pump; `u64::MAX` when no pump drives this CPU.
+    /// The block tier stops replaying before crossing it, so the cycles
+    /// it runs without re-pumping are provably event-free.
+    event_horizon: u64,
 }
 
 impl std::fmt::Debug for Cpu {
@@ -115,6 +125,8 @@ impl Cpu {
             scbb: 0,
             insn_count: 0,
             predecode: PredecodeCache::new(config.predecode),
+            block_stats: BlockStats::default(),
+            event_horizon: u64::MAX,
         }
     }
 
@@ -139,6 +151,20 @@ impl Cpu {
     /// all zero in the naive loop).
     pub fn predecode_stats(&self) -> crate::predecode::PredecodeStats {
         self.predecode.stats()
+    }
+
+    /// Block-tier hit/build/replay counts (host-side diagnostics;
+    /// all zero unless the block tier is enabled and entered).
+    pub fn block_stats(&self) -> BlockStats {
+        self.block_stats
+    }
+
+    /// Declare the earliest cycle at which an external event source can
+    /// fire. Called by the machine's event pump each time it runs; the
+    /// block tier stops replaying before `now` reaches this horizon, so
+    /// skipping the pump between block instructions is a provable no-op.
+    pub fn set_event_horizon(&mut self, horizon: u64) {
+        self.event_horizon = horizon;
     }
 
     /// The memory subsystem.
@@ -678,6 +704,25 @@ impl Cpu {
     /// [`CpuError::Halted`] on a kernel-mode `HALT`;
     /// [`CpuError::UnhandledFault`] if an exception has no SCB vector.
     pub fn step<S: CycleSink>(&mut self, sink: &mut S) -> Result<StepOutcome, CpuError> {
+        self.step_budgeted(1, sink)
+    }
+
+    /// Execute up to `budget` instructions (or service one interrupt).
+    ///
+    /// Like [`Cpu::step`], but the block tier may retire several
+    /// instructions in one call — never more than `budget`, so callers
+    /// driving toward an instruction target pass their remaining count
+    /// and never overshoot. A budget of 1 is exactly [`Cpu::step`].
+    /// [`StepOutcome::Instruction`] carries the *last* retired opcode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::step`].
+    pub fn step_budgeted<S: CycleSink>(
+        &mut self,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<StepOutcome, CpuError> {
         // Injected faults are accepted at instruction boundaries, ahead
         // of interrupt arbitration: a machine check outranks any IPL.
         if let Some(class) = self.mem.poll_fault(self.now) {
@@ -690,6 +735,24 @@ impl Cpu {
             return Ok(StepOutcome::Interrupt);
         }
         let pc_at_start = self.regs.pc();
+        // Block tier: keep executing inside this call — replaying
+        // flattened straight-line runs where compiled blocks exist and
+        // falling back to single per-instruction executions between
+        // them — until the budget, the external-event horizon, or an
+        // instruction that can perturb interrupt state ends the run.
+        // Entered only when no fault hook is armed (an armed hook polls
+        // every instruction boundary and observes every µPC — the
+        // per-instruction path handles that) and the budget covers at
+        // least two instructions. The checks above plus the run guards
+        // make the whole run bit-identical to that many
+        // per-instruction steps.
+        if budget >= 2
+            && self.config.block_tier
+            && self.config.predecode
+            && !self.mem.has_fault_hook()
+        {
+            return self.run_block_tier(budget, sink);
+        }
         match self.execute_one(sink) {
             Ok(op) => {
                 self.insn_count += 1;
@@ -701,6 +764,230 @@ impl Cpu {
             }
             Err(ExecStop::Halt) => Err(CpuError::Halted { pc: self.regs.pc() }),
         }
+    }
+
+    /// The block tier's run loop: alternate between replaying compiled
+    /// blocks and single per-instruction executions, all inside one
+    /// `step_budgeted` call, until the instruction budget is spent, the
+    /// external-event horizon is reached, or an instruction retires
+    /// that could make an interrupt deliverable ([`resume_safe`]).
+    ///
+    /// Bit-identity argument for the skipped per-step work: the fault
+    /// poll is a no-op because no hook is armed (entry guard) and none
+    /// can be installed from inside the run; interrupt arbitration is a
+    /// no-op because the only things that change IPL/SISR/interrupt
+    /// lines are external events (which cannot fire before the event
+    /// horizon — and the run stops there) and the excluded instructions
+    /// (the run returns right after one retires); the external-event
+    /// pump is a no-op for the same horizon reason. So the run retires
+    /// exactly the instructions, in exactly the states, that that many
+    /// per-instruction steps would have.
+    fn run_block_tier<S: CycleSink>(
+        &mut self,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<StepOutcome, CpuError> {
+        let mut executed: u64 = 0;
+        let mut last;
+        loop {
+            let pc = self.regs.pc();
+            let space = self.code_space_tag(pc);
+            let gen = self.mem.decode_gen();
+            // One predecode lookup dispatches everything: the head
+            // flags ride on the tag it just loaded, so "is there a
+            // block here?" costs no second probe, and on a flagless
+            // hit the slot replays directly — the exact work the fast
+            // loop would have done for this instruction.
+            if let Some(head) = self.predecode.lookup(pc, space, gen) {
+                let flags = self.predecode.head_flags(head);
+                let count = if flags & crate::predecode::FLAG_HAS_BLOCK != 0 {
+                    flags >> 2
+                } else if flags & crate::predecode::FLAG_NONHEAD == 0 {
+                    self.build_block(head, pc, space, gen)
+                } else {
+                    0
+                };
+                if count != 0 {
+                    self.block_stats.hits += 1;
+                    match self.execute_block(head, count, budget - executed, sink) {
+                        Ok((op, n)) => {
+                            // Every block instruction is resume-safe
+                            // (terminators included), so the run
+                            // always continues after a block.
+                            last = op;
+                            executed += n;
+                        }
+                        Err((ExecStop::Fault(fault), fault_pc)) => {
+                            self.deliver_exception(fault, fault_pc, sink)?;
+                            return Ok(StepOutcome::Exception(fault));
+                        }
+                        Err((ExecStop::Halt, _)) => {
+                            return Err(CpuError::Halted { pc: self.regs.pc() })
+                        }
+                    }
+                } else {
+                    // A predecoded non-head: replay the single parse,
+                    // reusing the lookup already done.
+                    match self.execute_predecoded(head, pc, sink) {
+                        Ok(op) => {
+                            self.insn_count += 1;
+                            executed += 1;
+                            last = op;
+                            if !resume_safe(op) {
+                                break;
+                            }
+                        }
+                        Err(ExecStop::Fault(fault)) => {
+                            self.deliver_exception(fault, pc, sink)?;
+                            return Ok(StepOutcome::Exception(fault));
+                        }
+                        Err(ExecStop::Halt) => return Err(CpuError::Halted { pc: self.regs.pc() }),
+                    }
+                }
+            } else {
+                // Not predecoded yet: one ordinary per-instruction
+                // execution (whose parse path fills the cache), then
+                // keep going.
+                match self.execute_one(sink) {
+                    Ok(op) => {
+                        self.insn_count += 1;
+                        executed += 1;
+                        last = op;
+                        if !resume_safe(op) {
+                            break;
+                        }
+                    }
+                    Err(ExecStop::Fault(fault)) => {
+                        self.deliver_exception(fault, pc, sink)?;
+                        return Ok(StepOutcome::Exception(fault));
+                    }
+                    Err(ExecStop::Halt) => return Err(CpuError::Halted { pc: self.regs.pc() }),
+                }
+            }
+            if executed >= budget || self.now >= self.event_horizon {
+                break;
+            }
+        }
+        Ok(StepOutcome::Instruction(last))
+    }
+
+    /// Verify the straight-line run of predecoded instructions headed
+    /// at predecode slot `head` (already looked up at `pc`), stopping
+    /// at the first instruction that can redirect execution, perturb
+    /// interrupt/address-space state, or is simply not predecoded yet.
+    /// Returns the verified instruction count (0 = no block) and
+    /// records it in the head's tag flags — the count is the block's
+    /// entire representation; nothing else is stored. A definitive
+    /// "never" marks the head's tag instead
+    /// ([`PredecodeCache::note_nonhead`]) so hot branch PCs don't pay a
+    /// rebuild attempt on every visit.
+    fn build_block(&mut self, head: usize, pc: u32, space: u64, gen: u64) -> u8 {
+        let (head_len, head_safe, _) = self.predecode.meta_at(head);
+        if !head_safe || head_len == 0 {
+            // This head can never start a block while it holds this
+            // parse; the flag dies with the slot's identity.
+            self.predecode.note_nonhead(head);
+            return 0;
+        }
+        let mut n: u8 = 1;
+        let mut va = pc.wrapping_add(u32::from(head_len));
+        let mut open_end = false;
+        while usize::from(n) < BLOCK_MAX && va > pc && self.code_space_tag(va) == space {
+            let Some(idx) = self.predecode.lookup(va, space, gen) else {
+                // Not parsed yet — the run may extend once it is.
+                open_end = true;
+                break;
+            };
+            let (len, safe, resume) = self.predecode.meta_at(idx);
+            if safe && len != 0 {
+                n += 1;
+                va = va.wrapping_add(u32::from(len));
+                continue;
+            }
+            // The run ends here. If the ender is resume-safe — a plain
+            // branch, call, or jump that redirects the PC without
+            // touching interrupt state — flatten it too, as the block's
+            // *terminator*: it replays through the same
+            // `execute_predecoded`, and the run loop simply continues
+            // at whatever PC it leaves behind. Resume-unsafe enders
+            // (MTPR, CHMx, REI, ...) stay on the per-instruction path.
+            if resume {
+                n += 1;
+            }
+            break;
+        }
+        if n < 2 {
+            if !open_end {
+                // A lone instruction before a resume-unsafe ender:
+                // mark it a non-head, same as an unsafe head.
+                self.predecode.note_nonhead(head);
+            }
+            return 0;
+        }
+        self.block_stats.builds += 1;
+        self.predecode.note_has_block(head, n);
+        n
+    }
+
+    /// Replay the verified block of `count` instructions headed at
+    /// predecode slot `head`, retiring at most `budget` of them (the
+    /// budget caps the walk up front — it cannot change mid-block).
+    /// The block stores no entries: each instruction after the head is
+    /// reached exactly the way the fast loop would reach it — a
+    /// predecode lookup at the current PC, space, and generation, then
+    /// a replay of the cached parse. That lookup *is* the mid-run
+    /// revalidation: self-modifying code bumps the generation and the
+    /// lookup misses, an evicted interior parse misses, and either way
+    /// the replay ends early and reroutes to the parse path, which
+    /// consumes the same bytes. Between instructions only the
+    /// external-event horizon is checked on top; everything else
+    /// provably cannot change mid-run, which is what the entry guards
+    /// and the block-safety filter established. Each instruction
+    /// replays through `execute_predecoded` — the same code the fast
+    /// loop runs — so the block tier adds no third replay
+    /// implementation to keep bit-identical. Returns the last opcode
+    /// and how many instructions retired (≥ 1; the caller guarantees
+    /// `budget ≥ 1`). On a fault the error carries the faulting
+    /// instruction's PC for delivery.
+    fn execute_block<S: CycleSink>(
+        &mut self,
+        head: usize,
+        count: u8,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<(Opcode, u64), (ExecStop, u32)> {
+        let limit = u64::from(count).min(budget.min(BLOCK_MAX as u64));
+        let mut slot = head;
+        let mut pc = self.regs.pc();
+        let mut last;
+        let mut executed: u64 = 0;
+        loop {
+            match self.execute_predecoded(slot, pc, sink) {
+                Ok(op) => {
+                    self.insn_count += 1;
+                    executed += 1;
+                    last = op;
+                }
+                Err(stop) => {
+                    self.block_stats.replayed += executed;
+                    return Err((stop, pc));
+                }
+            }
+            if executed >= limit || self.now >= self.event_horizon {
+                break;
+            }
+            // The next instruction of the run, revalidated by the same
+            // lookup the fast loop would do for it.
+            pc = self.regs.pc();
+            let space = self.code_space_tag(pc);
+            let gen = self.mem.decode_gen();
+            let Some(next) = self.predecode.lookup(pc, space, gen) else {
+                break;
+            };
+            slot = next;
+        }
+        self.block_stats.replayed += executed;
+        Ok((last, executed))
     }
 
     fn execute_one<S: CycleSink>(&mut self, sink: &mut S) -> Result<Opcode, ExecStop> {
@@ -834,11 +1121,19 @@ impl Cpu {
     /// there invalidate the cache. If any page fails to resolve (it was
     /// just fetched, so this cannot normally happen), skip the insert —
     /// staying on the parse path is always safe.
-    fn insert_predecode(&mut self, pc: u32, inst: PredecodedInst) {
+    fn insert_predecode(&mut self, pc: u32, mut inst: PredecodedInst) {
         let end = self.regs.pc();
         if end <= pc {
             return; // PC wrapped mid-instruction: not worth caching.
         }
+        // Record the instruction's I-stream length so the block builder
+        // can chain consecutive parses. Longest encodable instruction is
+        // 61 bytes (opcode + six 10-byte specifiers); the guard is
+        // defensive.
+        let Ok(len) = u8::try_from(end - pc) else {
+            return;
+        };
+        inst.len = len;
         // Flag exactly the bytes the instruction occupies, page by page
         // (the range is virtually contiguous but not physically).
         let mut va = pc;
@@ -1047,7 +1342,8 @@ impl Cpu {
         let start_insns = self.insn_count;
         let start_cycles = self.now;
         while self.insn_count - start_insns < max_instructions {
-            self.step(sink)?;
+            let remaining = max_instructions - (self.insn_count - start_insns);
+            self.step_budgeted(remaining, sink)?;
         }
         Ok(RunOutcome {
             instructions: self.insn_count - start_insns,

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod config;
 mod cpu;
 mod exec;
@@ -41,6 +42,7 @@ mod psl;
 mod regs;
 mod specifier;
 
+pub use block::BlockStats;
 pub use config::CpuConfig;
 pub use cpu::scb;
 pub use cpu::{Cpu, RunOutcome, StepOutcome};

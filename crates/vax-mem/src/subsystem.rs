@@ -117,7 +117,7 @@ pub struct TbMiss {
 }
 
 /// Granularity of the predecode write-invalidation bitmap.
-const CODE_BLOCK_BYTES: usize = 64;
+pub const CODE_BLOCK_BYTES: usize = 64;
 
 /// The full memory subsystem of Figure 1.
 #[derive(Debug)]
@@ -275,6 +275,26 @@ impl MemorySubsystem {
                 *word |= 1 << (block % 64);
             }
         }
+    }
+
+    /// Is *every* 64-byte block covering `[pa, pa + len)` flagged as
+    /// holding predecoded bytes? This is the invariant the
+    /// write-invalidation protocol depends on for instructions that
+    /// straddle a block boundary: a write into only the tail bytes must
+    /// still bump the generation, so the tail block must be flagged,
+    /// not just the head. Exposed so the predecode layers (and their
+    /// regression tests) can audit the flagging rather than trust it.
+    pub fn code_bytes_flagged(&self, pa: u32, len: u32) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = (pa as usize) / CODE_BLOCK_BYTES;
+        let last = (pa as usize + len as usize - 1) / CODE_BLOCK_BYTES;
+        (first..=last).all(|block| {
+            self.code_blocks
+                .get(block / 64)
+                .is_some_and(|word| word & (1 << (block % 64)) != 0)
+        })
     }
 
     #[inline]
@@ -754,6 +774,40 @@ mod tests {
         let again = mem.read(pa, Width::Long, 40);
         assert!(!again.miss);
         assert_eq!(again.stall, 0);
+    }
+
+    #[test]
+    fn straddling_code_bytes_flag_every_block_they_touch() {
+        // Satellite audit (ISSUE 7): an instruction whose bytes straddle
+        // a 64-byte block boundary must flag BOTH blocks, so a write
+        // into only its tail bytes still bumps `decode_gen`.
+        let mut mem = machine();
+        mem.tb_fill(0x1000, 0).unwrap();
+        let pa = mem.translate(0x1000, Stream::Data).unwrap();
+        // A 7-byte "instruction" whose last 3 bytes spill into the next
+        // 64-byte block.
+        let head = pa + 60;
+        mem.note_code_bytes(head, 7);
+        assert!(mem.code_bytes_flagged(head, 7), "head and tail flagged");
+        assert!(mem.code_bytes_flagged(pa + 64, 1), "tail block flagged");
+        assert!(!mem.code_bytes_flagged(pa + 128, 1), "beyond is untouched");
+        // A write landing only in the tail bytes bumps the generation.
+        let gen = mem.decode_gen();
+        mem.write(pa + 64, Width::Long, 0xDEAD_BEEF, 50);
+        assert_eq!(mem.decode_gen(), gen + 1, "tail write invalidates");
+        // The bump forgot the flags; re-inserts re-flag.
+        assert!(!mem.code_bytes_flagged(head, 7));
+    }
+
+    #[test]
+    fn head_only_write_also_invalidates_straddler() {
+        let mut mem = machine();
+        mem.tb_fill(0x1000, 0).unwrap();
+        let pa = mem.translate(0x1000, Stream::Data).unwrap();
+        mem.note_code_bytes(pa + 60, 7);
+        let gen = mem.decode_gen();
+        mem.write(pa + 60, Width::Byte, 0x01, 50);
+        assert_eq!(mem.decode_gen(), gen + 1, "head write invalidates");
     }
 
     #[test]

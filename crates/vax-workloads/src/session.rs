@@ -77,6 +77,17 @@ impl Machine {
             self.cpu.mem_mut().inject_dma(now, self.dma_burst);
             self.next_dma = now + self.dma_period;
         }
+        // Everything due at `now` has been posted, so each source's next
+        // firing is strictly in the future: publish the earliest one as
+        // the CPU's event horizon. The block tier stops before crossing
+        // it, which makes the pump calls it skips provable no-ops.
+        let next_dma = if self.dma_period > 0 {
+            self.next_dma
+        } else {
+            u64::MAX
+        };
+        self.cpu
+            .set_event_horizon(self.next_timer.min(self.rte.next_due()).min(next_dma));
     }
 
     /// One instruction (or interrupt service), with event pumping.
@@ -89,6 +100,23 @@ impl Machine {
         self.cpu.step(sink)
     }
 
+    /// Up to `budget` instructions (or one interrupt service), with
+    /// event pumping: the block tier may retire a whole straight-line
+    /// run in one call, but never more than `budget` instructions and
+    /// never past the next external event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU errors ([`CpuError::Halted`] etc.).
+    pub fn step_budgeted<S: CycleSink>(
+        &mut self,
+        budget: u64,
+        sink: &mut S,
+    ) -> Result<StepOutcome, CpuError> {
+        self.pump();
+        self.cpu.step_budgeted(budget, sink)
+    }
+
     /// Run until `n` more instructions have retired.
     ///
     /// # Errors
@@ -97,7 +125,8 @@ impl Machine {
     pub fn run_instructions<S: CycleSink>(&mut self, n: u64, sink: &mut S) -> Result<(), CpuError> {
         let target = self.cpu.instructions() + n;
         while self.cpu.instructions() < target {
-            self.step(sink)?;
+            let remaining = target - self.cpu.instructions();
+            self.step_budgeted(remaining, sink)?;
         }
         Ok(())
     }

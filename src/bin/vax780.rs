@@ -21,7 +21,7 @@
 //! vax780 report --histogram FILE [--instructions-hint N] [--json FILE]
 //! vax780 disasm --workload NAME [--function K] [--lines N]
 //! vax780 bench [--instructions N] [--trace-instructions N] [--warmup N]
-//!              [--json FILE]
+//!              [--tier naive|fast|block]... [--json FILE]
 //! vax780 list
 //! ```
 //!
@@ -47,9 +47,10 @@
 //! `report` re-analyses a saved histogram (the paper's "additional
 //! interpretation of the raw histogram data", §2.2); `disasm` shows the
 //! generated VAX code a workload actually runs; `bench` measures the
-//! *simulator* — naive byte-by-byte loop vs the predecode-cache fast
-//! loop over all five workloads — and fails unless the two loops
-//! produce bit-identical histograms, counters, and trace streams.
+//! *simulator* — the naive byte-by-byte loop vs the predecode-cache
+//! fast loop vs the block-compiled tier (select with `--tier`, default
+//! all three) over all five workloads — and fails unless every tier
+//! produces bit-identical histograms, counters, and trace streams.
 //!
 //! Unrecognized options are an error: a typo aborts the run instead of
 //! silently measuring the defaults.
@@ -117,7 +118,7 @@ const USAGE: &str =
      lint    --profile NAME  --all-profiles  --image FILE\n\
      \x20       --emit-image FILE  --jsonl  --deny RULE|all\n\
      bench   --instructions N  --trace-instructions N  --warmup N\n\
-     \x20       --repeat N  --json FILE\n\
+     \x20       --repeat N  --tier naive|fast|block (repeatable)  --json FILE\n\
      list    (print workload names)";
 
 /// Option spec for one subcommand: `(name, takes_value)`.
@@ -190,6 +191,7 @@ const BENCH_SPEC: Spec = &[
     ("--trace-instructions", true),
     ("--warmup", true),
     ("--repeat", true),
+    ("--tier", true),
     ("--json", true),
 ];
 const LINT_SPEC: Spec = &[
@@ -770,12 +772,27 @@ fn cmd_inject(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Benchmark the simulator: naive vs predecode loop over all five
-/// workloads, with bit-identity verification of every instrument.
-/// Nonzero exit on any divergence — speed is only reported once the two
-/// loops are proven to be the same machine.
+/// Benchmark the simulator: the selected interpreter tiers (default
+/// naive, fast, and block) over all five workloads, with bit-identity
+/// verification of every instrument. Nonzero exit on any divergence —
+/// speed is only reported once the tiers are proven to be the same
+/// machine.
 fn cmd_bench(args: &[String]) -> ExitCode {
     let mut spec = vax_perf::BenchSpec::default();
+    let tier_args = opt_all(args, "--tier");
+    if !tier_args.is_empty() {
+        let mut tiers = vax_perf::TierSet::empty();
+        for s in tier_args {
+            match vax_perf::Tier::parse(s) {
+                Some(tier) => tiers.insert(tier),
+                None => {
+                    eprintln!("--tier wants naive, fast, or block, got '{s}'");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        spec.tiers = tiers;
+    }
     if let Some(s) = opt(args, "--instructions") {
         match s.parse() {
             Ok(n) => spec.timing_instructions = n,
@@ -812,12 +829,19 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
         }
     }
+    let tier_list: Vec<&str> = spec.tiers.iter().map(|t| t.name()).collect();
     eprintln!(
-        "benchmarking: 5 workloads x {} timed (best of {}) + {} traced instructions, naive vs fast loop ...",
-        spec.timing_instructions, spec.repeat, spec.trace_instructions
+        "benchmarking: 5 workloads x {} timed (best of {}) + {} traced instructions, tiers: {} ...",
+        spec.timing_instructions,
+        spec.repeat,
+        spec.trace_instructions,
+        tier_list.join(" vs ")
     );
     let report = vax_perf::run_bench_with_progress(&spec, |line| eprintln!("  {line}"));
-    println!("=== simulator benchmark (naive vs predecode loop) ===");
+    println!(
+        "=== simulator benchmark ({} tiers) ===",
+        tier_list.join(" vs ")
+    );
     print!("{}", report.render_table());
     if let Some(path) = opt(args, "--json") {
         if let Err(e) = std::fs::write(path, report.to_json()) {

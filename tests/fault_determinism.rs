@@ -6,10 +6,11 @@
 
 use proptest::prelude::*;
 use upc_monitor::{Command, HistogramBoard};
+use vax_cpu::CpuConfig;
 use vax_fault::{FaultClass, FaultEngine, FaultPlan, FaultTrigger, FiredFault};
-use vax_mem::HwCounters;
+use vax_mem::{HwCounters, MemConfig};
 use vax_trace::{TraceEvent, Tracer};
-use vax_workloads::{build_machine, profile, ProfileParams, WorkloadKind};
+use vax_workloads::{build_machine_with_config, profile, ProfileParams, WorkloadKind};
 
 /// A scaled-down profile so property cases run in milliseconds.
 fn small_profile(kind: WorkloadKind, seed_salt: u64) -> ProfileParams {
@@ -40,11 +41,12 @@ struct InjectedRun {
 /// the same shape as `vax780 inject`.
 fn injected_run(
     params: &ProfileParams,
+    config: CpuConfig,
     plan: &FaultPlan,
     warmup: u64,
     measured: u64,
 ) -> InjectedRun {
-    let mut machine = build_machine(params);
+    let mut machine = build_machine_with_config(params, config, MemConfig::default());
     let hw_base = *machine.cpu.mem().counters();
     let mut board = HistogramBoard::new();
     board.execute(Command::Start);
@@ -90,8 +92,8 @@ fn injected_run(
 fn same_seed_and_plan_reproduce_the_run_bit_for_bit() {
     let params = small_profile(WorkloadKind::TimesharingLight, 11);
     let plan = FaultPlan::seeded(&FaultClass::ALL, 780, 2, 20_000);
-    let a = injected_run(&params, &plan, 2_000, 5_000);
-    let b = injected_run(&params, &plan, 2_000, 5_000);
+    let a = injected_run(&params, CpuConfig::default(), &plan, 2_000, 5_000);
+    let b = injected_run(&params, CpuConfig::default(), &plan, 2_000, 5_000);
 
     assert!(!a.fired.is_empty(), "the plan must actually inject");
     assert_eq!(a.fired, b.fired, "fault log differs between runs");
@@ -120,7 +122,7 @@ fn instruments_reconcile_exactly_while_faults_fire() {
             FaultClass::ControlStoreBitFlip,
             FaultTrigger::AtCycle(12_000),
         );
-    let run = injected_run(&params, &plan, 2_000, 6_000);
+    let run = injected_run(&params, CpuConfig::default(), &plan, 2_000, 6_000);
     assert_eq!(run.fired.len(), 5, "every scheduled fault must mature");
     assert!(run.reconciled, "instruments must agree under injection");
     assert_eq!(run.hw.machine_checks, 5);
@@ -140,13 +142,78 @@ fn upc_triggered_faults_are_reproducible() {
             hits: 500,
         },
     );
-    let a = injected_run(&params, &plan, 1_000, 4_000);
-    let b = injected_run(&params, &plan, 1_000, 4_000);
+    let a = injected_run(&params, CpuConfig::default(), &plan, 1_000, 4_000);
+    let b = injected_run(&params, CpuConfig::default(), &plan, 1_000, 4_000);
     assert_eq!(a.fired.len(), 1, "the decode stream reaches 500 issues");
     assert_eq!(a.fired, b.fired);
     assert_eq!(a.histogram, b.histogram);
     assert_eq!(a.hw, b.hw);
     assert!(a.reconciled && b.reconciled);
+}
+
+/// Audit pin: an `AtCycle` trigger bisected into the *middle* of a
+/// stretch the fast paths would otherwise coalesce into one bulk clock
+/// advance. With a fault hook installed every tier falls back to
+/// per-cycle ticking (and the block tier refuses to enter blocks), so
+/// the trigger must mature at exactly the same cycle — same fired log,
+/// histogram, counters, and trace stream — under naive, fast, and
+/// block configs. Sweeping the trigger across a contiguous window
+/// catches any cycle the coalesced path could jump over.
+#[test]
+fn cycle_trigger_inside_a_bulk_tick_is_tier_invariant() {
+    let params = small_profile(WorkloadKind::TimesharingLight, 41);
+    for trigger in (1_000u64..1_036).step_by(7) {
+        let plan = FaultPlan::new().with(FaultClass::CacheParity, FaultTrigger::AtCycle(trigger));
+        let naive = injected_run(&params, CpuConfig::naive_loop(), &plan, 1_500, 3_000);
+        assert_eq!(naive.fired.len(), 1, "trigger @{trigger} must mature");
+        for (label, config) in [
+            ("fast", CpuConfig::fast_loop()),
+            ("block", CpuConfig::default()),
+        ] {
+            let run = injected_run(&params, config, &plan, 1_500, 3_000);
+            assert_eq!(run.fired, naive.fired, "{label}: fired log @{trigger}");
+            assert_eq!(
+                run.histogram, naive.histogram,
+                "{label}: histogram @{trigger}"
+            );
+            assert_eq!(run.hw, naive.hw, "{label}: counters @{trigger}");
+            assert_eq!(run.events, naive.events, "{label}: trace @{trigger}");
+        }
+    }
+}
+
+/// Same audit for µPC-keyed triggers: the Nth issue of the decode
+/// micro-address lands inside what the shortcut paths batch into one
+/// issue run. Sweeping adjacent hit counts bisects the trigger into
+/// the middle of such a run; every tier must agree on when it fires.
+#[test]
+fn micro_pc_trigger_inside_a_batched_issue_run_is_tier_invariant() {
+    let params = small_profile(WorkloadKind::Educational, 57);
+    let cs = vax_ucode::ControlStore::build();
+    for hits in [40u32, 41, 42] {
+        let plan = FaultPlan::new().with(
+            FaultClass::TbCorrupt,
+            FaultTrigger::AtMicroPc {
+                addr: cs.ird1().value(),
+                hits,
+            },
+        );
+        let naive = injected_run(&params, CpuConfig::naive_loop(), &plan, 1_500, 3_000);
+        assert_eq!(naive.fired.len(), 1, "trigger @{hits} hits must mature");
+        for (label, config) in [
+            ("fast", CpuConfig::fast_loop()),
+            ("block", CpuConfig::default()),
+        ] {
+            let run = injected_run(&params, config, &plan, 1_500, 3_000);
+            assert_eq!(run.fired, naive.fired, "{label}: fired log @{hits} hits");
+            assert_eq!(
+                run.histogram, naive.histogram,
+                "{label}: histogram @{hits} hits"
+            );
+            assert_eq!(run.hw, naive.hw, "{label}: counters @{hits} hits");
+            assert_eq!(run.events, naive.events, "{label}: trace @{hits} hits");
+        }
+    }
 }
 
 proptest! {
@@ -173,8 +240,8 @@ proptest! {
             .collect();
         let plan = FaultPlan::seeded(&classes, seed, per_class, 15_000);
         let params = small_profile(kind, salt);
-        let a = injected_run(&params, &plan, 1_500, 4_000);
-        let b = injected_run(&params, &plan, 1_500, 4_000);
+        let a = injected_run(&params, CpuConfig::default(), &plan, 1_500, 4_000);
+        let b = injected_run(&params, CpuConfig::default(), &plan, 1_500, 4_000);
         prop_assert_eq!(&a.fired, &b.fired);
         prop_assert_eq!(&a.histogram, &b.histogram);
         prop_assert_eq!(&a.hw, &b.hw);
