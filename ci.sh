@@ -6,9 +6,18 @@ set -eux
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
-# Static verification: every built-in profile must lint clean, warnings
-# promoted to errors (generation is seed-deterministic, so this is stable).
-cargo run --release -- lint --all-profiles --deny all
+# Static verification: every built-in profile must lint clean — with
+# the block-tier effect audit included — warnings promoted to errors
+# (generation is seed-deterministic, so this is stable).
+cargo run --release -- lint --all-profiles --effects --deny all
+
+# Derived-effects + abstract-interpretation gate: the exhaustive
+# block/resume safety audit, SMC-freedom and stack-depth proofs for
+# every profile image, and the static run-length prediction reconciled
+# against a real 200k-instruction block-tier run per profile (the
+# pinned spec RUN_LENGTH_TOLERANCE is calibrated at). --deny all
+# promotes any foregone-coverage or reconcile drift to an error.
+cargo run --release -- verify --all-profiles --instructions 200000 --deny all
 
 # Fault-campaign gate: an injected run must take its machine checks and
 # still reconcile all three instruments exactly (nonzero exit otherwise).

@@ -93,18 +93,26 @@ use vax_arch::{Opcode, SpecModeClass};
 /// instructions. A longer run simply continues as a second block at
 /// the continuation PC. Must fit the six count bits in the tag flags
 /// byte (≤ 63).
-pub(crate) const BLOCK_MAX: usize = 12;
+///
+/// Public so the static run-length predictor in vax-lint can chunk its
+/// predicted straight-line runs exactly the way `build_block` does.
+pub const BLOCK_MAX: usize = 12;
 
-/// May the block tier keep executing in the same `step_budgeted` call
-/// after this instruction retires on the per-instruction path? Only
-/// instructions that cannot perturb the interrupt state the entry
-/// guards froze: anything touching IPL/SISR/PSL or the address space
-/// (MTPR, REI, CHMx, LDPCTX/SVPCTX, HALT, BPT) forces a return to the
-/// arbitration loop. Plain PC movers (branches, calls, RSB, JMP, case
-/// dispatch) are fine — they redirect execution without making an
-/// interrupt deliverable, so the skipped fault poll and arbitration
-/// re-check are still provable no-ops.
-pub(crate) fn resume_safe(op: Opcode) -> bool {
+/// The tier's *claim*: may the block tier keep executing in the same
+/// `step_budgeted` call after this instruction retires on the
+/// per-instruction path? Only instructions that cannot perturb the
+/// interrupt state the entry guards froze: anything touching
+/// IPL/SISR/PSL or the address space (MTPR, REI, CHMx, LDPCTX/SVPCTX,
+/// HALT, BPT) forces a return to the arbitration loop. Plain PC movers
+/// (branches, calls, RSB, JMP, case dispatch) are fine — they redirect
+/// execution without making an interrupt deliverable, so the skipped
+/// fault poll and arbitration re-check are still provable no-ops.
+///
+/// This list is hand-maintained; it is audited exhaustively against
+/// the derived footprints ([`vax_ucode::effect::derived_resume_safe`])
+/// by [`crate::effect::audit_claims`], the tests below, and
+/// `vax780 lint --effects`.
+pub fn claimed_resume_safe(op: Opcode) -> bool {
     !matches!(
         op,
         Opcode::Halt
@@ -120,22 +128,30 @@ pub(crate) fn resume_safe(op: Opcode) -> bool {
     )
 }
 
-/// May this cached parse be flattened into a block? Anything that can
-/// redirect execution or perturb the interrupt/address-space state the
-/// entry guards rely on stays on the per-instruction path.
-pub(crate) fn block_safe(inst: &PredecodedInst) -> bool {
-    let op = inst.opcode;
+/// The tier's opcode-level claim: may a parse of this opcode be
+/// flattened into a block? Anything that can redirect execution or
+/// perturb the interrupt/address-space state the entry guards rely on
+/// stays on the per-instruction path. Audited like
+/// [`claimed_resume_safe`]; a specific parse is additionally screened
+/// by [`block_safe`].
+pub fn claimed_block_safe(op: Opcode) -> bool {
     if op.is_pc_changing() {
         return false; // branches, calls, CHMx, REI, case dispatch
     }
-    if matches!(
+    !matches!(
         op,
         Opcode::Halt | Opcode::Bpt | Opcode::Mtpr | Opcode::Ldpctx | Opcode::Svpctx
-    ) {
-        return false; // halts, traps, IPL/SISR/space side effects
+    ) // halts, traps, IPL/SISR/space side effects
+}
+
+/// May this cached parse be flattened into a block? The opcode-level
+/// claim, plus the parse-level screen: a register-mode PC operand
+/// (e.g. `MOVL R0, PC`) redirects execution without a branch class,
+/// so it is excluded statically per parse.
+pub(crate) fn block_safe(inst: &PredecodedInst) -> bool {
+    if !claimed_block_safe(inst.opcode) {
+        return false;
     }
-    // A register-mode PC operand (e.g. `MOVL R0, PC`) redirects
-    // execution without a branch class; exclude it statically.
     for i in 0..usize::from(inst.nops) {
         if let PdOp::Spec(dec) = inst.ops[i] {
             if dec.class == SpecModeClass::Register && dec.reg.is_pc() {
@@ -160,61 +176,137 @@ pub struct BlockStats {
     pub builds: u64,
     /// Instructions retired from inside blocks.
     pub replayed: u64,
+    /// Histogram of replay run lengths: `run_hist[n]` counts block
+    /// dispatches that retired exactly `n` instructions (`n ≥ 1`; a
+    /// replay can retire fewer than the block's verified count when
+    /// the budget or the event horizon truncates it, or when an
+    /// interior parse went stale). This is the dynamic counterpart the
+    /// static run-length predictor in vax-lint reconciles against.
+    pub run_hist: [u64; BLOCK_MAX + 1],
+}
+
+impl BlockStats {
+    /// Mean instructions retired per block dispatch (`replayed/hits`),
+    /// or 0.0 when no block was ever entered.
+    pub fn mean_run_len(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.replayed as f64 / self.hits as f64
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::specifier::SpecDecode;
+    use vax_arch::{AccessType, DataType, Reg};
+    use vax_ucode::{effect, ControlStore};
 
     #[test]
     fn block_max_fits_the_tag_count_bits() {
         assert!((2..=0x3F).contains(&BLOCK_MAX));
     }
 
+    /// The exhaustive audit, direction 1: no opcode the derivation
+    /// proves unsafe may be claimed safe — over *every* opcode, both
+    /// classifiers. (The spot-check lists this test replaced could
+    /// silently drift from the tables; a predicate over the tables
+    /// cannot.)
     #[test]
-    fn resume_safety_excludes_interrupt_perturbers() {
-        for op in [
-            Opcode::Brb,
-            Opcode::Beql,
-            Opcode::Rsb,
-            Opcode::Jmp,
-            Opcode::Movl,
-        ] {
-            assert!(resume_safe(op), "{op:?} cannot perturb interrupt state");
-        }
-        for op in [
-            Opcode::Halt,
-            Opcode::Bpt,
-            Opcode::Mtpr,
-            Opcode::Ldpctx,
-            Opcode::Svpctx,
-            Opcode::Rei,
-            Opcode::Chmk,
-            Opcode::Chme,
-            Opcode::Chms,
-            Opcode::Chmu,
-        ] {
-            assert!(!resume_safe(op), "{op:?} must end the run");
+    fn no_derived_unsafe_opcode_is_claimed_safe() {
+        let cs = ControlStore::build();
+        for &op in Opcode::ALL {
+            if !effect::derived_resume_safe(op, &cs) {
+                assert!(!claimed_resume_safe(op), "{op:?} must end the run");
+            }
+            if !effect::derived_block_safe(op, &cs) {
+                assert!(!claimed_block_safe(op), "{op:?} must not enter a block");
+            }
         }
     }
 
+    /// The exhaustive audit, direction 2: no opcode the derivation
+    /// proves safe may be claimed unsafe — claiming too little is not
+    /// unsound, but it forgoes block coverage, and any gap between the
+    /// hand lists and the derived footprints should be deliberate.
+    /// Today the lists agree exactly, so this is an equality.
     #[test]
-    fn block_safety_excludes_redirectors() {
-        assert!(block_safe(&PredecodedInst::new(Opcode::Movl)));
-        assert!(block_safe(&PredecodedInst::new(Opcode::Mfpr)));
-        for op in [
-            Opcode::Brb,
-            Opcode::Beql,
-            Opcode::Rsb,
-            Opcode::Rei,
-            Opcode::Chmk,
-            Opcode::Halt,
-            Opcode::Bpt,
-            Opcode::Mtpr,
-            Opcode::Ldpctx,
-            Opcode::Svpctx,
-        ] {
-            assert!(!block_safe(&PredecodedInst::new(op)), "{op:?} in a block");
+    fn no_derived_safe_opcode_forgoes_coverage() {
+        let cs = ControlStore::build();
+        for &op in Opcode::ALL {
+            assert_eq!(
+                claimed_resume_safe(op),
+                effect::derived_resume_safe(op, &cs),
+                "{op:?} resume claim diverges from the derived footprint"
+            );
+            assert_eq!(
+                claimed_block_safe(op),
+                effect::derived_block_safe(op, &cs),
+                "{op:?} block claim diverges from the derived footprint"
+            );
+        }
+    }
+
+    /// The audit entry point the lint pass uses must find nothing on
+    /// the shipped classifiers.
+    #[test]
+    fn shipped_claims_audit_clean() {
+        let cs = ControlStore::build();
+        assert!(crate::effect::audit_claims(&cs).is_empty());
+    }
+
+    /// And a deliberately misclassified claim must be caught.
+    #[test]
+    fn misclassified_claim_is_caught() {
+        let cs = ControlStore::build();
+        // Claim MTPR (an interrupt-state writer) is resume-safe.
+        let findings = crate::effect::audit_claims_with(&cs, claimed_block_safe, |op| {
+            op == Opcode::Mtpr || claimed_resume_safe(op)
+        });
+        assert!(findings
+            .iter()
+            .any(|f| f.op == Opcode::Mtpr && f.kind == crate::effect::AuditKind::ResumeUnsound));
+    }
+
+    fn pc_register_spec(access: AccessType) -> SpecDecode {
+        SpecDecode {
+            ext: 0,
+            ext_bytes: 0,
+            class: SpecModeClass::Register,
+            reg: Reg::Pc,
+            index_reg: None,
+            mode_byte: 0x5F,
+            dtype: DataType::Long,
+            access,
+        }
+    }
+
+    /// Parse-level screen, exhaustively: for every opcode whose opcode
+    /// -level claim is safe, a parse with a register-mode PC operand in
+    /// any position must still be rejected, and a PC-free parse must be
+    /// accepted (the parse screen adds exactly the PC check, nothing
+    /// else).
+    #[test]
+    fn pc_register_operand_rejected_in_every_position() {
+        for &op in Opcode::ALL {
+            let plain = PredecodedInst::new(op);
+            assert_eq!(block_safe(&plain), claimed_block_safe(op), "{op:?}");
+            if !claimed_block_safe(op) {
+                continue;
+            }
+            for pos in 0..op.operands().len() {
+                let mut inst = PredecodedInst::new(op);
+                for (i, t) in op.operands().iter().enumerate() {
+                    inst.push(if i == pos {
+                        PdOp::Spec(pc_register_spec(t.access()))
+                    } else {
+                        PdOp::Branch { disp: 0, bytes: 0 }
+                    });
+                }
+                assert!(!block_safe(&inst), "{op:?} with PC operand at {pos}");
+            }
         }
     }
 }

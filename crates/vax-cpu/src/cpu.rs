@@ -1,6 +1,6 @@
 //! The CPU: clock owner, microcycle engine, and instruction stepper.
 
-use crate::block::{resume_safe, BlockStats, BLOCK_MAX};
+use crate::block::{claimed_resume_safe as resume_safe, BlockStats, BLOCK_MAX};
 use crate::config::CpuConfig;
 use crate::exec;
 use crate::fault::{CpuError, Fault};
@@ -770,7 +770,8 @@ impl Cpu {
     /// blocks and single per-instruction executions, all inside one
     /// `step_budgeted` call, until the instruction budget is spent, the
     /// external-event horizon is reached, or an instruction retires
-    /// that could make an interrupt deliverable ([`resume_safe`]).
+    /// that could make an interrupt deliverable
+    /// ([`crate::block::claimed_resume_safe`]).
     ///
     /// Bit-identity argument for the skipped per-step work: the fault
     /// poll is a no-op because no hook is armed (entry guard) and none
@@ -970,6 +971,9 @@ impl Cpu {
                 }
                 Err(stop) => {
                     self.block_stats.replayed += executed;
+                    if executed > 0 {
+                        self.block_stats.run_hist[executed as usize] += 1;
+                    }
                     return Err((stop, pc));
                 }
             }
@@ -987,6 +991,7 @@ impl Cpu {
             slot = next;
         }
         self.block_stats.replayed += executed;
+        self.block_stats.run_hist[executed as usize] += 1;
         Ok((last, executed))
     }
 

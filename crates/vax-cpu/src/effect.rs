@@ -1,0 +1,152 @@
+//! The effect audit: refute (or confirm) the block tier's safety
+//! claims against the derived footprints.
+//!
+//! The block tier's two classifiers ([`crate::block::claimed_block_safe`]
+//! and [`crate::block::claimed_resume_safe`]) are hand-maintained
+//! opcode lists. [`vax_ucode::effect`] derives, for every opcode, a
+//! conservative effect footprint from the operand templates, the
+//! control-store row map, and the static characterization — with no
+//! hand list as input. This module compares claim against derivation
+//! over **all** opcodes, in both directions:
+//!
+//! * **Unsound** (an error when linted): the derivation says the opcode
+//!   may redirect PC or perturb interrupt state, but the tier claims
+//!   it safe. Replaying through such an opcode would skip a fault poll
+//!   or arbitration check that is not a provable no-op.
+//! * **Foregone** (a warning when linted): the derivation proves the
+//!   opcode safe, but the tier claims it unsafe. Nothing breaks — the
+//!   tier just declines block coverage the tables say it could have.
+//!
+//! The audit is exported (and re-run with injectable claims) so both
+//! the in-crate tests and `vax780 lint --effects` gate on it.
+
+use crate::block::{claimed_block_safe, claimed_resume_safe};
+use vax_arch::Opcode;
+use vax_ucode::effect::{self, EffectSet};
+use vax_ucode::ControlStore;
+
+/// Which claim diverged from the derived footprint, and in which
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    /// Claimed block-safe, derived unsafe: unsound.
+    BlockUnsound,
+    /// Claimed resume-safe, derived unsafe: unsound.
+    ResumeUnsound,
+    /// Derived block-safe, claimed unsafe: foregone block coverage.
+    BlockForgone,
+    /// Derived resume-safe, claimed unsafe: foregone run continuation.
+    ResumeForgone,
+}
+
+impl AuditKind {
+    /// Is this finding a soundness violation (as opposed to foregone
+    /// coverage)?
+    pub fn is_unsound(self) -> bool {
+        matches!(self, AuditKind::BlockUnsound | AuditKind::ResumeUnsound)
+    }
+}
+
+/// One divergence between a claimed classifier and the derived
+/// footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The diverging opcode.
+    pub op: Opcode,
+    /// Which claim, which direction.
+    pub kind: AuditKind,
+    /// The derived footprint, for the diagnostic message.
+    pub effects: EffectSet,
+}
+
+/// Audit the shipped classifiers over every opcode. Empty on a healthy
+/// build — any finding is either a soundness bug in the block tier or
+/// deliberate (and then it should be visible here, not silent).
+pub fn audit_claims(cs: &ControlStore) -> Vec<AuditFinding> {
+    audit_claims_with(cs, claimed_block_safe, claimed_resume_safe)
+}
+
+/// Audit arbitrary claim functions against the derived footprints.
+/// The lint pass and the misclassification tests inject claims here;
+/// production code always audits the shipped ones via
+/// [`audit_claims`].
+pub fn audit_claims_with(
+    cs: &ControlStore,
+    claim_block: impl Fn(Opcode) -> bool,
+    claim_resume: impl Fn(Opcode) -> bool,
+) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for &op in Opcode::ALL {
+        let effects = effect::derive(op, cs);
+        let derived_block = effect::derived_block_safe(op, cs);
+        let derived_resume = effect::derived_resume_safe(op, cs);
+        let kind = |claimed: bool, derived: bool, unsound: AuditKind, forgone: AuditKind| match (
+            claimed, derived,
+        ) {
+            (true, false) => Some(unsound),
+            (false, true) => Some(forgone),
+            _ => None,
+        };
+        for k in [
+            kind(
+                claim_block(op),
+                derived_block,
+                AuditKind::BlockUnsound,
+                AuditKind::BlockForgone,
+            ),
+            kind(
+                claim_resume(op),
+                derived_resume,
+                AuditKind::ResumeUnsound,
+                AuditKind::ResumeForgone,
+            ),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            findings.push(AuditFinding {
+                op,
+                kind: k,
+                effects,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forgone_direction_is_reported_too() {
+        let cs = ControlStore::build();
+        // Claim NOP (provably inert) is not block-safe: coverage is
+        // foregone, and the audit must say so — as a non-unsound kind.
+        let findings = audit_claims_with(
+            &cs,
+            |op| op != Opcode::Nop && claimed_block_safe(op),
+            claimed_resume_safe,
+        );
+        let f = findings
+            .iter()
+            .find(|f| f.op == Opcode::Nop)
+            .expect("foregone finding");
+        assert_eq!(f.kind, AuditKind::BlockForgone);
+        assert!(!f.kind.is_unsound());
+    }
+
+    #[test]
+    fn both_claims_of_one_opcode_can_diverge() {
+        let cs = ControlStore::build();
+        // Claim REI (system branch) safe on both axes: two findings.
+        let findings = audit_claims_with(
+            &cs,
+            |op| op == Opcode::Rei || claimed_block_safe(op),
+            |op| op == Opcode::Rei || claimed_resume_safe(op),
+        );
+        let rei: Vec<_> = findings.iter().filter(|f| f.op == Opcode::Rei).collect();
+        assert_eq!(rei.len(), 2);
+        assert!(rei.iter().all(|f| f.kind.is_unsound()));
+    }
+}

@@ -29,6 +29,7 @@
 mod block;
 mod config;
 mod cpu;
+pub mod effect;
 mod exec;
 mod fault;
 mod ffloat;
@@ -42,7 +43,7 @@ mod psl;
 mod regs;
 mod specifier;
 
-pub use block::BlockStats;
+pub use block::{claimed_block_safe, claimed_resume_safe, BlockStats, BLOCK_MAX};
 pub use config::CpuConfig;
 pub use cpu::scb;
 pub use cpu::{Cpu, RunOutcome, StepOutcome};

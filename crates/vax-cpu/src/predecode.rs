@@ -330,7 +330,7 @@ impl PredecodeCache {
                 0x80
             } else {
                 0
-            } | if crate::block::resume_safe(inst.opcode) {
+            } | if crate::block::claimed_resume_safe(inst.opcode) {
                 0x40
             } else {
                 0

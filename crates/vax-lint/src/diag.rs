@@ -21,9 +21,11 @@ impl Severity {
     }
 }
 
-/// The rule catalog. Four families: image CFG/decode checks,
-/// static-mix-vs-profile checks, table/taxonomy audits, and probe
-/// measurement-vs-model refutation checks.
+/// The rule catalog. Six families: image CFG/decode checks,
+/// static-mix-vs-profile checks, table/taxonomy audits, probe
+/// measurement-vs-model refutation checks, effect-audit checks of the
+/// block tier's safety claims, and abstract-interpretation
+/// verification of images (SMC freedom, stack depth, run lengths).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     // ----- image family -----------------------------------------------------
@@ -70,6 +72,26 @@ pub enum Rule {
     /// The probe allowlist is malformed, names unknown keys, or carries
     /// entries no measurement used.
     ProbeAllowlist,
+    // ----- effect family (block-tier safety claims vs derivation) -----------
+    /// An opcode claimed block-safe has a derived footprint that can
+    /// redirect PC or perturb interrupt state.
+    EffectBlockSafe,
+    /// An opcode claimed resume-safe has a derived footprint that can
+    /// perturb interrupt state.
+    EffectResumeSafe,
+    /// An opcode the derivation proves safe is claimed unsafe: block
+    /// coverage foregone.
+    EffectForgone,
+    // ----- verify family (abstract interpretation over images) -------------
+    /// A reachable store's target interval can intersect the code bytes
+    /// without matching a declared patch site (self-modifying code).
+    VerifySmc,
+    /// Stack depth unbounded, unbalanced at a join, underflowing, or
+    /// exceeding the mapped user stack.
+    VerifyStackDepth,
+    /// The static straight-line run-length prediction and the dynamic
+    /// block statistics diverge beyond tolerance.
+    VerifyRunLength,
 }
 
 impl Rule {
@@ -94,6 +116,12 @@ impl Rule {
         Rule::ProbeMeasurement,
         Rule::ProbeCoverage,
         Rule::ProbeAllowlist,
+        Rule::EffectBlockSafe,
+        Rule::EffectResumeSafe,
+        Rule::EffectForgone,
+        Rule::VerifySmc,
+        Rule::VerifyStackDepth,
+        Rule::VerifyRunLength,
     ];
 
     /// Stable rule identifier (what `--deny` matches).
@@ -118,12 +146,75 @@ impl Rule {
             Rule::ProbeMeasurement => "probe-measurement",
             Rule::ProbeCoverage => "probe-coverage",
             Rule::ProbeAllowlist => "probe-allowlist",
+            Rule::EffectBlockSafe => "effect-block-safe",
+            Rule::EffectResumeSafe => "effect-resume-safe",
+            Rule::EffectForgone => "effect-forgone",
+            Rule::VerifySmc => "verify-smc",
+            Rule::VerifyStackDepth => "verify-stack-depth",
+            Rule::VerifyRunLength => "verify-run-length",
         }
     }
 
     /// Look a rule up by its identifier.
     pub fn parse(id: &str) -> Option<Rule> {
         Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line documentation, for `vax780 lint --list-rules`.
+    pub fn doc(self) -> &'static str {
+        match self {
+            Rule::ImageDecode => "a byte range fails to decode as instructions (totality)",
+            Rule::ImageBranchTarget => {
+                "a branch or case target leaves the image or splits an instruction"
+            }
+            Rule::ImagePrivileged => "a privileged opcode appears in a user-mode stream",
+            Rule::ImagePushPop => "a PUSHR/POPR or PUSHL idiom is not adjacent/balanced",
+            Rule::ImageWalkerBudget => {
+                "worst-case walker/bias/pointer consumption exceeds its arena"
+            }
+            Rule::ImageCaseTable => "a case instruction's table cannot be sized statically",
+            Rule::ImageUnreachable => "decoded code is unreachable from the entry or any function",
+            Rule::MixCategory => "a weighted category is absent, or a zero-weight one present",
+            Rule::MixShare => "a category's static share drifts beyond tolerance",
+            Rule::ModeShare => "an addressing-mode share drifts beyond tolerance",
+            Rule::TableOpcode => "an opcode's operand templates are inconsistent with its flags",
+            Rule::UcodeCoverage => "the control store misses a dispatch address or opcode slot",
+            Rule::UcodeOverlap => "control-store regions overlap or classify an address twice",
+            Rule::CounterTaxonomy => "a counter or event kind is missing from the taxonomy",
+            Rule::ProbeMode => "a measured addressing-mode row disagrees with the static model",
+            Rule::ProbeOpcode => "a measured opcode execute row disagrees with the static model",
+            Rule::ProbeMeasurement => "a probe measurement is internally inconsistent",
+            Rule::ProbeCoverage => "a workload-exercised opcode x mode pair was not probed",
+            Rule::ProbeAllowlist => "the probe allowlist is malformed or carries unused entries",
+            Rule::EffectBlockSafe => {
+                "an opcode claimed block-safe has a derived footprint that is not"
+            }
+            Rule::EffectResumeSafe => "an opcode claimed resume-safe can perturb interrupt state",
+            Rule::EffectForgone => "a derived-safe opcode is claimed unsafe (coverage foregone)",
+            Rule::VerifySmc => "a reachable store can hit code bytes outside a declared patch site",
+            Rule::VerifyStackDepth => {
+                "stack depth is unbalanced, underflows, or exceeds the user stack"
+            }
+            Rule::VerifyRunLength => {
+                "static run-length prediction diverges from dynamic block stats"
+            }
+        }
+    }
+
+    /// The severity of the rule's primary finding, before any `--deny`
+    /// promotion. A few rules also emit the other severity for
+    /// aggravated or auxiliary findings (`mode-share` escalates when a
+    /// weighted mode never appears at all, `probe-allowlist` warns on
+    /// stale-but-well-formed entries).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::ImageUnreachable
+            | Rule::MixShare
+            | Rule::ModeShare
+            | Rule::EffectForgone
+            | Rule::VerifyRunLength => Severity::Warning,
+            _ => Severity::Error,
+        }
     }
 }
 

@@ -1,0 +1,507 @@
+//! The derived-effect audit and the static block-tier predictor.
+//!
+//! Two analyses tie the block tier's claims to things that can be
+//! checked without trusting the tier:
+//!
+//! * **Effect audit** ([`lint_effects`]): run
+//!   [`vax_cpu::effect::audit_claims`] — the exhaustive comparison of
+//!   the hand-maintained `claimed_block_safe`/`claimed_resume_safe`
+//!   classifiers against footprints derived from the operand templates,
+//!   control-store row map, and static characterization — and render
+//!   each divergence as a diagnostic. Unsound claims (claimed safe,
+//!   derived unsafe) are errors; foregone coverage (derived safe,
+//!   claimed unsafe) is a warning.
+//!
+//! * **Run-length prediction** ([`predict_run_lengths`]): chunk each
+//!   decoded image's straight-line runs exactly the way
+//!   `Cpu::build_block` does — runs of block-safe parses, a resume-safe
+//!   terminator flattened, chunked at [`BLOCK_MAX`], no block under two
+//!   instructions — weighted by the counted-loop trip counts, yielding
+//!   the histogram of block lengths a run of the image *should*
+//!   produce. [`reconcile_run_lengths`] then compares that prediction
+//!   against the dynamic [`BlockStats`] of a real run: a dynamic run
+//!   longer than any predicted block is structurally impossible (the
+//!   replay verifies exactly what the predictor chunks), and a mean
+//!   outside the documented tolerance band means the tier is not
+//!   engaging the way the static analysis says it can.
+
+use crate::cfg::{counted_loops, loop_multiplier, DecodedImage, Region};
+use crate::diag::{Diagnostic, Report, Rule};
+use vax_arch::{AddrMode, Reg};
+use vax_cpu::effect::{audit_claims, AuditKind};
+use vax_cpu::{claimed_block_safe, claimed_resume_safe, BlockStats, BLOCK_MAX};
+use vax_ucode::ControlStore;
+
+/// Relative tolerance on the dynamic-vs-static mean block length in
+/// [`reconcile_run_lengths`]. Two forces pull the dynamic mean off the
+/// static one: truncation (the instruction budget, the external-event
+/// horizon, and mid-run entries at branch targets all cut replays
+/// short) presses it down, while execution weight concentrating in hot
+/// loops — which the static predictor only approximates through its
+/// loop multipliers — pulls it up. Calibrated against the five
+/// built-in profiles at the pinned CI spec (200k-instruction dynamic
+/// runs): the observed drift is +4% to +14%, so 25% flags a real
+/// change in either the tier or the predictor without tripping on
+/// profile-to-profile variation.
+pub const RUN_LENGTH_TOLERANCE: f64 = 0.25;
+
+/// Audit the block tier's safety claims against the derived effect
+/// footprints, over every opcode, in both directions.
+pub fn lint_effects(cs: &ControlStore) -> Report {
+    report_audit(audit_claims(cs))
+}
+
+/// Render audit findings as diagnostics under the effect-family rules.
+/// Split from [`lint_effects`] so tests can push deliberately
+/// misclassified claims (via `audit_claims_with`) through the same
+/// rule mapping.
+fn report_audit(findings: Vec<vax_cpu::effect::AuditFinding>) -> Report {
+    let mut report = Report::new();
+    for finding in findings {
+        let mnem = finding.op.mnemonic();
+        let fx = finding.effects;
+        let diag = match finding.kind {
+            AuditKind::BlockUnsound => Diagnostic::error(
+                Rule::EffectBlockSafe,
+                "effects".to_string(),
+                format!("{mnem} is claimed block-safe but its derived footprint is [{fx}]"),
+            ),
+            AuditKind::ResumeUnsound => Diagnostic::error(
+                Rule::EffectResumeSafe,
+                "effects".to_string(),
+                format!("{mnem} is claimed resume-safe but its derived footprint is [{fx}]"),
+            ),
+            AuditKind::BlockForgone => Diagnostic::warning(
+                Rule::EffectForgone,
+                "effects".to_string(),
+                format!("{mnem} is provably block-safe ([{fx}]) but the tier forgoes it"),
+            ),
+            AuditKind::ResumeForgone => Diagnostic::warning(
+                Rule::EffectForgone,
+                "effects".to_string(),
+                format!("{mnem} is provably resume-safe ([{fx}]) but the tier forgoes it"),
+            ),
+        };
+        report.push(diag);
+    }
+    report
+}
+
+/// One image's predicted block-tier engagement: what `build_block`
+/// will verify, weighted by how often the counted loops revisit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLengthPrediction {
+    /// `hist[n]` = weighted count of predicted blocks of exactly `n`
+    /// instructions (`2 <= n <= BLOCK_MAX`; lower slots stay zero).
+    pub hist: [u64; BLOCK_MAX + 1],
+    /// Weighted instructions covered by predicted blocks.
+    pub covered: u64,
+    /// Weighted instructions left to per-instruction dispatch.
+    pub uncovered: u64,
+}
+
+impl RunLengthPrediction {
+    /// An empty prediction (no code).
+    pub fn empty() -> RunLengthPrediction {
+        RunLengthPrediction {
+            hist: [0; BLOCK_MAX + 1],
+            covered: 0,
+            uncovered: 0,
+        }
+    }
+
+    /// Total predicted block dispatches (weighted).
+    pub fn blocks(&self) -> u64 {
+        self.hist.iter().sum()
+    }
+
+    /// Weighted mean predicted block length, or 0.0 with no blocks.
+    pub fn mean_run_len(&self) -> f64 {
+        let blocks = self.blocks();
+        if blocks == 0 {
+            0.0
+        } else {
+            self.covered as f64 / blocks as f64
+        }
+    }
+
+    /// Longest predicted block (0 with no blocks).
+    pub fn max_run_len(&self) -> usize {
+        (0..=BLOCK_MAX)
+            .rev()
+            .find(|&n| self.hist[n] > 0)
+            .unwrap_or(0)
+    }
+
+    /// Share of weighted instructions covered by blocks.
+    pub fn coverage(&self) -> f64 {
+        let total = self.covered + self.uncovered;
+        if total == 0 {
+            0.0
+        } else {
+            self.covered as f64 / total as f64
+        }
+    }
+
+    /// Accumulate another image's prediction (machines run several
+    /// process images against one set of dynamic counters).
+    pub fn merge(&mut self, other: &RunLengthPrediction) {
+        for (a, b) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *a += b;
+        }
+        self.covered += other.covered;
+        self.uncovered += other.uncovered;
+    }
+}
+
+/// The static mirror of the parse-level screen in
+/// `vax_cpu::block::block_safe`: the opcode-level claim plus the
+/// register-mode-PC exclusion.
+fn statically_block_safe(inst: &vax_arch::sdecode::LocatedInst) -> bool {
+    claimed_block_safe(inst.inst.opcode)
+        && !inst
+            .inst
+            .specs
+            .iter()
+            .any(|s| s.mode == AddrMode::Register(Reg::Pc))
+}
+
+/// Chunk one region's instruction stream the way `build_block` will:
+/// maximal runs of block-safe parses — split at branch/case targets,
+/// where the dynamic stepper forms new heads — with a resume-safe
+/// terminator flattened, chunked at [`BLOCK_MAX`], discarded under two
+/// instructions.
+fn predict_region(region: &Region, pred: &mut RunLengthPrediction) {
+    use std::collections::BTreeSet;
+    let loops = counted_loops(region);
+    let mut splits: BTreeSet<usize> = BTreeSet::new();
+    for inst in &region.insts {
+        if let Some(disp) = inst.inst.branch_disp {
+            let t = inst.offset as i64 + i64::from(inst.inst.len) + i64::from(disp);
+            if t >= 0 {
+                splits.insert(t as usize);
+            }
+        }
+        if let Some(entries) = &inst.case_entries {
+            let base = inst.offset as i64 + i64::from(inst.inst.len);
+            for &e in entries {
+                let t = base + i64::from(e);
+                if t >= 0 {
+                    splits.insert(t as usize);
+                }
+            }
+        }
+    }
+
+    let insts = &region.insts;
+    let n = insts.len();
+    let mut i = 0;
+    while i < n {
+        if !statically_block_safe(&insts[i]) {
+            pred.uncovered += loop_multiplier(&loops, insts[i].offset);
+            i += 1;
+            continue;
+        }
+        let head = i;
+        let mut j = i + 1;
+        while j < n && statically_block_safe(&insts[j]) && !splits.contains(&insts[j].offset) {
+            j += 1;
+        }
+        let run = j - head;
+        // A real (unsafe) terminator flattens if resume-safe; a run cut
+        // by a split point or the region end has none — execution forms
+        // a fresh head at the next run.
+        let terminator = (j < n && !statically_block_safe(&insts[j])).then(|| &insts[j]);
+        let flatten = terminator.is_some_and(|t| claimed_resume_safe(t.inst.opcode));
+        let w = loop_multiplier(&loops, insts[head].offset);
+
+        let mut rem = run;
+        let mut consumed = 0usize;
+        let mut term_covered = false;
+        while rem >= BLOCK_MAX {
+            pred.hist[BLOCK_MAX] += w;
+            pred.covered += (BLOCK_MAX as u64) * w;
+            consumed += BLOCK_MAX;
+            rem -= BLOCK_MAX;
+        }
+        if rem > 0 {
+            let len = rem + usize::from(flatten);
+            if len >= 2 {
+                pred.hist[len] += w;
+                pred.covered += (len as u64) * w;
+                consumed += rem;
+                term_covered = flatten;
+            }
+        }
+        pred.uncovered += ((run - consumed) as u64) * w;
+        match terminator {
+            Some(t) => {
+                if !term_covered {
+                    pred.uncovered += loop_multiplier(&loops, t.offset);
+                }
+                i = j + 1;
+            }
+            None => i = j,
+        }
+    }
+}
+
+/// Predict the block-tier engagement of a decoded image.
+pub fn predict_run_lengths(image: &DecodedImage) -> RunLengthPrediction {
+    let mut pred = RunLengthPrediction::empty();
+    for region in &image.regions {
+        predict_region(region, &mut pred);
+    }
+    pred
+}
+
+/// Reconcile a static run-length prediction against the dynamic
+/// [`BlockStats`] of a real run of the same images.
+///
+/// Two checks, both [`Rule::VerifyRunLength`] (warnings by default):
+/// a dynamic replay longer than any predicted block — structurally
+/// impossible if the predictor mirrors `build_block`, since a replay
+/// retires at most the verified count — and a dynamic mean block
+/// length outside `tolerance` (relative) of the static mean.
+pub fn reconcile_run_lengths(
+    ctx: &str,
+    pred: &RunLengthPrediction,
+    stats: &BlockStats,
+    tolerance: f64,
+) -> Report {
+    let mut report = Report::new();
+    if pred.blocks() == 0 {
+        if stats.hits > 0 {
+            report.push(Diagnostic::warning(
+                Rule::VerifyRunLength,
+                ctx.to_string(),
+                format!(
+                    "the static predictor found no blocks, but the run replayed {} \
+                     dispatch(es)",
+                    stats.hits
+                ),
+            ));
+        }
+        return report;
+    }
+    if stats.hits == 0 {
+        report.push(Diagnostic::warning(
+            Rule::VerifyRunLength,
+            ctx.to_string(),
+            format!(
+                "the static predictor found {} weighted blocks, but the run never \
+                 entered one (was the block tier engaged?)",
+                pred.blocks()
+            ),
+        ));
+        return report;
+    }
+    let dyn_max = (0..=BLOCK_MAX)
+        .rev()
+        .find(|&n| stats.run_hist[n] > 0)
+        .unwrap_or(0);
+    let static_max = pred.max_run_len();
+    if dyn_max > static_max {
+        report.push(Diagnostic::warning(
+            Rule::VerifyRunLength,
+            ctx.to_string(),
+            format!(
+                "a dynamic replay retired {dyn_max} instructions, but the longest \
+                 statically predicted block is {static_max}"
+            ),
+        ));
+    }
+    let dyn_mean = stats.mean_run_len();
+    let static_mean = pred.mean_run_len();
+    let drift = (dyn_mean - static_mean).abs() / static_mean;
+    if drift > tolerance {
+        report.push(Diagnostic::warning(
+            Rule::VerifyRunLength,
+            ctx.to_string(),
+            format!(
+                "dynamic mean block length {dyn_mean:.2} diverges from the static \
+                 prediction {static_mean:.2} by {:.0}% (tolerance {:.0}%)",
+                drift * 100.0,
+                tolerance * 100.0
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::check_image;
+    use crate::image::{Budgets, ImageModel};
+    use vax_arch::{Assembler, Opcode, Operand};
+
+    fn decode(asm_bytes: Vec<u8>, base: u32) -> DecodedImage {
+        let model = ImageModel {
+            name: "test".into(),
+            base,
+            entry: base,
+            functions: vec![],
+            bytes: asm_bytes,
+            budgets: Budgets {
+                walker_len: 4096,
+                bias_len: 16384,
+                ptr_entries: 256,
+            },
+            patch_sites: vec![],
+        };
+        let (decoded, report) = check_image(&model);
+        decoded.unwrap_or_else(|| panic!("decodes: {}", report.render_text()))
+    }
+
+    #[test]
+    fn shipped_classifiers_audit_clean_as_a_report() {
+        let cs = ControlStore::build();
+        let report = lint_effects(&cs);
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn misclassified_opcode_is_caught_under_its_named_rule() {
+        use vax_cpu::effect::audit_claims_with;
+        use vax_cpu::{claimed_block_safe, claimed_resume_safe};
+        let cs = ControlStore::build();
+        // Deliberately claim BRB — which redirects PC — block-safe.
+        let report = report_audit(audit_claims_with(
+            &cs,
+            |op| op == Opcode::Brb || claimed_block_safe(op),
+            claimed_resume_safe,
+        ));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == Rule::EffectBlockSafe)
+            .expect("misclassification finding");
+        assert!(d.message.contains("brb"), "{}", d.message);
+        assert_eq!(report.errors(), 1, "{}", report.render_text());
+
+        // And the other direction: claiming HALT resume-safe.
+        let report = report_audit(audit_claims_with(&cs, claimed_block_safe, |op| {
+            op == Opcode::Halt || claimed_resume_safe(op)
+        }));
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::EffectResumeSafe && d.message.contains("halt")),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn straight_line_run_chunks_like_build_block() {
+        // 14 safe MOVLs then RET: the safe run of 14 chunks as 12 + 2,
+        // the RET (resume-safe) flattens onto the remainder => 12 + 3.
+        let mut asm = Assembler::new(0x1000);
+        for _ in 0..14 {
+            asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+                .unwrap();
+        }
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        let image = decode(asm.finish().unwrap().bytes, 0x1000);
+        let pred = predict_run_lengths(&image);
+        assert_eq!(pred.hist[BLOCK_MAX], 1);
+        assert_eq!(pred.hist[3], 1);
+        assert_eq!(pred.covered, 15);
+        assert_eq!(pred.uncovered, 0);
+        assert_eq!(pred.max_run_len(), BLOCK_MAX);
+    }
+
+    #[test]
+    fn lone_instruction_before_unsafe_ender_forms_no_block() {
+        // One MOVL then HALT (resume-unsafe): no block at all.
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+            .unwrap();
+        asm.inst(Opcode::Halt, &[]).unwrap();
+        let image = decode(asm.finish().unwrap().bytes, 0x1000);
+        let pred = predict_run_lengths(&image);
+        assert_eq!(pred.blocks(), 0);
+        assert_eq!(pred.covered, 0);
+        assert_eq!(pred.uncovered, 2);
+    }
+
+    #[test]
+    fn counted_loop_weights_its_block() {
+        // MOVL #5, R3; top: 3 safe insts; SOBGTR R3, top; RET.
+        // The loop body (3 safe + flattened SOBGTR = 4) weights x5.
+        let mut asm = Assembler::new(0x1000);
+        asm.inst(Opcode::Movl, &[Operand::Literal(5), Operand::Reg(Reg::R3)])
+            .unwrap();
+        let top = asm.label_here();
+        for _ in 0..3 {
+            asm.inst(Opcode::Addl2, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+                .unwrap();
+        }
+        asm.branch(Opcode::Sobgtr, &[Operand::Reg(Reg::R3)], top)
+            .unwrap();
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        let image = decode(asm.finish().unwrap().bytes, 0x1000);
+        let pred = predict_run_lengths(&image);
+        assert_eq!(pred.hist[4], 5, "loop body block weighted by trip count");
+        // The preamble MOVL runs straight into the loop top? No: the
+        // SOBGTR's backward target splits the run, so the MOVL is a
+        // lone single (uncovered), and the RET after the loop is a
+        // fresh lone head too.
+        assert_eq!(pred.hist[2], 0);
+        assert!(pred.uncovered >= 2);
+    }
+
+    #[test]
+    fn reconcile_flags_impossible_dynamic_run() {
+        let mut asm = Assembler::new(0x1000);
+        for _ in 0..2 {
+            asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+                .unwrap();
+        }
+        asm.inst(Opcode::Halt, &[]).unwrap();
+        let image = decode(asm.finish().unwrap().bytes, 0x1000);
+        let pred = predict_run_lengths(&image);
+        assert_eq!(pred.max_run_len(), 2);
+        let mut stats = BlockStats {
+            hits: 1,
+            replayed: 7,
+            ..BlockStats::default()
+        };
+        stats.run_hist[7] = 1;
+        let report = reconcile_run_lengths("test", &pred, &stats, 10.0);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == Rule::VerifyRunLength && d.message.contains("longest")),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn reconcile_accepts_matching_stats_and_flags_drift() {
+        let mut asm = Assembler::new(0x1000);
+        for _ in 0..4 {
+            asm.inst(Opcode::Movl, &[Operand::Literal(1), Operand::Reg(Reg::R0)])
+                .unwrap();
+        }
+        asm.inst(Opcode::Ret, &[]).unwrap();
+        let image = decode(asm.finish().unwrap().bytes, 0x1000);
+        let pred = predict_run_lengths(&image);
+        assert_eq!(pred.hist[5], 1); // 4 safe + flattened RET
+        let mut stats = BlockStats {
+            hits: 10,
+            replayed: 50,
+            ..BlockStats::default()
+        };
+        stats.run_hist[5] = 10;
+        assert!(reconcile_run_lengths("t", &pred, &stats, RUN_LENGTH_TOLERANCE).is_clean());
+        // Now a run that never engaged the tier.
+        let idle = BlockStats::default();
+        let report = reconcile_run_lengths("t", &pred, &idle, RUN_LENGTH_TOLERANCE);
+        assert!(!report.is_clean());
+    }
+}

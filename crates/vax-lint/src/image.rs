@@ -45,6 +45,13 @@ pub struct ImageModel {
     pub bytes: Vec<u8>,
     /// Arena sizes for the walker-budget checks.
     pub budgets: Budgets,
+    /// Declared self-patch sites, `(va, len)`: the only code bytes a
+    /// store may legally target, and then only with that exact span.
+    /// The built-in generator never patches its code, so this is empty
+    /// for every generated image; the field exists so a hand-built or
+    /// corrupted image can declare (or fail to declare) its stores
+    /// into code and the SMC verifier can hold it to that.
+    pub patch_sites: Vec<(u32, u32)>,
 }
 
 impl ImageModel {
@@ -57,6 +64,7 @@ impl ImageModel {
             functions: plan.functions.clone(),
             bytes: plan.image.bytes.clone(),
             budgets: Budgets::from_layout(&plan.layout),
+            patch_sites: Vec::new(),
         }
     }
 
@@ -81,6 +89,15 @@ impl ImageModel {
             "budgets walker={} bias={} ptr={}\n",
             self.budgets.walker_len, self.budgets.bias_len, self.budgets.ptr_entries
         ));
+        // Emitted only when present, so images without patch sites
+        // round-trip through pre-existing copies of the parser.
+        if !self.patch_sites.is_empty() {
+            out.push_str("patches");
+            for &(va, plen) in &self.patch_sites {
+                out.push_str(&format!(" {va:#x}:{plen}"));
+            }
+            out.push('\n');
+        }
         out.push_str(&format!("bytes {}\n", self.bytes.len()));
         for row in self.bytes.chunks(32) {
             for b in row {
@@ -107,6 +124,7 @@ impl ImageModel {
         let mut entry = None;
         let mut functions = None;
         let mut budgets = None;
+        let mut patch_sites = Vec::new();
         let mut byte_count = None;
         let parse_u32 = |s: &str| -> Result<u32, String> {
             let t = s.trim();
@@ -151,6 +169,14 @@ impl ImageModel {
                     }
                     budgets = Some(b);
                 }
+                "patches" => {
+                    for site in rest.split_whitespace() {
+                        let Some((va, plen)) = site.split_once(':') else {
+                            return Err(format!("malformed patch site '{site}'"));
+                        };
+                        patch_sites.push((parse_u32(va)?, parse_u32(plen)?));
+                    }
+                }
                 "bytes" => {
                     byte_count = Some(parse_u32(rest)? as usize);
                     break;
@@ -184,6 +210,7 @@ impl ImageModel {
             functions: functions.ok_or("missing 'functions' line")?,
             bytes,
             budgets: budgets.ok_or("missing 'budgets' line")?,
+            patch_sites,
         })
     }
 }
@@ -205,6 +232,7 @@ mod tests {
                 bias_len: 16384,
                 ptr_entries: 256,
             },
+            patch_sites: vec![(0x1_0010, 4), (0x1_0020, 2)],
         };
         let text = model.render();
         let back = ImageModel::parse(&text).expect("parses");
@@ -214,6 +242,7 @@ mod tests {
         assert_eq!(back.functions, model.functions);
         assert_eq!(back.bytes, model.bytes);
         assert_eq!(back.budgets, model.budgets);
+        assert_eq!(back.patch_sites, model.patch_sites);
     }
 
     #[test]
@@ -230,6 +259,7 @@ mod tests {
                 bias_len: 1,
                 ptr_entries: 1,
             },
+            patch_sites: vec![],
         }
         .render();
         good.push_str("zz\n");

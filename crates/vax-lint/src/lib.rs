@@ -1,12 +1,20 @@
 //! vax-lint — static verification of the simulator's inputs.
 //!
-//! Four analyzer families, one rule catalog ([`Rule`]):
+//! Six analyzer families, one rule catalog ([`Rule`]):
 //!
 //! * **Image checks** ([`cfg`]): recursive static decode of a generated
 //!   workload image into regions and a control-flow graph, verifying
 //!   decode totality, in-bounds branch and case targets, the absence of
 //!   privileged opcodes in user streams, adjacent push/pop idioms, and
 //!   the code generator's worst-case walker/bias/pointer arena budgets.
+//! * **Abstract interpretation** ([`cfg::verify_image`]): interval
+//!   analyses over the decoded image proving every boundable store
+//!   misses the code bytes (SMC freedom, modulo declared patch sites)
+//!   and bounding worst-case stack depth against the mapped user stack.
+//! * **Effect audit** ([`effects`]): the block tier's hand-maintained
+//!   safety classifiers checked exhaustively against effect footprints
+//!   derived from the opcode/microcode tables, plus the static
+//!   run-length predictor reconciled against a real run's block stats.
 //! * **Mix checks** ([`mix`]): the image's static instruction-mix and
 //!   addressing-mode histograms, diffed against the generating
 //!   [`ProfileParams`] within calibrated tolerances.
@@ -29,13 +37,18 @@
 
 pub mod cfg;
 pub mod diag;
+pub mod effects;
 pub mod image;
 pub mod mix;
 pub mod probe;
 pub mod tables;
 
-pub use cfg::{check_image, DecodedImage, Region};
+pub use cfg::{check_image, verify_image, DecodedImage, Region};
 pub use diag::{Diagnostic, Report, Rule, Severity};
+pub use effects::{
+    lint_effects, predict_run_lengths, reconcile_run_lengths, RunLengthPrediction,
+    RUN_LENGTH_TOLERANCE,
+};
 pub use image::{Budgets, ImageModel};
 pub use probe::Allowlist;
 
@@ -75,6 +88,32 @@ pub fn lint_profile(params: &ProfileParams) -> Result<Report, WorkloadError> {
         report.merge(lint_image_model(&model, Some(params)));
     }
     Ok(report)
+}
+
+/// Statically verify every process image of `params`: decode, run the
+/// SMC/stack-depth abstract interpretation, and accumulate the block
+/// run-length prediction for later reconciliation against a dynamic
+/// run's `BlockStats`.
+///
+/// # Errors
+///
+/// [`WorkloadError`] when generation itself fails.
+pub fn verify_profile(
+    params: &ProfileParams,
+) -> Result<(Report, RunLengthPrediction), WorkloadError> {
+    let plans = plan_processes(params)?;
+    let mut report = Report::new();
+    let mut pred = RunLengthPrediction::empty();
+    for (i, plan) in plans.iter().enumerate() {
+        let model = ImageModel::from_process(&format!("{}/proc{i}", params.name), plan);
+        let (decoded, decode_report) = check_image(&model);
+        report.merge(decode_report);
+        if let Some(image) = decoded {
+            report.merge(verify_image(&model, &image));
+            pred.merge(&predict_run_lengths(&image));
+        }
+    }
+    Ok((report, pred))
 }
 
 /// Debug-mode construction gate: lint the profile's tables and images

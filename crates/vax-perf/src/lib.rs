@@ -181,6 +181,30 @@ impl Default for BenchSpec {
     }
 }
 
+/// How much of a run the block tier actually carried: the raw
+/// [`BlockStats`](vax_cpu::BlockStats) counters next to the instruction
+/// total they grew over, so "replayed share" is well defined.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockEngagement {
+    /// Raw block-tier counters, cumulative over the machine's lifetime
+    /// (warm-up plus the measured region — the counters cannot be
+    /// reset mid-run without perturbing the tier's hot path).
+    pub stats: vax_cpu::BlockStats,
+    /// Instructions the machine executed while those counters grew.
+    pub executed: u64,
+}
+
+impl BlockEngagement {
+    /// Fraction of executed instructions retired from inside blocks.
+    pub fn replayed_share(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.stats.replayed as f64 / self.executed as f64
+        }
+    }
+}
+
 /// One workload's timing result.
 #[derive(Debug, Clone)]
 pub struct WorkloadBench {
@@ -190,6 +214,10 @@ pub struct WorkloadBench {
     pub instructions: u64,
     /// Simulated cycles of the measured region.
     pub cycles: u64,
+    /// Block-tier engagement, when the block tier was selected: how
+    /// often the tier replayed blocks and with what run lengths. This
+    /// is the dynamic side of vax-lint's static run-length prediction.
+    pub block: Option<BlockEngagement>,
     walls: [Option<Duration>; 3],
 }
 
@@ -311,6 +339,17 @@ impl BenchReport {
                 s.push_str(&format!(
                     ", \"{key}\": {:.3}",
                     w.speedup(base, over).unwrap_or_default()
+                ));
+            }
+            if let Some(b) = &w.block {
+                let hist: Vec<String> = b.stats.run_hist.iter().map(u64::to_string).collect();
+                s.push_str(&format!(
+                    ", \"block\": {{\"replayed\": {}, \"replayed_share\": {:.4}, \
+                     \"mean_run_len\": {:.3}, \"run_hist\": [{}]}}",
+                    b.stats.replayed,
+                    b.replayed_share(),
+                    b.stats.mean_run_len(),
+                    hist.join(", ")
                 ));
             }
             s.push_str(&format!(
@@ -545,9 +584,18 @@ pub fn run_bench_with_progress(spec: &BenchSpec, progress: impl Fn(&str)) -> Ben
         // a burst of host load penalizes every tier alike, and keep
         // each tier's best time.
         let mut best: [Option<(vax780_core::MeasuredWorkload, Duration)>; 3] = [None, None, None];
+        let mut block_engagement = None;
         for rep in 0..spec.repeat.max(1) {
             for tier in spec.tiers.iter() {
                 let (m, w, predecode, blocks) = timed_run(kind, tier, spec);
+                if rep == 0 && tier == Tier::Block {
+                    // Deterministic simulation: every repetition sees
+                    // identical counters, so the first one suffices.
+                    block_engagement = Some(BlockEngagement {
+                        stats: blocks,
+                        executed: spec.warmup + m.instructions,
+                    });
+                }
                 if rep == 0 {
                     // Engagement: the measured equality below is only
                     // meaningful if each accelerated tier actually ran
@@ -619,6 +667,7 @@ pub fn run_bench_with_progress(spec: &BenchSpec, progress: impl Fn(&str)) -> Ben
             name,
             instructions,
             cycles,
+            block: block_engagement,
             walls,
         });
     }
@@ -657,6 +706,16 @@ mod tests {
         assert!(json.contains("\"block_speedup\""));
         assert!(json.contains("\"block_over_fast\""));
         assert!(json.contains("\"tiers\": [\"naive\", \"fast\", \"block\"]"));
+        assert!(
+            json.contains("\"block\": {\"replayed\": "),
+            "block engagement in JSON"
+        );
+        assert!(json.contains("\"run_hist\": ["));
+        for w in &report.workloads {
+            let b = w.block.expect("block tier selected => engagement recorded");
+            assert!(b.stats.replayed > 0, "{}: block tier engaged", w.name);
+            assert!(b.replayed_share() > 0.0 && b.replayed_share() <= 1.0);
+        }
     }
 
     /// A single-tier spec degrades gracefully: no speedup columns, the

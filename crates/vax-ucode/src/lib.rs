@@ -26,6 +26,7 @@
 
 mod addr;
 mod class;
+pub mod effect;
 mod layout;
 pub mod model;
 

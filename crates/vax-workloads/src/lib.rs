@@ -37,5 +37,5 @@ pub use profiles::{profile, WorkloadKind};
 pub use rte::{RteConfig, RteSource};
 pub use session::{
     build_machine, build_machine_with_config, plan_processes, try_build_machine,
-    try_build_machine_with_config, Machine, ProcessImage,
+    try_build_machine_with_config, Machine, ProcessImage, USER_STACK_BYTES, USER_STACK_PAGES,
 };

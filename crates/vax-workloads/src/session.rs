@@ -24,8 +24,12 @@ const TIMER_IPL: u8 = 24;
 const TIMER_VECTOR: u16 = 0xC0;
 
 /// User stack pages within each process's P1 window; kernel stack pages
-/// sit above them.
-const USER_STACK_PAGES: u32 = 32;
+/// sit above them. Public so the static verifier (`vax-lint`) can bound
+/// worst-case stack depth against the stack actually mapped here.
+pub const USER_STACK_PAGES: u32 = 32;
+
+/// Bytes of user stack each process gets ([`USER_STACK_PAGES`] pages).
+pub const USER_STACK_BYTES: u32 = USER_STACK_PAGES * PAGE_BYTES;
 const KERNEL_STACK_PAGES: u32 = 8;
 
 /// A complete workload machine.

@@ -75,6 +75,7 @@ fn main() -> ExitCode {
         Some("probe") => checked(cmd_probe, "probe", &args[1..], PROBE_SPEC),
         Some("disasm") => checked(cmd_disasm, "disasm", &args[1..], DISASM_SPEC),
         Some("lint") => checked(cmd_lint, "lint", &args[1..], LINT_SPEC),
+        Some("verify") => checked(cmd_verify, "verify", &args[1..], VERIFY_SPEC),
         Some("bench") => checked(cmd_bench, "bench", &args[1..], BENCH_SPEC),
         Some("list") => checked(
             |_| {
@@ -95,7 +96,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vax780 <run|sweep|trace|inject|probe|report|disasm|lint|bench|list> [options]\n\
+    "usage: vax780 <run|sweep|trace|inject|probe|report|disasm|lint|verify|bench|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
@@ -116,7 +117,10 @@ const USAGE: &str =
      report  --histogram FILE  --instructions-hint N  --json FILE\n\
      disasm  --workload NAME  --function K  --lines N\n\
      lint    --profile NAME  --all-profiles  --image FILE\n\
-     \x20       --emit-image FILE  --jsonl  --deny RULE|all\n\
+     \x20       --emit-image FILE  --effects  --list-rules\n\
+     \x20       --jsonl  --deny RULE|all\n\
+     verify  --profile NAME|--all-profiles  --instructions N\n\
+     \x20       --static-only  --jsonl  --deny RULE|all\n\
      bench   --instructions N  --trace-instructions N  --warmup N\n\
      \x20       --repeat N  --tier naive|fast|block (repeatable)  --json FILE\n\
      list    (print workload names)";
@@ -199,6 +203,16 @@ const LINT_SPEC: Spec = &[
     ("--all-profiles", false),
     ("--image", true),
     ("--emit-image", true),
+    ("--effects", false),
+    ("--list-rules", false),
+    ("--jsonl", false),
+    ("--deny", true),
+];
+const VERIFY_SPEC: Spec = &[
+    ("--profile", true),
+    ("--all-profiles", false),
+    ("--instructions", true),
+    ("--static-only", false),
     ("--jsonl", false),
     ("--deny", true),
 ];
@@ -1112,11 +1126,34 @@ fn cmd_disasm(args: &[String]) -> ExitCode {
 
 /// `vax780 lint`: run the static analyzers. The table audits always
 /// run; `--profile`/`--all-profiles` additionally generate and lint
-/// workload images, and `--image` lints a serialized image file.
+/// workload images, `--image` lints a serialized image file, and
+/// `--effects` adds the block-tier effect audit. `--list-rules` prints
+/// the rule catalog (id, default severity, one-line doc) and exits.
 /// Exit status is nonzero when any error-severity finding remains
 /// after `--deny` promotion.
 fn cmd_lint(args: &[String]) -> ExitCode {
     use vax_lint::{ImageModel, Rule};
+
+    if flag(args, "--list-rules") {
+        for rule in Rule::ALL {
+            if flag(args, "--jsonl") {
+                println!(
+                    "{{\"rule\": \"{}\", \"severity\": \"{}\", \"doc\": \"{}\"}}",
+                    rule.id(),
+                    rule.default_severity().label(),
+                    rule.doc()
+                );
+            } else {
+                println!(
+                    "{:<22} {:<8} {}",
+                    rule.id(),
+                    rule.default_severity().label(),
+                    rule.doc()
+                );
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let deny: Vec<String> = opt_all(args, "--deny")
         .into_iter()
@@ -1130,6 +1167,9 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     }
 
     let mut report = vax_lint::lint_tables();
+    if flag(args, "--effects") {
+        report.merge(vax_lint::lint_effects(&ControlStore::build()));
+    }
 
     if let Some(path) = opt(args, "--image") {
         let text = match std::fs::read_to_string(path) {
@@ -1191,6 +1231,119 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path} (process 0 of {})", params.name);
+    }
+
+    report.apply_deny(&deny);
+    if flag(args, "--jsonl") {
+        print!("{}", report.render_jsonl());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.errors() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `vax780 verify`: audit the block tier's safety claims and statically
+/// verify workload images by abstract interpretation. Always runs the
+/// derived effect audit; then per profile: decode, SMC-freedom and
+/// stack-depth verification, and the static run-length prediction
+/// reconciled against the block statistics of a real run on the block
+/// tier (skipped under `--static-only`). Exit status is nonzero when
+/// any error-severity finding remains after `--deny` promotion.
+fn cmd_verify(args: &[String]) -> ExitCode {
+    use vax_lint::Rule;
+
+    let deny: Vec<String> = opt_all(args, "--deny")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    for d in &deny {
+        if d != "all" && Rule::parse(d).is_none() {
+            eprintln!("vax780 verify: unknown rule '{d}' for --deny (or 'all')");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut kinds: Vec<WorkloadKind> = Vec::new();
+    if flag(args, "--all-profiles") {
+        kinds.extend(WorkloadKind::ALL);
+    } else if let Some(name) = opt(args, "--profile") {
+        match parse_kind(name) {
+            Some(kind) => kinds.push(kind),
+            None => {
+                eprintln!("unknown workload '{name}'; try `vax780 list`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if kinds.is_empty() {
+        eprintln!("vax780 verify: need --profile NAME or --all-profiles");
+        return ExitCode::FAILURE;
+    }
+    let mut instructions: u64 = 200_000;
+    if let Some(s) = opt(args, "--instructions") {
+        match s.parse() {
+            Ok(n) if n > 0 => instructions = n,
+            _ => {
+                eprintln!("--instructions wants a positive integer, got '{s}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // The classifiers the image verification leans on (block-safe /
+    // resume-safe) must themselves be sound, so the effect audit
+    // always runs first.
+    let mut report = vax_lint::lint_effects(&ControlStore::build());
+
+    for kind in kinds {
+        let params = profile(kind);
+        let (profile_report, pred) = match vax_lint::verify_profile(&params) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("vax780 verify: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        report.merge(profile_report);
+        eprintln!(
+            "{}: static prediction: {} blocks, mean run {:.2}, max {}, coverage {:.0}%",
+            params.name,
+            pred.blocks(),
+            pred.mean_run_len(),
+            pred.max_run_len(),
+            pred.coverage() * 100.0
+        );
+        if flag(args, "--static-only") {
+            continue;
+        }
+        let mut machine = vax_workloads::build_machine_with_config(
+            &params,
+            CpuConfig::default(), // the default config is the block tier
+            vax_mem::MemConfig::default(),
+        );
+        let mut sink = upc_monitor::NullSink;
+        if let Err(e) = machine.run_instructions(instructions, &mut sink) {
+            eprintln!("vax780 verify: dynamic run of {} failed: {e}", params.name);
+            return ExitCode::FAILURE;
+        }
+        let stats = machine.cpu.block_stats();
+        eprintln!(
+            "{}: dynamic run ({instructions} insns): {} block entries, mean run {:.2}, {} replayed",
+            params.name,
+            stats.hits,
+            stats.mean_run_len(),
+            stats.replayed
+        );
+        report.merge(vax_lint::reconcile_run_lengths(
+            params.name,
+            &pred,
+            &stats,
+            vax_lint::RUN_LENGTH_TOLERANCE,
+        ));
     }
 
     report.apply_deny(&deny);
