@@ -37,6 +37,46 @@ cargo run --release -- run --workload all --instructions 5000 --warmup 1500 \
     --checkpoint "$CKPT_DIR/campaign.ckpt" > "$CKPT_DIR/resumed.txt"
 diff "$CKPT_DIR/uninterrupted.txt" "$CKPT_DIR/resumed.txt"
 
+# Serve gate: the job queue must survive kill -9. Start a server, feed
+# it a mixed batch (one fault-plan job included) over its socket,
+# SIGKILL it mid-queue, then settle the same journal offline — the
+# merged result JSONL must be byte-identical to an uninterrupted
+# serial reference: zero lost, zero duplicated, bit-identical.
+cargo build --release
+VAX780=target/release/vax780
+SERVE_SPECS="workload=timesharing-light instructions=500000 warmup=5000 seed=1
+workload=sci-eng instructions=500000 warmup=5000 seed=2
+workload=commercial instructions=500000 warmup=5000 seed=3 faults=cache-parity+sbi-timeout fault-seed=780 fault-count=2
+workload=educational instructions=2000000 warmup=5000 seed=4
+workload=timesharing-heavy instructions=3000000 warmup=5000 seed=5"
+echo "$SERVE_SPECS" | while IFS= read -r spec; do
+    "$VAX780" enqueue --queue "$CKPT_DIR/reference.journal" --spec "$spec"
+done
+"$VAX780" drain --queue "$CKPT_DIR/reference.journal" --serial \
+    --out "$CKPT_DIR/reference.jsonl"
+"$VAX780" serve --queue "$CKPT_DIR/live.journal" \
+    --socket "$CKPT_DIR/sock" --jobs 2 &
+SERVE_PID=$!
+echo "$SERVE_SPECS" | while IFS= read -r spec; do
+    "$VAX780" enqueue --socket "$CKPT_DIR/sock" --spec "$spec"
+done
+# Wait for the first settled job, then kill -9 mid-queue.
+while ! grep -q '^complete ' "$CKPT_DIR/live.journal" 2>/dev/null; do
+    sleep 0.05
+done
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true
+# The kill must have left unsettled work behind, or the gate proves
+# nothing.
+SETTLED=$(grep -c -e '^complete ' -e '^fail ' "$CKPT_DIR/live.journal")
+test "$SETTLED" -lt 5
+# Restart the queue offline; the merge must match the reference bit
+# for bit.
+"$VAX780" drain --queue "$CKPT_DIR/live.journal" --jobs 2 \
+    --out "$CKPT_DIR/merged.jsonl"
+diff "$CKPT_DIR/reference.jsonl" "$CKPT_DIR/merged.jsonl"
+test "$(wc -l < "$CKPT_DIR/merged.jsonl")" -eq 5
+
 # Self-characterization gate: the full probe campaign — every opcode x
 # addressing-mode pair the five profiles execute, plus the per-mode
 # reference carriers — must measure, reconcile all three instruments

@@ -92,6 +92,7 @@ pub struct Checkpoint {
     instructions_each: u64,
     warmup_each: u64,
     jobs: Vec<(String, MeasuredWorkload)>,
+    warnings: Vec<String>,
 }
 
 impl Checkpoint {
@@ -114,13 +115,22 @@ impl Checkpoint {
         };
         match std::fs::read_to_string(path) {
             Ok(text) => {
-                let cp = Checkpoint::parse(path, &text)?;
+                let (cp, torn_at) = Checkpoint::parse(path, &text)?;
                 if (cp.instructions_each, cp.warmup_each) != (instructions_each, warmup_each) {
                     return Err(CheckpointError::ConfigMismatch {
                         path: path.to_path_buf(),
                         found: (cp.instructions_each, cp.warmup_each),
                         expected: (instructions_each, warmup_each),
                     });
+                }
+                if let Some(good) = torn_at {
+                    // Drop the torn tail on disk too, so the next
+                    // `record` appends after the last good record
+                    // instead of splicing onto a partial line.
+                    for w in &cp.warnings {
+                        eprintln!("checkpoint {}: {w}", path.display());
+                    }
+                    std::fs::write(path, &text[..good]).map_err(io_err)?;
                 }
                 Ok(cp)
             }
@@ -137,25 +147,53 @@ impl Checkpoint {
                     instructions_each,
                     warmup_each,
                     jobs: Vec::new(),
+                    warnings: Vec::new(),
                 })
             }
             Err(e) => Err(io_err(e)),
         }
     }
 
-    fn parse(path: &Path, text: &str) -> Result<Checkpoint, CheckpointError> {
+    /// Parse the checkpoint text. On success the second element is
+    /// `Some(byte_offset)` when a torn trailing record (a partial
+    /// append left by a mid-write kill) was detected and dropped: the
+    /// offset is the end of the last good record, and a warning is
+    /// recorded on the returned checkpoint. Corruption *before* the
+    /// trailing record — or any fully terminated record that fails to
+    /// parse — is still a hard [`CheckpointError::Corrupt`].
+    fn parse(path: &Path, text: &str) -> Result<(Checkpoint, Option<usize>), CheckpointError> {
         let corrupt = |detail: String| CheckpointError::Corrupt {
             path: path.to_path_buf(),
             detail,
         };
-        let mut lines = text.lines().enumerate().peekable();
-        if lines.next().map(|(_, l)| l.trim()) != Some(HEADER) {
-            return Err(corrupt(format!("missing `{HEADER}` header")));
+        // Manual line walk with byte offsets: `(line, terminated)`.
+        // A final line without its newline is an incomplete append.
+        let take_line = |pos: &mut usize| -> Option<(&str, bool)> {
+            if *pos >= text.len() {
+                return None;
+            }
+            match text[*pos..].find('\n') {
+                Some(i) => {
+                    let line = &text[*pos..*pos + i];
+                    *pos += i + 1;
+                    Some((line, true))
+                }
+                None => {
+                    let line = &text[*pos..];
+                    *pos = text.len();
+                    Some((line, false))
+                }
+            }
+        };
+        let mut pos = 0usize;
+        match take_line(&mut pos) {
+            Some((l, true)) if l.trim() == HEADER => {}
+            _ => return Err(corrupt(format!("missing `{HEADER}` header"))),
         }
-        let config = lines
-            .next()
-            .map(|(_, l)| l.trim().to_string())
-            .unwrap_or_default();
+        let config = match take_line(&mut pos) {
+            Some((l, true)) => l.trim().to_string(),
+            _ => String::new(),
+        };
         let parts: Vec<&str> = config.split_ascii_whitespace().collect();
         let (instructions_each, warmup_each) = match parts.as_slice() {
             ["config", "instructions", i, "warmup", w] => (
@@ -166,38 +204,80 @@ impl Checkpoint {
             ),
             _ => return Err(corrupt(format!("bad config line `{config}`"))),
         };
+
+        // Is the remainder after a parse failure a torn tail (forgive)
+        // or mid-file corruption (hard error)? Appends are sequential,
+        // so a torn write leaves a *prefix* of one record: no fully
+        // terminated `end` line and no further record-start line can
+        // follow the failure point. If one does, the damage is not a
+        // simple truncation and we refuse to guess.
+        let tail_is_torn = |record_start: usize| -> bool {
+            let mut p = record_start;
+            let mut first = true;
+            while let Some((line, terminated)) = take_line(&mut p) {
+                let t = line.trim();
+                if !first && terminated && (t == "end" || t.starts_with("job ")) {
+                    return false;
+                }
+                first = false;
+            }
+            true
+        };
+
         let mut jobs: Vec<(String, MeasuredWorkload)> = Vec::new();
-        while let Some((lineno, raw)) = lines.next() {
-            let raw = raw.trim();
-            if raw.is_empty() {
+        let mut good = pos;
+        let mut torn: Option<(usize, String)> = None;
+        'records: loop {
+            let record_start = pos;
+            let (raw, terminated) = match take_line(&mut pos) {
+                None => break,
+                Some(x) => x,
+            };
+            let trimmed = raw.trim();
+            if trimmed.is_empty() && terminated {
+                good = pos;
                 continue;
             }
-            let head: Vec<&str> = raw.split_ascii_whitespace().collect();
-            let (label, instructions, cycles) = match head.as_slice() {
-                ["job", label, "instructions", i, "cycles", c] => {
-                    let i: u64 = i
-                        .parse()
-                        .map_err(|_| corrupt(format!("bad job line {}", lineno + 1)))?;
-                    let c: u64 = c
-                        .parse()
-                        .map_err(|_| corrupt(format!("bad job line {}", lineno + 1)))?;
-                    ((*label).to_string(), i, c)
+            let fail = |detail: String| -> Result<Option<(usize, String)>, CheckpointError> {
+                if tail_is_torn(record_start) {
+                    Ok(Some((record_start, detail)))
+                } else {
+                    Err(corrupt(detail))
                 }
-                _ => return Err(corrupt(format!("unexpected line {}: `{raw}`", lineno + 1))),
+            };
+            let head: Vec<&str> = trimmed.split_ascii_whitespace().collect();
+            let parsed = match head.as_slice() {
+                ["job", label, "instructions", i, "cycles", c] if terminated => {
+                    match (i.parse::<u64>(), c.parse::<u64>()) {
+                        (Ok(i), Ok(c)) => Some(((*label).to_string(), i, c)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            let Some((label, instructions, cycles)) = parsed else {
+                torn = fail(format!("unparseable record head `{trimmed}`"))?;
+                break;
             };
             let mut body = String::new();
             let mut closed = false;
-            for (_, l) in lines.by_ref() {
-                if l.trim() == "end" {
+            while let Some((l, terminated)) = take_line(&mut pos) {
+                if l.trim() == "end" && terminated {
                     closed = true;
+                    break;
+                }
+                if !terminated {
                     break;
                 }
                 body.push_str(l);
                 body.push('\n');
             }
             if !closed {
-                return Err(corrupt(format!("job '{label}' has no `end` line")));
+                torn = fail(format!("job '{label}' has no `end` line"))?;
+                break 'records;
             }
+            // The section is fully terminated: anything wrong inside it
+            // is real corruption, not a torn append.
             let (histogram, counter_pairs) = codec::from_text_with_counters(&body)
                 .map_err(|e| corrupt(format!("job '{label}': {e}")))?;
             let counters = vax_mem::HwCounters::from_pairs(
@@ -216,13 +296,33 @@ impl Checkpoint {
                     cycles,
                 },
             ));
+            good = pos;
         }
-        Ok(Checkpoint {
-            path: path.to_path_buf(),
-            instructions_each,
-            warmup_each,
-            jobs: Vec::from_iter(jobs),
-        })
+        let mut warnings = Vec::new();
+        let torn_at = torn.map(|(at, detail)| {
+            warnings.push(format!(
+                "dropped torn trailing record ({} byte(s) after the last complete \
+                 record): {detail}; the job will be re-run",
+                text.len() - at
+            ));
+            good
+        });
+        Ok((
+            Checkpoint {
+                path: path.to_path_buf(),
+                instructions_each,
+                warmup_each,
+                jobs,
+                warnings,
+            },
+            torn_at,
+        ))
+    }
+
+    /// Warnings produced while opening (e.g. a torn trailing record
+    /// dropped after a mid-append kill).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
     }
 
     /// Labels of the jobs already completed, file order.
@@ -341,14 +441,81 @@ mod tests {
         std::fs::write(&path, "not a checkpoint\n").unwrap();
         let err = Checkpoint::open(&path, 1000, 100).unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
-        // Truncated job section.
+        // A fully terminated record with a bad body is real corruption
+        // (not a torn append), and so is damage with records after it.
         std::fs::write(
             &path,
             "vax-campaign-checkpoint v1\nconfig instructions 1000 warmup 100\n\
-             job ts-light instructions 1 cycles 2\nupc-histogram v1\n",
+             job timesharing-light instructions 1 cycles 2\nnot a histogram\nend\n",
         )
         .unwrap();
         let err = Checkpoint::open(&path, 1000, 100).unwrap_err();
         assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+        std::fs::write(
+            &path,
+            "vax-campaign-checkpoint v1\nconfig instructions 1000 warmup 100\n\
+             garbage line\njob timesharing-light instructions 1 cycles 2\n\
+             upc-histogram v1\nend\n",
+        )
+        .unwrap();
+        let err = Checkpoint::open(&path, 1000, 100).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn torn_trailing_record_is_dropped_with_warning() {
+        // A `kill -9` mid-append leaves a prefix of the last record.
+        // Opening must drop exactly that record (warning, file truncated
+        // back to the last good record), never fail the whole resume.
+        let dir = std::env::temp_dir().join("vax-ckpt-test-torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.ckpt");
+        let mut cp = Checkpoint::open(&path, 1000, 100).unwrap();
+        cp.record(WorkloadKind::ALL[0].name(), &sample(WorkloadKind::ALL[0]))
+            .unwrap();
+        let good_text = std::fs::read_to_string(&path).unwrap();
+        let good_len = good_text.len();
+        let mut cp = Checkpoint::open(&path, 1000, 100).unwrap();
+        cp.record(WorkloadKind::ALL[1].name(), &sample(WorkloadKind::ALL[1]))
+            .unwrap();
+        let full_text = std::fs::read_to_string(&path).unwrap();
+
+        // Truncate at every byte offset inside the last record: every
+        // cut must recover to exactly the first job.
+        for cut in good_len..full_text.len() {
+            std::fs::write(&path, &full_text[..cut]).unwrap();
+            let cp = Checkpoint::open(&path, 1000, 100)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            assert_eq!(
+                cp.completed(),
+                vec![WorkloadKind::ALL[0].name()],
+                "cut at byte {cut}"
+            );
+            if cut == good_len {
+                assert!(cp.warnings().is_empty(), "clean boundary cut at {cut}");
+            } else {
+                assert_eq!(cp.warnings().len(), 1, "cut at byte {cut}");
+                assert!(cp.warnings()[0].contains("torn"), "{}", cp.warnings()[0]);
+                // The file was truncated back to the last good record...
+                assert_eq!(std::fs::read_to_string(&path).unwrap(), good_text);
+            }
+        }
+        // ...and appending after recovery produces a clean two-job file.
+        std::fs::write(&path, &full_text[..full_text.len() - 7]).unwrap();
+        let mut cp = Checkpoint::open(&path, 1000, 100).unwrap();
+        cp.record(WorkloadKind::ALL[1].name(), &sample(WorkloadKind::ALL[1]))
+            .unwrap();
+        let back = Checkpoint::open(&path, 1000, 100).unwrap();
+        assert!(back.warnings().is_empty());
+        assert_eq!(
+            back.completed(),
+            vec![WorkloadKind::ALL[0].name(), WorkloadKind::ALL[1].name()]
+        );
+        // An untouched file still opens with no warnings.
+        std::fs::write(&path, &full_text).unwrap();
+        let cp = Checkpoint::open(&path, 1000, 100).unwrap();
+        assert!(cp.warnings().is_empty());
+        assert_eq!(cp.completed().len(), 2);
     }
 }

@@ -30,5 +30,6 @@ pub mod sweep;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use experiment::{measure, Experiment, MeasuredWorkload};
 pub use study::{
-    default_workers, CampaignMetrics, CampaignOutcome, CompositeStudy, JobFailure, MAX_JOB_ATTEMPTS,
+    default_workers, CampaignMetrics, CampaignOutcome, CompositeStudy, JobFailure, RetryPolicy,
+    MAX_JOB_ATTEMPTS,
 };

@@ -35,8 +35,41 @@ pub fn default_workers(jobs: usize) -> usize {
         .clamp(1, jobs.max(1))
 }
 
-/// How many times the supervisor attempts a job before quarantining it.
+/// How many times the supervisor attempts a job before quarantining it
+/// (the [`RetryPolicy::default`] attempt bound).
 pub const MAX_JOB_ATTEMPTS: u32 = 2;
+
+/// How the supervisor retries a failing job: at most `max_attempts`
+/// tries, sleeping `attempt * backoff` between them. The schedule is
+/// deterministic — a fixed linear ramp, not a randomized one — so
+/// reruns of the same campaign behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Base backoff; attempt `k` sleeps `k * backoff` before retrying.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: MAX_JOB_ATTEMPTS,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy from CLI-style knobs: `retries` extra attempts after the
+    /// first, with the given base backoff in milliseconds.
+    pub fn from_retries(retries: u32, backoff_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1).max(1),
+            backoff: Duration::from_millis(backoff_ms),
+        }
+    }
+}
 
 /// A job the supervisor gave up on: every attempt panicked. The
 /// campaign keeps the failure as data instead of unwinding the pool.
@@ -46,7 +79,7 @@ pub struct JobFailure {
     pub index: usize,
     /// Job label (the workload or sweep-point name).
     pub label: String,
-    /// Attempts made (= [`MAX_JOB_ATTEMPTS`] unless the queue drained).
+    /// Attempts made (the supervising [`RetryPolicy`]'s bound).
     pub attempts: u32,
     /// The final attempt's panic message.
     pub message: String,
@@ -90,13 +123,17 @@ impl CampaignMetrics {
 
     /// Aggregate parallel speedup: total busy time / elapsed wall time.
     /// 1.0 means no overlap (serial); N means N workers were saturated.
+    /// A zero-duration wall clock (sub-millisecond campaigns on fast
+    /// hosts) yields a defined 1.0, never `inf`/NaN.
     pub fn speedup(&self) -> f64 {
         let wall = self.wall.as_secs_f64();
         if wall > 0.0 {
-            self.busy().as_secs_f64() / wall
-        } else {
-            1.0
+            let s = self.busy().as_secs_f64() / wall;
+            if s.is_finite() {
+                return s;
+            }
         }
+        1.0
     }
 
     /// Total simulated instructions across all workers.
@@ -109,14 +146,17 @@ impl CampaignMetrics {
     }
 
     /// Aggregate simulated MIPS (instructions per host second of wall
-    /// time, in millions).
+    /// time, in millions). A zero-duration wall clock yields a defined
+    /// 0.0, never `inf`/NaN.
     pub fn aggregate_mips(&self) -> f64 {
         let wall = self.wall.as_secs_f64();
         if wall > 0.0 {
-            self.instructions() as f64 / wall / 1e6
-        } else {
-            0.0
+            let m = self.instructions() as f64 / wall / 1e6;
+            if m.is_finite() {
+                return m;
+            }
         }
+        0.0
     }
 }
 
@@ -154,6 +194,7 @@ pub struct CompositeStudy {
     cpu_config: CpuConfig,
     mem_config: MemConfig,
     workers: Option<usize>,
+    retry: RetryPolicy,
 }
 
 impl CompositeStudy {
@@ -166,6 +207,7 @@ impl CompositeStudy {
             cpu_config: CpuConfig::default(),
             mem_config: MemConfig::default(),
             workers: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -197,6 +239,13 @@ impl CompositeStudy {
     /// one per workload). `1` forces the serial path.
     pub fn max_workers(mut self, n: usize) -> CompositeStudy {
         self.workers = Some(n.max(1));
+        self
+    }
+
+    /// Override the supervisor's retry policy (attempt bound and
+    /// backoff) for quarantined jobs.
+    pub fn retry(mut self, policy: RetryPolicy) -> CompositeStudy {
+        self.retry = policy;
         self
     }
 
@@ -301,6 +350,7 @@ impl CompositeStudy {
         let (outcomes, worker_metrics) = run_jobs_with(
             workers,
             missing.len(),
+            self.retry,
             |j| self.kinds[missing[j]].name().to_string(),
             |j| self.experiment(self.kinds[missing[j]]).run(),
             |j, result: &MeasuredWorkload| {
@@ -391,23 +441,24 @@ fn merge_results(results: &[MeasuredWorkload]) -> Analysis {
 }
 
 /// Run one job under the supervisor's quarantine discipline: panics are
-/// caught, the job is retried up to [`MAX_JOB_ATTEMPTS`] times with a
-/// deterministic fixed-delay backoff, and a job that never succeeds
+/// caught, the job is retried up to the policy's attempt bound with the
+/// policy's deterministic linear backoff, and a job that never succeeds
 /// becomes an `Err(JobFailure)` instead of unwinding the pool.
-fn attempt_job<T, F>(i: usize, label: &str, job: &F) -> Result<T, JobFailure>
+fn attempt_job<T, F>(i: usize, label: &str, policy: RetryPolicy, job: &F) -> Result<T, JobFailure>
 where
     F: Fn(usize) -> T + Sync,
 {
+    let attempts = policy.max_attempts.max(1);
     let mut last = String::new();
-    for attempt in 1..=MAX_JOB_ATTEMPTS {
+    for attempt in 1..=attempts {
         match catch_unwind(AssertUnwindSafe(|| job(i))) {
             Ok(value) => return Ok(value),
             Err(payload) => {
                 last = panic_message(payload);
-                if attempt < MAX_JOB_ATTEMPTS {
+                if attempt < attempts {
                     // Deterministic backoff: a fixed schedule, not a
                     // randomized one, so reruns behave identically.
-                    std::thread::sleep(Duration::from_millis(u64::from(attempt) * 10));
+                    std::thread::sleep(policy.backoff * attempt);
                 }
             }
         }
@@ -415,7 +466,7 @@ where
     Err(JobFailure {
         index: i,
         label: label.to_string(),
-        attempts: MAX_JOB_ATTEMPTS,
+        attempts,
         message: last,
     })
 }
@@ -434,6 +485,7 @@ where
 pub(crate) fn run_jobs_with<T, L, F, C>(
     workers: usize,
     jobs: usize,
+    policy: RetryPolicy,
     label: L,
     job: F,
     on_complete: C,
@@ -457,7 +509,7 @@ where
         for i in 0..jobs {
             let name = label(i);
             metrics.begin_phase(&name, 0, 0);
-            let outcome = attempt_job(i, &name, &job);
+            let outcome = attempt_job(i, &name, policy, &job);
             let (cycles, instructions) = outcome.as_ref().map_or((0, 0), HasSimWork::sim_work);
             metrics.end_phase(cycles, instructions);
             if let Ok(value) = &outcome {
@@ -483,7 +535,7 @@ where
                         }
                         let name = label(i);
                         metrics.begin_phase(&name, 0, 0);
-                        let outcome = attempt_job(i, &name, &job);
+                        let outcome = attempt_job(i, &name, policy, &job);
                         let (cycles, instructions) =
                             outcome.as_ref().map_or((0, 0), HasSimWork::sim_work);
                         metrics.end_phase(cycles, instructions);
@@ -518,6 +570,7 @@ where
 pub(crate) fn run_jobs<T, L, F>(
     workers: usize,
     jobs: usize,
+    policy: RetryPolicy,
     label: L,
     job: F,
 ) -> (Vec<T>, Vec<SelfMetrics>)
@@ -526,7 +579,7 @@ where
     L: Fn(usize) -> String + Sync,
     F: Fn(usize) -> T + Sync,
 {
-    let (outcomes, metrics) = run_jobs_with(workers, jobs, label, job, |_, _| {});
+    let (outcomes, metrics) = run_jobs_with(workers, jobs, policy, label, job, |_, _| {});
     let out = outcomes
         .into_iter()
         .map(|o| o.unwrap_or_else(|failure| panic!("{failure}")))
@@ -577,6 +630,7 @@ mod tests {
         let (outcomes, _) = run_jobs_with(
             2,
             4,
+            RetryPolicy::default(),
             |i| format!("job-{i}"),
             |i| {
                 assert!(i != 1, "poisoned workload");
@@ -596,6 +650,88 @@ mod tests {
                 assert!(o.is_ok(), "sibling job {i} should have completed");
             }
         }
+    }
+
+    #[test]
+    fn multiple_poisoned_jobs_all_quarantined_in_one_drain() {
+        // Two of five jobs panic on every attempt in the same pool
+        // drain-out: every failure is quarantined independently, every
+        // sibling completes, and the pool never strands a job slot.
+        let poisoned = [1usize, 3];
+        let (outcomes, _) = run_jobs_with(
+            3,
+            5,
+            RetryPolicy {
+                max_attempts: 2,
+                backoff: Duration::from_millis(0),
+            },
+            |i| format!("job-{i}"),
+            |i| {
+                assert!(!poisoned.contains(&i), "poisoned workload {i}");
+                Tiny(i as u64)
+            },
+            |_, _| {},
+        );
+        assert_eq!(outcomes.len(), 5);
+        for (i, o) in outcomes.iter().enumerate() {
+            if poisoned.contains(&i) {
+                let f = o.as_ref().unwrap_err();
+                assert_eq!(f.index, i);
+                assert_eq!(f.label, format!("job-{i}"));
+                assert_eq!(f.attempts, 2);
+            } else {
+                assert!(o.is_ok(), "sibling job {i} should have completed");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_is_one_failure_per_job_not_per_attempt() {
+        // A 4-attempt policy on two always-panicking jobs: exactly two
+        // JobFailures come back (one per job), each reporting the full
+        // attempt count, and the attempt counter proves every retry ran.
+        let attempts = std::sync::atomic::AtomicUsize::new(0);
+        let policy = RetryPolicy::from_retries(3, 0);
+        assert_eq!(policy.max_attempts, 4);
+        let (outcomes, _) = run_jobs_with(
+            2,
+            2,
+            policy,
+            |i| format!("job-{i}"),
+            |_| -> Tiny {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                panic!("always fails");
+            },
+            |_, _| {},
+        );
+        let failures: Vec<&JobFailure> = outcomes.iter().filter_map(|o| o.as_ref().err()).collect();
+        assert_eq!(failures.len(), 2, "one JobFailure per job");
+        for f in &failures {
+            assert_eq!(f.attempts, 4);
+            assert!(f.message.contains("always fails"));
+        }
+        assert_eq!(attempts.load(Ordering::SeqCst), 8, "2 jobs x 4 attempts");
+    }
+
+    #[test]
+    fn zero_wall_metrics_are_defined() {
+        // A sub-millisecond campaign can observe a zero-duration wall
+        // clock; speedup and aggregate MIPS must stay defined (no
+        // inf/NaN leaking into JSONL exports).
+        let mut worker = SelfMetrics::new();
+        worker.begin_phase("job", 0, 0);
+        worker.end_phase(5_000, 1_000);
+        let m = CampaignMetrics {
+            workers: vec![worker],
+            wall: Duration::ZERO,
+        };
+        assert!(m.busy() >= Duration::ZERO);
+        assert!(m.speedup().is_finite());
+        assert!(m.aggregate_mips().is_finite());
+        assert_eq!(m.aggregate_mips(), 0.0);
+        let empty = CampaignMetrics::default();
+        assert_eq!(empty.speedup(), 1.0);
+        assert_eq!(empty.aggregate_mips(), 0.0);
     }
 
     #[test]

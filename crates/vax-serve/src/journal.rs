@@ -1,0 +1,764 @@
+//! The persistent job-queue journal.
+//!
+//! `vax-queue-journal v1` extends the `vax-campaign-checkpoint v1`
+//! idea from *completed work* to the *whole queue*: an append-only
+//! file of job-lifecycle records —
+//!
+//! ```text
+//! vax-queue-journal v1
+//! enqueue <id> <spec line>
+//! start <id> attempt <k>
+//! complete <id> instructions <N> cycles <C>
+//! <upc-monitor codec body>
+//! end
+//! fail <id> attempts <k> message <escaped text>
+//! ```
+//!
+//! Every state transition is one appended record, flushed before the
+//! transition takes effect, so a `kill -9` at any instant leaves at
+//! most a *prefix* of the final record on disk. [`Journal::open`]
+//! replays the records into per-job state and applies the same
+//! torn-tail policy as the checkpoint codec: a partial trailing append
+//! is dropped with a warning (and the file truncated back to the last
+//! good byte), while damage anywhere else — including a fully
+//! terminated record that fails to parse — is a hard error. A
+//! restarted server therefore re-runs exactly the jobs without a
+//! `complete`/`fail` record: nothing is lost, nothing runs twice.
+
+use crate::spec::JobSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use upc_monitor::codec;
+use vax780_core::MeasuredWorkload;
+
+const HEADER: &str = "vax-queue-journal v1";
+
+/// Monotonic job identifier, assigned at enqueue time.
+pub type JobId = u64;
+
+/// Why the journal could not be loaded or extended.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JournalError {
+    /// The file could not be read or written.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file's contents did not parse.
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "queue journal {}: {source}", path.display())
+            }
+            JournalError::Corrupt { path, detail } => {
+                write!(f, "queue journal {} is corrupt: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// How a settled job ended.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// The measurement completed; the full result is recorded.
+    Done(MeasuredWorkload),
+    /// Every attempt failed; the job is quarantined.
+    Failed {
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// The last failure message.
+        message: String,
+    },
+}
+
+/// Replayed state of one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job's identifier.
+    pub id: JobId,
+    /// What to run.
+    pub spec: JobSpec,
+    /// `start` records seen (attempts begun, across all server lives).
+    pub starts: u32,
+    /// Final outcome, if the job has settled.
+    pub outcome: Option<JobOutcome>,
+}
+
+impl JobRecord {
+    /// One deterministic JSON result line, if the job has settled.
+    ///
+    /// The line derives only from the spec and the simulation outputs
+    /// (never wall time or scheduling), so a killed-and-resumed
+    /// parallel queue renders bit-identical lines to an uninterrupted
+    /// serial run. The `digest` is FNV-1a 64 over the full
+    /// histogram+counters codec text.
+    pub fn result_json(&self) -> Option<String> {
+        match self.outcome.as_ref()? {
+            JobOutcome::Done(m) => {
+                let cpi = if m.instructions > 0 {
+                    m.cycles as f64 / m.instructions as f64
+                } else {
+                    0.0
+                };
+                let body = codec::to_text_with_counters(&m.histogram, &m.counters.to_pairs());
+                Some(format!(
+                    "{{\"job\":{},\"spec\":\"{}\",\"workload\":\"{}\",\"instructions\":{},\
+                     \"cycles\":{},\"cpi\":{cpi:.6},\"machine_checks\":{},\
+                     \"digest\":\"{:016x}\"}}",
+                    self.id,
+                    json_escape(&self.spec.render()),
+                    self.spec.workload.name(),
+                    m.instructions,
+                    m.cycles,
+                    m.counters.machine_checks,
+                    fnv64(&body),
+                ))
+            }
+            JobOutcome::Failed { attempts, message } => Some(format!(
+                "{{\"job\":{},\"spec\":\"{}\",\"failed\":true,\"attempts\":{attempts},\
+                 \"message\":\"{}\"}}",
+                self.id,
+                json_escape(&self.spec.render()),
+                json_escape(message),
+            )),
+        }
+    }
+}
+
+/// FNV-1a 64-bit digest (stable, dependency-free).
+pub fn fnv64(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a failure message onto one journal line.
+fn escape_message(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn unescape_message(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A loaded (or freshly created) queue journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    jobs: BTreeMap<JobId, JobRecord>,
+    warnings: Vec<String>,
+}
+
+impl Journal {
+    /// Open `path`, creating it with just the header if missing, or
+    /// replaying its records if present. A torn trailing append is
+    /// dropped with a warning and the file truncated back to the last
+    /// good byte.
+    ///
+    /// One writer at a time: the journal has no cross-process lock, so
+    /// a server and an offline `enqueue` must not extend the same file
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] on I/O failure or mid-file corruption.
+    pub fn open(path: &Path) -> Result<Journal, JournalError> {
+        let io_err = |source| JournalError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let (journal, torn_at) = Journal::parse(path, &text)?;
+                if let Some(good) = torn_at {
+                    std::fs::write(path, &text[..good]).map_err(io_err)?;
+                }
+                Ok(journal)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                std::fs::write(path, format!("{HEADER}\n")).map_err(io_err)?;
+                Ok(Journal {
+                    path: path.to_path_buf(),
+                    jobs: BTreeMap::new(),
+                    warnings: Vec::new(),
+                })
+            }
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn parse(path: &Path, text: &str) -> Result<(Journal, Option<usize>), JournalError> {
+        let corrupt = |detail: String| JournalError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        // Manual line walk with byte offsets: `(line, terminated)`.
+        // A final line without its newline is an incomplete append.
+        let take_line = |pos: &mut usize| -> Option<(&str, bool)> {
+            if *pos >= text.len() {
+                return None;
+            }
+            match text[*pos..].find('\n') {
+                Some(i) => {
+                    let line = &text[*pos..*pos + i];
+                    *pos += i + 1;
+                    Some((line, true))
+                }
+                None => {
+                    let line = &text[*pos..];
+                    *pos = text.len();
+                    Some((line, false))
+                }
+            }
+        };
+        let mut pos = 0usize;
+        match take_line(&mut pos) {
+            Some((l, true)) if l.trim() == HEADER => {}
+            _ => return Err(corrupt(format!("missing `{HEADER}` header"))),
+        }
+
+        // Same torn-vs-corrupt rule as the checkpoint codec: appends
+        // are sequential, so a torn write leaves a prefix of ONE
+        // record. If any fully terminated record-start (or `end`) line
+        // follows the failure point, the damage is not a truncation
+        // and we refuse to guess.
+        let is_record_start = |t: &str| {
+            t == "end"
+                || t.starts_with("enqueue ")
+                || t.starts_with("start ")
+                || t.starts_with("complete ")
+                || t.starts_with("fail ")
+        };
+        let tail_is_torn = |record_start: usize| -> bool {
+            let mut p = record_start;
+            let mut first = true;
+            while let Some((line, terminated)) = take_line(&mut p) {
+                if !first && terminated && is_record_start(line.trim()) {
+                    return false;
+                }
+                first = false;
+            }
+            true
+        };
+
+        let mut jobs: BTreeMap<JobId, JobRecord> = BTreeMap::new();
+        let mut good = pos;
+        let mut torn: Option<(usize, String)> = None;
+        'records: loop {
+            let record_start = pos;
+            let (raw, terminated) = match take_line(&mut pos) {
+                None => break,
+                Some(x) => x,
+            };
+            let trimmed = raw.trim();
+            if trimmed.is_empty() && terminated {
+                good = pos;
+                continue;
+            }
+            let fail = |detail: String| -> Result<Option<(usize, String)>, JournalError> {
+                if tail_is_torn(record_start) {
+                    Ok(Some((record_start, detail)))
+                } else {
+                    Err(corrupt(detail))
+                }
+            };
+            if !terminated {
+                torn = fail(format!("incomplete trailing line `{trimmed}`"))?;
+                break;
+            }
+            let mut words = trimmed.splitn(3, ' ');
+            let keyword = words.next().unwrap_or("");
+            let id: Option<JobId> = words.next().and_then(|w| w.parse().ok());
+            let rest = words.next().unwrap_or("");
+            match (keyword, id) {
+                ("enqueue", Some(id)) => {
+                    let spec = match JobSpec::parse(rest) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            torn = fail(format!("enqueue {id}: {e}"))?;
+                            break;
+                        }
+                    };
+                    if jobs.contains_key(&id) {
+                        return Err(corrupt(format!("duplicate enqueue for job {id}")));
+                    }
+                    jobs.insert(
+                        id,
+                        JobRecord {
+                            id,
+                            spec,
+                            starts: 0,
+                            outcome: None,
+                        },
+                    );
+                }
+                ("start", Some(id)) => {
+                    let attempt: Option<u32> =
+                        match rest.split_ascii_whitespace().collect::<Vec<_>>().as_slice() {
+                            ["attempt", k] => k.parse().ok(),
+                            _ => None,
+                        };
+                    let Some(attempt) = attempt else {
+                        torn = fail(format!("bad start record `{trimmed}`"))?;
+                        break;
+                    };
+                    let Some(job) = jobs.get_mut(&id) else {
+                        return Err(corrupt(format!("start for unknown job {id}")));
+                    };
+                    if job.outcome.is_some() {
+                        return Err(corrupt(format!("start for settled job {id}")));
+                    }
+                    job.starts = job.starts.max(attempt);
+                }
+                ("fail", Some(id)) => {
+                    let parsed = rest
+                        .strip_prefix("attempts ")
+                        .and_then(|r| r.split_once(" message "))
+                        .and_then(|(k, msg)| {
+                            k.parse::<u32>().ok().map(|k| (k, unescape_message(msg)))
+                        });
+                    let Some((attempts, message)) = parsed else {
+                        torn = fail(format!("bad fail record `{trimmed}`"))?;
+                        break;
+                    };
+                    let Some(job) = jobs.get_mut(&id) else {
+                        return Err(corrupt(format!("fail for unknown job {id}")));
+                    };
+                    if job.outcome.is_some() {
+                        return Err(corrupt(format!("fail for settled job {id}")));
+                    }
+                    job.outcome = Some(JobOutcome::Failed { attempts, message });
+                }
+                ("complete", Some(id)) => {
+                    let lens: Option<(u64, u64)> =
+                        match rest.split_ascii_whitespace().collect::<Vec<_>>().as_slice() {
+                            ["instructions", i, "cycles", c] => i.parse().ok().zip(c.parse().ok()),
+                            _ => None,
+                        };
+                    let Some((instructions, cycles)) = lens else {
+                        torn = fail(format!("bad complete record `{trimmed}`"))?;
+                        break;
+                    };
+                    let mut body = String::new();
+                    let mut closed = false;
+                    while let Some((l, terminated)) = take_line(&mut pos) {
+                        if l.trim() == "end" && terminated {
+                            closed = true;
+                            break;
+                        }
+                        if !terminated {
+                            break;
+                        }
+                        body.push_str(l);
+                        body.push('\n');
+                    }
+                    if !closed {
+                        torn = fail(format!("complete {id} has no `end` line"))?;
+                        break 'records;
+                    }
+                    // Fully terminated section: anything wrong inside
+                    // is real corruption, not a torn append.
+                    let (histogram, counter_pairs) = codec::from_text_with_counters(&body)
+                        .map_err(|e| corrupt(format!("complete {id}: {e}")))?;
+                    let counters = vax_mem::HwCounters::from_pairs(
+                        counter_pairs.iter().map(|(n, v)| (n.as_str(), *v)),
+                    );
+                    let Some(job) = jobs.get_mut(&id) else {
+                        return Err(corrupt(format!("complete for unknown job {id}")));
+                    };
+                    if job.outcome.is_some() {
+                        return Err(corrupt(format!("complete for settled job {id}")));
+                    }
+                    job.outcome = Some(JobOutcome::Done(MeasuredWorkload {
+                        name: job.spec.workload.name(),
+                        histogram,
+                        counters,
+                        instructions,
+                        cycles,
+                    }));
+                }
+                _ => {
+                    torn = fail(format!("unparseable record `{trimmed}`"))?;
+                    break;
+                }
+            }
+            good = pos;
+        }
+        let mut warnings = Vec::new();
+        let torn_at = torn.map(|(at, detail)| {
+            warnings.push(format!(
+                "dropped torn trailing record ({} byte(s) after the last complete \
+                 record): {detail}; the transition will be replayed",
+                text.len() - at
+            ));
+            good
+        });
+        Ok((
+            Journal {
+                path: path.to_path_buf(),
+                jobs,
+                warnings,
+            },
+            torn_at,
+        ))
+    }
+
+    /// Warnings produced while opening (torn trailing record dropped).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All jobs, id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// One job's replayed state.
+    pub fn get(&self, id: JobId) -> Option<&JobRecord> {
+        self.jobs.get(&id)
+    }
+
+    /// Ids of jobs with no settled outcome, id order — exactly the work
+    /// a restarted server must (re-)run.
+    pub fn pending(&self) -> Vec<JobId> {
+        self.jobs
+            .values()
+            .filter(|j| j.outcome.is_none())
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// `(unsettled, done, failed)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut pending = 0;
+        let mut done = 0;
+        let mut failed = 0;
+        for job in self.jobs.values() {
+            match &job.outcome {
+                None => pending += 1,
+                Some(JobOutcome::Done(_)) => done += 1,
+                Some(JobOutcome::Failed { .. }) => failed += 1,
+            }
+        }
+        (pending, done, failed)
+    }
+
+    fn append(&self, record: &str) -> Result<(), JournalError> {
+        let io_err = |source| JournalError::Io {
+            path: self.path.clone(),
+            source,
+        };
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        file.write_all(record.as_bytes()).map_err(io_err)?;
+        file.flush().map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Append an `enqueue` record and return the new job's id.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the append fails.
+    pub fn append_enqueue(&mut self, spec: &JobSpec) -> Result<JobId, JournalError> {
+        let id = self.jobs.keys().next_back().map_or(1, |last| last + 1);
+        self.append(&format!("enqueue {id} {}\n", spec.render()))?;
+        self.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                spec: spec.clone(),
+                starts: 0,
+                outcome: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Append a `start` record for an attempt on a pending job.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the append fails.
+    pub fn append_start(&mut self, id: JobId, attempt: u32) -> Result<(), JournalError> {
+        self.append(&format!("start {id} attempt {attempt}\n"))?;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.starts = job.starts.max(attempt);
+        }
+        Ok(())
+    }
+
+    /// Append a `complete` record with the full measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the append fails.
+    pub fn append_complete(
+        &mut self,
+        id: JobId,
+        result: &MeasuredWorkload,
+    ) -> Result<(), JournalError> {
+        let mut section = format!(
+            "complete {id} instructions {} cycles {}\n",
+            result.instructions, result.cycles
+        );
+        section.push_str(&codec::to_text_with_counters(
+            &result.histogram,
+            &result.counters.to_pairs(),
+        ));
+        section.push_str("end\n");
+        self.append(&section)?;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.outcome = Some(JobOutcome::Done(result.clone()));
+        }
+        Ok(())
+    }
+
+    /// Append a `fail` record quarantining the job.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the append fails.
+    pub fn append_fail(
+        &mut self,
+        id: JobId,
+        attempts: u32,
+        message: &str,
+    ) -> Result<(), JournalError> {
+        self.append(&format!(
+            "fail {id} attempts {attempts} message {}\n",
+            escape_message(message)
+        ))?;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            job.outcome = Some(JobOutcome::Failed {
+                attempts,
+                message: message.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upc_monitor::Histogram;
+    use vax_mem::HwCounters;
+    use vax_ucode::MicroAddr;
+    use vax_workloads::WorkloadKind;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(kind: WorkloadKind) -> MeasuredWorkload {
+        let mut h = Histogram::new();
+        h.bump_issue(MicroAddr::new(0x22));
+        h.bump_stall(MicroAddr::new(0x22), 2);
+        let mut c = HwCounters::new();
+        c.sbi_reads = 3;
+        MeasuredWorkload {
+            name: kind.name(),
+            histogram: h,
+            counters: c,
+            instructions: 500,
+            cycles: 2100,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_the_queue() {
+        let dir = tempdir("vax-journal-roundtrip");
+        let path = dir.join("queue.journal");
+        let mut j = Journal::open(&path).unwrap();
+        let spec_a = JobSpec::new(WorkloadKind::TimesharingLight);
+        let mut spec_b = JobSpec::new(WorkloadKind::SciEng);
+        spec_b.seed = Some(9);
+        let a = j.append_enqueue(&spec_a).unwrap();
+        let b = j.append_enqueue(&spec_b).unwrap();
+        assert_eq!((a, b), (1, 2));
+        j.append_start(a, 1).unwrap();
+        j.append_complete(a, &sample(WorkloadKind::TimesharingLight))
+            .unwrap();
+        j.append_start(b, 1).unwrap();
+        j.append_fail(b, 4, "worker panicked:\nboom").unwrap();
+
+        let back = Journal::open(&path).unwrap();
+        assert!(back.warnings().is_empty());
+        assert_eq!(back.pending(), Vec::<JobId>::new());
+        assert_eq!(back.counts(), (0, 1, 1));
+        let ra = back.get(a).unwrap();
+        assert_eq!(ra.spec, spec_a);
+        assert_eq!(ra.starts, 1);
+        match ra.outcome.as_ref().unwrap() {
+            JobOutcome::Done(m) => {
+                assert_eq!(m.cycles, 2100);
+                assert_eq!(m.counters.sbi_reads, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match back.get(b).unwrap().outcome.as_ref().unwrap() {
+            JobOutcome::Failed { attempts, message } => {
+                assert_eq!(*attempts, 4);
+                assert_eq!(message, "worker panicked:\nboom");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A settled job renders a result line; ids keep growing.
+        assert!(ra.result_json().unwrap().contains("\"job\":1"));
+        let mut back = back;
+        assert_eq!(back.append_enqueue(&spec_a).unwrap(), 3);
+        assert_eq!(back.pending(), vec![3]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_byte_offset() {
+        let dir = tempdir("vax-journal-torn");
+        let path = dir.join("queue.journal");
+        let mut j = Journal::open(&path).unwrap();
+        let spec = JobSpec::new(WorkloadKind::Commercial);
+        j.append_enqueue(&spec).unwrap();
+        j.append_start(1, 1).unwrap();
+        let good_text = std::fs::read_to_string(&path).unwrap();
+        let good_len = good_text.len();
+        j.append_complete(1, &sample(WorkloadKind::Commercial))
+            .unwrap();
+        let full_text = std::fs::read_to_string(&path).unwrap();
+
+        for cut in good_len..full_text.len() {
+            std::fs::write(&path, &full_text[..cut]).unwrap();
+            let j = Journal::open(&path).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+            assert_eq!(j.pending(), vec![1], "cut at {cut}");
+            if cut == good_len {
+                assert!(j.warnings().is_empty(), "clean cut at {cut}");
+            } else {
+                assert_eq!(j.warnings().len(), 1, "cut at {cut}");
+                assert_eq!(std::fs::read_to_string(&path).unwrap(), good_text);
+            }
+        }
+        // Untouched file: settled, no warnings.
+        std::fs::write(&path, &full_text).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert!(j.warnings().is_empty());
+        assert_eq!(j.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = tempdir("vax-journal-corrupt");
+        let path = dir.join("queue.journal");
+        for bad in [
+            "nope\n",
+            "vax-queue-journal v1\nstart 7 attempt 1\n",
+            "vax-queue-journal v1\ncomplete 7 instructions 1 cycles 2\nupc-histogram v1\nend\n",
+            "vax-queue-journal v1\nenqueue 1 workload=sci-eng instructions=10 warmup=1\n\
+             enqueue 1 workload=sci-eng instructions=10 warmup=1\n",
+            "vax-queue-journal v1\ngarbage\nenqueue 1 workload=sci-eng instructions=10 warmup=1\n",
+        ] {
+            std::fs::write(&path, bad).unwrap();
+            let err = Journal::open(&path).unwrap_err();
+            assert!(
+                matches!(err, JournalError::Corrupt { .. }),
+                "{bad:?}: {err}"
+            );
+        }
+        // A terminated complete section with a bad codec body is real
+        // corruption even at the tail.
+        std::fs::write(
+            &path,
+            "vax-queue-journal v1\nenqueue 1 workload=sci-eng instructions=10 warmup=1\n\
+             complete 1 instructions 1 cycles 2\nnot a histogram\nend\n",
+        )
+        .unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn result_lines_are_deterministic() {
+        let record = JobRecord {
+            id: 5,
+            spec: JobSpec::new(WorkloadKind::Educational),
+            starts: 1,
+            outcome: Some(JobOutcome::Done(sample(WorkloadKind::Educational))),
+        };
+        let a = record.result_json().unwrap();
+        let b = record.result_json().unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"cpi\":4.200000"), "{a}");
+        assert!(a.contains("\"digest\":\""), "{a}");
+    }
+}

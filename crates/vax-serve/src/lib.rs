@@ -1,0 +1,39 @@
+//! Crash-safe, backpressured campaign serving.
+//!
+//! The paper's measurements were campaigns: many workload ×
+//! configuration points, each an independent simulation. This crate
+//! turns the batch campaign into a *service* that survives its own
+//! death:
+//!
+//! - [`spec::JobSpec`] — one request (workload × CPU config × memory
+//!   config × fault plan × seed) on one strict `key=value` line;
+//! - [`journal::Journal`] — the persistent queue: every lifecycle
+//!   transition (`enqueue`/`start`/`complete`/`fail`) is one appended,
+//!   flushed record in the `vax-queue-journal v1` codec, with the same
+//!   torn-tail recovery as the campaign checkpoint;
+//! - [`queue`] — executors: in-process threads or `job-worker` OS
+//!   processes, with per-attempt timeouts;
+//! - [`wire`] — the line protocol (Unix socket or TCP) and client;
+//! - [`server`] — the worker pool with bounded-capacity backpressure,
+//!   bounded retry with deterministic backoff, and `drain` streaming.
+//!
+//! The durability contract, end to end: `kill -9` the server at any
+//! instant, restart it on the same journal, and the merged results are
+//! bit-identical to an uninterrupted run — completed jobs replay from
+//! disk, unsettled jobs re-run, and `Experiment::run`'s determinism
+//! makes the re-runs indistinguishable from first runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod queue;
+pub mod server;
+pub mod spec;
+pub mod wire;
+
+pub use journal::{JobId, JobOutcome, JobRecord, Journal, JournalError};
+pub use queue::{Executor, InProcessExecutor, ProcessExecutor};
+pub use server::{run_server, ServeConfig, ServeError, ServerReport};
+pub use spec::{JobSpec, Tier};
+pub use wire::{Client, Endpoint};

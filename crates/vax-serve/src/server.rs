@@ -1,0 +1,685 @@
+//! The campaign server: a worker pool over the journal-backed queue.
+//!
+//! One [`Shared`] state — journal, in-memory queue, running set —
+//! behind a mutex/condvar pair. Worker threads claim job ids, append
+//! `start`/`complete`/`fail` transitions (each flushed before the
+//! in-memory state advances), and run attempts outside the lock.
+//! Connection handlers mutate the same state: `enqueue` applies
+//! backpressure against a fixed capacity of unsettled jobs, `drain`
+//! streams every result in id order as it settles and then stops the
+//! server. Because every transition is journaled first, a `kill -9`
+//! at any instant loses nothing: the next `serve` replays the journal
+//! and re-runs exactly the unsettled jobs.
+
+use crate::journal::{JobId, JobOutcome, Journal, JournalError};
+use crate::queue::Executor;
+use crate::spec::JobSpec;
+use crate::wire::{Conn, Endpoint};
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use vax780_core::{CampaignMetrics, RetryPolicy};
+use vax_trace::SelfMetrics;
+
+/// Server parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The queue journal path.
+    pub journal: PathBuf,
+    /// Worker threads (each runs one job attempt at a time).
+    pub workers: usize,
+    /// Maximum unsettled (queued + running) jobs before `enqueue`
+    /// requests are rejected with a reason.
+    pub capacity: usize,
+    /// Retry policy for failing jobs.
+    pub retry: RetryPolicy,
+    /// Per-attempt deadline (None = unbounded).
+    pub timeout: Option<Duration>,
+    /// Finish the replayed queue and exit instead of waiting for
+    /// clients (offline drain mode).
+    pub drain_on_start: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            journal: PathBuf::from("queue.journal"),
+            workers: 2,
+            capacity: 256,
+            retry: RetryPolicy::default(),
+            timeout: None,
+            drain_on_start: false,
+        }
+    }
+}
+
+/// Why the server stopped (beyond a requested shutdown).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The journal could not be opened or replayed.
+    Journal(JournalError),
+    /// The listening socket could not be bound.
+    Bind {
+        /// The endpoint that failed.
+        endpoint: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A journal append failed mid-run; the server stopped rather than
+    /// run work it could not make durable.
+    Fatal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Journal(e) => write!(f, "{e}"),
+            ServeError::Bind { endpoint, source } => {
+                write!(f, "bind {endpoint}: {source}")
+            }
+            ServeError::Fatal(msg) => write!(f, "fatal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> ServeError {
+        ServeError::Journal(e)
+    }
+}
+
+/// What a finished server run settled.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Jobs with a `complete` record.
+    pub done: usize,
+    /// Jobs with a `fail` record.
+    pub failed: usize,
+    /// Deterministic JSON result lines for every settled job, id order.
+    pub results: Vec<String>,
+    /// Per-worker self-metrics.
+    pub metrics: CampaignMetrics,
+}
+
+struct State {
+    journal: Journal,
+    queue: VecDeque<JobId>,
+    running: BTreeSet<JobId>,
+    draining: bool,
+    shutdown: bool,
+    fatal: Option<String>,
+    worker_metrics: Vec<SelfMetrics>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    capacity: usize,
+    retry: RetryPolicy,
+    timeout: Option<Duration>,
+    started: Instant,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a fatal journal failure and stop the server.
+    fn fail_fatal(&self, st: &mut State, msg: String) {
+        eprintln!("vax780 serve: {msg}");
+        st.fatal.get_or_insert(msg);
+        st.shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Run a server over `config.journal`, optionally listening on
+/// `endpoint`. Blocks until the server shuts down (a `drain` or
+/// `shutdown` request, or — in `drain_on_start` mode — the queue
+/// settling).
+///
+/// # Errors
+///
+/// [`ServeError`] on journal/bind failure at startup or a journal
+/// append failure mid-run.
+pub fn run_server(
+    config: &ServeConfig,
+    endpoint: Option<&Endpoint>,
+    executor: Arc<dyn Executor>,
+) -> Result<ServerReport, ServeError> {
+    let journal = Journal::open(&config.journal)?;
+    for w in journal.warnings() {
+        eprintln!(
+            "vax780 serve: queue journal {}: {w}",
+            config.journal.display()
+        );
+    }
+    let queue: VecDeque<JobId> = journal.pending().into();
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            journal,
+            queue,
+            running: BTreeSet::new(),
+            draining: config.drain_on_start,
+            shutdown: false,
+            fatal: None,
+            worker_metrics: vec![SelfMetrics::new(); workers],
+        }),
+        cv: Condvar::new(),
+        capacity: config.capacity.max(1),
+        retry: config.retry,
+        timeout: config.timeout,
+        started: Instant::now(),
+    });
+
+    let listener = match endpoint {
+        Some(endpoint) => Some(endpoint.bind().map_err(|source| ServeError::Bind {
+            endpoint: endpoint.to_string(),
+            source,
+        })?),
+        None => None,
+    };
+
+    let worker_handles: Vec<_> = (0..workers)
+        .map(|index| {
+            let shared = Arc::clone(&shared);
+            let executor = Arc::clone(&executor);
+            std::thread::spawn(move || worker_loop(&shared, executor.as_ref(), index))
+        })
+        .collect();
+    let listener_handle = listener.map(|listener| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || loop {
+            if shared.lock().shutdown {
+                break;
+            }
+            match listener.accept() {
+                Ok(Some(conn)) => {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || handle_conn(&shared, conn));
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        })
+    });
+
+    // Supervisor: wait for a shutdown, or for a draining queue to
+    // settle completely.
+    {
+        let mut st = shared.lock();
+        loop {
+            if st.shutdown {
+                break;
+            }
+            if st.draining && st.queue.is_empty() && st.running.is_empty() {
+                st.shutdown = true;
+                shared.cv.notify_all();
+                break;
+            }
+            st = shared
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    if let Some(handle) = listener_handle {
+        let _ = handle.join();
+    }
+    if let Some(Endpoint::Unix(path)) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+
+    let st = shared.lock();
+    if let Some(fatal) = &st.fatal {
+        return Err(ServeError::Fatal(fatal.clone()));
+    }
+    let (_, done, failed) = st.journal.counts();
+    Ok(ServerReport {
+        done,
+        failed,
+        results: st.journal.jobs().filter_map(|j| j.result_json()).collect(),
+        metrics: CampaignMetrics {
+            workers: st.worker_metrics.clone(),
+            wall: shared.started.elapsed(),
+        },
+    })
+}
+
+fn worker_loop(shared: &Shared, executor: &dyn Executor, index: usize) {
+    let mut metrics = SelfMetrics::new();
+    let mut cum_cycles = 0u64;
+    let mut cum_instructions = 0u64;
+    loop {
+        // Claim the next job id, or exit on shutdown.
+        let (id, spec, prior_starts) = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    st.worker_metrics[index] = metrics;
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    let Some((spec, starts)) =
+                        st.journal.get(id).map(|j| (j.spec.clone(), j.starts))
+                    else {
+                        continue;
+                    };
+                    st.running.insert(id);
+                    break (id, spec, starts);
+                }
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+
+        let max_attempts = shared.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            {
+                let mut st = shared.lock();
+                if let Err(e) = st.journal.append_start(id, prior_starts + attempt) {
+                    shared.fail_fatal(&mut st, e.to_string());
+                    st.worker_metrics[index] = metrics;
+                    return;
+                }
+            }
+            metrics.begin_phase(&format!("job-{id}"), cum_cycles, cum_instructions);
+            let outcome = executor.run(&spec, shared.timeout);
+            match outcome {
+                Ok(m) => {
+                    cum_cycles += m.cycles;
+                    cum_instructions += m.instructions;
+                    metrics.end_phase(cum_cycles, cum_instructions);
+                    let mut st = shared.lock();
+                    if let Err(e) = st.journal.append_complete(id, &m) {
+                        shared.fail_fatal(&mut st, e.to_string());
+                        st.worker_metrics[index] = metrics;
+                        return;
+                    }
+                    st.running.remove(&id);
+                    st.worker_metrics[index] = metrics.clone();
+                    shared.cv.notify_all();
+                    break;
+                }
+                Err(e) => {
+                    metrics.end_phase(cum_cycles, cum_instructions);
+                    if attempt < max_attempts {
+                        // Deterministic linear backoff, as in the
+                        // checkpointed campaign's quarantine path.
+                        std::thread::sleep(shared.retry.backoff * attempt);
+                        continue;
+                    }
+                    let message = format!("attempt {attempt}/{max_attempts}: {e}");
+                    let mut st = shared.lock();
+                    if let Err(e) = st.journal.append_fail(id, attempt, &message) {
+                        shared.fail_fatal(&mut st, e.to_string());
+                        st.worker_metrics[index] = metrics;
+                        return;
+                    }
+                    st.running.remove(&id);
+                    st.worker_metrics[index] = metrics.clone();
+                    shared.cv.notify_all();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, conn: Conn) {
+    let Ok((mut reader, mut writer)) = conn.split() else {
+        return;
+    };
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let request = line.trim();
+    let (verb, rest) = match request.split_once(' ') {
+        Some((v, r)) => (v, r.trim()),
+        None => (request, ""),
+    };
+    let _ = match verb {
+        "enqueue" => {
+            let reply = handle_enqueue(shared, rest);
+            writeln!(writer, "{reply}")
+        }
+        "status" => handle_status(shared, &mut writer),
+        "results" => handle_results(shared, &mut writer),
+        "metrics" => handle_metrics(shared, &mut writer),
+        "drain" => handle_drain(shared, &mut writer),
+        "shutdown" => {
+            let mut st = shared.lock();
+            st.shutdown = true;
+            shared.cv.notify_all();
+            drop(st);
+            writeln!(writer, "ok")
+        }
+        _ => writeln!(
+            writer,
+            "reject unknown request {verb:?} (expected enqueue, status, results, metrics, \
+             drain, or shutdown)"
+        ),
+    };
+    let _ = writer.flush();
+}
+
+/// Enqueue with backpressure: parse strictly, validate, and admit only
+/// while the unsettled count is below capacity.
+fn handle_enqueue(shared: &Shared, spec_line: &str) -> String {
+    let spec = match JobSpec::parse(spec_line) {
+        Ok(spec) => spec,
+        Err(e) => return format!("reject bad spec: {e}"),
+    };
+    if let Err(e) = spec.validate() {
+        return format!("reject bad spec: {e}");
+    }
+    let mut st = shared.lock();
+    if st.shutdown || st.draining {
+        return "reject server is draining; enqueue to a fresh queue".to_string();
+    }
+    let unsettled = st.queue.len() + st.running.len();
+    if unsettled >= shared.capacity {
+        return format!(
+            "reject queue full: {unsettled} unsettled job(s) at capacity {}; retry after \
+             some settle",
+            shared.capacity
+        );
+    }
+    match st.journal.append_enqueue(&spec) {
+        Ok(id) => {
+            st.queue.push_back(id);
+            shared.cv.notify_all();
+            format!("ok {id}")
+        }
+        Err(e) => format!("reject {e}"),
+    }
+}
+
+fn handle_status(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> {
+    let st = shared.lock();
+    let (_, done, failed) = st.journal.counts();
+    writeln!(
+        writer,
+        "ok capacity {} pending {} running {} done {done} failed {failed} draining {}",
+        shared.capacity,
+        st.queue.len(),
+        st.running.len(),
+        u8::from(st.draining),
+    )?;
+    for job in st.journal.jobs() {
+        let state = match (&job.outcome, st.running.contains(&job.id)) {
+            (Some(JobOutcome::Done(_)), _) => "done",
+            (Some(JobOutcome::Failed { .. }), _) => "failed",
+            (None, true) => "running",
+            (None, false) => "pending",
+        };
+        writeln!(writer, "job {} {state} {}", job.id, job.spec.render())?;
+    }
+    writeln!(writer, "end")
+}
+
+fn handle_results(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> {
+    let st = shared.lock();
+    for line in st.journal.jobs().filter_map(|j| j.result_json()) {
+        writeln!(writer, "{line}")?;
+    }
+    writeln!(writer, "end")
+}
+
+fn handle_metrics(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> {
+    let st = shared.lock();
+    let (_, done, failed) = st.journal.counts();
+    let metrics = CampaignMetrics {
+        workers: st.worker_metrics.clone(),
+        wall: shared.started.elapsed(),
+    };
+    writeln!(
+        writer,
+        "ok wall_us {} speedup {:.2} aggregate_mips {:.3} done {done} failed {failed}",
+        metrics.wall.as_micros(),
+        metrics.speedup(),
+        metrics.aggregate_mips(),
+    )?;
+    for worker in &metrics.workers {
+        writeln!(writer, "worker {}", worker.to_json())?;
+    }
+    writeln!(writer, "end")
+}
+
+/// Stream every job's result in id order as it settles, then stop the
+/// server. New enqueues are rejected from the moment draining starts,
+/// so the id snapshot taken here is complete.
+fn handle_drain(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> {
+    let ids: Vec<JobId> = {
+        let mut st = shared.lock();
+        st.draining = true;
+        shared.cv.notify_all();
+        st.journal.jobs().map(|j| j.id).collect()
+    };
+    for id in ids {
+        let line = {
+            let mut st = shared.lock();
+            loop {
+                match st.journal.get(id).and_then(|j| j.result_json()) {
+                    Some(line) => break Some(line),
+                    None if st.shutdown => break None,
+                    None => st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        match line {
+            Some(line) => {
+                writeln!(writer, "{line}")?;
+                writer.flush()?;
+            }
+            // Fatal shutdown mid-drain: stop streaming, terminate the
+            // reply so the client is not left hanging.
+            None => break,
+        }
+    }
+    writeln!(writer, "end")?;
+    let mut st = shared.lock();
+    st.shutdown = true;
+    shared.cv.notify_all();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{ExecError, InProcessExecutor};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vax780_core::MeasuredWorkload;
+    use vax_workloads::WorkloadKind;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn quick_spec(kind: WorkloadKind, seed: u64) -> JobSpec {
+        let mut spec = JobSpec::new(kind);
+        spec.instructions = 2_000;
+        spec.warmup = 500;
+        spec.seed = Some(seed);
+        spec
+    }
+
+    /// Counts executor invocations per job spec; optionally fails some.
+    struct CountingExecutor {
+        runs: AtomicUsize,
+        fail_seeds: Vec<u64>,
+    }
+
+    impl Executor for CountingExecutor {
+        fn run(
+            &self,
+            spec: &JobSpec,
+            _timeout: Option<Duration>,
+        ) -> Result<MeasuredWorkload, ExecError> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            if spec.seed.is_some_and(|s| self.fail_seeds.contains(&s)) {
+                return Err(ExecError::Failed("synthetic failure".to_string()));
+            }
+            InProcessExecutor.run(spec, None)
+        }
+    }
+
+    #[test]
+    fn offline_drain_settles_the_queue_and_reports() {
+        let dir = tempdir("vax-serve-offline");
+        let journal_path = dir.join("queue.journal");
+        {
+            let mut j = Journal::open(&journal_path).unwrap();
+            for seed in 1..=3 {
+                j.append_enqueue(&quick_spec(WorkloadKind::TimesharingLight, seed))
+                    .unwrap();
+            }
+        }
+        let config = ServeConfig {
+            journal: journal_path.clone(),
+            workers: 2,
+            retry: RetryPolicy::from_retries(0, 0),
+            drain_on_start: true,
+            ..ServeConfig::default()
+        };
+        let report = run_server(&config, None, Arc::new(InProcessExecutor)).unwrap();
+        assert_eq!(report.done, 3);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.results.len(), 3);
+        // The journal now holds the settled queue.
+        let j = Journal::open(&journal_path).unwrap();
+        assert_eq!(j.counts(), (0, 3, 0));
+        // A second drain replays without re-running anything.
+        let again = run_server(&config, None, Arc::new(InProcessExecutor)).unwrap();
+        assert_eq!(again.results, report.results);
+    }
+
+    #[test]
+    fn resumed_queue_never_reruns_settled_jobs() {
+        let dir = tempdir("vax-serve-resume");
+        let journal_path = dir.join("queue.journal");
+        {
+            let mut j = Journal::open(&journal_path).unwrap();
+            for seed in 1..=4 {
+                j.append_enqueue(&quick_spec(WorkloadKind::Educational, seed))
+                    .unwrap();
+            }
+            // Jobs 1 and 3 already settled in a previous server life.
+            let m = InProcessExecutor
+                .run(&quick_spec(WorkloadKind::Educational, 1), None)
+                .unwrap();
+            j.append_start(1, 1).unwrap();
+            j.append_complete(1, &m).unwrap();
+            j.append_start(3, 1).unwrap();
+            j.append_fail(3, 1, "poisoned").unwrap();
+        }
+        let executor = Arc::new(CountingExecutor {
+            runs: AtomicUsize::new(0),
+            fail_seeds: Vec::new(),
+        });
+        let config = ServeConfig {
+            journal: journal_path,
+            workers: 2,
+            retry: RetryPolicy::from_retries(0, 0),
+            drain_on_start: true,
+            ..ServeConfig::default()
+        };
+        let report = run_server(&config, None, executor.clone()).unwrap();
+        // Only jobs 2 and 4 ran; 1 and 3 were replayed from the journal.
+        assert_eq!(executor.runs.load(Ordering::SeqCst), 2);
+        assert_eq!(report.done, 3);
+        assert_eq!(report.failed, 1);
+    }
+
+    #[test]
+    fn retries_exhaust_into_one_fail_record() {
+        let dir = tempdir("vax-serve-retry");
+        let journal_path = dir.join("queue.journal");
+        {
+            let mut j = Journal::open(&journal_path).unwrap();
+            j.append_enqueue(&quick_spec(WorkloadKind::SciEng, 7))
+                .unwrap();
+            j.append_enqueue(&quick_spec(WorkloadKind::SciEng, 8))
+                .unwrap();
+        }
+        let executor = Arc::new(CountingExecutor {
+            runs: AtomicUsize::new(0),
+            fail_seeds: vec![7],
+        });
+        let config = ServeConfig {
+            journal: journal_path.clone(),
+            workers: 2,
+            retry: RetryPolicy::from_retries(2, 0),
+            drain_on_start: true,
+            ..ServeConfig::default()
+        };
+        let report = run_server(&config, None, executor.clone()).unwrap();
+        assert_eq!(report.done, 1);
+        assert_eq!(report.failed, 1);
+        // Job 7: 3 attempts; job 8: 1 attempt.
+        assert_eq!(executor.runs.load(Ordering::SeqCst), 4);
+        let j = Journal::open(&journal_path).unwrap();
+        let failed = j.jobs().find(|job| job.spec.seed == Some(7)).unwrap();
+        assert_eq!(failed.starts, 3);
+        match failed.outcome.as_ref().unwrap() {
+            JobOutcome::Failed { attempts, message } => {
+                assert_eq!(*attempts, 3);
+                assert!(message.contains("synthetic failure"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn backpressure_rejects_beyond_capacity() {
+        let dir = tempdir("vax-serve-backpressure");
+        let journal_path = dir.join("queue.journal");
+        let journal = Journal::open(&journal_path).unwrap();
+        let shared = Shared {
+            state: Mutex::new(State {
+                journal,
+                queue: VecDeque::new(),
+                running: BTreeSet::new(),
+                draining: false,
+                shutdown: false,
+                fatal: None,
+                worker_metrics: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            capacity: 2,
+            retry: RetryPolicy::default(),
+            timeout: None,
+            started: Instant::now(),
+        };
+        let spec_line = quick_spec(WorkloadKind::Commercial, 1).render();
+        assert_eq!(handle_enqueue(&shared, &spec_line), "ok 1");
+        assert_eq!(handle_enqueue(&shared, &spec_line), "ok 2");
+        let reject = handle_enqueue(&shared, &spec_line);
+        assert!(reject.starts_with("reject queue full"), "{reject}");
+        assert!(reject.contains("capacity 2"), "{reject}");
+        // Bad specs are rejected with the parse error.
+        let reject = handle_enqueue(&shared, "workload=warp-drive");
+        assert!(reject.starts_with("reject bad spec"), "{reject}");
+        // Draining servers admit nothing.
+        shared.lock().draining = true;
+        let reject = handle_enqueue(&shared, &spec_line);
+        assert!(reject.contains("draining"), "{reject}");
+    }
+}

@@ -45,6 +45,35 @@ impl PhaseMetrics {
             0.0
         }
     }
+
+    /// One JSON object: `{"name":…,"wall_us":…,"cycles":…,
+    /// "instructions":…}`. Rates are derivable and host-dependent, so
+    /// only the raw totals are exported.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"wall_us\":{},\"cycles\":{},\"instructions\":{}}}",
+            json_escape(&self.name),
+            self.wall.as_micros(),
+            self.cycles,
+            self.instructions
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Collected self-metrics for a whole run.
@@ -95,6 +124,18 @@ impl SelfMetrics {
     /// Total simulated cycles across completed phases.
     pub fn total_cycles(&self) -> u64 {
         self.phases.iter().map(|p| p.cycles).sum()
+    }
+
+    /// One JSON object with the completed phases:
+    /// `{"total_wall_us":…,"phases":[…]}` — for streaming a worker's
+    /// self-metrics over a wire protocol.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self.phases.iter().map(PhaseMetrics::to_json).collect();
+        format!(
+            "{{\"total_wall_us\":{},\"phases\":[{}]}}",
+            self.total_wall().as_micros(),
+            phases.join(",")
+        )
     }
 }
 
@@ -233,6 +274,18 @@ mod tests {
             }
         );
         assert!(display.contains("cyc/s"));
+    }
+
+    #[test]
+    fn metrics_export_valid_json() {
+        let mut m = SelfMetrics::new();
+        m.begin_phase("job \"a\"", 0, 0);
+        m.end_phase(1_000, 100);
+        let json = m.to_json();
+        assert!(json.starts_with("{\"total_wall_us\":"));
+        assert!(json.contains("\\\"a\\\""), "{json}");
+        assert!(json.contains("\"cycles\":1000"), "{json}");
+        assert!(json.contains("\"instructions\":100"), "{json}");
     }
 
     #[test]

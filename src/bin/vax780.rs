@@ -5,6 +5,13 @@
 //!            [--decode-overlap] [--save-histogram FILE]
 //!            [--jobs N] [--serial] [--metrics]
 //!            [--checkpoint FILE] [--halt-after N]
+//!            [--retry N] [--retry-backoff-ms MS]
+//! vax780 serve --queue FILE --socket PATH|tcp:ADDR [--jobs N]
+//!              [--capacity N] [--retry N] [--retry-backoff-ms MS]
+//!              [--timeout-secs S] [--process-workers] [--metrics]
+//! vax780 enqueue (--queue FILE | --socket PATH) --spec LINE...
+//! vax780 status (--queue FILE | --socket PATH)
+//! vax780 drain (--queue FILE [--jobs N] ... | --socket PATH) [--out FILE]
 //! vax780 sweep [--workload NAME|all] [--instructions N] [--warmup N]
 //!              [--axis NAME]... [--jobs N] [--serial]
 //!              [--csv FILE] [--jsonl FILE] [--metrics]
@@ -27,7 +34,14 @@
 //!
 //! `run` measures one workload (or the five-workload composite, fanned
 //! across a worker pool), prints every table plus the paper comparison,
-//! and can save the raw histogram; `sweep` re-measures the composite
+//! and can save the raw histogram; `serve` runs the crash-safe campaign
+//! server: a persistent `vax-queue-journal v1` job queue drained by a
+//! worker pool (threads, or `job-worker` OS processes with
+//! `--process-workers`), listening on a Unix socket or TCP address with
+//! bounded-capacity backpressure — `enqueue`, `status`, and `drain`
+//! are its clients (each also works offline against `--queue` when no
+//! server owns the journal); a SIGKILLed server restarts from the
+//! journal and re-runs only unsettled jobs, bit-identically; `sweep` re-measures the composite
 //! under a grid of machine ablations (§6 what-ifs by simulation) and
 //! emits a per-point CPI/stall table plus optional CSV/JSONL; `trace`
 //! runs a workload with the second instrument attached (the event
@@ -57,7 +71,7 @@
 
 use std::process::ExitCode;
 use vax780_core::sweep::{Sweep, SweepAxis, SweepGrid};
-use vax780_core::{Checkpoint, CompositeStudy, Experiment};
+use vax780_core::{Checkpoint, CompositeStudy, Experiment, RetryPolicy};
 use vax_analysis::report::StudyReport;
 use vax_analysis::Analysis;
 use vax_cpu::CpuConfig;
@@ -77,6 +91,13 @@ fn main() -> ExitCode {
         Some("lint") => checked(cmd_lint, "lint", &args[1..], LINT_SPEC),
         Some("verify") => checked(cmd_verify, "verify", &args[1..], VERIFY_SPEC),
         Some("bench") => checked(cmd_bench, "bench", &args[1..], BENCH_SPEC),
+        Some("serve") => checked(cmd_serve, "serve", &args[1..], SERVE_SPEC),
+        Some("enqueue") => checked(cmd_enqueue, "enqueue", &args[1..], ENQUEUE_SPEC),
+        Some("status") => checked(cmd_status, "status", &args[1..], STATUS_SPEC),
+        Some("drain") => checked(cmd_drain, "drain", &args[1..], DRAIN_SPEC),
+        // Internal: one job per process, spec on stdin, result blob on
+        // stdout (spawned by `serve --process-workers`).
+        Some("job-worker") => checked(cmd_job_worker, "job-worker", &args[1..], &[]),
         Some("list") => checked(
             |_| {
                 for kind in WorkloadKind::ALL {
@@ -96,15 +117,28 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vax780 <run|sweep|trace|inject|probe|report|disasm|lint|verify|bench|list> [options]\n\
+    "usage: vax780 <run|sweep|serve|enqueue|status|drain|trace|inject|probe|report|disasm|lint|\
+     verify|bench|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
      \x20       --jobs N  --serial  --metrics\n\
      \x20       --checkpoint FILE  --halt-after N\n\
+     \x20       --retry N  --retry-backoff-ms MS\n\
+     serve   --queue FILE  --socket PATH|tcp:ADDR  --jobs N  --capacity N\n\
+     \x20       --retry N  --retry-backoff-ms MS  --timeout-secs S\n\
+     \x20       --process-workers  --metrics\n\
+     enqueue (--queue FILE | --socket PATH)  --spec LINE (repeatable)\n\
+     \x20       (spec: workload=NAME instructions=N warmup=N [seed=N] [tier=T]\n\
+     \x20        [decode-overlap=1] [cache-kb=N] [cache-ways=N] [tb-entries=N]\n\
+     \x20        [write-buffer=N] [faults=A+B fault-seed=N fault-count=N fault-window=N])\n\
+     status  (--queue FILE | --socket PATH)\n\
+     drain   (--queue FILE  --jobs N  --retry N  --retry-backoff-ms MS\n\
+     \x20        --timeout-secs S  --process-workers | --socket PATH)  --out FILE\n\
      sweep   --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --axis cache-size|cache-ways|tb-entries|tb-split|write-buffer|decode-overlap\n\
      \x20       --jobs N  --serial  --csv FILE  --jsonl FILE  --metrics\n\
+     \x20       --retry N  --retry-backoff-ms MS\n\
      trace   --workload NAME  --instructions N  --warmup N\n\
      \x20       --trace-out FILE  --trace-format jsonl|chrome\n\
      \x20       --trace-limit N  --metrics\n\
@@ -139,6 +173,8 @@ const RUN_SPEC: Spec = &[
     ("--metrics", false),
     ("--checkpoint", true),
     ("--halt-after", true),
+    ("--retry", true),
+    ("--retry-backoff-ms", true),
 ];
 const SWEEP_SPEC: Spec = &[
     ("--workload", true),
@@ -150,6 +186,33 @@ const SWEEP_SPEC: Spec = &[
     ("--csv", true),
     ("--jsonl", true),
     ("--metrics", false),
+    ("--retry", true),
+    ("--retry-backoff-ms", true),
+];
+const SERVE_SPEC: Spec = &[
+    ("--queue", true),
+    ("--socket", true),
+    ("--jobs", true),
+    ("--serial", false),
+    ("--capacity", true),
+    ("--retry", true),
+    ("--retry-backoff-ms", true),
+    ("--timeout-secs", true),
+    ("--process-workers", false),
+    ("--metrics", false),
+];
+const ENQUEUE_SPEC: Spec = &[("--queue", true), ("--socket", true), ("--spec", true)];
+const STATUS_SPEC: Spec = &[("--queue", true), ("--socket", true)];
+const DRAIN_SPEC: Spec = &[
+    ("--queue", true),
+    ("--socket", true),
+    ("--jobs", true),
+    ("--serial", false),
+    ("--retry", true),
+    ("--retry-backoff-ms", true),
+    ("--timeout-secs", true),
+    ("--process-workers", false),
+    ("--out", true),
 ];
 const TRACE_SPEC: Spec = &[
     ("--workload", true),
@@ -291,6 +354,38 @@ fn jobs_arg(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
+/// Retry policy from `--retry`/`--retry-backoff-ms` (`None` = library
+/// default). `--retry N` means N retries *after* the first attempt.
+/// Non-numeric values are an error naming the flag.
+fn retry_arg(args: &[String]) -> Result<Option<RetryPolicy>, String> {
+    let retries = match opt(args, "--retry") {
+        None => None,
+        Some(s) => match s.parse::<u32>() {
+            Ok(n) => Some(n),
+            Err(_) => return Err(format!("--retry wants a non-negative integer, got '{s}'")),
+        },
+    };
+    let backoff_ms = match opt(args, "--retry-backoff-ms") {
+        None => None,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return Err(format!(
+                    "--retry-backoff-ms wants a non-negative integer of milliseconds, got '{s}'"
+                ))
+            }
+        },
+    };
+    if retries.is_none() && backoff_ms.is_none() {
+        return Ok(None);
+    }
+    let default = RetryPolicy::default();
+    Ok(Some(RetryPolicy::from_retries(
+        retries.unwrap_or(default.max_attempts.saturating_sub(1)),
+        backoff_ms.unwrap_or(default.backoff.as_millis() as u64),
+    )))
+}
+
 fn parse_kind(name: &str) -> Option<WorkloadKind> {
     WorkloadKind::ALL.into_iter().find(|k| k.name() == name)
 }
@@ -318,6 +413,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let workload = opt(args, "--workload").unwrap_or("all");
     let jobs = match jobs_arg(args) {
         Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retry = match retry_arg(args) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -354,6 +456,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
             .cpu_config(cpu_config);
         if let Some(n) = jobs {
             study = study.max_workers(n);
+        }
+        if let Some(policy) = retry {
+            study = study.retry(policy);
         }
         let outcome = match checkpoint_path {
             Some(path) => {
@@ -452,6 +557,13 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let retry = match retry_arg(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let kinds: Vec<WorkloadKind> = if workload == "all" {
         WorkloadKind::ALL.to_vec()
@@ -492,6 +604,9 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
     if let Some(n) = jobs {
         sweep = sweep.max_workers(n);
     }
+    if let Some(policy) = retry {
+        sweep = sweep.retry(policy);
+    }
     let outcome = sweep.run();
 
     println!("=== configuration sweep ===");
@@ -516,6 +631,381 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         println!("{}", outcome.metrics);
     }
     ExitCode::SUCCESS
+}
+
+/// Parse the worker-pool options shared by `serve` and offline
+/// `drain` — queue path, workers, capacity, retry, per-attempt
+/// timeout — and pick the executor: in-process threads by default,
+/// one `vax780 job-worker` OS process per attempt with
+/// `--process-workers`.
+fn pool_setup(
+    args: &[String],
+) -> Result<
+    (
+        vax_serve::ServeConfig,
+        std::sync::Arc<dyn vax_serve::Executor>,
+    ),
+    String,
+> {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use vax_serve::{InProcessExecutor, ProcessExecutor, ServeConfig};
+
+    let jobs = jobs_arg(args)?;
+    let retry = retry_arg(args)?;
+    let capacity = match opt(args, "--capacity") {
+        None => None,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => return Err(format!("--capacity wants a positive integer, got '{s}'")),
+        },
+    };
+    let timeout = match opt(args, "--timeout-secs") {
+        None => None,
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Some(Duration::from_secs(n)),
+            _ => {
+                return Err(format!(
+                    "--timeout-secs wants a positive integer of seconds, got '{s}'"
+                ))
+            }
+        },
+    };
+    let default = ServeConfig::default();
+    let config = ServeConfig {
+        journal: opt(args, "--queue").unwrap_or("queue.journal").into(),
+        workers: jobs.unwrap_or(default.workers),
+        capacity: capacity.unwrap_or(default.capacity),
+        retry: retry.unwrap_or(default.retry),
+        timeout,
+        drain_on_start: false,
+    };
+    let executor: Arc<dyn vax_serve::Executor> = if flag(args, "--process-workers") {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot locate the vax780 binary for --process-workers: {e}"))?;
+        Arc::new(ProcessExecutor { exe })
+    } else {
+        Arc::new(InProcessExecutor)
+    };
+    Ok((config, executor))
+}
+
+/// Long-running campaign server: replay the queue journal, listen on
+/// `--socket`, shard jobs across the worker pool, and keep every
+/// state transition durable. Exits when a client sends `drain` or
+/// `shutdown`; nonzero if any job settled as failed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use vax_serve::{run_server, Endpoint};
+
+    let (config, executor) = match pool_setup(args) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(socket) = opt(args, "--socket") else {
+        eprintln!("serve wants --socket PATH|tcp:ADDR (offline settling is `drain --queue FILE`)");
+        return ExitCode::FAILURE;
+    };
+    let endpoint = Endpoint::parse(socket);
+    eprintln!(
+        "vax780 serve: queue {} on {endpoint} ({} worker(s), capacity {})",
+        config.journal.display(),
+        config.workers,
+        config.capacity
+    );
+    match run_server(&config, Some(&endpoint), executor) {
+        Ok(report) => {
+            println!("settled: {} done, {} failed", report.done, report.failed);
+            if flag(args, "--metrics") {
+                println!("\n=== serve self-metrics ===");
+                println!("{}", report.metrics);
+            }
+            if report.failed > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("vax780 serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Append jobs to a queue: over `--socket` through a live server's
+/// backpressure, or directly into a `--queue` journal while no server
+/// owns it. Every spec is parsed and validated before the first one
+/// is enqueued, so a typo admits nothing.
+fn cmd_enqueue(args: &[String]) -> ExitCode {
+    use std::time::Duration;
+    use vax_serve::{Client, Endpoint, JobSpec, Journal};
+
+    let lines = opt_all(args, "--spec");
+    if lines.is_empty() {
+        eprintln!("enqueue wants at least one --spec LINE (see `vax780` usage for the grammar)");
+        return ExitCode::FAILURE;
+    }
+    let mut specs = Vec::new();
+    for line in &lines {
+        match JobSpec::parse(line).and_then(|s| s.validate().map(|()| s)) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("bad --spec '{line}': {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match (opt(args, "--queue"), opt(args, "--socket")) {
+        (Some(_), Some(_)) => {
+            eprintln!("enqueue wants exactly one of --queue or --socket, not both");
+            ExitCode::FAILURE
+        }
+        (None, None) => {
+            eprintln!("enqueue wants --queue FILE or --socket PATH|tcp:ADDR");
+            ExitCode::FAILURE
+        }
+        (Some(queue), None) => {
+            let mut journal = match Journal::open(std::path::Path::new(queue)) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for w in journal.warnings() {
+                eprintln!("vax780 enqueue: queue journal {queue}: {w}");
+            }
+            for spec in &specs {
+                match journal.append_enqueue(spec) {
+                    Ok(id) => println!("enqueued {id}"),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        (None, Some(socket)) => {
+            let client = Client::new(Endpoint::parse(socket), Duration::from_secs(5));
+            for spec in &specs {
+                let line = spec.render();
+                match client.request_line(&format!("enqueue {line}")) {
+                    Ok(reply) => match reply.strip_prefix("ok ") {
+                        Some(id) => println!("enqueued {id}"),
+                        None => {
+                            eprintln!("server rejected '{line}': {reply}");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("enqueue over {socket}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Show the queue: per-job state plus done/failed counts, either from
+/// a live server (`--socket`) or straight from a journal (`--queue`).
+fn cmd_status(args: &[String]) -> ExitCode {
+    use std::time::Duration;
+    use vax_serve::{Client, Endpoint, JobOutcome, Journal};
+
+    match (opt(args, "--queue"), opt(args, "--socket")) {
+        (Some(_), Some(_)) => {
+            eprintln!("status wants exactly one of --queue or --socket, not both");
+            ExitCode::FAILURE
+        }
+        (None, None) => {
+            eprintln!("status wants --queue FILE or --socket PATH|tcp:ADDR");
+            ExitCode::FAILURE
+        }
+        (None, Some(socket)) => {
+            let client = Client::new(Endpoint::parse(socket), Duration::from_secs(5));
+            match client.request_stream("status", &mut std::io::stdout()) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("status over {socket}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        (Some(queue), None) => {
+            let journal = match Journal::open(std::path::Path::new(queue)) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for w in journal.warnings() {
+                eprintln!("vax780 status: queue journal {queue}: {w}");
+            }
+            // Written through the io layer, not println!: a consumer
+            // like `status | head` closing the pipe early is a clean
+            // stop, not a panic.
+            use std::io::Write;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let (pending, done, failed) = journal.counts();
+            let mut write_jobs = || -> std::io::Result<()> {
+                writeln!(
+                    out,
+                    "queue {queue}: pending {pending} done {done} failed {failed}"
+                )?;
+                for job in journal.jobs() {
+                    let state = match &job.outcome {
+                        Some(JobOutcome::Done(_)) => "done",
+                        Some(JobOutcome::Failed { .. }) => "failed",
+                        None => "pending",
+                    };
+                    writeln!(out, "job {} {state} {}", job.id, job.spec.render())?;
+                }
+                Ok(())
+            };
+            match write_jobs() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("status: writing to stdout: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+/// Settle every job and collect the merged result JSONL (id order,
+/// bit-deterministic). `--socket` asks a live server to finish and
+/// exit; `--queue` runs an offline pool over the journal — the resume
+/// path after a crash. Nonzero if any job settled as failed.
+fn cmd_drain(args: &[String]) -> ExitCode {
+    use std::time::Duration;
+    use vax_serve::{run_server, Client, Endpoint};
+
+    // Pool flags are validated up front even in `--socket` mode, where
+    // the live server's own pool settings apply and these are unused.
+    for check in [retry_arg(args).map(|_| ()), jobs_arg(args).map(|_| ())] {
+        if let Err(e) = check {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let emit = |results: &[String]| -> Result<(), String> {
+        let text: String = results.iter().map(|l| format!("{l}\n")).collect();
+        match opt(args, "--out") {
+            Some(path) => std::fs::write(path, text)
+                .map_err(|e| format!("failed to write results to {path}: {e}")),
+            None => {
+                print!("{text}");
+                Ok(())
+            }
+        }
+    };
+    match (opt(args, "--queue"), opt(args, "--socket")) {
+        (Some(_), Some(_)) => {
+            eprintln!("drain wants exactly one of --queue or --socket, not both");
+            ExitCode::FAILURE
+        }
+        (None, None) => {
+            eprintln!("drain wants --queue FILE or --socket PATH|tcp:ADDR");
+            ExitCode::FAILURE
+        }
+        (None, Some(socket)) => {
+            let client = Client::new(Endpoint::parse(socket), Duration::from_secs(5));
+            let mut buf = Vec::new();
+            let streamed = match client.request_stream("drain", &mut buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("drain over {socket}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let text = String::from_utf8_lossy(&buf);
+            let results: Vec<String> = text.lines().map(str::to_string).collect();
+            if let Err(e) = emit(&results) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            let failed = results
+                .iter()
+                .filter(|l| l.contains("\"failed\":true"))
+                .count();
+            eprintln!("drained {streamed} result(s), {failed} failed");
+            if failed > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        (Some(_), None) => {
+            let (mut config, executor) = match pool_setup(args) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            config.drain_on_start = true;
+            match run_server(&config, None, executor) {
+                Ok(report) => {
+                    if let Err(e) = emit(&report.results) {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("settled: {} done, {} failed", report.done, report.failed);
+                    if report.failed > 0 {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("vax780 drain: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+/// Internal executor child for `serve --process-workers`: one job
+/// spec on stdin, one `vax-job-result v1` blob on stdout. A panic or
+/// nonzero exit here is one failed *attempt* in the parent, never a
+/// lost queue.
+fn cmd_job_worker(_args: &[String]) -> ExitCode {
+    use std::io::Read;
+    use vax_serve::{Executor, InProcessExecutor, JobSpec};
+
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("job-worker: reading spec from stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let spec = match JobSpec::parse(input.trim()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("job-worker: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match InProcessExecutor.run(&spec, None) {
+        Ok(m) => {
+            print!("{}", vax_serve::queue::render_result_blob(&m));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("job-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Run one workload with both instruments attached from boot — the µPC

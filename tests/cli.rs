@@ -221,6 +221,67 @@ fn rejects_unknown_flags_naming_the_flag() {
 }
 
 #[test]
+fn retry_flags_reject_non_numeric_values_naming_the_flag() {
+    for sub in ["run", "sweep", "serve", "drain"] {
+        let out = vax780()
+            .args([sub, "--retry", "three"])
+            .output()
+            .expect("runs");
+        assert!(!out.status.success(), "{sub} --retry three should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--retry"),
+            "{sub}: stderr must name the flag:\n{err}"
+        );
+        assert!(
+            err.contains("'three'"),
+            "{sub}: stderr must echo the value:\n{err}"
+        );
+
+        let out = vax780()
+            .args([sub, "--retry-backoff-ms", "-5"])
+            .output()
+            .expect("runs");
+        assert!(
+            !out.status.success(),
+            "{sub} --retry-backoff-ms -5 should fail"
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--retry-backoff-ms"),
+            "{sub}: stderr must name the flag:\n{err}"
+        );
+        assert!(
+            err.contains("'-5'"),
+            "{sub}: stderr must echo the value:\n{err}"
+        );
+    }
+
+    // Valid values are accepted end to end.
+    let out = vax780()
+        .args([
+            "run",
+            "--workload",
+            "timesharing-light",
+            "--instructions",
+            "2000",
+            "--warmup",
+            "500",
+            "--retry",
+            "2",
+            "--retry-backoff-ms",
+            "1",
+        ])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn inject_campaign_reconciles_and_reports_sensitivity() {
     let out = vax780()
         .args([
