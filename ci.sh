@@ -77,6 +77,48 @@ test "$SETTLED" -lt 5
 diff "$CKPT_DIR/reference.jsonl" "$CKPT_DIR/merged.jsonl"
 test "$(wc -l < "$CKPT_DIR/merged.jsonl")" -eq 5
 
+# Compaction gate: fold settled records into the v2 snapshot segment
+# mid-campaign (over the socket, with auto-compaction armed), kill -9
+# the server, compact the crash survivor again offline, and resume —
+# the merged results must still match the reference bit for bit.
+"$VAX780" serve --queue "$CKPT_DIR/compact.journal" \
+    --socket "$CKPT_DIR/csock" --jobs 2 --compact-every 2 &
+SERVE_PID=$!
+echo "$SERVE_SPECS" | while IFS= read -r spec; do
+    "$VAX780" enqueue --socket "$CKPT_DIR/csock" --spec "$spec"
+done
+while ! grep -q '^complete ' "$CKPT_DIR/compact.journal" 2>/dev/null; do
+    sleep 0.05
+done
+"$VAX780" compact --socket "$CKPT_DIR/csock"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" || true
+# The snapshot segment exists and carries the v2 header.
+test -s "$CKPT_DIR/compact.journal.snap"
+grep -q '^vax-queue-snapshot v2 ' "$CKPT_DIR/compact.journal.snap"
+# Offline compaction of the crash survivor must be safe too.
+"$VAX780" compact --queue "$CKPT_DIR/compact.journal"
+"$VAX780" drain --queue "$CKPT_DIR/compact.journal" --jobs 2 \
+    --out "$CKPT_DIR/compacted.jsonl"
+diff "$CKPT_DIR/reference.jsonl" "$CKPT_DIR/compacted.jsonl"
+
+# Remote-worker gate: a server with zero local workers on TCP, one
+# `vax780 worker` process settling the queue over the claim protocol.
+# The streamed results — digests included — must be byte-identical to
+# the in-process reference.
+"$VAX780" serve --queue "$CKPT_DIR/remote.journal" \
+    --socket tcp:127.0.0.1:17780 --jobs 0 &
+SERVE_PID=$!
+echo "$SERVE_SPECS" | while IFS= read -r spec; do
+    "$VAX780" enqueue --socket tcp:127.0.0.1:17780 --spec "$spec"
+done
+"$VAX780" worker --connect tcp:127.0.0.1:17780 &
+WORKER_PID=$!
+"$VAX780" drain --socket tcp:127.0.0.1:17780 --out "$CKPT_DIR/remote.jsonl"
+wait "$SERVE_PID"
+wait "$WORKER_PID"
+diff "$CKPT_DIR/reference.jsonl" "$CKPT_DIR/remote.jsonl"
+
 # Self-characterization gate: the full probe campaign — every opcode x
 # addressing-mode pair the five profiles execute, plus the per-mode
 # reference carriers — must measure, reconcile all three instruments

@@ -9,13 +9,16 @@
 //!   config × fault plan × seed) on one strict `key=value` line;
 //! - [`journal::Journal`] — the persistent queue: every lifecycle
 //!   transition (`enqueue`/`start`/`complete`/`fail`) is one appended,
-//!   flushed record in the `vax-queue-journal v1` codec, with the same
-//!   torn-tail recovery as the campaign checkpoint;
+//!   flushed record in the `vax-queue-journal v2` codec; settled jobs
+//!   compact into a snapshot segment behind an offset index, so replay
+//!   and result streaming are O(unsettled) in memory and the live tail
+//!   stays small no matter how long the queue's history grows;
 //! - [`queue`] — executors: in-process threads or `job-worker` OS
 //!   processes, with per-attempt timeouts;
 //! - [`wire`] — the line protocol (Unix socket or TCP) and client;
 //! - [`server`] — the worker pool with bounded-capacity backpressure,
-//!   bounded retry with deterministic backoff, and `drain` streaming.
+//!   per-client quotas, bounded retry with deterministic backoff,
+//!   `drain` streaming, and remote `claim` workers over TCP.
 //!
 //! The durability contract, end to end: `kill -9` the server at any
 //! instant, restart it on the same journal, and the merged results are
@@ -32,7 +35,7 @@ pub mod server;
 pub mod spec;
 pub mod wire;
 
-pub use journal::{JobId, JobOutcome, JobRecord, Journal, JournalError};
+pub use journal::{valid_client_name, JobId, JobState, Journal, JournalError};
 pub use queue::{Executor, InProcessExecutor, ProcessExecutor};
 pub use server::{run_server, ServeConfig, ServeError, ServerReport};
 pub use spec::{JobSpec, Tier};

@@ -201,15 +201,24 @@ impl Executor for ProcessExecutor {
                 Ok(None) => {
                     if let Some(deadline) = deadline {
                         if Instant::now() >= deadline {
-                            let _ = child.kill();
-                            let _ = child.wait();
-                            return Err(ExecError::Timeout(timeout.unwrap_or_default()));
+                            // The child may exit cleanly between the
+                            // deadline check and the kill landing. The
+                            // reaped status is the truth: a success
+                            // here means a complete result blob is
+                            // already in the stdout pipe, so honour it
+                            // instead of discarding a finished job as
+                            // a timeout.
+                            match kill_and_reap(&mut child) {
+                                Some(status) if status.success() => break status,
+                                _ => return Err(ExecError::Timeout(timeout.unwrap_or_default())),
+                            }
                         }
                     }
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(e) => {
                     let _ = child.kill();
+                    let _ = child.wait();
                     return Err(ExecError::Failed(format!("wait: {e}")));
                 }
             }
@@ -233,6 +242,15 @@ impl ProcessExecutor {
     fn spec_name(&self, spec: &JobSpec) -> &'static str {
         spec.workload.name()
     }
+}
+
+/// Kill a child and reap its true exit status. Returns `None` only if
+/// the wait itself fails. A child that exited on its own before the
+/// kill landed reports its real (possibly successful) status — the
+/// caller decides whether that beats the timeout.
+fn kill_and_reap(child: &mut std::process::Child) -> Option<std::process::ExitStatus> {
+    let _ = child.kill();
+    child.wait().ok()
 }
 
 #[cfg(test)]
@@ -264,6 +282,31 @@ mod tests {
         ] {
             assert!(parse_result_blob(bad, "x").is_err(), "{bad:?}");
         }
+    }
+
+    /// Bug-sweep pin: `ProcessExecutor`'s deadline check races the
+    /// child's own exit. `kill_and_reap` must report the child's true
+    /// status — for an already-exited child the kill is a no-op and
+    /// the successful status (with the result blob already in the
+    /// pipe) wins over the timeout verdict.
+    #[test]
+    fn kill_and_reap_reports_a_clean_exit_that_beat_the_kill() {
+        let mut child = std::process::Command::new("true")
+            .spawn()
+            .expect("spawn true");
+        // Let the child finish (unreaped) before the kill is sent: the
+        // SIGKILL lands on a zombie and changes nothing.
+        std::thread::sleep(Duration::from_millis(50));
+        let status = kill_and_reap(&mut child).expect("reap");
+        assert!(status.success(), "{status}");
+        // And a child that was genuinely still running reports the
+        // kill, not success.
+        let mut child = std::process::Command::new("sleep")
+            .arg("30")
+            .spawn()
+            .expect("spawn sleep");
+        let status = kill_and_reap(&mut child).expect("reap");
+        assert!(!status.success(), "{status}");
     }
 
     #[test]

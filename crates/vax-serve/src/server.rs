@@ -5,19 +5,26 @@
 //! `start`/`complete`/`fail` transitions (each flushed before the
 //! in-memory state advances), and run attempts outside the lock.
 //! Connection handlers mutate the same state: `enqueue` applies
-//! backpressure against a fixed capacity of unsettled jobs, `drain`
+//! backpressure against a fixed capacity of unsettled jobs (plus an
+//! optional per-client quota), `claim` hands a job to a remote worker
+//! and records its returned `vax-job-result v1` blob, and `drain`
 //! streams every result in id order as it settles and then stops the
 //! server. Because every transition is journaled first, a `kill -9`
 //! at any instant loses nothing: the next `serve` replays the journal
 //! and re-runs exactly the unsettled jobs.
+//!
+//! Results are never held in memory: `results`/`drain` stream each
+//! line straight from the journal's offset index, and every
+//! `compact_every` settlements the journal folds its settled tail into
+//! the snapshot segment so the live file stays O(unsettled).
 
-use crate::journal::{JobId, JobOutcome, Journal, JournalError};
-use crate::queue::Executor;
+use crate::journal::{valid_client_name, JobId, JobState, Journal, JournalError};
+use crate::queue::{parse_result_blob, Executor};
 use crate::spec::JobSpec;
 use crate::wire::{Conn, Endpoint};
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -29,11 +36,20 @@ use vax_trace::SelfMetrics;
 pub struct ServeConfig {
     /// The queue journal path.
     pub journal: PathBuf,
-    /// Worker threads (each runs one job attempt at a time).
+    /// Worker threads (each runs one job attempt at a time). `0` is
+    /// allowed when listening: all execution then comes from remote
+    /// `claim` workers.
     pub workers: usize,
     /// Maximum unsettled (queued + running) jobs before `enqueue`
     /// requests are rejected with a reason.
     pub capacity: usize,
+    /// Maximum unsettled jobs per client identity (the `client=` token
+    /// on `enqueue`), layered under the global capacity. `None` = no
+    /// per-client bound.
+    pub client_quota: Option<usize>,
+    /// Compact the journal after this many settlements land in the
+    /// tail segment (0 = never compact automatically).
+    pub compact_every: usize,
     /// Retry policy for failing jobs.
     pub retry: RetryPolicy,
     /// Per-attempt deadline (None = unbounded).
@@ -49,6 +65,8 @@ impl Default for ServeConfig {
             journal: PathBuf::from("queue.journal"),
             workers: 2,
             capacity: 256,
+            client_quota: None,
+            compact_every: 10_000,
             retry: RetryPolicy::default(),
             timeout: None,
             drain_on_start: false,
@@ -94,15 +112,16 @@ impl From<JournalError> for ServeError {
     }
 }
 
-/// What a finished server run settled.
+/// What a finished server run settled. Result lines are not collected
+/// here — they stream from the journal on request, so a million-job
+/// campaign's report stays a few words. Reopen the journal and
+/// [`Journal::stream_results`] to render them.
 #[derive(Debug)]
 pub struct ServerReport {
     /// Jobs with a `complete` record.
     pub done: usize,
     /// Jobs with a `fail` record.
     pub failed: usize,
-    /// Deterministic JSON result lines for every settled job, id order.
-    pub results: Vec<String>,
     /// Per-worker self-metrics.
     pub metrics: CampaignMetrics,
 }
@@ -121,6 +140,8 @@ struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     capacity: usize,
+    client_quota: Option<usize>,
+    compact_every: usize,
     retry: RetryPolicy,
     timeout: Option<Duration>,
     started: Instant,
@@ -137,6 +158,17 @@ impl Shared {
         st.fatal.get_or_insert(msg);
         st.shutdown = true;
         self.cv.notify_all();
+    }
+
+    /// Fold the settled tail into the snapshot once it is heavy enough.
+    /// Best-effort: a failed compaction leaves the journal exactly as
+    /// it was (write-new-then-rename), so the server keeps running.
+    fn maybe_compact(&self, st: &mut State) {
+        if self.compact_every > 0 && st.journal.settled_in_tail() >= self.compact_every {
+            if let Err(e) = st.journal.compact() {
+                eprintln!("vax780 serve: compaction failed (continuing uncompacted): {e}");
+            }
+        }
     }
 }
 
@@ -162,7 +194,13 @@ pub fn run_server(
         );
     }
     let queue: VecDeque<JobId> = journal.pending().into();
-    let workers = config.workers.max(1);
+    // Zero local workers is meaningful only when remote workers can
+    // claim over a socket; an offline drain with no workers would hang.
+    let workers = if config.workers == 0 && endpoint.is_some() && !config.drain_on_start {
+        0
+    } else {
+        config.workers.max(1)
+    };
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             journal,
@@ -175,6 +213,8 @@ pub fn run_server(
         }),
         cv: Condvar::new(),
         capacity: config.capacity.max(1),
+        client_quota: config.client_quota,
+        compact_every: config.compact_every,
         retry: config.retry,
         timeout: config.timeout,
         started: Instant::now(),
@@ -250,7 +290,6 @@ pub fn run_server(
     Ok(ServerReport {
         done,
         failed,
-        results: st.journal.jobs().filter_map(|j| j.result_json()).collect(),
         metrics: CampaignMetrics {
             workers: st.worker_metrics.clone(),
             wall: shared.started.elapsed(),
@@ -273,7 +312,7 @@ fn worker_loop(shared: &Shared, executor: &dyn Executor, index: usize) {
                 }
                 if let Some(id) = st.queue.pop_front() {
                     let Some((spec, starts)) =
-                        st.journal.get(id).map(|j| (j.spec.clone(), j.starts))
+                        st.journal.pending_job(id).map(|(s, k)| (s.clone(), k))
                     else {
                         continue;
                     };
@@ -311,12 +350,26 @@ fn worker_loop(shared: &Shared, executor: &dyn Executor, index: usize) {
                     }
                     st.running.remove(&id);
                     st.worker_metrics[index] = metrics.clone();
+                    shared.maybe_compact(&mut st);
                     shared.cv.notify_all();
                     break;
                 }
                 Err(e) => {
                     metrics.end_phase(cum_cycles, cum_instructions);
                     if attempt < max_attempts {
+                        // Shutdown may have arrived while the attempt
+                        // ran: abandon the claim instead of sleeping
+                        // through the backoff. No `fail` record is
+                        // written — the journal still holds the job
+                        // pending, so a restart re-runs it.
+                        {
+                            let mut st = shared.lock();
+                            if st.shutdown {
+                                st.running.remove(&id);
+                                st.worker_metrics[index] = metrics;
+                                return;
+                            }
+                        }
                         // Deterministic linear backoff, as in the
                         // checkpointed campaign's quarantine path.
                         std::thread::sleep(shared.retry.backoff * attempt);
@@ -331,6 +384,7 @@ fn worker_loop(shared: &Shared, executor: &dyn Executor, index: usize) {
                     }
                     st.running.remove(&id);
                     st.worker_metrics[index] = metrics.clone();
+                    shared.maybe_compact(&mut st);
                     shared.cv.notify_all();
                     break;
                 }
@@ -361,6 +415,21 @@ fn handle_conn(shared: &Shared, conn: Conn) {
         "results" => handle_results(shared, &mut writer),
         "metrics" => handle_metrics(shared, &mut writer),
         "drain" => handle_drain(shared, &mut writer),
+        "claim" => handle_claim(shared, &mut reader, &mut writer),
+        "compact" => {
+            let reply = {
+                let mut st = shared.lock();
+                let before = st.journal.settled_in_tail();
+                match st.journal.compact() {
+                    Ok(()) => format!(
+                        "ok compacted {before} settled record(s) into generation {}",
+                        st.journal.generation()
+                    ),
+                    Err(e) => format!("reject {e}"),
+                }
+            };
+            writeln!(writer, "{reply}")
+        }
         "shutdown" => {
             let mut st = shared.lock();
             st.shutdown = true;
@@ -371,15 +440,30 @@ fn handle_conn(shared: &Shared, conn: Conn) {
         _ => writeln!(
             writer,
             "reject unknown request {verb:?} (expected enqueue, status, results, metrics, \
-             drain, or shutdown)"
+             drain, claim, compact, or shutdown)"
         ),
     };
     let _ = writer.flush();
 }
 
 /// Enqueue with backpressure: parse strictly, validate, and admit only
-/// while the unsettled count is below capacity.
-fn handle_enqueue(shared: &Shared, spec_line: &str) -> String {
+/// while the unsettled count is below capacity — and, when a
+/// per-client quota is configured, below the quota for the `client=`
+/// identity leading the spec line.
+fn handle_enqueue(shared: &Shared, request: &str) -> String {
+    let (client, spec_line) = match request.split_once(' ') {
+        Some((first, rest)) if first.starts_with("client=") => {
+            let name = &first["client=".len()..];
+            if !valid_client_name(name) {
+                return format!(
+                    "reject bad client name `{name}` (one token of [A-Za-z0-9._@-], at most \
+                     64 bytes)"
+                );
+            }
+            (name, rest.trim())
+        }
+        _ => ("", request),
+    };
     let spec = match JobSpec::parse(spec_line) {
         Ok(spec) => spec,
         Err(e) => return format!("reject bad spec: {e}"),
@@ -399,7 +483,21 @@ fn handle_enqueue(shared: &Shared, spec_line: &str) -> String {
             shared.capacity
         );
     }
-    match st.journal.append_enqueue(&spec) {
+    if let Some(quota) = shared.client_quota {
+        let held = st.journal.unsettled_for(client);
+        if held >= quota {
+            let who = if client.is_empty() {
+                "anonymous client".to_string()
+            } else {
+                format!("client {client}")
+            };
+            return format!(
+                "reject quota exceeded: {who} holds {held} unsettled job(s) at quota \
+                 {quota}; retry after some settle"
+            );
+        }
+    }
+    match st.journal.append_enqueue_for(client, &spec) {
         Ok(id) => {
             st.queue.push_back(id);
             shared.cv.notify_all();
@@ -420,23 +518,26 @@ fn handle_status(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()>
         st.running.len(),
         u8::from(st.draining),
     )?;
-    for job in st.journal.jobs() {
-        let state = match (&job.outcome, st.running.contains(&job.id)) {
-            (Some(JobOutcome::Done(_)), _) => "done",
-            (Some(JobOutcome::Failed { .. }), _) => "failed",
-            (None, true) => "running",
-            (None, false) => "pending",
+    for (id, state) in st.journal.states() {
+        let name = match state {
+            JobState::Pending if st.running.contains(&id) => "running",
+            state => state.name(),
         };
-        writeln!(writer, "job {} {state} {}", job.id, job.spec.render())?;
+        let spec = st
+            .journal
+            .spec_line(id)
+            .map_err(|e| std::io::Error::other(e.to_string()))?
+            .unwrap_or_default();
+        writeln!(writer, "job {id} {name} {spec}")?;
     }
     writeln!(writer, "end")
 }
 
 fn handle_results(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> {
     let st = shared.lock();
-    for line in st.journal.jobs().filter_map(|j| j.result_json()) {
-        writeln!(writer, "{line}")?;
-    }
+    st.journal
+        .stream_results(writer)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
     writeln!(writer, "end")
 }
 
@@ -462,22 +563,34 @@ fn handle_metrics(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()
 
 /// Stream every job's result in id order as it settles, then stop the
 /// server. New enqueues are rejected from the moment draining starts,
-/// so the id snapshot taken here is complete.
+/// so the id range snapshotted here is complete. Each line is read
+/// back from the journal's offset index one at a time — the drain
+/// never holds more than one result in memory.
 fn handle_drain(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> {
-    let ids: Vec<JobId> = {
+    let last = {
         let mut st = shared.lock();
         st.draining = true;
         shared.cv.notify_all();
-        st.journal.jobs().map(|j| j.id).collect()
+        st.journal.last_id()
     };
-    for id in ids {
+    'ids: for id in 1..=last {
         let line = {
             let mut st = shared.lock();
             loop {
-                match st.journal.get(id).and_then(|j| j.result_json()) {
-                    Some(line) => break Some(line),
-                    None if st.shutdown => break None,
-                    None => st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                match st.journal.state(id) {
+                    // Ids can have gaps only if the journal predates
+                    // this server; skip silently.
+                    None => continue 'ids,
+                    Some(JobState::Pending) if st.shutdown => break None,
+                    Some(JobState::Pending) => {
+                        st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    Some(_) => {
+                        break st
+                            .journal
+                            .result_line(id)
+                            .map_err(|e| std::io::Error::other(e.to_string()))?
+                    }
                 }
             }
         };
@@ -498,10 +611,148 @@ fn handle_drain(shared: &Shared, writer: &mut dyn Write) -> std::io::Result<()> 
     Ok(())
 }
 
+/// Hand one job to a remote worker and record what it sends back.
+///
+/// The connection stays open for the duration of the attempt: the
+/// server replies `job <id> <spec>` and then reads either
+/// `result <id>` followed by a `vax-job-result v1` blob, or
+/// `fail <id> <message>`. A dropped connection, a read timeout (the
+/// per-attempt deadline applied to the socket), or an unparseable blob
+/// all count as one failed, *retryable* attempt — the job returns to
+/// the queue until the retry policy exhausts, exactly as if a local
+/// worker's attempt had failed.
+fn handle_claim(
+    shared: &Shared,
+    reader: &mut BufReader<Conn>,
+    writer: &mut Conn,
+) -> std::io::Result<()> {
+    let max_attempts = shared.retry.max_attempts.max(1);
+    let (id, spec, attempt) = {
+        let mut st = shared.lock();
+        if st.shutdown {
+            return writeln!(writer, "gone");
+        }
+        let Some(id) = st.queue.pop_front() else {
+            // `drain` only finishes once running jobs settle, so tell a
+            // draining server's workers to leave rather than idle.
+            return if st.draining {
+                writeln!(writer, "gone")
+            } else {
+                writeln!(writer, "idle")
+            };
+        };
+        let Some((spec, starts)) = st.journal.pending_job(id).map(|(s, k)| (s.clone(), k)) else {
+            return writeln!(writer, "idle");
+        };
+        let attempt = starts + 1;
+        if let Err(e) = st.journal.append_start(id, attempt) {
+            st.queue.push_front(id);
+            shared.fail_fatal(&mut st, e.to_string());
+            return writeln!(writer, "gone");
+        }
+        st.running.insert(id);
+        (id, spec, attempt)
+    };
+    writeln!(writer, "job {id} {}", spec.render())?;
+    writer.flush()?;
+
+    // The attempt runs on the worker's machine; bound how long we hold
+    // the claim by applying the per-attempt deadline to the socket.
+    let _ = reader.get_ref().set_read_timeout(shared.timeout);
+    let outcome = read_claim_outcome(reader, id, &spec);
+    let mut st = shared.lock();
+    match outcome {
+        Ok(ClaimOutcome::Done(m)) => {
+            if let Err(e) = st.journal.append_complete(id, &m) {
+                shared.fail_fatal(&mut st, e.to_string());
+                return Ok(());
+            }
+            st.running.remove(&id);
+            shared.maybe_compact(&mut st);
+            shared.cv.notify_all();
+            drop(st);
+            writeln!(writer, "ok")
+        }
+        Ok(ClaimOutcome::Failed(_)) | Err(_) => {
+            let detail = match &outcome {
+                Ok(ClaimOutcome::Failed(msg)) if msg.is_empty() => {
+                    "worker reported failure".to_string()
+                }
+                Ok(ClaimOutcome::Failed(msg)) => msg.clone(),
+                Err(e) => format!("worker connection lost: {e}"),
+                Ok(ClaimOutcome::Done(_)) => unreachable!(),
+            };
+            st.running.remove(&id);
+            if attempt >= max_attempts {
+                let message = format!("attempt {attempt}/{max_attempts}: {detail}");
+                if let Err(e) = st.journal.append_fail(id, attempt, &message) {
+                    shared.fail_fatal(&mut st, e.to_string());
+                    return Ok(());
+                }
+                shared.maybe_compact(&mut st);
+            } else {
+                // Retryable: back onto the queue for any worker,
+                // local or remote.
+                st.queue.push_back(id);
+            }
+            shared.cv.notify_all();
+            drop(st);
+            writeln!(writer, "ok")
+        }
+    }
+}
+
+/// What a remote worker sent back for one claim.
+enum ClaimOutcome {
+    /// A parsed `vax-job-result v1` blob.
+    Done(vax780_core::MeasuredWorkload),
+    /// A `fail <id> <message>` report.
+    Failed(String),
+}
+
+/// Read the worker's half of a claim; `Err` means connection
+/// loss/timeout/garbage (a retryable attempt, like a local failure).
+fn read_claim_outcome(
+    reader: &mut BufReader<Conn>,
+    id: JobId,
+    spec: &JobSpec,
+) -> std::io::Result<ClaimOutcome> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(bad("connection closed before a result".to_string()));
+    }
+    let head = line.trim();
+    if head == format!("result {id}") {
+        let mut blob = String::new();
+        loop {
+            let mut l = String::new();
+            if reader.read_line(&mut l)? == 0 {
+                return Err(bad("connection closed mid-blob".to_string()));
+            }
+            let done = l.trim_end() == "end";
+            blob.push_str(&l);
+            if done {
+                break;
+            }
+        }
+        let m = parse_result_blob(&blob, spec.workload.name()).map_err(bad)?;
+        Ok(ClaimOutcome::Done(m))
+    } else if let Some(rest) = head
+        .strip_prefix(&format!("fail {id}"))
+        .filter(|r| r.is_empty() || r.starts_with(' '))
+    {
+        Ok(ClaimOutcome::Failed(rest.trim().to_string()))
+    } else {
+        Err(bad(format!("unexpected worker reply `{head}`")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::queue::{ExecError, InProcessExecutor};
+    use std::path::Path;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use vax780_core::MeasuredWorkload;
     use vax_workloads::WorkloadKind;
@@ -521,6 +772,17 @@ mod tests {
         spec
     }
 
+    fn results_of(path: &Path) -> Vec<String> {
+        let j = Journal::open(path).unwrap();
+        let mut out = Vec::new();
+        j.stream_results(&mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
     /// Counts executor invocations per job spec; optionally fails some.
     struct CountingExecutor {
         runs: AtomicUsize,
@@ -538,6 +800,27 @@ mod tests {
                 return Err(ExecError::Failed("synthetic failure".to_string()));
             }
             InProcessExecutor.run(spec, None)
+        }
+    }
+
+    fn test_shared(journal: Journal, capacity: usize, client_quota: Option<usize>) -> Shared {
+        Shared {
+            state: Mutex::new(State {
+                journal,
+                queue: VecDeque::new(),
+                running: BTreeSet::new(),
+                draining: false,
+                shutdown: false,
+                fatal: None,
+                worker_metrics: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            capacity,
+            client_quota,
+            compact_every: 0,
+            retry: RetryPolicy::default(),
+            timeout: None,
+            started: Instant::now(),
         }
     }
 
@@ -562,13 +845,14 @@ mod tests {
         let report = run_server(&config, None, Arc::new(InProcessExecutor)).unwrap();
         assert_eq!(report.done, 3);
         assert_eq!(report.failed, 0);
-        assert_eq!(report.results.len(), 3);
+        let results = results_of(&journal_path);
+        assert_eq!(results.len(), 3);
         // The journal now holds the settled queue.
         let j = Journal::open(&journal_path).unwrap();
         assert_eq!(j.counts(), (0, 3, 0));
         // A second drain replays without re-running anything.
-        let again = run_server(&config, None, Arc::new(InProcessExecutor)).unwrap();
-        assert_eq!(again.results, report.results);
+        run_server(&config, None, Arc::new(InProcessExecutor)).unwrap();
+        assert_eq!(results_of(&journal_path), results);
     }
 
     #[test]
@@ -636,15 +920,14 @@ mod tests {
         // Job 7: 3 attempts; job 8: 1 attempt.
         assert_eq!(executor.runs.load(Ordering::SeqCst), 4);
         let j = Journal::open(&journal_path).unwrap();
-        let failed = j.jobs().find(|job| job.spec.seed == Some(7)).unwrap();
-        assert_eq!(failed.starts, 3);
-        match failed.outcome.as_ref().unwrap() {
-            JobOutcome::Failed { attempts, message } => {
-                assert_eq!(*attempts, 3);
-                assert!(message.contains("synthetic failure"), "{message}");
-            }
-            other => panic!("{other:?}"),
-        }
+        let failed_id = j
+            .states()
+            .find(|&(_, s)| s == JobState::Failed)
+            .map(|(id, _)| id)
+            .unwrap();
+        let line = j.result_line(failed_id).unwrap().unwrap();
+        assert!(line.contains("\"attempts\":3"), "{line}");
+        assert!(line.contains("synthetic failure"), "{line}");
     }
 
     #[test]
@@ -652,22 +935,7 @@ mod tests {
         let dir = tempdir("vax-serve-backpressure");
         let journal_path = dir.join("queue.journal");
         let journal = Journal::open(&journal_path).unwrap();
-        let shared = Shared {
-            state: Mutex::new(State {
-                journal,
-                queue: VecDeque::new(),
-                running: BTreeSet::new(),
-                draining: false,
-                shutdown: false,
-                fatal: None,
-                worker_metrics: Vec::new(),
-            }),
-            cv: Condvar::new(),
-            capacity: 2,
-            retry: RetryPolicy::default(),
-            timeout: None,
-            started: Instant::now(),
-        };
+        let shared = test_shared(journal, 2, None);
         let spec_line = quick_spec(WorkloadKind::Commercial, 1).render();
         assert_eq!(handle_enqueue(&shared, &spec_line), "ok 1");
         assert_eq!(handle_enqueue(&shared, &spec_line), "ok 2");
@@ -681,5 +949,174 @@ mod tests {
         shared.lock().draining = true;
         let reject = handle_enqueue(&shared, &spec_line);
         assert!(reject.contains("draining"), "{reject}");
+    }
+
+    #[test]
+    fn client_quota_rejects_with_a_reason() {
+        let dir = tempdir("vax-serve-quota");
+        let journal_path = dir.join("queue.journal");
+        let journal = Journal::open(&journal_path).unwrap();
+        let shared = test_shared(journal, 100, Some(2));
+        let spec_line = quick_spec(WorkloadKind::Commercial, 1).render();
+        // Alice fills her quota; Bob and anonymous still get in.
+        assert_eq!(
+            handle_enqueue(&shared, &format!("client=alice {spec_line}")),
+            "ok 1"
+        );
+        assert_eq!(
+            handle_enqueue(&shared, &format!("client=alice {spec_line}")),
+            "ok 2"
+        );
+        let reject = handle_enqueue(&shared, &format!("client=alice {spec_line}"));
+        assert!(reject.starts_with("reject quota exceeded"), "{reject}");
+        assert!(reject.contains("client alice"), "{reject}");
+        assert!(reject.contains("quota 2"), "{reject}");
+        assert_eq!(
+            handle_enqueue(&shared, &format!("client=bob {spec_line}")),
+            "ok 3"
+        );
+        assert_eq!(handle_enqueue(&shared, &spec_line), "ok 4");
+        // Settling one of Alice's jobs frees her quota.
+        {
+            let mut st = shared.lock();
+            st.journal.append_start(1, 1).unwrap();
+            st.journal.append_fail(1, 1, "give up").unwrap();
+        }
+        assert_eq!(
+            handle_enqueue(&shared, &format!("client=alice {spec_line}")),
+            "ok 5"
+        );
+        // Bad client names are rejected before the journal sees them.
+        let reject = handle_enqueue(&shared, &format!("client=a b {spec_line}"));
+        assert!(reject.starts_with("reject bad client name") || reject.contains("bad spec"));
+        let reject = handle_enqueue(&shared, &format!("client= {spec_line}"));
+        assert!(reject.starts_with("reject bad client name"), "{reject}");
+    }
+
+    /// Bug-sweep pin: `shutdown` arriving while a worker holds a claim
+    /// must neither hang the server nor write a `fail` record — the
+    /// claim is abandoned and the job replays as pending on restart.
+    #[test]
+    fn shutdown_mid_claim_abandons_without_a_fail_record() {
+        let dir = tempdir("vax-serve-shutdown-claim");
+        let journal_path = dir.join("queue.journal");
+        {
+            let mut j = Journal::open(&journal_path).unwrap();
+            j.append_enqueue(&quick_spec(WorkloadKind::SciEng, 1))
+                .unwrap();
+        }
+        // Always fails, generous retry budget with real backoff: the
+        // worker would sit in backoff sleeps for ~100s if shutdown did
+        // not cut the retry loop short.
+        struct FailingExecutor(AtomicUsize);
+        impl Executor for FailingExecutor {
+            fn run(
+                &self,
+                _spec: &JobSpec,
+                _timeout: Option<Duration>,
+            ) -> Result<MeasuredWorkload, ExecError> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+                Err(ExecError::Failed("always fails".to_string()))
+            }
+        }
+        let executor = Arc::new(FailingExecutor(AtomicUsize::new(0)));
+        let config = ServeConfig {
+            journal: journal_path.clone(),
+            workers: 1,
+            retry: RetryPolicy::from_retries(1000, 100),
+            drain_on_start: false,
+            ..ServeConfig::default()
+        };
+        let exec = executor.clone();
+        let path = journal_path.clone();
+        let handle = std::thread::spawn(move || {
+            let dir = path.parent().unwrap().to_path_buf();
+            let endpoint = Endpoint::Unix(dir.join("s.sock"));
+            run_server(&config, Some(&endpoint), exec)
+        });
+        // Let the first attempt start, then ask for shutdown.
+        while executor.0.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let client =
+            crate::wire::Client::new(Endpoint::Unix(dir.join("s.sock")), Duration::from_secs(5));
+        client.request_line("shutdown").unwrap();
+        let report = handle.join().unwrap().unwrap();
+        // No fail record was written; the job is still pending.
+        assert_eq!((report.done, report.failed), (0, 0));
+        let j = Journal::open(&journal_path).unwrap();
+        assert_eq!(j.counts(), (1, 0, 0));
+        assert_eq!(j.state(1), Some(JobState::Pending));
+    }
+
+    /// Bug-sweep pin: a condvar wakeup with an already-drained queue
+    /// (drain snapshotting ids while workers race) must terminate —
+    /// the drain of an all-settled queue returns immediately and
+    /// spurious wakeups re-check the predicate rather than popping.
+    #[test]
+    fn drain_of_settled_queue_terminates() {
+        let dir = tempdir("vax-serve-drain-empty");
+        let journal_path = dir.join("queue.journal");
+        {
+            let mut j = Journal::open(&journal_path).unwrap();
+            let spec = quick_spec(WorkloadKind::TimesharingLight, 1);
+            let id = j.append_enqueue(&spec).unwrap();
+            let m = InProcessExecutor.run(&spec, None).unwrap();
+            j.append_start(id, 1).unwrap();
+            j.append_complete(id, &m).unwrap();
+        }
+        let journal = Journal::open(&journal_path).unwrap();
+        let shared = test_shared(journal, 10, None);
+        let mut out = Vec::new();
+        handle_drain(&shared, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.ends_with("end\n"), "{text}");
+        assert!(shared.lock().shutdown);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_and_preserves_results() {
+        let dir = tempdir("vax-serve-autocompact");
+        let journal_path = dir.join("queue.journal");
+        {
+            let mut j = Journal::open(&journal_path).unwrap();
+            for seed in 1..=4 {
+                j.append_enqueue(&quick_spec(WorkloadKind::TimesharingLight, seed))
+                    .unwrap();
+            }
+        }
+        let config = ServeConfig {
+            journal: journal_path.clone(),
+            workers: 2,
+            compact_every: 2,
+            retry: RetryPolicy::from_retries(0, 0),
+            drain_on_start: true,
+            ..ServeConfig::default()
+        };
+        run_server(&config, None, Arc::new(InProcessExecutor)).unwrap();
+        let j = Journal::open(&journal_path).unwrap();
+        assert_eq!(j.counts(), (0, 4, 0));
+        assert!(j.generation() >= 1, "compaction never ran");
+        // Reference: the same queue drained without compaction.
+        let ref_path = dir.join("ref.journal");
+        {
+            let mut j = Journal::open(&ref_path).unwrap();
+            for seed in 1..=4 {
+                j.append_enqueue(&quick_spec(WorkloadKind::TimesharingLight, seed))
+                    .unwrap();
+            }
+        }
+        let ref_config = ServeConfig {
+            journal: ref_path.clone(),
+            compact_every: 0,
+            workers: 1,
+            retry: RetryPolicy::from_retries(0, 0),
+            drain_on_start: true,
+            ..ServeConfig::default()
+        };
+        run_server(&ref_config, None, Arc::new(InProcessExecutor)).unwrap();
+        assert_eq!(results_of(&journal_path), results_of(&ref_path));
     }
 }

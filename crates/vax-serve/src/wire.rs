@@ -5,16 +5,24 @@
 //!
 //! | request          | reply                                        |
 //! |------------------|----------------------------------------------|
-//! | `enqueue <spec>` | `ok <id>` or `reject <reason>`               |
+//! | `enqueue [client=<name>] <spec>` | `ok <id>` or `reject <reason>` |
 //! | `status`         | `ok …` summary, `job …` lines, `end`         |
 //! | `results`        | one JSON line per settled job, then `end`    |
 //! | `metrics`        | `ok …` summary, `worker <json>` lines, `end` |
 //! | `drain`          | all results streamed in id order as jobs     |
 //! |                  | settle, then `end`; the server then exits    |
+//! | `compact`        | `ok …` — fold settled records into the       |
+//! |                  | journal's snapshot segment now               |
+//! | `claim`          | `job <id> <spec>`, `idle`, or `gone`; the    |
+//! |                  | worker then sends `result <id>` + blob or    |
+//! |                  | `fail <id> <message>` on the same connection |
 //! | `shutdown`       | `ok` — stop accepting, abandon pending work  |
 //!
 //! Everything is UTF-8 lines; multi-line replies are terminated by a
-//! bare `end`, so clients never need length framing.
+//! bare `end`, so clients never need length framing. `claim` is the
+//! one request that holds its connection open: the attempt runs on the
+//! worker's machine while the server waits, and a dropped connection
+//! counts as a retryable failed attempt.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -145,6 +153,18 @@ impl Conn {
         match self {
             Conn::Unix(s) => s.set_nonblocking(false),
             Conn::Tcp(s) => s.set_nonblocking(false),
+        }
+    }
+
+    /// Bound how long reads may block (`None` = forever).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `set_read_timeout` error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
         }
     }
 

@@ -99,7 +99,9 @@ proptest! {
     /// Settle a random subset of the queue "before the crash", resume,
     /// and check: settled jobs run zero times, unsettled jobs exactly
     /// once, and the merged result lines are byte-identical to an
-    /// uninterrupted run of the same queue.
+    /// uninterrupted run of the same queue — whether or not the
+    /// interrupted journal was compacted into v2 segments before the
+    /// resume or after it.
     #[test]
     fn resumed_queue_is_idempotent_and_bit_identical(
         n in 1usize..6,
@@ -107,6 +109,8 @@ proptest! {
         fail_mask in 0u32..32,
         dangling_start in any::<bool>(),
         workers in 1usize..4,
+        compact_before in any::<bool>(),
+        compact_after in any::<bool>(),
     ) {
         let dir = tempdir();
         let interrupted = dir.join("interrupted.journal");
@@ -146,12 +150,20 @@ proptest! {
             }
         }
 
+        // Optionally fold the pre-crash settled records into a v2
+        // snapshot segment: the resume must behave identically whether
+        // its history lives in the tail or behind the snapshot index.
+        if compact_before {
+            Journal::open(&interrupted).unwrap().compact().unwrap();
+        }
+
         // Resume the interrupted queue.
         let exec = Arc::new(CountingExecutor {
             runs: Mutex::new(HashMap::new()),
             fail_seeds: fail_seeds.clone(),
         });
-        let report = run_server(&drain_config(interrupted, workers), None, exec.clone()).unwrap();
+        let report =
+            run_server(&drain_config(interrupted.clone(), workers), None, exec.clone()).unwrap();
         let runs = exec.runs.lock().unwrap().clone();
         for &seed in &seeds {
             let expected = u32::from(!settled.contains(&seed));
@@ -167,9 +179,28 @@ proptest! {
             runs: Mutex::new(HashMap::new()),
             fail_seeds,
         });
-        let ref_report = run_server(&drain_config(reference, workers), None, ref_exec).unwrap();
-        prop_assert_eq!(&report.results, &ref_report.results);
-        prop_assert_eq!(report.results.len(), n);
+        let ref_report =
+            run_server(&drain_config(reference.clone(), workers), None, ref_exec).unwrap();
+        prop_assert_eq!(report.done + report.failed, n);
+        prop_assert_eq!(report.done, ref_report.done);
+        prop_assert_eq!(report.failed, ref_report.failed);
+
+        // And one more compaction after everything settled must not
+        // change a byte of what the journal streams back.
+        if compact_after {
+            Journal::open(&interrupted).unwrap().compact().unwrap();
+        }
+        let streamed = |path: &PathBuf| {
+            let journal = Journal::open(path).unwrap();
+            let mut out = Vec::new();
+            let lines = journal.stream_results(&mut out).unwrap();
+            (lines, String::from_utf8(out).unwrap())
+        };
+        let (lines, merged) = streamed(&interrupted);
+        let (ref_lines, ref_merged) = streamed(&reference);
+        prop_assert_eq!(lines, n);
+        prop_assert_eq!(ref_lines, n);
+        prop_assert_eq!(merged, ref_merged);
 
         let _ = std::fs::remove_dir_all(&dir);
     }

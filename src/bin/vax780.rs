@@ -7,11 +7,14 @@
 //!            [--checkpoint FILE] [--halt-after N]
 //!            [--retry N] [--retry-backoff-ms MS]
 //! vax780 serve --queue FILE --socket PATH|tcp:ADDR [--jobs N]
-//!              [--capacity N] [--retry N] [--retry-backoff-ms MS]
+//!              [--capacity N] [--client-quota N] [--compact-every N]
+//!              [--retry N] [--retry-backoff-ms MS]
 //!              [--timeout-secs S] [--process-workers] [--metrics]
-//! vax780 enqueue (--queue FILE | --socket PATH) --spec LINE...
+//! vax780 enqueue (--queue FILE | --socket PATH) [--client NAME] --spec LINE...
 //! vax780 status (--queue FILE | --socket PATH)
 //! vax780 drain (--queue FILE [--jobs N] ... | --socket PATH) [--out FILE]
+//! vax780 worker --connect PATH|tcp:ADDR [--timeout-secs S] [--process-workers]
+//! vax780 compact (--queue FILE | --socket PATH)
 //! vax780 sweep [--workload NAME|all] [--instructions N] [--warmup N]
 //!              [--axis NAME]... [--jobs N] [--serial]
 //!              [--csv FILE] [--jsonl FILE] [--metrics]
@@ -35,12 +38,16 @@
 //! `run` measures one workload (or the five-workload composite, fanned
 //! across a worker pool), prints every table plus the paper comparison,
 //! and can save the raw histogram; `serve` runs the crash-safe campaign
-//! server: a persistent `vax-queue-journal v1` job queue drained by a
-//! worker pool (threads, or `job-worker` OS processes with
-//! `--process-workers`), listening on a Unix socket or TCP address with
-//! bounded-capacity backpressure — `enqueue`, `status`, and `drain`
-//! are its clients (each also works offline against `--queue` when no
-//! server owns the journal); a SIGKILLed server restarts from the
+//! server: a persistent `vax-queue-journal v2` job queue (append-only
+//! tail plus a compacted snapshot of settled jobs, so replay stays
+//! O(unsettled) no matter the history) drained by a worker pool
+//! (threads, `job-worker` OS processes with `--process-workers`, or
+//! remote `vax780 worker --connect` processes claiming over TCP),
+//! listening on a Unix socket or TCP address with bounded-capacity
+//! backpressure and optional per-client quotas — `enqueue`, `status`,
+//! `drain`, and `compact` are its clients (each also works offline
+//! against `--queue` when no server owns the journal); a SIGKILLed
+//! server restarts from the
 //! journal and re-runs only unsettled jobs, bit-identically; `sweep` re-measures the composite
 //! under a grid of machine ablations (§6 what-ifs by simulation) and
 //! emits a per-point CPI/stall table plus optional CSV/JSONL; `trace`
@@ -95,6 +102,8 @@ fn main() -> ExitCode {
         Some("enqueue") => checked(cmd_enqueue, "enqueue", &args[1..], ENQUEUE_SPEC),
         Some("status") => checked(cmd_status, "status", &args[1..], STATUS_SPEC),
         Some("drain") => checked(cmd_drain, "drain", &args[1..], DRAIN_SPEC),
+        Some("worker") => checked(cmd_worker, "worker", &args[1..], WORKER_SPEC),
+        Some("compact") => checked(cmd_compact, "compact", &args[1..], COMPACT_SPEC),
         // Internal: one job per process, spec on stdin, result blob on
         // stdout (spawned by `serve --process-workers`).
         Some("job-worker") => checked(cmd_job_worker, "job-worker", &args[1..], &[]),
@@ -117,8 +126,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: vax780 <run|sweep|serve|enqueue|status|drain|trace|inject|probe|report|disasm|lint|\
-     verify|bench|list> [options]\n\
+    "usage: vax780 <run|sweep|serve|enqueue|status|drain|worker|compact|trace|inject|probe|\
+     report|disasm|lint|verify|bench|list> [options]\n\
      \n\
      run     --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --decode-overlap  --save-histogram FILE\n\
@@ -126,15 +135,21 @@ const USAGE: &str =
      \x20       --checkpoint FILE  --halt-after N\n\
      \x20       --retry N  --retry-backoff-ms MS\n\
      serve   --queue FILE  --socket PATH|tcp:ADDR  --jobs N  --capacity N\n\
+     \x20       --client-quota N  --compact-every N\n\
      \x20       --retry N  --retry-backoff-ms MS  --timeout-secs S\n\
      \x20       --process-workers  --metrics\n\
-     enqueue (--queue FILE | --socket PATH)  --spec LINE (repeatable)\n\
+     \x20       (--jobs 0 = no local workers; remote `vax780 worker` only)\n\
+     enqueue (--queue FILE | --socket PATH)  --client NAME  --spec LINE (repeatable)\n\
      \x20       (spec: workload=NAME instructions=N warmup=N [seed=N] [tier=T]\n\
      \x20        [decode-overlap=1] [cache-kb=N] [cache-ways=N] [tb-entries=N]\n\
      \x20        [write-buffer=N] [faults=A+B fault-seed=N fault-count=N fault-window=N])\n\
      status  (--queue FILE | --socket PATH)\n\
      drain   (--queue FILE  --jobs N  --retry N  --retry-backoff-ms MS\n\
      \x20        --timeout-secs S  --process-workers | --socket PATH)  --out FILE\n\
+     worker  --connect PATH|tcp:ADDR  --timeout-secs S  --process-workers\n\
+     \x20       (claim jobs from a remote `serve` until it drains)\n\
+     compact (--queue FILE | --socket PATH)\n\
+     \x20       (fold settled records into the journal's snapshot segment)\n\
      sweep   --workload NAME|all  --instructions N  --warmup N\n\
      \x20       --axis cache-size|cache-ways|tb-entries|tb-split|write-buffer|decode-overlap\n\
      \x20       --jobs N  --serial  --csv FILE  --jsonl FILE  --metrics\n\
@@ -195,13 +210,26 @@ const SERVE_SPEC: Spec = &[
     ("--jobs", true),
     ("--serial", false),
     ("--capacity", true),
+    ("--client-quota", true),
+    ("--compact-every", true),
     ("--retry", true),
     ("--retry-backoff-ms", true),
     ("--timeout-secs", true),
     ("--process-workers", false),
     ("--metrics", false),
 ];
-const ENQUEUE_SPEC: Spec = &[("--queue", true), ("--socket", true), ("--spec", true)];
+const ENQUEUE_SPEC: Spec = &[
+    ("--queue", true),
+    ("--socket", true),
+    ("--client", true),
+    ("--spec", true),
+];
+const WORKER_SPEC: Spec = &[
+    ("--connect", true),
+    ("--timeout-secs", true),
+    ("--process-workers", false),
+];
+const COMPACT_SPEC: Spec = &[("--queue", true), ("--socket", true)];
 const STATUS_SPEC: Spec = &[("--queue", true), ("--socket", true)];
 const DRAIN_SPEC: Spec = &[
     ("--queue", true),
@@ -647,11 +675,9 @@ fn pool_setup(
     ),
     String,
 > {
-    use std::sync::Arc;
-    use std::time::Duration;
-    use vax_serve::{InProcessExecutor, ProcessExecutor, ServeConfig};
+    use vax_serve::ServeConfig;
 
-    let jobs = jobs_arg(args)?;
+    let jobs = pool_jobs_arg(args)?;
     let retry = retry_arg(args)?;
     let capacity = match opt(args, "--capacity") {
         None => None,
@@ -660,34 +686,84 @@ fn pool_setup(
             _ => return Err(format!("--capacity wants a positive integer, got '{s}'")),
         },
     };
-    let timeout = match opt(args, "--timeout-secs") {
+    let client_quota = match opt(args, "--client-quota") {
         None => None,
-        Some(s) => match s.parse::<u64>() {
-            Ok(n) if n >= 1 => Some(Duration::from_secs(n)),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
             _ => {
                 return Err(format!(
-                    "--timeout-secs wants a positive integer of seconds, got '{s}'"
+                    "--client-quota wants a positive integer, got '{s}'"
                 ))
             }
         },
     };
+    let compact_every = match opt(args, "--compact-every") {
+        None => None,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) => Some(n),
+            _ => {
+                return Err(format!(
+                    "--compact-every wants a non-negative integer (0 = never), got '{s}'"
+                ))
+            }
+        },
+    };
+    let timeout = timeout_arg(args)?;
     let default = ServeConfig::default();
     let config = ServeConfig {
         journal: opt(args, "--queue").unwrap_or("queue.journal").into(),
         workers: jobs.unwrap_or(default.workers),
         capacity: capacity.unwrap_or(default.capacity),
+        client_quota,
+        compact_every: compact_every.unwrap_or(default.compact_every),
         retry: retry.unwrap_or(default.retry),
         timeout,
         drain_on_start: false,
     };
-    let executor: Arc<dyn vax_serve::Executor> = if flag(args, "--process-workers") {
+    Ok((config, executor_arg(args)?))
+}
+
+/// Worker-pool size for the queue commands: like [`jobs_arg`] but `0`
+/// is legal — a listening server with `--jobs 0` runs no local workers
+/// and leaves all execution to remote `vax780 worker` processes.
+fn pool_jobs_arg(args: &[String]) -> Result<Option<usize>, String> {
+    if flag(args, "--serial") {
+        return Ok(Some(1));
+    }
+    match opt(args, "--jobs") {
+        None => Ok(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) => Ok(Some(n)),
+            _ => Err(format!("--jobs wants a non-negative integer, got '{s}'")),
+        },
+    }
+}
+
+/// Per-attempt deadline from `--timeout-secs`.
+fn timeout_arg(args: &[String]) -> Result<Option<std::time::Duration>, String> {
+    match opt(args, "--timeout-secs") {
+        None => Ok(None),
+        Some(s) => match s.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(Some(std::time::Duration::from_secs(n))),
+            _ => Err(format!(
+                "--timeout-secs wants a positive integer of seconds, got '{s}'"
+            )),
+        },
+    }
+}
+
+/// The executor for local attempts: in-process threads by default, one
+/// `vax780 job-worker` OS process per attempt with `--process-workers`.
+fn executor_arg(args: &[String]) -> Result<std::sync::Arc<dyn vax_serve::Executor>, String> {
+    use std::sync::Arc;
+    use vax_serve::{InProcessExecutor, ProcessExecutor};
+    if flag(args, "--process-workers") {
         let exe = std::env::current_exe()
             .map_err(|e| format!("cannot locate the vax780 binary for --process-workers: {e}"))?;
-        Arc::new(ProcessExecutor { exe })
+        Ok(Arc::new(ProcessExecutor { exe }))
     } else {
-        Arc::new(InProcessExecutor)
-    };
-    Ok((config, executor))
+        Ok(Arc::new(InProcessExecutor))
+    }
 }
 
 /// Long-running campaign server: replay the queue journal, listen on
@@ -748,6 +824,11 @@ fn cmd_enqueue(args: &[String]) -> ExitCode {
         eprintln!("enqueue wants at least one --spec LINE (see `vax780` usage for the grammar)");
         return ExitCode::FAILURE;
     }
+    let client_name = opt(args, "--client").unwrap_or("");
+    if !client_name.is_empty() && !vax_serve::valid_client_name(client_name) {
+        eprintln!("bad --client '{client_name}': one token of [A-Za-z0-9._@-], at most 64 bytes");
+        return ExitCode::FAILURE;
+    }
     let mut specs = Vec::new();
     for line in &lines {
         match JobSpec::parse(line).and_then(|s| s.validate().map(|()| s)) {
@@ -779,7 +860,7 @@ fn cmd_enqueue(args: &[String]) -> ExitCode {
                 eprintln!("vax780 enqueue: queue journal {queue}: {w}");
             }
             for spec in &specs {
-                match journal.append_enqueue(spec) {
+                match journal.append_enqueue_for(client_name, spec) {
                     Ok(id) => println!("enqueued {id}"),
                     Err(e) => {
                         eprintln!("{e}");
@@ -793,7 +874,12 @@ fn cmd_enqueue(args: &[String]) -> ExitCode {
             let client = Client::new(Endpoint::parse(socket), Duration::from_secs(5));
             for spec in &specs {
                 let line = spec.render();
-                match client.request_line(&format!("enqueue {line}")) {
+                let request = if client_name.is_empty() {
+                    format!("enqueue {line}")
+                } else {
+                    format!("enqueue client={client_name} {line}")
+                };
+                match client.request_line(&request) {
                     Ok(reply) => match reply.strip_prefix("ok ") {
                         Some(id) => println!("enqueued {id}"),
                         None => {
@@ -816,7 +902,7 @@ fn cmd_enqueue(args: &[String]) -> ExitCode {
 /// a live server (`--socket`) or straight from a journal (`--queue`).
 fn cmd_status(args: &[String]) -> ExitCode {
     use std::time::Duration;
-    use vax_serve::{Client, Endpoint, JobOutcome, Journal};
+    use vax_serve::{Client, Endpoint, Journal};
 
     match (opt(args, "--queue"), opt(args, "--socket")) {
         (Some(_), Some(_)) => {
@@ -860,13 +946,12 @@ fn cmd_status(args: &[String]) -> ExitCode {
                     out,
                     "queue {queue}: pending {pending} done {done} failed {failed}"
                 )?;
-                for job in journal.jobs() {
-                    let state = match &job.outcome {
-                        Some(JobOutcome::Done(_)) => "done",
-                        Some(JobOutcome::Failed { .. }) => "failed",
-                        None => "pending",
-                    };
-                    writeln!(out, "job {} {state} {}", job.id, job.spec.render())?;
+                for (id, state) in journal.states() {
+                    let spec = journal
+                        .spec_line(id)
+                        .map_err(|e| std::io::Error::other(e.to_string()))?
+                        .unwrap_or_default();
+                    writeln!(out, "job {id} {} {spec}", state.name())?;
                 }
                 Ok(())
             };
@@ -882,33 +967,89 @@ fn cmd_status(args: &[String]) -> ExitCode {
     }
 }
 
-/// Settle every job and collect the merged result JSONL (id order,
-/// bit-deterministic). `--socket` asks a live server to finish and
-/// exit; `--queue` runs an offline pool over the journal — the resume
-/// path after a crash. Nonzero if any job settled as failed.
+/// A pass-through writer that counts streamed result lines containing
+/// `"failed":true` — drain's exit code, computed on the fly so the
+/// stream never has to be buffered in memory.
+struct FailCount<W: std::io::Write> {
+    inner: W,
+    partial: Vec<u8>,
+    failed: usize,
+}
+
+impl<W: std::io::Write> FailCount<W> {
+    fn new(inner: W) -> Self {
+        FailCount {
+            inner,
+            partial: Vec::new(),
+            failed: 0,
+        }
+    }
+
+    fn scan(&mut self, line: &[u8]) {
+        const NEEDLE: &[u8] = b"\"failed\":true";
+        if line.windows(NEEDLE.len()).any(|w| w == NEEDLE) {
+            self.failed += 1;
+        }
+    }
+
+    /// Count any unterminated final line and return the failed total.
+    fn finish(mut self) -> usize {
+        if !self.partial.is_empty() {
+            let line = std::mem::take(&mut self.partial);
+            self.scan(&line);
+        }
+        self.failed
+    }
+}
+
+impl<W: std::io::Write> std::io::Write for FailCount<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut rest = buf;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            self.partial.extend_from_slice(&rest[..pos]);
+            let line = std::mem::take(&mut self.partial);
+            self.scan(&line);
+            rest = &rest[pos + 1..];
+        }
+        self.partial.extend_from_slice(rest);
+        self.inner.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Open drain's result sink: `--out FILE` or stdout, always buffered.
+fn drain_sink(args: &[String]) -> Result<Box<dyn std::io::Write>, String> {
+    use std::io::BufWriter;
+    match opt(args, "--out") {
+        Some(path) => std::fs::File::create(path)
+            .map(|f| Box::new(BufWriter::new(f)) as Box<dyn std::io::Write>)
+            .map_err(|e| format!("failed to write results to {path}: {e}")),
+        None => Ok(Box::new(BufWriter::new(std::io::stdout()))),
+    }
+}
+
+/// Settle every job and stream the merged result JSONL (id order,
+/// bit-deterministic) to `--out` or stdout without holding it in
+/// memory. `--socket` asks a live server to finish and exit;
+/// `--queue` runs an offline pool over the journal — the resume path
+/// after a crash. Nonzero if any job settled as failed.
 fn cmd_drain(args: &[String]) -> ExitCode {
+    use std::io::Write;
     use std::time::Duration;
-    use vax_serve::{run_server, Client, Endpoint};
+    use vax_serve::{run_server, Client, Endpoint, Journal};
 
     // Pool flags are validated up front even in `--socket` mode, where
     // the live server's own pool settings apply and these are unused.
-    for check in [retry_arg(args).map(|_| ()), jobs_arg(args).map(|_| ())] {
+    for check in [retry_arg(args).map(|_| ()), pool_jobs_arg(args).map(|_| ())] {
         if let Err(e) = check {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     }
-    let emit = |results: &[String]| -> Result<(), String> {
-        let text: String = results.iter().map(|l| format!("{l}\n")).collect();
-        match opt(args, "--out") {
-            Some(path) => std::fs::write(path, text)
-                .map_err(|e| format!("failed to write results to {path}: {e}")),
-            None => {
-                print!("{text}");
-                Ok(())
-            }
-        }
-    };
     match (opt(args, "--queue"), opt(args, "--socket")) {
         (Some(_), Some(_)) => {
             eprintln!("drain wants exactly one of --queue or --socket, not both");
@@ -920,24 +1061,26 @@ fn cmd_drain(args: &[String]) -> ExitCode {
         }
         (None, Some(socket)) => {
             let client = Client::new(Endpoint::parse(socket), Duration::from_secs(5));
-            let mut buf = Vec::new();
-            let streamed = match client.request_stream("drain", &mut buf) {
+            let out = match drain_sink(args) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut counter = FailCount::new(out);
+            let streamed = match client.request_stream("drain", &mut counter) {
                 Ok(n) => n,
                 Err(e) => {
                     eprintln!("drain over {socket}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let text = String::from_utf8_lossy(&buf);
-            let results: Vec<String> = text.lines().map(str::to_string).collect();
-            if let Err(e) = emit(&results) {
-                eprintln!("{e}");
+            if let Err(e) = counter.flush() {
+                eprintln!("drain: writing results: {e}");
                 return ExitCode::FAILURE;
             }
-            let failed = results
-                .iter()
-                .filter(|l| l.contains("\"failed\":true"))
-                .count();
+            let failed = counter.finish();
             eprintln!("drained {streamed} result(s), {failed} failed");
             if failed > 0 {
                 ExitCode::FAILURE
@@ -945,7 +1088,7 @@ fn cmd_drain(args: &[String]) -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
-        (Some(_), None) => {
+        (Some(queue), None) => {
             let (mut config, executor) = match pool_setup(args) {
                 Ok(pair) => pair,
                 Err(e) => {
@@ -956,7 +1099,20 @@ fn cmd_drain(args: &[String]) -> ExitCode {
             config.drain_on_start = true;
             match run_server(&config, None, executor) {
                 Ok(report) => {
-                    if let Err(e) = emit(&report.results) {
+                    // The pool has exited; reopen the settled journal
+                    // and stream results straight from its segments.
+                    let stream = || -> Result<usize, String> {
+                        let journal = Journal::open(std::path::Path::new(queue))
+                            .map_err(|e| e.to_string())?;
+                        let mut out = drain_sink(args)?;
+                        let n = journal
+                            .stream_results(&mut out)
+                            .map_err(|e| e.to_string())?;
+                        out.flush()
+                            .map_err(|e| format!("drain: writing results: {e}"))?;
+                        Ok(n)
+                    };
+                    if let Err(e) = stream() {
                         eprintln!("{e}");
                         return ExitCode::FAILURE;
                     }
@@ -972,6 +1128,159 @@ fn cmd_drain(args: &[String]) -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+    }
+}
+
+/// Remote worker: connect to a listening server (usually over TCP),
+/// claim jobs one at a time, run each locally, and send the result
+/// back on the claim connection. Exits cleanly when the server goes
+/// away or replies `gone`. A crash here costs the server one
+/// retryable attempt, never a job.
+fn cmd_worker(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, Write};
+    use std::time::Duration;
+    use vax_serve::queue::render_result_blob;
+    use vax_serve::{Endpoint, JobSpec};
+
+    let Some(connect) = opt(args, "--connect") else {
+        eprintln!("worker wants --connect tcp:HOST:PORT (or a Unix socket path)");
+        return ExitCode::FAILURE;
+    };
+    let (timeout, executor) = match timeout_arg(args).and_then(|t| Ok((t, executor_arg(args)?))) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let endpoint = Endpoint::parse(connect);
+    eprintln!("vax780 worker: claiming from {endpoint}");
+    let (mut done, mut failed) = (0usize, 0usize);
+    loop {
+        // One claim per connection, mirroring the rest of the protocol.
+        let conn = match endpoint.connect(Duration::from_secs(5)) {
+            Ok(conn) => conn,
+            Err(e) => {
+                eprintln!("vax780 worker: {endpoint}: {e}");
+                break;
+            }
+        };
+        let Ok((mut reader, mut writer)) = conn.split() else {
+            eprintln!("vax780 worker: cannot split connection");
+            return ExitCode::FAILURE;
+        };
+        let mut reply = String::new();
+        let ok = writeln!(writer, "claim")
+            .and_then(|()| writer.flush())
+            .and_then(|()| reader.read_line(&mut reply));
+        match ok {
+            Ok(0) | Err(_) => break, // server went away between claims
+            Ok(_) => {}
+        }
+        let reply = reply.trim_end();
+        if reply == "idle" {
+            std::thread::sleep(Duration::from_millis(200));
+            continue;
+        }
+        if reply == "gone" || reply.is_empty() {
+            break;
+        }
+        let Some(rest) = reply.strip_prefix("job ") else {
+            eprintln!("vax780 worker: unexpected reply `{reply}`");
+            return ExitCode::FAILURE;
+        };
+        let Some((id, spec_line)) = rest.split_once(' ') else {
+            eprintln!("vax780 worker: malformed job line `{reply}`");
+            return ExitCode::FAILURE;
+        };
+        let outcome = JobSpec::parse(spec_line)
+            .map_err(|e| format!("bad spec: {e}"))
+            .and_then(|spec| {
+                executor
+                    .run(&spec, timeout)
+                    .map_err(|e| e.to_string().replace('\n', " "))
+            });
+        let sent = match &outcome {
+            Ok(m) => {
+                done += 1;
+                write!(writer, "result {id}\n{}", render_result_blob(m))
+            }
+            Err(msg) => {
+                failed += 1;
+                eprintln!("vax780 worker: job {id}: {msg}");
+                writeln!(writer, "fail {id} {msg}")
+            }
+        }
+        .and_then(|()| writer.flush());
+        if sent.is_err() {
+            break; // the server will retry the attempt elsewhere
+        }
+        // Wait for the ack so the next claim sees the settled state.
+        let mut ack = String::new();
+        if reader.read_line(&mut ack).is_err() {
+            break;
+        }
+    }
+    eprintln!("vax780 worker: ran {done} job(s), {failed} failed attempt(s)");
+    ExitCode::SUCCESS
+}
+
+/// Fold settled jobs into the journal's snapshot segment now: offline
+/// against `--queue`, or over `--socket` by asking a live server.
+fn cmd_compact(args: &[String]) -> ExitCode {
+    use std::time::Duration;
+    use vax_serve::{Client, Endpoint, Journal};
+
+    match (opt(args, "--queue"), opt(args, "--socket")) {
+        (Some(_), Some(_)) => {
+            eprintln!("compact wants exactly one of --queue or --socket, not both");
+            ExitCode::FAILURE
+        }
+        (None, None) => {
+            eprintln!("compact wants --queue FILE or --socket PATH|tcp:ADDR");
+            ExitCode::FAILURE
+        }
+        (None, Some(socket)) => {
+            let client = Client::new(Endpoint::parse(socket), Duration::from_secs(5));
+            match client.request_line("compact") {
+                Ok(reply) if reply.starts_with("ok") => {
+                    println!("{reply}");
+                    ExitCode::SUCCESS
+                }
+                Ok(reply) => {
+                    eprintln!("compact over {socket}: {reply}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("compact over {socket}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        (Some(queue), None) => {
+            let mut journal = match Journal::open(std::path::Path::new(queue)) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for w in journal.warnings() {
+                eprintln!("vax780 compact: queue journal {queue}: {w}");
+            }
+            let folded = journal.settled_in_tail();
+            if let Err(e) = journal.compact() {
+                eprintln!("vax780 compact: {e}");
+                return ExitCode::FAILURE;
+            }
+            let (pending, done, failed) = journal.counts();
+            println!(
+                "compacted {queue}: generation {}, folded {folded} settled record(s); \
+                 {pending} pending, {done} done, {failed} failed",
+                journal.generation()
+            );
+            ExitCode::SUCCESS
         }
     }
 }

@@ -42,7 +42,7 @@ const SPECS: &[&str] = &[
     "workload=educational instructions=40000 warmup=2000 seed=6 tier=fast",
 ];
 
-fn enqueue_batch(target_flag: &str, target: &std::path::Path) {
+fn enqueue_batch(target_flag: &str, target: impl AsRef<std::ffi::OsStr>) {
     let mut cmd = vax780();
     cmd.args(["enqueue", target_flag]).arg(target);
     for spec in SPECS {
@@ -227,5 +227,156 @@ fn server_applies_backpressure_and_rejects_bad_specs() {
         text.lines().filter(|l| l.starts_with("enqueue ")).count(),
         2,
         "{text}"
+    );
+}
+
+/// A seventh job for the quota probe, enqueued under a named client.
+const EXTRA_SPEC: &str = "workload=timesharing-light instructions=15000 warmup=2000 seed=7";
+
+/// Remote execution end to end: a server with zero local workers
+/// (`--jobs 0`) listening on TCP, one `vax780 worker --connect`
+/// process settling the whole queue over the claim protocol, and a
+/// per-client quota enforced over the wire. The merged results —
+/// digests included — must be byte-identical to an in-process serial
+/// reference.
+#[test]
+fn remote_tcp_worker_settles_the_queue_bit_identical() {
+    let dir = tempdir("vax780-serve-remote-worker-test");
+
+    // In-process serial reference over the same seven jobs.
+    let reference_journal = dir.join("reference.journal");
+    let reference_out = dir.join("reference.jsonl");
+    enqueue_batch("--queue", &reference_journal);
+    let out = vax780()
+        .args(["enqueue", "--queue"])
+        .arg(&reference_journal)
+        .args(["--client", "alice", "--spec", EXTRA_SPEC])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = vax780()
+        .args(["drain", "--queue"])
+        .arg(&reference_journal)
+        .args(["--serial", "--out"])
+        .arg(&reference_out)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "reference drain failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A free TCP port: bind to :0, note the port, release it.
+    let port = std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port();
+    let addr = format!("tcp:127.0.0.1:{port}");
+
+    // The server runs no jobs itself: all execution is remote.
+    let live_journal = dir.join("live.journal");
+    let server = KillOnDrop(
+        vax780()
+            .args(["serve", "--queue"])
+            .arg(&live_journal)
+            .args(["--socket", &addr, "--jobs", "0", "--client-quota", "6"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("server spawns"),
+    );
+    enqueue_batch("--socket", &addr);
+
+    // The anonymous client now holds 6 unsettled jobs — quota full.
+    let out = vax780()
+        .args(["enqueue", "--socket", &addr, "--spec", EXTRA_SPEC])
+        .output()
+        .expect("runs");
+    assert!(
+        !out.status.success(),
+        "seventh anonymous job must be over quota"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quota exceeded"), "{err}");
+    assert!(err.contains("quota 6"), "{err}");
+
+    // A named client has its own budget.
+    let out = vax780()
+        .args(["enqueue", "--socket", &addr])
+        .args(["--client", "alice", "--spec", EXTRA_SPEC])
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // One remote worker claims and runs everything over TCP.
+    let mut worker = vax780()
+        .args(["worker", "--connect", &addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+
+    // Drain blocks until the worker settles all seven jobs, then the
+    // server exits; the worker notices and exits on its own.
+    let merged_out = dir.join("merged.jsonl");
+    let out = vax780()
+        .args(["drain", "--socket", &addr, "--out"])
+        .arg(&merged_out)
+        .output()
+        .expect("runs");
+    assert!(
+        out.status.success(),
+        "drain failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    drop(server);
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        match worker.try_wait().expect("wait") {
+            Some(status) => break status,
+            None if Instant::now() >= deadline => {
+                let _ = worker.kill();
+                let _ = worker.wait();
+                panic!("worker did not exit after the server went away");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert!(status.success(), "worker exited with {status}");
+    let mut worker_err = String::new();
+    use std::io::Read;
+    worker
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut worker_err)
+        .unwrap();
+    assert!(
+        worker_err.contains("ran 7 job(s), 0 failed attempt(s)"),
+        "worker must have run every job itself:\n{worker_err}"
+    );
+
+    // Bit-identical to the in-process reference, digests and all.
+    let merged = std::fs::read_to_string(&merged_out).unwrap();
+    let reference = std::fs::read_to_string(&reference_out).unwrap();
+    assert_eq!(merged.lines().count(), SPECS.len() + 1);
+    assert!(
+        merged.lines().all(|l| l.contains("\"digest\":\"")),
+        "{merged}"
+    );
+    assert_eq!(
+        merged, reference,
+        "remote execution must reproduce in-process results bit for bit"
     );
 }
